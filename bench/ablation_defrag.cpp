@@ -1,0 +1,72 @@
+// Ablation: lazy defragmentation (the paper's §5.4 design) vs classic
+// eager buddy coalescing.
+//
+//   * steady churn at one size: lazy never merges (nothing to gain) while
+//     eager pays merge+resplit work on every free/alloc cycle;
+//   * size-alternating churn (small storm, then a big request): lazy pays
+//     a defragmentation pass exactly when the big request arrives, eager
+//     already has the big block.
+// The paper picks lazy for the first shape, which dominates allocator-
+// bound workloads; this quantifies what that choice costs on the second.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+std::unique_ptr<core::Heap> make_heap(bool eager, const char* tag) {
+  const std::string path =
+      std::string("/dev/shm/ablation_defrag_") + tag + ".heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  opts.eager_coalesce = eager;
+  return core::Heap::create(path, 64ull << 20, opts);
+}
+
+void churn_one_size(benchmark::State& state, bool eager) {
+  auto heap = make_heap(eager, eager ? "se" : "sl");
+  for (auto _ : state) {
+    core::NvPtr p = heap->alloc(256);
+    benchmark::DoNotOptimize(p);
+    heap->free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  pmem::Pool::unlink(heap->path());
+}
+
+void storm_then_big(benchmark::State& state, bool eager) {
+  auto heap = make_heap(eager, eager ? "be" : "bl");
+  for (auto _ : state) {
+    // Small storm: 512 x 1 KB, freed again...
+    std::vector<core::NvPtr> storm;
+    storm.reserve(512);
+    for (int i = 0; i < 512; ++i) storm.push_back(heap->alloc(1024));
+    for (const auto& p : storm) heap->free(p);
+    // ...then one big request that needs the space merged back together.
+    core::NvPtr big = heap->alloc(1ull << 20);
+    benchmark::DoNotOptimize(big);
+    heap->free(big);
+  }
+  state.SetItemsProcessed(state.iterations() * (512 * 2 + 2));
+  pmem::Pool::unlink(heap->path());
+}
+
+void BM_SteadyChurn_Lazy(benchmark::State& s) { churn_one_size(s, false); }
+void BM_SteadyChurn_Eager(benchmark::State& s) { churn_one_size(s, true); }
+void BM_StormThenBig_Lazy(benchmark::State& s) { storm_then_big(s, false); }
+void BM_StormThenBig_Eager(benchmark::State& s) { storm_then_big(s, true); }
+
+}  // namespace
+
+BENCHMARK(BM_SteadyChurn_Lazy);
+BENCHMARK(BM_SteadyChurn_Eager);
+BENCHMARK(BM_StormThenBig_Lazy);
+BENCHMARK(BM_StormThenBig_Eager);
+
+BENCHMARK_MAIN();

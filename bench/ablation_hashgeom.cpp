@@ -1,0 +1,63 @@
+// Ablation: multi-level hash table geometry.  level0_slots decides how
+// quickly the table spills into further levels: small level-0 keeps the
+// metadata footprint tiny (levels get hole-punched when empty) but makes
+// lookups touch more levels at high occupancy; large level-0 pre-pays
+// footprint for flatter probing.  Measures an alloc+free pair at high
+// occupancy for several geometries, plus each geometry's actually-backed
+// metadata bytes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+void bench_geometry(benchmark::State& state) {
+  const auto level0 = static_cast<std::uint64_t>(state.range(0));
+  const auto live = static_cast<std::uint64_t>(state.range(1));
+  const std::string path = "/dev/shm/ablation_geom_" +
+                           std::to_string(level0) + "_" +
+                           std::to_string(live) + ".heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  opts.level0_slots = level0;
+  auto heap = core::Heap::create(path, 64ull << 20, opts);
+
+  std::vector<core::NvPtr> held;
+  held.reserve(live);
+  for (std::uint64_t i = 0; i < live; ++i) {
+    core::NvPtr p = heap->alloc(64);
+    if (p.is_null()) {
+      state.SkipWithError("prefill exhausted the heap");
+      return;
+    }
+    held.push_back(p);
+  }
+
+  for (auto _ : state) {
+    core::NvPtr p = heap->alloc(64);
+    benchmark::DoNotOptimize(p);
+    heap->free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["meta_backed_kb"] = static_cast<double>(
+      heap->file_allocated_bytes() / 1024.0);
+  state.counters["hash_levels_grown"] =
+      static_cast<double>(heap->stats().hash_extensions);
+  for (const auto& p : held) heap->free(p);
+  heap.reset();
+  pmem::Pool::unlink(path);
+}
+
+}  // namespace
+
+BENCHMARK(bench_geometry)
+    ->ArgsProduct({{256, 1024, 4096}, {1 << 12, 1 << 16, 1 << 18}})
+    ->ArgNames({"level0", "live"});
+
+BENCHMARK_MAIN();

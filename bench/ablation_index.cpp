@@ -1,0 +1,63 @@
+// Ablation: constant-time metadata management (paper §4.7).  Poseidon
+// claims O(1) alloc/free regardless of pool occupancy thanks to the
+// multi-level hash table, versus tree-indexed designs whose metadata
+// operations grow with the number of tracked blocks.
+//
+// Measures an alloc+free pair while the heap already holds N live 256-byte
+// blocks, N in {1k, 8k, 64k, 256k}.  Poseidon's latency should stay flat;
+// the baselines drift upward (PMDK's AVL + bitmap rescans in particular).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc_iface/allocator.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+void bench_occupancy(benchmark::State& state, iface::AllocatorKind kind) {
+  const auto live = static_cast<std::uint64_t>(state.range(0));
+  iface::AllocatorConfig cfg;
+  cfg.capacity = live * 512 + (64ull << 20);
+  cfg.nlanes = 1;
+  auto alloc = iface::make_allocator(kind, cfg);
+
+  std::vector<void*> held;
+  held.reserve(live);
+  for (std::uint64_t i = 0; i < live; ++i) {
+    void* p = alloc->alloc(256);
+    if (p == nullptr) {
+      state.SkipWithError("prefill exhausted the heap");
+      return;
+    }
+    held.push_back(p);
+  }
+
+  for (auto _ : state) {
+    void* p = alloc->alloc(256);
+    benchmark::DoNotOptimize(p);
+    alloc->free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel("live=" + std::to_string(live));
+  for (void* p : held) alloc->free(p);
+}
+
+void BM_Occupancy_Poseidon(benchmark::State& state) {
+  bench_occupancy(state, iface::AllocatorKind::kPoseidon);
+}
+void BM_Occupancy_PmdkLike(benchmark::State& state) {
+  bench_occupancy(state, iface::AllocatorKind::kPmdkLike);
+}
+void BM_Occupancy_MakaluLike(benchmark::State& state) {
+  bench_occupancy(state, iface::AllocatorKind::kMakaluLike);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Occupancy_Poseidon)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16)->Arg(1 << 18);
+BENCHMARK(BM_Occupancy_PmdkLike)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16)->Arg(1 << 18);
+BENCHMARK(BM_Occupancy_MakaluLike)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16)->Arg(1 << 18);
+
+BENCHMARK_MAIN();

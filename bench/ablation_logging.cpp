@@ -1,0 +1,52 @@
+// Ablation: crash-consistency cost (paper §4.5).  Undo + micro logging is
+// Poseidon's durability mechanism; this measures what the logging and its
+// persist barriers cost per operation by comparing against the (unsafe,
+// ablation-only) logging-disabled mode, across allocation sizes, plus the
+// incremental price of a transactional allocation (micro log append).
+#include <benchmark/benchmark.h>
+
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+void bench_logging(benchmark::State& state, bool undo_log, bool tx) {
+  const std::string path =
+      "/dev/shm/ablation_log_" + std::to_string(undo_log) +
+      std::to_string(tx) + ".heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  opts.use_undo_log = undo_log;
+  auto heap = core::Heap::create(path, 64ull << 20, opts);
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::NvPtr p =
+        tx ? heap->tx_alloc(size, /*is_end=*/true) : heap->alloc(size);
+    benchmark::DoNotOptimize(p);
+    heap->free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  heap.reset();
+  pmem::Pool::unlink(path);
+}
+
+void BM_AllocFree_UndoLogging(benchmark::State& state) {
+  bench_logging(state, /*undo_log=*/true, /*tx=*/false);
+}
+void BM_AllocFree_NoLogging_Unsafe(benchmark::State& state) {
+  bench_logging(state, /*undo_log=*/false, /*tx=*/false);
+}
+void BM_TxAllocFree_MicroLogging(benchmark::State& state) {
+  bench_logging(state, /*undo_log=*/true, /*tx=*/true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllocFree_UndoLogging)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_AllocFree_NoLogging_Unsafe)->Arg(64)->Arg(4096)->Arg(262144);
+BENCHMARK(BM_TxAllocFree_MicroLogging)->Arg(64)->Arg(4096)->Arg(262144);
+
+BENCHMARK_MAIN();

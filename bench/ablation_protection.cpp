@@ -1,0 +1,60 @@
+// Ablation: cost of metadata protection (paper §4.3 claims wrpkru costs
+// ~23 cycles, i.e. MPK protection is nearly free).  Measures a Poseidon
+// alloc+free pair under each available protection mode:
+//   none      — no protection (lower bound);
+//   pkey      — real MPK (only on PKU hardware; matches the paper);
+//   mprotect  — the fallback emulation, showing the syscall+TLB tax that
+//               justifies *not* charging it to Poseidon in the figure
+//               benches on non-PKU machines (see DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "core/heap.hpp"
+#include "mpk/mpk.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+void bench_pair(benchmark::State& state, mpk::ProtectMode mode) {
+  const std::string path =
+      "/dev/shm/ablation_prot_" + std::to_string(static_cast<int>(mode)) +
+      ".heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  opts.protect = mode;
+  auto heap = core::Heap::create(path, 16ull << 20, opts);
+  for (auto _ : state) {
+    core::NvPtr p = heap->alloc(256);
+    benchmark::DoNotOptimize(p);
+    heap->free(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  heap.reset();
+  pmem::Pool::unlink(path);
+}
+
+void BM_AllocFree_NoProtection(benchmark::State& state) {
+  bench_pair(state, mpk::ProtectMode::kNone);
+}
+
+void BM_AllocFree_Pkey(benchmark::State& state) {
+  if (!mpk::pku_supported()) {
+    state.SkipWithError("CPU lacks PKU; pkey mode unavailable");
+    return;
+  }
+  bench_pair(state, mpk::ProtectMode::kPkey);
+}
+
+void BM_AllocFree_Mprotect(benchmark::State& state) {
+  bench_pair(state, mpk::ProtectMode::kMprotect);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllocFree_NoProtection);
+BENCHMARK(BM_AllocFree_Pkey);
+BENCHMARK(BM_AllocFree_Mprotect);
+
+BENCHMARK_MAIN();

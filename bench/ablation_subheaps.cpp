@@ -1,0 +1,68 @@
+// Ablation: per-CPU sub-heaps (paper §4.1).  Fixes the thread count and
+// sweeps the number of sub-heaps from 1 (a single contended heap — what a
+// global design would look like) up to one per thread, showing where
+// Poseidon's scalability actually comes from.
+#include <atomic>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+using namespace poseidon::bench;
+using namespace poseidon::workloads;
+
+namespace {
+
+double run_one(unsigned nthreads, unsigned nsubheaps) {
+  const std::string path = "/dev/shm/ablation_sub.heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = nsubheaps;
+  opts.policy = core::SubheapPolicy::kPerThread;
+  auto heap = core::Heap::create(path, 128ull << 20, opts);
+  const RunResult r = run_timed(
+      nthreads, bench_seconds(),
+      [&](unsigned tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(0x5ab + tid);
+        std::vector<core::NvPtr> pool;
+        pool.reserve(100);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (pool.size() < 100 && (pool.empty() || (rng.next() & 1))) {
+            core::NvPtr p = heap->alloc(256);
+            if (!p.is_null()) {
+              pool.push_back(p);
+              ++ops;
+            }
+          } else {
+            const std::size_t i = rng.next_below(pool.size());
+            heap->free(pool[i]);
+            pool[i] = pool.back();
+            pool.pop_back();
+            ++ops;
+          }
+        }
+        for (const auto& p : pool) heap->free(p);
+        return ops;
+      });
+  heap.reset();
+  pmem::Pool::unlink(path);
+  return r.mops();
+}
+
+}  // namespace
+
+int main() {
+  const unsigned nthreads = default_thread_sweep().back();
+  print_header("ablation-subheaps",
+               "Mops/s at " + std::to_string(nthreads) + " threads");
+  for (unsigned subs = 1; subs <= nthreads; subs *= 2) {
+    const double mops = run_one(nthreads, subs);
+    print_point("ablation/subheaps", std::to_string(subs) + "-subheaps",
+                nthreads, mops);
+  }
+  return 0;
+}

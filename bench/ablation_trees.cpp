@@ -1,0 +1,84 @@
+// Ablation: index-structure tradeoffs over the same allocator.  The
+// FAST-FAIR tree (raw pointers, optimistic per-node locking) is the
+// scalable in-run index the paper benchmarks; PersistentBTree (packed
+// persistent references, one tree lock) survives restarts.  Measures what
+// the durability of the representation costs on the insert path.
+#include <benchmark/benchmark.h>
+
+#include "alloc_iface/allocator.hpp"
+#include "common/hash.hpp"
+#include "core/heap.hpp"
+#include "index/fastfair.hpp"
+#include "index/pbtree.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+void BM_Insert_FastFair(benchmark::State& state) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 256ull << 20;
+  auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+  index::FastFairTree tree(alloc.get());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.insert(mix64(++i), i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Insert_PersistentBTree(benchmark::State& state) {
+  const std::string path = "/dev/shm/ablation_trees.heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  auto heap = core::Heap::create(path, 256ull << 20, opts);
+  index::PersistentBTree tree = index::PersistentBTree::create(*heap);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.insert(mix64(++i), i));
+  }
+  state.SetItemsProcessed(state.iterations());
+  heap.reset();
+  pmem::Pool::unlink(path);
+}
+
+void BM_Search_FastFair(benchmark::State& state) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 64ull << 20;
+  auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+  index::FastFairTree tree(alloc.get());
+  for (std::uint64_t i = 1; i <= 100000; ++i) tree.insert(mix64(i), i);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.search(mix64(1 + (++i % 100000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Search_PersistentBTree(benchmark::State& state) {
+  const std::string path = "/dev/shm/ablation_trees2.heap";
+  pmem::Pool::unlink(path);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  auto heap = core::Heap::create(path, 64ull << 20, opts);
+  index::PersistentBTree tree = index::PersistentBTree::create(*heap);
+  for (std::uint64_t i = 1; i <= 100000; ++i) tree.insert(mix64(i), i);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.search(mix64(1 + (++i % 100000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  heap.reset();
+  pmem::Pool::unlink(path);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Insert_FastFair);
+BENCHMARK(BM_Insert_PersistentBTree);
+BENCHMARK(BM_Search_FastFair);
+BENCHMARK(BM_Search_PersistentBTree);
+
+BENCHMARK_MAIN();

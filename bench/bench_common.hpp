@@ -1,0 +1,47 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "alloc_iface/allocator.hpp"
+#include "workloads/harness.hpp"
+
+namespace poseidon::bench {
+
+inline const std::vector<iface::AllocatorKind>& all_allocators() {
+  static const std::vector<iface::AllocatorKind> kinds = {
+      iface::AllocatorKind::kPoseidon,
+      iface::AllocatorKind::kPmdkLike,
+      iface::AllocatorKind::kMakaluLike,
+  };
+  return kinds;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  if (const char* v = std::getenv(name)) {
+    const std::uint64_t x = std::strtoull(v, nullptr, 10);
+    if (x > 0) return x;
+  }
+  return def;
+}
+
+// Human label for a byte size (256B, 4KB, ...).
+inline std::string size_label(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluMB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluKB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace poseidon::bench

@@ -1,0 +1,79 @@
+// Figure 6: pairs of 100 mallocs and 100 frees in random order, with
+// different allocation sizes (256 B … 512 KB), swept over thread counts,
+// with no inter-thread frees ("ideal maximum performance").
+//
+// Expected shape (paper §7.2): Poseidon scales near-linearly at every
+// size; PMDK saturates/inverts past its arena count; Makalu collapses for
+// sizes above its 400 B global-lock threshold and trails below it due to
+// the global reclaim list.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+
+using namespace poseidon;
+using namespace poseidon::bench;
+using namespace poseidon::workloads;
+
+namespace {
+
+constexpr unsigned kPoolDepth = 100;  // the paper's 100-alloc/100-free pair
+
+double run_one(iface::AllocatorKind kind, std::uint64_t size,
+               unsigned nthreads) {
+  iface::AllocatorConfig cfg;
+  // Working set: up to kPoolDepth live objects per thread, doubled for
+  // fragmentation slack, floor 64 MB.
+  const std::uint64_t want = 2 * kPoolDepth * size * nthreads;
+  cfg.capacity = want < (64ull << 20) ? (64ull << 20) : want;
+  cfg.nlanes = nthreads;  // per-CPU sub-heaps on the paper's box
+  auto alloc = iface::make_allocator(kind, cfg);
+
+  const RunResult r = run_timed(
+      nthreads, bench_seconds(),
+      [&](unsigned tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(0xF16'6 + tid);
+        std::vector<void*> pool;
+        pool.reserve(kPoolDepth);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const bool do_alloc =
+              pool.empty() ||
+              (pool.size() < kPoolDepth && (rng.next() & 1) != 0);
+          if (do_alloc) {
+            void* p = alloc->alloc(size);
+            if (p != nullptr) {
+              pool.push_back(p);
+              ++ops;
+            }
+          } else {
+            const std::size_t i = rng.next_below(pool.size());
+            alloc->free(pool[i]);
+            pool[i] = pool.back();
+            pool.pop_back();
+            ++ops;
+          }
+        }
+        for (void* p : pool) alloc->free(p);
+        return ops;
+      });
+  return r.mops();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> sizes = {256,        1024,       4096,
+                                            128 * 1024, 256 * 1024, 512 * 1024};
+  print_header("fig6-microbench", "Mops/s, 100-alloc/100-free pairs");
+  for (const std::uint64_t size : sizes) {
+    for (const auto kind : all_allocators()) {
+      for (const unsigned t : default_thread_sweep()) {
+        const double mops = run_one(kind, size, t);
+        print_point("fig6/" + size_label(size), iface::kind_name(kind), t,
+                    mops);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: Larson benchmark — a server-style workload with concurrent,
+// cross-thread allocations and deallocations of randomly sized objects
+// (paper §7.3).  Expected shape: Poseidon leads by up to ~4x; PMDK's
+// action log and Makalu's reclaim list throttle both baselines as thread
+// counts rise.
+#include "bench/bench_common.hpp"
+#include "workloads/larson.hpp"
+
+using namespace poseidon;
+using namespace poseidon::bench;
+using namespace poseidon::workloads;
+
+int main() {
+  print_header("fig7-larson", "ops/s, cross-thread alloc/free");
+  for (const auto kind : all_allocators()) {
+    for (const unsigned t : default_thread_sweep()) {
+      iface::AllocatorConfig cfg;
+      cfg.capacity = 256ull << 20;
+      cfg.nlanes = t;
+      auto alloc = iface::make_allocator(kind, cfg);
+      LarsonConfig lc;
+      lc.nthreads = t;
+      lc.seconds = bench_seconds();
+      const LarsonResult r = run_larson(*alloc, lc);
+      print_point("fig7/larson", iface::kind_name(kind), t, r.ops_per_sec());
+    }
+  }
+  return 0;
+}

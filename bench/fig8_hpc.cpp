@@ -1,0 +1,117 @@
+// Figure 8: real-world, computation-intensive benchmarks (paper §7.4):
+//   * Ackermann — one large allocation per iteration used as a memoization
+//     cache (the paper uses 1 GB; size here is POSEIDON_ACK_BYTES,
+//     default 4 MB so the allocator, not memset-speed, dominates);
+//   * Kruskal  — three 512 B allocations + MST of order 5 per iteration;
+//   * N-Queens — one 32 B allocation + 8-queens solve per iteration.
+//
+// Expected shape: Poseidon wide margins on Ackermann (Makalu's global
+// chunk lock) and N-Queens (PMDK pool placement); Makalu competitive at
+// low thread counts on Kruskal (no logging) but falling behind as threads
+// grow.
+#include "bench/bench_common.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace poseidon;
+using namespace poseidon::bench;
+using namespace poseidon::workloads;
+
+namespace {
+
+double run_ackermann(iface::AllocatorKind kind, unsigned nthreads,
+                     std::uint64_t region) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 4 * region * nthreads + (64ull << 20);
+  cfg.nlanes = nthreads;
+  auto alloc = iface::make_allocator(kind, cfg);
+  const RunResult r = run_timed(
+      nthreads, bench_seconds(),
+      [&](unsigned, const std::atomic<bool>& stop) -> std::uint64_t {
+        std::uint64_t iters = 0;
+        volatile std::uint64_t sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          void* p = alloc->alloc(region);
+          if (p == nullptr) break;
+          sink = ackermann_fill(p, region);
+          alloc->free(p);
+          ++iters;
+        }
+        return iters;
+      });
+  return r.ops / r.seconds;  // iterations per second
+}
+
+double run_kruskal(iface::AllocatorKind kind, unsigned nthreads) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 64ull << 20;
+  cfg.nlanes = nthreads;
+  auto alloc = iface::make_allocator(kind, cfg);
+  const RunResult r = run_timed(
+      nthreads, bench_seconds(),
+      [&](unsigned tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        std::uint64_t iters = 0;
+        volatile std::uint64_t sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // The paper's three 512-byte allocations per MST of order 5.
+          void* edges = alloc->alloc(kKruskalBufBytes);
+          void* uf = alloc->alloc(kKruskalBufBytes);
+          void* out = alloc->alloc(kKruskalBufBytes);
+          if (edges == nullptr || uf == nullptr || out == nullptr) break;
+          sink = kruskal_mst(edges, uf, out, 5, iters + tid);
+          alloc->free(out);
+          alloc->free(uf);
+          alloc->free(edges);
+          ++iters;
+        }
+        return iters;
+      });
+  return r.ops / r.seconds;
+}
+
+double run_nqueens(iface::AllocatorKind kind, unsigned nthreads) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 64ull << 20;
+  cfg.nlanes = nthreads;
+  auto alloc = iface::make_allocator(kind, cfg);
+  const RunResult r = run_timed(
+      nthreads, bench_seconds(),
+      [&](unsigned, const std::atomic<bool>& stop) -> std::uint64_t {
+        std::uint64_t iters = 0;
+        volatile std::uint64_t sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          void* board = alloc->alloc(32);  // the paper's 32-byte allocation
+          if (board == nullptr) break;
+          sink = nqueens_solve(board, 8);
+          alloc->free(board);
+          ++iters;
+        }
+        return iters;
+      });
+  return r.ops / r.seconds;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t region = env_u64("POSEIDON_ACK_BYTES", 4ull << 20);
+  print_header("fig8-hpc", "iterations/s");
+  for (const auto kind : all_allocators()) {
+    for (const unsigned t : default_thread_sweep()) {
+      print_point("fig8/ackermann", iface::kind_name(kind), t,
+                  run_ackermann(kind, t, region));
+    }
+  }
+  for (const auto kind : all_allocators()) {
+    for (const unsigned t : default_thread_sweep()) {
+      print_point("fig8/kruskal", iface::kind_name(kind), t,
+                  run_kruskal(kind, t));
+    }
+  }
+  for (const auto kind : all_allocators()) {
+    for (const unsigned t : default_thread_sweep()) {
+      print_point("fig8/nqueens", iface::kind_name(kind), t,
+                  run_nqueens(kind, t));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: YCSB over the FAST-FAIR persistent B+-tree (paper §7.5).
+// Load (insert-only) and Workload A (50/50 read-update, zipfian) are the
+// allocation-heavy workloads the paper selects.  Expected shape: Poseidon
+// mirrors or slightly beats PMDK despite fully segregated metadata;
+// Makalu keeps up to ~16 threads then degrades.
+//
+// Keys default to 200k (paper: 10 M); override with POSEIDON_YCSB_KEYS.
+#include "bench/bench_common.hpp"
+#include "workloads/ycsb.hpp"
+
+using namespace poseidon;
+using namespace poseidon::bench;
+using namespace poseidon::workloads;
+
+int main() {
+  const std::uint64_t nkeys = env_u64("POSEIDON_YCSB_KEYS", 200'000);
+  print_header("fig9-ycsb", "Mops/s");
+  for (const auto kind : all_allocators()) {
+    for (const unsigned t : default_thread_sweep()) {
+      iface::AllocatorConfig cfg;
+      // Tree nodes + 100 B values + churn slack.
+      cfg.capacity = nkeys * 512 + (128ull << 20);
+      cfg.nlanes = t;
+      auto alloc = iface::make_allocator(kind, cfg);
+      YcsbConfig yc;
+      yc.nkeys = nkeys;
+      yc.nthreads = t;
+      yc.seconds = bench_seconds();
+      const YcsbResult r = run_ycsb(*alloc, yc);
+      print_point("fig9/load", iface::kind_name(kind), t, r.load_mops);
+      print_point("fig9/workload-a", iface::kind_name(kind), t, r.a_mops);
+      // Extension beyond the paper: read-heavy Workload B (95/5) shows the
+      // allocator mattering less as updates (and thus allocations) thin out.
+      iface::AllocatorConfig cfg_b = cfg;
+      auto alloc_b = iface::make_allocator(kind, cfg_b);
+      YcsbConfig yb = yc;
+      yb.read_ratio = 0.95;
+      const YcsbResult rb = run_ycsb(*alloc_b, yb);
+      print_point("fig9/workload-b", iface::kind_name(kind), t, rb.a_mops);
+    }
+  }
+  return 0;
+}

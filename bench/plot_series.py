@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Render the figure benches' output as ASCII charts (paper-figure style).
+
+Reads the `<figure> <series> threads=N <value>` lines that
+fig6_microbench / fig7_larson / fig8_hpc / fig9_ycsb / ablation_subheaps
+print, groups them by figure, and draws one thread-sweep chart per figure
+with one column block per series — a quick visual check that the measured
+shapes match the paper's.
+
+    $ for b in build/bench/fig*; do $b; done | tee out.txt
+    $ ./bench/plot_series.py out.txt
+"""
+import re
+import sys
+from collections import defaultdict
+
+LINE = re.compile(
+    r"^(\S+)\s+(\S+)\s+threads=(\d+)\s+([0-9.]+(?:e[+-]?\d+)?)\s*$")
+
+
+def load(path):
+    figures = defaultdict(lambda: defaultdict(dict))
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line)
+            if m:
+                fig, series, threads, value = m.groups()
+                figures[fig][series][int(threads)] = float(value)
+    return figures
+
+
+def fmt(v):
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}k"
+    return f"{v:.2f}"
+
+
+def plot(fig, series, height=12):
+    print(f"\n== {fig}")
+    threads = sorted({t for s in series.values() for t in s})
+    peak = max(v for s in series.values() for v in s.values()) or 1.0
+    names = list(series)
+    for name in names:
+        pts = " ".join(
+            f"t{t}={fmt(series[name][t])}" for t in threads
+            if t in series[name])
+        print(f"   {name:<12} {pts}")
+    # One bar row per series x thread bucket, normalized to the peak.
+    width = 40
+    for name in names:
+        print(f"   {name:<12} ", end="")
+        for t in threads:
+            v = series[name].get(t)
+            if v is None:
+                print(" " + "." * 3, end="")
+                continue
+            bars = max(1, int(v / peak * width / len(threads)))
+            print(" " + "#" * bars, end="")
+        print()
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    figures = load(sys.argv[1])
+    if not figures:
+        sys.exit("no series lines found (expected '<fig> <series> "
+                 "threads=N <value>')")
+    for fig in sorted(figures):
+        plot(fig, figures[fig])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+// A small persistent key-value store on the Poseidon C++ API.
+//
+// Demonstrates the idioms a real application uses: a root object holding a
+// persistent hash directory of NvPtr buckets, transactional allocation for
+// multi-object updates (entry + value allocated atomically), and full
+// recovery of the store across restarts.
+//
+//   $ ./persistent_kv put color teal
+//   $ ./persistent_kv put answer 42
+//   $ ./persistent_kv get color
+//   $ ./persistent_kv del color
+//   $ ./persistent_kv list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/hash.hpp"
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+using core::Heap;
+using core::NvPtr;
+
+namespace {
+
+constexpr unsigned kBuckets = 256;
+constexpr std::size_t kMaxKey = 64;
+
+// Persistent layout: the root points at a Directory; each bucket chains
+// Entry nodes whose value payload is a separate allocation.
+struct Directory {
+  std::uint64_t magic;
+  NvPtr buckets[kBuckets];
+};
+
+struct Entry {
+  NvPtr next;
+  NvPtr value;  // separate allocation (done in the same transaction)
+  std::uint32_t value_len;
+  char key[kMaxKey];
+};
+
+unsigned bucket_of(const std::string& key) {
+  return static_cast<unsigned>(hash_bytes(key.data(), key.size()) % kBuckets);
+}
+
+Directory* directory(Heap& heap) {
+  NvPtr root = heap.root();
+  if (root.is_null()) {
+    root = heap.alloc(sizeof(Directory));
+    auto* dir = static_cast<Directory*>(heap.raw(root));
+    std::memset(dir, 0, sizeof(Directory));
+    dir->magic = 0x6b76;
+    heap.set_root(root);
+    return dir;
+  }
+  return static_cast<Directory*>(heap.raw(root));
+}
+
+bool put(Heap& heap, Directory* dir, const std::string& key,
+         const std::string& value) {
+  if (key.size() >= kMaxKey) return false;
+  // Entry and value allocated in one transaction: if the process dies
+  // between the two, recovery frees both — no orphaned value blocks.
+  const NvPtr pe = heap.tx_alloc(sizeof(Entry), /*is_end=*/false);
+  const NvPtr pv = heap.tx_alloc(value.size() + 1, /*is_end=*/true);
+  if (pe.is_null() || pv.is_null()) return false;
+
+  auto* e = static_cast<Entry*>(heap.raw(pe));
+  std::memcpy(heap.raw(pv), value.c_str(), value.size() + 1);
+  std::snprintf(e->key, kMaxKey, "%s", key.c_str());
+  e->value = pv;
+  e->value_len = static_cast<std::uint32_t>(value.size());
+
+  const unsigned b = bucket_of(key);
+  e->next = dir->buckets[b];
+  dir->buckets[b] = pe;  // publish
+  return true;
+}
+
+Entry* find(Heap& heap, Directory* dir, const std::string& key,
+            Entry** prev_out = nullptr) {
+  Entry* prev = nullptr;
+  for (NvPtr p = dir->buckets[bucket_of(key)]; !p.is_null();) {
+    auto* e = static_cast<Entry*>(heap.raw(p));
+    if (key == e->key) {
+      if (prev_out != nullptr) *prev_out = prev;
+      return e;
+    }
+    prev = e;
+    p = e->next;
+  }
+  return nullptr;
+}
+
+bool del(Heap& heap, Directory* dir, const std::string& key) {
+  const unsigned b = bucket_of(key);
+  NvPtr p = dir->buckets[b];
+  Entry* prev = nullptr;
+  while (!p.is_null()) {
+    auto* e = static_cast<Entry*>(heap.raw(p));
+    if (key == e->key) {
+      if (prev == nullptr) {
+        dir->buckets[b] = e->next;
+      } else {
+        prev->next = e->next;
+      }
+      heap.free(e->value);
+      heap.free(p);
+      return true;
+    }
+    prev = e;
+    p = e->next;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s put <key> <value> | get <key> | del <key> | "
+                 "list | stats\n",
+                 argv[0]);
+    return 2;
+  }
+  auto heap = Heap::open_or_create("/dev/shm/persistent_kv.heap", 32u << 20);
+  Directory* dir = directory(*heap);
+  const std::string cmd = argv[1];
+
+  if (cmd == "put" && argc == 4) {
+    if (!put(*heap, dir, argv[2], argv[3])) {
+      std::fprintf(stderr, "put failed\n");
+      return 1;
+    }
+    std::printf("ok\n");
+  } else if (cmd == "get" && argc == 3) {
+    Entry* e = find(*heap, dir, argv[2]);
+    if (e == nullptr) {
+      std::printf("(not found)\n");
+      return 1;
+    }
+    std::printf("%s\n", static_cast<const char*>(heap->raw(e->value)));
+  } else if (cmd == "del" && argc == 3) {
+    std::printf("%s\n", del(*heap, dir, argv[2]) ? "deleted" : "(not found)");
+  } else if (cmd == "list") {
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      for (NvPtr p = dir->buckets[b]; !p.is_null();) {
+        auto* e = static_cast<Entry*>(heap->raw(p));
+        std::printf("%s = %s\n", e->key,
+                    static_cast<const char*>(heap->raw(e->value)));
+        p = e->next;
+      }
+    }
+  } else if (cmd == "stats") {
+    const auto s = heap->stats();
+    std::printf("live_blocks=%llu free_blocks=%llu allocated_bytes=%llu\n",
+                static_cast<unsigned long long>(s.live_blocks),
+                static_cast<unsigned long long>(s.free_blocks),
+                static_cast<unsigned long long>(s.allocated_bytes));
+  } else {
+    std::fprintf(stderr, "bad command\n");
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Metadata-safety demo (paper §4.3, §4.4):
+//   1. a stray store into the MPK-protected metadata region kills the
+//      offending code with SIGSEGV instead of silently corrupting heap
+//      metadata (shown in a forked child);
+//   2. double frees and invalid frees are detected via the memblock hash
+//      table and rejected;
+//   3. the same heap-overflow attack that corrupts the PMDK-like baseline
+//      leaves Poseidon's metadata untouched.
+//
+// Uses the mprotect protection mode so the demo works on machines without
+// PKU hardware; with PKU present, pass "pkey" as argv[1].
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/heap.hpp"
+#include "mpk/mpk.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+using core::Heap;
+using core::NvPtr;
+
+namespace {
+constexpr const char* kPath = "/dev/shm/safety_demo.heap";
+}
+
+int main(int argc, char** argv) {
+  pmem::Pool::unlink(kPath);
+  core::Options opts;
+  opts.nsubheaps = 1;
+  opts.protect = (argc > 1 && std::string(argv[1]) == "pkey")
+                     ? mpk::ProtectMode::kPkey
+                     : mpk::ProtectMode::kMprotect;
+
+  // 1. Stray write into the metadata region -> fault, not corruption.
+  {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      auto heap = Heap::create(kPath, 8u << 20, opts);
+      auto [meta, len] = heap->metadata_region();
+      static_cast<volatile char*>(meta)[len / 2] = 0x41;  // heap overflow hit
+      _exit(0);  // only reached if protection failed
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    const bool faulted = WIFSIGNALED(status) && WTERMSIG(status) == SIGSEGV;
+    std::printf("stray write into metadata region : %s\n",
+                faulted ? "SIGSEGV (blocked by protection domain)"
+                        : "NOT BLOCKED");
+    if (!faulted) return 1;
+    pmem::Pool::unlink(kPath);
+  }
+
+  auto heap = Heap::create(kPath, 8u << 20, opts);
+  std::printf("protection mode in effect        : %s\n",
+              mpk::mode_name(heap->protect_mode()));
+
+  // 2. API misuse is validated against the memblock hash table.
+  NvPtr a = heap->alloc(128);
+  NvPtr b = heap->alloc(128);
+  heap->free(a);
+  std::printf("double free                      : %s\n",
+              core::to_string(heap->free(a)));
+  NvPtr interior = NvPtr::make(heap->heap_id(), b.subheap(), b.offset() + 32);
+  std::printf("invalid (interior) free          : %s\n",
+              core::to_string(heap->free(interior)));
+  NvPtr alien = NvPtr::make(heap->heap_id() + 1, 0, 0);
+  std::printf("free of foreign heap pointer     : %s\n",
+              core::to_string(heap->free(alien)));
+
+  // 3. Heap overflow across user objects cannot reach metadata: overwrite
+  //    a whole object *and* its neighbourhood, then verify every metadata
+  //    invariant still holds.
+  NvPtr target = heap->alloc(64);
+  std::memset(heap->raw(target), 0xff, 64);  // in-bounds
+  auto* raw = static_cast<char*>(heap->raw(b));
+  std::memset(raw, 0xee, 256);  // overflow b into the following objects
+  std::string why;
+  const bool ok = heap->check_invariants(&why);
+  std::printf("metadata after user-space overflow: %s\n",
+              ok ? "INTACT (fully segregated layout)"
+                 : ("CORRUPT: " + why).c_str());
+
+  heap.reset();
+  pmem::Pool::unlink(kPath);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+#include "alloc_iface/allocator.hpp"
+
+#include <atomic>
+#include <unistd.h>
+
+#include "baselines/makalu_like/makalu_heap.hpp"
+#include "baselines/pmdk_like/pmdk_heap.hpp"
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::iface {
+
+namespace {
+
+std::string default_path(const char* tag) {
+  static std::atomic<unsigned> seq{0};
+  return "/dev/shm/poseidon_bench_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+         ".heap";
+}
+
+class PoseidonAdapter final : public PAllocator {
+ public:
+  PoseidonAdapter(const std::string& path, const AllocatorConfig& cfg) {
+    core::Options opts;
+    opts.nsubheaps = cfg.nlanes;
+    // PerThread spreads N benchmark threads over N sub-heaps even on boxes
+    // with fewer CPUs than threads (see DESIGN.md); on a real manycore the
+    // two policies coincide.
+    opts.policy = core::SubheapPolicy::kPerThread;
+    heap_ = core::Heap::create(path, cfg.capacity, opts);
+    path_ = path;
+  }
+  ~PoseidonAdapter() override {
+    heap_.reset();
+    pmem::Pool::unlink(path_);
+  }
+
+  void* alloc(std::size_t size) override {
+    return heap_->raw(heap_->alloc(size));
+  }
+  bool free(void* p) override {
+    return heap_->free(heap_->from_raw(p)) == core::FreeResult::kOk;
+  }
+  void set_root(void* p) override { heap_->set_root(heap_->from_raw(p)); }
+  void* root() const override { return heap_->raw(heap_->root()); }
+  const char* name() const noexcept override { return "poseidon"; }
+
+ private:
+  std::unique_ptr<core::Heap> heap_;
+  std::string path_;
+};
+
+class PmdkAdapter final : public PAllocator {
+ public:
+  PmdkAdapter(const std::string& path, const AllocatorConfig& cfg)
+      : heap_(baselines::PmdkHeap::create(path, cfg.capacity)), path_(path) {}
+  ~PmdkAdapter() override {
+    heap_.reset();
+    pmem::Pool::unlink(path_);
+  }
+
+  void* alloc(std::size_t size) override { return heap_->alloc(size); }
+  bool free(void* p) override {
+    heap_->free(p);
+    return true;
+  }
+  void set_root(void* p) override { heap_->set_root(p); }
+  void* root() const override { return heap_->root(); }
+  const char* name() const noexcept override { return "pmdk-like"; }
+
+ private:
+  std::unique_ptr<baselines::PmdkHeap> heap_;
+  std::string path_;
+};
+
+class MakaluAdapter final : public PAllocator {
+ public:
+  MakaluAdapter(const std::string& path, const AllocatorConfig& cfg)
+      : heap_(baselines::MakaluHeap::create(path, cfg.capacity)),
+        path_(path) {}
+  ~MakaluAdapter() override {
+    heap_.reset();
+    pmem::Pool::unlink(path_);
+  }
+
+  void* alloc(std::size_t size) override { return heap_->alloc(size); }
+  bool free(void* p) override {
+    heap_->free(p);
+    return true;
+  }
+  void set_root(void* p) override { heap_->set_root(p); }
+  void* root() const override { return heap_->root(); }
+  const char* name() const noexcept override { return "makalu-like"; }
+
+ private:
+  std::unique_ptr<baselines::MakaluHeap> heap_;
+  std::string path_;
+};
+
+}  // namespace
+
+const char* kind_name(AllocatorKind k) noexcept {
+  switch (k) {
+    case AllocatorKind::kPoseidon: return "poseidon";
+    case AllocatorKind::kPmdkLike: return "pmdk-like";
+    case AllocatorKind::kMakaluLike: return "makalu-like";
+  }
+  return "?";
+}
+
+std::unique_ptr<PAllocator> make_allocator(AllocatorKind kind,
+                                           const AllocatorConfig& cfg) {
+  std::string path =
+      cfg.path.empty() ? default_path(kind_name(kind)) : cfg.path;
+  if (cfg.fresh) pmem::Pool::unlink(path);
+  switch (kind) {
+    case AllocatorKind::kPoseidon:
+      return std::make_unique<PoseidonAdapter>(path, cfg);
+    case AllocatorKind::kPmdkLike:
+      return std::make_unique<PmdkAdapter>(path, cfg);
+    case AllocatorKind::kMakaluLike:
+      return std::make_unique<MakaluAdapter>(path, cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace poseidon::iface

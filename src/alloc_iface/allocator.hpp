@@ -1,0 +1,51 @@
+// Uniform allocator facade so benchmarks, the FAST-FAIR B+-tree and the
+// workload drivers run unmodified over Poseidon and both baselines —
+// mirroring how the paper swaps allocators underneath the same benchmark.
+//
+// The facade speaks raw pointers (the lingua franca of the baselines);
+// the Poseidon adapter converts to/from persistent pointers internally.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace poseidon::iface {
+
+class PAllocator {
+ public:
+  virtual ~PAllocator() = default;
+
+  // nullptr on exhaustion.
+  virtual void* alloc(std::size_t size) = 0;
+  // False when the allocator rejected the free (Poseidon's validation);
+  // baselines always report true.
+  virtual bool free(void* p) = 0;
+
+  virtual void set_root(void* p) = 0;
+  virtual void* root() const = 0;
+
+  virtual const char* name() const noexcept = 0;
+};
+
+enum class AllocatorKind { kPoseidon, kPmdkLike, kMakaluLike };
+
+const char* kind_name(AllocatorKind k) noexcept;
+
+struct AllocatorConfig {
+  // User capacity of the heap file.
+  std::uint64_t capacity = 64ull << 20;
+  // Sub-heap / arena parallelism hint (Poseidon: sub-heap count; 0 = auto).
+  unsigned nlanes = 0;
+  // Heap file path; empty derives one under /dev/shm.
+  std::string path;
+  // Remove any existing file first.
+  bool fresh = true;
+};
+
+// Factory: creates the heap file and wraps it.  The file is unlinked when
+// the allocator is destroyed (benchmarks never reuse it).
+std::unique_ptr<PAllocator> make_allocator(AllocatorKind kind,
+                                           const AllocatorConfig& cfg);
+
+}  // namespace poseidon::iface

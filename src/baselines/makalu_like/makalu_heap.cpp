@@ -1,0 +1,388 @@
+#include "baselines/makalu_like/makalu_heap.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bitops.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::baselines {
+
+namespace {
+
+constexpr std::uint64_t kSuperMagic = 0x4d414b414c554b45ull;  // "MAKALUKE"
+constexpr std::uint64_t kNoRoot = ~std::uint64_t{0};
+std::atomic<std::uint64_t> g_epoch{1};
+
+}  // namespace
+
+// Thread-local unit caches, validated against the heap instance epoch so a
+// destroyed-and-recreated heap never sees stale offsets.
+struct MakaluHeap::TlCache {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> lists[kNumClasses];
+};
+
+MakaluHeap::TlCache& MakaluHeap::tl_cache() {
+  thread_local std::unordered_map<const MakaluHeap*, TlCache> caches;
+  TlCache& c = caches[this];
+  if (c.epoch != instance_epoch_) {
+    for (auto& l : c.lists) l.clear();
+    c.epoch = instance_epoch_;
+  }
+  return c;
+}
+
+unsigned MakaluHeap::class_of(std::size_t size) noexcept {
+  // 16-byte granularity classes for payloads up to kSmallThreshold.
+  const std::size_t rounded = (size + 15) & ~std::size_t{15};
+  return static_cast<unsigned>(rounded / 16) - 1;  // 16 -> 0, 400 -> 24
+}
+
+std::uint64_t MakaluHeap::unit_of_class(unsigned ci) noexcept {
+  return (std::uint64_t{ci} + 1) * 16 + sizeof(ObjHeader);
+}
+
+std::unique_ptr<MakaluHeap> MakaluHeap::create(const std::string& path,
+                                               std::uint64_t capacity) {
+  const std::uint64_t nblocks = (capacity + kBlock - 1) / kBlock;
+  const std::uint64_t desc_off = kBlock;
+  const std::uint64_t desc_bytes =
+      align_up(nblocks * sizeof(BlockDesc), kBlock);
+  const std::uint64_t data_off = desc_off + desc_bytes;
+  const std::uint64_t file_size = data_off + nblocks * kBlock;
+
+  pmem::Pool pool = pmem::Pool::create(path, file_size);
+  auto* super = reinterpret_cast<Super*>(pool.data());
+  super->file_size = file_size;
+  super->nblocks = nblocks;
+  super->desc_off = desc_off;
+  super->data_off = data_off;
+  super->root_off = kNoRoot;
+  // Descriptors start all-free (zero) courtesy of the sparse file.
+  super->magic = kSuperMagic;
+  pmem::persist(super, sizeof(Super));
+  return std::unique_ptr<MakaluHeap>(new MakaluHeap(std::move(pool)));
+}
+
+std::unique_ptr<MakaluHeap> MakaluHeap::open(const std::string& path) {
+  pmem::Pool pool = pmem::Pool::open(path);
+  const auto* super = reinterpret_cast<const Super*>(pool.data());
+  if (pool.size() < sizeof(Super) || super->magic != kSuperMagic ||
+      super->file_size != pool.size()) {
+    throw std::runtime_error(path + ": not a makalu-like heap");
+  }
+  return std::unique_ptr<MakaluHeap>(new MakaluHeap(std::move(pool)));
+}
+
+MakaluHeap::MakaluHeap(pmem::Pool pool)
+    : pool_(std::move(pool)),
+      instance_epoch_(g_epoch.fetch_add(1, std::memory_order_relaxed)) {
+  super_ = reinterpret_cast<Super*>(pool_.data());
+  reclaim_.resize(kNumClasses);
+  std::lock_guard<std::mutex> lk(global_mu_);
+  rebuild_extents_locked();
+}
+
+MakaluHeap::~MakaluHeap() = default;
+
+MakaluHeap::BlockDesc* MakaluHeap::desc(std::uint64_t blk) const noexcept {
+  return reinterpret_cast<BlockDesc*>(pool_.data() + super_->desc_off) + blk;
+}
+
+std::byte* MakaluHeap::data_base() const noexcept {
+  return pool_.data() + super_->data_off;
+}
+
+bool MakaluHeap::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= data_base() && b < pool_.data() + super_->file_size;
+}
+
+std::uint64_t MakaluHeap::data_offset_of(const void* p) const noexcept {
+  return static_cast<std::uint64_t>(static_cast<const std::byte*>(p) -
+                                    data_base());
+}
+
+void* MakaluHeap::data_pointer(std::uint64_t off) const noexcept {
+  return data_base() + off;
+}
+
+std::uint64_t MakaluHeap::capacity() const noexcept {
+  return super_->nblocks * kBlock;
+}
+
+void MakaluHeap::rebuild_extents_locked() {
+  extents_.clear();
+  std::uint32_t start = 0, len = 0;
+  for (std::uint64_t b = 0; b <= super_->nblocks; ++b) {
+    const bool is_free = b < super_->nblocks && desc(b)->kind == kBlkFree;
+    if (is_free) {
+      if (len == 0) start = static_cast<std::uint32_t>(b);
+      ++len;
+    } else if (len > 0) {
+      extents_.insert({start, len});
+      len = 0;
+    }
+  }
+}
+
+bool MakaluHeap::refill_locked(unsigned ci, std::vector<std::uint64_t>& tl) {
+  // 1. Reclaim list: blocks other threads returned (paper's redistribution
+  //    mechanism — and its global-lock price).
+  auto& rc = reclaim_[ci];
+  if (!rc.empty()) {
+    const std::size_t n = std::min(rc.size(), kReclaimBatch);
+    tl.insert(tl.end(), rc.end() - static_cast<std::ptrdiff_t>(n), rc.end());
+    rc.resize(rc.size() - n);
+    return true;
+  }
+  // 2. Carve a fresh block into units of this class.
+  Extent e;
+  if (!extents_.take_best_fit(1, &e)) {
+    rebuild_extents_locked();
+    if (!extents_.take_best_fit(1, &e)) return false;
+  }
+  if (e.nchunks > 1) extents_.insert({e.chunk + 1, e.nchunks - 1});
+  BlockDesc* d = desc(e.chunk);
+  d->kind = kBlkSmall;
+  d->unit = static_cast<std::uint32_t>(unit_of_class(ci));
+  pmem::persist(d, sizeof(BlockDesc));
+  const std::uint64_t unit = unit_of_class(ci);
+  const std::uint64_t base_off = std::uint64_t{e.chunk} * kBlock;
+  for (std::uint64_t u = 0; u + unit <= kBlock; u += unit) {
+    auto* hdr = reinterpret_cast<ObjHeader*>(data_base() + base_off + u);
+    hdr->size = 0;
+    hdr->state = 0;
+    hdr->mark = 0;
+    tl.push_back(base_off + u);
+  }
+  pmem::persist(data_base() + base_off, kBlock);
+  return true;
+}
+
+void* MakaluHeap::alloc_small(std::size_t size) {
+  const unsigned ci = class_of(size);
+  auto& tl = tl_cache().lists[ci];
+  if (tl.empty()) {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    if (!refill_locked(ci, tl)) return nullptr;
+  }
+  const std::uint64_t off = tl.back();
+  tl.pop_back();
+  auto* hdr = reinterpret_cast<ObjHeader*>(data_base() + off);
+  hdr->size = size;
+  hdr->state = 1;
+  hdr->mark = 0;
+  pmem::persist(hdr, sizeof(ObjHeader));
+  return data_base() + off + sizeof(ObjHeader);
+}
+
+void* MakaluHeap::alloc_large(std::size_t size) {
+  const std::uint32_t n = static_cast<std::uint32_t>(
+      (size + sizeof(ObjHeader) + kBlock - 1) / kBlock);
+  Extent e;
+  {
+    // Everything >= 400 B funnels through this single lock (paper §7.2).
+    std::lock_guard<std::mutex> lk(global_mu_);
+    if (!extents_.take_best_fit(n, &e)) {
+      rebuild_extents_locked();
+      if (!extents_.take_best_fit(n, &e)) return nullptr;
+    }
+    if (e.nchunks > n) extents_.insert({e.chunk + n, e.nchunks - n});
+  }
+  BlockDesc* d = desc(e.chunk);
+  d->kind = kBlkLargeHead;
+  d->unit = n;
+  pmem::persist(d, sizeof(BlockDesc));
+  for (std::uint32_t i = 1; i < n; ++i) {
+    BlockDesc* dc = desc(e.chunk + i);
+    dc->kind = kBlkLargeCont;
+    dc->unit = 0;
+    pmem::persist(dc, sizeof(BlockDesc));
+  }
+  auto* hdr =
+      reinterpret_cast<ObjHeader*>(data_base() + std::uint64_t{e.chunk} * kBlock);
+  hdr->size = size;
+  hdr->state = 1;
+  hdr->mark = 0;
+  pmem::persist(hdr, sizeof(ObjHeader));
+  return reinterpret_cast<std::byte*>(hdr) + sizeof(ObjHeader);
+}
+
+void* MakaluHeap::alloc(std::size_t size) {
+  if (size == 0) return nullptr;
+  return size < kSmallThreshold ? alloc_small(size) : alloc_large(size);
+}
+
+void MakaluHeap::free(void* p) {
+  if (p == nullptr || !contains(p)) return;
+  auto* hdr = reinterpret_cast<ObjHeader*>(static_cast<std::byte*>(p) -
+                                           sizeof(ObjHeader));
+  const std::uint64_t size = hdr->size;  // trusted in-place metadata
+  hdr->state = 0;
+  pmem::persist(hdr, sizeof(ObjHeader));
+  const std::uint64_t off = data_offset_of(hdr);
+  if (size < kSmallThreshold) {
+    const unsigned ci = class_of(size);
+    auto& tl = tl_cache().lists[ci];
+    tl.push_back(off);
+    if (tl.size() > kLocalMax) {
+      // Local list overflow: hand half back under the global lock — the
+      // reclaim-list contention the paper observes at 256 B.
+      std::lock_guard<std::mutex> lk(global_mu_);
+      auto& rc = reclaim_[ci];
+      const std::size_t half = tl.size() / 2;
+      rc.insert(rc.end(), tl.end() - static_cast<std::ptrdiff_t>(half),
+                tl.end());
+      tl.resize(tl.size() - half);
+    }
+  } else {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>((size + sizeof(ObjHeader) + kBlock - 1) / kBlock);
+    const std::uint32_t blk = static_cast<std::uint32_t>(off / kBlock);
+    for (std::uint32_t i = 0; i < n && blk + i < super_->nblocks; ++i) {
+      BlockDesc* d = desc(blk + i);
+      d->kind = kBlkFree;
+      d->unit = 0;
+      pmem::persist(d, sizeof(BlockDesc));
+    }
+    std::lock_guard<std::mutex> lk(global_mu_);
+    extents_.insert({blk, n});
+  }
+}
+
+std::uint64_t MakaluHeap::object_at(std::uint64_t off) const noexcept {
+  if (off >= super_->nblocks * kBlock) return kNoRoot;
+  std::uint64_t blk = off / kBlock;
+  const BlockDesc* d = desc(blk);
+  switch (d->kind) {
+    case kBlkSmall: {
+      const std::uint64_t unit = d->unit;
+      const std::uint64_t start =
+          blk * kBlock + ((off % kBlock) / unit) * unit;
+      // A candidate past the last whole unit of the block is no object.
+      if (start + unit > (blk + 1) * kBlock) return kNoRoot;
+      return start;
+    }
+    case kBlkLargeCont:
+      while (blk > 0 && desc(blk)->kind == kBlkLargeCont) --blk;
+      if (desc(blk)->kind != kBlkLargeHead) return kNoRoot;
+      return blk * kBlock;
+    case kBlkLargeHead:
+      return blk * kBlock;
+    default:
+      return kNoRoot;
+  }
+}
+
+MakaluHeap::GcStats MakaluHeap::collect() {
+  std::lock_guard<std::mutex> lk(global_mu_);
+  GcStats stats;
+
+  // Mark phase: conservative scan from the root, chasing 8-aligned payload
+  // words that are plausible data-region offsets.
+  std::vector<std::uint64_t> stack;
+  if (super_->root_off != kNoRoot) {
+    const std::uint64_t r = object_at(super_->root_off);
+    if (r != kNoRoot) stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const std::uint64_t obj = stack.back();
+    stack.pop_back();
+    auto* hdr = reinterpret_cast<ObjHeader*>(data_base() + obj);
+    if (hdr->state != 1 || hdr->mark != 0) continue;
+    hdr->mark = 1;
+    ++stats.marked;
+    const auto* words =
+        reinterpret_cast<const std::uint64_t*>(data_base() + obj +
+                                               sizeof(ObjHeader));
+    // Bound the scan by the descriptor-derived object size, not the
+    // in-place header: a corrupted header must not walk off the mapping.
+    const BlockDesc* od = desc(obj / kBlock);
+    const std::uint64_t max_payload =
+        (od->kind == kBlkSmall ? od->unit
+                               : std::uint64_t{od->unit} * kBlock) -
+        sizeof(ObjHeader);
+    const std::uint64_t nwords = std::min(hdr->size, max_payload) / 8;
+    for (std::uint64_t i = 0; i < nwords; ++i) {
+      if (words[i] == 0) continue;  // 0 is the null reference, not offset 0
+      const std::uint64_t cand = object_at(words[i]);
+      if (cand == kNoRoot) continue;
+      const auto* chdr = reinterpret_cast<const ObjHeader*>(data_base() + cand);
+      if (chdr->state == 1 && chdr->mark == 0) stack.push_back(cand);
+    }
+  }
+
+  // Sweep phase: unmarked allocated objects are leaks; reclaim them.
+  // Fully-free small blocks return to the extent pool.
+  for (std::uint64_t b = 0; b < super_->nblocks; ++b) {
+    BlockDesc* d = desc(b);
+    if (d->kind == kBlkSmall) {
+      const std::uint64_t unit = d->unit;
+      bool any_live = false;
+      for (std::uint64_t u = 0; u + unit <= kBlock; u += unit) {
+        auto* hdr = reinterpret_cast<ObjHeader*>(data_base() + b * kBlock + u);
+        if (hdr->state == 1 && hdr->mark == 0) {
+          hdr->state = 0;
+          pmem::persist(hdr, sizeof(ObjHeader));
+          ++stats.swept;
+        }
+        hdr->mark = 0;
+        any_live = any_live || hdr->state == 1;
+      }
+      if (!any_live) {
+        d->kind = kBlkFree;
+        d->unit = 0;
+        pmem::persist(d, sizeof(BlockDesc));
+      }
+    } else if (d->kind == kBlkLargeHead) {
+      auto* hdr = reinterpret_cast<ObjHeader*>(data_base() + b * kBlock);
+      const std::uint32_t n = d->unit;
+      if (hdr->state == 1 && hdr->mark == 0) {
+        hdr->state = 0;
+        pmem::persist(hdr, sizeof(ObjHeader));
+        ++stats.swept;
+        for (std::uint32_t i = 0; i < n && b + i < super_->nblocks; ++i) {
+          BlockDesc* dc = desc(b + i);
+          dc->kind = kBlkFree;
+          dc->unit = 0;
+          pmem::persist(dc, sizeof(BlockDesc));
+        }
+      }
+      hdr->mark = 0;
+    }
+  }
+
+  // DRAM views are stale after a sweep: rebuild extents, drop reclaim
+  // lists (their entries may have been swept into whole-free blocks), and
+  // invalidate every thread-local cache via the epoch.
+  for (auto& rc : reclaim_) rc.clear();
+  rebuild_extents_locked();
+  instance_epoch_ = g_epoch.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+std::uint64_t MakaluHeap::free_bytes_estimate() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t b = 0; b < super_->nblocks; ++b) {
+    if (desc(b)->kind == kBlkFree) n += kBlock;
+  }
+  return n;
+}
+
+void MakaluHeap::set_root(void* p) {
+  super_->root_off = p == nullptr ? kNoRoot : data_offset_of(p);
+  pmem::persist(&super_->root_off, sizeof(std::uint64_t));
+}
+
+void* MakaluHeap::root() const {
+  return super_->root_off == kNoRoot ? nullptr
+                                     : data_base() + super_->root_off;
+}
+
+}  // namespace poseidon::baselines

@@ -1,0 +1,131 @@
+// Behavioural model of Makalu (Bhandari et al., OOPSLA'16) as analysed by
+// the paper (§3, §7.2, §9):
+//   * thread-local free lists serve allocations < 400 B;
+//   * a *global chunk list* under one lock serves everything >= 400 B —
+//     the paper's ">400 B means global lock" scalability cliff;
+//   * a *global reclaim list* redistributes blocks between threads: when a
+//     thread-local list grows past a threshold, half of it is moved to the
+//     reclaim list under the same global lock (the second bottleneck the
+//     paper measures even for 256 B objects);
+//   * no logging: crash consistency comes from offline mark-and-sweep
+//     garbage collection (`collect`) that discovers and fixes persistent
+//     leaks — and, as the paper criticises, silently loses anything
+//     reachable only through a corrupted pointer.
+//
+// The heap is block-structured (4 KiB blocks) with a persistent descriptor
+// per block, BDWGC-style.  Objects carry an in-place 16-byte header.  The
+// conservative GC treats any 8-aligned 64-bit payload word that is a valid
+// data-region *offset* as a reference (pool files may map at different
+// addresses across runs, so offsets play the role Makalu's fixed mapping
+// gives to raw pointers; see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/pmdk_like/avl.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::baselines {
+
+class MakaluHeap {
+ public:
+  static constexpr std::uint64_t kBlock = 4096;
+  static constexpr std::size_t kSmallThreshold = 400;  // as in the paper
+  static constexpr std::size_t kLocalMax = 256;   // TL list overflow point
+  static constexpr std::size_t kReclaimBatch = 32;
+
+  struct ObjHeader {
+    std::uint64_t size;
+    std::uint32_t state;  // 1 = allocated, 0 = free
+    std::uint32_t mark;   // GC mark bit
+  };
+
+  static std::unique_ptr<MakaluHeap> create(const std::string& path,
+                                            std::uint64_t capacity);
+  static std::unique_ptr<MakaluHeap> open(const std::string& path);
+
+  ~MakaluHeap();
+  MakaluHeap(const MakaluHeap&) = delete;
+  MakaluHeap& operator=(const MakaluHeap&) = delete;
+
+  void* alloc(std::size_t size);
+  void free(void* p);
+
+  // Root object for GC reachability (offset-based references).
+  void set_root(void* p);
+  void* root() const;
+
+  // Mark-and-sweep collection from the root: unreachable allocated objects
+  // are reclaimed (Makalu's recovery story).  Quiescent callers only.
+  struct GcStats {
+    std::uint64_t marked = 0;
+    std::uint64_t swept = 0;
+  };
+  GcStats collect();
+
+  bool contains(const void* p) const noexcept;
+  std::uint64_t data_offset_of(const void* p) const noexcept;
+  void* data_pointer(std::uint64_t off) const noexcept;
+  std::uint64_t capacity() const noexcept;
+  std::uint64_t free_bytes_estimate() const;
+
+ private:
+  enum BlockKind : std::uint32_t {
+    kBlkFree = 0,
+    kBlkSmall = 1,      // sliced into fixed units
+    kBlkLargeHead = 2,  // first block of a large object
+    kBlkLargeCont = 3,
+  };
+
+  struct BlockDesc {
+    std::uint32_t kind;
+    std::uint32_t unit;  // unit bytes (kBlkSmall) or nblocks (kBlkLargeHead)
+  };
+
+  struct Super {
+    std::uint64_t magic;
+    std::uint64_t file_size;
+    std::uint64_t nblocks;
+    std::uint64_t desc_off;
+    std::uint64_t data_off;
+    std::uint64_t root_off;  // ~0ull = unset
+  };
+
+  explicit MakaluHeap(pmem::Pool pool);
+
+  static unsigned class_of(std::size_t size) noexcept;
+  static std::uint64_t unit_of_class(unsigned ci) noexcept;
+  static constexpr unsigned kNumClasses = 25;  // 16..400 in 16-byte steps
+
+  BlockDesc* desc(std::uint64_t blk) const noexcept;
+  std::byte* data_base() const noexcept;
+  // Object start offset containing data-offset `off`; ~0ull when `off`
+  // does not fall inside any allocated object.
+  std::uint64_t object_at(std::uint64_t off) const noexcept;
+
+  void* alloc_small(std::size_t size);
+  void* alloc_large(std::size_t size);
+
+  // Refill a TL list from the reclaim list or by carving a block.
+  // Returns false on OOM.  Caller holds global_mu_.
+  bool refill_locked(unsigned ci, std::vector<std::uint64_t>& tl);
+  void rebuild_extents_locked();
+
+  struct TlCache;
+  TlCache& tl_cache();
+
+  pmem::Pool pool_;
+  Super* super_;
+  std::uint64_t instance_epoch_;
+
+  std::mutex global_mu_;  // chunk list + reclaim list (the paper's bottleneck)
+  ExtentAvl extents_;     // free block extents
+  std::vector<std::vector<std::uint64_t>> reclaim_;  // per class: unit offsets
+};
+
+}  // namespace poseidon::baselines

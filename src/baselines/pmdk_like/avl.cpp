@@ -1,0 +1,143 @@
+#include "baselines/pmdk_like/avl.hpp"
+
+#include <algorithm>
+
+namespace poseidon::baselines {
+
+ExtentAvl::~ExtentAvl() { destroy(root_); }
+
+void ExtentAvl::destroy(Node* n) noexcept {
+  if (n == nullptr) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+void ExtentAvl::clear() {
+  destroy(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+ExtentAvl::Node* ExtentAvl::rotate_left(Node* n) noexcept {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  n->height = 1 + std::max(height(n->left), height(n->right));
+  r->height = 1 + std::max(height(r->left), height(r->right));
+  return r;
+}
+
+ExtentAvl::Node* ExtentAvl::rotate_right(Node* n) noexcept {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  n->height = 1 + std::max(height(n->left), height(n->right));
+  l->height = 1 + std::max(height(l->left), height(l->right));
+  return l;
+}
+
+ExtentAvl::Node* ExtentAvl::rebalance(Node* n) noexcept {
+  n->height = 1 + std::max(height(n->left), height(n->right));
+  const int bf = height(n->left) - height(n->right);
+  if (bf > 1) {
+    if (height(n->left->left) < height(n->left->right)) {
+      n->left = rotate_left(n->left);
+    }
+    return rotate_right(n);
+  }
+  if (bf < -1) {
+    if (height(n->right->right) < height(n->right->left)) {
+      n->right = rotate_right(n->right);
+    }
+    return rotate_left(n);
+  }
+  return n;
+}
+
+ExtentAvl::Node* ExtentAvl::insert_node(Node* n, Extent e) {
+  if (n == nullptr) return new Node{e};
+  if (less(e, n->e)) {
+    n->left = insert_node(n->left, e);
+  } else {
+    n->right = insert_node(n->right, e);
+  }
+  return rebalance(n);
+}
+
+void ExtentAvl::insert(Extent e) {
+  root_ = insert_node(root_, e);
+  ++size_;
+}
+
+ExtentAvl::Node* ExtentAvl::min_node(Node* n) noexcept {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+ExtentAvl::Node* ExtentAvl::remove_node(Node* n, const Extent& e,
+                                        bool* removed) {
+  if (n == nullptr) return nullptr;
+  if (less(e, n->e)) {
+    n->left = remove_node(n->left, e, removed);
+  } else if (less(n->e, e)) {
+    n->right = remove_node(n->right, e, removed);
+  } else {
+    *removed = true;
+    if (n->left == nullptr || n->right == nullptr) {
+      Node* child = n->left != nullptr ? n->left : n->right;
+      delete n;
+      return child;
+    }
+    Node* succ = min_node(n->right);
+    n->e = succ->e;
+    bool dummy = false;
+    n->right = remove_node(n->right, succ->e, &dummy);
+  }
+  return rebalance(n);
+}
+
+bool ExtentAvl::remove(Extent e) {
+  bool removed = false;
+  root_ = remove_node(root_, e, &removed);
+  if (removed) --size_;
+  return removed;
+}
+
+bool ExtentAvl::take_best_fit(std::uint32_t n, Extent* out) {
+  // Walk down keeping the best (smallest-keyed) candidate >= n chunks.
+  const Node* best = nullptr;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    if (cur->e.nchunks >= n) {
+      best = cur;
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  if (best == nullptr) return false;
+  *out = best->e;
+  return remove(best->e);
+}
+
+bool ExtentAvl::check_node(const Node* n, int* h) noexcept {
+  if (n == nullptr) {
+    *h = 0;
+    return true;
+  }
+  int lh = 0, rh = 0;
+  if (!check_node(n->left, &lh) || !check_node(n->right, &rh)) return false;
+  if (n->left != nullptr && less(n->e, n->left->e)) return false;
+  if (n->right != nullptr && less(n->right->e, n->e)) return false;
+  if (lh - rh > 1 || rh - lh > 1) return false;
+  *h = 1 + std::max(lh, rh);
+  return n->height == *h;
+}
+
+bool ExtentAvl::check() const {
+  int h = 0;
+  return check_node(root_, &h);
+}
+
+}  // namespace poseidon::baselines

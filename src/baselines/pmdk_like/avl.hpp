@@ -1,0 +1,72 @@
+// AVL tree of free chunk extents, modelling libpmemobj's global DRAM index
+// of free memory chunks (paper §3.1, §3.3).  Keyed by extent length with
+// position as a tiebreak, supporting best-fit search.  The *global lock*
+// protecting this tree is the scalability bottleneck the paper measures
+// for large allocations; the lock lives in the caller (PmdkHeap).
+//
+// Coalescing does not need position queries here: neighbours are resolved
+// from the persistent chunk headers (as in PMDK), which yield the exact
+// extent to remove.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon::baselines {
+
+// A run of `nchunks` consecutive free chunks starting at global chunk
+// index `chunk` (zone-relative addressing is flattened by the caller).
+struct Extent {
+  std::uint32_t chunk = 0;
+  std::uint32_t nchunks = 0;
+};
+
+class ExtentAvl {
+ public:
+  ExtentAvl() = default;
+  ~ExtentAvl();
+  ExtentAvl(const ExtentAvl&) = delete;
+  ExtentAvl& operator=(const ExtentAvl&) = delete;
+
+  void insert(Extent e);
+  // Remove this exact extent; false when absent.
+  bool remove(Extent e);
+  // Smallest extent with nchunks >= n (best fit); removed and returned.
+  bool take_best_fit(std::uint32_t n, Extent* out);
+
+  std::size_t size() const noexcept { return size_; }
+  void clear();
+
+  // Validation helper: true if AVL balance/order invariants hold.
+  bool check() const;
+
+ private:
+  struct Node {
+    Extent e;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+  // Order: (nchunks, chunk).
+  static bool less(const Extent& a, const Extent& b) noexcept {
+    return a.nchunks != b.nchunks ? a.nchunks < b.nchunks : a.chunk < b.chunk;
+  }
+
+  static int height(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->height;
+  }
+  static Node* rotate_left(Node* n) noexcept;
+  static Node* rotate_right(Node* n) noexcept;
+  static Node* rebalance(Node* n) noexcept;
+  static Node* insert_node(Node* n, Extent e);
+  static Node* remove_node(Node* n, const Extent& e, bool* removed);
+  static Node* min_node(Node* n) noexcept;
+  static void destroy(Node* n) noexcept;
+  static bool check_node(const Node* n, int* h) noexcept;
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace poseidon::baselines

@@ -1,0 +1,443 @@
+#include "baselines/pmdk_like/pmdk_heap.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/hash.hpp"
+#include "common/topology.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::baselines {
+
+namespace {
+
+constexpr std::uint64_t kSuperMagic = 0x504d444b4c494b45ull;  // "PMDKLIKE"
+constexpr std::uint64_t kZoneMagic = 0x5a4f4e45484d4147ull;
+
+// Run unit sizes (object + 16-byte in-place header).
+constexpr std::uint64_t kUnits[] = {64,   128,  256,  512,  1024,
+                                    2048, 4096, 8192, 16384};
+constexpr unsigned kNumClasses = sizeof(kUnits) / sizeof(kUnits[0]);
+
+constexpr std::uint64_t kZoneBytes =
+    4096 + PmdkHeap::kChunksPerZone * PmdkHeap::kChunkSize;
+
+}  // namespace
+
+unsigned PmdkHeap::class_of(std::size_t size) noexcept {
+  const std::uint64_t need = size + sizeof(ObjHeader);
+  for (unsigned i = 0; i < kNumClasses; ++i) {
+    if (kUnits[i] >= need) return i;
+  }
+  return kNumClasses;  // not a small size
+}
+
+std::uint64_t PmdkHeap::unit_of_class(unsigned ci) noexcept {
+  return kUnits[ci];
+}
+
+std::unique_ptr<PmdkHeap> PmdkHeap::create(const std::string& path,
+                                           std::uint64_t capacity,
+                                           bool canary) {
+  const std::uint32_t nzones = static_cast<std::uint32_t>(
+      (capacity + kZoneBytes - 1) / kZoneBytes);
+  const std::uint64_t file_size = 4096 + std::uint64_t{nzones} * kZoneBytes;
+  pmem::Pool pool = pmem::Pool::create(path, file_size);
+  auto* super = reinterpret_cast<Super*>(pool.data());
+  super->file_size = file_size;
+  super->nzones = nzones;
+  super->flags = canary ? 1u : 0u;
+  super->root_off = 0;
+  for (std::uint32_t z = 0; z < nzones; ++z) {
+    auto* zh = reinterpret_cast<ZoneHdr*>(pool.data() + 4096 + z * kZoneBytes);
+    std::memset(zh, 0, sizeof(ZoneHdr));
+    zh->magic = kZoneMagic;
+    zh->zone_index = z;
+    pmem::persist(zh, sizeof(ZoneHdr));
+  }
+  super->magic = kSuperMagic;
+  pmem::persist(super, sizeof(Super));
+  return std::unique_ptr<PmdkHeap>(new PmdkHeap(std::move(pool)));
+}
+
+std::unique_ptr<PmdkHeap> PmdkHeap::open(const std::string& path) {
+  pmem::Pool pool = pmem::Pool::open(path);
+  const auto* super = reinterpret_cast<const Super*>(pool.data());
+  if (pool.size() < sizeof(Super) || super->magic != kSuperMagic ||
+      super->file_size != pool.size()) {
+    throw std::runtime_error(path + ": not a pmdk-like heap");
+  }
+  return std::unique_ptr<PmdkHeap>(new PmdkHeap(std::move(pool)));
+}
+
+PmdkHeap::PmdkHeap(pmem::Pool pool) : pool_(std::move(pool)) {
+  super_ = reinterpret_cast<Super*>(pool_.data());
+  nchunks_total_ = super_->nzones * kChunksPerZone;
+  for (unsigned i = 0; i < kNumArenas; ++i) {
+    auto arena = std::make_unique<Arena>();
+    arena->buckets.resize(kNumClasses);
+    arenas_.push_back(std::move(arena));
+  }
+  action_log_.reserve(kActionLogCap);
+  // DRAM caches (AVL of free chunks) are rebuilt from NVMM, as PMDK does.
+  std::lock_guard<std::mutex> lk(avl_mu_);
+  rebuild_avl_locked();
+}
+
+PmdkHeap::~PmdkHeap() = default;
+
+std::byte* PmdkHeap::zone_base(std::uint32_t z) const noexcept {
+  return pool_.data() + 4096 + std::uint64_t{z} * kZoneBytes;
+}
+
+std::byte* PmdkHeap::chunk_base(std::uint32_t c) const noexcept {
+  return zone_base(c / kChunksPerZone) + 4096 +
+         std::uint64_t{c % kChunksPerZone} * kChunkSize;
+}
+
+PmdkHeap::ChunkHdr* PmdkHeap::chunk_hdr(std::uint32_t c) const noexcept {
+  auto* zh = reinterpret_cast<ZoneHdr*>(zone_base(c / kChunksPerZone));
+  return &zh->chunks[c % kChunksPerZone];
+}
+
+std::uint32_t PmdkHeap::chunk_of(const void* p) const noexcept {
+  const auto rel = static_cast<std::uint64_t>(
+      static_cast<const std::byte*>(p) - (pool_.data() + 4096));
+  const std::uint32_t z = static_cast<std::uint32_t>(rel / kZoneBytes);
+  const std::uint64_t in_zone = rel % kZoneBytes - 4096;
+  return z * kChunksPerZone +
+         static_cast<std::uint32_t>(in_zone / kChunkSize);
+}
+
+std::uint64_t* PmdkHeap::run_bitmap(std::uint32_t c) const noexcept {
+  // Allocation bitmap at the *start of the chunk* — the deterministic
+  // position the paper points out as directly corruptible.
+  return reinterpret_cast<std::uint64_t*>(chunk_base(c));
+}
+
+std::byte* PmdkHeap::run_data(std::uint32_t c) const noexcept {
+  return chunk_base(c) + kRunBitmapArea;
+}
+
+std::uint32_t PmdkHeap::run_nunits(std::uint64_t unit) const noexcept {
+  return static_cast<std::uint32_t>((kChunkSize - kRunBitmapArea) / unit);
+}
+
+bool PmdkHeap::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= pool_.data() + 4096 && b < pool_.data() + super_->file_size;
+}
+
+std::uint64_t PmdkHeap::capacity() const noexcept {
+  return std::uint64_t{nchunks_total_} * kChunkSize;
+}
+
+void PmdkHeap::redo_publish(Lane& lane, std::uint64_t a,
+                            std::uint64_t b) noexcept {
+  lane.words[0] = a;
+  lane.words[1] = b;
+  lane.words[2] = a ^ b ^ 1;  // "checksummed" redo entry
+  pmem::persist(lane.words, 3 * sizeof(std::uint64_t));
+}
+
+void PmdkHeap::redo_clear(Lane& lane) noexcept {
+  lane.words[2] = 0;
+  pmem::persist(&lane.words[2], sizeof(std::uint64_t));
+}
+
+bool PmdkHeap::canary_enabled() const noexcept {
+  return (super_->flags & 1u) != 0;
+}
+
+std::uint64_t PmdkHeap::canary_of(const ObjHeader* hdr) const noexcept {
+  // Covers the header's position and its size field, so an overwrite of
+  // either is detected at free time.  56 bits; the low status byte holds
+  // the allocation state.
+  const auto off = static_cast<std::uint64_t>(
+      reinterpret_cast<const std::byte*>(hdr) - pool_.data());
+  return poseidon::mix64(off ^ (hdr->size * 0x9e3779b97f4a7c15ull)) >> 8;
+}
+
+void PmdkHeap::write_header(ObjHeader* hdr, std::uint64_t size) noexcept {
+  hdr->size = size;
+  hdr->status = canary_enabled() ? (canary_of(hdr) << 8) | 1u : 1u;
+  pmem::persist(hdr, sizeof(ObjHeader));
+}
+
+bool PmdkHeap::header_intact(const ObjHeader* hdr) const noexcept {
+  if (!canary_enabled()) return true;
+  return (hdr->status >> 8) == canary_of(hdr);
+}
+
+void* PmdkHeap::alloc(std::size_t size) {
+  if (size == 0) return nullptr;
+  if (size + sizeof(ObjHeader) <= kMaxSmall + sizeof(ObjHeader) &&
+      class_of(size) < kNumClasses) {
+    return alloc_small(size);
+  }
+  return alloc_large(size);
+}
+
+int PmdkHeap::claim_unit(std::uint32_t c) {
+  const ChunkHdr* h = chunk_hdr(c);
+  const std::uint32_t nunits = run_nunits(h->run_unit);
+  std::uint64_t* bm = run_bitmap(c);
+  const std::uint32_t nwords = (nunits + 63) / 64;
+  for (std::uint32_t w = 0; w < nwords; ++w) {
+    std::atomic_ref<std::uint64_t> word(bm[w]);
+    std::uint64_t cur = word.load(std::memory_order_relaxed);
+    while (~cur != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_one(cur));
+      const std::uint32_t idx = w * 64 + bit;
+      if (idx >= nunits) break;
+      if (word.compare_exchange_weak(cur, cur | (1ull << bit),
+                                     std::memory_order_acq_rel)) {
+        pmem::persist(&bm[w], sizeof(std::uint64_t));
+        return static_cast<int>(idx);
+      }
+    }
+  }
+  return -1;
+}
+
+void* PmdkHeap::alloc_small(std::size_t size) {
+  const unsigned ci = class_of(size);
+  const std::uint64_t unit = unit_of_class(ci);
+  Arena& arena = *arenas_[thread_ordinal() % kNumArenas];
+  std::lock_guard<std::mutex> lk(arena.mu);
+  Bucket& bucket = arena.buckets[ci];
+
+  for (int round = 0; round < 3; ++round) {
+    while (!bucket.runs.empty()) {
+      const std::uint32_t c = bucket.runs.back();
+      const int idx = claim_unit(c);
+      if (idx < 0) {
+        bucket.runs.pop_back();  // exhausted; rediscovered only by rebuild
+        continue;
+      }
+      std::byte* obj = run_data(c) + static_cast<std::uint64_t>(idx) * unit;
+      redo_publish(arena.lane, c, static_cast<std::uint64_t>(idx));
+      auto* hdr = reinterpret_cast<ObjHeader*>(obj);
+      write_header(hdr, unit);
+      redo_clear(arena.lane);
+      return obj + sizeof(ObjHeader);
+    }
+    if (round == 0) {
+      // Bucket dry: apply batched frees, then the sequential pool rescan
+      // the paper identifies as the rebuild bottleneck (§3.3).
+      {
+        std::lock_guard<std::mutex> alk(action_mu_);
+        flush_action_log_locked();
+      }
+      rebuild_bucket(ci, bucket);
+    } else if (round == 1) {
+      // Still nothing: carve a fresh run from the global chunk tree.
+      Extent e;
+      {
+        std::lock_guard<std::mutex> tlk(avl_mu_);
+        if (!avl_.take_best_fit(1, &e)) {
+          rebuild_avl_locked();
+          if (!avl_.take_best_fit(1, &e)) return nullptr;
+        }
+        if (e.nchunks > 1) avl_.insert({e.chunk + 1, e.nchunks - 1});
+      }
+      ChunkHdr* h = chunk_hdr(e.chunk);
+      h->type = kChunkRun;
+      h->size_idx = 1;
+      h->run_unit = static_cast<std::uint32_t>(unit);
+      pmem::persist(h, sizeof(ChunkHdr));
+      std::memset(run_bitmap(e.chunk), 0, kRunBitmapArea);
+      pmem::persist(run_bitmap(e.chunk), kRunBitmapArea);
+      bucket.runs.push_back(e.chunk);
+    }
+  }
+  return nullptr;
+}
+
+void* PmdkHeap::alloc_large(std::size_t size) {
+  const std::uint32_t n = static_cast<std::uint32_t>(
+      (size + sizeof(ObjHeader) + kChunkSize - 1) / kChunkSize);
+  Extent e;
+  {
+    // The single global AVL lock: the paper's large-allocation bottleneck.
+    std::lock_guard<std::mutex> lk(avl_mu_);
+    if (!avl_.take_best_fit(n, &e)) {
+      rebuild_avl_locked();
+      if (!avl_.take_best_fit(n, &e)) return nullptr;
+    }
+    if (e.nchunks > n) avl_.insert({e.chunk + n, e.nchunks - n});
+  }
+  {
+    std::lock_guard<std::mutex> lk(avl_mu_);
+    redo_publish(large_lane_, e.chunk, n);
+  }
+  ChunkHdr* h = chunk_hdr(e.chunk);
+  h->type = kChunkUsed;
+  h->size_idx = n;
+  h->run_unit = 0;
+  pmem::persist(h, sizeof(ChunkHdr));
+  for (std::uint32_t i = 1; i < n; ++i) {
+    ChunkHdr* ch = chunk_hdr(e.chunk + i);
+    ch->type = kChunkCont;
+    ch->size_idx = 0;
+    pmem::persist(ch, sizeof(ChunkHdr));
+  }
+  std::byte* obj = chunk_base(e.chunk);
+  auto* hdr = reinterpret_cast<ObjHeader*>(obj);
+  write_header(hdr, size);
+  {
+    std::lock_guard<std::mutex> lk(avl_mu_);
+    redo_clear(large_lane_);
+  }
+  return obj + sizeof(ObjHeader);
+}
+
+void PmdkHeap::free(void* p) {
+  if (p == nullptr || !contains(p)) return;
+  auto* obj = static_cast<std::byte*>(p) - sizeof(ObjHeader);
+  auto* hdr = reinterpret_cast<ObjHeader*>(obj);
+  if (!header_intact(hdr)) {
+    // Canary mitigation (paper §8): the header was overwritten; skip the
+    // free so the corruption does not propagate into the bitmaps or the
+    // chunk tree.  The object leaks — the paper is explicit that the
+    // mitigation prevents propagation, not leaks.
+    canary_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // *The* vulnerability (canary off): the size is read from the in-place
+  // header with no validation, exactly as the paper's Fig. 3 exploits
+  // assume.
+  if (hdr->size + sizeof(ObjHeader) <= kMaxSmall + sizeof(ObjHeader) &&
+      chunk_hdr(chunk_of(obj))->type == kChunkRun) {
+    free_small(obj, hdr);
+  } else {
+    free_large(obj, hdr);
+  }
+}
+
+void PmdkHeap::free_small(std::byte* obj, ObjHeader* hdr) {
+  const std::uint32_t c = chunk_of(obj);
+  const ChunkHdr* ch = chunk_hdr(c);
+  const std::uint64_t unit = ch->run_unit;
+  const std::uint32_t unit_idx =
+      static_cast<std::uint32_t>((obj - run_data(c)) / unit);
+  // Freed size derives from the (possibly corrupted) header: a larger size
+  // clears extra bitmap bits -> overlapping allocations later.
+  const std::uint32_t nbits =
+      static_cast<std::uint32_t>((hdr->size + unit - 1) / unit);
+  hdr->status &= ~std::uint64_t{0xff};
+  pmem::persist(hdr, sizeof(ObjHeader));
+
+  Arena& arena = *arenas_[thread_ordinal() % kNumArenas];
+  redo_publish(arena.lane, c, unit_idx);
+  {
+    std::lock_guard<std::mutex> lk(action_mu_);  // global action-log lock
+    action_log_.push_back({c, unit_idx, nbits});
+    if (action_log_.size() >= kActionLogCap) flush_action_log_locked();
+  }
+  redo_clear(arena.lane);
+}
+
+void PmdkHeap::flush_action_log_locked() {
+  for (const PendingFree& pf : action_log_) {
+    const ChunkHdr* ch = chunk_hdr(pf.chunk);
+    if (ch->type != kChunkRun) continue;
+    const std::uint32_t nunits = run_nunits(ch->run_unit);
+    std::uint64_t* bm = run_bitmap(pf.chunk);
+    for (std::uint32_t i = 0; i < pf.nbits; ++i) {
+      const std::uint32_t idx = pf.unit_idx + i;
+      if (idx >= nunits) break;
+      std::atomic_ref<std::uint64_t> word(bm[idx / 64]);
+      word.fetch_and(~(1ull << (idx % 64)), std::memory_order_acq_rel);
+      pmem::persist(&bm[idx / 64], sizeof(std::uint64_t));
+    }
+  }
+  action_log_.clear();
+}
+
+void PmdkHeap::free_large(std::byte* obj, ObjHeader* hdr) {
+  const std::uint32_t c = chunk_of(obj);
+  // Chunks released = f(corrupted header size): a smaller size strands the
+  // tail chunks as kChunkCont forever -> the paper's permanent leak.
+  const std::uint32_t n = static_cast<std::uint32_t>(
+      (hdr->size + sizeof(ObjHeader) + kChunkSize - 1) / kChunkSize);
+  hdr->status &= ~std::uint64_t{0xff};
+  pmem::persist(hdr, sizeof(ObjHeader));
+  for (std::uint32_t i = 0; i < n && c + i < nchunks_total_; ++i) {
+    ChunkHdr* ch = chunk_hdr(c + i);
+    ch->type = kChunkFree;
+    ch->size_idx = 0;
+    pmem::persist(ch, sizeof(ChunkHdr));
+  }
+  std::lock_guard<std::mutex> lk(avl_mu_);
+  redo_publish(large_lane_, c, n);
+  avl_.insert({c, n});
+  redo_clear(large_lane_);
+}
+
+void PmdkHeap::rebuild_bucket(unsigned ci, Bucket& bucket) {
+  // Sequential, whole-pool rescan under one global lock (paper §3.3):
+  // every thread rebuilding any arena serializes here.
+  std::lock_guard<std::mutex> lk(rebuild_mu_);
+  bucket.runs.clear();  // rebuilt from scratch; avoids duplicates
+  const std::uint64_t unit = unit_of_class(ci);
+  for (std::uint32_t c = 0; c < nchunks_total_; ++c) {
+    const ChunkHdr* h = chunk_hdr(c);
+    if (h->type != kChunkRun || h->run_unit != unit) continue;
+    const std::uint32_t nunits = run_nunits(unit);
+    const std::uint64_t* bm = run_bitmap(c);
+    bool has_free = false;
+    for (std::uint32_t w = 0; w < (nunits + 63) / 64 && !has_free; ++w) {
+      std::uint64_t mask = ~bm[w];
+      if (w == nunits / 64 && nunits % 64 != 0) {
+        mask &= (1ull << (nunits % 64)) - 1;
+      }
+      has_free = mask != 0;
+    }
+    if (has_free) bucket.runs.push_back(c);
+  }
+}
+
+void PmdkHeap::rebuild_avl_locked() {
+  avl_.clear();
+  std::uint32_t start = 0;
+  std::uint32_t len = 0;
+  for (std::uint32_t c = 0; c <= nchunks_total_; ++c) {
+    const bool free_chunk =
+        c < nchunks_total_ && chunk_hdr(c)->type == kChunkFree;
+    const bool zone_break = c % kChunksPerZone == 0;
+    if (free_chunk && len > 0 && !zone_break) {
+      ++len;
+    } else {
+      if (len > 0) avl_.insert({start, len});
+      len = free_chunk ? 1 : 0;
+      start = c;
+    }
+  }
+}
+
+std::uint64_t PmdkHeap::count_free_chunks() const {
+  std::uint64_t n = 0;
+  for (std::uint32_t c = 0; c < nchunks_total_; ++c) {
+    if (chunk_hdr(c)->type == kChunkFree) ++n;
+  }
+  return n;
+}
+
+void PmdkHeap::set_root(void* p) {
+  super_->root_off =
+      p == nullptr
+          ? 0
+          : static_cast<std::uint64_t>(static_cast<std::byte*>(p) -
+                                       pool_.data());
+  pmem::persist(&super_->root_off, sizeof(std::uint64_t));
+}
+
+void* PmdkHeap::root() const {
+  return super_->root_off == 0 ? nullptr : pool_.data() + super_->root_off;
+}
+
+}  // namespace poseidon::baselines

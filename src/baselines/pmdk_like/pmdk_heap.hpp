@@ -1,0 +1,187 @@
+// Behavioural model of Intel PMDK's libpmemobj allocator (paper §3).
+//
+// Reproduces the design features the paper analyses — and blames:
+//   * in-place metadata: a 16-byte object header (size, status) directly
+//     precedes every allocation, so a heap overflow corrupts it and `free`
+//     *trusts* the corrupted size (the Fig. 3 exploits);
+//   * allocation bitmaps at a deterministic position (start of each run
+//     chunk) in plain read-writable NVMM;
+//   * DRAM caches: 12 arenas with per-size-class run buckets, a global
+//     AVL tree of free chunk extents under a single lock (large-allocation
+//     bottleneck), and a global *action log* batching frees;
+//   * free-list rebuild: frees only clear bitmap bits; when an arena's
+//     bucket runs dry the whole pool is rescanned sequentially under a
+//     global rebuild lock (paper §3.3).
+//
+// The model covers allocation/deallocation behaviour and the metadata
+// layout; PMDK's full redo/undo transactional machinery is out of scope
+// (the paper's experiments never crash the baselines).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/pmdk_like/avl.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::baselines {
+
+class PmdkHeap {
+ public:
+  static constexpr std::uint64_t kChunkSize = 256 * 1024;
+  static constexpr unsigned kChunksPerZone = 64;
+  static constexpr std::uint64_t kRunBitmapArea = 4096;  // first page of a run
+  static constexpr unsigned kNumArenas = 12;             // as in libpmemobj
+  static constexpr std::uint64_t kMaxSmall = 16 * 1024;  // run-served sizes
+  static constexpr unsigned kActionLogCap = 64;          // batched frees
+
+  // In-place object header: the vulnerable 16 bytes before each object.
+  // With the canary mitigation (paper §8), the upper 56 bits of `status`
+  // carry a checksum over (offset, size): a corrupted header fails the
+  // check and the free is skipped rather than propagated into the
+  // allocation bitmaps / chunk tree.
+  struct ObjHeader {
+    std::uint64_t size;
+    std::uint64_t status;  // low byte: 1 = allocated, 0 = free
+  };
+
+  // `canary` enables the in-place-header checksum mitigation the paper
+  // suggests for PMDK (§8); persisted in the superblock flags.
+  static std::unique_ptr<PmdkHeap> create(const std::string& path,
+                                          std::uint64_t capacity,
+                                          bool canary = false);
+  static std::unique_ptr<PmdkHeap> open(const std::string& path);
+
+  bool canary_enabled() const noexcept;
+  // Frees skipped because the header failed its canary check.
+  std::uint64_t canary_rejected_frees() const noexcept {
+    return canary_rejects_.load(std::memory_order_relaxed);
+  }
+
+  ~PmdkHeap();
+  PmdkHeap(const PmdkHeap&) = delete;
+  PmdkHeap& operator=(const PmdkHeap&) = delete;
+
+  // malloc/free-like API returning raw pointers (in-place header design).
+  void* alloc(std::size_t size);
+  void free(void* p);
+
+  void set_root(void* p);
+  void* root() const;
+
+  std::uint64_t capacity() const noexcept;
+  bool contains(const void* p) const noexcept;
+
+  // Test support: count free units/chunks by scanning NVMM metadata.
+  std::uint64_t count_free_chunks() const;
+
+ private:
+  enum ChunkType : std::uint32_t {
+    kChunkFree = 0,
+    kChunkUsed = 1,   // head of a large extent
+    kChunkCont = 2,   // continuation of a large extent
+    kChunkRun = 3,    // sliced into small units
+  };
+
+  struct ChunkHdr {
+    std::uint32_t type;
+    std::uint32_t size_idx;   // extent length in chunks (head only)
+    std::uint32_t run_unit;   // unit size for runs
+    std::uint32_t pad;
+  };
+
+  struct ZoneHdr {
+    std::uint64_t magic;
+    std::uint32_t zone_index;
+    std::uint32_t pad;
+    ChunkHdr chunks[kChunksPerZone];
+  };
+
+  struct Super {
+    std::uint64_t magic;
+    std::uint64_t file_size;
+    std::uint32_t nzones;
+    std::uint32_t flags;  // bit 0: canary mitigation enabled
+    std::uint64_t root_off;  // 0 = unset
+  };
+
+  struct PendingFree {
+    std::uint32_t chunk;
+    std::uint32_t unit_idx;
+    std::uint32_t nbits;
+  };
+
+  struct Bucket {
+    std::vector<std::uint32_t> runs;  // chunk ids that may have free units
+  };
+
+  // Per-arena redo lane, modelling libpmemobj's lane redo logs: every
+  // allocation/free publishes its metadata updates through one (entry
+  // persist + apply + clear persist), which is a real and measurable part
+  // of PMDK's per-operation cost.
+  struct Lane {
+    alignas(64) std::uint64_t words[8];
+  };
+
+  struct Arena {
+    std::mutex mu;
+    std::vector<Bucket> buckets;
+    Lane lane;
+  };
+
+  explicit PmdkHeap(pmem::Pool pool);
+
+  static unsigned class_of(std::size_t size) noexcept;  // index into kUnits
+  static std::uint64_t unit_of_class(unsigned ci) noexcept;
+
+  std::byte* zone_base(std::uint32_t z) const noexcept;
+  std::byte* chunk_base(std::uint32_t c) const noexcept;
+  ChunkHdr* chunk_hdr(std::uint32_t c) const noexcept;
+  std::uint32_t chunk_of(const void* p) const noexcept;
+  std::uint64_t* run_bitmap(std::uint32_t c) const noexcept;
+  std::byte* run_data(std::uint32_t c) const noexcept;
+  std::uint32_t run_nunits(std::uint64_t unit) const noexcept;
+
+  void* alloc_small(std::size_t size);
+  void* alloc_large(std::size_t size);
+
+  // Redo-lane barriers (see Lane above).
+  void redo_publish(Lane& lane, std::uint64_t a, std::uint64_t b) noexcept;
+  void redo_clear(Lane& lane) noexcept;
+
+  // Canary helpers: checksum over the header's stable fields.
+  std::uint64_t canary_of(const ObjHeader* hdr) const noexcept;
+  void write_header(ObjHeader* hdr, std::uint64_t size) noexcept;
+  bool header_intact(const ObjHeader* hdr) const noexcept;
+  void free_small(std::byte* obj, ObjHeader* hdr);
+  void free_large(std::byte* obj, ObjHeader* hdr);
+
+  // Try to claim a clear bitmap bit in run `c`; -1 when full.
+  int claim_unit(std::uint32_t c);
+  void flush_action_log_locked();  // caller holds action_mu_
+  // Sequential pool rescan refilling `bucket` with runs of class `ci`
+  // (the paper's scalability killer).
+  void rebuild_bucket(unsigned ci, Bucket& bucket);
+  // Rebuild the AVL from chunk headers, coalescing adjacent free chunks.
+  void rebuild_avl_locked();  // caller holds avl_mu_
+
+  pmem::Pool pool_;
+  Super* super_;
+  std::uint32_t nchunks_total_;
+
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::mutex avl_mu_;
+  ExtentAvl avl_;
+  std::mutex action_mu_;
+  std::vector<PendingFree> action_log_;
+  std::mutex rebuild_mu_;
+  Lane large_lane_;  // guarded by avl_mu_
+  std::atomic<std::uint64_t> canary_rejects_{0};
+};
+
+}  // namespace poseidon::baselines

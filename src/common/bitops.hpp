@@ -1,0 +1,38 @@
+// Power-of-two and bit manipulation helpers used by the buddy allocator
+// and the multi-level hash table.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon {
+
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Floor of log2; undefined for v == 0 (asserted by callers).
+constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+// Ceiling of log2; log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t v) noexcept {
+  return v <= 1 ? 0u : log2_floor(v - 1) + 1;
+}
+
+// Smallest power of two >= v (v must be <= 2^63).
+constexpr std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  return v <= 1 ? 1 : (std::uint64_t{1} << log2_ceil(v));
+}
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) noexcept {
+  return (v + a - 1) & ~(a - 1);
+}
+
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t a) noexcept {
+  return v & ~(a - 1);
+}
+
+}  // namespace poseidon

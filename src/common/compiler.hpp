@@ -1,0 +1,24 @@
+// Small compiler/platform helpers shared across the project.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#define POSEIDON_LIKELY(x) __builtin_expect(!!(x), 1)
+#define POSEIDON_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Compiler-only barrier: forbids reordering of memory accesses across it.
+inline void compiler_barrier() noexcept { asm volatile("" ::: "memory"); }
+
+// Pause hint for spin loops.
+inline void cpu_relax() noexcept { __builtin_ia32_pause(); }
+
+inline std::uintptr_t cache_line_of(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) & ~(kCacheLineSize - 1);
+}
+
+}  // namespace poseidon

@@ -1,0 +1,26 @@
+// 64-bit hash mixing (finalizer of splitmix64 / MurmurHash3 fmix64).
+// Used to index memblock records by block offset.
+#pragma once
+
+#include <cstdint>
+
+namespace poseidon {
+
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Hash a byte string (FNV-1a; used only off the hot path).
+constexpr std::uint64_t hash_bytes(const char* data, std::uint64_t len) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,70 @@
+#include "common/numa.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace poseidon {
+
+namespace {
+
+// Parse "0-3,8" style sysfs masks; returns the highest id + 1.
+unsigned parse_max_plus_one(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 1;
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return 1;
+  unsigned max_id = 0;
+  for (const char* p = buf; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (v > max_id) max_id = static_cast<unsigned>(v);
+    p = end;
+    if (*p == '-' || *p == ',') ++p;
+  }
+  return max_id + 1;
+}
+
+}  // namespace
+
+unsigned numa_node_count() noexcept {
+  static const unsigned count =
+      parse_max_plus_one("/sys/devices/system/node/online");
+  return count == 0 ? 1 : count;
+}
+
+unsigned numa_node_of_cpu(unsigned cpu) noexcept {
+  if (numa_node_count() == 1) return 0;
+  // The cpu's node appears as a nodeN symlink in its sysfs directory.
+  for (unsigned node = 0; node < numa_node_count(); ++node) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%u/node%u", cpu, node);
+    if (::access(path, F_OK) == 0) return node;
+  }
+  return 0;
+}
+
+bool numa_bind_region(void* addr, std::size_t len, unsigned node) noexcept {
+  if (numa_node_count() <= 1) return true;  // nothing to place
+#ifdef __NR_mbind
+  constexpr int kMpolPreferred = 1;  // MPOL_PREFERRED
+  unsigned long nodemask = 1ul << node;
+  const long rc = ::syscall(__NR_mbind, addr, len, kMpolPreferred,
+                            &nodemask, sizeof(nodemask) * 8 + 1, 0);
+  return rc == 0;
+#else
+  (void)addr;
+  (void)len;
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace poseidon

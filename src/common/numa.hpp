@@ -1,0 +1,27 @@
+// Minimal NUMA topology + memory placement (paper §4.1: a sub-heap is
+// created on the NUMA domain of the CPU that first allocates from it, so
+// NVMM accesses stay local and every per-node memory controller is used).
+//
+// Implemented against sysfs + the raw mbind syscall so there is no
+// libnuma dependency; on single-node machines (and machines without
+// NUMA support) everything degrades to inexpensive no-ops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon {
+
+// Number of online NUMA nodes (>= 1; 1 when undeterminable).
+unsigned numa_node_count() noexcept;
+
+// NUMA node owning `cpu`; 0 when undeterminable.
+unsigned numa_node_of_cpu(unsigned cpu) noexcept;
+
+// Best-effort: prefer placing pages of [addr, addr+len) on `node`.
+// Returns false when the kernel refuses (never fatal — placement is a
+// performance hint, not a correctness requirement).  No-op on
+// single-node systems.
+bool numa_bind_region(void* addr, std::size_t len, unsigned node) noexcept;
+
+}  // namespace poseidon

@@ -1,0 +1,27 @@
+#include "common/topology.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace poseidon {
+
+unsigned cpu_count() noexcept {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 1u;
+}
+
+unsigned current_cpu() noexcept {
+  const int cpu = sched_getcpu();
+  return cpu >= 0 ? static_cast<unsigned>(cpu) : 0u;
+}
+
+unsigned thread_ordinal() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace poseidon

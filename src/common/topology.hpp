@@ -1,0 +1,19 @@
+// CPU topology queries used for per-CPU sub-heap placement.
+#pragma once
+
+#include <cstdint>
+
+namespace poseidon {
+
+// Number of online CPUs (>= 1).
+unsigned cpu_count() noexcept;
+
+// CPU the calling thread is currently running on; 0 if undeterminable.
+unsigned current_cpu() noexcept;
+
+// Monotonically increasing id assigned to each thread on first use.
+// Used by the PerThread sub-heap policy to emulate a manycore machine
+// on boxes with fewer CPUs than benchmark threads.
+unsigned thread_ordinal() noexcept;
+
+}  // namespace poseidon

@@ -1,0 +1,81 @@
+#include "core/c_api.h"
+
+#include <exception>
+#include <memory>
+
+#include "core/heap.hpp"
+#include "core/registry.hpp"
+
+using poseidon::core::Heap;
+using poseidon::core::NvPtr;
+
+// The opaque handle owns the C++ heap.
+struct poseidon_heap {
+  std::unique_ptr<Heap> impl;
+};
+
+namespace {
+
+NvPtr to_cpp(nvmptr_t p) noexcept { return NvPtr{p.heap_id, p.packed}; }
+nvmptr_t to_c(NvPtr p) noexcept { return nvmptr_t{p.heap_id, p.packed}; }
+
+}  // namespace
+
+extern "C" {
+
+heap_t *poseidon_init(const char *heap_path, size_t heap_size) {
+  try {
+    auto h = Heap::open_or_create(heap_path, heap_size);
+    return new poseidon_heap{std::move(h)};
+  } catch (const std::exception &) {
+    return nullptr;
+  }
+}
+
+void poseidon_finish(heap_t *heap) { delete heap; }
+
+nvmptr_t poseidon_alloc(heap_t *heap, size_t sz) {
+  return to_c(heap->impl->alloc(sz));
+}
+
+nvmptr_t poseidon_tx_alloc(heap_t *heap, size_t sz, bool is_end) {
+  return to_c(heap->impl->tx_alloc(sz, is_end));
+}
+
+void poseidon_tx_commit(heap_t *heap) { heap->impl->tx_commit(); }
+
+int poseidon_free(heap_t *heap, nvmptr_t ptr) {
+  return static_cast<int>(heap->impl->free(to_cpp(ptr)));
+}
+
+void *poseidon_get_rawptr(nvmptr_t ptr) {
+  Heap *h = poseidon::core::registry::by_id(ptr.heap_id);
+  return h != nullptr ? h->raw(to_cpp(ptr)) : nullptr;
+}
+
+nvmptr_t poseidon_get_nvmptr(void *p) {
+  Heap *h = poseidon::core::registry::by_address(p);
+  return h != nullptr ? to_c(h->from_raw(p)) : nvmptr_null();
+}
+
+nvmptr_t poseidon_get_root(heap_t *heap) { return to_c(heap->impl->root()); }
+
+void poseidon_set_root(heap_t *heap, nvmptr_t ptr) {
+  heap->impl->set_root(to_cpp(ptr));
+}
+
+void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
+  const auto s = heap->impl->stats();
+  out->live_blocks = s.live_blocks;
+  out->free_blocks = s.free_blocks;
+  out->allocated_bytes = s.allocated_bytes;
+  out->user_capacity = s.user_capacity;
+  out->nsubheaps = s.nsubheaps;
+  out->subheaps_materialized = s.subheaps_materialized;
+  out->splits = s.splits;
+  out->merges = s.merges;
+  out->hash_extensions = s.hash_extensions;
+  out->hash_shrinks = s.hash_shrinks;
+}
+
+}  // extern "C"

@@ -1,0 +1,82 @@
+/* Poseidon C API — exactly the programming interface of Fig. 5 in the
+ * paper.  Thin wrapper over the C++ core (core/heap.hpp).
+ *
+ * nvmptr_t is the 16-byte persistent pointer: 8-byte heap id, 2-byte
+ * sub-heap id and 6-byte offset packed into the second word.  A zero
+ * heap_id is the null persistent pointer.
+ */
+#pragma once
+
+#include <stdbool.h>
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct poseidon_heap heap_t;
+
+typedef struct nvmptr {
+  uint64_t heap_id;
+  uint64_t packed; /* subheap:16 | offset:48 */
+} nvmptr_t;
+
+static inline nvmptr_t nvmptr_null(void) {
+  nvmptr_t p = {0, 0};
+  return p;
+}
+static inline bool nvmptr_is_null(nvmptr_t p) { return p.heap_id == 0; }
+
+/* Initialize (open or create) a Poseidon heap with a given size and path.
+ * Returns NULL on failure. */
+heap_t *poseidon_init(const char *heap_path, size_t heap_size);
+
+/* Deinitialize a Poseidon heap. */
+void poseidon_finish(heap_t *heap);
+
+/* Allocate an NVMM space with a requested size; null pointer on failure. */
+nvmptr_t poseidon_alloc(heap_t *heap, size_t sz);
+
+/* Transactionally allocate memory; is_end denotes whether this is the last
+ * allocation in the transaction (commit point). */
+nvmptr_t poseidon_tx_alloc(heap_t *heap, size_t sz, bool is_end);
+
+/* Commit the calling thread's open transaction without allocating
+ * (truncates the micro log); no-op when no transaction is open.  Lets C
+ * code order allocate -> initialize -> link -> commit. */
+void poseidon_tx_commit(heap_t *heap);
+
+/* Deallocate an NVMM space pointed to by ptr.  Invalid and double frees
+ * are detected and ignored (returns nonzero FreeResult; 0 = ok). */
+int poseidon_free(heap_t *heap, nvmptr_t ptr);
+
+/* Convert an NVMM pointer to a raw pointer (NULL if unknown heap). */
+void *poseidon_get_rawptr(nvmptr_t ptr);
+
+/* Convert a raw pointer to an NVMM pointer (null if not in any heap). */
+nvmptr_t poseidon_get_nvmptr(void *p);
+
+/* Get/set the pointer of the root object. */
+nvmptr_t poseidon_get_root(heap_t *heap);
+void poseidon_set_root(heap_t *heap, nvmptr_t ptr);
+
+/* Heap statistics (occupancy + mechanism counters). */
+typedef struct poseidon_stats {
+  uint64_t live_blocks;
+  uint64_t free_blocks;
+  uint64_t allocated_bytes;
+  uint64_t user_capacity;
+  uint32_t nsubheaps;
+  uint32_t subheaps_materialized;
+  uint64_t splits;
+  uint64_t merges;
+  uint64_t hash_extensions;
+  uint64_t hash_shrinks;
+} poseidon_stats_t;
+
+void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out);
+
+#ifdef __cplusplus
+}
+#endif

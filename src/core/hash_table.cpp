@@ -1,0 +1,95 @@
+#include "core/hash_table.hpp"
+
+#include <cassert>
+
+#include "pmem/persist.hpp"
+
+namespace poseidon::core {
+
+MemblockRec* HashTable::find(std::uint64_t block_off) noexcept {
+  const std::uint64_t key = block_off + 1;
+  const std::uint64_t h = hash_of(block_off);
+  for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+    const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+    const std::uint64_t start = h % slots;
+    for (unsigned w = 0; w < kProbeWindow && w < slots; ++w) {
+      MemblockRec* rec = slot(lvl, (start + w) % slots);
+      if (rec->key == key) return rec;
+    }
+  }
+  return nullptr;
+}
+
+MemblockRec* HashTable::insert(std::uint64_t block_off, UndoLogger& undo) {
+  assert(find(block_off) == nullptr && "duplicate memblock record");
+  const std::uint64_t h = hash_of(block_off);
+  for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+    const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+    const std::uint64_t start = h % slots;
+    for (unsigned w = 0; w < kProbeWindow && w < slots; ++w) {
+      MemblockRec* rec = slot(lvl, (start + w) % slots);
+      if (rec->key != 0) continue;
+      undo.save_obj(*rec);
+      undo.save_obj(meta_->level_count[lvl]);
+      undo.seal();
+      pmem::nv_store(rec->key, block_off + 1);
+      pmem::nv_store(meta_->level_count[lvl], meta_->level_count[lvl] + 1);
+      // Write-back happens in one batch at undo commit.
+      return rec;  // caller fills the remaining fields
+    }
+  }
+  return nullptr;
+}
+
+void HashTable::erase(MemblockRec* rec, UndoLogger& undo) {
+  assert(rec->key != 0);
+  const unsigned lvl = level_of(rec);
+  undo.save_obj(*rec);
+  undo.save_obj(meta_->level_count[lvl]);
+  undo.seal();
+  pmem::nv_store(rec->key, std::uint64_t{0});
+  pmem::nv_store(meta_->level_count[lvl], meta_->level_count[lvl] - 1);
+}
+
+bool HashTable::try_extend(UndoLogger& undo) {
+  if (meta_->levels_active >= meta_->levels_max) return false;
+  undo.save_obj(meta_->levels_active);
+  undo.seal();
+  pmem::nv_store(meta_->levels_active, meta_->levels_active + 1);
+  return true;
+}
+
+std::optional<HashTable::Range> HashTable::shrink_top_if_empty(
+    UndoLogger& undo) {
+  const unsigned top = meta_->levels_active;
+  if (top <= 1) return std::nullopt;
+  if (meta_->level_count[top - 1] != 0) return std::nullopt;
+  undo.save_obj(meta_->levels_active);
+  undo.seal();
+  pmem::nv_store(meta_->levels_active, top - 1);
+  return Range{
+      meta_->hash_off + level_offset(meta_->level0_slots, top - 1),
+      level_slots(meta_->level0_slots, top - 1) * sizeof(MemblockRec)};
+}
+
+std::uint64_t HashTable::record_count() const noexcept {
+  std::uint64_t n = 0;
+  for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+    n += meta_->level_count[lvl];
+  }
+  return n;
+}
+
+unsigned HashTable::level_of(const MemblockRec* rec) const noexcept {
+  const auto idx = static_cast<std::uint64_t>(rec - storage_);
+  std::uint64_t begin = 0;
+  for (unsigned lvl = 0; lvl < meta_->levels_max; ++lvl) {
+    const std::uint64_t end = begin + level_slots(meta_->level0_slots, lvl);
+    if (idx < end) return lvl;
+    begin = end;
+  }
+  assert(false && "record outside hash storage");
+  return 0;
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,93 @@
+// Multi-level hash table of memblock records (paper §4.4, §5.2).
+//
+// Level i holds level0 * 2^i slots; a key probes a bounded linear window
+// (kProbeWindow slots, wrapping within the level) at every active level.
+// Lookups are O(levels * window) = O(1) in the heap size — the paper's
+// constant-time claim — and deletion simply clears the slot because a probe
+// never stops early at an empty slot.
+//
+// When every window is full the sub-heap first tries to *defragment* —
+// merge free buddy pairs whose records occupy the probed windows — and only
+// then activates ("extends to") the next level.  Levels whose record count
+// drops to zero are deactivated top-down and their pages hole-punched back
+// to the filesystem (paper §5.6).
+//
+// All mutations are undo-logged by the caller's UndoLogger; the sub-heap
+// lock serializes access.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/hash.hpp"
+#include "core/layout.hpp"
+#include "core/undo_log.hpp"
+
+namespace poseidon::core {
+
+class HashTable {
+ public:
+  HashTable(SubheapMeta* meta, std::byte* heap_base) noexcept
+      : meta_(meta),
+        storage_(reinterpret_cast<MemblockRec*>(heap_base + meta->hash_off)) {}
+
+  // Record for block at byte offset `block_off`, or nullptr.
+  MemblockRec* find(std::uint64_t block_off) noexcept;
+
+  // Claim a slot for `block_off` (which must not be present).  The slot is
+  // undo-logged and its key set; the caller fills the remaining fields and
+  // persists.  Returns nullptr when all windows are full and no level can
+  // be activated — the caller should defragment and retry.
+  MemblockRec* insert(std::uint64_t block_off, UndoLogger& undo);
+
+  // Remove a record (undo-logged).
+  void erase(MemblockRec* rec, UndoLogger& undo);
+
+  // Activate the next level; false if levels_max reached.
+  bool try_extend(UndoLogger& undo);
+
+  // If the top active level holds no records, deactivate it and return the
+  // byte range (relative to heap base) the caller should hole-punch.
+  struct Range {
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+  std::optional<Range> shrink_top_if_empty(UndoLogger& undo);
+
+  // Visit every non-empty slot in the probe windows `block_off` hashes to,
+  // across active levels (used by insert-pressure defragmentation).  The
+  // callback may erase records.  Iteration order: level 0 upward.
+  template <typename F>
+  void visit_windows(std::uint64_t block_off, F&& f) {
+    const std::uint64_t h = hash_of(block_off);
+    for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+      const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+      const std::uint64_t start = h % slots;
+      for (unsigned w = 0; w < kProbeWindow && w < slots; ++w) {
+        MemblockRec* rec = slot(lvl, (start + w) % slots);
+        if (rec->key != 0) f(rec);
+      }
+    }
+  }
+
+  unsigned levels_active() const noexcept { return meta_->levels_active; }
+  std::uint64_t record_count() const noexcept;
+
+  static std::uint64_t hash_of(std::uint64_t block_off) noexcept {
+    return mix64(block_off >> kMinBlockShift);
+  }
+
+ private:
+  MemblockRec* slot(unsigned level, std::uint64_t idx) noexcept {
+    return storage_ + level_offset(meta_->level0_slots, level) /
+                          sizeof(MemblockRec) +
+           idx;
+  }
+  // Which level a slot pointer belongs to (for count bookkeeping).
+  unsigned level_of(const MemblockRec* rec) const noexcept;
+
+  SubheapMeta* meta_;
+  MemblockRec* storage_;
+};
+
+}  // namespace poseidon::core

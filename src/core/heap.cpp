@@ -1,0 +1,404 @@
+#include "core/heap.hpp"
+
+#include <cassert>
+#include <random>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/numa.hpp"
+#include "common/topology.hpp"
+#include "core/micro_log.hpp"
+#include "core/registry.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::core {
+
+namespace {
+
+constexpr std::uint64_t kMinUserSize = 64 * 1024;
+
+std::uint64_t random_heap_id() {
+  std::random_device rd;
+  std::uint64_t id = 0;
+  do {
+    id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  } while (id == 0);
+  return id;
+}
+
+void validate_options(const Options& opts) {
+  if (opts.level0_slots < kProbeWindow || opts.level0_slots % 256 != 0) {
+    throw std::invalid_argument(
+        "level0_slots must be a multiple of 256 and >= probe window");
+  }
+  if (opts.nsubheaps > kMaxSubheaps) {
+    throw std::invalid_argument("too many sub-heaps");
+  }
+}
+
+// Per-thread open-transaction state (paper §5.3).  One open transaction
+// per thread; the pinned sub-heap's tx_mu is held until commit.
+struct TxState {
+  std::uint64_t heap_id = 0;
+  const void* owner = nullptr;  // Heap instance that pinned the sub-heap
+  unsigned sub = 0;
+  bool active = false;
+};
+thread_local TxState tl_tx;
+
+}  // namespace
+
+std::unique_ptr<Heap> Heap::create(const std::string& path,
+                                   std::uint64_t capacity,
+                                   const Options& opts) {
+  validate_options(opts);
+  const unsigned nsub = opts.nsubheaps != 0
+                            ? opts.nsubheaps
+                            : std::min(cpu_count(), kMaxSubheaps);
+  const std::uint64_t per = capacity / nsub;
+  const std::uint64_t user_size =
+      round_up_pow2(per < kMinUserSize ? kMinUserSize : per);
+  const Geometry geo = compute_geometry(nsub, user_size, opts.level0_slots);
+
+  pmem::Pool pool = pmem::Pool::create(path, geo.file_size);
+  auto* sb = reinterpret_cast<SuperBlock*>(pool.data());
+  pmem::nv_memset(sb, 0, sizeof(SuperBlock));
+  pmem::nv_store(sb->version, kVersion);
+  pmem::nv_store(sb->nsubheaps, nsub);
+  pmem::nv_store(sb->heap_id, random_heap_id());
+  pmem::nv_store(sb->file_size, geo.file_size);
+  pmem::nv_store(sb->meta_size, geo.meta_size);
+  pmem::nv_store(sb->subheap_meta_off, geo.subheap_meta_off);
+  pmem::nv_store(sb->subheap_meta_stride, geo.subheap_meta_stride);
+  pmem::nv_store(sb->hash_region_off, geo.hash_region_off);
+  pmem::nv_store(sb->hash_region_stride, geo.hash_region_stride);
+  pmem::nv_store(sb->user_region_off, geo.user_region_off);
+  pmem::nv_store(sb->user_size, geo.user_size);
+  pmem::nv_store(sb->level0_slots, geo.level0_slots);
+  pmem::nv_store(sb->levels_max, static_cast<std::uint64_t>(geo.levels_max));
+  pmem::persist(sb, sizeof(SuperBlock));
+  // Magic last: a half-created file is never mistaken for a valid heap.
+  pmem::nv_store_persist(sb->magic, kSuperMagic);
+
+  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts));
+}
+
+std::unique_ptr<Heap> Heap::open(const std::string& path,
+                                 const Options& opts) {
+  validate_options(opts);
+  pmem::Pool pool = pmem::Pool::open(path);
+  const auto* sb = reinterpret_cast<const SuperBlock*>(pool.data());
+  if (pool.size() < sizeof(SuperBlock) || sb->magic != kSuperMagic ||
+      sb->version != kVersion || sb->file_size != pool.size()) {
+    throw std::runtime_error(path + ": not a Poseidon heap");
+  }
+  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts));
+}
+
+std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
+                                           std::uint64_t capacity,
+                                           const Options& opts) {
+  if (pmem::Pool::exists(path)) return open(path, opts);
+  return create(path, capacity, opts);
+}
+
+Heap::Heap(pmem::Pool pool, const Options& opts)
+    : pool_(std::move(pool)), opts_(opts) {
+  sb_ = reinterpret_cast<SuperBlock*>(pool_.data());
+  subs_.reserve(sb_->nsubheaps);
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    subs_.push_back(std::make_unique<SubRuntime>());
+  }
+  recover();
+  // Protection engages after recovery so replay does not need a window
+  // before the domain exists; recovery itself is single-threaded.
+  prot_ = std::make_unique<mpk::ProtectionDomain>(pool_.data(), sb_->meta_size,
+                                                  opts_.protect);
+  registry::add(this);
+}
+
+Heap::~Heap() {
+  registry::remove(this);
+  prot_.reset();  // restore plain read-write before unmapping
+}
+
+SubheapMeta* Heap::meta_of(unsigned idx) const noexcept {
+  return reinterpret_cast<SubheapMeta*>(
+      base() + sb_->subheap_meta_off + idx * sb_->subheap_meta_stride);
+}
+
+Subheap Heap::subheap(unsigned idx) const noexcept {
+  return Subheap(meta_of(idx), base(), const_cast<pmem::Pool*>(&pool_),
+                 opts_.use_undo_log, opts_.eager_coalesce);
+}
+
+unsigned Heap::pick_subheap() const noexcept {
+  switch (opts_.policy) {
+    case SubheapPolicy::kPerCpu:
+      return current_cpu() % sb_->nsubheaps;
+    case SubheapPolicy::kPerThread:
+      return thread_ordinal() % sb_->nsubheaps;
+    case SubheapPolicy::kFixed0:
+      return 0;
+  }
+  return 0;
+}
+
+void Heap::ensure_subheap(unsigned idx) {
+  if (sb_->subheap_state[idx] == kSubheapReady) return;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  if (sb_->subheap_state[idx] == kSubheapReady) return;
+  mpk::WriteWindow w(prot_.get());
+  const Geometry geo{sb_->file_size,
+                     sb_->meta_size,
+                     sb_->subheap_meta_off,
+                     sb_->subheap_meta_stride,
+                     sb_->hash_region_off,
+                     sb_->hash_region_stride,
+                     sb_->user_region_off,
+                     sb_->user_size,
+                     sb_->level0_slots,
+                     static_cast<std::uint32_t>(sb_->levels_max)};
+  // Formatting is made atomic by the state flag: a crash mid-format leaves
+  // state=absent and the next use re-formats from scratch.
+  const unsigned cpu = current_cpu();
+  Subheap::format(meta_of(idx), base(), geo, idx, cpu);
+  // Paper §4.1: the sub-heap lives on the allocating CPU's NUMA node so
+  // accesses stay local and every memory controller is used.  Best-effort
+  // placement hint; a no-op on single-node machines.
+  (void)numa_bind_region(base() + sb_->user_region_off + idx * sb_->user_size,
+                         sb_->user_size, numa_node_of_cpu(cpu));
+  pmem::nv_store_persist(sb_->subheap_state[idx], std::uint64_t{kSubheapReady});
+}
+
+NvPtr Heap::alloc(std::uint64_t size) {
+  const unsigned start = pick_subheap();
+  const unsigned attempts = opts_.allow_fallback ? sb_->nsubheaps : 1;
+  for (unsigned a = 0; a < attempts; ++a) {
+    const unsigned idx = (start + a) % sb_->nsubheaps;
+    ensure_subheap(idx);
+    mpk::WriteWindow w(prot_.get());
+    Guard<Spinlock> g(subs_[idx]->lock);
+    Subheap sh = subheap(idx);
+    if (const auto off = sh.alloc(size)) {
+      return NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx), *off);
+    }
+  }
+  return NvPtr::null();
+}
+
+NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
+  TxState& tx = tl_tx;
+  if (tx.active && tx.owner != this) {
+    if (tx.heap_id != sb_->heap_id) {
+      // One open transaction per thread; refuse a second heap's tx.
+      return NvPtr::null();
+    }
+    // Same persistent heap id but a different Heap instance: the pinning
+    // object is gone (e.g. a simulated crash destroyed it).  The stale
+    // transaction's micro log was (or will be) replayed by recovery, so
+    // the thread may simply start fresh.
+    tx = TxState{};
+  }
+  if (!tx.active) {
+    // Pin a sub-heap for this transaction: its micro log records the
+    // allocation history until commit.  Prefer an uncontended one.
+    const unsigned start = pick_subheap();
+    for (unsigned a = 0; a < sb_->nsubheaps; ++a) {
+      const unsigned idx = (start + a) % sb_->nsubheaps;
+      ensure_subheap(idx);
+      if (subs_[idx]->tx_mu.try_lock()) {
+        tx = TxState{sb_->heap_id, this, idx, true};
+        break;
+      }
+    }
+    if (!tx.active) {
+      ensure_subheap(start);
+      subs_[start]->tx_mu.lock();
+      tx = TxState{sb_->heap_id, this, start, true};
+    }
+  }
+
+  NvPtr result = NvPtr::null();
+  try {
+    {
+      mpk::WriteWindow w(prot_.get());
+      Guard<Spinlock> g(subs_[tx.sub]->lock);
+      Subheap sh = subheap(tx.sub);
+      const TxHook hook{true, sb_->heap_id,
+                        static_cast<std::uint16_t>(tx.sub)};
+      if (const auto off = sh.alloc(size, hook)) {
+        result = NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(tx.sub),
+                             *off);
+      }
+    }
+    if (is_end) {
+      POSEIDON_CRASH_POINT("tx.before_commit_truncate");
+      {
+        mpk::WriteWindow w(prot_.get());
+        micro_truncate(meta_of(tx.sub)->micro);
+      }
+      POSEIDON_CRASH_POINT("tx.after_commit_truncate");
+    }
+  } catch (...) {
+    // A simulated crash (or any other exception) must not leave the
+    // transaction pin behind: the micro log stays non-empty, so recovery
+    // reclaims the allocations, exactly as after a real crash.
+    subs_[tx.sub]->tx_mu.unlock();
+    tx = TxState{};
+    throw;
+  }
+  if (is_end) {
+    subs_[tx.sub]->tx_mu.unlock();
+    tx = TxState{};
+  }
+  return result;
+}
+
+void Heap::tx_commit() {
+  TxState& tx = tl_tx;
+  if (!tx.active || tx.owner != this) return;
+  {
+    mpk::WriteWindow w(prot_.get());
+    micro_truncate(meta_of(tx.sub)->micro);
+  }
+  subs_[tx.sub]->tx_mu.unlock();
+  tx = TxState{};
+}
+
+void Heap::tx_leak_open_transaction_for_test() {
+  TxState& tx = tl_tx;
+  if (!tx.active || tx.owner != this) return;
+  subs_[tx.sub]->tx_mu.unlock();
+  tx = TxState{};
+}
+
+FreeResult Heap::free(NvPtr ptr) {
+  if (ptr.is_null() || ptr.heap_id != sb_->heap_id) {
+    return FreeResult::kInvalidPointer;
+  }
+  const unsigned idx = ptr.subheap();
+  if (idx >= sb_->nsubheaps || sb_->subheap_state[idx] != kSubheapReady) {
+    return FreeResult::kInvalidPointer;
+  }
+  mpk::WriteWindow w(prot_.get());
+  Guard<Spinlock> g(subs_[idx]->lock);
+  Subheap sh = subheap(idx);
+  return sh.free_block(ptr.offset());
+}
+
+void* Heap::raw(NvPtr ptr) const noexcept {
+  if (ptr.is_null() || ptr.heap_id != sb_->heap_id) return nullptr;
+  const unsigned idx = ptr.subheap();
+  if (idx >= sb_->nsubheaps || ptr.offset() >= sb_->user_size) return nullptr;
+  return base() + sb_->user_region_off + idx * sb_->user_size + ptr.offset();
+}
+
+NvPtr Heap::from_raw(const void* p) const noexcept {
+  if (!contains(p)) return NvPtr::null();
+  const auto rel = static_cast<std::uint64_t>(
+      static_cast<const std::byte*>(p) - (base() + sb_->user_region_off));
+  const unsigned idx = static_cast<unsigned>(rel / sb_->user_size);
+  return NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx),
+                     rel % sb_->user_size);
+}
+
+bool Heap::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= base() + sb_->user_region_off && b < base() + sb_->file_size;
+}
+
+NvPtr Heap::root() const noexcept {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  return sb_->root;
+}
+
+void Heap::set_root(NvPtr ptr) {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  mpk::WriteWindow w(prot_.get());
+  // The 16-byte root cannot be stored atomically; undo-log it so a crash
+  // mid-update preserves the old root (paper §2.2 requires the root be
+  // always recoverable).
+  UndoLogger undo(sb_->undo, base(), opts_.use_undo_log);
+  undo.save_obj(sb_->root);
+  POSEIDON_CRASH_POINT("root.after_log");
+  pmem::nv_store(sb_->root, ptr);
+  pmem::persist(&sb_->root, sizeof(NvPtr));
+  POSEIDON_CRASH_POINT("root.before_commit");
+  undo.commit();
+}
+
+mpk::ProtectMode Heap::protect_mode() const noexcept {
+  return prot_ != nullptr ? prot_->mode() : mpk::ProtectMode::kNone;
+}
+
+HeapStats Heap::stats() const {
+  HeapStats s;
+  s.nsubheaps = sb_->nsubheaps;
+  s.user_capacity = user_capacity();
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    Guard<Spinlock> g(subs_[i]->lock);
+    const SubheapMeta* m = meta_of(i);
+    s.live_blocks += m->live_blocks;
+    s.free_blocks += m->free_blocks;
+    s.allocated_bytes += m->allocated_bytes;
+    s.splits += m->stat_splits;
+    s.merges += m->stat_merges;
+    s.window_merges += m->stat_window_merges;
+    s.hash_extensions += m->stat_extensions;
+    s.hash_shrinks += m->stat_shrinks;
+    ++s.subheaps_materialized;
+  }
+  return s;
+}
+
+std::pair<void*, std::size_t> Heap::metadata_region() const noexcept {
+  return {base(), sb_->meta_size};
+}
+
+bool Heap::check_invariants(std::string* why) const {
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    Guard<Spinlock> g(subs_[i]->lock);
+    Subheap sh = subheap(i);
+    std::string reason;
+    if (!sh.check_invariants(&reason)) {
+      if (why != nullptr) {
+        *why = "subheap " + std::to_string(i) + ": " + reason;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void Heap::recover() {
+  // Paper §5.8.  Runs before the protection domain exists (plain RW
+  // mapping) and before the heap is registered, so it is single-threaded.
+  UndoLogger::replay(sb_->undo, base());
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    subheap(i).recover_undo();
+  }
+  // Micro logs: a non-empty log is an uncommitted transaction; free every
+  // address it allocated.  The validated free path makes replay idempotent
+  // (already-freed entries are rejected as double frees).
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    MicroLog& micro = meta_of(i)->micro;
+    const std::uint64_t n = micro_count(micro);
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const NvPtr e = micro.entries[k];
+      if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
+      if (sb_->subheap_state[e.subheap()] != kSubheapReady) continue;
+      Subheap sh = subheap(e.subheap());
+      (void)sh.free_block(e.offset());
+      POSEIDON_CRASH_POINT("recover.after_micro_free");
+    }
+    if (n != 0) micro_truncate(micro);
+  }
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,183 @@
+// Poseidon heap: the public C++ API.
+//
+// A heap is one pool file containing a superblock, per-CPU sub-heaps and
+// their user regions (paper Fig. 4).  The metadata prefix of the file is
+// guarded by an MPK protection domain; every allocator operation opens a
+// per-thread write window around its critical section (paper §4.3).
+//
+// Thread safety: all public methods are thread-safe.  Sub-heaps are chosen
+// per CPU (or per thread, see Options::policy); cross-thread frees lock the
+// owning sub-heap (paper §5.7).  A thread may have at most one open
+// transactional allocation (tx_alloc) at a time.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "core/layout.hpp"
+#include "core/nvmptr.hpp"
+#include "core/subheap.hpp"
+#include "mpk/mpk.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::core {
+
+enum class SubheapPolicy {
+  kPerCpu,    // paper's design: sub-heap of the current CPU
+  kPerThread, // round-robin by thread ordinal (emulates manycore on small boxes)
+  kFixed0,    // single sub-heap (ablation)
+};
+
+struct Options {
+  // 0 = one sub-heap per online CPU (capped at kMaxSubheaps).
+  unsigned nsubheaps = 0;
+  mpk::ProtectMode protect = mpk::ProtectMode::kAuto;
+  SubheapPolicy policy = SubheapPolicy::kPerCpu;
+  // Ablation only: disable undo logging ("unsafe mode").
+  bool use_undo_log = true;
+  // First hash level size; multiple of 256 (page-aligned levels).
+  std::uint64_t level0_slots = 1024;
+  // Singleton allocations may fall back to other sub-heaps when the local
+  // one is exhausted.  Transactional allocations never fall back (their
+  // micro log lives in the pinned sub-heap).
+  bool allow_fallback = true;
+  // Ablation: merge buddy pairs at free time (classic eager buddy) instead
+  // of the paper's lazy defragmentation (§5.4).  Eager keeps large blocks
+  // available without defrag pauses but pays merge work on every free.
+  bool eager_coalesce = false;
+};
+
+struct HeapStats {
+  std::uint64_t live_blocks = 0;
+  std::uint64_t free_blocks = 0;
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t user_capacity = 0;
+  unsigned nsubheaps = 0;
+  unsigned subheaps_materialized = 0;
+  // Mechanism counters (since heap creation):
+  std::uint64_t splits = 0;          // buddy splits
+  std::uint64_t merges = 0;          // defragmentation merges
+  std::uint64_t window_merges = 0;   // hash-pressure merges (§5.4 case 2)
+  std::uint64_t hash_extensions = 0; // multi-level table growth
+  std::uint64_t hash_shrinks = 0;    // levels hole-punched back (§5.6)
+};
+
+class Heap {
+ public:
+  // Create a new heap whose *user* capacity is at least `capacity` bytes
+  // (split evenly into power-of-two sub-heap regions; metadata is added on
+  // top and the file is sparse).  Fails if the file exists.
+  static std::unique_ptr<Heap> create(const std::string& path,
+                                      std::uint64_t capacity,
+                                      const Options& opts = {});
+
+  // Open an existing heap, running crash recovery (undo + micro log
+  // replay, paper §5.8) before any operation is admitted.
+  static std::unique_ptr<Heap> open(const std::string& path,
+                                    const Options& opts = {});
+
+  static std::unique_ptr<Heap> open_or_create(const std::string& path,
+                                              std::uint64_t capacity,
+                                              const Options& opts = {});
+
+  ~Heap();
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // Singleton allocation (paper §5.2).  Null on exhaustion.  The returned
+  // block is 2^ceil(log2(size)) bytes, at least 32.
+  NvPtr alloc(std::uint64_t size);
+
+  // Transactional allocation (paper §5.3): the address is micro-logged so
+  // an uncommitted transaction's allocations are freed by recovery;
+  // `is_end` commits (truncates the micro log).  At most one open
+  // transaction per thread.
+  NvPtr tx_alloc(std::uint64_t size, bool is_end);
+
+  // Commit the calling thread's open transaction without allocating:
+  // truncates the micro log and releases the pinned sub-heap.  No-op when
+  // no transaction is open.  Lets callers order "allocate, initialize,
+  // *link*, then commit" so recovery semantics match the linkage.
+  void tx_commit();
+
+  // Abort the calling thread's open transaction without committing: the
+  // pinned sub-heap is released and the micro log left intact, so the
+  // allocations are reclaimed at the next recovery (testing/diagnostics).
+  void tx_leak_open_transaction_for_test();
+
+  // Validated deallocation (paper §5.5): invalid and double frees are
+  // detected via the memblock hash table and rejected.
+  FreeResult free(NvPtr ptr);
+
+  // Pointer conversions (paper §4.6).  Null/invalid input yields nullptr /
+  // NvPtr::null().
+  void* raw(NvPtr ptr) const noexcept;
+  NvPtr from_raw(const void* p) const noexcept;
+
+  // Root object pointer at a well-known location (paper §2.2).
+  NvPtr root() const noexcept;
+  void set_root(NvPtr ptr);
+
+  std::uint64_t heap_id() const noexcept { return sb_->heap_id; }
+  unsigned nsubheaps() const noexcept { return sb_->nsubheaps; }
+  std::uint64_t user_capacity() const noexcept {
+    return sb_->user_size * sb_->nsubheaps;
+  }
+  const std::string& path() const noexcept { return pool_.path(); }
+  mpk::ProtectMode protect_mode() const noexcept;
+
+  HeapStats stats() const;
+
+  // The MPK-protected metadata prefix (tests register SimDomains here).
+  std::pair<void*, std::size_t> metadata_region() const noexcept;
+  // True when p points into this heap's user data.
+  bool contains(const void* p) const noexcept;
+
+  // Deep consistency check across all sub-heaps (test support).
+  bool check_invariants(std::string* why = nullptr) const;
+
+  // Enumerate every tracked block: f(subheap, offset, size_class, status
+  // [BlockStatus]).  Diagnostic only; takes each sub-heap lock in turn.
+  template <typename F>
+  void visit_blocks(F&& f) const {
+    for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+      if (sb_->subheap_state[i] != kSubheapReady) continue;
+      Guard<Spinlock> g(subs_[i]->lock);
+      subheap(i).visit_blocks([&](std::uint64_t off, std::uint32_t cls,
+                                  std::uint32_t status) {
+        f(i, off, cls, status);
+      });
+    }
+  }
+
+  // Bytes the filesystem actually backs (observes hole punching).
+  std::uint64_t file_allocated_bytes() const { return pool_.allocated_bytes(); }
+
+ private:
+  struct SubRuntime {
+    Spinlock lock;
+    std::mutex tx_mu;  // held for the duration of an open transaction
+  };
+
+  Heap(pmem::Pool pool, const Options& opts);
+
+  std::byte* base() const noexcept { return pool_.data(); }
+  SubheapMeta* meta_of(unsigned idx) const noexcept;
+  Subheap subheap(unsigned idx) const noexcept;
+  unsigned pick_subheap() const noexcept;
+  void ensure_subheap(unsigned idx);
+  void recover();
+
+  pmem::Pool pool_;
+  Options opts_;
+  SuperBlock* sb_ = nullptr;
+  std::unique_ptr<mpk::ProtectionDomain> prot_;
+  std::vector<std::unique_ptr<SubRuntime>> subs_;
+  mutable std::mutex admin_mu_;  // sub-heap creation + root updates
+};
+
+}  // namespace poseidon::core

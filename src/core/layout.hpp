@@ -1,0 +1,212 @@
+// On-media layout of a Poseidon heap (paper Fig. 4).
+//
+//   file:  [ SuperBlock | SubheapMeta x N | hash-level storage x N | user x N ]
+//          `------------------ metadata region -------------------'
+//
+// The metadata region is contiguous at the front of the file so one MPK
+// protection domain covers all of it; user regions follow, page aligned.
+// Every struct here is trivially copyable, fixed width, and stores offsets
+// rather than pointers (the pool may map at a different address each run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/bitops.hpp"
+#include "core/nvmptr.hpp"
+
+namespace poseidon::core {
+
+inline constexpr std::uint64_t kSuperMagic = 0x504f534549444f4eull;  // "POSEIDON"
+inline constexpr std::uint64_t kSubheapMagic = 0x5355424845415030ull;
+inline constexpr std::uint32_t kVersion = 1;
+
+inline constexpr std::uint64_t kPageSize = 4096;
+
+// Buddy size classes: class c holds blocks of 2^c bytes.
+inline constexpr unsigned kMinBlockShift = 5;  // 32 B minimum granularity
+inline constexpr unsigned kMaxClasses = 48;
+
+inline constexpr unsigned kMaxSubheaps = 64;
+inline constexpr unsigned kMaxHashLevels = 24;
+inline constexpr unsigned kProbeWindow = 16;
+
+// ---- undo log (physical, checksummed entries) ------------------------------
+//
+// An entry is valid iff entry.gen == log.gen and its checksum matches;
+// truncation is therefore a single persisted 8-byte generation bump.
+// Recovery applies valid entries newest-to-oldest so the oldest logged
+// value (the pre-operation state) wins.
+
+inline constexpr std::size_t kUndoDataMax = 96;
+
+struct UndoEntry {
+  std::uint64_t gen;
+  std::uint64_t meta_off;  // byte offset of the saved range from heap base
+  std::uint32_t len;
+  std::uint32_t csum;
+  unsigned char data[kUndoDataMax];
+  unsigned char pad[8];
+};
+static_assert(sizeof(UndoEntry) == 128);
+
+template <std::size_t Cap>
+struct UndoLogT {
+  std::uint64_t gen;
+  UndoEntry entries[Cap];
+};
+
+inline constexpr std::size_t kSubheapUndoCap = 1024;
+inline constexpr std::size_t kSuperUndoCap = 16;
+
+// ---- micro log (transactional allocation, paper §4.5) ----------------------
+
+inline constexpr std::size_t kMicroCap = 64;
+
+struct MicroLog {
+  std::uint64_t count;
+  NvPtr entries[kMicroCap];
+};
+static_assert(sizeof(MicroLog) == 8 + 16 * kMicroCap);
+
+// ---- memblock records (paper §4.4) -----------------------------------------
+//
+// One record per memory block (allocated or free), stored in the sub-heap's
+// multi-level hash table keyed by block offset.  All offsets are byte
+// offsets within the sub-heap user region, encoded +1 so 0 means null/empty.
+
+enum BlockStatus : std::uint32_t {
+  kBlockFree = 1,
+  kBlockAllocated = 2,
+};
+
+struct MemblockRec {
+  std::uint64_t key;        // block offset + 1; 0 = empty slot
+  std::uint32_t size_class; // block size = 1 << size_class
+  std::uint32_t status;     // BlockStatus
+  std::uint64_t prev_adj;   // left-adjacent block offset + 1 (defrag)
+  std::uint64_t next_adj;   // right-adjacent block offset + 1
+  std::uint64_t prev_free;  // free-list links, offset + 1
+  std::uint64_t next_free;
+};
+static_assert(sizeof(MemblockRec) == 48);
+
+struct FreeListHead {
+  std::uint64_t head;  // offset + 1; 0 = empty
+  std::uint64_t tail;
+};
+
+// ---- sub-heap metadata ------------------------------------------------------
+
+enum SubheapState : std::uint64_t {
+  kSubheapAbsent = 0,
+  kSubheapReady = 1,
+};
+
+struct SubheapMeta {
+  std::uint64_t magic;
+  std::uint32_t index;
+  std::uint32_t preferred_cpu;
+  std::uint64_t user_off;    // from heap base
+  std::uint64_t user_size;   // power of two
+  std::uint64_t hash_off;    // from heap base: start of this sub-heap's levels
+  std::uint32_t levels_active;
+  std::uint32_t levels_max;
+  std::uint64_t level0_slots;
+  FreeListHead free_heads[kMaxClasses];
+  std::uint64_t level_count[kMaxHashLevels];  // live records per level
+  std::uint64_t live_blocks;
+  std::uint64_t free_blocks;
+  std::uint64_t allocated_bytes;
+  // Introspection counters (not crash-consistent; see bump_counters):
+  std::uint64_t stat_splits;         // buddy splits performed
+  std::uint64_t stat_merges;         // buddy merges (defragmentation)
+  std::uint64_t stat_window_merges;  // merges triggered by hash pressure
+  std::uint64_t stat_extensions;     // hash levels activated
+  std::uint64_t stat_shrinks;        // hash levels punched back
+  UndoLogT<kSubheapUndoCap> undo;
+  MicroLog micro;
+};
+
+// ---- superblock -------------------------------------------------------------
+
+struct SuperBlock {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t nsubheaps;
+  std::uint64_t heap_id;           // random, nonzero
+  std::uint64_t file_size;
+  std::uint64_t meta_size;         // MPK-protected prefix length
+  std::uint64_t subheap_meta_off;
+  std::uint64_t subheap_meta_stride;
+  std::uint64_t hash_region_off;
+  std::uint64_t hash_region_stride;
+  std::uint64_t user_region_off;
+  std::uint64_t user_size;         // per sub-heap, power of two
+  std::uint64_t level0_slots;
+  std::uint64_t levels_max;
+  NvPtr root;
+  std::uint64_t subheap_state[kMaxSubheaps];
+  UndoLogT<kSuperUndoCap> undo;
+};
+
+static_assert(std::is_trivially_copyable_v<SuperBlock>);
+static_assert(std::is_trivially_copyable_v<SubheapMeta>);
+
+// ---- geometry ---------------------------------------------------------------
+
+struct Geometry {
+  std::uint64_t file_size;
+  std::uint64_t meta_size;
+  std::uint64_t subheap_meta_off;
+  std::uint64_t subheap_meta_stride;
+  std::uint64_t hash_region_off;
+  std::uint64_t hash_region_stride;
+  std::uint64_t user_region_off;
+  std::uint64_t user_size;
+  std::uint64_t level0_slots;
+  std::uint32_t levels_max;
+};
+
+// Slots in hash level `i` (levels double in capacity).
+constexpr std::uint64_t level_slots(std::uint64_t level0, unsigned i) noexcept {
+  return level0 << i;
+}
+
+// Byte offset of level `i` inside a sub-heap's hash region.
+constexpr std::uint64_t level_offset(std::uint64_t level0, unsigned i) noexcept {
+  // sum_{j<i} level0*2^j slots * 48 B
+  return level0 * ((std::uint64_t{1} << i) - 1) * sizeof(MemblockRec);
+}
+
+// Computes the file layout for `nsubheaps` sub-heaps of `user_size` bytes
+// each (power of two) with `level0` slots in the first hash level
+// (multiple of 256 so every level is page aligned for hole punching).
+constexpr Geometry compute_geometry(unsigned nsubheaps, std::uint64_t user_size,
+                                    std::uint64_t level0) noexcept {
+  Geometry g{};
+  g.user_size = user_size;
+  g.level0_slots = level0;
+  // Worst case one record per 32 B block, with 25% probing headroom.
+  const std::uint64_t worst_records = user_size >> kMinBlockShift;
+  const std::uint64_t slots_needed = worst_records + worst_records / 4 + kProbeWindow;
+  std::uint32_t levels = 1;
+  while (level0 * ((std::uint64_t{1} << levels) - 1) < slots_needed &&
+         levels < kMaxHashLevels) {
+    ++levels;
+  }
+  g.levels_max = levels;
+  g.subheap_meta_off = align_up(sizeof(SuperBlock), kPageSize);
+  g.subheap_meta_stride = align_up(sizeof(SubheapMeta), kPageSize);
+  g.hash_region_off = g.subheap_meta_off + nsubheaps * g.subheap_meta_stride;
+  g.hash_region_stride =
+      align_up(level_offset(level0, levels), kPageSize);
+  g.user_region_off = align_up(
+      g.hash_region_off + nsubheaps * g.hash_region_stride, kPageSize);
+  g.meta_size = g.user_region_off;
+  g.file_size = g.user_region_off + nsubheaps * user_size;
+  return g;
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,21 @@
+#include "core/micro_log.hpp"
+
+#include "pmem/persist.hpp"
+
+namespace poseidon::core {
+
+bool micro_append(MicroLog& log, const NvPtr& ptr) noexcept {
+  const std::uint64_t n = log.count;
+  if (n >= kMicroCap) return false;
+  // Entry must be durable before the count that makes it visible.
+  pmem::nv_store(log.entries[n], ptr);
+  pmem::persist(&log.entries[n], sizeof(NvPtr));
+  pmem::nv_store_persist(log.count, n + 1);
+  return true;
+}
+
+void micro_truncate(MicroLog& log) noexcept {
+  pmem::nv_store_persist(log.count, std::uint64_t{0});
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,26 @@
+// Micro log: the history of addresses handed out by an open transactional
+// allocation (paper §4.5, §5.3).  Appended to (and persisted) after each
+// poseidon_tx_alloc; truncated at transaction commit (`is_end`).  A
+// non-empty micro log at load time means the transaction never committed,
+// so recovery frees every logged address — preventing the permanent leak
+// the paper describes — and then truncates.  Replay is idempotent because
+// `free` validates each address against the memblock hash table.
+#pragma once
+
+#include <cstdint>
+
+#include "core/layout.hpp"
+
+namespace poseidon::core {
+
+// Append `ptr`; returns false when the log is full (transaction too large).
+bool micro_append(MicroLog& log, const NvPtr& ptr) noexcept;
+
+// Truncate (transaction commit or end of recovery).
+void micro_truncate(MicroLog& log) noexcept;
+
+inline std::uint64_t micro_count(const MicroLog& log) noexcept {
+  return log.count <= kMicroCap ? log.count : kMicroCap;
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,38 @@
+// Persistent pointer (paper §4.6): 8-byte heap id, 2-byte sub-heap id,
+// 6-byte offset within the sub-heap's user region.  Valid across
+// application and system restarts regardless of where the pool is mapped;
+// converted to/from raw pointers via the heap registry.
+#pragma once
+
+#include <cstdint>
+
+namespace poseidon::core {
+
+struct NvPtr {
+  std::uint64_t heap_id = 0;           // 0 = null
+  std::uint64_t packed = 0;            // sub:16 (high) | offset:48 (low)
+
+  static constexpr std::uint64_t kOffsetBits = 48;
+  static constexpr std::uint64_t kOffsetMask = (1ull << kOffsetBits) - 1;
+
+  static constexpr NvPtr null() noexcept { return {}; }
+
+  static constexpr NvPtr make(std::uint64_t heap_id, std::uint16_t subheap,
+                              std::uint64_t offset) noexcept {
+    return {heap_id,
+            (static_cast<std::uint64_t>(subheap) << kOffsetBits) |
+                (offset & kOffsetMask)};
+  }
+
+  constexpr bool is_null() const noexcept { return heap_id == 0; }
+  constexpr std::uint16_t subheap() const noexcept {
+    return static_cast<std::uint16_t>(packed >> kOffsetBits);
+  }
+  constexpr std::uint64_t offset() const noexcept { return packed & kOffsetMask; }
+
+  friend constexpr bool operator==(const NvPtr&, const NvPtr&) = default;
+};
+
+static_assert(sizeof(NvPtr) == 16, "paper mandates 16-byte persistent pointers");
+
+}  // namespace poseidon::core

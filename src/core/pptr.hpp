@@ -1,0 +1,96 @@
+// Typed persistent objects over the Poseidon heap — the thin C++ layer
+// that applications actually program against (the paper's §2.2 points at
+// PMDK's C++ bindings as the prevailing model; this is the Poseidon
+// equivalent).
+//
+//   struct Node { pptr<Node> next; int value; };
+//   auto n = make_persistent<Node>(heap);     // allocate + construct
+//   n->value = 42;                             // typed access
+//   heap.set_root(n.nvptr());                  // anchor
+//   ...
+//   auto again = pptr<Node>(heap.root());      // next run
+//   destroy_persistent(heap, again);           // destruct + validated free
+//
+// Persistent types must be trivially copyable: after a crash, objects are
+// re-interpreted from raw NVMM bytes, so vtables, owning containers and
+// raw pointers (use pptr<T>!) are all unsafe — enforced at compile time.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/heap.hpp"
+#include "core/nvmptr.hpp"
+#include "core/registry.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::core {
+
+template <typename T>
+class pptr {
+ public:
+  constexpr pptr() noexcept = default;
+  explicit constexpr pptr(NvPtr p) noexcept : ptr_(p) {}
+
+  constexpr bool is_null() const noexcept { return ptr_.is_null(); }
+  constexpr NvPtr nvptr() const noexcept { return ptr_; }
+
+  // Fast path: resolve against a known heap (no registry lookup).
+  T* get(const Heap& heap) const noexcept {
+    // Checked here (not at class scope) so self-referential types like
+    // `struct Node { pptr<Node> next; }` can declare members while Node
+    // is still incomplete.
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "persistent types must be trivially copyable (no "
+                  "vtables, no owning containers; use pptr<T> instead of "
+                  "T*)");
+    return static_cast<T*>(heap.raw(ptr_));
+  }
+
+  // Convenience path: resolve through the process-wide registry.  Costs a
+  // registry lookup per call; hot code should use get(heap).
+  T* resolve() const noexcept {
+    Heap* h = registry::by_id(ptr_.heap_id);
+    return h != nullptr ? static_cast<T*>(h->raw(ptr_)) : nullptr;
+  }
+
+  T* operator->() const noexcept { return resolve(); }
+  T& operator*() const noexcept { return *resolve(); }
+
+  friend constexpr bool operator==(const pptr&, const pptr&) = default;
+
+ private:
+  NvPtr ptr_{};
+};
+
+// Allocate and construct a T.  Null pptr on exhaustion.
+template <typename T, typename... Args>
+pptr<T> make_persistent(Heap& heap, Args&&... args) {
+  const NvPtr p = heap.alloc(sizeof(T));
+  if (p.is_null()) return pptr<T>{};
+  new (heap.raw(p)) T(std::forward<Args>(args)...);
+  pmem::persist(heap.raw(p), sizeof(T));
+  return pptr<T>(p);
+}
+
+// Transactional variant: the allocation lands in the calling thread's open
+// transaction (paper §5.3) and is reclaimed by recovery unless committed.
+template <typename T, typename... Args>
+pptr<T> make_persistent_tx(Heap& heap, bool is_end, Args&&... args) {
+  const NvPtr p = heap.tx_alloc(sizeof(T), is_end);
+  if (p.is_null()) return pptr<T>{};
+  new (heap.raw(p)) T(std::forward<Args>(args)...);
+  pmem::persist(heap.raw(p), sizeof(T));
+  return pptr<T>(p);
+}
+
+// Free a typed object through the validated path (double frees and forged
+// pointers are rejected).  Persistent types are trivially copyable, hence
+// trivially destructible — there is no destructor to run.
+template <typename T>
+FreeResult destroy_persistent(Heap& heap, pptr<T> p) {
+  if (p.get(heap) == nullptr) return FreeResult::kInvalidPointer;
+  return heap.free(p.nvptr());
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,48 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/heap.hpp"
+
+namespace poseidon::core::registry {
+
+namespace {
+std::mutex g_mu;
+std::vector<Heap*> g_heaps;
+}  // namespace
+
+void add(Heap* heap) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (const Heap* h : g_heaps) {
+    if (h->heap_id() == heap->heap_id()) {
+      throw std::logic_error("heap id already registered");
+    }
+  }
+  g_heaps.push_back(heap);
+}
+
+void remove(Heap* heap) noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::erase(g_heaps, heap);
+}
+
+Heap* by_id(std::uint64_t heap_id) noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (Heap* h : g_heaps) {
+    if (h->heap_id() == heap_id) return h;
+  }
+  return nullptr;
+}
+
+Heap* by_address(const void* p) noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (Heap* h : g_heaps) {
+    if (h->contains(p)) return h;
+  }
+  return nullptr;
+}
+
+}  // namespace poseidon::core::registry

@@ -1,0 +1,27 @@
+// Process-wide registry of open heaps.
+//
+// Persistent pointers embed an 8-byte heap id; converting one to a raw
+// pointer (and back) requires finding the mapped base of the owning heap,
+// which this registry provides (paper §4.6's pointer-conversion APIs).
+#pragma once
+
+#include <cstdint>
+
+namespace poseidon::core {
+
+class Heap;
+
+namespace registry {
+
+// Registers an open heap.  Throws std::logic_error if a heap with the same
+// id is already registered (e.g. the same pool opened twice).
+void add(Heap* heap);
+void remove(Heap* heap) noexcept;
+
+// nullptr when not found.
+Heap* by_id(std::uint64_t heap_id) noexcept;
+// Heap whose user region contains `p`; nullptr when none.
+Heap* by_address(const void* p) noexcept;
+
+}  // namespace registry
+}  // namespace poseidon::core

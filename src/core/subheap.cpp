@@ -1,0 +1,557 @@
+#include "core/subheap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/persist.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::core {
+
+namespace {
+constexpr std::uint64_t kNull = 0;  // offset+1 encoding: 0 means none
+}
+
+const char* to_string(FreeResult r) noexcept {
+  switch (r) {
+    case FreeResult::kOk: return "ok";
+    case FreeResult::kInvalidPointer: return "invalid-pointer";
+    case FreeResult::kInvalidFree: return "invalid-free";
+    case FreeResult::kDoubleFree: return "double-free";
+  }
+  return "?";
+}
+
+Subheap::Subheap(SubheapMeta* meta, std::byte* heap_base, pmem::Pool* pool,
+                 bool undo_enabled, bool eager_coalesce) noexcept
+    : meta_(meta), heap_base_(heap_base), pool_(pool),
+      undo_enabled_(undo_enabled), eager_coalesce_(eager_coalesce),
+      table_(meta, heap_base) {}
+
+UndoLogger Subheap::make_undo() noexcept {
+  return UndoLogger(meta_->undo, heap_base_, undo_enabled_);
+}
+
+void Subheap::format(SubheapMeta* meta, std::byte* heap_base,
+                     const Geometry& geo, unsigned index, unsigned cpu) {
+  pmem::nv_memset(meta, 0, sizeof(SubheapMeta));
+  pmem::nv_store(meta->magic, kSubheapMagic);
+  pmem::nv_store(meta->index, index);
+  pmem::nv_store(meta->preferred_cpu, cpu);
+  pmem::nv_store(meta->user_off, geo.user_region_off + index * geo.user_size);
+  pmem::nv_store(meta->user_size, geo.user_size);
+  pmem::nv_store(meta->hash_off,
+                 geo.hash_region_off + index * geo.hash_region_stride);
+  pmem::nv_store(meta->levels_active, 1u);
+  pmem::nv_store(meta->levels_max, geo.levels_max);
+  pmem::nv_store(meta->level0_slots, geo.level0_slots);
+
+  // The entire user region starts life as one free block of the top class.
+  HashTable table(meta, heap_base);
+  UndoLogger no_undo(meta->undo, heap_base, /*enabled=*/false);
+  MemblockRec* rec = table.insert(0, no_undo);
+  assert(rec != nullptr);
+  const unsigned top = log2_floor(geo.user_size);
+  pmem::nv_store(rec->size_class, top);
+  pmem::nv_store(rec->status, static_cast<std::uint32_t>(kBlockFree));
+  pmem::nv_store(rec->prev_adj, kNull);
+  pmem::nv_store(rec->next_adj, kNull);
+  pmem::nv_store(rec->prev_free, kNull);
+  pmem::nv_store(rec->next_free, kNull);
+  pmem::nv_store(meta->free_heads[top].head, rec->key);
+  pmem::nv_store(meta->free_heads[top].tail, rec->key);
+  pmem::nv_store(meta->free_blocks, std::uint64_t{1});
+  pmem::persist(rec, sizeof(*rec));
+  pmem::persist(meta, sizeof(SubheapMeta));
+}
+
+unsigned Subheap::find_class(unsigned cls) const noexcept {
+  const unsigned top = log2_floor(meta_->user_size);
+  for (unsigned c = cls; c <= top; ++c) {
+    if (meta_->free_heads[c].head != kNull) return c;
+  }
+  return kMaxClasses;
+}
+
+MemblockRec* Subheap::pop_free_head(unsigned cls, UndoLogger& undo) {
+  // The head element's prev_free is a don't-care (remove_free special-
+  // cases the head), so popping never touches the successor record —
+  // one less save + write-back on the hottest path.
+  FreeListHead& h = meta_->free_heads[cls];
+  assert(h.head != kNull);
+  MemblockRec* rec = table_.find(h.head - 1);
+  assert(rec != nullptr && rec->status == kBlockFree);
+  const std::uint64_t next = rec->next_free;
+  // Group the saves of this step under one fence, then mutate.
+  undo.save_obj(h);
+  undo.save_obj(*rec);
+  undo.seal();
+  pmem::nv_store(h.head, next);
+  if (next == kNull) pmem::nv_store(h.tail, kNull);
+  pmem::nv_store(rec->next_free, kNull);
+  pmem::nv_store(rec->prev_free, kNull);
+  // Mark allocated immediately so in-flight blocks are never merge
+  // candidates for defragmentation running later in the same operation.
+  pmem::nv_store(rec->status, static_cast<std::uint32_t>(kBlockAllocated));
+  return rec;
+}
+
+void Subheap::push_free(MemblockRec* rec, unsigned cls, bool at_tail,
+                        UndoLogger& undo) {
+  FreeListHead& h = meta_->free_heads[cls];
+  const std::uint64_t off1 = rec->key;
+  MemblockRec* link = nullptr;  // list neighbour whose pointer changes
+  if (h.head != kNull) {
+    link = table_.find((at_tail ? h.tail : h.head) - 1);
+    assert(link != nullptr);
+  }
+  undo.save_obj(h);
+  undo.save_obj(*rec);
+  if (link != nullptr) undo.save_obj(*link);
+  undo.seal();
+  if (link == nullptr) {
+    pmem::nv_store(h.head, off1);
+    pmem::nv_store(h.tail, off1);
+    pmem::nv_store(rec->next_free, kNull);
+    pmem::nv_store(rec->prev_free, kNull);
+  } else if (at_tail) {
+    pmem::nv_store(link->next_free, off1);
+    pmem::nv_store(rec->prev_free, h.tail);
+    pmem::nv_store(rec->next_free, kNull);
+    pmem::nv_store(h.tail, off1);
+  } else {
+    pmem::nv_store(link->prev_free, off1);
+    pmem::nv_store(rec->next_free, h.head);
+    pmem::nv_store(rec->prev_free, kNull);
+    pmem::nv_store(h.head, off1);
+  }
+}
+
+void Subheap::remove_free(MemblockRec* rec, unsigned cls, UndoLogger& undo) {
+  FreeListHead& h = meta_->free_heads[cls];
+  // The head's prev_free is stale by convention (see pop_free_head):
+  // detect headship via the list head pointer, never via prev_free.
+  const bool is_head = h.head == rec->key;
+  MemblockRec* p =
+      !is_head && rec->prev_free != kNull ? table_.find(rec->prev_free - 1)
+                                          : nullptr;
+  MemblockRec* n =
+      rec->next_free != kNull ? table_.find(rec->next_free - 1) : nullptr;
+  assert(is_head || p != nullptr);
+  undo.save_obj(h);
+  undo.save_obj(*rec);
+  if (p != nullptr) undo.save_obj(*p);
+  if (n != nullptr) undo.save_obj(*n);
+  undo.seal();
+  if (is_head) {
+    pmem::nv_store(h.head, rec->next_free);
+    // The new head's prev_free is allowed to go stale.
+  } else {
+    pmem::nv_store(p->next_free, rec->next_free);
+    if (n != nullptr) pmem::nv_store(n->prev_free, rec->prev_free);
+  }
+  if (rec->next_free == kNull) {
+    pmem::nv_store(h.tail, is_head ? kNull : rec->prev_free);
+  }
+  pmem::nv_store(rec->next_free, kNull);
+  pmem::nv_store(rec->prev_free, kNull);
+}
+
+void Subheap::bump_counters(std::int64_t live_delta, std::int64_t free_delta,
+                            std::int64_t bytes_delta, UndoLogger& undo) {
+  // Statistics counters are *not* undo-logged: a crash may leave them
+  // stale, and recovery recomputes them from the memblock records
+  // (recover_undo), so the hot path saves an entry and a write-back.
+  (void)undo;
+  pmem::nv_store(meta_->live_blocks,
+                 meta_->live_blocks + static_cast<std::uint64_t>(live_delta));
+  pmem::nv_store(meta_->free_blocks,
+                 meta_->free_blocks + static_cast<std::uint64_t>(free_delta));
+  pmem::nv_store(
+      meta_->allocated_bytes,
+      meta_->allocated_bytes + static_cast<std::uint64_t>(bytes_delta));
+}
+
+MemblockRec* Subheap::insert_record(std::uint64_t off, UndoLogger& undo) {
+  MemblockRec* rec = table_.insert(off, undo);
+  if (rec != nullptr) return rec;
+
+  // Insert pressure (paper §5.4 case 2): merge free buddy pairs whose
+  // records occupy the probed windows.  Only a merge whose *high* buddy
+  // record sits in the window is attempted — that is the record the merge
+  // erases, freeing a probed slot.
+  bool merged = false;
+  table_.visit_windows(off, [&](MemblockRec* cand) {
+    if (cand->key == kNull || cand->status != kBlockFree) return;
+    const std::uint64_t coff = cand->key - 1;
+    const std::uint64_t csize = std::uint64_t{1} << cand->size_class;
+    const std::uint64_t buddy = coff ^ csize;
+    if (buddy > coff) return;  // cand must be the high half
+    MemblockRec* low = table_.find(buddy);
+    if (low == nullptr || low->status != kBlockFree ||
+        low->size_class != cand->size_class) {
+      return;
+    }
+    merge_pair(low, cand, cand->size_class, undo);
+    pmem::nv_store(meta_->stat_window_merges, meta_->stat_window_merges + 1);
+    merged = true;
+  });
+  if (merged) {
+    rec = table_.insert(off, undo);
+    if (rec != nullptr) return rec;
+  }
+  if (table_.try_extend(undo)) {
+    pmem::nv_store(meta_->stat_extensions, meta_->stat_extensions + 1);
+    rec = table_.insert(off, undo);
+  }
+  return rec;
+}
+
+bool Subheap::split(MemblockRec* rec, std::uint64_t off, unsigned cls,
+                    UndoLogger& undo) {
+  const std::uint64_t half = std::uint64_t{1} << (cls - 1);
+  const std::uint64_t boff = off + half;
+  MemblockRec* brec = insert_record(boff, undo);
+  if (brec == nullptr) return false;
+
+  const std::uint64_t old_next = rec->next_adj;
+  pmem::nv_store(rec->size_class, cls - 1);
+  pmem::nv_store(rec->next_adj, boff + 1);
+
+  pmem::nv_store(brec->size_class, cls - 1);
+  pmem::nv_store(brec->status, static_cast<std::uint32_t>(kBlockFree));
+  pmem::nv_store(brec->prev_adj, off + 1);
+  pmem::nv_store(brec->next_adj, old_next);
+  pmem::nv_store(brec->prev_free, kNull);
+  pmem::nv_store(brec->next_free, kNull);
+
+  if (old_next != kNull) {
+    MemblockRec* on = table_.find(old_next - 1);
+    assert(on != nullptr);
+    undo.save_obj(*on);
+    undo.seal();
+    pmem::nv_store(on->prev_adj, boff + 1);
+  }
+  // Fresh halves go to the head: they are cache-hot split remainders.
+  push_free(brec, cls - 1, /*at_tail=*/false, undo);
+  pmem::nv_store(meta_->stat_splits, meta_->stat_splits + 1);
+  return true;
+}
+
+void Subheap::merge_pair(MemblockRec* low, MemblockRec* high, unsigned cls,
+                         UndoLogger& undo) {
+  assert(low->status == kBlockFree && high->status == kBlockFree);
+  assert(low->size_class == cls && high->size_class == cls);
+  assert((low->key - 1) + (std::uint64_t{1} << cls) == high->key - 1);
+  remove_free(low, cls, undo);
+  remove_free(high, cls, undo);
+  const std::uint64_t new_next = high->next_adj;
+  table_.erase(high, undo);
+  pmem::nv_store(low->size_class, cls + 1);
+  pmem::nv_store(low->next_adj, new_next);
+  if (new_next != kNull) {
+    MemblockRec* n = table_.find(new_next - 1);
+    assert(n != nullptr);
+    undo.save_obj(*n);
+    undo.seal();
+    pmem::nv_store(n->prev_adj, low->key);
+  }
+  push_free(low, cls + 1, /*at_tail=*/false, undo);
+  pmem::nv_store(meta_->stat_merges, meta_->stat_merges + 1);
+  // Unlike the unlogged end-of-op counter bumps, a merge can run inside an
+  // operation that later rolls back (hash-pressure merges during a failed
+  // split), so its counter change must revert with the records.
+  undo.save(&meta_->live_blocks, 3 * sizeof(std::uint64_t));
+  undo.seal();
+  bump_counters(0, -1, 0, undo);
+}
+
+bool Subheap::try_merge(MemblockRec* rec, unsigned cls) {
+  const std::uint64_t off = rec->key - 1;
+  const std::uint64_t buddy = off ^ (std::uint64_t{1} << cls);
+  MemblockRec* brec = table_.find(buddy);
+  if (brec == nullptr || brec->status != kBlockFree ||
+      brec->size_class != cls) {
+    return false;
+  }
+  UndoLogger undo = make_undo();
+  MemblockRec* low = off < buddy ? rec : brec;
+  MemblockRec* high = off < buddy ? brec : rec;
+  merge_pair(low, high, cls, undo);
+  undo.commit();
+  POSEIDON_CRASH_POINT("defrag.after_merge");
+  maybe_shrink_hash();
+  return true;
+}
+
+bool Subheap::defrag_for(unsigned target) {
+  // Paper §5.4 case 1: iterate free blocks in classes below the requested
+  // one and merge buddy pairs until a large-enough block appears.
+  bool restart = true;
+  while (restart) {
+    restart = false;
+    for (unsigned c = kMinBlockShift; c < target; ++c) {
+      std::uint64_t off1 = meta_->free_heads[c].head;
+      while (off1 != kNull) {
+        MemblockRec* rec = table_.find(off1 - 1);
+        assert(rec != nullptr);
+        const std::uint64_t next = rec->next_free;
+        if (try_merge(rec, c)) {
+          if (find_class(target) != kMaxClasses) return true;
+          restart = true;  // list links changed; rescan
+          break;
+        }
+        off1 = next;
+      }
+      if (restart) break;
+    }
+  }
+  return find_class(target) != kMaxClasses;
+}
+
+void Subheap::maybe_shrink_hash() {
+  for (;;) {
+    UndoLogger undo = make_undo();
+    const auto range = table_.shrink_top_if_empty(undo);
+    if (!range) break;
+    undo.commit();
+    pmem::nv_store(meta_->stat_shrinks, meta_->stat_shrinks + 1);
+    // Punching is outside the undo protocol on purpose: the deactivated
+    // level held no records, so its content is all-zero either way.
+    if (pool_ != nullptr) pool_->punch_hole(range->off, range->len);
+  }
+}
+
+std::optional<std::uint64_t> Subheap::alloc(std::uint64_t size,
+                                            const TxHook& tx) {
+  if (size == 0 || size > meta_->user_size) return std::nullopt;
+  const unsigned cls =
+      std::max(kMinBlockShift, log2_ceil(size));
+  unsigned c = find_class(cls);
+  if (c == kMaxClasses) {
+    if (!defrag_for(cls)) return std::nullopt;
+    c = find_class(cls);
+    if (c == kMaxClasses) return std::nullopt;
+  }
+
+  UndoLogger undo = make_undo();
+  POSEIDON_CRASH_POINT("alloc.begin");
+  MemblockRec* rec = pop_free_head(c, undo);
+  const std::uint64_t off = rec->key - 1;
+  POSEIDON_CRASH_POINT("alloc.after_pop");
+
+  unsigned splits = 0;
+  while (c > cls) {
+    if (!split(rec, off, c, undo)) {
+      undo.rollback();
+      return std::nullopt;
+    }
+    --c;
+    ++splits;
+    POSEIDON_CRASH_POINT("alloc.after_split");
+  }
+
+  pmem::nv_store(rec->status, static_cast<std::uint32_t>(kBlockAllocated));
+
+  if (tx.enabled) {
+    POSEIDON_CRASH_POINT("tx.before_micro_append");
+    const NvPtr p = NvPtr::make(tx.heap_id, tx.subheap, off);
+    if (!micro_append(meta_->micro, p)) {
+      undo.rollback();
+      return std::nullopt;
+    }
+    POSEIDON_CRASH_POINT("tx.after_micro_append");
+  }
+
+  // Counters are not undo-logged (recovery recomputes them), so bump them
+  // only once every abort path is behind us.
+  bump_counters(+1, static_cast<std::int64_t>(splits) - 1,
+                static_cast<std::int64_t>(std::uint64_t{1} << cls), undo);
+
+  POSEIDON_CRASH_POINT("alloc.before_commit");
+  undo.commit();
+  POSEIDON_CRASH_POINT("alloc.after_commit");
+  return off;
+}
+
+FreeResult Subheap::free_block(std::uint64_t offset) {
+  if (offset >= meta_->user_size ||
+      (offset & ((std::uint64_t{1} << kMinBlockShift) - 1)) != 0) {
+    return FreeResult::kInvalidPointer;
+  }
+  MemblockRec* rec = table_.find(offset);
+  if (rec == nullptr) return FreeResult::kInvalidFree;
+  if (rec->status == kBlockFree) return FreeResult::kDoubleFree;
+
+  const unsigned cls = rec->size_class;
+  UndoLogger undo = make_undo();
+  POSEIDON_CRASH_POINT("free.begin");
+  // One save group for the whole op: the record, the class list head, the
+  // current tail record (its next_free changes), and the counters; the
+  // helpers' own saves dedupe against these.
+  undo.save_obj(*rec);
+  FreeListHead& h = meta_->free_heads[cls];
+  undo.save_obj(h);
+  if (h.tail != kNull) {
+    if (MemblockRec* t = table_.find(h.tail - 1)) undo.save_obj(*t);
+  }
+  undo.seal();
+  pmem::nv_store(rec->status, static_cast<std::uint32_t>(kBlockFree));
+  // Tail insertion delays reuse of the just-freed block (paper §5.5).
+  push_free(rec, cls, /*at_tail=*/true, undo);
+  bump_counters(-1, +1,
+                -static_cast<std::int64_t>(std::uint64_t{1} << cls), undo);
+  POSEIDON_CRASH_POINT("free.before_commit");
+  undo.commit();
+  POSEIDON_CRASH_POINT("free.after_commit");
+  if (eager_coalesce_) {
+    // Ablation mode: classic buddy behaviour — merge up immediately.
+    // Each try_merge is its own committed operation and leaves `rec`
+    // superseded by the merged block, so re-find after every round.
+    std::uint64_t cur = offset & ~((std::uint64_t{1} << cls) - 1);
+    for (;;) {
+      MemblockRec* r = table_.find(cur);
+      if (r == nullptr || r->status != kBlockFree) break;
+      const unsigned c = r->size_class;
+      if (!try_merge(r, c)) break;
+      cur &= ~((std::uint64_t{1} << (c + 1)) - 1);  // merged block start
+    }
+  }
+  return FreeResult::kOk;
+}
+
+void Subheap::recover_undo() {
+  UndoLogger::replay(meta_->undo, heap_base_);
+  // Rebuild the statistics counters from the (now consistent) records;
+  // they are excluded from undo logging on the hot path.
+  std::uint64_t live = 0, free_blocks = 0, bytes = 0;
+  const auto* storage =
+      reinterpret_cast<const MemblockRec*>(heap_base_ + meta_->hash_off);
+  std::uint64_t base = 0;
+  for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+    const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      const MemblockRec& rec = storage[base + i];
+      if (rec.key == kNull) continue;
+      if (rec.status == kBlockAllocated) {
+        ++live;
+        bytes += std::uint64_t{1} << rec.size_class;
+      } else {
+        ++free_blocks;
+      }
+    }
+    base += slots;
+  }
+  pmem::nv_store(meta_->live_blocks, live);
+  pmem::nv_store(meta_->free_blocks, free_blocks);
+  pmem::nv_store(meta_->allocated_bytes, bytes);
+  pmem::persist(&meta_->live_blocks, 3 * sizeof(std::uint64_t));
+}
+
+std::uint64_t Subheap::free_bytes() const noexcept {
+  const unsigned top = log2_floor(meta_->user_size);
+  std::uint64_t total = 0;
+  auto* self = const_cast<Subheap*>(this);
+  for (unsigned c = kMinBlockShift; c <= top; ++c) {
+    std::uint64_t off1 = meta_->free_heads[c].head;
+    while (off1 != kNull) {
+      total += std::uint64_t{1} << c;
+      const MemblockRec* rec = self->table_.find(off1 - 1);
+      off1 = rec->next_free;
+    }
+  }
+  return total;
+}
+
+std::uint64_t Subheap::largest_free_class() const noexcept {
+  const unsigned top = log2_floor(meta_->user_size);
+  for (unsigned c = top + 1; c-- > kMinBlockShift;) {
+    if (meta_->free_heads[c].head != kNull) return c;
+  }
+  return 0;
+}
+
+bool Subheap::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  auto* self = const_cast<Subheap*>(this);
+  const unsigned top = log2_floor(meta_->user_size);
+
+  // 1. Adjacency chain starting at offset 0 must tile the user region.
+  const MemblockRec* rec = self->table_.find(0);
+  if (rec == nullptr) return fail("no record at offset 0");
+  std::uint64_t covered = 0;
+  std::uint64_t blocks = 0, free_blocks = 0, live_blocks = 0;
+  std::uint64_t prev_key = 0;
+  while (rec != nullptr) {
+    const std::uint64_t off = rec->key - 1;
+    const std::uint64_t size = std::uint64_t{1} << rec->size_class;
+    if (off != covered) return fail("adjacency gap at " + std::to_string(off));
+    if (off % size != 0) return fail("misaligned block at " + std::to_string(off));
+    if (rec->prev_adj != prev_key) return fail("broken prev_adj at " + std::to_string(off));
+    if (rec->status != kBlockFree && rec->status != kBlockAllocated) {
+      return fail("bad status at " + std::to_string(off));
+    }
+    covered += size;
+    ++blocks;
+    if (rec->status == kBlockFree) ++free_blocks; else ++live_blocks;
+    prev_key = rec->key;
+    rec = rec->next_adj == kNull ? nullptr : self->table_.find(rec->next_adj - 1);
+    if (covered > meta_->user_size) return fail("adjacency overruns region");
+  }
+  if (covered != meta_->user_size) return fail("region not fully tiled");
+
+  // 2. Free lists: doubly linked, statuses free, classes match, and their
+  //    union equals the set of free blocks.
+  std::uint64_t listed_free = 0;
+  for (unsigned c = kMinBlockShift; c <= top; ++c) {
+    const FreeListHead& h = meta_->free_heads[c];
+    std::uint64_t off1 = h.head, prev = 0;
+    while (off1 != kNull) {
+      const MemblockRec* r = self->table_.find(off1 - 1);
+      if (r == nullptr) return fail("free list dangles in class " + std::to_string(c));
+      if (r->status != kBlockFree) return fail("non-free block in free list");
+      if (r->size_class != c) return fail("class mismatch in free list");
+      // prev_free of the head element is a don't-care (pop convention).
+      if (off1 != h.head && r->prev_free != prev) {
+        return fail("broken prev_free link");
+      }
+      ++listed_free;
+      prev = off1;
+      off1 = r->next_free;
+      if (listed_free > blocks) return fail("free list cycle");
+    }
+    if (h.tail != prev) return fail("tail mismatch in class " + std::to_string(c));
+  }
+  if (listed_free != free_blocks) return fail("free-list/record count mismatch");
+
+  // 3. Persistent counters agree.
+  if (meta_->free_blocks != free_blocks) return fail("free_blocks counter drift");
+  if (meta_->live_blocks != live_blocks) return fail("live_blocks counter drift");
+
+  // 4. Hash level occupancy counters agree with a full scan.
+  std::uint64_t scanned = 0;
+  auto* storage = reinterpret_cast<const MemblockRec*>(heap_base_ + meta_->hash_off);
+  std::uint64_t base = 0;
+  for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+    const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+    std::uint64_t n = 0;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      if (storage[base + i].key != 0) ++n;
+    }
+    if (n != meta_->level_count[lvl]) {
+      return fail("level_count drift at level " + std::to_string(lvl));
+    }
+    scanned += n;
+    base += slots;
+  }
+  if (scanned != blocks) return fail("hash record count mismatch");
+  return true;
+}
+
+}  // namespace poseidon::core

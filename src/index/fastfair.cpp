@@ -1,0 +1,415 @@
+#include "index/fastfair.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/compiler.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::index {
+
+namespace {
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+}
+
+// 512-byte node: 48-byte header + 29 sorted entries.  Sibling pointers
+// (B-link) let lookups and lock acquisition recover from concurrent
+// splits by moving right; min_key is the immutable fence set at creation.
+struct FastFairTree::Node {
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t val;  // leaf: value; internal: child Node*
+  };
+
+  std::uint64_t version;  // seqlock; odd = write-locked
+  Node* sibling;
+  Node* leftmost;  // internal nodes: child for keys < entries[0].key
+  std::uint64_t min_key;
+  std::uint16_t nkeys;
+  std::uint8_t is_leaf;
+  std::uint8_t level;  // 0 = leaf
+  std::uint32_t pad;
+
+  static constexpr unsigned kHeaderSize = 48;
+  static constexpr unsigned kEntries =
+      (FastFairTree::kNodeSize - kHeaderSize) / sizeof(Entry);
+  Entry entries[kEntries];
+
+  std::atomic_ref<std::uint64_t> ver() noexcept {
+    return std::atomic_ref<std::uint64_t>(version);
+  }
+  std::uint64_t ver_load() const noexcept {
+    return std::atomic_ref<const std::uint64_t>(version).load(
+        std::memory_order_acquire);
+  }
+
+  std::uint64_t read_begin() const noexcept {
+    std::uint64_t v;
+    while ((v = ver_load()) & 1) cpu_relax();
+    return v;
+  }
+  bool read_ok(std::uint64_t v) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return ver_load() == v;
+  }
+  void write_lock() noexcept {
+    for (;;) {
+      std::uint64_t v = ver_load();
+      if ((v & 1) == 0 &&
+          ver().compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+  void write_unlock() noexcept {
+    ver().store(version + 1, std::memory_order_release);
+  }
+
+  // Child to descend into for `key` (caller validates the seqlock).
+  Node* child_for(std::uint64_t key) const noexcept {
+    const unsigned n = nkeys;
+    if (n == 0 || key < entries[0].key) return leftmost;
+    unsigned lo = 0, hi = n;  // last index with entries[idx].key <= key
+    while (hi - lo > 1) {
+      const unsigned mid = (lo + hi) / 2;
+      if (entries[mid].key <= key) lo = mid; else hi = mid;
+    }
+    return reinterpret_cast<Node*>(entries[lo].val);
+  }
+
+  // Index of `key`, or -1 (caller validates).
+  int find(std::uint64_t key) const noexcept {
+    unsigned lo = 0, hi = nkeys;
+    while (lo < hi) {
+      const unsigned mid = (lo + hi) / 2;
+      if (entries[mid].key < key) lo = mid + 1; else hi = mid;
+    }
+    return lo < nkeys && entries[lo].key == key ? static_cast<int>(lo) : -1;
+  }
+
+  // FAIR insertion shift: entries move right-to-left with per-slot stores,
+  // the touched range is persisted before the count that exposes it.
+  void insert_sorted(std::uint64_t key, std::uint64_t val) noexcept {
+    int i = static_cast<int>(nkeys) - 1;
+    while (i >= 0 && entries[i].key > key) {
+      pmem::nv_store(entries[i + 1], entries[i]);
+      --i;
+    }
+    pmem::nv_store(entries[i + 1], Entry{key, val});
+    pmem::persist(&entries[i + 1],
+                  (nkeys - static_cast<unsigned>(i)) * sizeof(Entry));
+    pmem::nv_store(nkeys, static_cast<std::uint16_t>(nkeys + 1));
+    pmem::persist(&nkeys, sizeof(nkeys));
+  }
+
+  void remove_at(int idx) noexcept {
+    for (unsigned j = static_cast<unsigned>(idx); j + 1 < nkeys; ++j) {
+      pmem::nv_store(entries[j], entries[j + 1]);
+    }
+    pmem::persist(&entries[idx], (nkeys - idx) * sizeof(Entry));
+    pmem::nv_store(nkeys, static_cast<std::uint16_t>(nkeys - 1));
+    pmem::persist(&nkeys, sizeof(nkeys));
+  }
+};
+
+FastFairTree::FastFairTree(iface::PAllocator* alloc) : alloc_(alloc) {
+  static_assert(sizeof(Node) <= kNodeSize);
+  root_.store(new_node(/*leaf=*/true, /*level=*/0, /*min_key=*/0),
+              std::memory_order_release);
+}
+
+FastFairTree::Node* FastFairTree::new_node(bool leaf, unsigned level,
+                                           std::uint64_t min_key) {
+  auto* n = static_cast<Node*>(alloc_->alloc(kNodeSize));
+  if (n == nullptr) return nullptr;
+  std::memset(n, 0, sizeof(Node));
+  n->is_leaf = leaf ? 1 : 0;
+  n->level = static_cast<std::uint8_t>(level);
+  n->min_key = min_key;
+  pmem::persist(n, sizeof(Node));
+  return n;
+}
+
+FastFairTree::Node* FastFairTree::descend_to(std::uint64_t key,
+                                             unsigned target_level,
+                                             std::vector<Node*>* path) const {
+  for (;;) {
+    Node* n = root_.load(std::memory_order_acquire);
+    if (path != nullptr) path->clear();
+    if (n->level < target_level) return nullptr;  // tree shorter than asked
+    bool restart = false;
+    while (!restart) {
+      const std::uint64_t v = n->read_begin();
+      Node* sib = n->sibling;
+      if (sib != nullptr && key >= sib->min_key) {
+        if (!n->read_ok(v)) continue;
+        n = sib;  // split raced us; move right
+        continue;
+      }
+      if (n->level == target_level) {
+        if (path != nullptr) path->push_back(n);
+        return n;
+      }
+      Node* child = n->child_for(key);
+      if (!n->read_ok(v)) continue;  // re-read this node
+      if (child == nullptr) { restart = true; break; }
+      if (path != nullptr) path->push_back(n);
+      n = child;
+    }
+  }
+}
+
+FastFairTree::Node* FastFairTree::lock_covering(Node* n, std::uint64_t key) {
+  n->write_lock();
+  while (n->sibling != nullptr && key >= n->sibling->min_key) {
+    Node* sib = n->sibling;
+    sib->write_lock();
+    n->write_unlock();
+    n = sib;
+  }
+  return n;
+}
+
+bool FastFairTree::insert(std::uint64_t key, std::uint64_t value) {
+  std::vector<Node*> path;
+  Node* leaf = descend_to(key, 0, &path);
+  leaf = lock_covering(leaf, key);
+
+  if (leaf->find(key) >= 0) {
+    leaf->write_unlock();
+    return false;
+  }
+  if (leaf->nkeys < Node::kEntries) {
+    leaf->insert_sorted(key, value);
+    leaf->write_unlock();
+    return true;
+  }
+
+  // Split: right node is fully built and locked before it becomes
+  // reachable; the left node's new sibling link is the publish point.
+  const unsigned half = Node::kEntries / 2;
+  const std::uint64_t sep = leaf->entries[half].key;
+  Node* right = new_node(true, 0, sep);
+  if (right == nullptr) {
+    leaf->write_unlock();
+    return false;
+  }
+  right->write_lock();
+  for (unsigned i = half; i < Node::kEntries; ++i) {
+    pmem::nv_store(right->entries[i - half], leaf->entries[i]);
+  }
+  pmem::nv_store(right->nkeys,
+                 static_cast<std::uint16_t>(Node::kEntries - half));
+  pmem::nv_store(right->sibling, leaf->sibling);
+  pmem::persist(right, sizeof(Node));
+  pmem::nv_store(leaf->sibling, right);
+  pmem::nv_store(leaf->nkeys, static_cast<std::uint16_t>(half));
+  pmem::persist(&leaf->version, Node::kHeaderSize);
+
+  if (key < sep) {
+    leaf->insert_sorted(key, value);
+  } else {
+    right->insert_sorted(key, value);
+  }
+  right->write_unlock();
+  leaf->write_unlock();
+
+  insert_upward(leaf, sep, right, 1, path);
+  return true;
+}
+
+void FastFairTree::insert_upward(Node* child, std::uint64_t sep, Node* right,
+                                 unsigned level, std::vector<Node*>& path) {
+  for (;;) {
+    // Root split?
+    {
+      std::lock_guard<std::mutex> lk(root_mu_);
+      if (root_.load(std::memory_order_acquire) == child) {
+        Node* nr = new_node(false, level, 0);
+        // Allocation failure here loses only an interior fan-out shortcut:
+        // right stays reachable through sibling links.
+        if (nr == nullptr) return;
+        nr->leftmost = child;
+        nr->entries[0] = {sep, reinterpret_cast<std::uint64_t>(right)};
+        nr->nkeys = 1;
+        pmem::persist(nr, sizeof(Node));
+        root_.store(nr, std::memory_order_release);
+        return;
+      }
+    }
+    Node* parent = nullptr;
+    if (path.size() > level) {
+      parent = path[path.size() - 1 - level];
+    } else {
+      parent = descend_to(sep, level, nullptr);
+      if (parent == nullptr) {
+        // The tree is still shorter than `level`: retry the root check.
+        continue;
+      }
+    }
+    parent = lock_covering(parent, sep);
+    if (parent->nkeys < Node::kEntries) {
+      parent->insert_sorted(sep, reinterpret_cast<std::uint64_t>(right));
+      parent->write_unlock();
+      return;
+    }
+    // Parent full: split it and continue one level up.
+    const unsigned half = Node::kEntries / 2;
+    // The middle key moves up; its child becomes the right node's leftmost.
+    const std::uint64_t up_sep = parent->entries[half].key;
+    Node* pright = new_node(false, level, up_sep);
+    if (pright == nullptr) {
+      parent->write_unlock();
+      return;
+    }
+    pright->write_lock();
+    pright->leftmost = reinterpret_cast<Node*>(parent->entries[half].val);
+    for (unsigned i = half + 1; i < Node::kEntries; ++i) {
+      pmem::nv_store(pright->entries[i - half - 1], parent->entries[i]);
+    }
+    pmem::nv_store(pright->nkeys,
+                   static_cast<std::uint16_t>(Node::kEntries - half - 1));
+    pmem::nv_store(pright->sibling, parent->sibling);
+    pmem::persist(pright, sizeof(Node));
+    pmem::nv_store(parent->sibling, pright);
+    pmem::nv_store(parent->nkeys, static_cast<std::uint16_t>(half));
+    pmem::persist(&parent->version, Node::kHeaderSize);
+
+    if (sep < up_sep) {
+      parent->insert_sorted(sep, reinterpret_cast<std::uint64_t>(right));
+    } else {
+      pright->insert_sorted(sep, reinterpret_cast<std::uint64_t>(right));
+    }
+    pright->write_unlock();
+    parent->write_unlock();
+
+    child = parent;
+    sep = up_sep;
+    right = pright;
+    ++level;
+    // The retained path no longer helps above this level if it was stale;
+    // the loop re-descends as needed.
+  }
+}
+
+std::optional<std::uint64_t> FastFairTree::search(std::uint64_t key) const {
+  Node* n = descend_to(key, 0, nullptr);
+  for (;;) {
+    const std::uint64_t v = n->read_begin();
+    Node* sib = n->sibling;
+    if (sib != nullptr && key >= sib->min_key) {
+      if (!n->read_ok(v)) continue;
+      n = sib;
+      continue;
+    }
+    const int idx = n->find(key);
+    const std::uint64_t val = idx >= 0 ? n->entries[idx].val : 0;
+    if (!n->read_ok(v)) continue;
+    if (idx < 0) return std::nullopt;
+    return val;
+  }
+}
+
+bool FastFairTree::update(std::uint64_t key, std::uint64_t value) {
+  Node* leaf = descend_to(key, 0, nullptr);
+  leaf = lock_covering(leaf, key);
+  const int idx = leaf->find(key);
+  if (idx < 0) {
+    leaf->write_unlock();
+    return false;
+  }
+  pmem::nv_store(leaf->entries[idx].val, value);
+  pmem::persist(&leaf->entries[idx].val, sizeof(std::uint64_t));
+  leaf->write_unlock();
+  return true;
+}
+
+std::optional<std::uint64_t> FastFairTree::exchange(std::uint64_t key,
+                                                    std::uint64_t value) {
+  Node* leaf = descend_to(key, 0, nullptr);
+  leaf = lock_covering(leaf, key);
+  const int idx = leaf->find(key);
+  if (idx < 0) {
+    leaf->write_unlock();
+    return std::nullopt;
+  }
+  const std::uint64_t old = leaf->entries[idx].val;
+  pmem::nv_store(leaf->entries[idx].val, value);
+  pmem::persist(&leaf->entries[idx].val, sizeof(std::uint64_t));
+  leaf->write_unlock();
+  return old;
+}
+
+bool FastFairTree::remove(std::uint64_t key) {
+  Node* leaf = descend_to(key, 0, nullptr);
+  leaf = lock_covering(leaf, key);
+  const int idx = leaf->find(key);
+  if (idx < 0) {
+    leaf->write_unlock();
+    return false;
+  }
+  leaf->remove_at(idx);
+  leaf->write_unlock();
+  return true;
+}
+
+std::size_t FastFairTree::scan(std::uint64_t from, std::size_t limit,
+                               std::uint64_t* out_values) const {
+  std::size_t got = 0;
+  Node* n = descend_to(from, 0, nullptr);
+  while (n != nullptr && got < limit) {
+    const std::uint64_t v = n->read_begin();
+    std::uint64_t vals[Node::kEntries];
+    std::uint64_t keys[Node::kEntries];
+    const unsigned cnt = n->nkeys;
+    for (unsigned i = 0; i < cnt && i < Node::kEntries; ++i) {
+      keys[i] = n->entries[i].key;
+      vals[i] = n->entries[i].val;
+    }
+    Node* next = n->sibling;
+    if (!n->read_ok(v)) continue;
+    for (unsigned i = 0; i < cnt && got < limit; ++i) {
+      if (keys[i] >= from) out_values[got++] = vals[i];
+    }
+    n = next;
+  }
+  return got;
+}
+
+std::uint64_t FastFairTree::height() const noexcept {
+  return root_.load(std::memory_order_acquire)->level + 1;
+}
+
+bool FastFairTree::check(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  // Quiescent walk: every level's sibling chain must be sorted and fenced.
+  Node* level_head = root_.load(std::memory_order_acquire);
+  while (level_head != nullptr) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (Node* n = level_head; n != nullptr; n = n->sibling) {
+      if (n->nkeys > Node::kEntries) return fail("count overflow");
+      for (unsigned i = 0; i < n->nkeys; ++i) {
+        const std::uint64_t k = n->entries[i].key;
+        if (!first && k <= prev) return fail("keys out of order");
+        if (k < n->min_key) return fail("key below fence");
+        prev = k;
+        first = false;
+      }
+      if (n->sibling != nullptr && !first && prev >= n->sibling->min_key) {
+        return fail("fence overlap with sibling");
+      }
+      if (n->level != level_head->level) return fail("level mismatch");
+    }
+    if (level_head->is_leaf) break;
+    level_head = level_head->leftmost;
+    if (level_head == nullptr) return fail("internal node without leftmost");
+  }
+  return true;
+}
+
+}  // namespace poseidon::index

@@ -1,0 +1,73 @@
+// FAST-FAIR-style persistent B+-tree (Hwang et al., FAST'18) — the index
+// the paper's YCSB experiment (§7.5) builds on top of each allocator.
+//
+// Byte-addressable persistent B+-tree with failure-atomic in-node shifts:
+// entries are moved with 8-byte stores ordered by clwb+sfence per touched
+// cache line (FAIR), so a crash leaves at worst a transient duplicate that
+// readers skip.  Node concurrency uses B-link sibling pointers with
+// per-node sequence locks: writers lock the node (version goes odd),
+// readers snapshot optimistically and retry on version change — a
+// simplification of FAST's duplicate-tolerant lock-free reads that keeps
+// the same structure and persistence ordering (see DESIGN.md).
+//
+// Nodes and values are carved from the pluggable PAllocator, which is the
+// point: tree build/update throughput is dominated by allocator behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc_iface/allocator.hpp"
+
+namespace poseidon::index {
+
+class FastFairTree {
+ public:
+  static constexpr unsigned kNodeSize = 512;
+
+  // The tree does not own the allocator.  Creates an empty root leaf.
+  explicit FastFairTree(iface::PAllocator* alloc);
+
+  // Insert; false when the key exists or allocation failed.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  // Point lookup.
+  std::optional<std::uint64_t> search(std::uint64_t key) const;
+  // In-place value replacement; false when absent.
+  bool update(std::uint64_t key, std::uint64_t value);
+  // Replace the value and return the previous one (under the leaf lock),
+  // so concurrent updaters never free the same old value twice.
+  std::optional<std::uint64_t> exchange(std::uint64_t key,
+                                        std::uint64_t value);
+  // Delete; false when absent.
+  bool remove(std::uint64_t key);
+  // Scan up to `limit` entries with key >= from; returns count.
+  std::size_t scan(std::uint64_t from, std::size_t limit,
+                   std::uint64_t* out_values) const;
+
+  std::uint64_t height() const noexcept;
+
+  // Test support: verify sortedness, fence keys and sibling links.
+  bool check(std::string* why = nullptr) const;
+
+ private:
+  struct Node;
+
+  Node* new_node(bool leaf, unsigned level, std::uint64_t min_key);
+  Node* descend_to(std::uint64_t key, unsigned target_level,
+                   std::vector<Node*>* path) const;
+  // Lock `n`, moving right along siblings until it covers `key`.
+  static Node* lock_covering(Node* n, std::uint64_t key);
+  // Insert (key, right) into the parent of `child` at `level`.
+  void insert_upward(Node* child, std::uint64_t sep, Node* right,
+                     unsigned level, std::vector<Node*>& path);
+
+  iface::PAllocator* alloc_;
+  std::atomic<Node*> root_;
+  mutable std::mutex root_mu_;
+};
+
+}  // namespace poseidon::index

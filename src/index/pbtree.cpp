@@ -1,0 +1,381 @@
+#include "index/pbtree.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "pmem/persist.hpp"
+
+namespace poseidon::index {
+
+using core::Heap;
+using core::NvPtr;
+
+namespace {
+constexpr std::uint32_t kNodeMagic = 0x42545231;  // "BTR1"
+constexpr std::uint64_t kHandleMagic = 0x50425452454531ull;
+constexpr std::uint64_t kNullRef = 0;
+}  // namespace
+
+// 8-byte packed persistent reference (+1 so 0 is null); heap id implicit.
+struct PersistentBTree::Node {
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t val;  // leaf: user value; internal: child pref
+  };
+
+  std::uint32_t magic;
+  std::uint16_t nkeys;
+  std::uint8_t level;  // 0 = leaf
+  std::uint8_t is_leaf;
+  std::uint64_t sibling;   // pref
+  std::uint64_t leftmost;  // pref, internal only
+  std::uint64_t min_key;   // immutable fence
+
+  static constexpr unsigned kHeaderSize = 32;
+  static constexpr unsigned kEntries =
+      (PersistentBTree::kNodeSize - kHeaderSize) / sizeof(Entry);
+  Entry entries[kEntries];
+
+  int find(std::uint64_t key) const noexcept {
+    unsigned lo = 0, hi = nkeys;
+    while (lo < hi) {
+      const unsigned mid = (lo + hi) / 2;
+      if (entries[mid].key < key) lo = mid + 1; else hi = mid;
+    }
+    return lo < nkeys && entries[lo].key == key ? static_cast<int>(lo) : -1;
+  }
+
+  std::uint64_t child_for(std::uint64_t key) const noexcept {
+    if (nkeys == 0 || key < entries[0].key) return leftmost;
+    unsigned lo = 0, hi = nkeys;
+    while (hi - lo > 1) {
+      const unsigned mid = (lo + hi) / 2;
+      if (entries[mid].key <= key) lo = mid; else hi = mid;
+    }
+    return entries[lo].val;
+  }
+
+  // FAIR insert: shift right-to-left, persist the moved range, then the
+  // count that makes it visible.
+  void insert_sorted(std::uint64_t key, std::uint64_t val) noexcept {
+    int i = static_cast<int>(nkeys) - 1;
+    while (i >= 0 && entries[i].key > key) {
+      pmem::nv_store(entries[i + 1], entries[i]);
+      --i;
+    }
+    pmem::nv_store(entries[i + 1], Entry{key, val});
+    pmem::persist(&entries[i + 1],
+                  (nkeys - static_cast<unsigned>(i)) * sizeof(Entry));
+    pmem::nv_store(nkeys, static_cast<std::uint16_t>(nkeys + 1));
+    pmem::persist(&nkeys, sizeof(nkeys));
+  }
+
+  void remove_at(int idx) noexcept {
+    for (unsigned j = static_cast<unsigned>(idx); j + 1 < nkeys; ++j) {
+      pmem::nv_store(entries[j], entries[j + 1]);
+    }
+    pmem::persist(&entries[idx], (nkeys - idx) * sizeof(Entry));
+    pmem::nv_store(nkeys, static_cast<std::uint16_t>(nkeys - 1));
+    pmem::persist(&nkeys, sizeof(nkeys));
+  }
+};
+
+struct PersistentBTree::Handle {
+  std::uint64_t magic;
+  std::uint64_t root;  // pref
+  std::uint64_t height;
+  std::uint64_t count;
+};
+
+PersistentBTree::Node* PersistentBTree::node_at(
+    std::uint64_t pref) const noexcept {
+  if (pref == kNullRef) return nullptr;
+  return static_cast<Node*>(heap_->raw(NvPtr{heap_->heap_id(), pref - 1}));
+}
+
+std::uint64_t PersistentBTree::pref_of(const NvPtr& p) const noexcept {
+  return p.is_null() ? kNullRef : p.packed + 1;
+}
+
+std::uint64_t PersistentBTree::new_node(bool leaf, unsigned level,
+                                        std::uint64_t min_key) {
+  // Plain (committed) allocation: a crash between this allocation and the
+  // 8-byte link that publishes the node can leak one node — never corrupt
+  // or dangle.  Applications can sweep leaks offline via
+  // Heap::visit_blocks if they care (see DESIGN.md).
+  const NvPtr p = heap_->alloc(sizeof(Node));
+  if (p.is_null()) return kNullRef;
+  auto* n = static_cast<Node*>(heap_->raw(p));
+  std::memset(n, 0, sizeof(Node));
+  n->magic = kNodeMagic;
+  n->level = static_cast<std::uint8_t>(level);
+  n->is_leaf = leaf ? 1 : 0;
+  n->min_key = min_key;
+  pmem::persist(n, sizeof(Node));
+  return pref_of(p);
+}
+
+PersistentBTree PersistentBTree::create(Heap& heap) {
+  const NvPtr hp = heap.alloc(sizeof(Handle));
+  if (hp.is_null()) throw std::runtime_error("pbtree: heap exhausted");
+  auto* handle = static_cast<Handle*>(heap.raw(hp));
+  std::memset(handle, 0, sizeof(Handle));
+  PersistentBTree t(heap, hp);
+  const std::uint64_t root = t.new_node(/*leaf=*/true, 0, 0);
+  if (root == kNullRef) throw std::runtime_error("pbtree: heap exhausted");
+  handle->root = root;
+  handle->height = 1;
+  handle->count = 0;
+  pmem::persist(handle, sizeof(Handle));
+  // Magic last: a half-created handle is never mistaken for a tree.
+  pmem::nv_store_persist(handle->magic, kHandleMagic);
+  return t;
+}
+
+PersistentBTree PersistentBTree::attach(Heap& heap, NvPtr handle) {
+  PersistentBTree t(heap, handle);
+  if (t.handle_ == nullptr || t.handle_->magic != kHandleMagic) {
+    throw std::runtime_error("pbtree: not a tree handle");
+  }
+  // The count may drift if a crash hit between an op and its count
+  // update; recount from the leaf chain (attach-time repair).
+  std::uint64_t n = 0;
+  std::uint64_t cur = t.handle_->root;
+  const Node* node = t.node_at(cur);
+  while (node != nullptr && node->is_leaf == 0) {
+    cur = node->leftmost;
+    node = t.node_at(cur);
+  }
+  while (node != nullptr) {
+    n += node->nkeys;
+    node = t.node_at(node->sibling);
+  }
+  if (n != t.handle_->count) {
+    pmem::nv_store_persist(t.handle_->count, n);
+  }
+  return t;
+}
+
+PersistentBTree::PersistentBTree(Heap& heap, NvPtr handle)
+    : heap_(&heap), handle_ptr_(handle) {
+  handle_ = static_cast<Handle*>(heap.raw(handle));
+}
+
+PersistentBTree::PersistentBTree(PersistentBTree&& other) noexcept
+    : heap_(other.heap_),
+      handle_ptr_(other.handle_ptr_),
+      handle_(other.handle_) {
+  other.handle_ = nullptr;
+}
+
+PersistentBTree::~PersistentBTree() = default;
+
+NvPtr PersistentBTree::handle() const noexcept { return handle_ptr_; }
+
+std::uint64_t PersistentBTree::descend(std::uint64_t key,
+                                       unsigned target_level) const {
+  std::uint64_t cur = handle_->root;
+  const Node* n = node_at(cur);
+  while (n != nullptr) {
+    // B-link move-right: a sibling published before its parent separator
+    // is still reachable.
+    const Node* sib = node_at(n->sibling);
+    if (sib != nullptr && key >= sib->min_key) {
+      cur = n->sibling;
+      n = sib;
+      continue;
+    }
+    if (n->level == target_level) return cur;
+    cur = n->child_for(key);
+    n = node_at(cur);
+  }
+  return kNullRef;
+}
+
+bool PersistentBTree::insert(std::uint64_t key, std::uint64_t value) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const std::uint64_t leaf_ref = descend(key, 0);
+  Node* leaf = node_at(leaf_ref);
+  if (leaf == nullptr || leaf->find(key) >= 0) return false;
+
+  if (leaf->nkeys < Node::kEntries) {
+    leaf->insert_sorted(key, value);
+    pmem::nv_store_persist(handle_->count, handle_->count + 1);
+    return true;
+  }
+
+  // Split.  Build and persist the right node completely, then publish it
+  // with the single 8-byte sibling store.
+  const unsigned half = Node::kEntries / 2;
+  const std::uint64_t sep = leaf->entries[half].key;
+  const std::uint64_t right_ref = new_node(true, 0, sep);
+  if (right_ref == kNullRef) return false;
+  Node* right = node_at(right_ref);
+  for (unsigned i = half; i < Node::kEntries; ++i) {
+    right->entries[i - half] = leaf->entries[i];
+  }
+  right->nkeys = static_cast<std::uint16_t>(Node::kEntries - half);
+  right->sibling = leaf->sibling;
+  pmem::persist(right, sizeof(Node));
+  pmem::nv_store_persist(leaf->sibling, right_ref);  // publish
+  pmem::nv_store(leaf->nkeys, static_cast<std::uint16_t>(half));
+  pmem::persist(&leaf->nkeys, sizeof(leaf->nkeys));
+
+  if (key < sep) {
+    leaf->insert_sorted(key, value);
+  } else {
+    right->insert_sorted(key, value);
+  }
+  pmem::nv_store_persist(handle_->count, handle_->count + 1);
+  insert_upward(leaf_ref, sep, right_ref, 1);
+  return true;
+}
+
+void PersistentBTree::insert_upward(std::uint64_t left, std::uint64_t sep,
+                                    std::uint64_t right, unsigned level) {
+  for (;;) {
+    if (handle_->root == left) {
+      const std::uint64_t nr_ref = new_node(false, level, 0);
+      if (nr_ref == kNullRef) return;  // reachable via B-link; no fan-out
+      Node* nr = node_at(nr_ref);
+      nr->leftmost = left;
+      nr->entries[0] = {sep, right};
+      nr->nkeys = 1;
+      pmem::persist(nr, sizeof(Node));
+      pmem::nv_store_persist(handle_->root, nr_ref);  // publish new root
+      pmem::nv_store_persist(handle_->height, handle_->height + 1);
+      return;
+    }
+    const std::uint64_t parent_ref = descend(sep, level);
+    Node* parent = node_at(parent_ref);
+    if (parent == nullptr) return;
+    if (parent->nkeys < Node::kEntries) {
+      parent->insert_sorted(sep, right);
+      return;
+    }
+    // Split the parent: the middle key moves up; its child becomes the
+    // right node's leftmost.
+    const unsigned half = Node::kEntries / 2;
+    const std::uint64_t up_sep = parent->entries[half].key;
+    const std::uint64_t pright_ref = new_node(false, level, up_sep);
+    if (pright_ref == kNullRef) return;
+    Node* pright = node_at(pright_ref);
+    pright->leftmost = parent->entries[half].val;
+    for (unsigned i = half + 1; i < Node::kEntries; ++i) {
+      pright->entries[i - half - 1] = parent->entries[i];
+    }
+    pright->nkeys = static_cast<std::uint16_t>(Node::kEntries - half - 1);
+    pright->sibling = parent->sibling;
+    pmem::persist(pright, sizeof(Node));
+    pmem::nv_store_persist(parent->sibling, pright_ref);  // publish
+    pmem::nv_store(parent->nkeys, static_cast<std::uint16_t>(half));
+    pmem::persist(&parent->nkeys, sizeof(parent->nkeys));
+
+    if (sep < up_sep) {
+      parent->insert_sorted(sep, right);
+    } else {
+      pright->insert_sorted(sep, right);
+    }
+    left = parent_ref;
+    sep = up_sep;
+    right = pright_ref;
+    ++level;
+  }
+}
+
+std::optional<std::uint64_t> PersistentBTree::search(
+    std::uint64_t key) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  const Node* leaf = node_at(descend(key, 0));
+  if (leaf == nullptr) return std::nullopt;
+  const int idx = leaf->find(key);
+  if (idx < 0) return std::nullopt;
+  return leaf->entries[idx].val;
+}
+
+bool PersistentBTree::update(std::uint64_t key, std::uint64_t value) {
+  return exchange(key, value).has_value();
+}
+
+std::optional<std::uint64_t> PersistentBTree::exchange(std::uint64_t key,
+                                                       std::uint64_t value) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  Node* leaf = node_at(descend(key, 0));
+  if (leaf == nullptr) return std::nullopt;
+  const int idx = leaf->find(key);
+  if (idx < 0) return std::nullopt;
+  const std::uint64_t old = leaf->entries[idx].val;
+  pmem::nv_store(leaf->entries[idx].val, value);
+  pmem::persist(&leaf->entries[idx].val, sizeof(std::uint64_t));
+  return old;
+}
+
+bool PersistentBTree::remove(std::uint64_t key) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  Node* leaf = node_at(descend(key, 0));
+  if (leaf == nullptr) return false;
+  const int idx = leaf->find(key);
+  if (idx < 0) return false;
+  leaf->remove_at(idx);
+  pmem::nv_store_persist(handle_->count, handle_->count - 1);
+  return true;
+}
+
+std::size_t PersistentBTree::scan(std::uint64_t from, std::size_t limit,
+                                  std::uint64_t* out_values) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::size_t got = 0;
+  const Node* n = node_at(descend(from, 0));
+  while (n != nullptr && got < limit) {
+    for (unsigned i = 0; i < n->nkeys && got < limit; ++i) {
+      if (n->entries[i].key >= from) out_values[got++] = n->entries[i].val;
+    }
+    n = node_at(n->sibling);
+  }
+  return got;
+}
+
+std::uint64_t PersistentBTree::size() const noexcept {
+  return handle_->count;
+}
+
+std::uint64_t PersistentBTree::height() const noexcept {
+  return handle_->height;
+}
+
+bool PersistentBTree::check(std::string* why) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::uint64_t level_head = handle_->root;
+  std::uint64_t leaf_count = 0;
+  while (level_head != kNullRef) {
+    const Node* head = node_at(level_head);
+    if (head == nullptr || head->magic != kNodeMagic) {
+      return fail("dangling level head");
+    }
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Node* n = head; n != nullptr; n = node_at(n->sibling)) {
+      if (n->magic != kNodeMagic) return fail("bad node magic");
+      if (n->level != head->level) return fail("level mismatch");
+      for (unsigned i = 0; i < n->nkeys; ++i) {
+        const std::uint64_t k = n->entries[i].key;
+        if (!first && k <= prev) return fail("keys out of order");
+        if (k < n->min_key) return fail("key below fence");
+        prev = k;
+        first = false;
+      }
+      if (n->is_leaf) leaf_count += n->nkeys;
+    }
+    if (head->is_leaf) break;
+    level_head = head->leftmost;
+  }
+  if (leaf_count != handle_->count) return fail("count drift");
+  return true;
+}
+
+}  // namespace poseidon::index

@@ -1,0 +1,93 @@
+// PersistentBTree — a restart-surviving B+-tree over a single Poseidon
+// heap.
+//
+// Where the FAST-FAIR tree (fastfair.hpp) chases raw pointers — the
+// representation the original FAST-FAIR code uses, valid only within one
+// process lifetime — this tree links nodes with 8-byte *packed persistent
+// references* (sub-heap:16 | offset:48; the heap id is implicit), so the
+// whole index survives arbitrary restarts and remaps: re-`attach` to the
+// handle object and keep going.
+//
+// Crash consistency without logging, FAIR-style, by ordering 8-byte
+// publication points:
+//   * in-node inserts shift right-to-left and persist the moved range
+//     before the count that exposes it;
+//   * splits build and persist the right node completely, then publish it
+//     with one 8-byte sibling-link store; a crash between sibling link and
+//     parent insert leaves a B-link-searchable tree (lookups move right);
+//   * root growth publishes through one 8-byte store in the handle.
+// A crash between a node's allocation and its publishing link can leak
+// that one node — never corrupt or dangle (leak-not-corruption is the
+// right side of the trade; Heap::visit_blocks enables offline sweeps).
+//
+// Concurrency: one reader-writer lock per tree — simple and correct; the
+// FAST-FAIR tree is the scalable-writes option.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "core/heap.hpp"
+
+namespace poseidon::index {
+
+class PersistentBTree {
+ public:
+  static constexpr unsigned kNodeSize = 512;
+
+  // Create an empty tree on `heap`; the returned handle pointer should be
+  // anchored by the application (e.g. heap.set_root(tree.handle())).
+  static PersistentBTree create(core::Heap& heap);
+
+  // Re-attach to an existing tree after a restart.  Throws
+  // std::runtime_error if `handle` does not reference a tree.
+  static PersistentBTree attach(core::Heap& heap, core::NvPtr handle);
+
+  PersistentBTree(PersistentBTree&&) noexcept;
+  ~PersistentBTree();
+  PersistentBTree(const PersistentBTree&) = delete;
+  PersistentBTree& operator=(const PersistentBTree&) = delete;
+
+  // Persistent pointer to the tree's handle object.
+  core::NvPtr handle() const noexcept;
+
+  // False when the key exists or allocation fails.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> search(std::uint64_t key) const;
+  bool update(std::uint64_t key, std::uint64_t value);
+  // Replace and return the previous value (for safe old-value disposal).
+  std::optional<std::uint64_t> exchange(std::uint64_t key,
+                                        std::uint64_t value);
+  bool remove(std::uint64_t key);
+  std::size_t scan(std::uint64_t from, std::size_t limit,
+                   std::uint64_t* out_values) const;
+
+  std::uint64_t size() const noexcept;    // live keys
+  std::uint64_t height() const noexcept;
+
+  // Structural verification (sortedness, fences, sibling chains, size).
+  bool check(std::string* why = nullptr) const;
+
+ private:
+  struct Node;
+  struct Handle;
+
+  PersistentBTree(core::Heap& heap, core::NvPtr handle);
+
+  Node* node_at(std::uint64_t pref) const noexcept;
+  std::uint64_t pref_of(const core::NvPtr& p) const noexcept;
+  // Allocate a node inside the current tx; 0 on exhaustion.
+  std::uint64_t new_node(bool leaf, unsigned level, std::uint64_t min_key);
+  std::uint64_t descend(std::uint64_t key, unsigned target_level) const;
+  void insert_upward(std::uint64_t left, std::uint64_t sep,
+                     std::uint64_t right, unsigned level);
+
+  core::Heap* heap_;
+  core::NvPtr handle_ptr_;
+  Handle* handle_ = nullptr;
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace poseidon::index

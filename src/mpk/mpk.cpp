@@ -1,0 +1,125 @@
+#include "mpk/mpk.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace poseidon::mpk {
+
+thread_local int ProtectionDomain::tl_nest_ = 0;
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+bool probe_pku() noexcept {
+  const int key = ::pkey_alloc(0, 0);
+  if (key < 0) return false;
+  ::pkey_free(key);
+  return true;
+}
+
+}  // namespace
+
+bool pku_supported() noexcept {
+  static const bool supported = probe_pku();
+  return supported;
+}
+
+const char* mode_name(ProtectMode m) noexcept {
+  switch (m) {
+    case ProtectMode::kAuto: return "auto";
+    case ProtectMode::kPkey: return "pkey";
+    case ProtectMode::kMprotect: return "mprotect";
+    case ProtectMode::kNone: return "none";
+  }
+  return "?";
+}
+
+ProtectionDomain::ProtectionDomain(void* base, std::size_t len,
+                                   ProtectMode requested)
+    : base_(base), len_(len), mode_(requested) {
+  if (mode_ == ProtectMode::kAuto) {
+    mode_ = pku_supported() ? ProtectMode::kPkey : ProtectMode::kNone;
+  }
+  switch (mode_) {
+    case ProtectMode::kPkey: {
+      pkey_ = ::pkey_alloc(0, PKEY_DISABLE_WRITE);
+      if (pkey_ < 0) throw_errno("pkey_alloc");
+      if (::pkey_mprotect(base_, len_, PROT_READ | PROT_WRITE, pkey_) != 0) {
+        const int saved = errno;
+        ::pkey_free(pkey_);
+        errno = saved;
+        throw_errno("pkey_mprotect");
+      }
+      break;
+    }
+    case ProtectMode::kMprotect:
+      if (::mprotect(base_, len_, PROT_READ) != 0) throw_errno("mprotect");
+      break;
+    case ProtectMode::kNone:
+      break;
+    case ProtectMode::kAuto:
+      break;  // unreachable
+  }
+}
+
+ProtectionDomain::~ProtectionDomain() {
+  switch (mode_) {
+    case ProtectMode::kPkey:
+      // Detach the key from the pages before freeing it so a recycled key
+      // does not inherit our mapping.
+      ::pkey_mprotect(base_, len_, PROT_READ | PROT_WRITE, 0);
+      ::pkey_free(pkey_);
+      break;
+    case ProtectMode::kMprotect:
+      ::mprotect(base_, len_, PROT_READ | PROT_WRITE);
+      break;
+    default:
+      break;
+  }
+}
+
+void ProtectionDomain::allow_writes() {
+  switch (mode_) {
+    case ProtectMode::kPkey:
+      if (tl_nest_++ == 0) ::pkey_set(pkey_, 0);
+      break;
+    case ProtectMode::kMprotect: {
+      std::lock_guard<std::mutex> lk(mprotect_mu_);
+      if (nest_++ == 0) {
+        if (::mprotect(base_, len_, PROT_READ | PROT_WRITE) != 0) {
+          throw_errno("mprotect(rw)");
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ProtectionDomain::revoke_writes() {
+  switch (mode_) {
+    case ProtectMode::kPkey:
+      if (--tl_nest_ == 0) ::pkey_set(pkey_, PKEY_DISABLE_WRITE);
+      break;
+    case ProtectMode::kMprotect: {
+      std::lock_guard<std::mutex> lk(mprotect_mu_);
+      if (--nest_ == 0) {
+        if (::mprotect(base_, len_, PROT_READ) != 0) {
+          throw_errno("mprotect(ro)");
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace poseidon::mpk

@@ -1,0 +1,81 @@
+// Metadata protection via Intel Memory Protection Keys (paper §4.3).
+//
+// The heap metadata region is mapped under an MPK protection key whose
+// access rights default to "no write".  At the entry of every alloc/free
+// operation the executing thread grants itself write access with a ~23
+// cycle wrpkru; the permission is thread-local (PKRU is a per-core
+// register), so a concurrent buggy thread still cannot scribble on the
+// metadata.
+//
+// Hardware PKU is not universal, so the domain supports three modes:
+//   kPkey     — real pkey_alloc/pkey_mprotect/wrpkru (used when available);
+//   kMprotect — mprotect(PROT_READ) emulation: identical fault-on-write
+//               semantics but process-wide and syscall-priced; a nesting
+//               counter keeps the region writable while any thread is
+//               inside the allocator;
+//   kNone     — no protection (baseline/ablation).
+// Mode kAuto picks kPkey when the CPU+kernel support it and kNone
+// otherwise, so performance runs never pay the unrepresentative mprotect
+// tax (see DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace poseidon::mpk {
+
+enum class ProtectMode { kAuto, kPkey, kMprotect, kNone };
+
+// True if pkey_alloc succeeds on this machine (probed once).
+bool pku_supported() noexcept;
+
+const char* mode_name(ProtectMode m) noexcept;
+
+class ProtectionDomain {
+ public:
+  // Places [base, base+len) (page-aligned) under protection.  With kAuto,
+  // resolves to kPkey or kNone.  Throws std::system_error on syscall
+  // failure of an explicitly requested mode.
+  ProtectionDomain(void* base, std::size_t len, ProtectMode requested);
+  ~ProtectionDomain();
+
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
+
+  // Resolved mode actually in effect.
+  ProtectMode mode() const noexcept { return mode_; }
+
+  // Grant/revoke write permission for the calling thread (kPkey) or the
+  // process (kMprotect).  Nestable.
+  void allow_writes();
+  void revoke_writes();
+
+ private:
+  void* base_;
+  std::size_t len_;
+  ProtectMode mode_;
+  int pkey_ = -1;
+  // kMprotect bookkeeping: region is writable while nest_ > 0.
+  std::mutex mprotect_mu_;
+  int nest_ = 0;
+  static thread_local int tl_nest_;  // kPkey nesting per thread
+};
+
+// RAII write window around an allocator operation.
+class WriteWindow {
+ public:
+  explicit WriteWindow(ProtectionDomain* d) : domain_(d) {
+    if (domain_ != nullptr) domain_->allow_writes();
+  }
+  ~WriteWindow() {
+    if (domain_ != nullptr) domain_->revoke_writes();
+  }
+  WriteWindow(const WriteWindow&) = delete;
+  WriteWindow& operator=(const WriteWindow&) = delete;
+
+ private:
+  ProtectionDomain* domain_;
+};
+
+}  // namespace poseidon::mpk

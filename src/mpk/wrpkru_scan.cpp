@@ -1,0 +1,81 @@
+#include "mpk/wrpkru_scan.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace poseidon::mpk {
+
+const char* gadget_name(GadgetKind k) noexcept {
+  switch (k) {
+    case GadgetKind::kWrpkru: return "wrpkru";
+    case GadgetKind::kXrstor: return "xrstor";
+  }
+  return "?";
+}
+
+std::vector<GadgetHit> scan_range(const void* base, std::size_t len) {
+  std::vector<GadgetHit> hits;
+  const auto* p = static_cast<const unsigned char*>(base);
+  if (len < 3) return hits;
+  for (std::size_t i = 0; i + 2 < len; ++i) {
+    if (p[i] != 0x0f) continue;
+    if (p[i + 1] == 0x01 && p[i + 2] == 0xef) {
+      hits.push_back({reinterpret_cast<std::uintptr_t>(p + i),
+                      GadgetKind::kWrpkru,
+                      {}});
+    } else if (p[i + 1] == 0xae && ((p[i + 2] >> 3) & 7) == 5) {
+      // 0F AE /5 = XRSTOR (loads PKRU when the XSAVE mask includes it).
+      hits.push_back({reinterpret_cast<std::uintptr_t>(p + i),
+                      GadgetKind::kXrstor,
+                      {}});
+    }
+  }
+  return hits;
+}
+
+std::vector<GadgetHit> scan_executable_mappings(bool skip_vdso) {
+  std::vector<GadgetHit> hits;
+  std::FILE* maps = std::fopen("/proc/self/maps", "r");
+  if (maps == nullptr) return hits;
+  char line[512];
+  while (std::fgets(line, sizeof(line), maps) != nullptr) {
+    std::uintptr_t begin = 0, end = 0;
+    char perms[8] = {};
+    char path[384] = {};
+    if (std::sscanf(line, "%lx-%lx %7s %*s %*s %*s %383s",
+                    &begin, &end, perms, path) < 3) {
+      continue;
+    }
+    if (std::strchr(perms, 'x') == nullptr) continue;
+    if (skip_vdso && (std::strstr(path, "[vdso]") != nullptr ||
+                      std::strstr(path, "[vsyscall]") != nullptr)) {
+      continue;
+    }
+    auto found = scan_range(reinterpret_cast<const void*>(begin), end - begin);
+    for (auto& h : found) h.mapping = path;
+    hits.insert(hits.end(), found.begin(), found.end());
+  }
+  std::fclose(maps);
+  return hits;
+}
+
+bool only_allowed_gadgets(const std::vector<AllowedRange>& allowed,
+                          std::vector<GadgetHit>* offenders) {
+  bool clean = true;
+  for (const GadgetHit& h : scan_executable_mappings()) {
+    bool ok = false;
+    for (const AllowedRange& r : allowed) {
+      if (h.addr >= r.begin && h.addr < r.end) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      clean = false;
+      if (offenders != nullptr) offenders->push_back(h);
+    }
+  }
+  return clean;
+}
+
+}  // namespace poseidon::mpk

@@ -1,0 +1,51 @@
+// Binary inspection for MPK-bypass gadgets (paper §8, Limitations).
+//
+// MPK protection can be subverted by an attacker who hijacks control flow
+// into a stray WRPKRU (or XRSTOR, which can also load PKRU) instruction.
+// The countermeasure the paper points to (Hodor, ERIM) is binary
+// inspection: scan every executable mapping and verify that the only
+// PKRU-writing instructions are the allocator's own, trusted call sites.
+//
+// This module implements the scanning half: find all occurrences of the
+// WRPKRU (0F 01 EF) and XRSTOR (0F AE modrm.reg=5) encodings in a byte
+// range or in the process's executable mappings.  Like ERIM, the scan is
+// byte-exact and deliberately over-approximate (an encoding spanning an
+// instruction boundary still counts — an attacker can jump mid-
+// instruction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poseidon::mpk {
+
+enum class GadgetKind { kWrpkru, kXrstor };
+
+struct GadgetHit {
+  std::uintptr_t addr = 0;
+  GadgetKind kind = GadgetKind::kWrpkru;
+  std::string mapping;  // source mapping (scan_executable_mappings only)
+};
+
+const char* gadget_name(GadgetKind k) noexcept;
+
+// Scan [base, base+len) for PKRU-writing encodings.
+std::vector<GadgetHit> scan_range(const void* base, std::size_t len);
+
+// Scan every executable mapping of the current process (/proc/self/maps).
+// `skip_vdso` excludes kernel-provided mappings.
+std::vector<GadgetHit> scan_executable_mappings(bool skip_vdso = true);
+
+// Convenience verdict for hardening checks: true when every WRPKRU found
+// in the process text lies inside one of the allowed ranges (e.g. the
+// allocator's own protection-domain code).
+struct AllowedRange {
+  std::uintptr_t begin;
+  std::uintptr_t end;
+};
+bool only_allowed_gadgets(const std::vector<AllowedRange>& allowed,
+                          std::vector<GadgetHit>* offenders = nullptr);
+
+}  // namespace poseidon::mpk

@@ -1,0 +1,54 @@
+#include "pmem/crashpoint.hpp"
+
+#include <unistd.h>
+
+#include <mutex>
+
+namespace poseidon::pmem {
+
+std::atomic<bool> g_crash_armed{false};
+
+namespace {
+
+std::mutex g_mutex;
+std::string g_prefix;
+std::uint64_t g_nth = 0;
+std::uint64_t g_hits = 0;
+CrashAction g_action = CrashAction::kThrow;
+
+}  // namespace
+
+void crash_arm(std::string prefix, std::uint64_t nth, CrashAction action) {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_prefix = std::move(prefix);
+  g_nth = nth;
+  g_hits = 0;
+  g_action = action;
+  g_crash_armed.store(true, std::memory_order_release);
+}
+
+void crash_disarm() noexcept {
+  g_crash_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t crash_hits() noexcept {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return g_hits;
+}
+
+void crash_point_slow(const char* name) {
+  CrashAction action;
+  {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    if (!g_crash_armed.load(std::memory_order_acquire)) return;
+    const std::string_view sv(name);
+    if (sv.substr(0, g_prefix.size()) != g_prefix) return;
+    ++g_hits;
+    if (g_hits != g_nth) return;
+    action = g_action;
+  }
+  if (action == CrashAction::kExit) _exit(42);
+  throw CrashException{name};
+}
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,46 @@
+// Crash-point injection.
+//
+// The allocator's critical sections are annotated with named crash points
+// (POSEIDON_CRASH_POINT("alloc.after_undo_log")).  In production builds the
+// annotation costs one relaxed atomic load.  Crash-consistency tests arm a
+// point ("abort at the k-th hit of points whose name starts with <prefix>")
+// and choose how the crash manifests:
+//   * Action::kThrow — throws CrashException, which the test catches at the
+//     API boundary; combined with pmem::SimDomain::crash() this simulates a
+//     power failure in-process.
+//   * Action::kExit — _exit(42); used by forked-child tests that re-open the
+//     pool file from the parent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace poseidon::pmem {
+
+struct CrashException {
+  const char* point;
+};
+
+enum class CrashAction { kThrow, kExit };
+
+extern std::atomic<bool> g_crash_armed;
+
+// Arm: the `nth` (1-based) hit of a point whose name starts with `prefix`
+// (empty prefix matches every point) triggers `action`.
+void crash_arm(std::string prefix, std::uint64_t nth, CrashAction action);
+void crash_disarm() noexcept;
+
+// Total hits of matching points since the last arm (counts even past the
+// trigger; used by tests to enumerate crash points in an operation).
+std::uint64_t crash_hits() noexcept;
+
+void crash_point_slow(const char* name);
+
+inline void crash_point(const char* name) {
+  if (g_crash_armed.load(std::memory_order_relaxed)) crash_point_slow(name);
+}
+
+#define POSEIDON_CRASH_POINT(name) ::poseidon::pmem::crash_point(name)
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,51 @@
+#include "pmem/persist.hpp"
+
+#include <cpuid.h>
+#include <immintrin.h>
+
+namespace poseidon::pmem {
+
+namespace {
+
+enum class FlushInsn { kClwb, kClflushOpt, kClflush };
+
+FlushInsn detect_flush_insn() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    if (ebx & bit_CLWB) return FlushInsn::kClwb;
+    if (ebx & bit_CLFLUSHOPT) return FlushInsn::kClflushOpt;
+  }
+  return FlushInsn::kClflush;
+}
+
+const FlushInsn g_flush_insn = detect_flush_insn();
+
+}  // namespace
+
+void flush_lines(const void* addr, std::size_t len) noexcept {
+  if (len == 0) return;
+  const auto start = cache_line_of(addr);
+  const auto end =
+      reinterpret_cast<std::uintptr_t>(addr) + len;  // exclusive
+  switch (g_flush_insn) {
+    case FlushInsn::kClwb:
+      for (auto line = start; line < end; line += kCacheLineSize) {
+        _mm_clwb(reinterpret_cast<void*>(line));
+      }
+      break;
+    case FlushInsn::kClflushOpt:
+      for (auto line = start; line < end; line += kCacheLineSize) {
+        _mm_clflushopt(reinterpret_cast<void*>(line));
+      }
+      break;
+    case FlushInsn::kClflush:
+      for (auto line = start; line < end; line += kCacheLineSize) {
+        _mm_clflush(reinterpret_cast<void*>(line));
+      }
+      break;
+  }
+}
+
+void fence() noexcept { _mm_sfence(); }
+
+}  // namespace poseidon::pmem

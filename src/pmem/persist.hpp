@@ -1,0 +1,87 @@
+// Persistence primitives for NVMM: cache-line write-back (clwb /
+// clflushopt / clflush, selected at runtime) followed by a store fence.
+//
+// All *metadata* mutations in the Poseidon core go through the nv_* helpers
+// below instead of raw stores.  In normal operation they compile down to a
+// plain store; when a pmem::SimDomain is active (crash-consistency tests),
+// every store additionally marks the covering cache lines dirty in the
+// simulator and every persist commits them, letting tests model the loss of
+// unflushed lines at a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <atomic>
+
+#include "common/compiler.hpp"
+
+namespace poseidon::pmem {
+
+// ---- simulator hooks (defined in sim_domain.cpp) --------------------------
+
+// True when a SimDomain is registered; kept in a single atomic flag so the
+// fast path costs one relaxed load.
+extern std::atomic<bool> g_sim_active;
+
+void sim_note_store(const void* addr, std::size_t len) noexcept;
+void sim_note_persist(const void* addr, std::size_t len) noexcept;
+
+inline bool sim_active() noexcept {
+  return g_sim_active.load(std::memory_order_relaxed);
+}
+
+// ---- flush primitives ------------------------------------------------------
+
+// Write back every cache line covering [addr, addr+len) without fencing.
+void flush_lines(const void* addr, std::size_t len) noexcept;
+
+// Store fence ordering prior write-backs.
+void fence() noexcept;
+
+// flush_lines + fence: the paper's "persistent barrier".
+inline void persist(const void* addr, std::size_t len) noexcept {
+  flush_lines(addr, len);
+  fence();
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_persist(addr, len);
+}
+
+// Flush without the trailing fence (callers batch several flushes and fence
+// once).  The simulator treats it as persisted: clwb-initiated write-backs
+// are not reordered with respect to each other by a later sfence, and we
+// only model line-granularity loss, not store reordering inside a line.
+inline void flush(const void* addr, std::size_t len) noexcept {
+  flush_lines(addr, len);
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_persist(addr, len);
+}
+
+// ---- instrumented store helpers -------------------------------------------
+
+// Store a trivially-copyable value to NVMM.  Not atomic with respect to
+// readers; callers serialize via the sub-heap lock.
+template <typename T>
+inline void nv_store(T& dst, const T& val) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  dst = val;
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_store(&dst, sizeof(T));
+}
+
+inline void nv_memcpy(void* dst, const void* src, std::size_t n) noexcept {
+  std::memcpy(dst, src, n);
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_store(dst, n);
+}
+
+inline void nv_memset(void* dst, int c, std::size_t n) noexcept {
+  std::memset(dst, c, n);
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_store(dst, n);
+}
+
+// Store + persist of a single value: the atomic commit idiom (e.g. log
+// truncation writes an 8-byte count and persists it).
+template <typename T>
+inline void nv_store_persist(T& dst, const T& val) noexcept {
+  nv_store(dst, val);
+  persist(&dst, sizeof(T));
+}
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,106 @@
+#include "pmem/pool.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace poseidon::pmem {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::byte* map_fd(int fd, std::size_t size) {
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) throw_errno("mmap pool");
+  return static_cast<std::byte*>(p);
+}
+
+}  // namespace
+
+Pool Pool::create(const std::string& path, std::size_t size) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0644);
+  if (fd < 0) throw_errno("create pool file " + path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("ftruncate pool file " + path);
+  }
+  return Pool(path, fd, map_fd(fd, size), size);
+}
+
+Pool Pool::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) throw_errno("open pool file " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fstat pool file " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  return Pool(path, fd, map_fd(fd, size), size);
+}
+
+Pool::~Pool() { close(); }
+
+Pool::Pool(Pool&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+Pool& Pool::operator=(Pool&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void Pool::punch_hole(std::size_t offset, std::size_t len) {
+  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                  static_cast<off_t>(offset), static_cast<off_t>(len)) != 0) {
+    throw_errno("fallocate(PUNCH_HOLE) " + path_);
+  }
+}
+
+std::size_t Pool::allocated_bytes() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat " + path_);
+  return static_cast<std::size_t>(st.st_blocks) * 512u;
+}
+
+void Pool::close() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+void Pool::unlink(const std::string& path) noexcept { ::unlink(path.c_str()); }
+
+bool Pool::exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace poseidon::pmem

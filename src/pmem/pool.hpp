@@ -1,0 +1,63 @@
+// File-backed persistent memory pool.
+//
+// Emulates a DAX-mapped NVMM file: the pool is a (sparse) file on a
+// DAX/tmpfs filesystem, mmap-ed MAP_SHARED so that stores reach the backing
+// pages directly.  Provides fallocate-based hole punching, which Poseidon
+// uses to return unused metadata (hash-table levels) to the filesystem
+// (paper §5.6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace poseidon::pmem {
+
+class Pool {
+ public:
+  // Creates a new pool file of `size` bytes (sparse) and maps it.
+  // Fails if the file already exists.
+  static Pool create(const std::string& path, std::size_t size);
+
+  // Opens and maps an existing pool file (whole file).
+  static Pool open(const std::string& path);
+
+  Pool() noexcept = default;
+  ~Pool();
+
+  Pool(Pool&& other) noexcept;
+  Pool& operator=(Pool&& other) noexcept;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  std::byte* data() const noexcept { return base_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+  bool valid() const noexcept { return base_ != nullptr; }
+
+  // Deallocate [offset, offset+len) from the backing file, keeping the
+  // mapping intact; the pages read back as zero and are re-allocated by the
+  // filesystem on the next store.  Offset/len must be page-aligned.
+  void punch_hole(std::size_t offset, std::size_t len);
+
+  // Bytes actually allocated by the filesystem (st_blocks).
+  std::size_t allocated_bytes() const;
+
+  // Unmap and close without deleting the file.
+  void close() noexcept;
+
+  // Delete a pool file (helper for tests/benches).
+  static void unlink(const std::string& path) noexcept;
+  static bool exists(const std::string& path) noexcept;
+
+ private:
+  Pool(std::string path, int fd, std::byte* base, std::size_t size) noexcept
+      : path_(std::move(path)), fd_(fd), base_(base), size_(size) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,102 @@
+#include "pmem/sim_domain.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/compiler.hpp"
+#include "common/rng.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::pmem {
+
+std::atomic<bool> g_sim_active{false};
+
+namespace {
+SimDomain* g_domain = nullptr;
+}  // namespace
+
+void sim_note_store(const void* addr, std::size_t len) noexcept {
+  if (g_domain != nullptr) g_domain->note_store(addr, len);
+}
+
+void sim_note_persist(const void* addr, std::size_t len) noexcept {
+  if (g_domain != nullptr) g_domain->note_persist(addr, len);
+}
+
+SimDomain::SimDomain(void* base, std::size_t size)
+    : base_(static_cast<std::byte*>(base)),
+      size_(size),
+      shadow_(size),
+      dirty_((size + kCacheLineSize - 1) / kCacheLineSize, false) {
+  if (g_domain != nullptr) {
+    throw std::logic_error("SimDomain: another domain is already active");
+  }
+  std::memcpy(shadow_.data(), base_, size_);
+  g_domain = this;
+  g_sim_active.store(true, std::memory_order_release);
+}
+
+SimDomain::~SimDomain() {
+  g_sim_active.store(false, std::memory_order_release);
+  g_domain = nullptr;
+}
+
+bool SimDomain::covers(const void* addr) const noexcept {
+  const auto* p = static_cast<const std::byte*>(addr);
+  return p >= base_ && p < base_ + size_;
+}
+
+std::pair<std::size_t, std::size_t> SimDomain::line_range(
+    const void* addr, std::size_t len) const noexcept {
+  const auto off = static_cast<std::size_t>(
+      static_cast<const std::byte*>(addr) - base_);
+  const std::size_t first = off / kCacheLineSize;
+  std::size_t end = (off + len + kCacheLineSize - 1) / kCacheLineSize;
+  if (end > dirty_.size()) end = dirty_.size();
+  return {first, end};
+}
+
+void SimDomain::note_store(const void* addr, std::size_t len) noexcept {
+  if (!covers(addr) || len == 0) return;
+  const auto [first, end] = line_range(addr, len);
+  for (std::size_t i = first; i < end; ++i) dirty_[i] = true;
+}
+
+void SimDomain::note_persist(const void* addr, std::size_t len) noexcept {
+  if (!covers(addr) || len == 0) return;
+  const auto [first, end] = line_range(addr, len);
+  for (std::size_t i = first; i < end; ++i) {
+    if (!dirty_[i]) continue;
+    std::memcpy(shadow_.data() + i * kCacheLineSize,
+                base_ + i * kCacheLineSize, kCacheLineSize);
+    dirty_[i] = false;
+  }
+}
+
+void SimDomain::crash(std::uint64_t seed, double survive_prob) {
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    if (!dirty_[i]) continue;
+    if (rng.next_double() < survive_prob) {
+      // Line was evicted before the failure: its contents are durable.
+      std::memcpy(shadow_.data() + i * kCacheLineSize,
+                  base_ + i * kCacheLineSize, kCacheLineSize);
+    }
+    dirty_[i] = false;
+  }
+  std::memcpy(base_, shadow_.data(), size_);
+}
+
+void SimDomain::checkpoint() {
+  std::memcpy(shadow_.data(), base_, size_);
+  std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+std::size_t SimDomain::dirty_line_count() const noexcept {
+  std::size_t n = 0;
+  for (const bool d : dirty_) n += d ? 1 : 0;
+  return n;
+}
+
+}  // namespace poseidon::pmem

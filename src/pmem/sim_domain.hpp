@@ -1,0 +1,65 @@
+// Crash-consistency simulator.
+//
+// x86 NVMM gives no durability guarantee for a store until the covering
+// cache line has been written back (clwb/clflushopt) and fenced — and,
+// conversely, an *unflushed* line may still reach NVMM at any time via
+// cache eviction.  SimDomain models exactly that:
+//
+//   * a shadow copy of the covered range holds the "persistent image";
+//   * nv_store marks the covering lines dirty (in cache, not yet durable);
+//   * persist commits lines from the real mapping into the shadow;
+//   * crash(survive_prob) flips a coin per dirty line — with probability
+//     survive_prob the line is treated as having been evicted (committed),
+//     otherwise its unflushed contents are lost — then restores the real
+//     mapping from the shadow image.
+//
+// Tests register a domain over a heap's metadata region, run operations
+// that abort at an injected crash point, call crash(), re-open the heap and
+// assert that recovery restores every invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace poseidon::pmem {
+
+class SimDomain {
+ public:
+  // Registers the domain globally (at most one may be active per process)
+  // and snapshots [base, base+size) as the initial persistent image.
+  SimDomain(void* base, std::size_t size);
+  ~SimDomain();
+
+  SimDomain(const SimDomain&) = delete;
+  SimDomain& operator=(const SimDomain&) = delete;
+
+  // Simulate a power failure: decide the fate of each dirty line, then
+  // overwrite the real mapping with the resulting persistent image.
+  // survive_prob = 1.0 keeps every unflushed line (pure store-visibility
+  // crash); 0.0 drops them all (worst case).
+  void crash(std::uint64_t seed, double survive_prob);
+
+  // Mark all lines clean without restoring (used after verified commits).
+  void checkpoint();
+
+  std::size_t dirty_line_count() const noexcept;
+  std::size_t size() const noexcept { return size_; }
+
+  // Internal: called from the persist.hpp hooks.
+  void note_store(const void* addr, std::size_t len) noexcept;
+  void note_persist(const void* addr, std::size_t len) noexcept;
+
+ private:
+  bool covers(const void* addr) const noexcept;
+  // First/last line index covering [addr, addr+len).
+  std::pair<std::size_t, std::size_t> line_range(const void* addr,
+                                                 std::size_t len) const noexcept;
+
+  std::byte* base_;
+  std::size_t size_;
+  std::vector<std::byte> shadow_;
+  std::vector<bool> dirty_;  // one flag per cache line
+};
+
+}  // namespace poseidon::pmem

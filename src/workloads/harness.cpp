@@ -1,0 +1,103 @@
+#include "workloads/harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace poseidon::workloads {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+RunResult run_parallel(unsigned nthreads,
+                       const std::function<std::uint64_t(unsigned)>& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned tid = 0; tid < nthreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      total.fetch_add(body(tid), std::memory_order_relaxed);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != nthreads) {
+    std::this_thread::yield();
+  }
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  return {total.load(), elapsed_since(t0)};
+}
+
+RunResult run_timed(
+    unsigned nthreads, double seconds,
+    const std::function<std::uint64_t(unsigned, const std::atomic<bool>&)>&
+        body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned tid = 0; tid < nthreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      total.fetch_add(body(tid, stop), std::memory_order_relaxed);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != nthreads) {
+    std::this_thread::yield();
+  }
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  return {total.load(), elapsed_since(t0)};
+}
+
+std::vector<unsigned> default_thread_sweep() {
+  unsigned cap = 16;
+  if (const char* env = std::getenv("POSEIDON_BENCH_MAX_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 256) cap = static_cast<unsigned>(v);
+  }
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t <= cap; t *= 2) sweep.push_back(t);
+  if (sweep.back() != cap) sweep.push_back(cap);
+  return sweep;
+}
+
+double bench_seconds() {
+  if (const char* env = std::getenv("POSEIDON_BENCH_SECONDS")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.01 && v <= 60) return v;
+  }
+  return 0.4;
+}
+
+void print_header(const std::string& figure, const std::string& unit) {
+  std::printf("# %s  (%s)\n", figure.c_str(), unit.c_str());
+  std::fflush(stdout);
+}
+
+void print_point(const std::string& figure, const std::string& series,
+                 unsigned threads, double value) {
+  std::printf("%-28s %-12s threads=%-3u %10.3f\n", figure.c_str(),
+              series.c_str(), threads, value);
+  std::fflush(stdout);
+}
+
+}  // namespace poseidon::workloads

@@ -1,0 +1,48 @@
+// Thread-sweep measurement harness used by every benchmark binary.
+// Reproduces the paper's figure format: one throughput series per
+// allocator, swept over thread counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace poseidon::workloads {
+
+struct RunResult {
+  std::uint64_t ops = 0;
+  double seconds = 0;
+  double mops() const noexcept {
+    return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0;
+  }
+};
+
+// Run `body(tid)` on `nthreads` threads after a start barrier; the result
+// aggregates the per-thread op counts over the wall time of the slowest
+// thread (fixed-work mode).
+RunResult run_parallel(unsigned nthreads,
+                       const std::function<std::uint64_t(unsigned)>& body);
+
+// Timed mode: threads run until `stop` is raised after `seconds`.
+RunResult run_timed(
+    unsigned nthreads, double seconds,
+    const std::function<std::uint64_t(unsigned, const std::atomic<bool>&)>&
+        body);
+
+// {1,2,4,...} capped by POSEIDON_BENCH_MAX_THREADS (default 16; the paper
+// sweeps to 64 on a 112-way box — oversubscription past the cap only adds
+// scheduler noise on small machines).
+std::vector<unsigned> default_thread_sweep();
+
+// Per-run duration for timed benchmarks; POSEIDON_BENCH_SECONDS
+// (default 0.4; the paper uses multi-second runs).
+double bench_seconds();
+
+// Aligned table output: "<figure> <series> threads=N  X.XX Mops/s".
+void print_header(const std::string& figure, const std::string& unit);
+void print_point(const std::string& figure, const std::string& series,
+                 unsigned threads, double value);
+
+}  // namespace poseidon::workloads

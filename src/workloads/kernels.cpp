@@ -1,0 +1,135 @@
+#include "workloads/kernels.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace poseidon::workloads {
+
+std::uint64_t ackermann_fill(void* buf, std::size_t len) {
+  // Table of A(m, n) for m in [0,3]: four rows of `cols` entries.
+  auto* table = static_cast<std::uint64_t*>(buf);
+  const std::size_t cols = len / sizeof(std::uint64_t) / 4;
+  if (cols == 0) return 0;
+  auto at = [&](unsigned m, std::size_t n) -> std::uint64_t& {
+    return table[m * cols + n];
+  };
+  for (std::size_t n = 0; n < cols; ++n) at(0, n) = n + 1;  // A(0,n)=n+1
+  for (unsigned m = 1; m <= 3; ++m) {
+    // A(m,0) = A(m-1,1); A(m,n) = A(m-1, A(m, n-1)) while the inner value
+    // stays inside the memo table (the cache-bounded variant the paper's
+    // 1 GB region implies).
+    at(m, 0) = cols > 1 ? at(m - 1, 1) : 1;
+    for (std::size_t n = 1; n < cols; ++n) {
+      const std::uint64_t inner = at(m, n - 1);
+      at(m, n) = inner < cols ? at(m - 1, inner)
+                              : 2 * at(m, n - 1) + 1;  // closed-form tail
+    }
+  }
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < cols * 4; ++i) checksum ^= table[i] + i;
+  return checksum;
+}
+
+namespace {
+
+struct Edge {
+  std::uint32_t w;
+  std::uint16_t u;
+  std::uint16_t v;
+};
+
+std::uint16_t uf_find(std::uint16_t* parent, std::uint16_t x) noexcept {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t kruskal_mst(void* edge_buf, void* uf_buf, void* out_buf,
+                          unsigned order, std::uint64_t seed) {
+  const unsigned nedges = order * (order - 1) / 2;
+  assert(nedges * sizeof(Edge) <= kKruskalBufBytes);
+  assert(order * sizeof(std::uint16_t) <= kKruskalBufBytes);
+
+  auto* edges = static_cast<Edge*>(edge_buf);
+  Xoshiro256 rng(seed);
+  unsigned e = 0;
+  for (unsigned u = 0; u < order; ++u) {
+    for (unsigned v = u + 1; v < order; ++v) {
+      edges[e++] = {static_cast<std::uint32_t>(rng.next_below(1000) + 1),
+                    static_cast<std::uint16_t>(u),
+                    static_cast<std::uint16_t>(v)};
+    }
+  }
+  // Insertion sort by weight (tiny inputs).
+  for (unsigned i = 1; i < nedges; ++i) {
+    const Edge key = edges[i];
+    unsigned j = i;
+    while (j > 0 && edges[j - 1].w > key.w) {
+      edges[j] = edges[j - 1];
+      --j;
+    }
+    edges[j] = key;
+  }
+
+  auto* parent = static_cast<std::uint16_t*>(uf_buf);
+  for (unsigned i = 0; i < order; ++i) parent[i] = static_cast<std::uint16_t>(i);
+
+  auto* mst = static_cast<Edge*>(out_buf);
+  unsigned picked = 0;
+  std::uint64_t weight = 0;
+  for (unsigned i = 0; i < nedges && picked + 1 < order; ++i) {
+    const std::uint16_t ru = uf_find(parent, edges[i].u);
+    const std::uint16_t rv = uf_find(parent, edges[i].v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    mst[picked++] = edges[i];
+    weight += edges[i].w;
+  }
+  return weight;
+}
+
+std::uint64_t nqueens_solve(void* board_buf, unsigned n) {
+  auto* col_of_row = static_cast<std::uint8_t*>(board_buf);
+  std::memset(col_of_row, 0, n);
+  std::uint64_t solutions = 0;
+  unsigned row = 0;
+  // Iterative backtracking over the board buffer.
+  while (true) {
+    bool placed = false;
+    for (unsigned c = col_of_row[row]; c < n; ++c) {
+      bool ok = true;
+      for (unsigned r = 0; r < row && ok; ++r) {
+        const unsigned pc = col_of_row[r] - 1;
+        ok = pc != c && (row - r) != (c > pc ? c - pc : pc - c);
+      }
+      if (ok) {
+        col_of_row[row] = static_cast<std::uint8_t>(c + 1);
+        placed = true;
+        break;
+      }
+    }
+    if (placed) {
+      if (row + 1 == n) {
+        ++solutions;
+        // Continue searching from the current row's next column.
+      } else {
+        ++row;
+        col_of_row[row] = 0;
+        continue;
+      }
+    } else {
+      if (row == 0) break;
+      col_of_row[row] = 0;
+      --row;
+    }
+  }
+  return solutions;
+}
+
+}  // namespace poseidon::workloads

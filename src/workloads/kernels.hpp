@@ -1,0 +1,31 @@
+// Computation kernels for the paper's "real-world, high performance"
+// benchmarks (§7.4, Fig. 8).  Each kernel does its work *inside a buffer
+// obtained from the allocator under test*, so every iteration exercises an
+// alloc → compute → free cycle:
+//   * Ackermann — one large allocation used as a memoization cache;
+//   * Kruskal  — three 512-byte allocations (edges, union-find, output)
+//                per MST of order 5;
+//   * N-Queens — one 32-byte allocation (the board) per 8-queens solve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon::workloads {
+
+// Fill `buf` with memoized Ackermann values (m <= 3) until the table is
+// full; returns a checksum of the table (forces the stores).
+std::uint64_t ackermann_fill(void* buf, std::size_t len);
+
+// Kruskal MST of the complete graph on `order` vertices with
+// deterministic pseudo-random weights.  The three buffers must each hold
+// at least kKruskalBufBytes.  Returns the MST weight.
+inline constexpr std::size_t kKruskalBufBytes = 512;
+std::uint64_t kruskal_mst(void* edge_buf, void* uf_buf, void* out_buf,
+                          unsigned order, std::uint64_t seed);
+
+// Count N-queens solutions using `board_buf` (>= n bytes) as working
+// state; n <= 16.  For n == 8 the answer is 92.
+std::uint64_t nqueens_solve(void* board_buf, unsigned n);
+
+}  // namespace poseidon::workloads

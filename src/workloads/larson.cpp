@@ -1,0 +1,49 @@
+#include "workloads/larson.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/harness.hpp"
+
+namespace poseidon::workloads {
+
+LarsonResult run_larson(iface::PAllocator& alloc, const LarsonConfig& cfg) {
+  const std::size_t nslots = cfg.slots_per_thread * cfg.nthreads;
+  std::vector<std::atomic<void*>> slots(nslots);
+  for (auto& s : slots) s.store(nullptr, std::memory_order_relaxed);
+
+  const RunResult r = run_timed(
+      cfg.nthreads, cfg.seconds,
+      [&](unsigned tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(cfg.seed + tid * 7919);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t slot = rng.next_below(nslots);
+          const std::size_t size = cfg.min_size +
+                                   rng.next_below(cfg.max_size - cfg.min_size);
+          void* fresh = alloc.alloc(size);
+          if (fresh != nullptr) {
+            std::memset(fresh, static_cast<int>(tid), size < 64 ? size : 64);
+            ++ops;
+          }
+          void* old = slots[slot].exchange(fresh, std::memory_order_acq_rel);
+          if (old != nullptr) {
+            alloc.free(old);  // usually allocated by a different thread
+            ++ops;
+          }
+        }
+        return ops;
+      });
+
+  // Drain remaining slots so the allocator ends balanced.
+  for (auto& s : slots) {
+    if (void* p = s.exchange(nullptr, std::memory_order_acq_rel)) {
+      alloc.free(p);
+    }
+  }
+  return {r.ops, r.seconds};
+}
+
+}  // namespace poseidon::workloads

@@ -1,0 +1,33 @@
+// Larson benchmark (paper §7.3): simulates a server with multiple
+// concurrent, *cross-thread* allocations and deallocations of randomly
+// sized objects.  A shared slot array is the handoff surface: each thread
+// repeatedly picks a random slot anywhere in the array, swaps in a fresh
+// allocation and frees whatever object another thread left there.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc_iface/allocator.hpp"
+
+namespace poseidon::workloads {
+
+struct LarsonConfig {
+  unsigned nthreads = 1;
+  std::size_t min_size = 8;
+  std::size_t max_size = 1024;
+  std::size_t slots_per_thread = 512;
+  double seconds = 0.4;
+  std::uint64_t seed = 0x1a450;
+};
+
+struct LarsonResult {
+  std::uint64_t ops = 0;  // allocations + frees
+  double seconds = 0;
+  double ops_per_sec() const noexcept {
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+  }
+};
+
+LarsonResult run_larson(iface::PAllocator& alloc, const LarsonConfig& cfg);
+
+}  // namespace poseidon::workloads

@@ -1,0 +1,156 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace poseidon::workloads {
+
+Trace Trace::synthesize(std::uint64_t ops, std::uint32_t slots,
+                        std::uint64_t min_size, std::uint64_t max_size,
+                        std::uint64_t seed) {
+  Trace t;
+  t.ops_.reserve(ops + slots);
+  Xoshiro256 rng(seed);
+  std::vector<bool> full(slots, false);
+  std::uint32_t nfull = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const bool do_alloc =
+        nfull == 0 || (nfull < slots && (rng.next() & 1) != 0);
+    if (do_alloc) {
+      // Pick an empty slot (linear probe from a random start).
+      std::uint32_t s = static_cast<std::uint32_t>(rng.next_below(slots));
+      while (full[s]) s = (s + 1) % slots;
+      const std::uint64_t size = min_size + rng.next_below(max_size - min_size + 1);
+      t.ops_.push_back({TraceOp::kAlloc, s, size});
+      full[s] = true;
+      ++nfull;
+    } else {
+      std::uint32_t s = static_cast<std::uint32_t>(rng.next_below(slots));
+      while (!full[s]) s = (s + 1) % slots;
+      t.ops_.push_back({TraceOp::kFree, s, 0});
+      full[s] = false;
+      --nfull;
+    }
+  }
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    if (full[s]) t.ops_.push_back({TraceOp::kFree, s, 0});
+  }
+  return t;
+}
+
+void Trace::serialize(std::ostream& out) const {
+  out << "# poseidon-trace v1\n";
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::kAlloc) {
+      out << "a " << op.slot << ' ' << op.size << '\n';
+    } else {
+      out << "f " << op.slot << '\n';
+    }
+  }
+}
+
+Trace Trace::parse(std::istream& in) {
+  Trace t;
+  std::string line;
+  std::size_t lineno = 0;
+  auto bad = [&](const char* why) {
+    throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                             why);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    TraceOp op{};
+    char kind = 0;
+    unsigned long slot = 0;
+    unsigned long long size = 0;
+    const int n = std::sscanf(line.c_str(), "%c %lu %llu", &kind, &slot, &size);
+    if (kind == 'a') {
+      if (n != 3 || size == 0) bad("malformed alloc");
+      op = {TraceOp::kAlloc, static_cast<std::uint32_t>(slot), size};
+    } else if (kind == 'f') {
+      if (n < 2) bad("malformed free");
+      op = {TraceOp::kFree, static_cast<std::uint32_t>(slot), 0};
+    } else {
+      bad("unknown op");
+    }
+    t.ops_.push_back(op);
+  }
+  return t;
+}
+
+std::uint64_t Trace::peak_live_bytes() const noexcept {
+  std::uint64_t live = 0, peak = 0;
+  // Track per-slot sizes to subtract on free.
+  std::uint32_t max_slot = 0;
+  for (const TraceOp& op : ops_) max_slot = std::max(max_slot, op.slot);
+  std::vector<std::uint64_t> sizes(max_slot + 1, 0);
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::kAlloc) {
+      sizes[op.slot] = op.size;
+      live += op.size;
+      if (live > peak) peak = live;
+    } else {
+      live -= sizes[op.slot];
+      sizes[op.slot] = 0;
+    }
+  }
+  return peak;
+}
+
+Trace::ReplayResult Trace::replay(iface::PAllocator& alloc) const {
+  ReplayResult r;
+  std::uint32_t max_slot = 0;
+  for (const TraceOp& op : ops_) max_slot = std::max(max_slot, op.slot);
+  std::vector<void*> slots(max_slot + 1, nullptr);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::kAlloc) {
+      if (slots[op.slot] != nullptr) {
+        throw std::logic_error("trace overwrites a full slot");
+      }
+      void* p = alloc.alloc(op.size);
+      if (p == nullptr) {
+        ++r.failed_allocs;
+        continue;
+      }
+      // Touch the block so replay measures usable memory, not just
+      // bookkeeping.
+      std::memset(p, 0x5c, op.size < 64 ? op.size : 64);
+      slots[op.slot] = p;
+    } else {
+      if (slots[op.slot] == nullptr) {
+        // Tolerated only when the matching alloc failed (heap too small).
+        if (r.failed_allocs == 0) {
+          throw std::logic_error("trace frees an empty slot");
+        }
+        continue;
+      }
+      alloc.free(slots[op.slot]);
+      slots[op.slot] = nullptr;
+    }
+    ++r.completed;
+  }
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Drain anything the trace left behind (defensive; synthesized traces
+  // end balanced).
+  for (void*& p : slots) {
+    if (p != nullptr) {
+      alloc.free(p);
+      p = nullptr;
+    }
+  }
+  return r;
+}
+
+}  // namespace poseidon::workloads

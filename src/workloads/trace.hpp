@@ -1,0 +1,66 @@
+// Allocation-trace recording and replay.
+//
+// A trace is a deterministic sequence of alloc/free operations with
+// stable slot ids standing in for pointers, so the same workload can be
+// replayed bit-for-bit over any allocator (or shipped in a bug report).
+// Text format, one op per line:
+//
+//     # poseidon-trace v1
+//     a <slot> <size>     allocate <size> bytes into <slot>
+//     f <slot>            free the pointer held by <slot>
+//
+// Recorded traces are synthesized from a seed + shape parameters; replay
+// reports throughput and verifies slot discipline (no slot is freed
+// empty or overwritten while full).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alloc_iface/allocator.hpp"
+
+namespace poseidon::workloads {
+
+struct TraceOp {
+  enum Kind : std::uint8_t { kAlloc, kFree };
+  Kind kind;
+  std::uint32_t slot;
+  std::uint64_t size;  // kAlloc only
+};
+
+class Trace {
+ public:
+  // Synthesize a churn trace: `ops` operations over `slots` slots with
+  // sizes in [min_size, max_size], deterministic in `seed`.  Every slot
+  // left full at the end is freed, so replays leave allocators balanced.
+  static Trace synthesize(std::uint64_t ops, std::uint32_t slots,
+                          std::uint64_t min_size, std::uint64_t max_size,
+                          std::uint64_t seed);
+
+  // Text round trip.  parse() throws std::runtime_error on malformed
+  // input (with the line number).
+  static Trace parse(std::istream& in);
+  void serialize(std::ostream& out) const;
+
+  std::size_t size() const noexcept { return ops_.size(); }
+  const std::vector<TraceOp>& ops() const noexcept { return ops_; }
+
+  // Largest number of bytes live at any point (for sizing heaps).
+  std::uint64_t peak_live_bytes() const noexcept;
+
+  struct ReplayResult {
+    std::uint64_t completed = 0;  // ops executed
+    std::uint64_t failed_allocs = 0;
+    double seconds = 0;
+  };
+  // Replay over an allocator.  Throws std::logic_error on slot-discipline
+  // violations (which indicate a corrupt trace, not allocator trouble).
+  ReplayResult replay(iface::PAllocator& alloc) const;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+}  // namespace poseidon::workloads

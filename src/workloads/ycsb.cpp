@@ -1,0 +1,79 @@
+#include "workloads/ycsb.hpp"
+
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "index/fastfair.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/zipf.hpp"
+
+namespace poseidon::workloads {
+
+namespace {
+
+// Bijective, so all keys are distinct; +1 keeps ranks and ids apart.
+std::uint64_t key_of(std::uint64_t i) noexcept { return mix64(i + 1); }
+
+}  // namespace
+
+YcsbResult run_ycsb(iface::PAllocator& alloc, const YcsbConfig& cfg) {
+  index::FastFairTree tree(&alloc);
+  YcsbResult result;
+
+  // ---- Load: insert nkeys with allocated value payloads -------------------
+  const RunResult load = run_parallel(cfg.nthreads, [&](unsigned tid) {
+    const std::uint64_t per = cfg.nkeys / cfg.nthreads;
+    const std::uint64_t lo = tid * per;
+    const std::uint64_t hi =
+        tid + 1 == cfg.nthreads ? cfg.nkeys : lo + per;
+    std::uint64_t ops = 0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      void* value = alloc.alloc(cfg.value_size);
+      if (value == nullptr) break;
+      std::memset(value, static_cast<int>(i), cfg.value_size < 64
+                                                  ? cfg.value_size
+                                                  : 64);
+      if (tree.insert(key_of(i), reinterpret_cast<std::uint64_t>(value))) {
+        ++ops;
+      }
+    }
+    return ops;
+  });
+  result.load_mops = load.mops();
+
+  // ---- Workload A: 50/50 read-update, zipfian key popularity --------------
+  const RunResult a = run_timed(
+      cfg.nthreads, cfg.seconds,
+      [&](unsigned tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        ZipfGenerator zipf(cfg.nkeys, cfg.zipf_theta, cfg.seed + tid * 131);
+        Xoshiro256 rng(cfg.seed ^ (tid * 2654435761u));
+        std::uint64_t ops = 0;
+        volatile std::uint64_t sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = key_of(zipf.next_scrambled());
+          if (rng.next_double() < cfg.read_ratio) {
+            if (const auto v = tree.search(key)) {
+              sink = sink + *reinterpret_cast<const std::uint64_t*>(*v);
+              ++ops;
+            }
+          } else {
+            void* fresh = alloc.alloc(cfg.value_size);
+            if (fresh == nullptr) continue;
+            std::memset(fresh, static_cast<int>(ops), 64);
+            if (const auto old = tree.exchange(
+                    key, reinterpret_cast<std::uint64_t>(fresh))) {
+              alloc.free(reinterpret_cast<void*>(*old));
+              ++ops;
+            } else {
+              alloc.free(fresh);  // key not present (short load)
+            }
+          }
+        }
+        return ops;
+      });
+  result.a_mops = a.mops();
+  return result;
+}
+
+}  // namespace poseidon::workloads

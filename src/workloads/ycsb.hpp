@@ -1,0 +1,32 @@
+// YCSB driver over the FAST-FAIR persistent B+-tree (paper §7.5, Fig. 9).
+// The paper evaluates the allocation-heavy workloads: Load (insert-only)
+// and Workload A (50% read / 50% update, zipfian).  Inserts allocate tree
+// nodes and value buffers; updates allocate a fresh value buffer and free
+// the old one through the allocator under test.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc_iface/allocator.hpp"
+
+namespace poseidon::workloads {
+
+struct YcsbConfig {
+  std::uint64_t nkeys = 200'000;  // paper: 10 M (scaled; see EXPERIMENTS.md)
+  unsigned nthreads = 1;
+  double seconds = 0.4;       // Workload A duration
+  double read_ratio = 0.5;    // Workload A mix
+  std::size_t value_size = 100;  // YCSB default field size
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 0x9c5b;
+};
+
+struct YcsbResult {
+  double load_mops = 0;
+  double a_mops = 0;
+};
+
+// Runs Load then Workload A on a fresh tree over `alloc`.
+YcsbResult run_ycsb(iface::PAllocator& alloc, const YcsbConfig& cfg);
+
+}  // namespace poseidon::workloads

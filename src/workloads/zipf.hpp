@@ -1,0 +1,58 @@
+// Zipfian key generator (YCSB's scrambled-zipfian distribution, after
+// Gray et al.'s quick zipf algorithm).  Hot keys are scattered over the
+// key space by a final hash so adjacent ranks do not collide in the index.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace poseidon::workloads {
+
+class ZipfGenerator {
+ public:
+  // items >= 1; theta in (0,1), YCSB default 0.99.
+  ZipfGenerator(std::uint64_t items, double theta, std::uint64_t seed)
+      : items_(items), theta_(theta), rng_(seed) {
+    zetan_ = zeta(items, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Zipf rank in [0, items): rank 0 is the hottest.
+  std::uint64_t next_rank() noexcept {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= items_ ? items_ - 1 : r;
+  }
+
+  // Scrambled: uniform-looking key id in [0, items) with zipf popularity.
+  std::uint64_t next_scrambled() noexcept {
+    return mix64(next_rank()) % items_;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) noexcept {
+    // O(n) precomputation; benchmark setup cost, done once.
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t items_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace poseidon::workloads

@@ -1,0 +1,211 @@
+// API edge cases and contract details: option handling on open, interior
+// raw pointers, alignment guarantees, zipf skew ordering, and protection
+// mode interplay with the public API.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/c_api.h"
+#include "core/heap.hpp"
+#include "tests/test_util.hpp"
+#include "workloads/zipf.hpp"
+
+namespace poseidon {
+namespace {
+
+using core::FreeResult;
+using core::Heap;
+using core::NvPtr;
+using test::small_opts;
+using test::TempHeapPath;
+
+TEST(ApiEdges, OpenUsesPersistedGeometryNotOptions) {
+  TempHeapPath path("open_geometry");
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts(4));
+    EXPECT_EQ(h->nsubheaps(), 4u);
+  }
+  // Different nsubheaps in the open options must not reinterpret the file.
+  core::Options other = small_opts(1);
+  auto h = Heap::open(path.str(), other);
+  EXPECT_EQ(h->nsubheaps(), 4u) << "sub-heap count is on-media state";
+}
+
+TEST(ApiEdges, InteriorRawPointerRoundTripsButNeverFrees) {
+  TempHeapPath path("interior");
+  auto h = Heap::create(path.str(), 2 << 20, small_opts());
+  NvPtr p = h->alloc(256);
+  auto* base = static_cast<char*>(h->raw(p));
+  // from_raw of an interior address yields an interior persistent pointer:
+  // usable for address arithmetic, rejected by free's validation.
+  const NvPtr interior = h->from_raw(base + 64);
+  EXPECT_FALSE(interior.is_null());
+  EXPECT_EQ(interior.offset(), p.offset() + 64);
+  EXPECT_EQ(h->raw(interior), base + 64);
+  EXPECT_NE(h->free(interior), FreeResult::kOk);
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
+TEST(ApiEdges, BlocksAreNaturallyAligned) {
+  TempHeapPath path("align");
+  auto h = Heap::create(path.str(), 8 << 20, small_opts());
+  for (const std::uint64_t size : {1u, 32u, 33u, 100u, 4096u, 100000u}) {
+    NvPtr p = h->alloc(size);
+    ASSERT_FALSE(p.is_null());
+    const std::uint64_t block = round_up_pow2(size < 32 ? 32 : size);
+    // Buddy blocks are size-aligned within the user region; the virtual
+    // address inherits that up to the page-aligned region base.
+    EXPECT_EQ(p.offset() % block, 0u) << size;
+    const std::uint64_t valign = block < 4096 ? block : 4096;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(h->raw(p)) % valign, 0u)
+        << size;
+    h->free(p);
+  }
+}
+
+TEST(ApiEdges, FallbackRespectsTxPinButNotSingleton) {
+  // Exhaust sub-heap 0; singleton allocations spill, tx allocations fail.
+  TempHeapPath path("fallback_tx");
+  core::Options o = small_opts(2);
+  o.policy = core::SubheapPolicy::kFixed0;
+  auto h = Heap::create(path.str(), 2 << 20, o);
+  const std::uint64_t per = h->user_capacity() / 2;
+  NvPtr whole = h->alloc(per);
+  ASSERT_FALSE(whole.is_null());
+  ASSERT_EQ(whole.subheap(), 0u);
+  // Singleton spills into sub-heap 1.
+  NvPtr spilled = h->alloc(4096);
+  ASSERT_FALSE(spilled.is_null());
+  EXPECT_EQ(spilled.subheap(), 1u);
+  // Transactions never fall back: the pin scan takes the first free
+  // tx_mu (sub-heap 0 here) without regard to occupancy, so the
+  // allocation fails even though sub-heap 1 has space.
+  NvPtr t = h->tx_alloc(4096, true);
+  EXPECT_TRUE(t.is_null());
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ApiEdges, ProtectionModeVisibleThroughApi) {
+  TempHeapPath path("prot_api");
+  core::Options o = small_opts();
+  o.protect = mpk::ProtectMode::kMprotect;
+  auto h = Heap::create(path.str(), 1 << 20, o);
+  EXPECT_EQ(h->protect_mode(), mpk::ProtectMode::kMprotect);
+  // The full API works under real protection (windows open/close).
+  NvPtr p = h->alloc(128);
+  ASSERT_FALSE(p.is_null());
+  std::memset(h->raw(p), 1, 128);  // user data is always writable
+  NvPtr t1 = h->tx_alloc(64, false);
+  NvPtr t2 = h->tx_alloc(64, true);
+  EXPECT_FALSE(t1.is_null() || t2.is_null());
+  h->set_root(p);
+  EXPECT_EQ(h->free(t1), FreeResult::kOk);
+  EXPECT_EQ(h->free(t2), FreeResult::kOk);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ApiEdges, CApiNvmptrOfInteriorAndForeign) {
+  TempHeapPath path("capi_edges");
+  heap_t* heap = poseidon_init(path.c_str(), 1 << 20);
+  ASSERT_NE(heap, nullptr);
+  nvmptr_t p = poseidon_alloc(heap, 64);
+  char* raw = static_cast<char*>(poseidon_get_rawptr(p));
+  // Interior conversion works; freeing the interior pointer is rejected.
+  nvmptr_t mid = poseidon_get_nvmptr(raw + 32);
+  EXPECT_FALSE(nvmptr_is_null(mid));
+  EXPECT_NE(poseidon_free(heap, mid), 0);
+  // A stack pointer maps to no heap.
+  int local = 0;
+  EXPECT_TRUE(nvmptr_is_null(poseidon_get_nvmptr(&local)));
+  // Raw resolution of a null/garbage nvmptr is null.
+  EXPECT_EQ(poseidon_get_rawptr(nvmptr_null()), nullptr);
+  nvmptr_t garbage{0x1234, 0x5678};
+  EXPECT_EQ(poseidon_get_rawptr(garbage), nullptr);
+  EXPECT_EQ(poseidon_free(heap, p), 0);
+  poseidon_finish(heap);
+}
+
+TEST(ApiEdges, StatsCountersAfterReopenAreRecomputed) {
+  TempHeapPath path("stats_reopen");
+  std::uint64_t live = 0, bytes = 0;
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts());
+    for (int i = 0; i < 25; ++i) (void)h->alloc(100);
+    const auto s = h->stats();
+    live = s.live_blocks;
+    bytes = s.allocated_bytes;
+  }
+  auto h = Heap::open(path.str(), small_opts());
+  const auto s = h->stats();
+  EXPECT_EQ(s.live_blocks, live);
+  EXPECT_EQ(s.allocated_bytes, bytes);
+}
+
+TEST(ApiEdges, CApiStats) {
+  TempHeapPath path("capi_stats");
+  heap_t* heap = poseidon_init(path.c_str(), 1 << 20);
+  ASSERT_NE(heap, nullptr);
+  nvmptr_t a = poseidon_alloc(heap, 64);
+  nvmptr_t b = poseidon_alloc(heap, 5000);
+  poseidon_stats_t st{};
+  poseidon_get_stats(heap, &st);
+  EXPECT_EQ(st.live_blocks, 2u);
+  EXPECT_EQ(st.allocated_bytes, 64u + 8192u);
+  EXPECT_GE(st.user_capacity, 1u << 20);
+  EXPECT_GT(st.splits, 0u);
+  poseidon_free(heap, a);
+  poseidon_free(heap, b);
+  poseidon_get_stats(heap, &st);
+  EXPECT_EQ(st.live_blocks, 0u);
+  poseidon_finish(heap);
+}
+
+TEST(ApiEdges, MaxSubheapCountWorks) {
+  TempHeapPath path("max_subheaps");
+  core::Options o = small_opts(core::kMaxSubheaps);
+  o.policy = core::SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 8 << 20, o);
+  EXPECT_EQ(h->nsubheaps(), core::kMaxSubheaps);
+  // Materialize a few spread-out sub-heaps and operate on them.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      NvPtr p = h->alloc(256);
+      ASSERT_FALSE(p.is_null());
+      ASSERT_EQ(h->free(p), FreeResult::kOk);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(h->check_invariants());
+}
+
+class ZipfThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaSweep, HigherThetaIsMoreSkewed) {
+  const double theta = GetParam();
+  workloads::ZipfGenerator zipf(1000, theta, 5);
+  constexpr int kDraws = 100000;
+  unsigned head = 0;  // draws landing in the hottest 1% of ranks
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.next_rank() < 10) ++head;
+  }
+  // Reference thresholds: theta 0.5 concentrates a few percent in the
+  // head, 0.99 roughly a third or more.
+  if (theta >= 0.99) {
+    EXPECT_GT(head, kDraws / 4);
+  } else if (theta >= 0.9) {
+    EXPECT_GT(head, kDraws / 8);
+    EXPECT_LT(head, kDraws / 2);
+  } else {
+    EXPECT_GT(head, kDraws / 100);
+    EXPECT_LT(head, kDraws / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
+                         ::testing::Values(0.5, 0.9, 0.99));
+
+}  // namespace
+}  // namespace poseidon

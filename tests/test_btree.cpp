@@ -1,0 +1,221 @@
+// FAST-FAIR B+-tree tests: model equivalence, splits across levels,
+// deletes, scans, exchange, concurrency — parameterized over all three
+// allocators (the tree must behave identically on any of them).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "alloc_iface/allocator.hpp"
+#include "common/rng.hpp"
+#include "index/fastfair.hpp"
+
+namespace poseidon::index {
+namespace {
+
+class BtreeOverAllocators
+    : public ::testing::TestWithParam<iface::AllocatorKind> {
+ protected:
+  void SetUp() override {
+    iface::AllocatorConfig cfg;
+    cfg.capacity = 64ull << 20;
+    alloc = iface::make_allocator(GetParam(), cfg);
+    tree = std::make_unique<FastFairTree>(alloc.get());
+  }
+
+  std::unique_ptr<iface::PAllocator> alloc;
+  std::unique_ptr<FastFairTree> tree;
+};
+
+TEST_P(BtreeOverAllocators, InsertSearchBasic) {
+  EXPECT_TRUE(tree->insert(10, 100));
+  EXPECT_TRUE(tree->insert(5, 50));
+  EXPECT_TRUE(tree->insert(20, 200));
+  EXPECT_FALSE(tree->insert(10, 999)) << "duplicate insert rejected";
+  EXPECT_EQ(tree->search(10), 100u);
+  EXPECT_EQ(tree->search(5), 50u);
+  EXPECT_EQ(tree->search(20), 200u);
+  EXPECT_FALSE(tree->search(7).has_value());
+}
+
+TEST_P(BtreeOverAllocators, SplitsGrowTheTree) {
+  // Enough sequential keys to force multiple levels of splits.
+  for (std::uint64_t k = 1; k <= 5000; ++k) {
+    ASSERT_TRUE(tree->insert(k, k * 2)) << k;
+  }
+  EXPECT_GT(tree->height(), 2u);
+  for (std::uint64_t k = 1; k <= 5000; ++k) {
+    ASSERT_EQ(tree->search(k), k * 2) << k;
+  }
+  std::string why;
+  EXPECT_TRUE(tree->check(&why)) << why;
+}
+
+TEST_P(BtreeOverAllocators, ReverseAndShuffledInserts) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; k <= 3000; ++k) keys.push_back(k * 7);
+  for (std::size_t i = keys.size(); i-- > 1;) {
+    std::swap(keys[i], keys[rng.next_below(i + 1)]);
+  }
+  for (const auto k : keys) ASSERT_TRUE(tree->insert(k, ~k));
+  for (const auto k : keys) ASSERT_EQ(tree->search(k), ~k);
+  std::string why;
+  EXPECT_TRUE(tree->check(&why)) << why;
+}
+
+TEST_P(BtreeOverAllocators, UpdateAndExchange) {
+  ASSERT_TRUE(tree->insert(42, 1));
+  EXPECT_TRUE(tree->update(42, 2));
+  EXPECT_EQ(tree->search(42), 2u);
+  const auto old = tree->exchange(42, 3);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, 2u);
+  EXPECT_EQ(tree->search(42), 3u);
+  EXPECT_FALSE(tree->update(43, 9));
+  EXPECT_FALSE(tree->exchange(43, 9).has_value());
+}
+
+TEST_P(BtreeOverAllocators, RemoveAndReinsert) {
+  for (std::uint64_t k = 1; k <= 1000; ++k) tree->insert(k, k);
+  for (std::uint64_t k = 1; k <= 1000; k += 2) {
+    ASSERT_TRUE(tree->remove(k));
+  }
+  EXPECT_FALSE(tree->remove(1)) << "already removed";
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    if (k % 2 == 1) {
+      ASSERT_FALSE(tree->search(k).has_value());
+    } else {
+      ASSERT_EQ(tree->search(k), k);
+    }
+  }
+  for (std::uint64_t k = 1; k <= 1000; k += 2) {
+    ASSERT_TRUE(tree->insert(k, k + 1));
+  }
+  EXPECT_EQ(tree->search(999), 1000u);
+  std::string why;
+  EXPECT_TRUE(tree->check(&why)) << why;
+}
+
+TEST_P(BtreeOverAllocators, ScanReturnsSortedRange) {
+  for (std::uint64_t k = 1; k <= 500; ++k) tree->insert(k * 10, k);
+  std::uint64_t vals[64];
+  const std::size_t got = tree->scan(1000, 20, vals);
+  ASSERT_EQ(got, 20u);
+  for (std::size_t i = 0; i < got; ++i) {
+    EXPECT_EQ(vals[i], 100 + i);  // keys 1000,1010,... -> values 100,101,...
+  }
+  // Scan past the end is clipped.
+  const std::size_t tail = tree->scan(4950, 64, vals);
+  EXPECT_EQ(tail, 6u);
+}
+
+TEST_P(BtreeOverAllocators, ModelEquivalenceUnderChurn) {
+  Xoshiro256 rng(17);
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = 1 + rng.next_below(5000);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        const bool t = tree->insert(k, k ^ 0xabc);
+        const bool m = model.emplace(k, k ^ 0xabc).second;
+        ASSERT_EQ(t, m) << "insert divergence at step " << i;
+        break;
+      }
+      case 2: {
+        const auto t = tree->search(k);
+        const auto m = model.find(k);
+        ASSERT_EQ(t.has_value(), m != model.end()) << i;
+        if (t) ASSERT_EQ(*t, m->second);
+        break;
+      }
+      default: {
+        const bool t = tree->remove(k);
+        const bool m = model.erase(k) > 0;
+        ASSERT_EQ(t, m) << "remove divergence at step " << i;
+      }
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(tree->check(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, BtreeOverAllocators,
+                         ::testing::Values(iface::AllocatorKind::kPoseidon,
+                                           iface::AllocatorKind::kPmdkLike,
+                                           iface::AllocatorKind::kMakaluLike),
+                         [](const auto& info) {
+                           std::string n = iface::kind_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(BtreeConcurrent, DisjointWritersSharedReaders) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 64ull << 20;
+  cfg.nlanes = 4;
+  auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+  FastFairTree tree(alloc.get());
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t key = i * kWriters + w + 1;
+        ASSERT_TRUE(tree.insert(key, key * 3));
+        if (i % 5 == 0) (void)tree.search((i * 2654435761u) % 100000 + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::uint64_t key = 1; key <= kWriters * kPerWriter; ++key) {
+    ASSERT_EQ(tree.search(key), key * 3) << key;
+  }
+  std::string why;
+  EXPECT_TRUE(tree.check(&why)) << why;
+}
+
+TEST(BtreeConcurrent, ConcurrentExchangesNeverLoseValues) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 32ull << 20;
+  auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+  FastFairTree tree(alloc.get());
+  for (std::uint64_t k = 1; k <= 100; ++k) tree.insert(k, 0);
+
+  // Each exchanged-out value is observed exactly once across threads.
+  constexpr int kThreads = 4, kOps = 10000;
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t k = 1 + rng.next_below(100);
+        const std::uint64_t token = (static_cast<std::uint64_t>(t + 1) << 32) |
+                                    static_cast<std::uint64_t>(i + 1);
+        const auto old = tree.exchange(k, token);
+        ASSERT_TRUE(old.has_value());
+        if (*old != 0) seen[t].push_back(*old);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::uint64_t> all;
+  std::size_t total = 0;
+  for (const auto& v : seen) {
+    total += v.size();
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(all.size(), total) << "an exchanged value was returned twice";
+}
+
+}  // namespace
+}  // namespace poseidon::index

@@ -1,0 +1,182 @@
+// Unit tests for src/common: bit manipulation, hashing, the PRNG, the
+// spinlock and topology helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/topology.hpp"
+
+namespace poseidon {
+namespace {
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bitops, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(~0ull), 63u);
+}
+
+TEST(Bitops, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil((1ull << 40) + 1), 41u);
+}
+
+TEST(Bitops, RoundUpPow2) {
+  EXPECT_EQ(round_up_pow2(0), 1u);
+  EXPECT_EQ(round_up_pow2(1), 1u);
+  EXPECT_EQ(round_up_pow2(3), 4u);
+  EXPECT_EQ(round_up_pow2(4), 4u);
+  EXPECT_EQ(round_up_pow2(1000), 1024u);
+}
+
+TEST(Bitops, AlignUpDown) {
+  EXPECT_EQ(align_up(0, 4096), 0u);
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(align_down(4097, 4096), 4096u);
+  EXPECT_EQ(align_down(4095, 4096), 0u);
+}
+
+TEST(Bitops, PropertyRoundTrip) {
+  // For every v, 2^log2_ceil(v) >= v and 2^log2_floor(v) <= v.
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = (rng.next() >> 8) | 1;  // nonzero, < 2^56
+    EXPECT_GE(std::uint64_t{1} << log2_ceil(v), v);
+    EXPECT_LE(std::uint64_t{1} << log2_floor(v), v);
+  }
+}
+
+TEST(Hash, Mix64Deterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hash, Mix64Bijective) {
+  // No collisions over a large sample implies good dispersal; bijectivity
+  // can't be proven by sampling, but any collision disproves it.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash, BytesBasics) {
+  EXPECT_EQ(hash_bytes("abc", 3), hash_bytes("abc", 3));
+  EXPECT_NE(hash_bytes("abc", 3), hash_bytes("abd", 3));
+  EXPECT_NE(hash_bytes("abc", 3), hash_bytes("abc", 2));
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsBounded) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, InIsInclusive) {
+  Xoshiro256 rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.next_in(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);  // mean of U[0,1)
+}
+
+TEST(Rng, RoughUniformity) {
+  Xoshiro256 rng(6);
+  unsigned buckets[16] = {};
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_below(16)];
+  for (unsigned b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), kDraws / 16.0, kDraws / 16.0 * 0.1);
+  }
+}
+
+TEST(Spinlock, MutualExclusion) {
+  Spinlock lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8, kIters = 20000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        Guard<Spinlock> g(lock);
+        ++counter;  // data race unless the lock works
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Topology, CpuCountPositive) { EXPECT_GE(cpu_count(), 1u); }
+
+TEST(Topology, CurrentCpuInRange) { EXPECT_LT(current_cpu(), cpu_count()); }
+
+TEST(Topology, ThreadOrdinalsDistinct) {
+  const unsigned mine = thread_ordinal();
+  EXPECT_EQ(mine, thread_ordinal());  // stable per thread
+  unsigned other = mine;
+  std::thread t([&] { other = thread_ordinal(); });
+  t.join();
+  EXPECT_NE(mine, other);
+}
+
+}  // namespace
+}  // namespace poseidon

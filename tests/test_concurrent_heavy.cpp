@@ -1,0 +1,209 @@
+// Heavier concurrency scenarios: transaction contention with fewer
+// sub-heaps than threads, multiple heaps used concurrently, registry
+// stability under open/close churn, and a mixed singleton/tx/free storm
+// audited by the invariant checker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/heap.hpp"
+#include "core/registry.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+TEST(ConcurrentHeavy, MoreTransactionsThanSubheaps) {
+  // 2 sub-heaps, 6 threads running transactions: the pinning protocol
+  // must serialize cleanly (threads block on tx_mu) and never cross
+  // micro logs.
+  TempHeapPath path("tx_oversub");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 8 << 20, o);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      for (int i = 0; i < 300; ++i) {
+        NvPtr a = h->tx_alloc(64 + rng.next_below(512), false);
+        NvPtr b = h->tx_alloc(64, true);
+        if (a.is_null() || b.is_null()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (a.subheap() != b.subheap()) errors.fetch_add(1);
+        if (h->free(a) != FreeResult::kOk) errors.fetch_add(1);
+        if (h->free(b) != FreeResult::kOk) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ConcurrentHeavy, MultipleHeapsInParallel) {
+  // Threads hammer two heaps at once; pointers from one heap must always
+  // be rejected by the other, even mid-storm.
+  TempHeapPath pa("multi_a"), pb("multi_b");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  auto ha = Heap::create(pa.str(), 4 << 20, o);
+  auto hb = Heap::create(pb.str(), 4 << 20, o);
+  std::atomic<int> cross_accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t + 10);
+      Heap* mine = (t & 1) ? hb.get() : ha.get();
+      Heap* other = (t & 1) ? ha.get() : hb.get();
+      std::vector<NvPtr> live;
+      for (int i = 0; i < 5000; ++i) {
+        if (live.size() < 32 && (live.empty() || (rng.next() & 1))) {
+          NvPtr p = mine->alloc(64 << rng.next_below(4));
+          if (!p.is_null()) {
+            if (other->free(p) == FreeResult::kOk) cross_accepted.fetch_add(1);
+            live.push_back(p);
+          }
+        } else {
+          const std::size_t k = rng.next_below(live.size());
+          mine->free(live[k]);
+          live[k] = live.back();
+          live.pop_back();
+        }
+      }
+      for (const auto& p : live) mine->free(p);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cross_accepted.load(), 0);
+  EXPECT_TRUE(ha->check_invariants());
+  EXPECT_TRUE(hb->check_invariants());
+  EXPECT_EQ(ha->stats().live_blocks, 0u);
+  EXPECT_EQ(hb->stats().live_blocks, 0u);
+}
+
+TEST(ConcurrentHeavy, RegistryStableUnderOpenCloseChurn) {
+  // One thread repeatedly opens/closes heaps while others resolve
+  // pointers through the registry; no lookup may crash or misresolve.
+  TempHeapPath stable_path("reg_stable");
+  auto stable = Heap::create(stable_path.str(), 2 << 20, small_opts());
+  const NvPtr anchor = stable->alloc(64);
+  std::memcpy(stable->raw(anchor), "anchored", 9);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread churn([&] {
+    for (int i = 0; i < 40; ++i) {
+      TempHeapPath p("reg_churn");
+      auto h = Heap::create(p.str(), 1 << 20, small_opts());
+      (void)h->alloc(64);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        Heap* h = registry::by_id(anchor.heap_id);
+        if (h == nullptr) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const char* s = static_cast<const char*>(h->raw(anchor));
+        if (s == nullptr || std::strcmp(s, "anchored") != 0) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  churn.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ConcurrentHeavy, MixedStormKeepsInvariants) {
+  TempHeapPath path("storm");
+  Options o = small_opts(4);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 16 << 20, o);
+  constexpr int kThreads = 6;
+  std::vector<std::atomic<std::uint64_t>> ring(128);
+  for (auto& r : ring) r.store(0);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t * 7 + 1);
+      std::vector<NvPtr> mine;
+      for (int i = 0; i < 8000; ++i) {
+        switch (rng.next_below(6)) {
+          case 0:
+          case 1: {  // singleton alloc
+            NvPtr p = h->alloc(32u << rng.next_below(9));
+            if (!p.is_null()) mine.push_back(p);
+            break;
+          }
+          case 2: {  // tx pair
+            NvPtr a = h->tx_alloc(128, false);
+            NvPtr b = h->tx_alloc(128, true);
+            if (!a.is_null()) mine.push_back(a);
+            if (!b.is_null()) mine.push_back(b);
+            break;
+          }
+          case 3: {  // hand off to the ring (cross-thread free)
+            if (mine.empty()) break;
+            const std::uint64_t prev =
+                ring[rng.next_below(ring.size())].exchange(
+                    mine.back().packed + 1);
+            mine.pop_back();
+            if (prev != 0 &&
+                h->free(NvPtr{h->heap_id(), prev - 1}) != FreeResult::kOk) {
+              errors.fetch_add(1);
+            }
+            break;
+          }
+          case 4: {  // own free
+            if (mine.empty()) break;
+            const std::size_t k = rng.next_below(mine.size());
+            if (h->free(mine[k]) != FreeResult::kOk) errors.fetch_add(1);
+            mine[k] = mine.back();
+            mine.pop_back();
+            break;
+          }
+          default: {  // adversarial free: must never be accepted
+            NvPtr bogus = NvPtr::make(
+                h->heap_id(), static_cast<std::uint16_t>(rng.next_below(4)),
+                (rng.next_below(1u << 22) & ~31u) | 16u);  // misaligned
+            if (h->free(bogus) == FreeResult::kOk) errors.fetch_add(1);
+          }
+        }
+      }
+      for (const auto& p : mine) {
+        if (h->free(p) != FreeResult::kOk) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& r : ring) {
+    const std::uint64_t got = r.load();
+    if (got != 0) h->free(NvPtr{h->heap_id(), got - 1});
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+}  // namespace
+}  // namespace poseidon::core

@@ -1,0 +1,115 @@
+// Lazy vs eager coalescing (Options::eager_coalesce): both modes must
+// preserve every invariant; eager additionally keeps the heap maximally
+// merged after frees.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/heap.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+Options eager_opts() {
+  Options o = small_opts();
+  o.eager_coalesce = true;
+  return o;
+}
+
+TEST(EagerCoalesce, FreeRestoresMaximalBlock) {
+  TempHeapPath path("eager_max");
+  auto h = Heap::create(path.str(), 1 << 20, eager_opts());
+  std::vector<NvPtr> ps;
+  for (int i = 0; i < 64; ++i) ps.push_back(h->alloc(1024));
+  for (const auto& p : ps) ASSERT_EQ(h->free(p), FreeResult::kOk);
+  // Everything merged back: exactly one free block spans the region.
+  const auto s = h->stats();
+  EXPECT_EQ(s.free_blocks, 1u);
+  EXPECT_EQ(s.live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(EagerCoalesce, LazyModeLeavesFragmentsUntilNeeded) {
+  TempHeapPath path("lazy_frag");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());  // lazy default
+  std::vector<NvPtr> ps;
+  for (int i = 0; i < 64; ++i) ps.push_back(h->alloc(1024));
+  for (const auto& p : ps) ASSERT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_GT(h->stats().free_blocks, 1u)
+      << "lazy mode defers merging until a request needs it";
+  // ...but the next big request triggers defragmentation and succeeds.
+  NvPtr whole = h->alloc(h->user_capacity());
+  EXPECT_FALSE(whole.is_null());
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(EagerCoalesce, PartialNeighbourhoodMergesOnlyFreeBuddies) {
+  TempHeapPath path("eager_partial");
+  auto h = Heap::create(path.str(), 1 << 20, eager_opts());
+  NvPtr a = h->alloc(4096);
+  NvPtr b = h->alloc(4096);  // a's buddy
+  NvPtr c = h->alloc(4096);
+  NvPtr d = h->alloc(4096);  // c's buddy
+  ASSERT_FALSE(a.is_null() || b.is_null() || c.is_null() || d.is_null());
+  h->free(a);  // b still live: no merge possible
+  const auto s1 = h->stats();
+  h->free(b);  // merges with a (and possibly upward)
+  const auto s2 = h->stats();
+  EXPECT_LT(s2.free_blocks, s1.free_blocks + 1)
+      << "freeing the buddy must merge rather than just adding a block";
+  h->free(c);
+  h->free(d);
+  EXPECT_EQ(h->stats().free_blocks, 1u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(EagerCoalesce, RandomChurnKeepsInvariants) {
+  TempHeapPath path("eager_churn");
+  auto h = Heap::create(path.str(), 2 << 20, eager_opts());
+  Xoshiro256 rng(77);
+  std::vector<NvPtr> live;
+  for (int i = 0; i < 5000; ++i) {
+    if (live.size() < 128 && (live.empty() || (rng.next() & 1))) {
+      NvPtr p = h->alloc(32u << rng.next_below(8));
+      if (!p.is_null()) live.push_back(p);
+    } else {
+      const std::size_t k = rng.next_below(live.size());
+      ASSERT_EQ(h->free(live[k]), FreeResult::kOk);
+      live[k] = live.back();
+      live.pop_back();
+    }
+    if (i % 1000 == 0) {
+      std::string why;
+      ASSERT_TRUE(h->check_invariants(&why)) << i << ": " << why;
+    }
+  }
+  for (const auto& p : live) ASSERT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_EQ(h->stats().free_blocks, 1u) << "fully merged after drain";
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(EagerCoalesce, SurvivesReopenAndRecovery) {
+  TempHeapPath path("eager_reopen");
+  NvPtr keep;
+  {
+    auto h = Heap::create(path.str(), 1 << 20, eager_opts());
+    keep = h->alloc(256);
+    for (int i = 0; i < 50; ++i) {
+      NvPtr p = h->alloc(512);
+      h->free(p);
+    }
+  }
+  auto h = Heap::open(path.str(), eager_opts());
+  EXPECT_TRUE(h->check_invariants());
+  EXPECT_EQ(h->stats().live_blocks, 1u);
+  EXPECT_EQ(h->free(keep), FreeResult::kOk);
+  EXPECT_EQ(h->stats().free_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace poseidon::core

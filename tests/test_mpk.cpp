@@ -1,0 +1,121 @@
+// Tests for the MPK protection domain: mode resolution, write windows,
+// nesting, and (death tests) fault-on-write outside the allocator.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include "mpk/mpk.hpp"
+
+namespace poseidon::mpk {
+namespace {
+
+class MappedPage {
+ public:
+  MappedPage() {
+    base_ = ::mmap(nullptr, kLen, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    EXPECT_NE(base_, MAP_FAILED);
+  }
+  ~MappedPage() { ::munmap(base_, kLen); }
+  void* get() const { return base_; }
+  volatile char* bytes() const { return static_cast<volatile char*>(base_); }
+  static constexpr std::size_t kLen = 16384;
+
+ private:
+  void* base_;
+};
+
+TEST(Mpk, ModeNames) {
+  EXPECT_STREQ(mode_name(ProtectMode::kAuto), "auto");
+  EXPECT_STREQ(mode_name(ProtectMode::kPkey), "pkey");
+  EXPECT_STREQ(mode_name(ProtectMode::kMprotect), "mprotect");
+  EXPECT_STREQ(mode_name(ProtectMode::kNone), "none");
+}
+
+TEST(Mpk, AutoResolvesToPkeyOrNone) {
+  MappedPage page;
+  ProtectionDomain d(page.get(), MappedPage::kLen, ProtectMode::kAuto);
+  if (pku_supported()) {
+    EXPECT_EQ(d.mode(), ProtectMode::kPkey);
+  } else {
+    EXPECT_EQ(d.mode(), ProtectMode::kNone);
+  }
+}
+
+TEST(Mpk, NoneModeAllowsEverything) {
+  MappedPage page;
+  ProtectionDomain d(page.get(), MappedPage::kLen, ProtectMode::kNone);
+  page.bytes()[0] = 1;  // no window, still writable
+  EXPECT_EQ(page.bytes()[0], 1);
+}
+
+TEST(Mpk, MprotectWindowAllowsWrites) {
+  MappedPage page;
+  ProtectionDomain d(page.get(), MappedPage::kLen, ProtectMode::kMprotect);
+  {
+    WriteWindow w(&d);
+    page.bytes()[100] = 42;
+  }
+  EXPECT_EQ(page.bytes()[100], 42);  // reads stay legal outside the window
+}
+
+TEST(Mpk, MprotectWindowsNest) {
+  MappedPage page;
+  ProtectionDomain d(page.get(), MappedPage::kLen, ProtectMode::kMprotect);
+  {
+    WriteWindow outer(&d);
+    {
+      WriteWindow inner(&d);
+      page.bytes()[1] = 1;
+    }
+    page.bytes()[2] = 2;  // still inside the outer window
+  }
+  EXPECT_EQ(page.bytes()[1], 1);
+  EXPECT_EQ(page.bytes()[2], 2);
+}
+
+TEST(Mpk, NullDomainWindowIsNoop) {
+  WriteWindow w(nullptr);  // must not crash
+}
+
+using MpkDeathTest = ::testing::Test;
+
+TEST(MpkDeathTest, MprotectBlocksStrayWrite) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        MappedPage page;
+        ProtectionDomain d(page.get(), MappedPage::kLen,
+                           ProtectMode::kMprotect);
+        page.bytes()[0] = 1;  // outside any write window -> SIGSEGV
+      },
+      "");
+}
+
+TEST(MpkDeathTest, WriteAfterWindowCloseBlocked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        MappedPage page;
+        ProtectionDomain d(page.get(), MappedPage::kLen,
+                           ProtectMode::kMprotect);
+        { WriteWindow w(&d); page.bytes()[0] = 1; }
+        page.bytes()[1] = 2;  // window closed again
+      },
+      "");
+}
+
+TEST(MpkDeathTest, PkeyBlocksStrayWriteWhenSupported) {
+  if (!pku_supported()) GTEST_SKIP() << "CPU lacks PKU";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        MappedPage page;
+        ProtectionDomain d(page.get(), MappedPage::kLen, ProtectMode::kPkey);
+        page.bytes()[0] = 1;
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace poseidon::mpk

@@ -1,0 +1,211 @@
+// Unit tests for the persistent-memory substrate: pool mapping, hole
+// punching, the persistence simulator, and crash-point injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/compiler.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/persist.hpp"
+#include "pmem/pool.hpp"
+#include "pmem/sim_domain.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::pmem {
+namespace {
+
+using test::TempHeapPath;
+
+TEST(Pool, CreateMapsRequestedSize) {
+  TempHeapPath path("pool_create");
+  Pool p = Pool::create(path.str(), 1 << 20);
+  ASSERT_TRUE(p.valid());
+  EXPECT_EQ(p.size(), 1u << 20);
+  // Fresh pool reads as zero (sparse file).
+  EXPECT_EQ(p.data()[0], std::byte{0});
+  EXPECT_EQ(p.data()[(1 << 20) - 1], std::byte{0});
+}
+
+TEST(Pool, CreateFailsIfExists) {
+  TempHeapPath path("pool_exists");
+  Pool p = Pool::create(path.str(), 4096);
+  EXPECT_THROW(Pool::create(path.str(), 4096), std::system_error);
+}
+
+TEST(Pool, OpenMissingFails) {
+  EXPECT_THROW(Pool::open("/dev/shm/definitely_not_here.heap"),
+               std::system_error);
+}
+
+TEST(Pool, DataSurvivesReopen) {
+  TempHeapPath path("pool_reopen");
+  {
+    Pool p = Pool::create(path.str(), 64 << 10);
+    std::memcpy(p.data() + 1000, "persistent!", 11);
+    persist(p.data() + 1000, 11);
+  }
+  Pool p = Pool::open(path.str());
+  EXPECT_EQ(p.size(), 64u << 10);
+  EXPECT_EQ(std::memcmp(p.data() + 1000, "persistent!", 11), 0);
+}
+
+TEST(Pool, PunchHoleZeroesAndDeallocates) {
+  TempHeapPath path("pool_punch");
+  Pool p = Pool::create(path.str(), 1 << 20);
+  std::memset(p.data(), 0xaa, 1 << 20);
+  persist(p.data(), 1 << 20);
+  const std::size_t before = p.allocated_bytes();
+  EXPECT_GT(before, 0u);
+  p.punch_hole(4096, 512 * 1024);
+  EXPECT_LT(p.allocated_bytes(), before);
+  // Punched range reads back as zero; neighbours are untouched.
+  EXPECT_EQ(p.data()[4096], std::byte{0});
+  EXPECT_EQ(p.data()[4096 + 512 * 1024 - 1], std::byte{0});
+  EXPECT_EQ(p.data()[0], std::byte{0xaa});
+  EXPECT_EQ(p.data()[4096 + 512 * 1024], std::byte{0xaa});
+  // Punched pages are writable again (filesystem re-allocates on store).
+  p.data()[8192] = std::byte{0x55};
+  EXPECT_EQ(p.data()[8192], std::byte{0x55});
+}
+
+TEST(Pool, MoveTransfersOwnership) {
+  TempHeapPath path("pool_move");
+  Pool a = Pool::create(path.str(), 4096);
+  std::byte* base = a.data();
+  Pool b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.data(), base);
+}
+
+TEST(Persist, FlushPrimitivesDoNotCrash) {
+  // Functional check that the runtime-dispatched clwb/clflushopt paths
+  // execute on this CPU.
+  alignas(kCacheLineSize) char buf[256];
+  std::memset(buf, 1, sizeof(buf));
+  flush_lines(buf, sizeof(buf));
+  fence();
+  persist(buf, 1);
+  persist(buf + 255, 1);
+  persist(buf, 0);  // empty range is a no-op
+}
+
+TEST(SimDomain, StoreWithoutPersistIsLostOnCrash) {
+  alignas(4096) static char region[8192];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region));
+  nv_store(*reinterpret_cast<std::uint64_t*>(region), std::uint64_t{42});
+  EXPECT_EQ(sim.dirty_line_count(), 1u);
+  sim.crash(/*seed=*/1, /*survive_prob=*/0.0);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(region), 0u);
+}
+
+TEST(SimDomain, PersistedStoreSurvivesCrash) {
+  alignas(4096) static char region[8192];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region));
+  auto& word = *reinterpret_cast<std::uint64_t*>(region + 64);
+  nv_store(word, std::uint64_t{7});
+  persist(&word, sizeof(word));
+  EXPECT_EQ(sim.dirty_line_count(), 0u);
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 7u);
+}
+
+TEST(SimDomain, SurviveProbOneKeepsUnflushedLines) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region));
+  nv_store(*reinterpret_cast<std::uint64_t*>(region), std::uint64_t{9});
+  sim.crash(1, 1.0);  // every dirty line "was evicted" => durable
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(region), 9u);
+}
+
+TEST(SimDomain, PartialSurvivalIsPerLine) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region));
+  for (int line = 0; line < 32; ++line) {
+    nv_store(*reinterpret_cast<std::uint64_t*>(region + line * 64),
+             std::uint64_t{1});
+  }
+  EXPECT_EQ(sim.dirty_line_count(), 32u);
+  sim.crash(123, 0.5);
+  unsigned survived = 0;
+  for (int line = 0; line < 32; ++line) {
+    survived += *reinterpret_cast<std::uint64_t*>(region + line * 64) == 1;
+  }
+  EXPECT_GT(survived, 4u);   // ~16 expected
+  EXPECT_LT(survived, 28u);
+}
+
+TEST(SimDomain, StoresOutsideDomainIgnored) {
+  alignas(4096) static char region[4096];
+  static char outside[64];
+  SimDomain sim(region, sizeof(region));
+  nv_store(*reinterpret_cast<std::uint64_t*>(outside), std::uint64_t{5});
+  EXPECT_EQ(sim.dirty_line_count(), 0u);
+}
+
+TEST(SimDomain, CheckpointClearsDirtyState) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region));
+  nv_store(*reinterpret_cast<std::uint64_t*>(region), std::uint64_t{3});
+  sim.checkpoint();
+  sim.crash(1, 0.0);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(region), 3u);
+}
+
+TEST(SimDomain, OnlyOneDomainAtATime) {
+  alignas(4096) static char region[4096];
+  SimDomain sim(region, sizeof(region));
+  EXPECT_THROW(SimDomain(region, sizeof(region)), std::logic_error);
+}
+
+TEST(SimDomain, InactiveAfterDestruction) {
+  alignas(4096) static char region[4096];
+  {
+    SimDomain sim(region, sizeof(region));
+    EXPECT_TRUE(sim_active());
+  }
+  EXPECT_FALSE(sim_active());
+}
+
+TEST(CrashPoint, DisarmedIsFree) {
+  crash_disarm();
+  crash_point("anything");  // must not throw
+}
+
+TEST(CrashPoint, ThrowsAtNthMatchingHit) {
+  crash_arm("op.", 3, CrashAction::kThrow);
+  crash_point("op.a");
+  crash_point("other.x");  // prefix mismatch: not counted
+  crash_point("op.b");
+  EXPECT_THROW(crash_point("op.c"), CrashException);
+  crash_disarm();
+  EXPECT_EQ(crash_hits(), 3u);
+}
+
+TEST(CrashPoint, HitsKeepCountingPastTrigger) {
+  crash_arm("", 1, CrashAction::kThrow);
+  EXPECT_THROW(crash_point("a"), CrashException);
+  crash_point("b");  // after trigger: counted, no throw
+  crash_point("c");
+  EXPECT_EQ(crash_hits(), 3u);
+  crash_disarm();
+}
+
+TEST(CrashPoint, ExceptionCarriesPointName) {
+  crash_arm("", 1, CrashAction::kThrow);
+  try {
+    crash_point("alloc.begin");
+    FAIL() << "expected CrashException";
+  } catch (const CrashException& e) {
+    EXPECT_STREQ(e.point, "alloc.begin");
+  }
+  crash_disarm();
+}
+
+}  // namespace
+}  // namespace poseidon::pmem

@@ -1,0 +1,238 @@
+// Property-based tests: long randomized operation sequences checked
+// against a reference model, across seeds (TEST_P), plus multi-threaded
+// stress with cross-thread frees and whole-heap invariant audits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/heap.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+// Reference model: offset -> (size requested, fill byte).
+struct ModelEntry {
+  std::uint64_t size;
+  unsigned char fill;
+};
+
+class RandomOpsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomOpsSweep, ModelEquivalence) {
+  const std::uint64_t seed = GetParam();
+  TempHeapPath path("prop");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+
+  Xoshiro256 rng(seed);
+  std::map<std::uint64_t, ModelEntry> model;  // keyed by packed NvPtr
+  std::vector<NvPtr> live;
+
+  for (int step = 0; step < 4000; ++step) {
+    const unsigned op = static_cast<unsigned>(rng.next_below(10));
+    if (op < 6 || live.empty()) {
+      // Allocate a size spanning several classes, occasionally huge.
+      const std::uint64_t size =
+          op == 0 ? (64u << rng.next_below(12)) : 16 + rng.next_below(2000);
+      NvPtr p = h->alloc(size);
+      if (p.is_null()) continue;  // exhaustion is legal
+      const auto fill = static_cast<unsigned char>(rng.next());
+      std::memset(h->raw(p), fill, size);
+      ASSERT_TRUE(model.emplace(p.packed, ModelEntry{size, fill}).second)
+          << "allocator returned a live block";
+      live.push_back(p);
+    } else if (op < 9) {
+      const std::size_t k = rng.next_below(live.size());
+      NvPtr p = live[k];
+      // Contents must be exactly what the model wrote (no overlap ever).
+      const ModelEntry& e = model.at(p.packed);
+      const auto* bytes = static_cast<const unsigned char*>(h->raw(p));
+      for (std::uint64_t i = 0; i < e.size; i += 97) {
+        ASSERT_EQ(bytes[i], e.fill) << "user data corrupted";
+      }
+      ASSERT_EQ(h->free(p), FreeResult::kOk);
+      model.erase(p.packed);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      // Adversarial frees: must all be rejected without damage.
+      NvPtr bogus = NvPtr::make(h->heap_id(), 0, rng.next_below(1 << 20));
+      const FreeResult r = h->free(bogus);
+      if (model.count(bogus.packed) == 0) {
+        ASSERT_NE(r, FreeResult::kOk) << "accepted a bogus free";
+      } else {
+        // Randomly hit a live block: legal free; sync the model.
+        ASSERT_EQ(r, FreeResult::kOk);
+        model.erase(bogus.packed);
+        std::erase_if(live, [&](NvPtr q) { return q == bogus; });
+      }
+    }
+    if (step % 500 == 0) {
+      std::string why;
+      ASSERT_TRUE(h->check_invariants(&why)) << "step " << step << ": " << why;
+    }
+  }
+  EXPECT_EQ(h->stats().live_blocks, model.size());
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+
+  // Drain and verify the heap returns to a fully merged state.
+  for (const auto& [packed, entry] : model) {
+    ASSERT_EQ(h->free(NvPtr{h->heap_id(), packed}), FreeResult::kOk);
+  }
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  NvPtr whole = h->alloc(h->user_capacity() / h->nsubheaps());
+  EXPECT_FALSE(whole.is_null()) << "defrag must rebuild a maximal block";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(PropertyReopen, StateSurvivesManyReopenCycles) {
+  TempHeapPath path("prop_reopen");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  Xoshiro256 rng(4242);
+  std::map<std::uint64_t, ModelEntry> model;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    (void)h;
+  }
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    auto h = Heap::open(path.str(), o);
+    ASSERT_EQ(h->stats().live_blocks, model.size()) << "cycle " << cycle;
+    // Verify all survivors, free half, allocate some more.
+    std::vector<std::uint64_t> keys;
+    for (const auto& [packed, e] : model) keys.push_back(packed);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const NvPtr p{h->heap_id(), keys[i]};
+      const ModelEntry& e = model.at(keys[i]);
+      const auto* bytes = static_cast<const unsigned char*>(h->raw(p));
+      ASSERT_EQ(bytes[0], e.fill);
+      ASSERT_EQ(bytes[e.size - 1], e.fill);
+      if (i % 2 == 0) {
+        ASSERT_EQ(h->free(p), FreeResult::kOk);
+        model.erase(keys[i]);
+      }
+    }
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t size = 16 + rng.next_below(4000);
+      NvPtr p = h->alloc(size);
+      if (p.is_null()) break;
+      const auto fill = static_cast<unsigned char>(rng.next());
+      std::memset(h->raw(p), fill, size);
+      model.emplace(p.packed, ModelEntry{size, fill});
+    }
+    ASSERT_TRUE(h->check_invariants());
+  }
+}
+
+TEST(Concurrency, CrossThreadFreesKeepInvariants) {
+  // Producer/consumer handoff: half the threads allocate into a shared
+  // ring, the other half free from it — the paper's §5.7 contention case.
+  TempHeapPath path("conc_handoff");
+  Options o = small_opts(4);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 8 << 20, o);
+
+  constexpr int kPairs = 2, kOpsPerThread = 20000;
+  std::vector<std::atomic<std::uint64_t>> ring(256);
+  for (auto& r : ring) r.store(0);
+  std::atomic<std::uint64_t> alloc_count{0}, free_count{0}, reject{0};
+
+  std::vector<std::thread> threads;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    threads.emplace_back([&, pair] {  // producer
+      Xoshiro256 rng(100 + pair);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        NvPtr p = h->alloc(32 + rng.next_below(400));
+        if (p.is_null()) continue;
+        alloc_count.fetch_add(1);
+        // packed+1: the block at sub-heap 0 / offset 0 has packed == 0,
+        // which must not masquerade as the empty-slot sentinel.
+        const std::uint64_t prev =
+            ring[rng.next_below(ring.size())].exchange(p.packed + 1);
+        if (prev != 0) {
+          if (h->free(NvPtr{h->heap_id(), prev - 1}) == FreeResult::kOk) {
+            free_count.fetch_add(1);
+          } else {
+            reject.fetch_add(1);
+          }
+        }
+      }
+    });
+    threads.emplace_back([&, pair] {  // consumer
+      Xoshiro256 rng(200 + pair);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t got =
+            ring[rng.next_below(ring.size())].exchange(0);
+        if (got == 0) continue;
+        if (h->free(NvPtr{h->heap_id(), got - 1}) == FreeResult::kOk) {
+          free_count.fetch_add(1);
+        } else {
+          reject.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& r : ring) {
+    const std::uint64_t got = r.load();
+    if (got != 0 &&
+        h->free(NvPtr{h->heap_id(), got - 1}) == FreeResult::kOk) {
+      free_count.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(reject.load(), 0u) << "every handed-off pointer is valid exactly once";
+  EXPECT_EQ(alloc_count.load(), free_count.load());
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(Concurrency, ParallelAllocFreeChurn) {
+  TempHeapPath path("conc_churn");
+  Options o = small_opts(4);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 8 << 20, o);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      std::vector<NvPtr> mine;
+      for (int i = 0; i < 15000; ++i) {
+        if (mine.size() < 64 && (mine.empty() || (rng.next() & 1))) {
+          NvPtr p = h->alloc(32u << rng.next_below(8));
+          if (!p.is_null()) mine.push_back(p);
+        } else {
+          const std::size_t k = rng.next_below(mine.size());
+          if (h->free(mine[k]) != FreeResult::kOk) failed.store(true);
+          mine[k] = mine.back();
+          mine.pop_back();
+        }
+      }
+      for (const auto& p : mine) {
+        if (h->free(p) != FreeResult::kOk) failed.store(true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+}  // namespace
+}  // namespace poseidon::core

@@ -1,0 +1,244 @@
+// Crash-consistency tests (paper §5.8).
+//
+// Strategy 1 — in-process power-failure simulation: a SimDomain shadows
+// the metadata region; a crash point aborts an operation mid-flight; the
+// simulator then discards a random subset of unflushed cache lines (an
+// unflushed line MAY still reach NVMM via eviction, so survival is a coin
+// flip); the heap is reopened and every invariant checked.  Parameterized
+// over crash position and line-survival probability.
+//
+// Strategy 2 — forked-child kill: the child dies with _exit inside the
+// allocator; the parent reopens the (file-backed) pool and verifies.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/sim_domain.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+// Workload run against the heap until the armed crash point fires.
+void churn(Heap& h) {
+  std::vector<NvPtr> ps;
+  for (int i = 0; i < 30; ++i) {
+    NvPtr p = h.alloc(64u << (i % 5));
+    if (!p.is_null()) ps.push_back(p);
+    if (i % 3 == 2 && !ps.empty()) {
+      h.free(ps.back());
+      ps.pop_back();
+    }
+  }
+  (void)h.tx_alloc(256, false);
+  (void)h.tx_alloc(4096, true);
+  h.set_root(ps.empty() ? NvPtr::null() : ps.front());
+  NvPtr big = h.alloc(1 << 18);  // forces splits/defrag
+  if (!big.is_null()) h.free(big);
+}
+
+struct CrashCase {
+  std::uint64_t nth;      // which crash-point hit aborts the run
+  double survive_prob;    // unflushed-line survival at the failure
+};
+
+class SimCrashSweep : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(SimCrashSweep, RecoversToConsistentState) {
+  const CrashCase c = GetParam();
+  TempHeapPath path("simcrash");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+
+  // Prepopulate and note committed state.
+  std::uint64_t live_committed = 0;
+  {
+    auto h = Heap::create(path.str(), 2 << 20, o);
+    std::vector<NvPtr> keep;
+    for (int i = 0; i < 40; ++i) keep.push_back(h->alloc(128));
+    for (int i = 0; i < 40; i += 2) h->free(keep[i]);
+    live_committed = h->stats().live_blocks;
+  }
+
+  bool crashed = false;
+  {
+    auto h = Heap::open(path.str(), o);
+    auto [meta, len] = h->metadata_region();
+    pmem::SimDomain sim(meta, len);
+    sim.checkpoint();
+    pmem::crash_arm("", c.nth, pmem::CrashAction::kThrow);
+    try {
+      churn(*h);
+    } catch (const pmem::CrashException&) {
+      crashed = true;
+    }
+    pmem::crash_disarm();
+    if (crashed) {
+      // Power fails: unflushed metadata lines survive with probability p.
+      sim.crash(c.nth * 1000003 + static_cast<std::uint64_t>(c.survive_prob * 97),
+                c.survive_prob);
+    }
+  }
+
+  auto h = Heap::open(path.str(), o);  // recovery runs here
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why))
+      << "nth=" << c.nth << " p=" << c.survive_prob << ": " << why;
+  // The heap must be fully operational after recovery.
+  NvPtr p = h->alloc(512);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+  // Committed state from before the crashed session is still there.
+  EXPECT_GE(h->stats().live_blocks, live_committed > 0 ? 1u : 0u);
+}
+
+std::vector<CrashCase> sim_cases() {
+  std::vector<CrashCase> cases;
+  for (std::uint64_t nth = 1; nth <= 60; nth += 3) {
+    for (const double p : {0.0, 0.5, 1.0}) {
+      cases.push_back({nth, p});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimCrashSweep, ::testing::ValuesIn(sim_cases()));
+
+class ForkCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkCrashSweep, ChildKilledMidOperation) {
+  const int nth = GetParam();
+  TempHeapPath path("forkcrash");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  {
+    auto h = Heap::create(path.str(), 2 << 20, o);
+    for (int i = 0; i < 20; ++i) (void)h->alloc(256);
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), o);
+    pmem::crash_arm("", static_cast<std::uint64_t>(nth),
+                    pmem::CrashAction::kExit);
+    churn(*h);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  auto h = Heap::open(path.str(), o);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+  EXPECT_GE(h->stats().live_blocks, 20u);  // prepopulated state intact
+  NvPtr p = h->alloc(64);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ForkCrashSweep,
+                         ::testing::Values(1, 2, 4, 7, 11, 16, 22, 29, 37,
+                                           46, 56));
+
+TEST(Recovery, CrashDuringRecoveryIsAlsoRecoverable) {
+  // Paper §5.8: replay is idempotent, so a crash *during* recovery (here:
+  // while freeing micro-logged addresses) must leave a recoverable heap.
+  TempHeapPath path("rec_in_rec");
+  Options o = small_opts();
+  {
+    auto h = Heap::create(path.str(), 2 << 20, o);
+    (void)h->tx_alloc(128, false);
+    (void)h->tx_alloc(128, false);
+    (void)h->tx_alloc(128, false);
+    h->tx_leak_open_transaction_for_test();
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Crash at the first micro-log replay step inside Heap::open.
+    pmem::crash_arm("recover.", 1, pmem::CrashAction::kExit);
+    auto h = Heap::open(path.str(), o);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 42) << "child should die mid-recovery";
+
+  auto h = Heap::open(path.str(), o);  // second recovery completes the job
+  EXPECT_TRUE(h->check_invariants());
+  EXPECT_EQ(h->stats().live_blocks, 0u) << "all tx allocations reclaimed";
+}
+
+TEST(Recovery, WorksUnderRealProtectionMode) {
+  // Recovery runs before the protection domain engages, and every
+  // recovery write happens on the still-plain mapping; verify the whole
+  // crash/recover cycle under mprotect (the strictest mode on this box).
+  TempHeapPath path("rec_mprotect");
+  Options o;
+  o.nsubheaps = 2;
+  o.policy = SubheapPolicy::kPerThread;
+  o.protect = mpk::ProtectMode::kMprotect;
+  {
+    auto h = Heap::create(path.str(), 2 << 20, o);
+    for (int i = 0; i < 10; ++i) (void)h->alloc(256);
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), o);
+    pmem::crash_arm("", 5, pmem::CrashAction::kExit);
+    churn(*h);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 42);
+  auto h = Heap::open(path.str(), o);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+  EXPECT_EQ(h->protect_mode(), mpk::ProtectMode::kMprotect);
+  NvPtr p = h->alloc(64);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
+TEST(Recovery, RootUpdateIsFailureAtomic) {
+  TempHeapPath path("root_atomic");
+  Options o = small_opts();
+  NvPtr first;
+  {
+    auto h = Heap::create(path.str(), 1 << 20, o);
+    first = h->alloc(64);
+    h->set_root(first);
+  }
+  // Crash in the middle of a root update (after the undo entry, before
+  // commit): the old root must win.
+  {
+    auto h = Heap::open(path.str(), o);
+    auto [meta, len] = h->metadata_region();
+    pmem::SimDomain sim(meta, len);
+    sim.checkpoint();
+    NvPtr second = h->alloc(64);
+    pmem::crash_arm("root.before_commit", 1, pmem::CrashAction::kThrow);
+    EXPECT_THROW(h->set_root(second), pmem::CrashException);
+    pmem::crash_disarm();
+    sim.crash(99, 0.5);
+  }
+  auto h = Heap::open(path.str(), o);
+  EXPECT_EQ(h->root(), first) << "partial root update must be rolled back";
+  EXPECT_TRUE(h->check_invariants());
+}
+
+}  // namespace
+}  // namespace poseidon::core

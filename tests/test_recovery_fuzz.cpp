@@ -1,0 +1,157 @@
+// Crash-recovery fuzzing: many rounds of {random operation burst, crash at
+// a random point with random cache-line survival, recover, audit}.  Unlike
+// the deterministic sweep in test_recovery.cpp, each round continues from
+// the previous round's recovered heap, so corruption that survives one
+// recovery is caught by a later audit — the heap lives through dozens of
+// consecutive power failures.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/heap.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/sim_domain.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+class CrashFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashFuzz, SurvivesConsecutivePowerFailures) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  TempHeapPath path("fuzz");
+  Options o = small_opts(2);
+  o.policy = SubheapPolicy::kPerThread;
+  { auto h = Heap::create(path.str(), 2 << 20, o); }
+
+  // Blocks known to be committed (allocated and op returned) — after any
+  // crash these must still free exactly once.
+  std::vector<NvPtr> committed;
+
+  for (int round = 0; round < 60; ++round) {
+    auto h = Heap::open(path.str(), o);
+    std::string why;
+    ASSERT_TRUE(h->check_invariants(&why))
+        << "seed " << seed << " round " << round << ": " << why;
+
+    // Reconcile: every committed block must still be live; free half.
+    for (std::size_t i = 0; i < committed.size();) {
+      NvPtr p{h->heap_id(), committed[i].packed};
+      if (rng.next() & 1) {
+        ASSERT_EQ(h->free(p), FreeResult::kOk)
+            << "seed " << seed << " round " << round;
+        committed[i] = committed.back();
+        committed.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    auto [meta, len] = h->metadata_region();
+    pmem::SimDomain sim(meta, len);
+    sim.checkpoint();
+    const std::uint64_t crash_at = 1 + rng.next_below(40);
+    pmem::crash_arm("", crash_at, pmem::CrashAction::kThrow);
+    bool crashed = false;
+    try {
+      for (int op = 0; op < 25; ++op) {
+        const std::uint64_t sz = 32u << rng.next_below(8);
+        if (rng.next_below(10) < 6 || committed.empty()) {
+          NvPtr p = h->alloc(sz);
+          if (!p.is_null()) committed.push_back(p);
+        } else if (rng.next_below(10) < 8) {
+          const std::size_t k = rng.next_below(committed.size());
+          if (h->free(committed[k]) == FreeResult::kOk) {
+            committed[k] = committed.back();
+            committed.pop_back();
+          }
+        } else {
+          NvPtr t1 = h->tx_alloc(sz, false);
+          NvPtr t2 = h->tx_alloc(sz, true);
+          if (!t1.is_null()) committed.push_back(t1);
+          if (!t2.is_null()) committed.push_back(t2);
+        }
+      }
+    } catch (const pmem::CrashException&) {
+      crashed = true;
+      // Allocations whose op was cut short are NOT committed; drop any
+      // that recovery may roll back — conservatively, trust only blocks
+      // from before this burst.  Simplest correct rule: revalidate below.
+    }
+    pmem::crash_disarm();
+    if (crashed) {
+      sim.crash(seed * 131 + round, rng.next_double());
+      // The burst's allocations are in limbo (committed or rolled back);
+      // drop our claims on anything recovery may have reverted: keep only
+      // blocks that are still allocated after reopen, detected by freeing
+      // and re-allocating in the reconcile step of the next round.
+    }
+    // Any block recorded during a crashed burst might have been rolled
+    // back; purge entries the next reconcile would wrongly free by
+    // validating against a fresh open below.
+    h.reset();
+    if (crashed) {
+      auto check = Heap::open(path.str(), o);
+      std::vector<NvPtr> still;
+      for (const NvPtr& p : committed) {
+        // A committed block frees exactly once; re-allocate immediately to
+        // keep it live for the next round.
+        NvPtr q{check->heap_id(), p.packed};
+        void* raw = check->raw(q);
+        if (raw == nullptr) continue;
+        still.push_back(q);
+      }
+      committed = std::move(still);
+      // Weed out rolled-back blocks: free everything; those that reject
+      // were never (or no longer) allocated.
+      std::vector<NvPtr> live;
+      for (const NvPtr& p : committed) {
+        if (check->free(p) == FreeResult::kOk) {
+          NvPtr np = check->alloc(32);
+          if (!np.is_null()) live.push_back(np);
+        }
+      }
+      committed = std::move(live);
+      ASSERT_TRUE(check->check_invariants(&why)) << why;
+    }
+  }
+
+  // Final audit: drain.  Crashes can orphan committed allocations whose
+  // pointer never reached the caller (the singleton-allocation leak the
+  // paper's tx_alloc exists to close), so enumerate live blocks instead
+  // of trusting our committed list alone.
+  auto h = Heap::open(path.str(), o);
+  for (const NvPtr& p : committed) {
+    ASSERT_EQ(h->free(NvPtr{h->heap_id(), p.packed}), FreeResult::kOk);
+  }
+  std::vector<NvPtr> orphans;
+  h->visit_blocks([&](unsigned sub, std::uint64_t off, std::uint32_t,
+                      std::uint32_t status) {
+    if (status == kBlockAllocated) {
+      orphans.push_back(
+          NvPtr::make(h->heap_id(), static_cast<std::uint16_t>(sub), off));
+    }
+  });
+  for (const NvPtr& p : orphans) {
+    ASSERT_EQ(h->free(p), FreeResult::kOk) << "orphan audit";
+  }
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  NvPtr whole = h->alloc(h->user_capacity() / h->nsubheaps());
+  EXPECT_FALSE(whole.is_null());
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz,
+                         ::testing::Values(11, 23, 37, 59, 71, 97));
+
+}  // namespace
+}  // namespace poseidon::core

@@ -1,0 +1,127 @@
+// Trace module tests: synthesis determinism, slot discipline, text
+// round-tripping, peak accounting, and replay over all three allocators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alloc_iface/allocator.hpp"
+#include "workloads/trace.hpp"
+
+namespace poseidon::workloads {
+namespace {
+
+TEST(Trace, SynthesisIsDeterministic) {
+  const Trace a = Trace::synthesize(1000, 64, 16, 512, 7);
+  const Trace b = Trace::synthesize(1000, 64, 16, 512, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ops()[i].kind, b.ops()[i].kind);
+    EXPECT_EQ(a.ops()[i].slot, b.ops()[i].slot);
+    EXPECT_EQ(a.ops()[i].size, b.ops()[i].size);
+  }
+  const Trace c = Trace::synthesize(1000, 64, 16, 512, 8);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = c.ops()[i].slot != a.ops()[i].slot ||
+              c.ops()[i].size != a.ops()[i].size;
+  }
+  EXPECT_TRUE(differs) << "different seeds, different traces";
+}
+
+TEST(Trace, EndsBalanced) {
+  const Trace t = Trace::synthesize(5000, 32, 8, 4096, 3);
+  int live = 0;
+  for (const TraceOp& op : t.ops()) {
+    live += op.kind == TraceOp::kAlloc ? 1 : -1;
+    ASSERT_GE(live, 0);
+  }
+  EXPECT_EQ(live, 0) << "synthesized traces free everything";
+}
+
+TEST(Trace, SlotDisciplineHolds) {
+  const Trace t = Trace::synthesize(5000, 16, 8, 128, 5);
+  std::vector<bool> full(16, false);
+  for (const TraceOp& op : t.ops()) {
+    if (op.kind == TraceOp::kAlloc) {
+      ASSERT_FALSE(full[op.slot]);
+      full[op.slot] = true;
+    } else {
+      ASSERT_TRUE(full[op.slot]);
+      full[op.slot] = false;
+    }
+  }
+}
+
+TEST(Trace, TextRoundTrip) {
+  const Trace t = Trace::synthesize(500, 8, 32, 64, 1);
+  std::stringstream ss;
+  t.serialize(ss);
+  const Trace back = Trace::parse(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.ops()[i].kind, t.ops()[i].kind) << i;
+    EXPECT_EQ(back.ops()[i].slot, t.ops()[i].slot) << i;
+    EXPECT_EQ(back.ops()[i].size, t.ops()[i].size) << i;
+  }
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  std::stringstream bad1("a 3\n");  // alloc without size
+  EXPECT_THROW(Trace::parse(bad1), std::runtime_error);
+  std::stringstream bad2("x 1 2\n");  // unknown op
+  EXPECT_THROW(Trace::parse(bad2), std::runtime_error);
+  std::stringstream ok("# comment\n\na 0 64\nf 0\n");
+  EXPECT_EQ(Trace::parse(ok).size(), 2u);
+}
+
+TEST(Trace, PeakLiveBytesMatchesHandComputation) {
+  std::stringstream in(
+      "a 0 100\n"
+      "a 1 200\n"  // peak: 300
+      "f 0\n"
+      "a 2 150\n"  // 350? no: 200+150 = 350 -> new peak
+      "f 1\nf 2\n");
+  const Trace t = Trace::parse(in);
+  EXPECT_EQ(t.peak_live_bytes(), 350u);
+}
+
+class TraceReplay : public ::testing::TestWithParam<iface::AllocatorKind> {};
+
+TEST_P(TraceReplay, ReplaysCleanlyOverAllocator) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 64ull << 20;
+  auto alloc = iface::make_allocator(GetParam(), cfg);
+  const Trace t = Trace::synthesize(20000, 128, 16, 8000, 42);
+  ASSERT_LT(t.peak_live_bytes() * 4, cfg.capacity) << "heap sized for trace";
+  const auto r = t.replay(*alloc);
+  EXPECT_EQ(r.failed_allocs, 0u);
+  EXPECT_EQ(r.completed, t.size());
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST_P(TraceReplay, SameTraceIsComparableAcrossRuns) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 32ull << 20;
+  const Trace t = Trace::synthesize(5000, 64, 32, 2048, 9);
+  auto a1 = iface::make_allocator(GetParam(), cfg);
+  auto a2 = iface::make_allocator(GetParam(), cfg);
+  const auto r1 = t.replay(*a1);
+  const auto r2 = t.replay(*a2);
+  EXPECT_EQ(r1.completed, r2.completed) << "replay is deterministic";
+  EXPECT_EQ(r1.failed_allocs, r2.failed_allocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, TraceReplay,
+                         ::testing::Values(iface::AllocatorKind::kPoseidon,
+                                           iface::AllocatorKind::kPmdkLike,
+                                           iface::AllocatorKind::kMakaluLike),
+                         [](const auto& info) {
+                           std::string n = iface::kind_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace poseidon::workloads

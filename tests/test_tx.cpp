@@ -1,0 +1,160 @@
+// Transactional allocation tests (paper §4.5, §5.3): micro-log commit
+// semantics, leak reclamation of uncommitted transactions at recovery,
+// and multi-thread transaction isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+TEST(Tx, CommittedAllocationsSurviveReopen) {
+  TempHeapPath path("tx_commit");
+  NvPtr a, b, c;
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts());
+    a = h->tx_alloc(64, false);
+    b = h->tx_alloc(128, false);
+    c = h->tx_alloc(256, true);  // commit
+    ASSERT_FALSE(a.is_null() || b.is_null() || c.is_null());
+    h->set_root(a);
+  }
+  auto h = Heap::open(path.str(), small_opts());
+  EXPECT_EQ(h->stats().live_blocks, 3u);
+  EXPECT_EQ(h->free(a), FreeResult::kOk);
+  EXPECT_EQ(h->free(b), FreeResult::kOk);
+  EXPECT_EQ(h->free(c), FreeResult::kOk);
+}
+
+TEST(Tx, UncommittedTransactionReclaimedOnReopen) {
+  TempHeapPath path("tx_leak");
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts());
+    NvPtr committed = h->alloc(64);
+    ASSERT_FALSE(committed.is_null());
+    // Open a transaction and never commit it: these two allocations are
+    // exactly the P and Q of the paper's §2.2 leak scenario.
+    NvPtr p = h->tx_alloc(512, false);
+    NvPtr q = h->tx_alloc(512, false);
+    ASSERT_FALSE(p.is_null() || q.is_null());
+    EXPECT_EQ(h->stats().live_blocks, 3u);
+    h->tx_leak_open_transaction_for_test();
+  }
+  auto h = Heap::open(path.str(), small_opts());
+  // Recovery freed P and Q; only the singleton allocation remains.
+  EXPECT_EQ(h->stats().live_blocks, 1u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(Tx, CommitPreventsReclamation) {
+  TempHeapPath path("tx_committed_kept");
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts());
+    (void)h->tx_alloc(64, true);  // single-allocation transaction
+  }
+  auto h = Heap::open(path.str(), small_opts());
+  EXPECT_EQ(h->stats().live_blocks, 1u);
+}
+
+TEST(Tx, RecoveryIsIdempotentAcrossRepeatedOpens) {
+  TempHeapPath path("tx_idem");
+  {
+    auto h = Heap::create(path.str(), 2 << 20, small_opts());
+    (void)h->tx_alloc(128, false);
+    (void)h->tx_alloc(128, false);
+    h->tx_leak_open_transaction_for_test();
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto h = Heap::open(path.str(), small_opts());
+    EXPECT_EQ(h->stats().live_blocks, 0u) << "round " << round;
+    EXPECT_TRUE(h->check_invariants());
+  }
+}
+
+TEST(Tx, SequentialTransactionsReuseThread) {
+  TempHeapPath path("tx_seq");
+  auto h = Heap::create(path.str(), 2 << 20, small_opts());
+  for (int i = 0; i < 10; ++i) {
+    NvPtr p = h->tx_alloc(64, false);
+    NvPtr q = h->tx_alloc(64, true);
+    ASSERT_FALSE(p.is_null() || q.is_null());
+    EXPECT_EQ(h->free(p), FreeResult::kOk);
+    EXPECT_EQ(h->free(q), FreeResult::kOk);
+  }
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+}
+
+TEST(Tx, ConcurrentTransactionsAreIsolated) {
+  TempHeapPath path("tx_conc");
+  Options o = small_opts(4);
+  o.policy = SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+  constexpr int kThreads = 4, kTxPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxPerThread; ++i) {
+        NvPtr a = h->tx_alloc(64, false);
+        NvPtr b = h->tx_alloc(64, false);
+        NvPtr c = h->tx_alloc(64, true);
+        if (a.is_null() || b.is_null() || c.is_null()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // All three must come from the transaction's pinned sub-heap.
+        if (a.subheap() != b.subheap() || b.subheap() != c.subheap()) {
+          failures.fetch_add(1);
+        }
+        h->free(a);
+        h->free(b);
+        h->free(c);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(Tx, MicroLogCapacityBoundsTransactionSize) {
+  TempHeapPath path("tx_cap");
+  auto h = Heap::create(path.str(), 8 << 20, small_opts());
+  std::vector<NvPtr> got;
+  // The micro log holds kMicroCap entries; the next tx_alloc must fail.
+  for (std::size_t i = 0; i < kMicroCap; ++i) {
+    NvPtr p = h->tx_alloc(32, false);
+    ASSERT_FALSE(p.is_null()) << i;
+    got.push_back(p);
+  }
+  EXPECT_TRUE(h->tx_alloc(32, false).is_null());
+  // Commit the full transaction and check the heap is balanced.
+  NvPtr last = h->tx_alloc(32, true);
+  EXPECT_TRUE(last.is_null());  // still over capacity, but commits the rest
+  for (const auto& p : got) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+}
+
+TEST(Tx, FailedTxAllocLeavesHeapBalanced) {
+  TempHeapPath path("tx_oom");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  // Transactional allocations never fall back to other sub-heaps, so an
+  // oversized request fails cleanly inside the pinned one.
+  NvPtr huge = h->tx_alloc(h->user_capacity() * 2, true);
+  EXPECT_TRUE(huge.is_null());
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+}  // namespace
+}  // namespace poseidon::core

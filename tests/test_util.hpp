@@ -1,0 +1,46 @@
+// Shared test utilities: unique heap paths under /dev/shm with automatic
+// cleanup, and common option presets.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/heap.hpp"
+#include "pmem/pool.hpp"
+
+namespace poseidon::test {
+
+// A unique pool path removed when the object goes out of scope.
+class TempHeapPath {
+ public:
+  explicit TempHeapPath(const std::string& tag) {
+    static std::atomic<unsigned> seq{0};
+    path_ = "/dev/shm/poseidon_test_" + tag + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+            ".heap";
+    pmem::Pool::unlink(path_);
+  }
+  ~TempHeapPath() { pmem::Pool::unlink(path_); }
+  TempHeapPath(const TempHeapPath&) = delete;
+  TempHeapPath& operator=(const TempHeapPath&) = delete;
+
+  const std::string& str() const noexcept { return path_; }
+  const char* c_str() const noexcept { return path_.c_str(); }
+
+ private:
+  std::string path_;
+};
+
+// Small single-subheap heap with protection off: the workhorse config for
+// unit tests (protection and multi-subheap behaviour get their own tests).
+inline core::Options small_opts(unsigned nsubheaps = 1) {
+  core::Options o;
+  o.nsubheaps = nsubheaps;
+  o.protect = mpk::ProtectMode::kNone;
+  return o;
+}
+
+}  // namespace poseidon::test
