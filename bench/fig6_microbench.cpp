@@ -20,13 +20,14 @@ namespace {
 constexpr unsigned kPoolDepth = 100;  // the paper's 100-alloc/100-free pair
 
 double run_one(iface::AllocatorKind kind, std::uint64_t size,
-               unsigned nthreads) {
+               unsigned nthreads, bool thread_cache) {
   iface::AllocatorConfig cfg;
   // Working set: up to kPoolDepth live objects per thread, doubled for
   // fragmentation slack, floor 64 MB.
   const std::uint64_t want = 2 * kPoolDepth * size * nthreads;
   cfg.capacity = want < (64ull << 20) ? (64ull << 20) : want;
   cfg.nlanes = nthreads;  // per-CPU sub-heaps on the paper's box
+  cfg.thread_cache = thread_cache;
   auto alloc = iface::make_allocator(kind, cfg);
 
   const RunResult r = run_timed(
@@ -67,9 +68,16 @@ int main() {
                                             128 * 1024, 256 * 1024, 512 * 1024};
   print_header("fig6-microbench", "Mops/s, 100-alloc/100-free pairs");
   for (const std::uint64_t size : sizes) {
+    // Poseidon with the crash-safe thread cache, as its own series; the
+    // plain "poseidon" run below is the cache-bypass ablation.
+    for (const unsigned t : default_thread_sweep()) {
+      const double mops =
+          run_one(iface::AllocatorKind::kPoseidon, size, t, true);
+      print_point("fig6/" + size_label(size), "poseidon+tc", t, mops);
+    }
     for (const auto kind : all_allocators()) {
       for (const unsigned t : default_thread_sweep()) {
-        const double mops = run_one(kind, size, t);
+        const double mops = run_one(kind, size, t, false);
         print_point("fig6/" + size_label(size), iface::kind_name(kind), t,
                     mops);
       }

@@ -10,19 +10,34 @@ using namespace poseidon;
 using namespace poseidon::bench;
 using namespace poseidon::workloads;
 
+namespace {
+
+double run_larson_once(iface::AllocatorKind kind, unsigned t,
+                       bool thread_cache) {
+  iface::AllocatorConfig cfg;
+  cfg.capacity = 256ull << 20;
+  cfg.nlanes = t;
+  cfg.thread_cache = thread_cache;
+  auto alloc = iface::make_allocator(kind, cfg);
+  LarsonConfig lc;
+  lc.nthreads = t;
+  lc.seconds = bench_seconds();
+  return run_larson(*alloc, lc).ops_per_sec();
+}
+
+}  // namespace
+
 int main() {
   print_header("fig7-larson", "ops/s, cross-thread alloc/free");
+  // Thread-cache ablation series first; the plain runs below bypass it.
+  for (const unsigned t : default_thread_sweep()) {
+    print_point("fig7/larson", "poseidon+tc", t,
+                run_larson_once(iface::AllocatorKind::kPoseidon, t, true));
+  }
   for (const auto kind : all_allocators()) {
     for (const unsigned t : default_thread_sweep()) {
-      iface::AllocatorConfig cfg;
-      cfg.capacity = 256ull << 20;
-      cfg.nlanes = t;
-      auto alloc = iface::make_allocator(kind, cfg);
-      LarsonConfig lc;
-      lc.nthreads = t;
-      lc.seconds = bench_seconds();
-      const LarsonResult r = run_larson(*alloc, lc);
-      print_point("fig7/larson", iface::kind_name(kind), t, r.ops_per_sec());
+      print_point("fig7/larson", iface::kind_name(kind), t,
+                  run_larson_once(kind, t, false));
     }
   }
   return 0;

@@ -29,6 +29,7 @@ class PoseidonAdapter final : public PAllocator {
     // with fewer CPUs than threads (see DESIGN.md); on a real manycore the
     // two policies coincide.
     opts.policy = core::SubheapPolicy::kPerThread;
+    opts.thread_cache = cfg.thread_cache;
     heap_ = core::Heap::create(path, cfg.capacity, opts);
     path_ = path;
   }

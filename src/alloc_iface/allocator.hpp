@@ -41,6 +41,9 @@ struct AllocatorConfig {
   std::string path;
   // Remove any existing file first.
   bool fresh = true;
+  // Poseidon only: enable the crash-safe per-thread front-end cache
+  // (core/thread_cache.hpp).  Benches run both settings to measure it.
+  bool thread_cache = false;
 };
 
 // Factory: creates the heap file and wraps it.  The file is unlinked when

@@ -1,7 +1,9 @@
 #include "core/c_api.h"
 
+#include <cstring>
 #include <exception>
 #include <memory>
+#include <string>
 
 #include "core/heap.hpp"
 #include "core/registry.hpp"
@@ -19,32 +21,54 @@ namespace {
 NvPtr to_cpp(nvmptr_t p) noexcept { return NvPtr{p.heap_id, p.packed}; }
 nvmptr_t to_c(NvPtr p) noexcept { return nvmptr_t{p.heap_id, p.packed}; }
 
+// Most recent poseidon_init failure on this thread; empty = no error.
+thread_local std::string tl_last_error;
+
 }  // namespace
 
 extern "C" {
 
 heap_t *poseidon_init(const char *heap_path, size_t heap_size) {
+  tl_last_error.clear();
+  if (heap_path == nullptr) {
+    tl_last_error = "heap_path is null";
+    return nullptr;
+  }
   try {
     auto h = Heap::open_or_create(heap_path, heap_size);
     return new poseidon_heap{std::move(h)};
-  } catch (const std::exception &) {
+  } catch (const std::exception &e) {
+    tl_last_error = e.what();
+    if (tl_last_error.empty()) tl_last_error = "unknown error";
     return nullptr;
   }
+}
+
+const char *poseidon_last_error(void) {
+  return tl_last_error.empty() ? nullptr : tl_last_error.c_str();
 }
 
 void poseidon_finish(heap_t *heap) { delete heap; }
 
 nvmptr_t poseidon_alloc(heap_t *heap, size_t sz) {
+  if (heap == nullptr) return nvmptr_null();
   return to_c(heap->impl->alloc(sz));
 }
 
 nvmptr_t poseidon_tx_alloc(heap_t *heap, size_t sz, bool is_end) {
+  if (heap == nullptr) return nvmptr_null();
   return to_c(heap->impl->tx_alloc(sz, is_end));
 }
 
-void poseidon_tx_commit(heap_t *heap) { heap->impl->tx_commit(); }
+void poseidon_tx_commit(heap_t *heap) {
+  if (heap == nullptr) return;
+  heap->impl->tx_commit();
+}
 
 int poseidon_free(heap_t *heap, nvmptr_t ptr) {
+  if (heap == nullptr) {
+    return static_cast<int>(poseidon::core::FreeResult::kInvalidPointer);
+  }
   return static_cast<int>(heap->impl->free(to_cpp(ptr)));
 }
 
@@ -58,13 +82,20 @@ nvmptr_t poseidon_get_nvmptr(void *p) {
   return h != nullptr ? to_c(h->from_raw(p)) : nvmptr_null();
 }
 
-nvmptr_t poseidon_get_root(heap_t *heap) { return to_c(heap->impl->root()); }
+nvmptr_t poseidon_get_root(heap_t *heap) {
+  if (heap == nullptr) return nvmptr_null();
+  return to_c(heap->impl->root());
+}
 
 void poseidon_set_root(heap_t *heap, nvmptr_t ptr) {
+  if (heap == nullptr) return;
   heap->impl->set_root(to_cpp(ptr));
 }
 
 void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
+  if (out == nullptr) return;
+  std::memset(out, 0, sizeof(*out));
+  if (heap == nullptr) return;
   const auto s = heap->impl->stats();
   out->live_blocks = s.live_blocks;
   out->free_blocks = s.free_blocks;
@@ -76,6 +107,10 @@ void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
   out->merges = s.merges;
   out->hash_extensions = s.hash_extensions;
   out->hash_shrinks = s.hash_shrinks;
+  out->cache_hits = s.cache_hits;
+  out->cache_misses = s.cache_misses;
+  out->cache_flushes = s.cache_flushes;
+  out->cache_cached_blocks = s.cache_cached_blocks;
 }
 
 }  // extern "C"

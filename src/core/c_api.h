@@ -29,8 +29,13 @@ static inline nvmptr_t nvmptr_null(void) {
 static inline bool nvmptr_is_null(nvmptr_t p) { return p.heap_id == 0; }
 
 /* Initialize (open or create) a Poseidon heap with a given size and path.
- * Returns NULL on failure. */
+ * Returns NULL on failure; poseidon_last_error() then describes why. */
 heap_t *poseidon_init(const char *heap_path, size_t heap_size);
+
+/* Message describing the calling thread's most recent poseidon_init
+ * failure, or NULL when its last poseidon_init succeeded.  The pointer is
+ * valid until the thread's next poseidon_init call. */
+const char *poseidon_last_error(void);
 
 /* Deinitialize a Poseidon heap. */
 void poseidon_finish(heap_t *heap);
@@ -73,8 +78,14 @@ typedef struct poseidon_stats {
   uint64_t merges;
   uint64_t hash_extensions;
   uint64_t hash_shrinks;
+  /* Thread-cache counters; all zero unless the heap enables the cache. */
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t cache_flushes;
+  uint64_t cache_cached_blocks;
 } poseidon_stats_t;
 
+/* Zero-fills *out when heap is NULL; no-op when out is NULL. */
 void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out);
 
 #ifdef __cplusplus

@@ -9,6 +9,7 @@
 #include "common/topology.hpp"
 #include "core/micro_log.hpp"
 #include "core/registry.hpp"
+#include "core/thread_cache.hpp"
 #include "pmem/crashpoint.hpp"
 #include "pmem/persist.hpp"
 
@@ -77,6 +78,9 @@ std::unique_ptr<Heap> Heap::create(const std::string& path,
   pmem::nv_store(sb->user_size, geo.user_size);
   pmem::nv_store(sb->level0_slots, geo.level0_slots);
   pmem::nv_store(sb->levels_max, static_cast<std::uint64_t>(geo.levels_max));
+  pmem::nv_store(sb->cache_log_off, geo.cache_log_off);
+  pmem::nv_store(sb->cache_log_stride, geo.cache_log_stride);
+  pmem::nv_store(sb->cache_slots, std::uint64_t{kCacheSlots});
   pmem::persist(sb, sizeof(SuperBlock));
   // Magic last: a half-created file is never mistaken for a valid heap.
   pmem::nv_store_persist(sb->magic, kSuperMagic);
@@ -111,6 +115,12 @@ Heap::Heap(pmem::Pool pool, const Options& opts)
     subs_.push_back(std::make_unique<SubRuntime>());
   }
   recover();
+  if (opts_.thread_cache && sb_->cache_slots != 0) {
+    caches_.reserve(sb_->cache_slots);
+    for (unsigned i = 0; i < sb_->cache_slots; ++i) {
+      caches_.push_back(std::make_unique<ThreadCache>(cache_slot(i)));
+    }
+  }
   // Protection engages after recovery so replay does not need a window
   // before the domain exists; recovery itself is single-threaded.
   prot_ = std::make_unique<mpk::ProtectionDomain>(pool_.data(), sb_->meta_size,
@@ -119,8 +129,21 @@ Heap::Heap(pmem::Pool pool, const Options& opts)
 }
 
 Heap::~Heap() {
+  // Cached blocks are deliberately NOT flushed: closing without a flush is
+  // indistinguishable from a crash, and the next open's recovery drains the
+  // cache logs through the validated free path.  This keeps destruction
+  // trivially crash-equivalent (and exercises that path constantly).
   registry::remove(this);
   prot_.reset();  // restore plain read-write before unmapping
+}
+
+CacheLogSlot* Heap::cache_slot(unsigned idx) const noexcept {
+  return reinterpret_cast<CacheLogSlot*>(
+      base() + sb_->cache_log_off + idx * sb_->cache_log_stride);
+}
+
+ThreadCache& Heap::cache_for_thread() const noexcept {
+  return *caches_[thread_ordinal() % caches_.size()];
 }
 
 SubheapMeta* Heap::meta_of(unsigned idx) const noexcept {
@@ -159,7 +182,9 @@ void Heap::ensure_subheap(unsigned idx) {
                      sb_->user_region_off,
                      sb_->user_size,
                      sb_->level0_slots,
-                     static_cast<std::uint32_t>(sb_->levels_max)};
+                     static_cast<std::uint32_t>(sb_->levels_max),
+                     sb_->cache_log_off,
+                     sb_->cache_log_stride};
   // Formatting is made atomic by the state flag: a crash mid-format leaves
   // state=absent and the next use re-formats from scratch.
   const unsigned cpu = current_cpu();
@@ -173,6 +198,22 @@ void Heap::ensure_subheap(unsigned idx) {
 }
 
 NvPtr Heap::alloc(std::uint64_t size) {
+  if (!caches_.empty() && size != 0 && size <= sb_->user_size) {
+    const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
+    if (ThreadCache::cacheable(cls)) {
+      ThreadCache& tc = cache_for_thread();
+      {
+        Guard<Spinlock> g(tc.mu());
+        const NvPtr p = tc.pop_locked(cls, /*count=*/true);
+        if (!p.is_null()) return p;
+      }
+      const NvPtr p = cache_refill(tc, cls);
+      if (!p.is_null()) return p;
+      // Refill could not pop a single block (class dry everywhere the
+      // batch looked, or the log is full): the slow path below still gets
+      // to defragment and fall back across sub-heaps.
+    }
+  }
   const unsigned start = pick_subheap();
   const unsigned attempts = opts_.allow_fallback ? sb_->nsubheaps : 1;
   for (unsigned a = 0; a < attempts; ++a) {
@@ -282,10 +323,106 @@ FreeResult Heap::free(NvPtr ptr) {
   if (idx >= sb_->nsubheaps || sb_->subheap_state[idx] != kSubheapReady) {
     return FreeResult::kInvalidPointer;
   }
+  if (!caches_.empty()) {
+    if (const auto r = cache_free(ptr, idx)) return *r;
+  }
   mpk::WriteWindow w(prot_.get());
   Guard<Spinlock> g(subs_[idx]->lock);
   Subheap sh = subheap(idx);
   return sh.free_block(ptr.offset());
+}
+
+NvPtr Heap::cache_refill(ThreadCache& tc, unsigned cls) {
+  // Lock order: cache before sub-heap (the only place both are held).
+  Guard<Spinlock> g(tc.mu());
+  const unsigned room = tc.room_locked(cls);
+  if (room == 0) return NvPtr::null();
+  const unsigned want = std::min(room, ThreadCache::kRefillBatch);
+  const unsigned idx = pick_subheap();
+  ensure_subheap(idx);
+  std::uint64_t offs[ThreadCache::kRefillBatch];
+  Subheap::RefillResult r;
+  {
+    mpk::WriteWindow w(prot_.get());
+    Guard<Spinlock> sg(subs_[idx]->lock);
+    Subheap sh = subheap(idx);
+    r = sh.alloc_batch(cls, want, offs, [&](std::uint64_t off) {
+      tc.refill_append_locked(
+          NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx), off));
+    });
+  }
+  if (r.rolled_back || r.n == 0) {
+    // The pops never committed (or nothing was popped): erase whatever
+    // entries were staged so recovery has nothing stale to chew on.
+    tc.refill_abort_locked();
+    return NvPtr::null();
+  }
+  tc.refill_publish_locked(cls);
+  // Hand the caller one of the batch without touching the hit counter —
+  // this allocation already counted as a miss.
+  return tc.pop_locked(cls, /*count=*/false);
+}
+
+std::optional<FreeResult> Heap::cache_free(NvPtr ptr, unsigned idx) {
+  // Validate first (read-only, under the sub-heap lock but without a write
+  // window or undo log) so the cache preserves the paper's invalid- and
+  // double-free detection.  A block cached by ANOTHER thread's magazine
+  // still reads as allocated here; that cross-thread double free is only
+  // caught when the other cache flushes — the metadata never corrupts.
+  unsigned cls = 0;
+  {
+    Guard<Spinlock> g(subs_[idx]->lock);
+    const auto c = subheap(idx).classify(ptr.offset());
+    if (c.result != FreeResult::kOk) return c.result;
+    cls = c.size_class;
+  }
+  if (!ThreadCache::cacheable(cls)) return std::nullopt;
+  ThreadCache& tc = cache_for_thread();
+  bool flush = false;
+  {
+    Guard<Spinlock> g(tc.mu());
+    switch (tc.push_locked(ptr, cls)) {
+      case ThreadCache::PushResult::kDoubleFree:
+        return FreeResult::kDoubleFree;
+      case ThreadCache::PushResult::kFull:
+        return std::nullopt;  // log exhausted: slow validated free
+      case ThreadCache::PushResult::kCached:
+        break;
+    }
+    flush = tc.over_watermark_locked(cls);
+  }
+  if (flush) cache_flush(tc, cls);
+  return FreeResult::kOk;
+}
+
+void Heap::cache_flush(ThreadCache& tc, unsigned cls) {
+  NvPtr ptrs[ThreadCache::kMagazineCap];
+  std::uint32_t lis[ThreadCache::kMagazineCap];
+  unsigned n = 0;
+  {
+    Guard<Spinlock> g(tc.mu());
+    n = tc.flush_take_locked(cls, ThreadCache::kMagazineCap / 2, ptrs, lis);
+  }
+  if (n == 0) return;
+  // Group by owning sub-heap so each gets one batched (single-commit) free.
+  bool done[ThreadCache::kMagazineCap] = {};
+  for (unsigned i = 0; i < n; ++i) {
+    if (done[i]) continue;
+    const unsigned idx = ptrs[i].subheap();
+    std::uint64_t offs[ThreadCache::kMagazineCap];
+    unsigned cnt = 0;
+    for (unsigned j = i; j < n; ++j) {
+      if (!done[j] && ptrs[j].subheap() == idx) {
+        offs[cnt++] = ptrs[j].offset();
+        done[j] = true;
+      }
+    }
+    mpk::WriteWindow w(prot_.get());
+    Guard<Spinlock> sg(subs_[idx]->lock);
+    (void)subheap(idx).free_batch(offs, cnt);
+  }
+  Guard<Spinlock> g(tc.mu());
+  tc.flush_erase_locked(lis, n);
 }
 
 void* Heap::raw(NvPtr ptr) const noexcept {
@@ -306,7 +443,12 @@ NvPtr Heap::from_raw(const void* p) const noexcept {
 
 bool Heap::contains(const void* p) const noexcept {
   const auto* b = static_cast<const std::byte*>(p);
-  return b >= base() + sb_->user_region_off && b < base() + sb_->file_size;
+  // Bound by the end of the user data, not file_size: the file tail is
+  // padded for huge-page alignment, and an address in that padding would
+  // otherwise let from_raw fabricate an NvPtr with an out-of-range
+  // sub-heap index.
+  return b >= base() + sb_->user_region_off &&
+         b < base() + sb_->user_region_off + sb_->nsubheaps * sb_->user_size;
 }
 
 NvPtr Heap::root() const noexcept {
@@ -350,6 +492,19 @@ HeapStats Heap::stats() const {
     s.hash_extensions += m->stat_extensions;
     s.hash_shrinks += m->stat_shrinks;
     ++s.subheaps_materialized;
+  }
+  for (const auto& c : caches_) {
+    Guard<Spinlock> g(c->mu());
+    const ThreadCache::Stats cs = c->stats_locked();
+    s.cache_hits += cs.hits;
+    s.cache_misses += cs.misses;
+    s.cache_flushes += cs.flushes;
+    s.cache_cached_blocks += cs.cached_blocks;
+    // Cached blocks read as allocated in the sub-heap counters but are
+    // really available inventory; report them as free.
+    s.live_blocks -= cs.cached_blocks;
+    s.free_blocks += cs.cached_blocks;
+    s.allocated_bytes -= cs.cached_bytes;
   }
   return s;
 }
@@ -398,6 +553,26 @@ void Heap::recover() {
       POSEIDON_CRASH_POINT("recover.after_micro_free");
     }
     if (n != 0) micro_truncate(micro);
+  }
+  // Cache logs: every logged block was parked in a volatile magazine that
+  // died with the crash.  Hand each back through the validated free path
+  // (idempotent: already-free entries are rejected) and clear the slot.
+  for (unsigned s = 0; s < sb_->cache_slots; ++s) {
+    CacheLogSlot* slot = cache_slot(s);
+    bool any = false;
+    for (std::size_t k = 0; k < kCacheLogCap; ++k) {
+      const NvPtr e = slot->entries[k];
+      if (e.is_null()) continue;
+      any = true;
+      if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
+      if (sb_->subheap_state[e.subheap()] != kSubheapReady) continue;
+      (void)subheap(e.subheap()).free_block(e.offset());
+      POSEIDON_CRASH_POINT("recover.after_cache_free");
+    }
+    if (any) {
+      pmem::nv_memset(slot->entries, 0, sizeof(slot->entries));
+      pmem::persist(slot->entries, sizeof(slot->entries));
+    }
   }
 }
 

@@ -26,6 +26,8 @@
 
 namespace poseidon::core {
 
+class ThreadCache;
+
 enum class SubheapPolicy {
   kPerCpu,    // paper's design: sub-heap of the current CPU
   kPerThread, // round-robin by thread ordinal (emulates manycore on small boxes)
@@ -49,6 +51,12 @@ struct Options {
   // of the paper's lazy defragmentation (§5.4).  Eager keeps large blocks
   // available without defrag pauses but pays merge work on every free.
   bool eager_coalesce = false;
+  // Crash-safe per-thread front-end cache (core/thread_cache.hpp): the
+  // common alloc/free pair skips the sub-heap lock, the wrpkru window and
+  // the undo log.  Off by default — the cache defers cross-thread
+  // double-free detection to flush time and relaxes the delayed-reuse
+  // discipline (§5.5) for cached blocks, so callers opt in.
+  bool thread_cache = false;
 };
 
 struct HeapStats {
@@ -64,6 +72,13 @@ struct HeapStats {
   std::uint64_t window_merges = 0;   // hash-pressure merges (§5.4 case 2)
   std::uint64_t hash_extensions = 0; // multi-level table growth
   std::uint64_t hash_shrinks = 0;    // levels hole-punched back (§5.6)
+  // Thread-cache counters (zero unless Options::thread_cache).  Blocks
+  // parked in magazines are excluded from live_blocks/allocated_bytes and
+  // counted as free: they are available for allocation.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_flushes = 0;
+  std::uint64_t cache_cached_blocks = 0;
 };
 
 class Heap {
@@ -172,11 +187,22 @@ class Heap {
   void ensure_subheap(unsigned idx);
   void recover();
 
+  // Thread-cache plumbing (no-ops unless Options::thread_cache).
+  CacheLogSlot* cache_slot(unsigned idx) const noexcept;
+  ThreadCache& cache_for_thread() const noexcept;
+  NvPtr cache_refill(ThreadCache& tc, unsigned cls);
+  // nullopt: not handled, take the slow path (big block or full log).
+  std::optional<FreeResult> cache_free(NvPtr ptr, unsigned idx);
+  void cache_flush(ThreadCache& tc, unsigned cls);
+
   pmem::Pool pool_;
   Options opts_;
   SuperBlock* sb_ = nullptr;
   std::unique_ptr<mpk::ProtectionDomain> prot_;
   std::vector<std::unique_ptr<SubRuntime>> subs_;
+  // Constructed eagerly (one per persistent cache-log slot) so lookup by
+  // thread ordinal never races a lazy publication.
+  std::vector<std::unique_ptr<ThreadCache>> caches_;
   mutable std::mutex admin_mu_;  // sub-heap creation + root updates
 };
 

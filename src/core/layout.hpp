@@ -1,10 +1,15 @@
 // On-media layout of a Poseidon heap (paper Fig. 4).
 //
-//   file:  [ SuperBlock | SubheapMeta x N | hash-level storage x N | user x N ]
-//          `------------------ metadata region -------------------'
+//   file:  [ SuperBlock | SubheapMeta x N | hash storage x N | cache logs | user x N ]
+//          `----------- metadata region -----------------'
 //
-// The metadata region is contiguous at the front of the file so one MPK
-// protection domain covers all of it; user regions follow, page aligned.
+// The MPK-protected metadata region is contiguous at the front of the file
+// so one protection domain covers all of it.  The per-thread cache logs sit
+// between it and the user regions: they are persistent metadata but stay
+// writable at all times so the thread-cache fast path never pays a wrpkru
+// switch (a scribbled log entry cannot corrupt the allocator — recovery
+// validates every entry through the free path).  User regions follow, page
+// aligned; the file tail is padded up to a 2 MiB boundary.
 // Every struct here is trivially copyable, fixed width, and stores offsets
 // rather than pointers (the pool may map at a different address each run).
 #pragma once
@@ -20,9 +25,12 @@ namespace poseidon::core {
 
 inline constexpr std::uint64_t kSuperMagic = 0x504f534549444f4eull;  // "POSEIDON"
 inline constexpr std::uint64_t kSubheapMagic = 0x5355424845415030ull;
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
 
 inline constexpr std::uint64_t kPageSize = 4096;
+// File sizes are rounded up to this so DAX/THP-backed mappings can use
+// PMD-size pages; the resulting tail padding holds no data.
+inline constexpr std::uint64_t kHugePageSize = 2 * 1024 * 1024;
 
 // Buddy size classes: class c holds blocks of 2^c bytes.
 inline constexpr unsigned kMinBlockShift = 5;  // 32 B minimum granularity
@@ -69,6 +77,24 @@ struct MicroLog {
   NvPtr entries[kMicroCap];
 };
 static_assert(sizeof(MicroLog) == 8 + 16 * kMicroCap);
+
+// ---- per-thread cache log --------------------------------------------------
+//
+// Blocks parked in a thread cache's volatile magazines stay kBlockAllocated
+// in the owning sub-heap's metadata; each is additionally recorded in one of
+// these fixed per-thread slots (same shape and replay discipline as the
+// micro log) so Heap::recover() can drain a cache lost at a crash back to
+// the free lists instead of leaking it.  An entry with heap_id 0 is empty.
+
+inline constexpr unsigned kCacheSlots = 64;       // one per thread ordinal slot
+inline constexpr std::size_t kCacheLogCap = 512;  // entries per slot
+
+struct CacheLogSlot {
+  std::uint64_t reserved0;
+  std::uint64_t reserved1;
+  NvPtr entries[kCacheLogCap];
+};
+static_assert(sizeof(CacheLogSlot) == 16 + 16 * kCacheLogCap);
 
 // ---- memblock records (paper §4.4) -----------------------------------------
 //
@@ -146,6 +172,9 @@ struct SuperBlock {
   std::uint64_t user_size;         // per sub-heap, power of two
   std::uint64_t level0_slots;
   std::uint64_t levels_max;
+  std::uint64_t cache_log_off;     // per-thread cache logs (outside meta_size)
+  std::uint64_t cache_log_stride;
+  std::uint64_t cache_slots;
   NvPtr root;
   std::uint64_t subheap_state[kMaxSubheaps];
   UndoLogT<kSuperUndoCap> undo;
@@ -167,6 +196,8 @@ struct Geometry {
   std::uint64_t user_size;
   std::uint64_t level0_slots;
   std::uint32_t levels_max;
+  std::uint64_t cache_log_off;
+  std::uint64_t cache_log_stride;
 };
 
 // Slots in hash level `i` (levels double in capacity).
@@ -202,10 +233,16 @@ constexpr Geometry compute_geometry(unsigned nsubheaps, std::uint64_t user_size,
   g.hash_region_off = g.subheap_meta_off + nsubheaps * g.subheap_meta_stride;
   g.hash_region_stride =
       align_up(level_offset(level0, levels), kPageSize);
-  g.user_region_off = align_up(
-      g.hash_region_off + nsubheaps * g.hash_region_stride, kPageSize);
-  g.meta_size = g.user_region_off;
-  g.file_size = g.user_region_off + nsubheaps * user_size;
+  // The cache logs come after the hash storage but are excluded from the
+  // protected prefix (meta_size): the thread-cache fast path appends and
+  // erases entries without opening an MPK write window.
+  g.cache_log_off = g.hash_region_off + nsubheaps * g.hash_region_stride;
+  g.cache_log_stride = align_up(sizeof(CacheLogSlot), kPageSize);
+  g.meta_size = g.cache_log_off;
+  g.user_region_off =
+      align_up(g.cache_log_off + kCacheSlots * g.cache_log_stride, kPageSize);
+  g.file_size =
+      align_up(g.user_region_off + nsubheaps * user_size, kHugePageSize);
   return g;
 }
 

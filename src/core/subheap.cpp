@@ -423,6 +423,120 @@ FreeResult Subheap::free_block(std::uint64_t offset) {
   return FreeResult::kOk;
 }
 
+Subheap::ClassifyResult Subheap::classify(std::uint64_t offset) noexcept {
+  if (offset >= meta_->user_size ||
+      (offset & ((std::uint64_t{1} << kMinBlockShift) - 1)) != 0) {
+    return {FreeResult::kInvalidPointer, 0};
+  }
+  MemblockRec* rec = table_.find(offset);
+  if (rec == nullptr) return {FreeResult::kInvalidFree, 0};
+  if (rec->status == kBlockFree) return {FreeResult::kDoubleFree, 0};
+  return {FreeResult::kOk, rec->size_class};
+}
+
+Subheap::RefillResult Subheap::alloc_batch(
+    unsigned cls, unsigned max_n, std::uint64_t* out,
+    const std::function<void(std::uint64_t)>& on_block) {
+  RefillResult r;
+  const unsigned top = log2_floor(meta_->user_size);
+  if (cls < kMinBlockShift || cls > top || max_n == 0) return r;
+
+  UndoLogger undo = make_undo();
+  std::int64_t free_delta = 0;
+  while (r.n < max_n) {
+    // A pop plus a full split chain from the top class saves a bounded
+    // handful of records per level; stop the batch rather than risk the
+    // undo-capacity abort.  Later pops usually split little or not at all.
+    if (undo.used() + 256 > kSubheapUndoCap) break;
+    const unsigned c = find_class(cls);
+    if (c == kMaxClasses) break;
+    POSEIDON_CRASH_POINT("cache.refill_pop");
+    MemblockRec* rec = pop_free_head(c, undo);
+    const std::uint64_t off = rec->key - 1;
+    --free_delta;
+    unsigned cur = c;
+    bool ok = true;
+    while (cur > cls) {
+      if (!split(rec, off, cur, undo)) {
+        ok = false;
+        break;
+      }
+      --cur;
+      ++free_delta;
+    }
+    if (!ok) {
+      undo.rollback();
+      return RefillResult{0, true};
+    }
+    out[r.n++] = off;
+    on_block(off);
+    POSEIDON_CRASH_POINT("cache.refill_logged");
+  }
+  if (r.n == 0) return r;
+  bump_counters(static_cast<std::int64_t>(r.n), free_delta,
+                static_cast<std::int64_t>(r.n) << cls, undo);
+  POSEIDON_CRASH_POINT("cache.refill_before_commit");
+  undo.commit();
+  POSEIDON_CRASH_POINT("cache.refill_after_commit");
+  return r;
+}
+
+unsigned Subheap::free_batch(const std::uint64_t* offs, unsigned n) {
+  UndoLogger undo = make_undo();
+  unsigned freed = 0;
+  std::int64_t live_delta = 0, free_delta = 0, bytes_delta = 0;
+  std::uint64_t freed_offs[64];
+  auto commit_chunk = [&] {
+    if (live_delta == 0 && undo.used() == 0) return;
+    bump_counters(live_delta, free_delta, bytes_delta, undo);
+    POSEIDON_CRASH_POINT("cache.flush_before_commit");
+    undo.commit();
+    POSEIDON_CRASH_POINT("cache.flush_after_commit");
+    live_delta = free_delta = bytes_delta = 0;
+  };
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t offset = offs[i];
+    if (offset >= meta_->user_size ||
+        (offset & ((std::uint64_t{1} << kMinBlockShift) - 1)) != 0) {
+      continue;
+    }
+    MemblockRec* rec = table_.find(offset);
+    if (rec == nullptr || rec->status != kBlockAllocated) continue;
+    if (undo.used() + 64 > kSubheapUndoCap) commit_chunk();
+    const unsigned cls = rec->size_class;
+    undo.save_obj(*rec);
+    FreeListHead& h = meta_->free_heads[cls];
+    undo.save_obj(h);
+    if (h.tail != kNull) {
+      if (MemblockRec* t = table_.find(h.tail - 1)) undo.save_obj(*t);
+    }
+    undo.seal();
+    pmem::nv_store(rec->status, static_cast<std::uint32_t>(kBlockFree));
+    push_free(rec, cls, /*at_tail=*/true, undo);
+    --live_delta;
+    ++free_delta;
+    bytes_delta -= static_cast<std::int64_t>(std::uint64_t{1} << cls);
+    if (freed < 64) freed_offs[freed] = offset;
+    ++freed;
+  }
+  commit_chunk();
+  if (eager_coalesce_) {
+    // Ablation parity with free_block: merge each freed block upward as
+    // independent committed operations.
+    for (unsigned i = 0; i < std::min(freed, 64u); ++i) {
+      std::uint64_t cur = freed_offs[i];
+      for (;;) {
+        MemblockRec* r = table_.find(cur);
+        if (r == nullptr || r->status != kBlockFree) break;
+        const unsigned c = r->size_class;
+        if (!try_merge(r, c)) break;
+        cur &= ~((std::uint64_t{1} << (c + 1)) - 1);
+      }
+    }
+  }
+  return freed;
+}
+
 void Subheap::recover_undo() {
   UndoLogger::replay(meta_->undo, heap_base_);
   // Rebuild the statistics counters from the (now consistent) records;

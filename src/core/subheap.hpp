@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -65,6 +66,40 @@ class Subheap {
                                      const TxHook& tx = {});
 
   FreeResult free_block(std::uint64_t offset);
+
+  // Read-only validation of `offset` against the memblock table: the checks
+  // of free_block without any mutation.  result == kOk means a live block
+  // of `size_class`.  Used by the thread-cache free fast path, which needs
+  // the class (and the paper's invalid/double-free detection) without
+  // paying for an undo log or a write window.
+  struct ClassifyResult {
+    FreeResult result;
+    std::uint32_t size_class;
+  };
+  ClassifyResult classify(std::uint64_t offset) noexcept;
+
+  // Batched refill for the thread cache: pop up to `max_n` blocks of
+  // exactly class `cls` under ONE undo commit, writing their offsets to
+  // `out`.  `on_block` runs for each popped offset while the batch is
+  // still undo-protected — the thread cache persists its log entry there,
+  // so a crash either rolls every pop back or finds the blocks logged.
+  // Stops early on class exhaustion or undo-capacity headroom; never
+  // defragments (the miss path's slow alloc handles that).  If the hash
+  // table rejects a split mid-batch the WHOLE batch rolls back and
+  // `rolled_back` is set: the caller must discard whatever `on_block`
+  // recorded.
+  struct RefillResult {
+    unsigned n = 0;
+    bool rolled_back = false;
+  };
+  RefillResult alloc_batch(unsigned cls, unsigned max_n, std::uint64_t* out,
+                           const std::function<void(std::uint64_t)>& on_block);
+
+  // Batched flush for the thread cache: validated-free every offset,
+  // sharing one undo log and committing once (chunked only when undo
+  // capacity forces it).  Invalid entries are skipped; returns the number
+  // actually freed.
+  unsigned free_batch(const std::uint64_t* offs, unsigned n);
 
   // Replay the undo log (crash recovery).  Micro-log replay is driven by
   // the heap because it runs the full validated free path.

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <stdexcept>
 #include <system_error>
 #include <utility>
 
@@ -26,6 +27,14 @@ std::byte* map_fd(int fd, std::size_t size) {
 }  // namespace
 
 Pool Pool::create(const std::string& path, std::size_t size) {
+  // O_EXCL would fail on an existing directory anyway, but with a
+  // confusing "File exists"; diagnose the common mistake up front.
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    throw std::invalid_argument(path +
+                                ": exists and is not a regular file "
+                                "(Poseidon pools must be regular files)");
+  }
   const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0644);
   if (fd < 0) throw_errno("create pool file " + path);
   if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
@@ -47,6 +56,14 @@ Pool Pool::open(const std::string& path) {
     ::close(fd);
     errno = saved;
     throw_errno("fstat pool file " + path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    // Devices and FIFOs stat fine but cannot back a pool; mmap/ftruncate
+    // would fail later with a far less actionable errno.
+    throw std::invalid_argument(path +
+                                ": not a regular file "
+                                "(Poseidon pools must be regular files)");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   return Pool(path, fd, map_fd(fd, size), size);
@@ -100,7 +117,9 @@ void Pool::unlink(const std::string& path) noexcept { ::unlink(path.c_str()); }
 
 bool Pool::exists(const std::string& path) noexcept {
   struct stat st{};
-  return ::stat(path.c_str(), &st) == 0;
+  // Only regular files count: a directory or device at `path` is not a
+  // pool, and claiming it exists would route open_or_create into open().
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
 }  // namespace poseidon::pmem

@@ -162,6 +162,67 @@ TEST(ApiEdges, CApiStats) {
   poseidon_finish(heap);
 }
 
+TEST(ApiEdges, CApiNullHandleSafety) {
+  // Fig. 5 hardening: every handle-taking entry point must tolerate a NULL
+  // heap (failed poseidon_init) instead of crashing.
+  nvmptr_t p = poseidon_alloc(nullptr, 64);
+  EXPECT_TRUE(nvmptr_is_null(p));
+  p = poseidon_tx_alloc(nullptr, 64, true);
+  EXPECT_TRUE(nvmptr_is_null(p));
+  poseidon_tx_commit(nullptr);  // no-op, must not crash
+  nvmptr_t fake{123, 456};
+  EXPECT_NE(poseidon_free(nullptr, fake), 0);
+  EXPECT_TRUE(nvmptr_is_null(poseidon_get_root(nullptr)));
+  poseidon_set_root(nullptr, fake);  // no-op
+  poseidon_finish(nullptr);          // no-op
+  poseidon_stats_t st;
+  std::memset(&st, 0xff, sizeof(st));
+  poseidon_get_stats(nullptr, &st);  // zero-fills
+  EXPECT_EQ(st.live_blocks, 0u);
+  EXPECT_EQ(st.user_capacity, 0u);
+  EXPECT_EQ(st.cache_hits, 0u);
+}
+
+TEST(ApiEdges, CApiLastErrorReporting) {
+  // A null path fails with a message instead of crashing.
+  EXPECT_EQ(poseidon_init(nullptr, 1 << 20), nullptr);
+  ASSERT_NE(poseidon_last_error(), nullptr);
+  // A directory is not a pool; the error is specific, not an mmap errno.
+  EXPECT_EQ(poseidon_init("/dev/shm", 1 << 20), nullptr);
+  const char* err = poseidon_last_error();
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(std::strstr(err, "regular file"), nullptr) << err;
+  // Success clears the thread's error state.
+  TempHeapPath path("capi_lasterr");
+  heap_t* heap = poseidon_init(path.c_str(), 1 << 20);
+  ASSERT_NE(heap, nullptr);
+  EXPECT_EQ(poseidon_last_error(), nullptr);
+  poseidon_get_stats(heap, nullptr);  // out==NULL is a documented no-op
+  poseidon_finish(heap);
+}
+
+TEST(ApiEdges, FromRawRejectsTailPadding) {
+  // The pool file is rounded up to a huge-page boundary, so bytes between
+  // the end of the last user region and the end of the file are mapped but
+  // are NOT user data.  contains()/from_raw() must reject them (the seed
+  // bounded against file_size, fabricating out-of-range sub-heap indices).
+  TempHeapPath path("tail_padding");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  NvPtr p = h->alloc(64);
+  ASSERT_FALSE(p.is_null());
+  char* user_base = static_cast<char*>(h->raw(p)) - p.offset();
+  char* user_end = user_base + h->user_capacity();
+  EXPECT_TRUE(h->contains(user_end - 1));
+  EXPECT_FALSE(h->contains(user_end));
+  EXPECT_FALSE(h->contains(user_end + 64));
+  EXPECT_TRUE(h->from_raw(user_end).is_null());
+  EXPECT_TRUE(h->from_raw(user_end + 4096).is_null());
+  const NvPtr last = h->from_raw(user_end - 1);
+  EXPECT_FALSE(last.is_null());
+  EXPECT_EQ(last.offset(), h->user_capacity() - 1);
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
 TEST(ApiEdges, MaxSubheapCountWorks) {
   TempHeapPath path("max_subheaps");
   core::Options o = small_opts(core::kMaxSubheaps);

@@ -51,21 +51,32 @@ TEST_P(GeometrySweep, RegionsAreDisjointOrderedAndAligned) {
   const GeoCase c = GetParam();
   const Geometry g = compute_geometry(c.nsubheaps, c.user_size, c.level0);
 
-  // Ordering: super < subheap metas < hash regions < user regions.
+  // Ordering: super < subheap metas < hash regions < cache logs < user.
   EXPECT_GE(g.subheap_meta_off, sizeof(SuperBlock));
   EXPECT_GE(g.hash_region_off,
             g.subheap_meta_off + c.nsubheaps * g.subheap_meta_stride);
-  EXPECT_GE(g.user_region_off,
+  EXPECT_GE(g.cache_log_off,
             g.hash_region_off + c.nsubheaps * g.hash_region_stride);
-  EXPECT_EQ(g.file_size, g.user_region_off + c.nsubheaps * c.user_size);
+  EXPECT_GE(g.user_region_off,
+            g.cache_log_off + kCacheSlots * g.cache_log_stride);
+  // The file ends at the user regions plus huge-page tail padding only.
+  EXPECT_GE(g.file_size, g.user_region_off + c.nsubheaps * c.user_size);
+  EXPECT_EQ(g.file_size,
+            align_up(g.user_region_off + c.nsubheaps * c.user_size,
+                     kHugePageSize));
 
   // Page alignment everywhere (MPK domains and hole punching need it).
   EXPECT_EQ(g.subheap_meta_off % kPageSize, 0u);
   EXPECT_EQ(g.subheap_meta_stride % kPageSize, 0u);
   EXPECT_EQ(g.hash_region_off % kPageSize, 0u);
   EXPECT_EQ(g.hash_region_stride % kPageSize, 0u);
+  EXPECT_EQ(g.cache_log_off % kPageSize, 0u);
+  EXPECT_EQ(g.cache_log_stride % kPageSize, 0u);
   EXPECT_EQ(g.user_region_off % kPageSize, 0u);
-  EXPECT_EQ(g.meta_size, g.user_region_off);
+  // The protected prefix stops where the cache logs start: the thread
+  // cache's log appends must not pay a wrpkru switch.
+  EXPECT_EQ(g.meta_size, g.cache_log_off);
+  EXPECT_GE(g.cache_log_stride, sizeof(CacheLogSlot));
 
   // Strides actually hold their structures.
   EXPECT_GE(g.subheap_meta_stride, sizeof(SubheapMeta));
@@ -121,6 +132,7 @@ TEST(OnMediaStability, StructSizesAreFrozen) {
   EXPECT_EQ(sizeof(MemblockRec), 48u);
   EXPECT_EQ(sizeof(MicroLog), 8u + 16 * kMicroCap);
   EXPECT_EQ(sizeof(FreeListHead), 16u);
+  EXPECT_EQ(sizeof(CacheLogSlot), 16u + 16 * kCacheLogCap);
 }
 
 }  // namespace

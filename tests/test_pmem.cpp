@@ -37,6 +37,20 @@ TEST(Pool, OpenMissingFails) {
                std::system_error);
 }
 
+TEST(Pool, NonRegularFilesAreRejected) {
+  // A directory is stat-able but is not a pool.
+  EXPECT_FALSE(Pool::exists("/dev/shm"));
+  EXPECT_THROW(Pool::open("/dev/shm"), std::exception);
+  EXPECT_THROW(Pool::create("/dev/shm", 4096), std::invalid_argument);
+  // A device node opens fine but cannot back a mapping; the explicit check
+  // turns a confusing mmap/ftruncate errno into a clear message.
+  EXPECT_FALSE(Pool::exists("/dev/null"));
+  EXPECT_THROW(Pool::open("/dev/null"), std::invalid_argument);
+  // open_or_create on a directory must fail up front, not via mmap.
+  EXPECT_THROW(core::Heap::open_or_create("/dev/shm", 1 << 20),
+               std::exception);
+}
+
 TEST(Pool, DataSurvivesReopen) {
   TempHeapPath path("pool_reopen");
   {

@@ -1,0 +1,349 @@
+// The crash-safe per-thread allocation cache (core/thread_cache.hpp):
+// hit/miss/flush accounting, preserved free validation, stats adjustment,
+// and — the part that earns "crash-safe" — recovery draining a cache lost
+// at a crash back to the free lists with zero leaked blocks, for crashes
+// injected at every cache-path crash point (in-process throws and forked
+// children alike).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "core/thread_cache.hpp"
+#include "pmem/crashpoint.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon {
+namespace {
+
+using core::FreeResult;
+using core::Heap;
+using core::NvPtr;
+using core::Options;
+using core::ThreadCache;
+using test::small_opts;
+using test::TempHeapPath;
+
+Options cache_opts(unsigned nsubheaps = 1) {
+  Options o = small_opts(nsubheaps);
+  o.thread_cache = true;
+  return o;
+}
+
+TEST(ThreadCache, DisabledByDefaultAndCountersStayZero) {
+  TempHeapPath path("tc_off");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  NvPtr p = h->alloc(64);
+  ASSERT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+  const auto s = h->stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+  EXPECT_EQ(s.cache_cached_blocks, 0u);
+}
+
+TEST(ThreadCache, HitMissAccountingAndLifoReuse) {
+  TempHeapPath path("tc_hits");
+  auto h = Heap::create(path.str(), 1 << 20, cache_opts());
+
+  // First allocation of a class misses (cold cache) and refills.
+  NvPtr a = h->alloc(64);
+  ASSERT_FALSE(a.is_null());
+  auto s = h->stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 1u);
+
+  // A freed block is parked in the magazine and handed straight back.
+  EXPECT_EQ(h->free(a), FreeResult::kOk);
+  NvPtr b = h->alloc(64);
+  ASSERT_FALSE(b.is_null());
+  EXPECT_EQ(b.packed, a.packed) << "LIFO magazine returns the hot block";
+  s = h->stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+
+  // Steady-state pairs: the paper-motivated >50% hot-path hit rate.
+  for (int i = 0; i < 200; ++i) {
+    NvPtr p = h->alloc(64);
+    ASSERT_FALSE(p.is_null());
+    ASSERT_EQ(h->free(p), FreeResult::kOk);
+  }
+  s = h->stats();
+  EXPECT_GT(s.cache_hits, s.cache_misses);
+  EXPECT_GT(static_cast<double>(s.cache_hits) /
+                static_cast<double>(s.cache_hits + s.cache_misses),
+            0.5);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ThreadCache, StatsTreatCachedBlocksAsFree) {
+  TempHeapPath path("tc_stats");
+  auto h = Heap::create(path.str(), 1 << 20, cache_opts());
+  NvPtr p = h->alloc(128);
+  ASSERT_FALSE(p.is_null());
+  auto s = h->stats();
+  // The refill parked extra blocks, but only one is live to the app.
+  EXPECT_EQ(s.live_blocks, 1u);
+  EXPECT_EQ(s.allocated_bytes, 128u);
+  EXPECT_GT(s.cache_cached_blocks, 0u);
+
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+  s = h->stats();
+  EXPECT_EQ(s.live_blocks, 0u);
+  EXPECT_EQ(s.allocated_bytes, 0u);
+}
+
+TEST(ThreadCache, WatermarkFlushReturnsBlocksToFreeLists) {
+  TempHeapPath path("tc_flush");
+  auto h = Heap::create(path.str(), 1 << 20, cache_opts());
+  std::vector<NvPtr> held;
+  for (unsigned i = 0; i < 2 * ThreadCache::kMagazineCap; ++i) {
+    NvPtr p = h->alloc(64);
+    ASSERT_FALSE(p.is_null());
+    held.push_back(p);
+  }
+  for (NvPtr p : held) ASSERT_EQ(h->free(p), FreeResult::kOk);
+  const auto s = h->stats();
+  EXPECT_GT(s.cache_flushes, 0u) << "watermark must have tripped";
+  EXPECT_LE(s.cache_cached_blocks, ThreadCache::kMagazineCap);
+  EXPECT_EQ(s.live_blocks, 0u);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ThreadCache, FreeValidationIsPreserved) {
+  TempHeapPath path("tc_validate");
+  auto h = Heap::create(path.str(), 1 << 20, cache_opts());
+  NvPtr p = h->alloc(256);
+  ASSERT_FALSE(p.is_null());
+
+  // Interior pointer: rejected without touching the cache.
+  const NvPtr interior =
+      NvPtr::make(p.heap_id, p.subheap(), p.offset() + 64);
+  EXPECT_NE(h->free(interior), FreeResult::kOk);
+
+  // Never-allocated but aligned offset in a tracked region.
+  NvPtr q = h->alloc(256);
+  ASSERT_FALSE(q.is_null());
+  EXPECT_EQ(h->free(q), FreeResult::kOk);
+
+  // Same-thread double free of a *cached* block.
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_EQ(h->free(p), FreeResult::kDoubleFree);
+
+  // Double free of a block that went through a full flush cycle.
+  std::vector<NvPtr> burst;
+  for (unsigned i = 0; i < 2 * ThreadCache::kMagazineCap; ++i) {
+    burst.push_back(h->alloc(64));
+  }
+  for (NvPtr b : burst) ASSERT_EQ(h->free(b), FreeResult::kOk);
+  // The oldest of the burst was flushed to the persistent free lists.
+  EXPECT_EQ(h->free(burst.front()), FreeResult::kDoubleFree);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ThreadCache, CachedMemoryIsUsable) {
+  TempHeapPath path("tc_usable");
+  auto h = Heap::create(path.str(), 1 << 20, cache_opts());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<NvPtr> ps;
+    for (int i = 0; i < 20; ++i) {
+      NvPtr p = h->alloc(512);
+      ASSERT_FALSE(p.is_null());
+      std::memset(h->raw(p), 0xA5 + round, 512);
+      ps.push_back(p);
+    }
+    for (NvPtr p : ps) {
+      EXPECT_EQ(static_cast<unsigned char*>(h->raw(p))[0], 0xA5 + round);
+      ASSERT_EQ(h->free(p), FreeResult::kOk);
+    }
+  }
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(ThreadCache, LostCacheDrainsOnReopenWithZeroLeak) {
+  TempHeapPath path("tc_drain");
+  const Options o = cache_opts();
+  std::vector<NvPtr> held;
+  {
+    auto h = Heap::create(path.str(), 1 << 20, o);
+    // Populate magazines across several classes, keep some blocks live.
+    for (const std::uint64_t size : {32u, 64u, 256u, 1024u, 8192u}) {
+      for (int i = 0; i < 12; ++i) {
+        NvPtr p = h->alloc(size);
+        ASSERT_FALSE(p.is_null());
+        if (i % 3 == 0) {
+          held.push_back(p);
+        } else {
+          ASSERT_EQ(h->free(p), FreeResult::kOk);
+        }
+      }
+    }
+    ASSERT_GT(h->stats().cache_cached_blocks, 0u);
+    // Destroy without flushing: for the cache this IS a crash.
+  }
+  auto h = Heap::open(path.str(), o);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+  const auto s = h->stats();
+  EXPECT_EQ(s.live_blocks, held.size());
+  EXPECT_EQ(s.cache_cached_blocks, 0u);
+
+  // Zero-leak proof: once the app frees its blocks, the whole region can
+  // defragment back into one top-class block — impossible if any block
+  // leaked from the lost magazines.
+  for (NvPtr p : held) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  h.reset();  // drop whatever those frees cached again
+  auto h2 = Heap::open(path.str(), o);
+  NvPtr whole = h2->alloc(h2->user_capacity());
+  EXPECT_FALSE(whole.is_null())
+      << "user region cannot re-coalesce: blocks leaked";
+}
+
+// In-process crash sweep: arm the k-th hit of any cache-path crash point,
+// run alloc/free churn, and require that after reopening (a) invariants
+// hold and (b) the live count equals exactly the blocks the app still
+// held — nothing leaked from magazines, logs or half-finished batches.
+class CacheCrashSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheCrashSweep, ThrowAtCachePointLeaksNothing) {
+  const std::uint64_t nth = GetParam();
+  TempHeapPath path("tc_crash");
+  const Options o = cache_opts();
+  std::vector<NvPtr> held;
+  bool crashed = false;
+  {
+    auto h = Heap::create(path.str(), 1 << 20, o);
+    pmem::crash_arm("cache.", nth, pmem::CrashAction::kThrow);
+    try {
+      for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t size = 32u << (i % 5);
+        if (held.size() < 40 && (i % 3) != 0) {
+          NvPtr p = h->alloc(size);
+          if (!p.is_null()) held.push_back(p);
+        } else if (!held.empty()) {
+          NvPtr p = held.back();
+          // Remove first: if free() crashes mid-flush the block was
+          // already parked+logged, i.e. durably freed after recovery.
+          held.pop_back();
+          const FreeResult r = h->free(p);
+          ASSERT_NE(r, FreeResult::kInvalidPointer);
+        }
+      }
+    } catch (const pmem::CrashException&) {
+      crashed = true;
+    }
+    pmem::crash_disarm();
+  }
+  auto h = Heap::open(path.str(), o);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+  EXPECT_EQ(h->stats().live_blocks, held.size())
+      << "nth=" << nth << " crashed=" << crashed;
+  for (NvPtr p : held) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheCrashSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233));
+
+TEST(ThreadCache, ForkCrashInCachePathsRecovers) {
+  // Child does pure alloc/free pairs, so at most ONE block (the in-flight
+  // singleton, the paper's documented alloc-then-link gap) may survive a
+  // kill anywhere in the cache paths.
+  for (const std::uint64_t nth : {1u, 4u, 9u, 25u, 60u, 120u}) {
+    TempHeapPath path("tc_fork");
+    const Options o = cache_opts();
+    { auto h = Heap::create(path.str(), 1 << 20, o); }
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      auto h = Heap::open(path.str(), o);
+      pmem::crash_arm("cache.", nth, pmem::CrashAction::kExit);
+      for (int i = 0; i < 1000000; ++i) {
+        NvPtr p = h->alloc(32u << (i % 5));
+        if (!p.is_null()) (void)h->free(p);
+      }
+      _exit(0);
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 42) << "child must crash in a cache path";
+
+    auto h = Heap::open(path.str(), o);
+    std::string why;
+    EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+    EXPECT_LE(h->stats().live_blocks, 1u) << "cache blocks leaked";
+    NvPtr p = h->alloc(64);
+    EXPECT_FALSE(p.is_null());
+    EXPECT_EQ(h->free(p), FreeResult::kOk);
+  }
+}
+
+TEST(ThreadCache, CrashDuringCacheDrainIsIdempotent) {
+  TempHeapPath path("tc_drain_crash");
+  const Options o = cache_opts();
+  {
+    auto h = Heap::create(path.str(), 1 << 20, o);
+    for (int i = 0; i < 30; ++i) {
+      NvPtr p = h->alloc(64);
+      ASSERT_FALSE(p.is_null());
+      ASSERT_EQ(h->free(p), FreeResult::kOk);  // populate the cache log
+    }
+    ASSERT_GT(h->stats().cache_cached_blocks, 0u);
+  }
+  // Child crashes while recovery is draining the cache log.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    pmem::crash_arm("recover.after_cache_free", 1, pmem::CrashAction::kExit);
+    auto h = Heap::open(path.str(), o);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42) << "child must die mid-drain";
+
+  auto h = Heap::open(path.str(), o);  // drain resumes from scratch
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+  EXPECT_EQ(h->stats().cache_cached_blocks, 0u);
+}
+
+TEST(ThreadCache, ConcurrentPairsAcrossThreads) {
+  TempHeapPath path("tc_mt");
+  Options o = cache_opts(4);
+  o.policy = core::SubheapPolicy::kPerThread;
+  auto h = Heap::create(path.str(), 8 << 20, o);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<NvPtr> pool;
+      for (int i = 0; i < 3000; ++i) {
+        if (pool.size() < 50 && ((i * 31 + t) % 3) != 0) {
+          NvPtr p = h->alloc(32u << (i % 6));
+          if (!p.is_null()) pool.push_back(p);
+        } else if (!pool.empty()) {
+          ASSERT_EQ(h->free(pool.back()), FreeResult::kOk);
+          pool.pop_back();
+        }
+      }
+      for (NvPtr p : pool) ASSERT_EQ(h->free(p), FreeResult::kOk);
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+  const auto s = h->stats();
+  EXPECT_EQ(s.live_blocks, 0u);
+  EXPECT_GT(s.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace poseidon
