@@ -28,6 +28,18 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
   return def;
 }
 
+// Flight-recorder mode for the benches' "poseidon+fr" observability series
+// (AllocatorConfig::flight: 0 = off, 1 = DRAM ring, 2 = persistent ring).
+// POSEIDON_BENCH_FLIGHT overrides; the default measures the most expensive
+// mode, the per-event-flushed persistent ring.
+inline int bench_flight_mode() {
+  if (const char* v = std::getenv("POSEIDON_BENCH_FLIGHT")) {
+    const long x = std::strtol(v, nullptr, 10);
+    if (x >= 0 && x <= 2) return static_cast<int>(x);
+  }
+  return 2;
+}
+
 // Human label for a byte size (256B, 4KB, ...).
 inline std::string size_label(std::uint64_t bytes) {
   char buf[32];

@@ -20,7 +20,7 @@ namespace {
 constexpr unsigned kPoolDepth = 100;  // the paper's 100-alloc/100-free pair
 
 double run_one(iface::AllocatorKind kind, std::uint64_t size,
-               unsigned nthreads, bool thread_cache) {
+               unsigned nthreads, bool thread_cache, int flight = 1) {
   iface::AllocatorConfig cfg;
   // Working set: up to kPoolDepth live objects per thread, doubled for
   // fragmentation slack, floor 64 MB.
@@ -28,6 +28,7 @@ double run_one(iface::AllocatorKind kind, std::uint64_t size,
   cfg.capacity = want < (64ull << 20) ? (64ull << 20) : want;
   cfg.nlanes = nthreads;  // per-CPU sub-heaps on the paper's box
   cfg.thread_cache = thread_cache;
+  cfg.flight = flight;
   auto alloc = iface::make_allocator(kind, cfg);
 
   const RunResult r = run_timed(
@@ -74,6 +75,15 @@ int main() {
       const double mops =
           run_one(iface::AllocatorKind::kPoseidon, size, t, true);
       print_point("fig6/" + size_label(size), "poseidon+tc", t, mops);
+    }
+    // Observability-overhead series: same configuration plus the flight
+    // recorder in its most expensive mode (persistent ring, flushed per
+    // event by default — POSEIDON_BENCH_FLIGHT overrides).  Compare with
+    // poseidon+tc to read off the recorder's cost.
+    for (const unsigned t : default_thread_sweep()) {
+      const double mops = run_one(iface::AllocatorKind::kPoseidon, size, t,
+                                  true, bench_flight_mode());
+      print_point("fig6/" + size_label(size), "poseidon+fr", t, mops);
     }
     for (const auto kind : all_allocators()) {
       for (const unsigned t : default_thread_sweep()) {

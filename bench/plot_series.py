@@ -1,15 +1,30 @@
 #!/usr/bin/env python3
 """Render the figure benches' output as ASCII charts (paper-figure style).
 
-Reads the `<figure> <series> threads=N <value>` lines that
-fig6_microbench / fig7_larson / fig8_hpc / fig9_ycsb / ablation_subheaps
-print, groups them by figure, and draws one thread-sweep chart per figure
-with one column block per series — a quick visual check that the measured
-shapes match the paper's.
+Accepts any mix of inputs and overlays them into one chart per figure:
 
-    $ for b in build/bench/fig*; do $b; done | tee out.txt
-    $ ./bench/plot_series.py out.txt
+  * text files of `<figure> <series> threads=N <value>` lines, as printed
+    by fig6_microbench / fig7_larson / fig8_hpc / fig9_ycsb /
+    ablation_subheaps;
+  * directories of per-series JSON sidecars written by the harness when
+    POSEIDON_BENCH_JSON_DIR is set (one
+    {"figure": ..., "series": ..., "points": [...]} document per file).
+
+Missing inputs, unparseable sidecars and partially-written series (e.g. a
+bench interrupted mid-sweep) are skipped with a warning instead of
+aborting, so an obs-overhead run can be overlaid on a baseline run even
+when one of them is incomplete:
+
+    $ POSEIDON_BENCH_JSON_DIR=out.obs build/bench/fig6_microbench
+    $ cmake -B build.noobs -S . -DPOSEIDON_OBS=OFF && ...
+    $ POSEIDON_BENCH_JSON_DIR=out.noobs build.noobs/bench/fig6_microbench
+    $ ./bench/plot_series.py out.obs out.noobs
+
+When two inputs carry the same (figure, series), the later one is renamed
+`series@<input>` so both columns stay visible side by side.
 """
+import json
+import os
 import re
 import sys
 from collections import defaultdict
@@ -18,15 +33,68 @@ LINE = re.compile(
     r"^(\S+)\s+(\S+)\s+threads=(\d+)\s+([0-9.]+(?:e[+-]?\d+)?)\s*$")
 
 
-def load(path):
-    figures = defaultdict(lambda: defaultdict(dict))
+def warn(msg):
+    print(f"plot_series: {msg}", file=sys.stderr)
+
+
+def load_text(path, out, tag):
     with open(path) as f:
         for line in f:
             m = LINE.match(line)
             if m:
                 fig, series, threads, value = m.groups()
-                figures[fig][series][int(threads)] = float(value)
-    return figures
+                add_point(out, tag, fig, series, int(threads), float(value))
+
+
+def load_sidecar(path, out, tag):
+    """One harness JSON sidecar; tolerates truncated/partial documents."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        warn(f"skipping {path}: {e}")
+        return
+    fig, series = doc.get("figure"), doc.get("series")
+    if not fig or not series:
+        warn(f"skipping {path}: missing figure/series keys")
+        return
+    for pt in doc.get("points", []):
+        try:
+            add_point(out, tag, fig, series, int(pt["threads"]),
+                      float(pt["value"]))
+        except (KeyError, TypeError, ValueError):
+            warn(f"{path}: ignoring malformed point {pt!r}")
+
+
+def add_point(out, tag, fig, series, threads, value):
+    # Overlay rule: a series name already claimed by an earlier input gets
+    # this input's tag appended, so e.g. poseidon+tc vs poseidon+tc@noobs
+    # plot side by side.
+    claimed = out.setdefault("_owner", {})
+    owner = claimed.setdefault((fig, series), tag)
+    name = series if owner == tag else f"{series}@{tag}"
+    out["figures"][fig][name][threads] = value
+
+
+def load_inputs(paths):
+    out = {"figures": defaultdict(lambda: defaultdict(dict))}
+    for path in paths:
+        tag = os.path.basename(os.path.normpath(path)) or path
+        if os.path.isdir(path):
+            names = sorted(os.listdir(path))
+            sidecars = [n for n in names if n.endswith(".json")]
+            if not sidecars:
+                warn(f"skipping {path}: no .json sidecars")
+            for name in sidecars:
+                load_sidecar(os.path.join(path, name), out, tag)
+        elif os.path.exists(path):
+            try:
+                load_text(path, out, tag)
+            except OSError as e:
+                warn(f"skipping {path}: {e}")
+        else:
+            warn(f"skipping {path}: no such file or directory")
+    return out["figures"]
 
 
 def fmt(v):
@@ -37,20 +105,25 @@ def fmt(v):
     return f"{v:.2f}"
 
 
-def plot(fig, series, height=12):
+def plot(fig, series):
     print(f"\n== {fig}")
     threads = sorted({t for s in series.values() for t in s})
-    peak = max(v for s in series.values() for v in s.values()) or 1.0
+    values = [v for s in series.values() for v in s.values()]
+    if not threads or not values:
+        print("   (no points)")
+        return
+    peak = max(values) or 1.0
     names = list(series)
+    pad = max(12, max(len(n) for n in names))
     for name in names:
         pts = " ".join(
             f"t{t}={fmt(series[name][t])}" for t in threads
             if t in series[name])
-        print(f"   {name:<12} {pts}")
+        print(f"   {name:<{pad}} {pts}")
     # One bar row per series x thread bucket, normalized to the peak.
     width = 40
     for name in names:
-        print(f"   {name:<12} ", end="")
+        print(f"   {name:<{pad}} ", end="")
         for t in threads:
             v = series[name].get(t)
             if v is None:
@@ -62,12 +135,12 @@ def plot(fig, series, height=12):
 
 
 def main():
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         sys.exit(__doc__)
-    figures = load(sys.argv[1])
+    figures = load_inputs(sys.argv[1:])
     if not figures:
-        sys.exit("no series lines found (expected '<fig> <series> "
-                 "threads=N <value>')")
+        sys.exit("no series found (expected '<fig> <series> threads=N "
+                 "<value>' lines or a POSEIDON_BENCH_JSON_DIR directory)")
     for fig in sorted(figures):
         plot(fig, figures[fig])
 

@@ -6,10 +6,13 @@
 // check, and reports pending recovery work (non-empty undo/micro logs).
 //
 //   $ ./heap_inspect /dev/shm/persistent_kv.heap
+//   $ ./heap_inspect --json /dev/shm/persistent_kv.heap   # obs JSON only
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 #include "core/heap.hpp"
+#include "obs/exporter.hpp"
 #include "pmem/pool.hpp"
 
 using namespace poseidon;
@@ -30,11 +33,22 @@ void print_size(const char* label, std::uint64_t bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <heap-file>\n", argv[0]);
+  bool json_only = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_only = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] <heap-file>\n", argv[0]);
     return 2;
   }
-  const char* path = argv[1];
   if (!pmem::Pool::exists(path)) {
     std::fprintf(stderr, "%s: no such file\n", path);
     return 1;
@@ -50,6 +64,14 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", path, e.what());
     return 1;
+  }
+
+  if (json_only) {
+    // The full observability export: registry counters, histograms,
+    // size-class occupancy and the flight recorder (including any
+    // post-mortem events recovered from a persistent ring).
+    std::printf("%s\n", obs::Exporter(*heap).json().c_str());
+    return 0;
   }
 
   std::printf("== poseidon heap: %s\n", path);
@@ -80,6 +102,22 @@ int main(int argc, char** argv) {
               s.hash_extensions);
   std::printf("%-28s %" PRIu64 "\n", "hash levels punched back",
               s.hash_shrinks);
+
+  // A persistent flight ring survives the previous session's crash; the
+  // inspector is exactly where those last-gasp events matter.
+  const auto& post = heap->flight_postmortem();
+  if (!post.empty()) {
+    std::printf("\n== flight recorder (previous session, %zu events)\n",
+                post.size());
+    const std::size_t first = post.size() > 8 ? post.size() - 8 : 0;
+    for (std::size_t i = first; i < post.size(); ++i) {
+      const auto& e = post[i];
+      std::printf("  seq=%-8" PRIu64 " %-11s subheap=%-3u class=%-2u "
+                  "arg=0x%" PRIx64 "\n",
+                  e.seq, obs::op_name(static_cast<obs::FlightOp>(e.op)),
+                  e.subheap, e.size_class, e.arg);
+    }
+  }
 
   std::printf("\n== consistency\n");
   std::string why;

@@ -30,6 +30,9 @@ class PoseidonAdapter final : public PAllocator {
     // two policies coincide.
     opts.policy = core::SubheapPolicy::kPerThread;
     opts.thread_cache = cfg.thread_cache;
+    opts.flight = cfg.flight == 0   ? obs::FlightMode::kOff
+                  : cfg.flight == 2 ? obs::FlightMode::kPersistent
+                                    : obs::FlightMode::kVolatile;
     heap_ = core::Heap::create(path, cfg.capacity, opts);
     path_ = path;
   }

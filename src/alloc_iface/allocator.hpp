@@ -44,6 +44,10 @@ struct AllocatorConfig {
   // Poseidon only: enable the crash-safe per-thread front-end cache
   // (core/thread_cache.hpp).  Benches run both settings to measure it.
   bool thread_cache = false;
+  // Poseidon only: flight-recorder mode, mirroring obs::FlightMode
+  // (0 = off, 1 = DRAM ring, 2 = persistent ring in the pool).  An int so
+  // this facade header stays independent of the obs headers.
+  int flight = 1;
 };
 
 // Factory: creates the heap file and wraps it.  The file is unlinked when

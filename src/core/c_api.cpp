@@ -7,6 +7,7 @@
 
 #include "core/heap.hpp"
 #include "core/registry.hpp"
+#include "obs/exporter.hpp"
 
 using poseidon::core::Heap;
 using poseidon::core::NvPtr;
@@ -111,6 +112,31 @@ void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
   out->cache_misses = s.cache_misses;
   out->cache_flushes = s.cache_flushes;
   out->cache_cached_blocks = s.cache_cached_blocks;
+}
+
+namespace {
+
+/* Shared snprintf contract: copy `s` into buf (truncating, always NUL-
+ * terminated when buf_len > 0) and report the untruncated length. */
+long dump_into(const std::string &s, char *buf, size_t buf_len) {
+  if (buf != nullptr && buf_len > 0) {
+    const size_t n = s.size() < buf_len - 1 ? s.size() : buf_len - 1;
+    std::memcpy(buf, s.data(), n);
+    buf[n] = '\0';
+  }
+  return static_cast<long>(s.size());
+}
+
+}  // namespace
+
+long poseidon_stats_dump(heap_t *heap, char *buf, size_t buf_len) {
+  if (heap == nullptr || (buf == nullptr && buf_len != 0)) return -1;
+  return dump_into(poseidon::obs::Exporter(*heap->impl).json(), buf, buf_len);
+}
+
+long poseidon_flight_dump(heap_t *heap, char *buf, size_t buf_len) {
+  if (heap == nullptr || (buf == nullptr && buf_len != 0)) return -1;
+  return dump_into(poseidon::obs::Exporter(*heap->impl).text(), buf, buf_len);
 }
 
 }  // extern "C"

@@ -88,6 +88,20 @@ typedef struct poseidon_stats {
 /* Zero-fills *out when heap is NULL; no-op when out is NULL. */
 void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out);
 
+/* Observability exporters (snprintf contract): write up to buf_len bytes
+ * of NUL-terminated output into buf and return the number of bytes the
+ * full dump needs (excluding the NUL) — a return >= buf_len means the
+ * output was truncated; call again with a larger buffer.  Negative on
+ * error (NULL heap).  buf may be NULL iff buf_len is 0 (size query). */
+
+/* JSON dump of the heap's metrics registry, occupancy histograms and
+ * flight-recorder contents. */
+long poseidon_stats_dump(heap_t *heap, char *buf, size_t buf_len);
+
+/* Human-readable flight-recorder dump: the most recent events plus, after
+ * a crash, the previous session's surviving post-mortem events. */
+long poseidon_flight_dump(heap_t *heap, char *buf, size_t buf_len);
+
 #ifdef __cplusplus
 }
 #endif

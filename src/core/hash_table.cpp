@@ -29,6 +29,13 @@ MemblockRec* HashTable::insert(std::uint64_t block_off, UndoLogger& undo) {
     for (unsigned w = 0; w < kProbeWindow && w < slots; ++w) {
       MemblockRec* rec = slot(lvl, (start + w) % slots);
       if (rec->key != 0) continue;
+      // Probe distance = slots inspected before this claim, across levels
+      // (the paper's O(1) bound: <= levels_active * kProbeWindow).  Sampled:
+      // the histogram records a shape, and inserts are per-block-split, so
+      // an unconditional bucket RMW here shows up in the overhead budget.
+      if (metrics_ != nullptr && obs::latency_sample_tick()) {
+        metrics_->probe_len.add(lvl * kProbeWindow + w);
+      }
       undo.save_obj(*rec);
       undo.save_obj(meta_->level_count[lvl]);
       undo.seal();

@@ -22,14 +22,18 @@
 #include "common/hash.hpp"
 #include "core/layout.hpp"
 #include "core/undo_log.hpp"
+#include "obs/metrics.hpp"
 
 namespace poseidon::core {
 
 class HashTable {
  public:
-  HashTable(SubheapMeta* meta, std::byte* heap_base) noexcept
+  // `metrics` (optional) receives the probe-length histogram samples.
+  HashTable(SubheapMeta* meta, std::byte* heap_base,
+            obs::Metrics* metrics = nullptr) noexcept
       : meta_(meta),
-        storage_(reinterpret_cast<MemblockRec*>(heap_base + meta->hash_off)) {}
+        storage_(reinterpret_cast<MemblockRec*>(heap_base + meta->hash_off)),
+        metrics_(metrics) {}
 
   // Record for block at byte offset `block_off`, or nullptr.
   MemblockRec* find(std::uint64_t block_off) noexcept;
@@ -88,6 +92,7 @@ class HashTable {
 
   SubheapMeta* meta_;
   MemblockRec* storage_;
+  obs::Metrics* metrics_;
 };
 
 }  // namespace poseidon::core

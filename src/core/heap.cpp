@@ -1,5 +1,6 @@
 #include "core/heap.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <random>
 #include <stdexcept>
@@ -81,6 +82,8 @@ std::unique_ptr<Heap> Heap::create(const std::string& path,
   pmem::nv_store(sb->cache_log_off, geo.cache_log_off);
   pmem::nv_store(sb->cache_log_stride, geo.cache_log_stride);
   pmem::nv_store(sb->cache_slots, std::uint64_t{kCacheSlots});
+  pmem::nv_store(sb->flight_off, geo.flight_off);
+  pmem::nv_store(sb->flight_stride, geo.flight_stride);
   pmem::persist(sb, sizeof(SuperBlock));
   // Magic last: a half-created file is never mistaken for a valid heap.
   pmem::nv_store_persist(sb->magic, kSuperMagic);
@@ -114,7 +117,11 @@ Heap::Heap(pmem::Pool pool, const Options& opts)
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     subs_.push_back(std::make_unique<SubRuntime>());
   }
+  // Flight rings come up before recovery: the post-mortem must be captured
+  // before anything touches the pool, and recovery itself records events.
+  init_flight();
   recover();
+  flight(obs::FlightOp::kOpen, 0, 0, sb_->nsubheaps);
   if (opts_.thread_cache && sb_->cache_slots != 0) {
     caches_.reserve(sb_->cache_slots);
     for (unsigned i = 0; i < sb_->cache_slots; ++i) {
@@ -142,6 +149,58 @@ CacheLogSlot* Heap::cache_slot(unsigned idx) const noexcept {
       base() + sb_->cache_log_off + idx * sb_->cache_log_stride);
 }
 
+obs::FlightEvent* Heap::pm_flight_slots(unsigned idx) const noexcept {
+  return reinterpret_cast<obs::FlightEvent*>(
+      base() + sb_->flight_off + idx * sb_->flight_stride);
+}
+
+void Heap::init_flight() {
+#if POSEIDON_OBS_ENABLED
+  // Post-mortem first: whatever a previous session's persistent rings left
+  // behind, captured before recovery or new traffic can overwrite it.
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    const obs::FlightRing prev(pm_flight_slots(i), obs::kFlightRingCap,
+                               /*persistent=*/false, i);
+    const auto evs = prev.snapshot();
+    postmortem_.insert(postmortem_.end(), evs.begin(), evs.end());
+  }
+  if (opts_.flight == obs::FlightMode::kOff) return;
+  const bool persistent = opts_.flight == obs::FlightMode::kPersistent;
+  if (!persistent) {
+    // Value-initialized: a volatile ring must start with all seqs zero.
+    flight_mem_ = std::make_unique<obs::FlightEvent[]>(
+        std::size_t{sb_->nsubheaps} * obs::kFlightRingCap);
+  }
+  rings_.reserve(sb_->nsubheaps);
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    obs::FlightEvent* slots =
+        persistent ? pm_flight_slots(i)
+                   : flight_mem_.get() + std::size_t{i} * obs::kFlightRingCap;
+    // A persistent ring re-attaches: its head continues after the largest
+    // surviving seq, so history is contiguous across sessions.
+    rings_.push_back(std::make_unique<obs::FlightRing>(
+        slots, obs::kFlightRingCap, persistent, i));
+  }
+#endif
+}
+
+obs::FlightMode Heap::flight_mode() const noexcept {
+  return rings_.empty() ? obs::FlightMode::kOff : opts_.flight;
+}
+
+std::vector<obs::FlightEvent> Heap::flight_events() const {
+  std::vector<obs::FlightEvent> all;
+  for (const auto& r : rings_) {
+    const auto evs = r->snapshot();
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
+              return a.tsc < b.tsc;
+            });
+  return all;
+}
+
 ThreadCache& Heap::cache_for_thread() const noexcept {
   return *caches_[thread_ordinal() % caches_.size()];
 }
@@ -153,7 +212,8 @@ SubheapMeta* Heap::meta_of(unsigned idx) const noexcept {
 
 Subheap Heap::subheap(unsigned idx) const noexcept {
   return Subheap(meta_of(idx), base(), const_cast<pmem::Pool*>(&pool_),
-                 opts_.use_undo_log, opts_.eager_coalesce);
+                 opts_.use_undo_log, opts_.eager_coalesce,
+                 const_cast<obs::Metrics*>(&metrics_));
 }
 
 unsigned Heap::pick_subheap() const noexcept {
@@ -169,9 +229,9 @@ unsigned Heap::pick_subheap() const noexcept {
 }
 
 void Heap::ensure_subheap(unsigned idx) {
-  if (sb_->subheap_state[idx] == kSubheapReady) return;
+  if (subheap_ready(idx)) return;
   std::lock_guard<std::mutex> lk(admin_mu_);
-  if (sb_->subheap_state[idx] == kSubheapReady) return;
+  if (subheap_ready(idx)) return;
   mpk::WriteWindow w(prot_.get());
   const Geometry geo{sb_->file_size,
                      sb_->meta_size,
@@ -184,7 +244,9 @@ void Heap::ensure_subheap(unsigned idx) {
                      sb_->level0_slots,
                      static_cast<std::uint32_t>(sb_->levels_max),
                      sb_->cache_log_off,
-                     sb_->cache_log_stride};
+                     sb_->cache_log_stride,
+                     sb_->flight_off,
+                     sb_->flight_stride};
   // Formatting is made atomic by the state flag: a crash mid-format leaves
   // state=absent and the next use re-formats from scratch.
   const unsigned cpu = current_cpu();
@@ -194,21 +256,34 @@ void Heap::ensure_subheap(unsigned idx) {
   // placement hint; a no-op on single-node machines.
   (void)numa_bind_region(base() + sb_->user_region_off + idx * sb_->user_size,
                          sb_->user_size, numa_node_of_cpu(cpu));
-  pmem::nv_store_persist(sb_->subheap_state[idx], std::uint64_t{kSubheapReady});
+  pmem::nv_store_release_persist(sb_->subheap_state[idx], kSubheapReady);
 }
 
 NvPtr Heap::alloc(std::uint64_t size) {
+  metrics_.alloc_calls.inc();
+  obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.alloc_cycles
+                                                 : nullptr);
   if (!caches_.empty() && size != 0 && size <= sb_->user_size) {
     const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
     if (ThreadCache::cacheable(cls)) {
       ThreadCache& tc = cache_for_thread();
       {
         Guard<Spinlock> g(tc.mu());
-        const NvPtr p = tc.pop_locked(cls, /*count=*/true);
-        if (!p.is_null()) return p;
+        const NvPtr p = tc.pop_locked(cls);
+        // Hit path stays bare beyond the two counters: no flight event, no
+        // size-class sample — it is the operation the overhead budget is
+        // measured against.
+        if (!p.is_null()) {
+          metrics_.cache_hits.inc();
+          return p;
+        }
       }
+      metrics_.cache_misses.inc();
       const NvPtr p = cache_refill(tc, cls);
-      if (!p.is_null()) return p;
+      if (!p.is_null()) {
+        metrics_.alloc_size_class.add(cls);
+        return p;
+      }
       // Refill could not pop a single block (class dry everywhere the
       // batch looked, or the log is full): the slow path below still gets
       // to defragment and fall back across sub-heaps.
@@ -223,13 +298,21 @@ NvPtr Heap::alloc(std::uint64_t size) {
     Guard<Spinlock> g(subs_[idx]->lock);
     Subheap sh = subheap(idx);
     if (const auto off = sh.alloc(size)) {
+      const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
+      metrics_.alloc_size_class.add(cls);
+      flight(obs::FlightOp::kAlloc, idx, static_cast<std::uint16_t>(cls),
+             *off);
       return NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx), *off);
     }
   }
+  metrics_.alloc_fails.inc();
   return NvPtr::null();
 }
 
 NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
+  metrics_.tx_alloc_calls.inc();
+  obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.tx_alloc_cycles
+                                                 : nullptr);
   TxState& tx = tl_tx;
   if (tx.active && tx.owner != this) {
     if (tx.heap_id != sb_->heap_id) {
@@ -272,6 +355,10 @@ NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
       if (const auto off = sh.alloc(size, hook)) {
         result = NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(tx.sub),
                              *off);
+        const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
+        metrics_.alloc_size_class.add(cls);
+        flight(obs::FlightOp::kTxAlloc, tx.sub,
+               static_cast<std::uint16_t>(cls), *off);
       }
     }
     if (is_end) {
@@ -281,6 +368,8 @@ NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
         micro_truncate(meta_of(tx.sub)->micro);
       }
       POSEIDON_CRASH_POINT("tx.after_commit_truncate");
+      metrics_.tx_commits.inc();
+      flight(obs::FlightOp::kTxCommit, tx.sub, 0, 0);
     }
   } catch (...) {
     // A simulated crash (or any other exception) must not leave the
@@ -304,6 +393,8 @@ void Heap::tx_commit() {
     mpk::WriteWindow w(prot_.get());
     micro_truncate(meta_of(tx.sub)->micro);
   }
+  metrics_.tx_commits.inc();
+  flight(obs::FlightOp::kTxCommit, tx.sub, 0, 0);
   subs_[tx.sub]->tx_mu.unlock();
   tx = TxState{};
 }
@@ -316,20 +407,34 @@ void Heap::tx_leak_open_transaction_for_test() {
 }
 
 FreeResult Heap::free(NvPtr ptr) {
+  metrics_.free_calls.inc();
+  obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.free_cycles
+                                                 : nullptr);
   if (ptr.is_null() || ptr.heap_id != sb_->heap_id) {
+    metrics_.free_rejects.inc();
     return FreeResult::kInvalidPointer;
   }
   const unsigned idx = ptr.subheap();
-  if (idx >= sb_->nsubheaps || sb_->subheap_state[idx] != kSubheapReady) {
+  if (idx >= sb_->nsubheaps || !subheap_ready(idx)) {
+    metrics_.free_rejects.inc();
     return FreeResult::kInvalidPointer;
   }
   if (!caches_.empty()) {
-    if (const auto r = cache_free(ptr, idx)) return *r;
+    if (const auto r = cache_free(ptr, idx)) {
+      if (*r != FreeResult::kOk) metrics_.free_rejects.inc();
+      return *r;
+    }
   }
   mpk::WriteWindow w(prot_.get());
   Guard<Spinlock> g(subs_[idx]->lock);
   Subheap sh = subheap(idx);
-  return sh.free_block(ptr.offset());
+  const FreeResult r = sh.free_block(ptr.offset());
+  if (r == FreeResult::kOk) {
+    flight(obs::FlightOp::kFree, idx, 0, ptr.offset());
+  } else {
+    metrics_.free_rejects.inc();
+  }
+  return r;
 }
 
 NvPtr Heap::cache_refill(ThreadCache& tc, unsigned cls) {
@@ -358,9 +463,9 @@ NvPtr Heap::cache_refill(ThreadCache& tc, unsigned cls) {
     return NvPtr::null();
   }
   tc.refill_publish_locked(cls);
-  // Hand the caller one of the batch without touching the hit counter —
-  // this allocation already counted as a miss.
-  return tc.pop_locked(cls, /*count=*/false);
+  // Hand the caller one of the batch; the alloc path already counted this
+  // call as a miss, so no hit is recorded for it.
+  return tc.pop_locked(cls);
 }
 
 std::optional<FreeResult> Heap::cache_free(NvPtr ptr, unsigned idx) {
@@ -420,7 +525,10 @@ void Heap::cache_flush(ThreadCache& tc, unsigned cls) {
     mpk::WriteWindow w(prot_.get());
     Guard<Spinlock> sg(subs_[idx]->lock);
     (void)subheap(idx).free_batch(offs, cnt);
+    flight(obs::FlightOp::kCacheFlush, idx, static_cast<std::uint16_t>(cls),
+           cnt);
   }
+  metrics_.cache_flushes.inc();
   Guard<Spinlock> g(tc.mu());
   tc.flush_erase_locked(lis, n);
 }
@@ -462,7 +570,7 @@ void Heap::set_root(NvPtr ptr) {
   // The 16-byte root cannot be stored atomically; undo-log it so a crash
   // mid-update preserves the old root (paper §2.2 requires the root be
   // always recoverable).
-  UndoLogger undo(sb_->undo, base(), opts_.use_undo_log);
+  UndoLogger undo(sb_->undo, base(), opts_.use_undo_log, &metrics_);
   undo.save_obj(sb_->root);
   POSEIDON_CRASH_POINT("root.after_log");
   pmem::nv_store(sb_->root, ptr);
@@ -480,7 +588,7 @@ HeapStats Heap::stats() const {
   s.nsubheaps = sb_->nsubheaps;
   s.user_capacity = user_capacity();
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    if (!subheap_ready(i)) continue;
     Guard<Spinlock> g(subs_[i]->lock);
     const SubheapMeta* m = meta_of(i);
     s.live_blocks += m->live_blocks;
@@ -493,12 +601,14 @@ HeapStats Heap::stats() const {
     s.hash_shrinks += m->stat_shrinks;
     ++s.subheaps_materialized;
   }
+  // The PR-1 manual hit/miss/flush counters moved into the metrics
+  // registry; HeapStats keeps its ABI and reads them back from there.
+  s.cache_hits = metrics_.cache_hits.read();
+  s.cache_misses = metrics_.cache_misses.read();
+  s.cache_flushes = metrics_.cache_flushes.read();
   for (const auto& c : caches_) {
     Guard<Spinlock> g(c->mu());
     const ThreadCache::Stats cs = c->stats_locked();
-    s.cache_hits += cs.hits;
-    s.cache_misses += cs.misses;
-    s.cache_flushes += cs.flushes;
     s.cache_cached_blocks += cs.cached_blocks;
     // Cached blocks read as allocated in the sub-heap counters but are
     // really available inventory; report them as free.
@@ -515,7 +625,7 @@ std::pair<void*, std::size_t> Heap::metadata_region() const noexcept {
 
 bool Heap::check_invariants(std::string* why) const {
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    if (!subheap_ready(i)) continue;
     Guard<Spinlock> g(subs_[i]->lock);
     Subheap sh = subheap(i);
     std::string reason;
@@ -534,20 +644,21 @@ void Heap::recover() {
   // mapping) and before the heap is registered, so it is single-threaded.
   UndoLogger::replay(sb_->undo, base());
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    if (!subheap_ready(i)) continue;
     subheap(i).recover_undo();
+    flight(obs::FlightOp::kRecover, i, 0, 0);
   }
   // Micro logs: a non-empty log is an uncommitted transaction; free every
   // address it allocated.  The validated free path makes replay idempotent
   // (already-freed entries are rejected as double frees).
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (sb_->subheap_state[i] != kSubheapReady) continue;
+    if (!subheap_ready(i)) continue;
     MicroLog& micro = meta_of(i)->micro;
     const std::uint64_t n = micro_count(micro);
     for (std::uint64_t k = 0; k < n; ++k) {
       const NvPtr e = micro.entries[k];
       if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
-      if (sb_->subheap_state[e.subheap()] != kSubheapReady) continue;
+      if (!subheap_ready(e.subheap())) continue;
       Subheap sh = subheap(e.subheap());
       (void)sh.free_block(e.offset());
       POSEIDON_CRASH_POINT("recover.after_micro_free");
@@ -565,7 +676,7 @@ void Heap::recover() {
       if (e.is_null()) continue;
       any = true;
       if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
-      if (sb_->subheap_state[e.subheap()] != kSubheapReady) continue;
+      if (!subheap_ready(e.subheap())) continue;
       (void)subheap(e.subheap()).free_block(e.offset());
       POSEIDON_CRASH_POINT("recover.after_cache_free");
     }

@@ -22,6 +22,9 @@
 #include "core/nvmptr.hpp"
 #include "core/subheap.hpp"
 #include "mpk/mpk.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "pmem/persist.hpp"
 #include "pmem/pool.hpp"
 
 namespace poseidon::core {
@@ -57,6 +60,11 @@ struct Options {
   // double-free detection to flush time and relaxes the delayed-reuse
   // discipline (§5.5) for cached blocks, so callers opt in.
   bool thread_cache = false;
+  // Flight recorder placement (obs/flight_recorder.hpp).  kVolatile rings
+  // live in DRAM; kPersistent places them in the pool's carved flight
+  // region so the last pre-crash events survive into the next open (the
+  // post-mortem).  Ignored when obs is compiled out.
+  obs::FlightMode flight = obs::FlightMode::kVolatile;
 };
 
 struct HeapStats {
@@ -160,7 +168,7 @@ class Heap {
   template <typename F>
   void visit_blocks(F&& f) const {
     for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-      if (sb_->subheap_state[i] != kSubheapReady) continue;
+      if (!subheap_ready(i)) continue;
       Guard<Spinlock> g(subs_[i]->lock);
       subheap(i).visit_blocks([&](std::uint64_t off, std::uint32_t cls,
                                   std::uint32_t status) {
@@ -171,6 +179,24 @@ class Heap {
 
   // Bytes the filesystem actually backs (observes hole punching).
   std::uint64_t file_allocated_bytes() const { return pool_.allocated_bytes(); }
+
+  // ---- observability (src/obs; see DESIGN.md "Observability") --------------
+
+  // The heap's metrics registry (sharded counters + histograms).
+  const obs::Metrics& metrics() const noexcept { return metrics_; }
+
+  // Resolved flight-recorder mode (kOff when obs is compiled out).
+  obs::FlightMode flight_mode() const noexcept;
+
+  // Events currently in the rings, merged across sub-heaps in tsc order.
+  std::vector<obs::FlightEvent> flight_events() const;
+
+  // Events that survived in the persistent flight region from the previous
+  // session, captured at open() before recovery ran — what the allocator
+  // was doing right before the last crash/close.  Empty on a fresh heap.
+  const std::vector<obs::FlightEvent>& flight_postmortem() const noexcept {
+    return postmortem_;
+  }
 
  private:
   struct SubRuntime {
@@ -186,6 +212,21 @@ class Heap {
   unsigned pick_subheap() const noexcept;
   void ensure_subheap(unsigned idx);
   void recover();
+
+  // Lock-free readers (alloc/free fast paths, stats, visit_blocks) observe
+  // a sub-heap's readiness via acquire, pairing with the release store
+  // that publishes a finished format in ensure_subheap.
+  bool subheap_ready(unsigned idx) const noexcept {
+    return pmem::nv_load_acquire(sb_->subheap_state[idx]) == kSubheapReady;
+  }
+
+  // Flight-recorder plumbing.
+  obs::FlightEvent* pm_flight_slots(unsigned idx) const noexcept;
+  void init_flight();
+  void flight(obs::FlightOp op, unsigned sub, std::uint16_t cls,
+              std::uint64_t arg) noexcept {
+    if (!rings_.empty()) rings_[sub]->record(op, cls, arg);
+  }
 
   // Thread-cache plumbing (no-ops unless Options::thread_cache).
   CacheLogSlot* cache_slot(unsigned idx) const noexcept;
@@ -204,6 +245,13 @@ class Heap {
   // thread ordinal never races a lazy publication.
   std::vector<std::unique_ptr<ThreadCache>> caches_;
   mutable std::mutex admin_mu_;  // sub-heap creation + root updates
+
+  // Observability state.  rings_ is empty when the flight recorder is off
+  // (or obs is compiled out); flight_mem_ backs volatile rings.
+  obs::Metrics metrics_;
+  std::vector<std::unique_ptr<obs::FlightRing>> rings_;
+  std::unique_ptr<obs::FlightEvent[]> flight_mem_;
+  std::vector<obs::FlightEvent> postmortem_;
 };
 
 }  // namespace poseidon::core

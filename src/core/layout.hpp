@@ -1,6 +1,7 @@
 // On-media layout of a Poseidon heap (paper Fig. 4).
 //
-//   file:  [ SuperBlock | SubheapMeta x N | hash storage x N | cache logs | user x N ]
+//   file:  [ SuperBlock | SubheapMeta x N | hash storage x N | cache logs |
+//            flight rings x N | user x N ]
 //          `----------- metadata region -----------------'
 //
 // The MPK-protected metadata region is contiguous at the front of the file
@@ -8,8 +9,12 @@
 // between it and the user regions: they are persistent metadata but stay
 // writable at all times so the thread-cache fast path never pays a wrpkru
 // switch (a scribbled log entry cannot corrupt the allocator — recovery
-// validates every entry through the free path).  User regions follow, page
-// aligned; the file tail is padded up to a 2 MiB boundary.
+// validates every entry through the free path).  The per-sub-heap flight
+// recorder rings (layout v3, obs/flight_recorder.hpp) follow the cache
+// logs for the same reason: recording an event must never open a write
+// window, and a scribbled ring only corrupts diagnostics, never allocator
+// state.  User regions follow, page aligned; the file tail is padded up to
+// a 2 MiB boundary.
 // Every struct here is trivially copyable, fixed width, and stores offsets
 // rather than pointers (the pool may map at a different address each run).
 #pragma once
@@ -20,12 +25,14 @@
 
 #include "common/bitops.hpp"
 #include "core/nvmptr.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace poseidon::core {
 
 inline constexpr std::uint64_t kSuperMagic = 0x504f534549444f4eull;  // "POSEIDON"
 inline constexpr std::uint64_t kSubheapMagic = 0x5355424845415030ull;
-inline constexpr std::uint32_t kVersion = 2;
+// v3: flight-recorder ring region carved between cache logs and user data.
+inline constexpr std::uint32_t kVersion = 3;
 
 inline constexpr std::uint64_t kPageSize = 4096;
 // File sizes are rounded up to this so DAX/THP-backed mappings can use
@@ -175,6 +182,8 @@ struct SuperBlock {
   std::uint64_t cache_log_off;     // per-thread cache logs (outside meta_size)
   std::uint64_t cache_log_stride;
   std::uint64_t cache_slots;
+  std::uint64_t flight_off;        // per-sub-heap flight rings (outside meta_size)
+  std::uint64_t flight_stride;
   NvPtr root;
   std::uint64_t subheap_state[kMaxSubheaps];
   UndoLogT<kSuperUndoCap> undo;
@@ -198,6 +207,8 @@ struct Geometry {
   std::uint32_t levels_max;
   std::uint64_t cache_log_off;
   std::uint64_t cache_log_stride;
+  std::uint64_t flight_off;
+  std::uint64_t flight_stride;
 };
 
 // Slots in hash level `i` (levels double in capacity).
@@ -239,8 +250,15 @@ constexpr Geometry compute_geometry(unsigned nsubheaps, std::uint64_t user_size,
   g.cache_log_off = g.hash_region_off + nsubheaps * g.hash_region_stride;
   g.cache_log_stride = align_up(sizeof(CacheLogSlot), kPageSize);
   g.meta_size = g.cache_log_off;
-  g.user_region_off =
+  // Flight-recorder rings (one per sub-heap) live after the cache logs and,
+  // like them, outside the protected prefix: recording never opens a write
+  // window.  Page-aligned strides keep each ring hole-punchable.
+  g.flight_off =
       align_up(g.cache_log_off + kCacheSlots * g.cache_log_stride, kPageSize);
+  g.flight_stride =
+      align_up(obs::kFlightRingCap * sizeof(obs::FlightEvent), kPageSize);
+  g.user_region_off =
+      align_up(g.flight_off + nsubheaps * g.flight_stride, kPageSize);
   g.file_size =
       align_up(g.user_region_off + nsubheaps * user_size, kHugePageSize);
   return g;

@@ -4,13 +4,18 @@
 
 namespace poseidon::core {
 
-bool micro_append(MicroLog& log, const NvPtr& ptr) noexcept {
+bool micro_append(MicroLog& log, const NvPtr& ptr,
+                  obs::Metrics* metrics) noexcept {
   const std::uint64_t n = log.count;
   if (n >= kMicroCap) return false;
+  obs::CycleTimer lat(metrics != nullptr && obs::latency_sample_tick()
+                          ? &metrics->log_write_cycles
+                          : nullptr);
   // Entry must be durable before the count that makes it visible.
   pmem::nv_store(log.entries[n], ptr);
   pmem::persist(&log.entries[n], sizeof(NvPtr));
   pmem::nv_store_persist(log.count, n + 1);
+  if (metrics != nullptr) metrics->micro_appends.inc();
   return true;
 }
 

@@ -10,11 +10,14 @@
 #include <cstdint>
 
 #include "core/layout.hpp"
+#include "obs/metrics.hpp"
 
 namespace poseidon::core {
 
 // Append `ptr`; returns false when the log is full (transaction too large).
-bool micro_append(MicroLog& log, const NvPtr& ptr) noexcept;
+// `metrics` (optional) receives the append count and persist latency.
+bool micro_append(MicroLog& log, const NvPtr& ptr,
+                  obs::Metrics* metrics = nullptr) noexcept;
 
 // Truncate (transaction commit or end of recovery).
 void micro_truncate(MicroLog& log) noexcept;

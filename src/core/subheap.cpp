@@ -26,13 +26,14 @@ const char* to_string(FreeResult r) noexcept {
 }
 
 Subheap::Subheap(SubheapMeta* meta, std::byte* heap_base, pmem::Pool* pool,
-                 bool undo_enabled, bool eager_coalesce) noexcept
+                 bool undo_enabled, bool eager_coalesce,
+                 obs::Metrics* metrics) noexcept
     : meta_(meta), heap_base_(heap_base), pool_(pool),
       undo_enabled_(undo_enabled), eager_coalesce_(eager_coalesce),
-      table_(meta, heap_base) {}
+      metrics_(metrics), table_(meta, heap_base, metrics) {}
 
 UndoLogger Subheap::make_undo() noexcept {
-  return UndoLogger(meta_->undo, heap_base_, undo_enabled_);
+  return UndoLogger(meta_->undo, heap_base_, undo_enabled_, metrics_);
 }
 
 void Subheap::format(SubheapMeta* meta, std::byte* heap_base,
@@ -332,7 +333,14 @@ std::optional<std::uint64_t> Subheap::alloc(std::uint64_t size,
       std::max(kMinBlockShift, log2_ceil(size));
   unsigned c = find_class(cls);
   if (c == kMaxClasses) {
-    if (!defrag_for(cls)) return std::nullopt;
+    bool available = false;
+    {
+      obs::CycleTimer lat(metrics_ != nullptr ? &metrics_->defrag_cycles
+                                              : nullptr);
+      available = defrag_for(cls);
+    }
+    if (metrics_ != nullptr) metrics_->defrag_runs.inc();
+    if (!available) return std::nullopt;
     c = find_class(cls);
     if (c == kMaxClasses) return std::nullopt;
   }
@@ -359,7 +367,7 @@ std::optional<std::uint64_t> Subheap::alloc(std::uint64_t size,
   if (tx.enabled) {
     POSEIDON_CRASH_POINT("tx.before_micro_append");
     const NvPtr p = NvPtr::make(tx.heap_id, tx.subheap, off);
-    if (!micro_append(meta_->micro, p)) {
+    if (!micro_append(meta_->micro, p, metrics_)) {
       undo.rollback();
       return std::nullopt;
     }

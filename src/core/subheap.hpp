@@ -23,6 +23,7 @@
 #include "core/layout.hpp"
 #include "core/micro_log.hpp"
 #include "core/undo_log.hpp"
+#include "obs/metrics.hpp"
 
 namespace poseidon::pmem {
 class Pool;
@@ -50,9 +51,11 @@ struct TxHook {
 class Subheap {
  public:
   // View over an existing (formatted) sub-heap.  `pool` is used for hole
-  // punching and may be nullptr in tests.
+  // punching and may be nullptr in tests; `metrics` (the owning heap's
+  // registry) likewise.
   Subheap(SubheapMeta* meta, std::byte* heap_base, pmem::Pool* pool,
-          bool undo_enabled, bool eager_coalesce = false) noexcept;
+          bool undo_enabled, bool eager_coalesce = false,
+          obs::Metrics* metrics = nullptr) noexcept;
 
   // One-time formatting of a fresh sub-heap: writes the whole metadata
   // block and the initial single free block covering the user region.
@@ -181,6 +184,7 @@ class Subheap {
   pmem::Pool* pool_;
   bool undo_enabled_;
   bool eager_coalesce_ = false;
+  obs::Metrics* metrics_ = nullptr;
   HashTable table_;
 };
 

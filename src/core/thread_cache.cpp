@@ -32,12 +32,9 @@ void ThreadCache::log_erase(std::uint32_t li) noexcept {
   pmem::persist(&e.heap_id, sizeof(std::uint64_t));
 }
 
-NvPtr ThreadCache::pop_locked(unsigned cls, bool count) noexcept {
+NvPtr ThreadCache::pop_locked(unsigned cls) noexcept {
   auto& mag = mags_[cls];
-  if (mag.empty()) {
-    if (count) ++misses_;
-    return NvPtr::null();
-  }
+  if (mag.empty()) return NvPtr::null();
   const Item it = mag.back();
   mag.pop_back();
   in_cache_.erase(it.ptr.packed);
@@ -45,7 +42,6 @@ NvPtr ThreadCache::pop_locked(unsigned cls, bool count) noexcept {
   // must not be able to free it from under a crash-lost cache.
   log_erase(it.li);
   free_li_.push_back(it.li);
-  if (count) ++hits_;
   return it.ptr;
 }
 
@@ -108,7 +104,6 @@ unsigned ThreadCache::flush_take_locked(unsigned cls, unsigned max_n,
     in_cache_.erase(mag[i].ptr.packed);
   }
   mag.erase(mag.begin(), mag.begin() + n);
-  if (n != 0) ++flushes_;
   return n;
 }
 
@@ -122,9 +117,6 @@ void ThreadCache::flush_erase_locked(const std::uint32_t* li,
 
 ThreadCache::Stats ThreadCache::stats_locked() const noexcept {
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.flushes = flushes_;
   for (unsigned c = kMinClass; c <= kMaxClass; ++c) {
     s.cached_blocks += mags_[c].size();
     s.cached_bytes += mags_[c].size() << c;

@@ -63,10 +63,9 @@ class ThreadCache {
 
   Spinlock& mu() noexcept { return mu_; }
 
+  // Occupancy only: hit/miss/flush counting lives in the heap's metrics
+  // registry (obs/metrics.hpp), not here.
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t flushes = 0;
     std::uint64_t cached_blocks = 0;
     std::uint64_t cached_bytes = 0;
   };
@@ -75,9 +74,7 @@ class ThreadCache {
 
   // Pop a cached block of class `cls`; null on miss.  The persistent log
   // entry is erased (and the erase persisted) before the block is returned.
-  // `count` updates the hit/miss counters; the refill path passes false so
-  // the block it hands through is not double-counted.
-  NvPtr pop_locked(unsigned cls, bool count) noexcept;
+  NvPtr pop_locked(unsigned cls) noexcept;
 
   // ---- free fast path ------------------------------------------------------
 
@@ -135,9 +132,6 @@ class ThreadCache {
   std::vector<std::uint32_t> free_li_;     // unused log entry indices
   std::vector<Item> staged_;               // refill entries awaiting publish
   std::unordered_set<std::uint64_t> in_cache_;  // NvPtr.packed of cached blocks
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace poseidon::core

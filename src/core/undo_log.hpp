@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/layout.hpp"
+#include "obs/metrics.hpp"
 
 namespace poseidon::core {
 
@@ -21,15 +22,18 @@ namespace poseidon::core {
 class UndoLogger {
  public:
   // `heap_base` anchors meta_off so replay works at any mapping address.
-  // `enabled=false` turns logging off (ablation: unsafe mode).
+  // `enabled=false` turns logging off (ablation: unsafe mode).  `metrics`
+  // (optional) receives save/commit counts and commit latency.
   UndoLogger(std::uint64_t* gen, UndoEntry* entries, std::size_t cap,
-             std::byte* heap_base, bool enabled) noexcept
+             std::byte* heap_base, bool enabled,
+             obs::Metrics* metrics = nullptr) noexcept
       : gen_(gen), entries_(entries), cap_(cap), heap_base_(heap_base),
-        enabled_(enabled) {}
+        enabled_(enabled), metrics_(metrics) {}
 
   template <std::size_t Cap>
-  UndoLogger(UndoLogT<Cap>& log, std::byte* heap_base, bool enabled) noexcept
-      : UndoLogger(&log.gen, log.entries, Cap, heap_base, enabled) {}
+  UndoLogger(UndoLogT<Cap>& log, std::byte* heap_base, bool enabled,
+             obs::Metrics* metrics = nullptr) noexcept
+      : UndoLogger(&log.gen, log.entries, Cap, heap_base, enabled, metrics) {}
 
   UndoLogger(const UndoLogger&) = delete;
   UndoLogger& operator=(const UndoLogger&) = delete;
@@ -78,6 +82,7 @@ class UndoLogger {
   std::size_t cap_;
   std::byte* heap_base_;
   bool enabled_;
+  obs::Metrics* metrics_ = nullptr;
   bool pending_ = false;  // saves flushed but not yet fenced
   std::size_t used_ = 0;
 };

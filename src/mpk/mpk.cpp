@@ -6,11 +6,16 @@
 #include <cerrno>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+
 namespace poseidon::mpk {
 
 thread_local int ProtectionDomain::tl_nest_ = 0;
 
 namespace {
+
+// Sharded so the count never serializes the windows it is counting.
+obs::Counter g_window_switches;
 
 [[noreturn]] void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
@@ -28,6 +33,10 @@ bool probe_pku() noexcept {
 bool pku_supported() noexcept {
   static const bool supported = probe_pku();
   return supported;
+}
+
+std::uint64_t write_window_switches() noexcept {
+  return g_window_switches.read();
 }
 
 const char* mode_name(ProtectMode m) noexcept {
@@ -87,7 +96,10 @@ ProtectionDomain::~ProtectionDomain() {
 void ProtectionDomain::allow_writes() {
   switch (mode_) {
     case ProtectMode::kPkey:
-      if (tl_nest_++ == 0) ::pkey_set(pkey_, 0);
+      if (tl_nest_++ == 0) {
+        ::pkey_set(pkey_, 0);
+        g_window_switches.inc();
+      }
       break;
     case ProtectMode::kMprotect: {
       std::lock_guard<std::mutex> lk(mprotect_mu_);
@@ -95,6 +107,7 @@ void ProtectionDomain::allow_writes() {
         if (::mprotect(base_, len_, PROT_READ | PROT_WRITE) != 0) {
           throw_errno("mprotect(rw)");
         }
+        g_window_switches.inc();
       }
       break;
     }

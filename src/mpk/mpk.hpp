@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 
 namespace poseidon::mpk {
@@ -31,6 +32,12 @@ enum class ProtectMode { kAuto, kPkey, kMprotect, kNone };
 bool pku_supported() noexcept;
 
 const char* mode_name(ProtectMode m) noexcept;
+
+// Process-wide count of write-window openings (outermost allow_writes
+// calls under kPkey/kMprotect; kNone opens no window).  Observability
+// only — the paper's ~23-cycle wrpkru claim becomes measurable as
+// switches / operations.
+std::uint64_t write_window_switches() noexcept;
 
 class ProtectionDomain {
  public:

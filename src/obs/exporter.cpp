@@ -1,0 +1,194 @@
+#include "obs/exporter.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "core/heap.hpp"
+#include "mpk/mpk.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace poseidon::obs {
+
+namespace {
+
+void fmt(std::string& out, const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  const int n = std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Per-size-class occupancy, computed from the block index (takes each
+// sub-heap lock in turn).
+struct Occupancy {
+  std::uint64_t live[core::kMaxClasses] = {};
+  std::uint64_t free[core::kMaxClasses] = {};
+};
+
+Occupancy scan_occupancy(const core::Heap& heap) {
+  Occupancy occ;
+  heap.visit_blocks([&](unsigned, std::uint64_t, std::uint32_t cls,
+                        std::uint32_t status) {
+    if (cls >= core::kMaxClasses) return;
+    if (status == core::kBlockAllocated) {
+      ++occ.live[cls];
+    } else {
+      ++occ.free[cls];
+    }
+  });
+  return occ;
+}
+
+void json_events(std::string& out, const std::vector<FlightEvent>& evs) {
+  out += "[";
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const FlightEvent& e = evs[i];
+    if (i != 0) out += ",";
+    fmt(out,
+        "{\"seq\":%" PRIu64 ",\"tsc\":%" PRIu64
+        ",\"op\":\"%s\",\"size_class\":%u,\"subheap\":%u,\"arg\":%" PRIu64
+        "}",
+        e.seq, e.tsc, op_name(static_cast<FlightOp>(e.op)),
+        unsigned{e.size_class}, unsigned{e.subheap}, e.arg);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string Exporter::json() const {
+  const core::HeapStats st = heap_.stats();
+  const Metrics& m = heap_.metrics();
+  std::string out;
+  out.reserve(4096);
+
+  out += "{\"heap\":{";
+  fmt(out, "\"id\":%" PRIu64 ",\"nsubheaps\":%u,\"user_capacity\":%" PRIu64,
+      heap_.heap_id(), heap_.nsubheaps(), heap_.user_capacity());
+  fmt(out, ",\"protect\":\"%s\",\"obs_compiled\":%s}",
+      mpk::mode_name(heap_.protect_mode()),
+      POSEIDON_OBS_ENABLED ? "true" : "false");
+
+  out += ",\"stats\":{";
+  fmt(out,
+      "\"live_blocks\":%" PRIu64 ",\"free_blocks\":%" PRIu64
+      ",\"allocated_bytes\":%" PRIu64 ",\"subheaps_materialized\":%u",
+      st.live_blocks, st.free_blocks, st.allocated_bytes,
+      st.subheaps_materialized);
+  fmt(out,
+      ",\"splits\":%" PRIu64 ",\"merges\":%" PRIu64
+      ",\"window_merges\":%" PRIu64 ",\"hash_extensions\":%" PRIu64
+      ",\"hash_shrinks\":%" PRIu64 ",\"cache_cached_blocks\":%" PRIu64 "}",
+      st.splits, st.merges, st.window_merges, st.hash_extensions,
+      st.hash_shrinks, st.cache_cached_blocks);
+
+  out += ",\"counters\":{";
+  bool first = true;
+  m.visit_counters([&](const char* name, const Counter& c) {
+    fmt(out, "%s\"%s\":%" PRIu64, first ? "" : ",", name, c.read());
+    first = false;
+  });
+  fmt(out, "%s\"mpk_window_switches\":%" PRIu64 "}", first ? "" : ",",
+      mpk::write_window_switches());
+
+  out += ",\"histograms\":{";
+  first = true;
+  m.visit_histograms([&](const char* name, const Histogram& h) {
+    fmt(out, "%s\"%s\":{\"count\":%" PRIu64 ",\"buckets\":[", first ? "" : ",",
+        name, h.count());
+    first = false;
+    const unsigned used = h.used_buckets();
+    for (unsigned i = 0; i < used; ++i) {
+      fmt(out, "%s%" PRIu64, i == 0 ? "" : ",", h.bucket(i));
+    }
+    out += "]}";
+  });
+  out += "}";
+
+  const Occupancy occ = scan_occupancy(heap_);
+  out += ",\"size_classes\":[";
+  first = true;
+  for (unsigned c = 0; c < core::kMaxClasses; ++c) {
+    if (occ.live[c] == 0 && occ.free[c] == 0) continue;
+    fmt(out, "%s{\"class\":%u,\"block_bytes\":%" PRIu64 ",\"live\":%" PRIu64
+        ",\"free\":%" PRIu64 "}",
+        first ? "" : ",", c, std::uint64_t{1} << c, occ.live[c], occ.free[c]);
+    first = false;
+  }
+  out += "]";
+
+  fmt(out, ",\"flight\":{\"mode\":\"%s\",\"events\":",
+      mode_name(heap_.flight_mode()));
+  json_events(out, heap_.flight_events());
+  out += ",\"postmortem\":";
+  json_events(out, heap_.flight_postmortem());
+  out += "}}";
+  return out;
+}
+
+std::string Exporter::text() const {
+  const core::HeapStats st = heap_.stats();
+  const Metrics& m = heap_.metrics();
+  std::string out;
+  out.reserve(4096);
+
+  fmt(out, "poseidon heap %" PRIu64 ": %u sub-heaps, %" PRIu64
+      " B user capacity, protect=%s, obs=%s\n",
+      heap_.heap_id(), heap_.nsubheaps(), heap_.user_capacity(),
+      mpk::mode_name(heap_.protect_mode()),
+      POSEIDON_OBS_ENABLED ? "on" : "compiled-out");
+  fmt(out, "occupancy: %" PRIu64 " live / %" PRIu64 " free blocks, %" PRIu64
+      " B allocated\n",
+      st.live_blocks, st.free_blocks, st.allocated_bytes);
+
+  out += "counters:\n";
+  m.visit_counters([&](const char* name, const Counter& c) {
+    fmt(out, "  %-20s %" PRIu64 "\n", name, c.read());
+  });
+  fmt(out, "  %-20s %" PRIu64 "\n", "mpk_window_switches",
+      mpk::write_window_switches());
+
+  out += "histograms (log2 buckets unless noted):\n";
+  m.visit_histograms([&](const char* name, const Histogram& h) {
+    const std::uint64_t total = h.count();
+    if (total == 0) return;
+    fmt(out, "  %s: %" PRIu64 " samples\n", name, total);
+    const unsigned used = h.used_buckets();
+    for (unsigned i = 0; i < used; ++i) {
+      const std::uint64_t n = h.bucket(i);
+      if (n == 0) continue;
+      fmt(out, "    [%2u] %" PRIu64 "\n", i, n);
+    }
+  });
+
+  fmt(out, "flight recorder (%s):\n", mode_name(heap_.flight_mode()));
+  const std::vector<FlightEvent> evs = heap_.flight_events();
+  // Most recent events only — the full ring belongs in the JSON dump.
+  constexpr std::size_t kTextTail = 16;
+  const std::size_t start = evs.size() > kTextTail ? evs.size() - kTextTail : 0;
+  for (std::size_t i = start; i < evs.size(); ++i) {
+    const FlightEvent& e = evs[i];
+    fmt(out, "  #%-6" PRIu64 " sub%-2u %-11s class=%-2u arg=%" PRIu64 "\n",
+        e.seq, unsigned{e.subheap}, op_name(static_cast<FlightOp>(e.op)),
+        unsigned{e.size_class}, e.arg);
+  }
+  const std::vector<FlightEvent>& pm = heap_.flight_postmortem();
+  if (!pm.empty()) {
+    fmt(out, "post-mortem (previous session, %zu events survived):\n",
+        pm.size());
+    const std::size_t pstart = pm.size() > kTextTail ? pm.size() - kTextTail : 0;
+    for (std::size_t i = pstart; i < pm.size(); ++i) {
+      const FlightEvent& e = pm[i];
+      fmt(out, "  #%-6" PRIu64 " sub%-2u %-11s class=%-2u arg=%" PRIu64 "\n",
+          e.seq, unsigned{e.subheap}, op_name(static_cast<FlightOp>(e.op)),
+          unsigned{e.size_class}, e.arg);
+    }
+  }
+  return out;
+}
+
+}  // namespace poseidon::obs

@@ -1,0 +1,37 @@
+// Exporters (observability subsystem, pillar 3): render one heap's
+// metrics registry, occupancy and flight-recorder contents as JSON (for
+// tooling — heap_inspect, bench sidecars, poseidon_stats_dump) or as a
+// human-readable text summary.
+//
+// Both renderings are cold-path: they aggregate the sharded instruments,
+// walk the block index under the sub-heap locks for per-class occupancy,
+// and snapshot the flight rings.  Neither perturbs the hot path beyond
+// the reads themselves.
+#pragma once
+
+#include <string>
+
+namespace poseidon::core {
+class Heap;
+}
+
+namespace poseidon::obs {
+
+class Exporter {
+ public:
+  explicit Exporter(const core::Heap& heap) noexcept : heap_(heap) {}
+
+  // Machine-readable dump: heap identity + HeapStats + every counter and
+  // histogram + per-size-class live/free occupancy + flight events (live
+  // ring and, when present, the post-mortem captured at open()).
+  std::string json() const;
+
+  // Human-readable summary of the same data (histograms as one line per
+  // non-empty bucket; flight recorder as the most recent events).
+  std::string text() const;
+
+ private:
+  const core::Heap& heap_;
+};
+
+}  // namespace poseidon::obs

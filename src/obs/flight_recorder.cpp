@@ -1,0 +1,120 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "pmem/persist.hpp"
+
+namespace poseidon::obs {
+
+const char* mode_name(FlightMode m) noexcept {
+  switch (m) {
+    case FlightMode::kOff: return "off";
+    case FlightMode::kVolatile: return "volatile";
+    case FlightMode::kPersistent: return "persistent";
+  }
+  return "?";
+}
+
+const char* op_name(FlightOp op) noexcept {
+  switch (op) {
+    case FlightOp::kNone: return "none";
+    case FlightOp::kAlloc: return "alloc";
+    case FlightOp::kFree: return "free";
+    case FlightOp::kTxAlloc: return "tx-alloc";
+    case FlightOp::kTxCommit: return "tx-commit";
+    case FlightOp::kCacheHit: return "cache-hit";
+    case FlightOp::kCacheFlush: return "cache-flush";
+    case FlightOp::kDefrag: return "defrag";
+    case FlightOp::kRecover: return "recover";
+    case FlightOp::kOpen: return "open";
+  }
+  return "?";
+}
+
+namespace {
+
+// Every slot field is accessed through atomic_ref: two writers may collide
+// on one slot after a wrap-around, and snapshots run concurrently with
+// writers — relaxed atomics keep both well-defined (and compile to plain
+// MOVs on x86).  seq is stored last (release) / loaded first (acquire) so
+// observing a seq implies observing its payload.
+template <typename T>
+inline void put(T& dst, T val) noexcept {
+  std::atomic_ref<T>(dst).store(val, std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T get(const T& src) noexcept {
+  return std::atomic_ref<const T>(src).load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t load_seq(const FlightEvent& e) noexcept {
+  return std::atomic_ref<const std::uint64_t>(e.seq).load(
+      std::memory_order_acquire);
+}
+
+}  // namespace
+
+FlightRing::FlightRing(FlightEvent* slots, std::uint64_t capacity,
+                       bool persistent, std::uint32_t subheap) noexcept
+    : slots_(slots), cap_(capacity), persistent_(persistent),
+      subheap_(subheap), head_(0) {
+  // Re-derive the head from surviving contents: the largest stored seq is
+  // the last claim that completed before the previous session ended.  A
+  // fresh (all-zero) ring yields head 0.
+  std::uint64_t max_seq = 0;
+  for (std::uint64_t i = 0; i < cap_; ++i) {
+    max_seq = std::max(max_seq, load_seq(slots_[i]));
+  }
+  head_.store(max_seq, std::memory_order_relaxed);
+}
+
+void FlightRing::record(FlightOp op, std::uint16_t size_class,
+                        std::uint64_t arg) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FlightEvent& e = slots_[(seq - 1) % cap_];
+  // Invalidate before overwriting: a crash mid-payload then leaves seq 0
+  // (skipped at dump) instead of the old seq over a half-new payload.
+  std::atomic_ref<std::uint64_t>(e.seq).store(0, std::memory_order_release);
+  put(e.tsc, rdtsc());
+  put(e.op, static_cast<std::uint16_t>(op));
+  put(e.size_class, size_class);
+  put(e.subheap, subheap_);
+  put(e.arg, arg);
+  std::atomic_ref<std::uint64_t>(e.seq).store(seq, std::memory_order_release);
+  if (persistent_) {
+    // Write-back without a fence: a lost trailing event only shortens the
+    // post-mortem by one; the allocator's own persists fence soon after.
+    pmem::flush(&e, sizeof(FlightEvent));
+  }
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  std::vector<FlightEvent> out;
+  if (h == 0) return out;
+  out.reserve(static_cast<std::size_t>(std::min(h, cap_)));
+  for (std::uint64_t i = 0; i < cap_; ++i) {
+    const FlightEvent& e = slots_[i];
+    const std::uint64_t seq = load_seq(e);
+    // A valid slot holds a claimed seq that actually maps onto it; a torn
+    // write from a crashed claim leaves the previous occupant's seq (which
+    // still maps here — its payload is the old, complete event) or zero.
+    if (seq == 0 || seq > h || (seq - 1) % cap_ != i) continue;
+    FlightEvent copy;
+    copy.seq = seq;
+    copy.tsc = get(e.tsc);
+    copy.op = get(e.op);
+    copy.size_class = get(e.size_class);
+    copy.subheap = get(e.subheap);
+    copy.arg = get(e.arg);
+    out.push_back(copy);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace poseidon::obs

@@ -1,0 +1,102 @@
+// Flight recorder (observability subsystem, pillar 2): a lock-free
+// per-sub-heap ring of fixed-size binary events — what the allocator was
+// doing right before a crash.
+//
+// Each event is 32 bytes: a 1-based sequence number, the raw tsc, the
+// operation, the size class, the owning sub-heap and one argument (block
+// offset or payload).  Writers claim a slot with one relaxed fetch_add on
+// the ring head and fill it in place; the sequence word is stored last
+// (release), so a torn slot is detectable at dump time — its stored seq
+// does not match the seq the head implies for that slot.
+//
+// Two placements share the code path:
+//   * volatile  — the ring lives in DRAM; events cost ~a cache line write.
+//   * persistent — the ring lives in the PM pool (outside the MPK-guarded
+//     prefix, like the cache logs, so recording never pays a wrpkru
+//     switch).  Each completed event is written back (clwb, no fence: the
+//     recorder is diagnostic and piggybacks on the operation's own
+//     fences), and Heap::open() snapshots the surviving events before any
+//     new operation runs — every crash-point test becomes a post-mortem
+//     with history.
+//
+// The head counter intentionally lives in DRAM only: recovery re-derives
+// it as max(slot seq), so no header needs crash consistency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace poseidon::obs {
+
+enum class FlightMode : std::uint8_t {
+  kOff = 0,
+  kVolatile = 1,    // DRAM ring (default)
+  kPersistent = 2,  // ring in the PM pool; survives crashes
+};
+
+const char* mode_name(FlightMode m) noexcept;
+
+enum class FlightOp : std::uint16_t {
+  kNone = 0,
+  kAlloc = 1,      // singleton allocation committed; arg = block offset
+  kFree = 2,       // validated free committed; arg = block offset
+  kTxAlloc = 3,    // transactional allocation; arg = block offset
+  kTxCommit = 4,   // micro log truncated
+  kCacheHit = 5,   // alloc served from a thread-cache magazine
+  kCacheFlush = 6, // magazine watermark flush; arg = blocks flushed
+  kDefrag = 7,     // class-dry defragmentation ran; arg = target class
+  kRecover = 8,    // recovery replayed state for this sub-heap
+  kOpen = 9,       // heap instance attached (marks session boundaries)
+};
+
+const char* op_name(FlightOp op) noexcept;
+
+struct FlightEvent {
+  std::uint64_t seq;  // 1-based; 0 = slot never written
+  std::uint64_t tsc;
+  std::uint16_t op;          // FlightOp
+  std::uint16_t size_class;  // 0 when not applicable
+  std::uint32_t subheap;
+  std::uint64_t arg;  // block offset or op-specific payload
+};
+static_assert(sizeof(FlightEvent) == 32);
+
+// Events per sub-heap ring; kept modest so the persistent carve-out stays
+// one hole-punchable page bundle per sub-heap (1024 * 32 B = 32 KiB).
+inline constexpr std::uint64_t kFlightRingCap = 1024;
+
+// One ring over caller-owned storage of `capacity` FlightEvents (zeroed on
+// first use; persistent rings re-attach to surviving contents).
+class FlightRing {
+ public:
+  FlightRing(FlightEvent* slots, std::uint64_t capacity, bool persistent,
+             std::uint32_t subheap) noexcept;
+
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  // Lock-free, wait-free bar the fetch_add; safe from any thread.
+  void record(FlightOp op, std::uint16_t size_class,
+              std::uint64_t arg) noexcept;
+
+  // Events currently in the ring, oldest first, torn/stale slots skipped.
+  // Racy with concurrent writers by design (diagnostic snapshot).
+  std::vector<FlightEvent> snapshot() const;
+
+  std::uint64_t head() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t capacity() const noexcept { return cap_; }
+
+ private:
+  FlightEvent* slots_;
+  std::uint64_t cap_;
+  bool persistent_;
+  std::uint32_t subheap_;
+  std::atomic<std::uint64_t> head_;  // next seq - 1 (count of claims)
+};
+
+}  // namespace poseidon::obs

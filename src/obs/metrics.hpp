@@ -1,0 +1,242 @@
+// Observability metrics registry (flight-recorder subsystem, pillar 1).
+//
+// Cache-line-padded per-thread-sharded counters and fixed-bucket log2
+// histograms.  The hot path is a single uncontended relaxed fetch_add on
+// the calling thread's shard (threads are folded onto kShards by their
+// ordinal, so two threads share a shard only when more than kShards are
+// live — still correct, just occasionally contended); aggregation happens
+// on the cold read path by summing shards.  No locks anywhere, so the
+// counters are safe from any allocator context, including inside sub-heap
+// critical sections.
+//
+// Everything here is header-only: the mpk layer (below core in the link
+// order) counts wrpkru window switches with the same Counter type without
+// creating a library cycle.
+//
+// Compile-out: configuring with -DPOSEIDON_OBS=OFF defines
+// POSEIDON_OBS_DISABLED and turns every record/inc into a no-op with the
+// types still present, so call sites never change.  The overhead-budget
+// acceptance test compares the two builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/compiler.hpp"
+#include "common/topology.hpp"
+
+#ifdef POSEIDON_OBS_DISABLED
+#define POSEIDON_OBS_ENABLED 0
+#else
+#define POSEIDON_OBS_ENABLED 1
+#endif
+
+namespace poseidon::obs {
+
+inline constexpr unsigned kShards = 8;  // power of two
+inline constexpr unsigned kHistBuckets = 64;
+
+// Cycle counter for latency histograms.  tsc is not serializing — good:
+// the measurement must not perturb the measured pipeline.
+inline std::uint64_t rdtsc() noexcept {
+#if POSEIDON_OBS_ENABLED
+  return __builtin_ia32_rdtsc();
+#else
+  return 0;
+#endif
+}
+
+inline unsigned shard_index() noexcept {
+#if POSEIDON_OBS_ENABLED
+  // Cached per thread: thread_ordinal() is an out-of-line call into another
+  // translation unit, and shard_index() runs on every counter increment.
+  thread_local const unsigned cached = thread_ordinal() & (kShards - 1);
+  return cached;
+#else
+  return 0;
+#endif
+}
+
+// Monotonic event counter, sharded to keep increments uncontended.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#if POSEIDON_OBS_ENABLED
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t read() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Fixed-bucket histogram: 64 buckets, sharded like Counter.  Two indexing
+// conventions share the type:
+//   * record(value)  — bucket floor(log2(value)); value 0 lands in bucket
+//     0.  Used for latencies (tsc deltas) and sizes: bucket b covers
+//     [2^b, 2^(b+1)).
+//   * add(bucket)    — direct linear bucket index (clamped), used for
+//     small discrete quantities such as hash probe lengths and size
+//     classes.
+// Bucket counts are exact: every recorded value lands in exactly one
+// bucket, which the bucket-boundary tests assert to the unit.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    add(value == 0 ? 0 : log2_floor(value));
+  }
+
+  void add(unsigned bucket) noexcept {
+#if POSEIDON_OBS_ENABLED
+    if (bucket >= kHistBuckets) bucket = kHistBuckets - 1;
+    shards_[shard_index()].b[bucket].fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)bucket;
+#endif
+  }
+
+  std::uint64_t bucket(unsigned i) const noexcept {
+    if (i >= kHistBuckets) return 0;
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.b[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kHistBuckets; ++i) total += bucket(i);
+    return total;
+  }
+
+  // Highest non-empty bucket + 1 (compact export); 0 when empty.
+  unsigned used_buckets() const noexcept {
+    for (unsigned i = kHistBuckets; i-- > 0;) {
+      if (bucket(i) != 0) return i + 1;
+    }
+    return 0;
+  }
+
+ private:
+  // One contiguous bucket array per shard: a thread mutates only its own
+  // shard's lines, so there is no cross-thread false sharing, and the
+  // buckets a single thread touches stay dense in its cache.
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> b[kHistBuckets]{};
+  };
+  Shard shards_[kShards];
+};
+
+// RAII latency probe: records rdtsc delta into a histogram on scope exit.
+// The pointer form is a no-op when given nullptr (uninstrumented contexts
+// and the sampled hot paths both use it).
+class CycleTimer {
+ public:
+  explicit CycleTimer(Histogram& h) noexcept : h_(&h), t0_(rdtsc()) {}
+  explicit CycleTimer(Histogram* h) noexcept
+      : h_(h), t0_(h != nullptr ? rdtsc() : 0) {}
+  ~CycleTimer() {
+#if POSEIDON_OBS_ENABLED
+    if (h_ != nullptr) h_->record(rdtsc() - t0_);
+#endif
+  }
+  CycleTimer(const CycleTimer&) = delete;
+  CycleTimer& operator=(const CycleTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t t0_;
+};
+
+// Latency histograms on the per-operation hot paths sample 1 in
+// kLatencySamplePeriod calls per thread: two rdtscs plus a bucket add on
+// every operation would eat most of the <5% overhead budget, while the
+// sampled log2 distribution converges on the same shape.
+inline constexpr unsigned kLatencySamplePeriod = 64;
+
+inline bool latency_sample_tick() noexcept {
+#if POSEIDON_OBS_ENABLED
+  thread_local unsigned tick = 0;
+  return (++tick & (kLatencySamplePeriod - 1)) == 0;
+#else
+  return false;
+#endif
+}
+
+// The per-heap metrics registry.  A fixed set of well-known instruments —
+// enumerable via visit_counters/visit_histograms so exporters need no
+// registration protocol and the hot path needs no name lookups.
+struct Metrics {
+  // Operation counters.
+  Counter alloc_calls;     // Heap::alloc entered
+  Counter alloc_fails;     // Heap::alloc exhausted every sub-heap
+  Counter free_calls;      // Heap::free entered
+  Counter free_rejects;    // invalid/double frees rejected (paper §5.5)
+  Counter tx_alloc_calls;  // Heap::tx_alloc entered
+  Counter tx_commits;      // micro-log truncations (commit points)
+  Counter cache_hits;      // thread-cache magazine pops
+  Counter cache_misses;    // magazine empty, refill path taken
+  Counter cache_flushes;   // watermark flush batches
+  Counter defrag_runs;     // §5.4 case-1 class-dry defragmentations
+  Counter undo_commits;    // undo-log generation bumps
+  Counter undo_saves;      // undo entries appended
+  Counter micro_appends;   // micro-log appends (tx allocation history)
+
+  // Latency histograms (rdtsc cycles, log2 buckets).
+  Histogram alloc_cycles;
+  Histogram free_cycles;
+  Histogram tx_alloc_cycles;
+  Histogram defrag_cycles;
+  Histogram undo_commit_cycles;  // commit = truncation persist
+  Histogram log_write_cycles;    // micro/cache log append persists
+
+  // Shape histograms (linear buckets).
+  Histogram probe_len;         // hash-table insert probe distance
+  Histogram alloc_size_class;  // size class of every successful alloc
+
+  template <typename F>
+  void visit_counters(F&& f) const {
+    f("alloc_calls", alloc_calls);
+    f("alloc_fails", alloc_fails);
+    f("free_calls", free_calls);
+    f("free_rejects", free_rejects);
+    f("tx_alloc_calls", tx_alloc_calls);
+    f("tx_commits", tx_commits);
+    f("cache_hits", cache_hits);
+    f("cache_misses", cache_misses);
+    f("cache_flushes", cache_flushes);
+    f("defrag_runs", defrag_runs);
+    f("undo_commits", undo_commits);
+    f("undo_saves", undo_saves);
+    f("micro_appends", micro_appends);
+  }
+
+  template <typename F>
+  void visit_histograms(F&& f) const {
+    f("alloc_cycles", alloc_cycles);
+    f("free_cycles", free_cycles);
+    f("tx_alloc_cycles", tx_alloc_cycles);
+    f("defrag_cycles", defrag_cycles);
+    f("undo_commit_cycles", undo_commit_cycles);
+    f("log_write_cycles", log_write_cycles);
+    f("probe_len", probe_len);
+    f("alloc_size_class", alloc_size_class);
+  }
+};
+
+}  // namespace poseidon::obs

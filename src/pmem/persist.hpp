@@ -84,4 +84,20 @@ inline void nv_store_persist(T& dst, const T& val) noexcept {
   persist(&dst, sizeof(T));
 }
 
+// Publication variant for the few 8-byte flags that lock-free readers poll
+// without holding the owning lock (e.g. the sub-heap ready states): the
+// store is release so readers pair with nv_load_acquire, which also keeps
+// ThreadSanitizer builds clean on those paths.
+inline void nv_store_release_persist(std::uint64_t& dst,
+                                     std::uint64_t val) noexcept {
+  std::atomic_ref<std::uint64_t>(dst).store(val, std::memory_order_release);
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_store(&dst, sizeof dst);
+  persist(&dst, sizeof dst);
+}
+
+inline std::uint64_t nv_load_acquire(const std::uint64_t& src) noexcept {
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(src))
+      .load(std::memory_order_acquire);
+}
+
 }  // namespace poseidon::pmem

@@ -3,7 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 namespace poseidon::workloads {
 
@@ -13,6 +16,53 @@ using Clock = std::chrono::steady_clock;
 
 double elapsed_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- JSON sidecars (POSEIDON_BENCH_JSON_DIR) -----------------------------
+
+struct JsonPoint {
+  unsigned threads;
+  double value;
+};
+
+std::mutex g_json_mu;
+std::map<std::pair<std::string, std::string>, std::vector<JsonPoint>>
+    g_json_series;
+
+// Figure names contain '/' (e.g. "fig6/256B"); flatten everything that is
+// not filename-safe to '_'.
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '+' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void json_sidecar(const std::string& figure, const std::string& series,
+                  unsigned threads, double value) {
+  const char* dir = std::getenv("POSEIDON_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::lock_guard<std::mutex> lk(g_json_mu);
+  auto& pts = g_json_series[{figure, series}];
+  pts.push_back({threads, value});
+  const std::string path = std::string(dir) + "/" + sanitize(figure) + "_" +
+                           sanitize(series) + ".json";
+  // Rewrite the whole (small) file each point: an interrupted bench leaves
+  // a complete JSON document covering every finished point.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // unwritable dir: stdout stays authoritative
+  std::fprintf(f, "{\"figure\": \"%s\", \"series\": \"%s\", \"points\": [",
+               figure.c_str(), series.c_str());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::fprintf(f, "%s{\"threads\": %u, \"value\": %.6f}",
+                 i == 0 ? "" : ", ", pts[i].threads, pts[i].value);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -98,6 +148,7 @@ void print_point(const std::string& figure, const std::string& series,
   std::printf("%-28s %-12s threads=%-3u %10.3f\n", figure.c_str(),
               series.c_str(), threads, value);
   std::fflush(stdout);
+  json_sidecar(figure, series, threads, value);
 }
 
 }  // namespace poseidon::workloads

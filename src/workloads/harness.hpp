@@ -41,6 +41,12 @@ std::vector<unsigned> default_thread_sweep();
 double bench_seconds();
 
 // Aligned table output: "<figure> <series> threads=N  X.XX Mops/s".
+// When POSEIDON_BENCH_JSON_DIR is set, print_point also maintains one JSON
+// sidecar per (figure, series) under that directory —
+// <dir>/<figure>_<series>.json with '/' and other non-filename characters
+// replaced by '_'.  Sidecars are rewritten after every point, so a bench
+// that is interrupted mid-sweep still leaves valid (partial) JSON behind
+// for bench/plot_series.py.
 void print_header(const std::string& figure, const std::string& unit);
 void print_point(const std::string& figure, const std::string& series,
                  unsigned threads, double value);

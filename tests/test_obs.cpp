@@ -1,0 +1,470 @@
+// Observability subsystem tests (src/obs): histogram bucket-boundary
+// exactness, multi-threaded counter accuracy, the flight-recorder ring
+// (wrap, re-attach, torn slots), heap integration, exporter output, and
+// the crash-point sweeps asserting a persistent flight ring is replayable
+// after recovery with the last pre-crash events intact.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/c_api.h"
+#include "core/heap.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/sim_domain.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::obs {
+namespace {
+
+using core::Heap;
+using core::NvPtr;
+using core::Options;
+using test::small_opts;
+using test::TempHeapPath;
+
+// --- pillar 1: metrics ---------------------------------------------------
+
+#if POSEIDON_OBS_ENABLED
+
+TEST(Histogram, Log2BucketBoundariesAreExact) {
+  Histogram h;
+  // Bucket b covers [2^b, 2^(b+1)): both edges must land exactly.
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    h.record(std::uint64_t{1} << b);                      // lower edge
+    if (b > 0) h.record((std::uint64_t{1} << b) - 1);     // below the edge
+  }
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    // Bucket b saw its own lower edge 2^b plus its upper edge 2^(b+1)-1
+    // (recorded by iteration b+1) — exactly two values, except 63, whose
+    // upper edge 2^64-1 was never recorded.
+    const std::uint64_t expect = b == 63 ? 1 : 2;
+    EXPECT_EQ(h.bucket(b), expect) << "bucket " << b;
+  }
+  const std::uint64_t before = h.count();
+  h.record(0);  // zero is defined to land in bucket 0
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.count(), before + 1);  // every record lands in exactly one
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket(63), 2u);
+}
+
+TEST(Histogram, LinearAddClampsToLastBucket) {
+  Histogram h;
+  h.add(0);
+  h.add(kHistBuckets - 1);
+  h.add(kHistBuckets);      // clamped
+  h.add(kHistBuckets + 7);  // clamped
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(kHistBuckets - 1), 3u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.used_buckets(), kHistBuckets);
+}
+
+TEST(Metrics, CountersAreExactAcrossThreads) {
+  Counter c;
+  Histogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200000;
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(i % 4096);
+      }
+      c.inc(42);
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Shards may be contended (more threads than kShards is legal) but no
+  // increment may ever be lost.
+  EXPECT_EQ(c.read(), kThreads * (kPerThread + 42));
+  EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(Metrics, LatencySamplingFiresOncePerPeriod) {
+  // Per-thread deterministic 1-in-64: count over whole periods is exact.
+  std::thread([] {
+    unsigned fired = 0;
+    for (unsigned i = 0; i < 10 * kLatencySamplePeriod; ++i) {
+      if (latency_sample_tick()) ++fired;
+    }
+    EXPECT_EQ(fired, 10u);
+  }).join();
+}
+
+TEST(Metrics, CycleTimerNullptrIsANoop) {
+  Histogram h;
+  { CycleTimer t(static_cast<Histogram*>(nullptr)); }
+  EXPECT_EQ(h.count(), 0u);
+  { CycleTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { CycleTimer t(h); }
+  EXPECT_EQ(h.count(), 2u);
+}
+
+#endif  // POSEIDON_OBS_ENABLED
+
+// --- pillar 2: flight ring (placement-independent unit tests) ------------
+
+TEST(FlightRing, RecordsAndSnapshotsInOrder) {
+  std::vector<FlightEvent> mem(16);
+  FlightRing ring(mem.data(), mem.size(), /*persistent=*/false, 3);
+  ring.record(FlightOp::kAlloc, 2, 0x100);
+  ring.record(FlightOp::kFree, 0, 0x100);
+  ring.record(FlightOp::kDefrag, 5, 0);
+  const auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].seq, 1u);
+  EXPECT_EQ(evs[0].op, static_cast<std::uint16_t>(FlightOp::kAlloc));
+  EXPECT_EQ(evs[0].size_class, 2u);
+  EXPECT_EQ(evs[0].arg, 0x100u);
+  EXPECT_EQ(evs[0].subheap, 3u);
+  EXPECT_EQ(evs[2].seq, 3u);
+  EXPECT_EQ(evs[2].op, static_cast<std::uint16_t>(FlightOp::kDefrag));
+}
+
+TEST(FlightRing, WrapKeepsOnlyTheNewestCapacityEvents) {
+  std::vector<FlightEvent> mem(8);
+  FlightRing ring(mem.data(), mem.size(), /*persistent=*/false, 0);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    ring.record(FlightOp::kAlloc, 0, i);
+  }
+  const auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 8u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, 13 + i);  // oldest surviving first
+    EXPECT_EQ(evs[i].arg, 13 + i);
+  }
+}
+
+TEST(FlightRing, ReattachContinuesSequenceNumbers) {
+  std::vector<FlightEvent> mem(8);
+  {
+    FlightRing ring(mem.data(), mem.size(), false, 0);
+    for (int i = 0; i < 5; ++i) ring.record(FlightOp::kAlloc, 0, 7);
+  }
+  FlightRing again(mem.data(), mem.size(), false, 0);
+  EXPECT_EQ(again.head(), 5u);
+  again.record(FlightOp::kOpen, 0, 0);
+  const auto evs = again.snapshot();
+  ASSERT_EQ(evs.size(), 6u);
+  EXPECT_EQ(evs.back().seq, 6u);
+  EXPECT_EQ(evs.back().op, static_cast<std::uint16_t>(FlightOp::kOpen));
+}
+
+TEST(FlightRing, TornSlotsAreSkipped) {
+  std::vector<FlightEvent> mem(8);
+  FlightRing ring(mem.data(), mem.size(), false, 0);
+  for (int i = 0; i < 6; ++i) ring.record(FlightOp::kAlloc, 0, i);
+  mem[2].seq = 0;    // half-written slot (writer died pre-publish)
+  mem[4].seq = 999;  // stale/garbage seq that the head does not imply
+  const auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  for (const auto& e : evs) {
+    EXPECT_NE(e.seq, 3u);
+    EXPECT_NE(e.seq, 5u);
+  }
+}
+
+TEST(FlightRing, ConcurrentRecordersLoseNothingBeyondCapacity) {
+  std::vector<FlightEvent> mem(kFlightRingCap);
+  FlightRing ring(mem.data(), mem.size(), false, 0);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kEach = 100;  // total 400 < capacity: no wrap
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        ring.record(FlightOp::kAlloc, static_cast<std::uint16_t>(t), i);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), kThreads * kEach);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, i + 1);  // claims are dense, snapshot sorted
+  }
+}
+
+// --- heap integration ----------------------------------------------------
+
+#if POSEIDON_OBS_ENABLED
+
+TEST(HeapObs, CountersMatchOperationsExactly) {
+  TempHeapPath path("obs_counters");
+  auto h = Heap::create(path.str(), 4 << 20, small_opts(1));
+  const auto& m = h->metrics();
+  std::vector<NvPtr> ps;
+  for (int i = 0; i < 10; ++i) ps.push_back(h->alloc(100));
+  EXPECT_EQ(m.alloc_calls.read(), 10u);
+  EXPECT_EQ(m.alloc_fails.read(), 0u);
+  EXPECT_EQ(m.alloc_size_class.count(), 10u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(h->free(ps[i]), core::FreeResult::kOk);
+  EXPECT_EQ(h->free(NvPtr::null()), core::FreeResult::kInvalidPointer);
+  EXPECT_EQ(h->free(ps[0]), core::FreeResult::kDoubleFree);
+  EXPECT_EQ(m.free_calls.read(), 7u);
+  EXPECT_EQ(m.free_rejects.read(), 2u);
+  (void)h->tx_alloc(256, false);
+  (void)h->tx_alloc(256, true);
+  EXPECT_EQ(m.tx_alloc_calls.read(), 2u);
+  EXPECT_EQ(m.tx_commits.read(), 1u);
+  EXPECT_EQ(m.micro_appends.read(), 2u);
+}
+
+TEST(HeapObs, StatsCacheCountersComeFromTheRegistry) {
+  TempHeapPath path("obs_cache_stats");
+  Options o = small_opts(1);
+  o.thread_cache = true;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+  for (int i = 0; i < 32; ++i) (void)h->alloc(64);
+  const auto s = h->stats();
+  const auto& m = h->metrics();
+  EXPECT_EQ(s.cache_hits, m.cache_hits.read());
+  EXPECT_EQ(s.cache_misses, m.cache_misses.read());
+  EXPECT_EQ(s.cache_flushes, m.cache_flushes.read());
+  EXPECT_GE(s.cache_misses, 1u);  // first alloc can never hit
+  EXPECT_EQ(s.cache_hits + s.cache_misses, 32u);
+}
+
+TEST(HeapObs, FlightEventsCoverTheOperationMix) {
+  TempHeapPath path("obs_flight");
+  auto h = Heap::create(path.str(), 4 << 20, small_opts(1));
+  ASSERT_EQ(h->flight_mode(), FlightMode::kVolatile);  // the default
+  NvPtr p = h->alloc(500);
+  (void)h->tx_alloc(128, true);
+  EXPECT_EQ(h->free(p), core::FreeResult::kOk);
+  const auto evs = h->flight_events();
+  auto has = [&evs](FlightOp op) {
+    return std::any_of(evs.begin(), evs.end(), [op](const FlightEvent& e) {
+      return e.op == static_cast<std::uint16_t>(op);
+    });
+  };
+  EXPECT_TRUE(has(FlightOp::kOpen));
+  EXPECT_TRUE(has(FlightOp::kAlloc));
+  EXPECT_TRUE(has(FlightOp::kTxAlloc));
+  EXPECT_TRUE(has(FlightOp::kTxCommit));
+  EXPECT_TRUE(has(FlightOp::kFree));
+}
+
+TEST(HeapObs, FlightModeOffRecordsNothing) {
+  TempHeapPath path("obs_flight_off");
+  Options o = small_opts(1);
+  o.flight = FlightMode::kOff;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+  (void)h->alloc(100);
+  EXPECT_EQ(h->flight_mode(), FlightMode::kOff);
+  EXPECT_TRUE(h->flight_events().empty());
+  EXPECT_EQ(h->metrics().alloc_calls.read(), 1u);  // metrics still on
+}
+
+TEST(HeapObs, PersistentRingSurvivesCleanReopen) {
+  TempHeapPath path("obs_flight_reopen");
+  Options o = small_opts(1);
+  o.flight = FlightMode::kPersistent;
+  std::uint64_t max_seq = 0;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    for (int i = 0; i < 8; ++i) (void)h->alloc(200);
+    for (const auto& e : h->flight_events()) max_seq = std::max(max_seq, e.seq);
+    ASSERT_GT(max_seq, 0u);
+  }
+  auto h = Heap::open(path.str(), o);
+  // Previous session's events were snapshotted before recovery...
+  const auto& post = h->flight_postmortem();
+  ASSERT_FALSE(post.empty());
+  EXPECT_EQ(post.back().seq, max_seq);
+  // ...and the re-attached ring numbers this session's events after them.
+  std::uint64_t new_max = 0;
+  for (const auto& e : h->flight_events()) new_max = std::max(new_max, e.seq);
+  EXPECT_GT(new_max, max_seq);
+}
+
+// --- exporters -----------------------------------------------------------
+
+TEST(Exporter, JsonAndTextContainTheRegistry) {
+  TempHeapPath path("obs_export");
+  Options o = small_opts(1);
+  o.flight = FlightMode::kPersistent;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+  (void)h->alloc(256);
+  const std::string j = Exporter(*h).json();
+  for (const char* key :
+       {"\"heap\"", "\"stats\"", "\"counters\"", "\"alloc_calls\"",
+        "\"histograms\"", "\"size_classes\"", "\"flight\"",
+        "\"mpk_window_switches\"", "\"mode\":\"persistent\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
+  }
+  // Cheap well-formedness check: braces and brackets balance.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+  const std::string t = Exporter(*h).text();
+  EXPECT_NE(t.find("alloc_calls"), std::string::npos);
+  EXPECT_NE(t.find("flight"), std::string::npos);
+}
+
+TEST(Exporter, CApiDumpsFollowTheSnprintfContract) {
+  TempHeapPath path("obs_capi");
+  heap_t* h = poseidon_init(path.c_str(), 8 << 20);
+  ASSERT_NE(h, nullptr);
+  (void)poseidon_alloc(h, 128);
+
+  EXPECT_EQ(poseidon_stats_dump(nullptr, nullptr, 0), -1);
+  char tiny[4];
+  EXPECT_EQ(poseidon_flight_dump(nullptr, tiny, sizeof tiny), -1);
+
+  const long need = poseidon_stats_dump(h, nullptr, 0);  // size query
+  ASSERT_GT(need, 0);
+  std::vector<char> buf(static_cast<std::size_t>(need) + 1);
+  EXPECT_EQ(poseidon_stats_dump(h, buf.data(), buf.size()), need);
+  EXPECT_EQ(static_cast<long>(std::strlen(buf.data())), need);
+  EXPECT_EQ(buf[0], '{');
+
+  // Truncation still NUL-terminates and reports the full size.
+  char small[10];
+  EXPECT_EQ(poseidon_stats_dump(h, small, sizeof small), need);
+  EXPECT_EQ(std::strlen(small), sizeof(small) - 1);
+
+  EXPECT_GT(poseidon_flight_dump(h, nullptr, 0), 0);
+  poseidon_finish(h);
+}
+
+// --- crash-point sweeps: the persistent ring as a post-mortem ------------
+
+// Traffic whose flight events we expect to find after the crash.
+void flight_churn(Heap& h) {
+  std::vector<NvPtr> ps;
+  for (int i = 0; i < 25; ++i) {
+    NvPtr p = h.alloc(64u << (i % 4));
+    if (!p.is_null()) ps.push_back(p);
+    if (i % 4 == 3 && !ps.empty()) {
+      h.free(ps.back());
+      ps.pop_back();
+    }
+  }
+  (void)h.tx_alloc(512, true);
+}
+
+Options flight_opts() {
+  Options o = small_opts(1);
+  o.flight = FlightMode::kPersistent;
+  return o;
+}
+
+class FlightSimCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlightSimCrashSweep, PostmortemSurvivesSimulatedPowerFailure) {
+  const int nth = GetParam();
+  TempHeapPath path("obs_simcrash");
+  const Options o = flight_opts();
+  std::uint64_t committed_seq = 0;  // events durable before the crash run
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    for (int i = 0; i < 10; ++i) (void)h->alloc(128);
+    for (const auto& e : h->flight_events()) {
+      committed_seq = std::max(committed_seq, e.seq);
+    }
+  }
+  {
+    auto h = Heap::open(path.str(), o);
+    auto [meta, len] = h->metadata_region();
+    pmem::SimDomain sim(meta, len);
+    sim.checkpoint();
+    pmem::crash_arm("", static_cast<std::uint64_t>(nth),
+                    pmem::CrashAction::kThrow);
+    bool crashed = false;
+    try {
+      flight_churn(*h);
+    } catch (const pmem::CrashException&) {
+      crashed = true;
+    }
+    pmem::crash_disarm();
+    if (crashed) sim.crash(static_cast<std::uint64_t>(nth) * 7919, 0.5);
+  }
+
+  auto h = Heap::open(path.str(), o);  // recovery replays here
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+  const auto& post = h->flight_postmortem();
+  ASSERT_FALSE(post.empty()) << "nth=" << nth;
+  // The ring is outside the simulated metadata domain (like the cache
+  // logs): everything recorded before the crash must still be there, in
+  // order, ending at or after the last event known durable pre-crash.
+  std::uint64_t max_seq = 0;
+  for (const auto& e : post) {
+    EXPECT_GT(e.seq, max_seq) << "post-mortem must be seq-ordered";
+    max_seq = e.seq;
+  }
+  EXPECT_GE(max_seq, committed_seq) << "nth=" << nth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlightSimCrashSweep,
+                         ::testing::Values(1, 3, 6, 10, 15, 21, 28, 36));
+
+class FlightForkCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlightForkCrashSweep, PostmortemSurvivesKilledChild) {
+  const int nth = GetParam();
+  TempHeapPath path("obs_forkcrash");
+  const Options o = flight_opts();
+  std::uint64_t committed_seq = 0;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    for (int i = 0; i < 10; ++i) (void)h->alloc(128);
+    for (const auto& e : h->flight_events()) {
+      committed_seq = std::max(committed_seq, e.seq);
+    }
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), o);
+    pmem::crash_arm("", static_cast<std::uint64_t>(nth),
+                    pmem::CrashAction::kExit);
+    flight_churn(*h);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  auto h = Heap::open(path.str(), o);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+  const auto& post = h->flight_postmortem();
+  ASSERT_FALSE(post.empty());
+  std::uint64_t max_seq = 0;
+  bool child_opened = false;
+  for (const auto& e : post) {
+    max_seq = std::max(max_seq, e.seq);
+    if (e.op == static_cast<std::uint16_t>(FlightOp::kOpen) &&
+        e.seq > committed_seq) {
+      child_opened = true;
+    }
+  }
+  // The child's session boundary and its traffic up to the kill are the
+  // "last pre-crash events": they must outlive the child.
+  EXPECT_TRUE(child_opened) << "nth=" << nth;
+  EXPECT_GT(max_seq, committed_seq) << "nth=" << nth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlightForkCrashSweep,
+                         ::testing::Values(2, 5, 9, 14, 20, 27));
+
+#endif  // POSEIDON_OBS_ENABLED
+
+}  // namespace
+}  // namespace poseidon::obs
