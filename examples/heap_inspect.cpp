@@ -5,8 +5,14 @@
 // level usage and mechanism counters, runs the full structural invariant
 // check, and reports pending recovery work (non-empty undo/micro logs).
 //
+// With --fsck it additionally runs the scavenge repair pass (Heap::fsck):
+// corrupted sub-heaps are rebuilt from their surviving block records and
+// quarantined ones retried, then the report is printed.  Exit status is 0
+// when the heap ends healthy (including "repaired"), 1 otherwise.
+//
 //   $ ./heap_inspect /dev/shm/persistent_kv.heap
 //   $ ./heap_inspect --json /dev/shm/persistent_kv.heap   # obs JSON only
+//   $ ./heap_inspect --fsck /dev/shm/persistent_kv.heap   # check AND repair
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -34,10 +40,13 @@ void print_size(const char* label, std::uint64_t bytes) {
 
 int main(int argc, char** argv) {
   bool json_only = false;
+  bool run_fsck = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
+    } else if (std::strcmp(argv[i], "--fsck") == 0) {
+      run_fsck = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -46,7 +55,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s [--json] <heap-file>\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--json] [--fsck] <heap-file>\n",
+                 argv[0]);
     return 2;
   }
   if (!pmem::Pool::exists(path)) {
@@ -92,6 +102,10 @@ int main(int argc, char** argv) {
   print_size("allocated bytes", s.allocated_bytes);
   std::printf("%-28s %u / %u\n", "sub-heaps materialized",
               s.subheaps_materialized, s.nsubheaps);
+  if (s.subheaps_quarantined > 0) {
+    std::printf("%-28s %u  (degraded service)\n", "sub-heaps quarantined",
+                s.subheaps_quarantined);
+  }
 
   std::printf("\n== mechanism counters\n");
   std::printf("%-28s %" PRIu64 "\n", "buddy splits", s.splits);
@@ -119,12 +133,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n== consistency\n");
-  std::string why;
-  if (heap->check_invariants(&why)) {
-    std::printf("all structural invariants hold\n");
-    return 0;
+  if (run_fsck) {
+    std::printf("\n== fsck (scavenge repair)\n");
+    const auto rep = heap->fsck();
+    std::printf("%-28s %u\n", "sub-heaps checked", rep.checked);
+    std::printf("%-28s %u\n", "clean", rep.clean);
+    std::printf("%-28s %u\n", "repaired", rep.repaired);
+    std::printf("%-28s %u\n", "quarantined", rep.quarantined);
+    std::printf("%-28s %" PRIu64 "\n", "records dropped",
+                rep.records_dropped);
+    std::printf("%-28s %" PRIu64 "\n", "records synthesized",
+                rep.records_synthesized);
   }
-  std::printf("INVARIANT VIOLATION: %s\n", why.c_str());
-  return 1;
+
+  std::printf("\n== consistency\n");
+  const unsigned quarantined = heap->stats().subheaps_quarantined;
+  std::string why;
+  if (!heap->check_invariants(&why)) {
+    std::printf("INVARIANT VIOLATION: %s\n", why.c_str());
+    return 1;
+  }
+  if (quarantined > 0) {
+    std::printf("structural invariants hold, but %u sub-heap(s) remain "
+                "quarantined%s\n",
+                quarantined, run_fsck ? "" : " (try --fsck)");
+    return 1;
+  }
+  std::printf("all structural invariants hold\n");
+  return 0;
 }

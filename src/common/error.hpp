@@ -1,0 +1,62 @@
+// Typed error taxonomy for open/recovery failures.
+//
+// Every failure the allocator can surface to a caller carries an ErrorCode
+// so "corrupt pool" is distinguishable from "wrong version" from "plain
+// I/O error" — the C API exposes the code via poseidon_error_code().
+// Error derives from std::system_error (itself a std::runtime_error), so
+// pre-taxonomy call sites catching either base keep working; the contained
+// errno is meaningful only for kIo.
+//
+// Lives in common/ because both the pmem substrate (Pool) and the core
+// (Heap::open validation) throw it; pmem links below core.
+#pragma once
+
+#include <string>
+#include <system_error>
+
+namespace poseidon {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  kIo = 1,                // syscall failure (open/mmap/ftruncate/fstat/...)
+  kInvalidArgument = 2,   // caller misuse (bad options, non-regular file)
+  kNotAPool = 3,          // magic mismatch: file is not a Poseidon heap
+  kWrongVersion = 4,      // valid pool, incompatible layout version
+  kTruncated = 5,         // stored file_size disagrees with the file
+  kCorruptSuperblock = 6, // superblock damaged beyond shadow repair
+  kCorruptSubheap = 7,    // sub-heap metadata damaged beyond scavenge
+  kQuarantined = 8,       // operation refused: sub-heap is quarantined
+  kInternal = 9,          // invariant violation inside the allocator
+};
+
+inline const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kIo: return "io-error";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kNotAPool: return "not-a-pool";
+    case ErrorCode::kWrongVersion: return "wrong-version";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kCorruptSuperblock: return "corrupt-superblock";
+    case ErrorCode::kCorruptSubheap: return "corrupt-subheap";
+    case ErrorCode::kQuarantined: return "quarantined";
+    case ErrorCode::kInternal: return "internal-error";
+  }
+  return "?";
+}
+
+class Error : public std::system_error {
+ public:
+  Error(ErrorCode code, const std::string& detail, int sys_errno = 0)
+      : std::system_error(sys_errno, std::generic_category(),
+                          std::string(to_string(code)) + ": " + detail),
+        code_(code) {}
+
+  // `code()` is taken by std::system_error (the errno-derived one).
+  ErrorCode poseidon_code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace poseidon

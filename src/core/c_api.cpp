@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/error.hpp"
 #include "core/heap.hpp"
 #include "core/registry.hpp"
 #include "obs/exporter.hpp"
@@ -24,6 +25,7 @@ nvmptr_t to_c(NvPtr p) noexcept { return nvmptr_t{p.heap_id, p.packed}; }
 
 // Most recent poseidon_init failure on this thread; empty = no error.
 thread_local std::string tl_last_error;
+thread_local int tl_last_code = POSEIDON_OK;
 
 }  // namespace
 
@@ -31,16 +33,27 @@ extern "C" {
 
 heap_t *poseidon_init(const char *heap_path, size_t heap_size) {
   tl_last_error.clear();
+  tl_last_code = POSEIDON_OK;
   if (heap_path == nullptr) {
     tl_last_error = "heap_path is null";
+    tl_last_code = POSEIDON_ERR_INVALID_ARGUMENT;
     return nullptr;
   }
   try {
     auto h = Heap::open_or_create(heap_path, heap_size);
     return new poseidon_heap{std::move(h)};
+  } catch (const poseidon::Error &e) {
+    tl_last_error = e.what();
+    tl_last_code = static_cast<int>(e.poseidon_code());
+    return nullptr;
+  } catch (const std::invalid_argument &e) {
+    tl_last_error = e.what();
+    tl_last_code = POSEIDON_ERR_INVALID_ARGUMENT;
+    return nullptr;
   } catch (const std::exception &e) {
     tl_last_error = e.what();
     if (tl_last_error.empty()) tl_last_error = "unknown error";
+    tl_last_code = POSEIDON_ERR_INTERNAL;
     return nullptr;
   }
 }
@@ -48,6 +61,8 @@ heap_t *poseidon_init(const char *heap_path, size_t heap_size) {
 const char *poseidon_last_error(void) {
   return tl_last_error.empty() ? nullptr : tl_last_error.c_str();
 }
+
+int poseidon_error_code(void) { return tl_last_code; }
 
 void poseidon_finish(heap_t *heap) { delete heap; }
 
@@ -112,6 +127,26 @@ void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
   out->cache_misses = s.cache_misses;
   out->cache_flushes = s.cache_flushes;
   out->cache_cached_blocks = s.cache_cached_blocks;
+  out->subheaps_quarantined = s.subheaps_quarantined;
+}
+
+int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out) {
+  if (out != nullptr) std::memset(out, 0, sizeof(*out));
+  if (heap == nullptr) return POSEIDON_ERR_INVALID_ARGUMENT;
+  try {
+    const auto rep = heap->impl->fsck();
+    if (out != nullptr) {
+      out->checked = rep.checked;
+      out->clean = rep.clean;
+      out->repaired = rep.repaired;
+      out->quarantined = rep.quarantined;
+      out->records_dropped = rep.records_dropped;
+      out->records_synthesized = rep.records_synthesized;
+    }
+    return POSEIDON_OK;
+  } catch (const std::exception &) {
+    return POSEIDON_ERR_INTERNAL;
+  }
 }
 
 namespace {

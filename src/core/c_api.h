@@ -37,6 +37,23 @@ heap_t *poseidon_init(const char *heap_path, size_t heap_size);
  * valid until the thread's next poseidon_init call. */
 const char *poseidon_last_error(void);
 
+/* Typed error codes (mirrors poseidon::ErrorCode in common/error.hpp). */
+#define POSEIDON_OK 0
+#define POSEIDON_ERR_IO 1
+#define POSEIDON_ERR_INVALID_ARGUMENT 2
+#define POSEIDON_ERR_NOT_A_POOL 3
+#define POSEIDON_ERR_WRONG_VERSION 4
+#define POSEIDON_ERR_TRUNCATED 5
+#define POSEIDON_ERR_CORRUPT_SUPERBLOCK 6
+#define POSEIDON_ERR_CORRUPT_SUBHEAP 7
+#define POSEIDON_ERR_QUARANTINED 8
+#define POSEIDON_ERR_INTERNAL 9
+
+/* Code classifying the calling thread's most recent poseidon_init failure
+ * (POSEIDON_ERR_*), or POSEIDON_OK when its last poseidon_init succeeded.
+ * Same lifetime rules as poseidon_last_error(). */
+int poseidon_error_code(void);
+
 /* Deinitialize a Poseidon heap. */
 void poseidon_finish(heap_t *heap);
 
@@ -83,6 +100,8 @@ typedef struct poseidon_stats {
   uint64_t cache_misses;
   uint64_t cache_flushes;
   uint64_t cache_cached_blocks;
+  /* Sub-heaps currently quarantined or mid-repair (degraded service). */
+  uint64_t subheaps_quarantined;
 } poseidon_stats_t;
 
 /* Zero-fills *out when heap is NULL; no-op when out is NULL. */
@@ -101,6 +120,23 @@ long poseidon_stats_dump(heap_t *heap, char *buf, size_t buf_len);
 /* Human-readable flight-recorder dump: the most recent events plus, after
  * a crash, the previous session's surviving post-mortem events. */
 long poseidon_flight_dump(heap_t *heap, char *buf, size_t buf_len);
+
+/* Verify-and-repair pass over every materialized sub-heap: broken ones are
+ * rebuilt from surviving block records (committed allocations preserved);
+ * unrecoverable ones are quarantined but the heap keeps serving from the
+ * rest.  Safe on a live heap. */
+typedef struct poseidon_fsck_report {
+  uint32_t checked;             /* sub-heaps examined */
+  uint32_t clean;               /* passed verification untouched */
+  uint32_t repaired;            /* rebuilt and returned to service */
+  uint32_t quarantined;         /* taken (or left) out of service */
+  uint64_t records_dropped;     /* invalid/overlapping records discarded */
+  uint64_t records_synthesized; /* gap-filling records fabricated */
+} poseidon_fsck_report_t;
+
+/* Returns 0 on success (out may be NULL); nonzero POSEIDON_ERR_* on a NULL
+ * heap or internal failure. */
+int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out);
 
 #ifdef __cplusplus
 }

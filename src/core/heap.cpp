@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <random>
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "common/error.hpp"
 #include "common/numa.hpp"
 #include "common/topology.hpp"
 #include "core/micro_log.hpp"
@@ -84,6 +86,19 @@ std::unique_ptr<Heap> Heap::create(const std::string& path,
   pmem::nv_store(sb->cache_slots, std::uint64_t{kCacheSlots});
   pmem::nv_store(sb->flight_off, geo.flight_off);
   pmem::nv_store(sb->flight_stride, geo.flight_stride);
+  // Config checksum + shadow page (v4): computed over the prefix as it
+  // will read once magic lands, so build the image in a local buffer.
+  unsigned char cfg[kSuperConfigBytes];
+  std::memcpy(cfg, sb, kSuperConfigBytes);
+  std::memcpy(cfg, &kSuperMagic, sizeof(kSuperMagic));
+  const std::uint64_t ccsum = csum_bytes(cfg, kSuperConfigBytes);
+  auto* shadow = reinterpret_cast<SuperShadow*>(pool.data() + super_shadow_off());
+  pmem::nv_memcpy(shadow->bytes, cfg, kSuperConfigBytes);
+  pmem::nv_store(shadow->len, std::uint64_t{kSuperConfigBytes});
+  pmem::nv_store(shadow->csum, ccsum);
+  pmem::persist(shadow, sizeof(SuperShadow));
+  pmem::nv_store_persist(shadow->magic, kShadowMagic);
+  pmem::nv_store(sb->config_csum, ccsum);
   pmem::persist(sb, sizeof(SuperBlock));
   // Magic last: a half-created file is never mistaken for a valid heap.
   pmem::nv_store_persist(sb->magic, kSuperMagic);
@@ -95,12 +110,8 @@ std::unique_ptr<Heap> Heap::open(const std::string& path,
                                  const Options& opts) {
   validate_options(opts);
   pmem::Pool pool = pmem::Pool::open(path);
-  const auto* sb = reinterpret_cast<const SuperBlock*>(pool.data());
-  if (pool.size() < sizeof(SuperBlock) || sb->magic != kSuperMagic ||
-      sb->version != kVersion || sb->file_size != pool.size()) {
-    throw std::runtime_error(path + ": not a Poseidon heap");
-  }
-  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts));
+  const bool sb_repaired = validate_superblock(pool);
+  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts, sb_repaired));
 }
 
 std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
@@ -110,7 +121,7 @@ std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
   return create(path, capacity, opts);
 }
 
-Heap::Heap(pmem::Pool pool, const Options& opts)
+Heap::Heap(pmem::Pool pool, const Options& opts, bool sb_repaired)
     : pool_(std::move(pool)), opts_(opts) {
   sb_ = reinterpret_cast<SuperBlock*>(pool_.data());
   subs_.reserve(sb_->nsubheaps);
@@ -120,6 +131,10 @@ Heap::Heap(pmem::Pool pool, const Options& opts)
   // Flight rings come up before recovery: the post-mortem must be captured
   // before anything touches the pool, and recovery itself records events.
   init_flight();
+  // Checksum validation (and, if needed, scavenge/quarantine) runs before
+  // undo replay: recovery must not chew on metadata that corruption has
+  // turned into garbage.
+  validate_on_open(sb_repaired);
   recover();
   flight(obs::FlightOp::kOpen, 0, 0, sb_->nsubheaps);
   if (opts_.thread_cache && sb_->cache_slots != 0) {
@@ -140,6 +155,7 @@ Heap::~Heap() {
   // indistinguishable from a crash, and the next open's recovery drains the
   // cache logs through the validated free path.  This keeps destruction
   // trivially crash-equivalent (and exercises that path constantly).
+  seal_all();
   registry::remove(this);
   prot_.reset();  // restore plain read-write before unmapping
 }
@@ -228,10 +244,20 @@ unsigned Heap::pick_subheap() const noexcept {
   return 0;
 }
 
-void Heap::ensure_subheap(unsigned idx) {
-  if (subheap_ready(idx)) return;
+bool Heap::ensure_subheap(unsigned idx) {
+  {
+    const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
+    if (st == kSubheapReady) return true;
+    // Quarantined / repairing sub-heaps take no new allocations; only an
+    // absent one may be formatted.
+    if (st != kSubheapAbsent) return false;
+  }
   std::lock_guard<std::mutex> lk(admin_mu_);
-  if (subheap_ready(idx)) return;
+  {
+    const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
+    if (st == kSubheapReady) return true;
+    if (st != kSubheapAbsent) return false;
+  }
   mpk::WriteWindow w(prot_.get());
   const Geometry geo{sb_->file_size,
                      sb_->meta_size,
@@ -257,6 +283,7 @@ void Heap::ensure_subheap(unsigned idx) {
   (void)numa_bind_region(base() + sb_->user_region_off + idx * sb_->user_size,
                          sb_->user_size, numa_node_of_cpu(cpu));
   pmem::nv_store_release_persist(sb_->subheap_state[idx], kSubheapReady);
+  return true;
 }
 
 NvPtr Heap::alloc(std::uint64_t size) {
@@ -293,7 +320,7 @@ NvPtr Heap::alloc(std::uint64_t size) {
   const unsigned attempts = opts_.allow_fallback ? sb_->nsubheaps : 1;
   for (unsigned a = 0; a < attempts; ++a) {
     const unsigned idx = (start + a) % sb_->nsubheaps;
-    ensure_subheap(idx);
+    if (!ensure_subheap(idx)) continue;  // quarantined: serve from the rest
     mpk::WriteWindow w(prot_.get());
     Guard<Spinlock> g(subs_[idx]->lock);
     Subheap sh = subheap(idx);
@@ -331,17 +358,24 @@ NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
     const unsigned start = pick_subheap();
     for (unsigned a = 0; a < sb_->nsubheaps; ++a) {
       const unsigned idx = (start + a) % sb_->nsubheaps;
-      ensure_subheap(idx);
+      if (!ensure_subheap(idx)) continue;  // never pin a quarantined sub-heap
       if (subs_[idx]->tx_mu.try_lock()) {
         tx = TxState{sb_->heap_id, this, idx, true};
         break;
       }
     }
     if (!tx.active) {
-      ensure_subheap(start);
-      subs_[start]->tx_mu.lock();
-      tx = TxState{sb_->heap_id, this, start, true};
+      // Every healthy sub-heap is pinned by another thread: block on the
+      // first healthy one (a quarantined sub-heap must never be pinned).
+      for (unsigned a = 0; a < sb_->nsubheaps; ++a) {
+        const unsigned idx = (start + a) % sb_->nsubheaps;
+        if (!ensure_subheap(idx)) continue;
+        subs_[idx]->tx_mu.lock();
+        tx = TxState{sb_->heap_id, this, idx, true};
+        break;
+      }
     }
+    if (!tx.active) return NvPtr::null();  // the whole heap is quarantined
   }
 
   NvPtr result = NvPtr::null();
@@ -415,7 +449,18 @@ FreeResult Heap::free(NvPtr ptr) {
     return FreeResult::kInvalidPointer;
   }
   const unsigned idx = ptr.subheap();
-  if (idx >= sb_->nsubheaps || !subheap_ready(idx)) {
+  if (idx >= sb_->nsubheaps) {
+    metrics_.free_rejects.inc();
+    return FreeResult::kInvalidPointer;
+  }
+  const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
+  if (st == kSubheapQuarantined || st == kSubheapRepairing) {
+    // Degraded mode: the block's metadata is untrusted, so the free is
+    // refused (typed, not silently dropped).  The data stays readable.
+    metrics_.free_rejects.inc();
+    return FreeResult::kQuarantined;
+  }
+  if (st != kSubheapReady) {
     metrics_.free_rejects.inc();
     return FreeResult::kInvalidPointer;
   }
@@ -444,7 +489,8 @@ NvPtr Heap::cache_refill(ThreadCache& tc, unsigned cls) {
   if (room == 0) return NvPtr::null();
   const unsigned want = std::min(room, ThreadCache::kRefillBatch);
   const unsigned idx = pick_subheap();
-  ensure_subheap(idx);
+  // Quarantined home sub-heap: skip the batch; the slow path falls back.
+  if (!ensure_subheap(idx)) return NvPtr::null();
   std::uint64_t offs[ThreadCache::kRefillBatch];
   Subheap::RefillResult r;
   {
@@ -588,7 +634,12 @@ HeapStats Heap::stats() const {
   s.nsubheaps = sb_->nsubheaps;
   s.user_capacity = user_capacity();
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (!subheap_ready(i)) continue;
+    const auto st = pmem::nv_load_acquire(sb_->subheap_state[i]);
+    if (st == kSubheapQuarantined || st == kSubheapRepairing) {
+      ++s.subheaps_quarantined;
+      continue;
+    }
+    if (st != kSubheapReady) continue;
     Guard<Spinlock> g(subs_[i]->lock);
     const SubheapMeta* m = meta_of(i);
     s.live_blocks += m->live_blocks;

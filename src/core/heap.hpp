@@ -87,6 +87,29 @@ struct HeapStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_flushes = 0;
   std::uint64_t cache_cached_blocks = 0;
+  // Sub-heaps currently quarantined or mid-repair (degraded service).
+  unsigned subheaps_quarantined = 0;
+};
+
+// Per-sub-heap health as seen through the persisted state word.
+enum class SubheapHealth {
+  kAbsent,       // never formatted
+  kReady,        // serving
+  kRepairing,    // scavenge rebuild in flight (treated as quarantined)
+  kQuarantined,  // unrecoverable: reads only, no alloc, frees rejected
+};
+
+// Result of a verification/repair pass (Heap::fsck or open-time
+// validation).  records_synthesized counts minimum-granularity allocated
+// records scavenge fabricated to cover unaccounted gaps — bounded leak,
+// never unsafe reuse.
+struct FsckReport {
+  unsigned checked = 0;
+  unsigned clean = 0;
+  unsigned repaired = 0;
+  unsigned quarantined = 0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t records_synthesized = 0;
 };
 
 class Heap {
@@ -163,6 +186,18 @@ class Heap {
   // Deep consistency check across all sub-heaps (test support).
   bool check_invariants(std::string* why = nullptr) const;
 
+  // ---- fault domains (DESIGN.md "Failure model") ---------------------------
+
+  // Verify every materialized sub-heap and repair what fails: invariant
+  // violations trigger a scavenge rebuild; sub-heaps that cannot be
+  // rebuilt (or whose metadata pages fault) are quarantined.  Also retries
+  // previously quarantined sub-heaps — if their pages read again, a
+  // successful rebuild returns them to service.  Safe on a live heap
+  // (locks each sub-heap; concurrent ops see it briefly as repairing).
+  FsckReport fsck();
+
+  SubheapHealth subheap_health(unsigned idx) const noexcept;
+
   // Enumerate every tracked block: f(subheap, offset, size_class, status
   // [BlockStatus]).  Diagnostic only; takes each sub-heap lock in turn.
   template <typename F>
@@ -204,14 +239,27 @@ class Heap {
     std::mutex tx_mu;  // held for the duration of an open transaction
   };
 
-  Heap(pmem::Pool pool, const Options& opts);
+  Heap(pmem::Pool pool, const Options& opts, bool sb_repaired = false);
 
   std::byte* base() const noexcept { return pool_.data(); }
   SubheapMeta* meta_of(unsigned idx) const noexcept;
   Subheap subheap(unsigned idx) const noexcept;
   unsigned pick_subheap() const noexcept;
-  void ensure_subheap(unsigned idx);
+  // False when the sub-heap cannot serve (quarantined/repairing); formats
+  // it first when absent.
+  bool ensure_subheap(unsigned idx);
   void recover();
+
+  // Fault-domain plumbing (core/fsck.cpp).  validate_superblock runs
+  // before the Heap exists (it may restore the config prefix from the
+  // shadow page); returns true when a repair was applied.
+  static bool validate_superblock(pmem::Pool& pool);
+  void validate_on_open(bool sb_repaired);
+  bool probe_subheap_readable(unsigned idx) const noexcept;
+  bool subheap_sane(unsigned idx) const noexcept;
+  bool scavenge_subheap(unsigned idx, FsckReport* rep);
+  void quarantine_subheap(unsigned idx);
+  void seal_all() noexcept;
 
   // Lock-free readers (alloc/free fast paths, stats, visit_blocks) observe
   // a sub-heap's readiness via acquire, pairing with the release store

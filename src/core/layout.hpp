@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "common/bitops.hpp"
+#include "common/hash.hpp"
 #include "core/nvmptr.hpp"
 #include "obs/flight_recorder.hpp"
 
@@ -31,8 +32,11 @@ namespace poseidon::core {
 
 inline constexpr std::uint64_t kSuperMagic = 0x504f534549444f4eull;  // "POSEIDON"
 inline constexpr std::uint64_t kSubheapMagic = 0x5355424845415030ull;
+inline constexpr std::uint64_t kShadowMagic = 0x504f534549534841ull;  // "POSEISHA"
 // v3: flight-recorder ring region carved between cache logs and user data.
-inline constexpr std::uint32_t kVersion = 3;
+// v4: fault-domain hardening — superblock config checksum + shadow page,
+//     seal-state checksums over sub-heap metadata, quarantine states.
+inline constexpr std::uint32_t kVersion = 4;
 
 inline constexpr std::uint64_t kPageSize = 4096;
 // File sizes are rounded up to this so DAX/THP-backed mappings can use
@@ -135,6 +139,13 @@ struct FreeListHead {
 enum SubheapState : std::uint64_t {
   kSubheapAbsent = 0,
   kSubheapReady = 1,
+  // Fault-domain states (v4).  Quarantined: validation or scavenge gave up
+  // on this sub-heap — no new allocations, frees rejected with a typed
+  // result, user data stays readable.  Repairing: a scavenge rebuild is in
+  // flight; if it is interrupted the next open re-runs it (the rebuild is
+  // idempotent) instead of trusting half-rebuilt metadata.
+  kSubheapQuarantined = 2,
+  kSubheapRepairing = 3,
 };
 
 struct SubheapMeta {
@@ -158,6 +169,13 @@ struct SubheapMeta {
   std::uint64_t stat_window_merges;  // merges triggered by hash pressure
   std::uint64_t stat_extensions;     // hash levels activated
   std::uint64_t stat_shrinks;        // hash levels punched back
+  // Quiesce-point checksums (v4): written at clean close over everything
+  // above (seal_csum_meta's own offset bounds the range) and over the
+  // active hash levels; meaningful only while the superblock's seal_state
+  // is kSealSealed.  The logs below are excluded — they self-validate
+  // (generation + per-entry checksums).
+  std::uint64_t seal_csum_meta;
+  std::uint64_t seal_csum_hash;
   UndoLogT<kSubheapUndoCap> undo;
   MicroLog micro;
 };
@@ -184,13 +202,75 @@ struct SuperBlock {
   std::uint64_t cache_slots;
   std::uint64_t flight_off;        // per-sub-heap flight rings (outside meta_size)
   std::uint64_t flight_stride;
+  // Everything above is immutable after create; config_csum covers it
+  // (including magic) and a shadow copy lives in the page after the
+  // superblock, so a scribbled field is repaired rather than trusted.
+  std::uint64_t config_csum;
   NvPtr root;
   std::uint64_t subheap_state[kMaxSubheaps];
+  // Quiesce seal (v4): seal_state is kSealSealed only between a clean
+  // close and the next open.  While sealed, mutable_csum covers
+  // [root, seal_state) and each ready sub-heap's seal_csum_* fields are
+  // valid; open re-validates them, then drops the seal before admitting
+  // traffic.  A crash (no clean close) leaves the seal dirty and open
+  // falls back to plain log-replay recovery, exactly as pre-v4.
+  std::uint64_t seal_state;
+  std::uint64_t mutable_csum;
   UndoLogT<kSuperUndoCap> undo;
+};
+
+enum SealState : std::uint64_t {
+  kSealDirty = 0,
+  kSealSealed = 1,
 };
 
 static_assert(std::is_trivially_copyable_v<SuperBlock>);
 static_assert(std::is_trivially_copyable_v<SubheapMeta>);
+static_assert(std::is_standard_layout_v<SuperBlock>);
+static_assert(std::is_standard_layout_v<SubheapMeta>);
+
+// ---- checksums + superblock shadow (v4) ------------------------------------
+
+// FNV-1a over a byte range; cold paths only (seal at close, validate at
+// open, scavenge verify).
+inline std::uint64_t csum_bytes(const void* p, std::uint64_t n) noexcept {
+  return hash_bytes(static_cast<const char*>(p), n);
+}
+
+// The immutable config prefix: every field before config_csum.
+inline constexpr std::uint64_t kSuperConfigBytes =
+    offsetof(SuperBlock, config_csum);
+
+inline std::uint64_t super_config_csum(const SuperBlock& sb) noexcept {
+  return csum_bytes(&sb, kSuperConfigBytes);
+}
+
+inline std::uint64_t super_mutable_csum(const SuperBlock& sb) noexcept {
+  const auto* b = reinterpret_cast<const unsigned char*>(&sb);
+  return csum_bytes(b + offsetof(SuperBlock, root),
+                    offsetof(SuperBlock, seal_state) -
+                        offsetof(SuperBlock, root));
+}
+
+inline std::uint64_t subheap_meta_csum(const SubheapMeta& m) noexcept {
+  return csum_bytes(&m, offsetof(SubheapMeta, seal_csum_meta));
+}
+
+// Mirror of the superblock config prefix, one page after the superblock.
+// magic is stored last at create, so a torn shadow is simply invalid; csum
+// covers bytes[0, len).  Restores a superblock whose config csum fails.
+struct SuperShadow {
+  std::uint64_t magic;  // kShadowMagic
+  std::uint64_t len;    // = kSuperConfigBytes at create time
+  std::uint64_t csum;
+  unsigned char bytes[256];
+};
+static_assert(kSuperConfigBytes <= sizeof(SuperShadow::bytes));
+static_assert(std::is_trivially_copyable_v<SuperShadow>);
+
+constexpr std::uint64_t super_shadow_off() noexcept {
+  return align_up(sizeof(SuperBlock), kPageSize);
+}
 
 // ---- geometry ---------------------------------------------------------------
 
@@ -239,7 +319,9 @@ constexpr Geometry compute_geometry(unsigned nsubheaps, std::uint64_t user_size,
     ++levels;
   }
   g.levels_max = levels;
-  g.subheap_meta_off = align_up(sizeof(SuperBlock), kPageSize);
+  // One page between the superblock and the sub-heap metas holds the
+  // superblock's shadow copy (v4).
+  g.subheap_meta_off = super_shadow_off() + kPageSize;
   g.subheap_meta_stride = align_up(sizeof(SubheapMeta), kPageSize);
   g.hash_region_off = g.subheap_meta_off + nsubheaps * g.subheap_meta_stride;
   g.hash_region_stride =

@@ -21,6 +21,7 @@ const char* to_string(FreeResult r) noexcept {
     case FreeResult::kInvalidPointer: return "invalid-pointer";
     case FreeResult::kInvalidFree: return "invalid-free";
     case FreeResult::kDoubleFree: return "double-free";
+    case FreeResult::kQuarantined: return "quarantined";
   }
   return "?";
 }
@@ -321,8 +322,13 @@ void Subheap::maybe_shrink_hash() {
     undo.commit();
     pmem::nv_store(meta_->stat_shrinks, meta_->stat_shrinks + 1);
     // Punching is outside the undo protocol on purpose: the deactivated
-    // level held no records, so its content is all-zero either way.
-    if (pool_ != nullptr) pool_->punch_hole(range->off, range->len);
+    // level held no records, so its content is all-zero either way.  A
+    // skipped hole (filesystem can't punch) is likewise harmless: stale
+    // bytes in a deactivated level have zeroed keys, and reactivation
+    // rewrites every field it claims.
+    if (pool_ != nullptr && !pool_->punch_hole(range->off, range->len)) {
+      if (metrics_ != nullptr) metrics_->punch_hole_skips.inc();
+    }
   }
 }
 

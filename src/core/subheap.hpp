@@ -36,6 +36,7 @@ enum class FreeResult {
   kInvalidPointer,  // misaligned / out of range / wrong heap
   kInvalidFree,     // no such block (paper §5.5)
   kDoubleFree,      // block already free
+  kQuarantined,     // owning sub-heap is quarantined (fault domain)
 };
 
 const char* to_string(FreeResult r) noexcept;

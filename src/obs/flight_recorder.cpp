@@ -27,6 +27,9 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kDefrag: return "defrag";
     case FlightOp::kRecover: return "recover";
     case FlightOp::kOpen: return "open";
+    case FlightOp::kCorruption: return "corruption";
+    case FlightOp::kScavenge: return "scavenge";
+    case FlightOp::kQuarantine: return "quarantine";
   }
   return "?";
 }

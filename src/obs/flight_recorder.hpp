@@ -50,6 +50,9 @@ enum class FlightOp : std::uint16_t {
   kDefrag = 7,     // class-dry defragmentation ran; arg = target class
   kRecover = 8,    // recovery replayed state for this sub-heap
   kOpen = 9,       // heap instance attached (marks session boundaries)
+  kCorruption = 10, // validation detected damaged metadata; arg = detail
+  kScavenge = 11,   // scavenge rebuilt this sub-heap; arg = records kept
+  kQuarantine = 12, // sub-heap entered quarantine
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -197,6 +197,13 @@ struct Metrics {
   Counter undo_saves;      // undo entries appended
   Counter micro_appends;   // micro-log appends (tx allocation history)
 
+  // Fault-domain counters (detection / repair / degradation).
+  Counter corruption_detected;   // checksum, probe or invariant failures
+  Counter scavenge_repairs;      // sub-heaps rebuilt by scavenge
+  Counter subheaps_quarantined;  // transitions into the quarantined state
+  Counter punch_hole_skips;      // fallocate degradations (EOPNOTSUPP/ENOSPC)
+  Counter fsck_runs;             // explicit Heap::fsck() passes
+
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
   Histogram free_cycles;
@@ -224,6 +231,11 @@ struct Metrics {
     f("undo_commits", undo_commits);
     f("undo_saves", undo_saves);
     f("micro_appends", micro_appends);
+    f("corruption_detected", corruption_detected);
+    f("scavenge_repairs", scavenge_repairs);
+    f("subheaps_quarantined", subheaps_quarantined);
+    f("punch_hole_skips", punch_hole_skips);
+    f("fsck_runs", fsck_runs);
   }
 
   template <typename F>

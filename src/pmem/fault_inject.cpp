@@ -1,0 +1,230 @@
+#include "pmem/fault_inject.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csetjmp>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace poseidon::pmem::fault {
+
+namespace {
+
+// Set iff any op is armed or a poison range is pending; the fast path in
+// intercept()/apply_poison() is one relaxed load of this flag.
+std::atomic<bool> g_armed{false};
+
+struct Arm {
+  bool on = false;
+  std::uint64_t nth = 0;     // 1-based trigger point
+  std::uint64_t period = 0;  // 0 = one-shot at nth; else every period-th
+  int err = 0;
+  std::uint64_t hits = 0;
+};
+
+struct PoisonRange {
+  std::uint64_t off;
+  std::uint64_t len;
+};
+
+std::mutex g_mu;
+Arm g_arms[kSysOpCount];
+std::vector<PoisonRange>& poison_ranges() {
+  static std::vector<PoisonRange> v;
+  return v;
+}
+
+void refresh_armed_locked() noexcept {
+  bool any = !poison_ranges().empty();
+  for (const Arm& a : g_arms) any = any || a.on;
+  g_armed.store(any, std::memory_order_relaxed);
+}
+
+bool op_from_name(const std::string& name, SysOp* out) noexcept {
+  if (name == "open") *out = SysOp::kOpen;
+  else if (name == "mmap") *out = SysOp::kMmap;
+  else if (name == "ftruncate") *out = SysOp::kFtruncate;
+  else if (name == "fstat") *out = SysOp::kFstat;
+  else if (name == "fallocate") *out = SysOp::kFallocate;
+  else return false;
+  return true;
+}
+
+// POSEIDON_FAULT="op:period:errno[,op:period:errno...]"; malformed clauses
+// are skipped (an injection knob must never break production startup).
+void parse_env_locked() {
+  const char* env = std::getenv("POSEIDON_FAULT");
+  if (env == nullptr) return;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t end = spec.find(',', pos);
+    const std::string clause =
+        spec.substr(pos, end == std::string::npos ? end : end - pos);
+    pos = end == std::string::npos ? spec.size() : end + 1;
+    const std::size_t c1 = clause.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                   : clause.find(':', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    SysOp op;
+    if (!op_from_name(clause.substr(0, c1), &op)) continue;
+    const long period = std::atol(clause.c_str() + c1 + 1);
+    const long err = std::atol(clause.c_str() + c2 + 1);
+    if (period <= 0 || err <= 0) continue;
+    Arm& a = g_arms[static_cast<unsigned>(op)];
+    a = Arm{};
+    a.on = true;
+    a.nth = static_cast<std::uint64_t>(period);
+    a.period = static_cast<std::uint64_t>(period);
+    a.err = static_cast<int>(err);
+  }
+}
+
+void env_init() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::lock_guard<std::mutex> lk(g_mu);
+    parse_env_locked();
+    refresh_armed_locked();
+  });
+}
+
+}  // namespace
+
+void arm(SysOp op, std::uint64_t nth, int err) {
+  env_init();
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_arms[static_cast<unsigned>(op)] = Arm{true, nth == 0 ? 1 : nth, 0, err, 0};
+  refresh_armed_locked();
+}
+
+void arm_every(SysOp op, std::uint64_t period, int err) {
+  env_init();
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_arms[static_cast<unsigned>(op)] =
+      Arm{true, period == 0 ? 1 : period, period == 0 ? 1 : period, err, 0};
+  refresh_armed_locked();
+}
+
+void disarm(SysOp op) noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_arms[static_cast<unsigned>(op)].on = false;
+  refresh_armed_locked();
+}
+
+void disarm_all() noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (Arm& a : g_arms) a.on = false;
+  poison_ranges().clear();
+  refresh_armed_locked();
+}
+
+std::uint64_t hits(SysOp op) noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_arms[static_cast<unsigned>(op)].hits;
+}
+
+int intercept(SysOp op) noexcept {
+  env_init();
+  if (!g_armed.load(std::memory_order_relaxed)) return 0;
+  std::lock_guard<std::mutex> lk(g_mu);
+  Arm& a = g_arms[static_cast<unsigned>(op)];
+  if (!a.on) return 0;
+  ++a.hits;
+  if (a.period != 0) {
+    return a.hits % a.period == 0 ? a.err : 0;
+  }
+  if (a.hits == a.nth) {
+    a.on = false;  // one-shot consumed
+    refresh_armed_locked();
+    return a.err;
+  }
+  return 0;
+}
+
+void poison_arm(std::uint64_t off, std::uint64_t len) {
+  const std::uint64_t page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t lo = off & ~(page - 1);
+  const std::uint64_t hi = (off + len + page - 1) & ~(page - 1);
+  std::lock_guard<std::mutex> lk(g_mu);
+  poison_ranges().push_back(PoisonRange{lo, hi - lo});
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void poison_clear() noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  poison_ranges().clear();
+  refresh_armed_locked();
+}
+
+void apply_poison(std::byte* base, std::size_t size) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  auto& ranges = poison_ranges();
+  for (const PoisonRange& r : ranges) {
+    if (r.off + r.len <= size) {
+      (void)::mprotect(base + r.off, r.len, PROT_NONE);
+    }
+  }
+  ranges.clear();
+  refresh_armed_locked();
+}
+
+// ---- FaultGuard ------------------------------------------------------------
+
+namespace {
+
+thread_local sigjmp_buf tl_probe_jmp;
+thread_local volatile sig_atomic_t tl_probing = 0;
+
+void probe_handler(int sig) {
+  if (tl_probing != 0) {
+    tl_probing = 0;
+    siglongjmp(tl_probe_jmp, 1);
+  }
+  // A fault outside a probe is a genuine crash: fall through to the
+  // default disposition so it is not silently swallowed.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+bool probe_byte(const volatile unsigned char* p) noexcept {
+  tl_probing = 1;
+  if (sigsetjmp(tl_probe_jmp, 1) != 0) return false;
+  (void)*p;
+  tl_probing = 0;
+  return true;
+}
+
+}  // namespace
+
+FaultGuard::FaultGuard() noexcept {
+  struct sigaction sa {};
+  sa.sa_handler = probe_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, &old_segv_);
+  ::sigaction(SIGBUS, &sa, &old_bus_);
+}
+
+FaultGuard::~FaultGuard() {
+  ::sigaction(SIGSEGV, &old_segv_, nullptr);
+  ::sigaction(SIGBUS, &old_bus_, nullptr);
+}
+
+bool FaultGuard::readable(const void* p, std::size_t len) noexcept {
+  if (len == 0) return true;
+  const auto* b = static_cast<const volatile unsigned char*>(p);
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  for (std::size_t i = 0; i < len; i += page) {
+    if (!probe_byte(b + i)) return false;
+  }
+  return probe_byte(b + len - 1);
+}
+
+}  // namespace poseidon::pmem::fault

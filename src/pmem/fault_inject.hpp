@@ -1,0 +1,79 @@
+// Fault injection for the pmem substrate (robustness testing).
+//
+// Mirrors crashpoint.hpp's arming discipline: in production the cost of an
+// uninstrumented call is one relaxed atomic load.  Two mechanisms:
+//
+//   * Syscall faults — Pool's open/mmap/ftruncate/fstat/fallocate wrappers
+//     consult intercept(op) first; an armed op makes the k-th (or every
+//     k-th) call fail with a chosen errno without entering the kernel.
+//     Arm programmatically (fault::arm / fault::arm_every) or via the
+//     environment:  POSEIDON_FAULT="fallocate:17:95,fstat:1:5"
+//     (op:period:errno — every period-th call fails; parsed once).
+//
+//   * Page poisoning — poison_arm(off, len) makes the next Pool mapping
+//     mprotect that file range PROT_NONE, simulating a PM media error (a
+//     DAX read of a bad page raises SIGBUS).  Arming is one-shot: it
+//     applies to the next map only, so a later re-open maps clean pages
+//     and repair can be exercised.
+//
+// FaultGuard provides the matching detection side: a scoped SIGSEGV/SIGBUS
+// capture under which readable(p, len) probes one byte per page and reports
+// false instead of crashing — Heap::open uses it to turn a poisoned
+// metadata page into a quarantined sub-heap rather than a dead process.
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+
+namespace poseidon::pmem::fault {
+
+enum class SysOp : unsigned {
+  kOpen = 0,
+  kMmap = 1,
+  kFtruncate = 2,
+  kFstat = 3,
+  kFallocate = 4,
+};
+inline constexpr unsigned kSysOpCount = 5;
+
+// One-shot: exactly the `nth` (1-based) call to `op` fails with `err`.
+void arm(SysOp op, std::uint64_t nth, int err);
+// Periodic: every `period`-th call to `op` fails with `err` until disarmed.
+void arm_every(SysOp op, std::uint64_t period, int err);
+void disarm(SysOp op) noexcept;
+void disarm_all() noexcept;
+
+// Calls to `op` observed since its last arm (diagnostic).
+std::uint64_t hits(SysOp op) noexcept;
+
+// Returns 0 (proceed with the real syscall) or the errno the caller must
+// fail with.  Cheap when nothing is armed.
+int intercept(SysOp op) noexcept;
+
+// Poison [off, off+len) (rounded out to pages) of the NEXT pool mapping.
+void poison_arm(std::uint64_t off, std::uint64_t len);
+void poison_clear() noexcept;
+// Called by Pool after mmap: applies and consumes any armed poison ranges
+// that fit inside [base, base+size).
+void apply_poison(std::byte* base, std::size_t size) noexcept;
+
+// Scoped SIGSEGV/SIGBUS capture for metadata probes.  Not reentrant with
+// other signal-handling machinery; intended for single-threaded admin
+// paths (open-time validation, fsck).
+class FaultGuard {
+ public:
+  FaultGuard() noexcept;
+  ~FaultGuard();
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+
+  // True when every page of [p, p+len) reads without faulting.
+  bool readable(const void* p, std::size_t len) noexcept;
+
+ private:
+  struct sigaction old_segv_;
+  struct sigaction old_bus_;
+};
+
+}  // namespace poseidon::pmem::fault

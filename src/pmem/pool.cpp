@@ -7,21 +7,31 @@
 
 #include <cerrno>
 #include <stdexcept>
-#include <system_error>
 #include <utility>
+
+#include "common/error.hpp"
+#include "pmem/fault_inject.hpp"
 
 namespace poseidon::pmem {
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::system_error(errno, std::generic_category(), what);
+[[noreturn]] void throw_io(const std::string& what) {
+  throw Error(ErrorCode::kIo, what, errno);
 }
 
 std::byte* map_fd(int fd, std::size_t size) {
-  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  if (p == MAP_FAILED) throw_errno("mmap pool");
-  return static_cast<std::byte*>(p);
+  void* p = MAP_FAILED;
+  if (const int e = fault::intercept(fault::SysOp::kMmap)) {
+    errno = e;
+  } else {
+    p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  }
+  if (p == MAP_FAILED) throw_io("mmap pool");
+  auto* base = static_cast<std::byte*>(p);
+  // Armed media-error emulation (PROT_NONE pages) lands at map time.
+  fault::apply_poison(base, size);
+  return base;
 }
 
 }  // namespace
@@ -35,27 +45,49 @@ Pool Pool::create(const std::string& path, std::size_t size) {
                                 ": exists and is not a regular file "
                                 "(Poseidon pools must be regular files)");
   }
-  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0644);
-  if (fd < 0) throw_errno("create pool file " + path);
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+  int fd = -1;
+  if (const int e = fault::intercept(fault::SysOp::kOpen)) {
+    errno = e;
+  } else {
+    fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0644);
+  }
+  if (fd < 0) throw_io("create pool file " + path);
+  int trunc_rc = -1;
+  if (const int e = fault::intercept(fault::SysOp::kFtruncate)) {
+    errno = e;
+  } else {
+    trunc_rc = ::ftruncate(fd, static_cast<off_t>(size));
+  }
+  if (trunc_rc != 0) {
     const int saved = errno;
     ::close(fd);
     ::unlink(path.c_str());
     errno = saved;
-    throw_errno("ftruncate pool file " + path);
+    throw_io("ftruncate pool file " + path);
   }
   return Pool(path, fd, map_fd(fd, size), size);
 }
 
 Pool Pool::open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) throw_errno("open pool file " + path);
+  int fd = -1;
+  if (const int e = fault::intercept(fault::SysOp::kOpen)) {
+    errno = e;
+  } else {
+    fd = ::open(path.c_str(), O_RDWR);
+  }
+  if (fd < 0) throw_io("open pool file " + path);
   struct stat st{};
-  if (::fstat(fd, &st) != 0) {
+  int stat_rc = -1;
+  if (const int e = fault::intercept(fault::SysOp::kFstat)) {
+    errno = e;
+  } else {
+    stat_rc = ::fstat(fd, &st);
+  }
+  if (stat_rc != 0) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
-    throw_errno("fstat pool file " + path);
+    throw_io("fstat pool file " + path);
   }
   if (!S_ISREG(st.st_mode)) {
     ::close(fd);
@@ -88,16 +120,37 @@ Pool& Pool::operator=(Pool&& other) noexcept {
   return *this;
 }
 
-void Pool::punch_hole(std::size_t offset, std::size_t len) {
-  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
-                  static_cast<off_t>(offset), static_cast<off_t>(len)) != 0) {
-    throw_errno("fallocate(PUNCH_HOLE) " + path_);
+bool Pool::punch_hole(std::size_t offset, std::size_t len) {
+  for (;;) {
+    int rc = -1;
+    if (const int e = fault::intercept(fault::SysOp::kFallocate)) {
+      errno = e;
+    } else {
+      rc = ::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                       static_cast<off_t>(offset), static_cast<off_t>(len));
+    }
+    if (rc == 0) return true;
+    if (errno == EINTR) continue;  // signal landed mid-call: retry
+    if (errno == EOPNOTSUPP || errno == ENOSPC) {
+      // The filesystem cannot punch (or cannot afford the metadata).
+      // Leaving the bytes backed is only a space regression — a
+      // deactivated level holds no records, so its content is dead either
+      // way — and must never kill the defrag path that asked for it.
+      return false;
+    }
+    throw_io("fallocate(PUNCH_HOLE) " + path_);
   }
 }
 
 std::size_t Pool::allocated_bytes() const {
   struct stat st{};
-  if (::fstat(fd_, &st) != 0) throw_errno("fstat " + path_);
+  int rc = -1;
+  if (const int e = fault::intercept(fault::SysOp::kFstat)) {
+    errno = e;
+  } else {
+    rc = ::fstat(fd_, &st);
+  }
+  if (rc != 0) throw_io("fstat " + path_);
   return static_cast<std::size_t>(st.st_blocks) * 512u;
 }
 

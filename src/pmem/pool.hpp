@@ -38,7 +38,11 @@ class Pool {
   // Deallocate [offset, offset+len) from the backing file, keeping the
   // mapping intact; the pages read back as zero and are re-allocated by the
   // filesystem on the next store.  Offset/len must be page-aligned.
-  void punch_hole(std::size_t offset, std::size_t len);
+  // Returns true when the range was deallocated.  EINTR is retried;
+  // EOPNOTSUPP/ENOSPC return false (the hole is skipped — a space
+  // regression, not an error, so defrag keeps running); anything else
+  // throws poseidon::Error{kIo}.
+  bool punch_hole(std::size_t offset, std::size_t len);
 
   // Bytes actually allocated by the filesystem (st_blocks).
   std::size_t allocated_bytes() const;

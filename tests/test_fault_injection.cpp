@@ -1,0 +1,199 @@
+// Fault injection (pmem/fault_inject.hpp): syscall-level errno injection
+// into Pool's wrappers, punch-hole degradation, typed I/O errors, and page
+// poisoning driving the quarantine/degraded-service path end to end.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/heap.hpp"
+#include "core/layout.hpp"
+#include "pmem/fault_inject.hpp"
+#include "pmem/pool.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon {
+namespace {
+
+using core::Heap;
+using core::NvPtr;
+using pmem::fault::SysOp;
+using test::small_opts;
+using test::TempHeapPath;
+
+// Every test disarms on entry and exit so a failing assertion cannot leak
+// an armed fault into the rest of the suite.
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pmem::fault::disarm_all();
+    pmem::fault::poison_clear();
+  }
+  void TearDown() override {
+    pmem::fault::disarm_all();
+    pmem::fault::poison_clear();
+  }
+};
+
+TEST_F(FaultInjection, PunchHoleRetriesEintr) {
+  TempHeapPath path("fi_eintr");
+  pmem::Pool p = pmem::Pool::create(path.str(), 1 << 20);
+  pmem::fault::arm(SysOp::kFallocate, 1, EINTR);
+  EXPECT_TRUE(p.punch_hole(0, 4096));  // retried past the injected EINTR
+}
+
+TEST_F(FaultInjection, PunchHoleSkipsUnsupportedFilesystem) {
+  TempHeapPath path("fi_notsup");
+  pmem::Pool p = pmem::Pool::create(path.str(), 1 << 20);
+  pmem::fault::arm(SysOp::kFallocate, 1, EOPNOTSUPP);
+  EXPECT_FALSE(p.punch_hole(0, 4096));
+  pmem::fault::arm(SysOp::kFallocate, 1, ENOSPC);
+  EXPECT_FALSE(p.punch_hole(0, 4096));
+  // Any other errno is a real error and must surface as a typed kIo.
+  pmem::fault::arm(SysOp::kFallocate, 1, EIO);
+  try {
+    p.punch_hole(0, 4096);
+    FAIL() << "EIO must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kIo);
+  }
+}
+
+TEST_F(FaultInjection, DefragStaysAliveWhenHolesCannotBePunched) {
+  TempHeapPath path("fi_defrag");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  // Drive the hash table past level 0 (1024 slots) with 32 B records,
+  // then shred every remaining large free block into 4 KiB pieces so the
+  // only way back to a big block is a full defragmentation pass.
+  std::vector<NvPtr> ptrs;
+  for (unsigned i = 0; i < 2048; ++i) {
+    const NvPtr p = h->alloc(32);
+    ASSERT_FALSE(p.is_null());
+    ptrs.push_back(p);
+  }
+  ASSERT_GE(h->stats().hash_extensions, 1u);
+  for (;;) {
+    const NvPtr p = h->alloc(4096);
+    if (p.is_null()) break;
+    ptrs.push_back(p);
+  }
+  // Free everything and demand the whole region back while fallocate
+  // reports EOPNOTSUPP on every call: defragmentation merges the region
+  // back together, the emptied hash levels shrink, and the unpunchable
+  // holes are skipped (counted) instead of killing the operation.
+  pmem::fault::arm_every(SysOp::kFallocate, 1, EOPNOTSUPP);
+  for (const NvPtr& p : ptrs) ASSERT_EQ(h->free(p), core::FreeResult::kOk);
+  const NvPtr big = h->alloc(1 << 20);
+  EXPECT_FALSE(big.is_null());
+  EXPECT_GE(h->stats().hash_shrinks, 1u);
+  EXPECT_GE(h->metrics().punch_hole_skips.read(), 1u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST_F(FaultInjection, InjectedSyscallFailuresAreTypedIoErrors) {
+  TempHeapPath path("fi_io");
+  pmem::fault::arm(SysOp::kOpen, 1, EACCES);
+  try {
+    pmem::Pool::create(path.str(), 1 << 20);
+    FAIL() << "injected open failure must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kIo);
+  }
+  pmem::fault::disarm_all();
+  pmem::Pool::create(path.str(), 1 << 20);  // file now exists
+  pmem::fault::arm(SysOp::kMmap, 1, ENOMEM);
+  try {
+    pmem::Pool::open(path.str());
+    FAIL() << "injected mmap failure must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kIo);
+  }
+  pmem::fault::disarm_all();
+  pmem::fault::arm(SysOp::kFstat, 1, EIO);
+  try {
+    pmem::Pool::open(path.str());
+    FAIL() << "injected fstat failure must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kIo);
+  }
+}
+
+TEST_F(FaultInjection, PoisonedMetadataQuarantinesOnlyThatSubheap) {
+  TempHeapPath path("fi_poison");
+  core::Options opts = small_opts(2);
+  opts.policy = core::SubheapPolicy::kFixed0;
+  std::vector<NvPtr> ptrs;
+  {
+    auto h = Heap::create(path.str(), 1 << 20, opts);
+    for (unsigned i = 0; i < 3; ++i) {
+      const NvPtr p = h->alloc(32);
+      ASSERT_FALSE(p.is_null());
+      ptrs.push_back(p);
+    }
+    std::memset(h->raw(ptrs[0]), 0xab, 32);
+  }
+  core::SuperBlock sb{};
+  {
+    pmem::Pool p = pmem::Pool::open(path.str());
+    std::memcpy(&sb, p.data(), sizeof(sb));
+  }
+  // Poison sub-heap 0's metadata page in the NEXT mapping: a PM media
+  // error under the allocator's own bookkeeping.
+  pmem::fault::poison_arm(sb.subheap_meta_off, 4096);
+  {
+    auto h = Heap::open(path.str(), opts);
+    // Detection: the open-time probe faults, the sub-heap is quarantined,
+    // and observability reports it.
+    EXPECT_EQ(h->subheap_health(0), core::SubheapHealth::kQuarantined);
+    EXPECT_GE(h->metrics().corruption_detected.read(), 1u);
+    EXPECT_GE(h->metrics().subheaps_quarantined.read(), 1u);
+    EXPECT_EQ(h->stats().subheaps_quarantined, 1u);
+    bool saw_quarantine_event = false;
+    for (const auto& e : h->flight_events()) {
+      if (e.op == static_cast<std::uint16_t>(obs::FlightOp::kQuarantine)) {
+        saw_quarantine_event = true;
+      }
+    }
+    EXPECT_TRUE(saw_quarantine_event);
+    // Degradation: frees into the quarantined sub-heap get the typed
+    // refusal, its user data stays readable, and the heap keeps serving
+    // allocations from the healthy sub-heap.
+    EXPECT_EQ(h->free(ptrs[0]), core::FreeResult::kQuarantined);
+    const auto* data = static_cast<const unsigned char*>(h->raw(ptrs[0]));
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data[0], 0xab);
+    const NvPtr p = h->alloc(64);
+    ASSERT_FALSE(p.is_null());
+    EXPECT_EQ(p.subheap(), 1u);
+    EXPECT_EQ(h->subheap_health(1), core::SubheapHealth::kReady);
+  }
+  // Repair: a fresh mapping is clean (the poison was one-shot), so fsck
+  // rebuilds the sub-heap and the committed blocks free exactly once.
+  {
+    auto h = Heap::open(path.str(), opts);
+    EXPECT_EQ(h->subheap_health(0), core::SubheapHealth::kQuarantined);
+    const auto rep = h->fsck();
+    EXPECT_GE(rep.repaired, 1u);
+    EXPECT_EQ(h->subheap_health(0), core::SubheapHealth::kReady);
+    for (const NvPtr& p : ptrs) {
+      EXPECT_EQ(h->free(p), core::FreeResult::kOk);
+      EXPECT_NE(h->free(p), core::FreeResult::kOk);
+    }
+    std::string why;
+    EXPECT_TRUE(h->check_invariants(&why)) << why;
+  }
+}
+
+TEST_F(FaultInjection, FaultGuardProbesWithoutCrashing) {
+  // Plain sanity of the probe primitive itself on ordinary memory.
+  pmem::fault::FaultGuard guard;
+  const std::string s(8192, 'x');
+  EXPECT_TRUE(guard.readable(s.data(), s.size()));
+}
+
+}  // namespace
+}  // namespace poseidon

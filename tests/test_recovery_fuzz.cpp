@@ -6,6 +6,7 @@
 // consecutive power failures.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,7 +37,14 @@ TEST_P(CrashFuzz, SurvivesConsecutivePowerFailures) {
   // crash these must still free exactly once.
   std::vector<NvPtr> committed;
 
-  for (int round = 0; round < 60; ++round) {
+  // POSEIDON_FUZZ_MULT scales the round count for long-running CI jobs
+  // (e.g. the nightly fault-injection sweep runs 5x).
+  int mult = 1;
+  if (const char* env = std::getenv("POSEIDON_FUZZ_MULT")) {
+    const int v = std::atoi(env);
+    if (v > 0) mult = v;
+  }
+  for (int round = 0; round < 60 * mult; ++round) {
     auto h = Heap::open(path.str(), o);
     std::string why;
     ASSERT_TRUE(h->check_invariants(&why))

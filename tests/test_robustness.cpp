@@ -42,9 +42,22 @@ TEST(Robustness, VersionAndMagicAreChecked) {
     auto h = Heap::create(path.str(), 1 << 20, small_opts());
   }
   {
-    // Flip one magic byte.
+    // Flip one magic byte: since the superblock shadow (layout v4) this is
+    // repairable corruption, not a fatal mismatch.
     pmem::Pool p = pmem::Pool::open(path.str());
     p.data()[0] ^= std::byte{0x1};
+  }
+  {
+    auto h = Heap::open(path.str(), small_opts());
+    EXPECT_GE(h->metrics().corruption_detected.read(), 1u);
+    EXPECT_FALSE(h->alloc(64).is_null());
+  }
+  {
+    // Corrupt the primary AND its shadow: now nothing vouches for the
+    // file being a pool at all.
+    pmem::Pool p = pmem::Pool::open(path.str());
+    p.data()[0] ^= std::byte{0x1};
+    p.data()[core::super_shadow_off()] ^= std::byte{0x1};
   }
   EXPECT_THROW(Heap::open(path.str(), small_opts()), std::runtime_error);
 }
@@ -66,7 +79,7 @@ TEST(Robustness, PunchHoleHandlesMisalignedRange) {
   TempHeapPath path("badpunch");
   pmem::Pool p = pmem::Pool::create(path.str(), 64 << 10);
   std::memset(p.data(), 0x7e, 64 << 10);
-  p.punch_hole(100, 4096);
+  EXPECT_TRUE(p.punch_hole(100, 4096));
   EXPECT_EQ(p.data()[99], std::byte{0x7e});
   EXPECT_EQ(p.data()[100], std::byte{0});
   EXPECT_EQ(p.data()[100 + 4095], std::byte{0});
