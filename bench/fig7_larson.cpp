@@ -13,10 +13,11 @@ using namespace poseidon::workloads;
 namespace {
 
 double run_larson_once(iface::AllocatorKind kind, unsigned t,
-                       bool thread_cache) {
+                       bool thread_cache, unsigned nshards = 1) {
   iface::AllocatorConfig cfg;
   cfg.capacity = 256ull << 20;
   cfg.nlanes = t;
+  cfg.nshards = nshards;
   cfg.thread_cache = thread_cache;
   auto alloc = iface::make_allocator(kind, cfg);
   LarsonConfig lc;
@@ -33,6 +34,14 @@ int main() {
   for (const unsigned t : default_thread_sweep()) {
     print_point("fig7/larson", "poseidon+tc", t,
                 run_larson_once(iface::AllocatorKind::kPoseidon, t, true));
+  }
+  // NUMA-shard ablation: two pool shards with per-thread routing, so the
+  // series measures routing + cross-shard frees even on single-node boxes
+  // (set POSEIDON_FAKE_NUMA=2 to also exercise the topology plumbing).
+  for (const unsigned t : default_thread_sweep()) {
+    print_point("fig7/larson", "poseidon+shards", t,
+                run_larson_once(iface::AllocatorKind::kPoseidon, t, false,
+                                /*nshards=*/2));
   }
   for (const auto kind : all_allocators()) {
     for (const unsigned t : default_thread_sweep()) {

@@ -10,9 +10,14 @@
 // quarantined ones retried, then the report is printed.  Exit status is 0
 // when the heap ends healthy (including "repaired"), 1 otherwise.
 //
+// With --topology it prints the NUMA node → shard → sub-heap mapping with
+// per-shard occupancy and quarantine state instead (add --json for a
+// machine-readable dump), then exits 0 when every shard is in service.
+//
 //   $ ./heap_inspect /dev/shm/persistent_kv.heap
 //   $ ./heap_inspect --json /dev/shm/persistent_kv.heap   # obs JSON only
 //   $ ./heap_inspect --fsck /dev/shm/persistent_kv.heap   # check AND repair
+//   $ ./heap_inspect --topology [--json] /dev/shm/persistent_kv.heap
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -41,12 +46,15 @@ void print_size(const char* label, std::uint64_t bytes) {
 int main(int argc, char** argv) {
   bool json_only = false;
   bool run_fsck = false;
+  bool topology = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_only = true;
     } else if (std::strcmp(argv[i], "--fsck") == 0) {
       run_fsck = true;
+    } else if (std::strcmp(argv[i], "--topology") == 0) {
+      topology = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -55,7 +63,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s [--json] [--fsck] <heap-file>\n",
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--fsck] [--topology] <heap-file>\n",
                  argv[0]);
     return 2;
   }
@@ -74,6 +83,71 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", path, e.what());
     return 1;
+  }
+
+  if (topology) {
+    // Node → shard → sub-heap map with per-shard occupancy and quarantine
+    // state; exit 0 only when every shard slot is in service.
+    unsigned dead = 0;
+    if (json_only) {
+      std::printf("{\"path\":\"%s\",\"nshards\":%u,\"shards\":[", path,
+                  heap->shard_count());
+    } else {
+      std::printf("== shard topology: %s (%u shard%s)\n", path,
+                  heap->shard_count(), heap->shard_count() == 1 ? "" : "s");
+    }
+    for (unsigned i = 0; i < heap->shard_count(); ++i) {
+      const core::PoolShard* sh = heap->shard(i);
+      if (json_only && i != 0) std::printf(",");
+      if (sh == nullptr) {
+        ++dead;
+        if (json_only) {
+          std::printf("{\"index\":%u,\"node\":%u,\"path\":\"%s\","
+                      "\"quarantined\":true}",
+                      i, heap->shard_node(i), heap->shard_path(i).c_str());
+        } else {
+          std::printf("node %-3u shard %-3u %s: QUARANTINED (failed to "
+                      "open)\n",
+                      heap->shard_node(i), i, heap->shard_path(i).c_str());
+        }
+        continue;
+      }
+      const auto ss = sh->stats();
+      unsigned ready = 0, repairing = 0, quarantined = 0;
+      for (unsigned s = 0; s < sh->nsubheaps(); ++s) {
+        switch (sh->subheap_health(s)) {
+          case core::SubheapHealth::kReady: ++ready; break;
+          case core::SubheapHealth::kRepairing: ++repairing; break;
+          case core::SubheapHealth::kQuarantined: ++quarantined; break;
+          case core::SubheapHealth::kAbsent: break;
+        }
+      }
+      if (json_only) {
+        std::printf("{\"index\":%u,\"node\":%u,\"path\":\"%s\","
+                    "\"quarantined\":false,\"id\":%" PRIu64
+                    ",\"nsubheaps\":%u,\"subheaps_ready\":%u,"
+                    "\"subheaps_repairing\":%u,\"subheaps_quarantined\":%u,"
+                    "\"live_blocks\":%" PRIu64 ",\"free_blocks\":%" PRIu64
+                    ",\"allocated_bytes\":%" PRIu64 "}",
+                    i, heap->shard_node(i), sh->path().c_str(), sh->heap_id(),
+                    sh->nsubheaps(), ready, repairing, quarantined,
+                    ss.live_blocks, ss.free_blocks, ss.allocated_bytes);
+      } else {
+        std::printf("node %-3u shard %-3u %s: id=%016" PRIx64
+                    " sub-heaps=%u (ready=%u repairing=%u quarantined=%u) "
+                    "live=%" PRIu64 " free=%" PRIu64 " allocated=%" PRIu64
+                    " B\n",
+                    heap->shard_node(i), i, sh->path().c_str(), sh->heap_id(),
+                    sh->nsubheaps(), ready, repairing, quarantined,
+                    ss.live_blocks, ss.free_blocks, ss.allocated_bytes);
+      }
+    }
+    if (json_only) {
+      std::printf("],\"shards_quarantined\":%u}\n", dead);
+    } else if (dead > 0) {
+      std::printf("%u shard slot(s) quarantined — degraded service\n", dead);
+    }
+    return dead == 0 ? 0 : 1;
   }
 
   if (json_only) {

@@ -25,6 +25,10 @@ class PoseidonAdapter final : public PAllocator {
   PoseidonAdapter(const std::string& path, const AllocatorConfig& cfg) {
     core::Options opts;
     opts.nsubheaps = cfg.nlanes;
+    opts.nshards = cfg.nshards;
+    // Benchmark boxes are often single-node: route threads round-robin over
+    // the shards so a multi-shard series measures routing, not topology.
+    if (cfg.nshards > 1) opts.shard_policy = core::ShardPolicy::kPerThread;
     // PerThread spreads N benchmark threads over N sub-heaps even on boxes
     // with fewer CPUs than threads (see DESIGN.md); on a real manycore the
     // two policies coincide.
@@ -37,8 +41,12 @@ class PoseidonAdapter final : public PAllocator {
     path_ = path;
   }
   ~PoseidonAdapter() override {
+    const unsigned nshards = heap_->shard_count();
     heap_.reset();
     pmem::Pool::unlink(path_);
+    for (unsigned i = 1; i < nshards; ++i) {
+      pmem::Pool::unlink(path_ + ".shard" + std::to_string(i));
+    }
   }
 
   void* alloc(std::size_t size) override {

@@ -37,6 +37,10 @@ struct AllocatorConfig {
   std::uint64_t capacity = 64ull << 20;
   // Sub-heap / arena parallelism hint (Poseidon: sub-heap count; 0 = auto).
   unsigned nlanes = 0;
+  // Poseidon only: NUMA shard count (0 = one per NUMA node; 1 = the
+  // pre-v5 monolithic heap).  Multi-shard benches route each thread to a
+  // shard by thread id so single-node CI boxes still exercise routing.
+  unsigned nshards = 0;
   // Heap file path; empty derives one under /dev/shm.
   std::string path;
   // Remove any existing file first.

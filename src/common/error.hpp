@@ -27,6 +27,7 @@ enum class ErrorCode : int {
   kCorruptSubheap = 7,    // sub-heap metadata damaged beyond scavenge
   kQuarantined = 8,       // operation refused: sub-heap is quarantined
   kInternal = 9,          // invariant violation inside the allocator
+  kShardMismatch = 10,    // shard set member disagrees on set id/epoch/count
 };
 
 inline const char* to_string(ErrorCode c) noexcept {
@@ -41,6 +42,7 @@ inline const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::kCorruptSubheap: return "corrupt-subheap";
     case ErrorCode::kQuarantined: return "quarantined";
     case ErrorCode::kInternal: return "internal-error";
+    case ErrorCode::kShardMismatch: return "shard-mismatch";
   }
   return "?";
 }

@@ -1,11 +1,14 @@
 #include "common/numa.hpp"
 
+#include <sched.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/topology.hpp"
 
 namespace poseidon {
 
@@ -34,12 +37,14 @@ unsigned parse_max_plus_one(const char* path) {
 }  // namespace
 
 unsigned numa_node_count() noexcept {
+  if (const unsigned fake = fake_numa_nodes(); fake != 0) return fake;
   static const unsigned count =
       parse_max_plus_one("/sys/devices/system/node/online");
   return count == 0 ? 1 : count;
 }
 
 unsigned numa_node_of_cpu(unsigned cpu) noexcept {
+  if (const unsigned fake = fake_numa_nodes(); fake != 0) return cpu % fake;
   if (numa_node_count() == 1) return 0;
   // The cpu's node appears as a nodeN symlink in its sysfs directory.
   for (unsigned node = 0; node < numa_node_count(); ++node) {
@@ -52,6 +57,10 @@ unsigned numa_node_of_cpu(unsigned cpu) noexcept {
 }
 
 bool numa_bind_region(void* addr, std::size_t len, unsigned node) noexcept {
+  // A faked topology has no real nodes behind it: mbind with those node
+  // ids would fail (or worse, land on an unrelated real node), so binding
+  // is a successful no-op exactly like the single-node case.
+  if (fake_numa_nodes() != 0) return true;
   if (numa_node_count() <= 1) return true;  // nothing to place
 #ifdef __NR_mbind
   constexpr int kMpolPreferred = 1;  // MPOL_PREFERRED
@@ -65,6 +74,23 @@ bool numa_bind_region(void* addr, std::size_t len, unsigned node) noexcept {
   (void)node;
   return false;
 #endif
+}
+
+bool pin_thread_to_node(unsigned node) noexcept {
+  const unsigned nodes = numa_node_count();
+  if (nodes <= 1) return true;  // nowhere else to run
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  unsigned cpus_in_node = 0;
+  const unsigned ncpu = cpu_count();
+  for (unsigned cpu = 0; cpu < ncpu; ++cpu) {
+    if (numa_node_of_cpu(cpu) == node % nodes) {
+      CPU_SET(cpu, &set);
+      ++cpus_in_node;
+    }
+  }
+  if (cpus_in_node == 0) return false;
+  return ::sched_setaffinity(0, sizeof(set), &set) == 0;
 }
 
 }  // namespace poseidon

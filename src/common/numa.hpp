@@ -21,7 +21,14 @@ unsigned numa_node_of_cpu(unsigned cpu) noexcept;
 // Best-effort: prefer placing pages of [addr, addr+len) on `node`.
 // Returns false when the kernel refuses (never fatal — placement is a
 // performance hint, not a correctness requirement).  No-op on
-// single-node systems.
+// single-node systems and under the POSEIDON_FAKE_NUMA override (the
+// fake nodes do not exist, so there is nothing to bind to).
 bool numa_bind_region(void* addr, std::size_t len, unsigned node) noexcept;
+
+// Best-effort: pin the calling thread to the CPUs of `node` (per the real
+// or fake topology).  Used by shard-parallel open/recovery/fsck workers so
+// each shard's first-touch and log replay happen node-local.  Returns
+// false when the affinity call fails or the node has no CPUs; never fatal.
+bool pin_thread_to_node(unsigned node) noexcept;
 
 }  // namespace poseidon

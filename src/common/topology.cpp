@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 
 namespace poseidon {
 
@@ -22,6 +23,22 @@ unsigned thread_ordinal() noexcept {
   thread_local const unsigned ordinal =
       next.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
+}
+
+unsigned parse_fake_numa(const char* value) noexcept {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value, &end, 10);
+  // Trailing garbage, 0/1 (no-op topologies) and absurd counts all disable
+  // the override rather than fabricating a half-valid topology.
+  if (end == value || *end != '\0') return 0;
+  if (n < 2 || n > 64) return 0;
+  return static_cast<unsigned>(n);
+}
+
+unsigned fake_numa_nodes() noexcept {
+  static const unsigned n = parse_fake_numa(std::getenv("POSEIDON_FAKE_NUMA"));
+  return n;
 }
 
 }  // namespace poseidon

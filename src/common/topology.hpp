@@ -16,4 +16,16 @@ unsigned current_cpu() noexcept;
 // on boxes with fewer CPUs than benchmark threads.
 unsigned thread_ordinal() noexcept;
 
+// Fake NUMA topology override for single-node CI runners and ablations:
+// POSEIDON_FAKE_NUMA=N (2..64) makes numa_node_count() report N nodes and
+// numa_node_of_cpu() report cpu % N, while memory binding becomes a
+// successful no-op (the nodes do not exist).  Returns 0 when the override
+// is not active.  Read once at first use, like the real topology.
+unsigned fake_numa_nodes() noexcept;
+
+// Parser behind fake_numa_nodes(), exposed so tests can cover the env
+// contract without mutating the process environment: nullptr/empty/0/1,
+// garbage and out-of-range values all mean "disabled" (returns 0).
+unsigned parse_fake_numa(const char* value) noexcept;
+
 }  // namespace poseidon

@@ -128,6 +128,8 @@ void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
   out->cache_flushes = s.cache_flushes;
   out->cache_cached_blocks = s.cache_cached_blocks;
   out->subheaps_quarantined = s.subheaps_quarantined;
+  out->nshards = s.nshards;
+  out->shards_quarantined = s.shards_quarantined;
 }
 
 int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out) {

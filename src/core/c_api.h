@@ -48,6 +48,7 @@ const char *poseidon_last_error(void);
 #define POSEIDON_ERR_CORRUPT_SUBHEAP 7
 #define POSEIDON_ERR_QUARANTINED 8
 #define POSEIDON_ERR_INTERNAL 9
+#define POSEIDON_ERR_SHARD_MISMATCH 10
 
 /* Code classifying the calling thread's most recent poseidon_init failure
  * (POSEIDON_ERR_*), or POSEIDON_OK when its last poseidon_init succeeded.
@@ -102,6 +103,9 @@ typedef struct poseidon_stats {
   uint64_t cache_cached_blocks;
   /* Sub-heaps currently quarantined or mid-repair (degraded service). */
   uint64_t subheaps_quarantined;
+  /* NUMA shard set: member pool files, and members out of service. */
+  uint32_t nshards;
+  uint32_t shards_quarantined;
 } poseidon_stats_t;
 
 /* Zero-fills *out when heap is NULL; no-op when out is NULL. */

@@ -28,7 +28,7 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
-#include "core/heap.hpp"
+#include "core/pool_shard.hpp"
 #include "core/micro_log.hpp"
 #include "pmem/fault_inject.hpp"
 #include "pmem/persist.hpp"
@@ -53,7 +53,7 @@ bool seal_csums_match(const std::byte* heap_base,
 
 }  // namespace
 
-bool Heap::validate_superblock(pmem::Pool& pool) {
+bool PoolShard::validate_superblock(pmem::Pool& pool) {
   if (pool.size() < super_shadow_off() + sizeof(SuperShadow)) {
     throw Error(ErrorCode::kNotAPool,
                 pool.path() + ": too small to be a Poseidon heap");
@@ -114,10 +114,16 @@ bool Heap::validate_superblock(pmem::Pool& pool) {
     throw Error(ErrorCode::kCorruptSuperblock,
                 pool.path() + ": superblock geometry out of bounds");
   }
+  // Shard header sanity (v5): the routing front-end indexes by these.
+  if (sb->shard_set_id == 0 || sb->shard_count == 0 ||
+      sb->shard_count > kMaxShards || sb->shard_index >= sb->shard_count) {
+    throw Error(ErrorCode::kCorruptSuperblock,
+                pool.path() + ": shard header out of bounds");
+  }
   return repaired;
 }
 
-bool Heap::probe_subheap_readable(unsigned idx) const noexcept {
+bool PoolShard::probe_subheap_readable(unsigned idx) const noexcept {
   pmem::fault::FaultGuard guard;
   if (!guard.readable(meta_of(idx), sizeof(SubheapMeta))) return false;
   return guard.readable(
@@ -125,7 +131,7 @@ bool Heap::probe_subheap_readable(unsigned idx) const noexcept {
       sb_->hash_region_stride);
 }
 
-bool Heap::subheap_sane(unsigned idx) const noexcept {
+bool PoolShard::subheap_sane(unsigned idx) const noexcept {
   const SubheapMeta* m = meta_of(idx);
   return m->magic == kSubheapMagic && m->index == idx &&
          m->user_off == sb_->user_region_off + idx * sb_->user_size &&
@@ -136,15 +142,15 @@ bool Heap::subheap_sane(unsigned idx) const noexcept {
          m->level0_slots == sb_->level0_slots;
 }
 
-void Heap::quarantine_subheap(unsigned idx) {
+void PoolShard::quarantine_subheap(unsigned idx) {
   if (sb_->subheap_state[idx] == kSubheapQuarantined) return;
   pmem::nv_store_release_persist(sb_->subheap_state[idx],
                                  std::uint64_t{kSubheapQuarantined});
-  metrics_.subheaps_quarantined.inc();
+  metrics_->subheaps_quarantined.inc();
   flight(obs::FlightOp::kQuarantine, idx, 0, 0);
 }
 
-bool Heap::scavenge_subheap(unsigned idx, FsckReport* rep) {
+bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
   SubheapMeta* m = meta_of(idx);
   // Persisted first: a crash mid-rebuild leaves kSubheapRepairing and the
   // next open simply re-runs the (idempotent) scavenge instead of trusting
@@ -301,7 +307,7 @@ bool Heap::scavenge_subheap(unsigned idx, FsckReport* rep) {
   if (!subheap(idx).check_invariants(&why)) return false;
   pmem::nv_store_release_persist(sb_->subheap_state[idx],
                                  std::uint64_t{kSubheapReady});
-  metrics_.scavenge_repairs.inc();
+  metrics_->scavenge_repairs.inc();
   flight(obs::FlightOp::kScavenge, idx, 0, dropped);
   if (rep != nullptr) {
     rep->records_dropped += dropped;
@@ -310,24 +316,24 @@ bool Heap::scavenge_subheap(unsigned idx, FsckReport* rep) {
   return true;
 }
 
-void Heap::validate_on_open(bool sb_repaired) {
+void PoolShard::validate_on_open(bool sb_repaired) {
   // Pre-MPK, single-threaded (the constructor has not published the heap),
   // and before recover(): log replay must never chew on metadata that
   // verification would have rejected.
   if (sb_repaired) {
-    metrics_.corruption_detected.inc();
+    metrics_->corruption_detected.inc();
     flight(obs::FlightOp::kCorruption, 0, 0, 0);
   }
   const bool sealed = sb_->seal_state == kSealSealed;
   if (sealed && super_mutable_csum(*sb_) != sb_->mutable_csum) {
     // root / state words are suspect; the per-sub-heap checks below decide
     // each one's fate individually.
-    metrics_.corruption_detected.inc();
+    metrics_->corruption_detected.inc();
     flight(obs::FlightOp::kCorruption, 0, 0, 1);
   }
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     if (!probe_subheap_readable(i)) {
-      metrics_.corruption_detected.inc();
+      metrics_->corruption_detected.inc();
       flight(obs::FlightOp::kCorruption, i, 0, 2);
       quarantine_subheap(i);
       continue;
@@ -342,11 +348,11 @@ void Heap::validate_on_open(bool sb_repaired) {
         // unsealed open an absent state with leftover metadata is the
         // normal signature of a crash mid-format; reformat handles it.
         if (sealed && subheap_sane(i) && seal_csums_match(base(), *m)) {
-          metrics_.corruption_detected.inc();
+          metrics_->corruption_detected.inc();
           flight(obs::FlightOp::kCorruption, i, 0, 3);
           pmem::nv_store_release_persist(sb_->subheap_state[i],
                                          std::uint64_t{kSubheapReady});
-          metrics_.scavenge_repairs.inc();
+          metrics_->scavenge_repairs.inc();
         }
         break;
       case kSubheapQuarantined:
@@ -359,7 +365,7 @@ void Heap::validate_on_open(bool sb_repaired) {
         bool ok = subheap_sane(i);
         if (ok && sealed) ok = seal_csums_match(base(), *m);
         if (!ok) {
-          metrics_.corruption_detected.inc();
+          metrics_->corruption_detected.inc();
           flight(obs::FlightOp::kCorruption, i, 0, 4);
           if (!scavenge_subheap(i, nullptr)) quarantine_subheap(i);
         }
@@ -367,12 +373,12 @@ void Heap::validate_on_open(bool sb_repaired) {
       }
       default:
         // Garbage state word.
-        metrics_.corruption_detected.inc();
+        metrics_->corruption_detected.inc();
         flight(obs::FlightOp::kCorruption, i, 0, 5);
         if (sealed && subheap_sane(i) && seal_csums_match(base(), *m)) {
           pmem::nv_store_release_persist(sb_->subheap_state[i],
                                          std::uint64_t{kSubheapReady});
-          metrics_.scavenge_repairs.inc();
+          metrics_->scavenge_repairs.inc();
         } else if (m->magic == kSubheapMagic) {
           if (!scavenge_subheap(i, nullptr)) quarantine_subheap(i);
         } else {
@@ -390,7 +396,7 @@ void Heap::validate_on_open(bool sb_repaired) {
   }
 }
 
-void Heap::seal_all() noexcept {
+void PoolShard::seal_all() noexcept {
   // Clean-close quiesce: checksum every ready sub-heap's metadata + active
   // hash levels, then the superblock's mutable range, then flip the seal
   // word last (the commit point — a crash anywhere before it simply leaves
@@ -415,9 +421,9 @@ void Heap::seal_all() noexcept {
   pmem::nv_store_release_persist(sb_->seal_state, std::uint64_t{kSealSealed});
 }
 
-FsckReport Heap::fsck() {
+FsckReport PoolShard::fsck() {
+  // The heap-wide fsck_runs metric is counted once by the front-end.
   FsckReport rep;
-  metrics_.fsck_runs.inc();
   std::lock_guard<std::mutex> lk(admin_mu_);
   mpk::WriteWindow w(prot_.get());
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
@@ -438,7 +444,7 @@ FsckReport Heap::fsck() {
         ++rep.clean;
         continue;
       }
-      metrics_.corruption_detected.inc();
+      metrics_->corruption_detected.inc();
       flight(obs::FlightOp::kCorruption, i, 0, 6);
     }
     // Ready-but-broken, quarantined, or repairing: try the rebuild.
@@ -452,7 +458,7 @@ FsckReport Heap::fsck() {
   return rep;
 }
 
-SubheapHealth Heap::subheap_health(unsigned idx) const noexcept {
+SubheapHealth PoolShard::subheap_health(unsigned idx) const noexcept {
   if (idx >= sb_->nsubheaps) return SubheapHealth::kAbsent;
   switch (pmem::nv_load_acquire(sb_->subheap_state[idx])) {
     case kSubheapReady: return SubheapHealth::kReady;

@@ -1,117 +1,173 @@
 #include "core/heap.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <cstring>
-#include <random>
 #include <stdexcept>
+#include <thread>
 
-#include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "common/numa.hpp"
 #include "common/topology.hpp"
-#include "core/micro_log.hpp"
 #include "core/registry.hpp"
-#include "core/thread_cache.hpp"
 #include "pmem/crashpoint.hpp"
-#include "pmem/persist.hpp"
 
 namespace poseidon::core {
 
 namespace {
 
-constexpr std::uint64_t kMinUserSize = 64 * 1024;
-
-std::uint64_t random_heap_id() {
-  std::random_device rd;
-  std::uint64_t id = 0;
-  do {
-    id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
-  } while (id == 0);
-  return id;
+// Member file naming: the head (shard 0, holds the root) sits at `path`
+// itself, so a set of one is byte-for-byte where a pre-v5 heap was.
+std::string shard_file_path(const std::string& head, unsigned i) {
+  return i == 0 ? head : head + ".shard" + std::to_string(i);
 }
 
-void validate_options(const Options& opts) {
-  if (opts.level0_slots < kProbeWindow || opts.level0_slots % 256 != 0) {
-    throw std::invalid_argument(
-        "level0_slots must be a multiple of 256 and >= probe window");
-  }
-  if (opts.nsubheaps > kMaxSubheaps) {
-    throw std::invalid_argument("too many sub-heaps");
-  }
+unsigned shard_home_node(unsigned shard) noexcept {
+  return shard % numa_node_count();
 }
-
-// Per-thread open-transaction state (paper §5.3).  One open transaction
-// per thread; the pinned sub-heap's tx_mu is held until commit.
-struct TxState {
-  std::uint64_t heap_id = 0;
-  const void* owner = nullptr;  // Heap instance that pinned the sub-heap
-  unsigned sub = 0;
-  bool active = false;
-};
-thread_local TxState tl_tx;
 
 }  // namespace
+
+Heap::Heap(std::string head_path, const Options& opts)
+    : head_path_(std::move(head_path)), opts_(opts) {}
 
 std::unique_ptr<Heap> Heap::create(const std::string& path,
                                    std::uint64_t capacity,
                                    const Options& opts) {
-  validate_options(opts);
-  const unsigned nsub = opts.nsubheaps != 0
-                            ? opts.nsubheaps
-                            : std::min(cpu_count(), kMaxSubheaps);
-  const std::uint64_t per = capacity / nsub;
-  const std::uint64_t user_size =
-      round_up_pow2(per < kMinUserSize ? kMinUserSize : per);
-  const Geometry geo = compute_geometry(nsub, user_size, opts.level0_slots);
+  if (opts.nsubheaps > kMaxSubheaps) {
+    throw std::invalid_argument("too many sub-heaps");
+  }
+  if (opts.nshards > kMaxShards) {
+    throw std::invalid_argument("too many shards");
+  }
+  unsigned nshards = opts.nshards != 0 ? opts.nshards : numa_node_count();
+  if (nshards == 0) nshards = 1;
+  if (nshards > kMaxShards) nshards = kMaxShards;
+  unsigned per_shard = 0;
+  if (opts.nsubheaps == 0) {
+    // Auto: roughly one sub-heap per online CPU, split across the shards.
+    per_shard =
+        std::max(1u, std::min(cpu_count(), kMaxSubheaps) / nshards);
+  } else {
+    // An explicit total wins over the shard count: shrink the set to the
+    // largest divisor so nsubheaps() is exactly what the caller asked for.
+    while (opts.nsubheaps % nshards != 0) --nshards;
+    per_shard = opts.nsubheaps / nshards;
+  }
+  const std::uint64_t per_capacity =
+      std::max<std::uint64_t>(capacity / nshards, 1);
+  const std::uint64_t set_id = random_nonzero_u64();
+  const std::uint64_t epoch = random_nonzero_u64();
 
-  pmem::Pool pool = pmem::Pool::create(path, geo.file_size);
-  auto* sb = reinterpret_cast<SuperBlock*>(pool.data());
-  pmem::nv_memset(sb, 0, sizeof(SuperBlock));
-  pmem::nv_store(sb->version, kVersion);
-  pmem::nv_store(sb->nsubheaps, nsub);
-  pmem::nv_store(sb->heap_id, random_heap_id());
-  pmem::nv_store(sb->file_size, geo.file_size);
-  pmem::nv_store(sb->meta_size, geo.meta_size);
-  pmem::nv_store(sb->subheap_meta_off, geo.subheap_meta_off);
-  pmem::nv_store(sb->subheap_meta_stride, geo.subheap_meta_stride);
-  pmem::nv_store(sb->hash_region_off, geo.hash_region_off);
-  pmem::nv_store(sb->hash_region_stride, geo.hash_region_stride);
-  pmem::nv_store(sb->user_region_off, geo.user_region_off);
-  pmem::nv_store(sb->user_size, geo.user_size);
-  pmem::nv_store(sb->level0_slots, geo.level0_slots);
-  pmem::nv_store(sb->levels_max, static_cast<std::uint64_t>(geo.levels_max));
-  pmem::nv_store(sb->cache_log_off, geo.cache_log_off);
-  pmem::nv_store(sb->cache_log_stride, geo.cache_log_stride);
-  pmem::nv_store(sb->cache_slots, std::uint64_t{kCacheSlots});
-  pmem::nv_store(sb->flight_off, geo.flight_off);
-  pmem::nv_store(sb->flight_stride, geo.flight_stride);
-  // Config checksum + shadow page (v4): computed over the prefix as it
-  // will read once magic lands, so build the image in a local buffer.
-  unsigned char cfg[kSuperConfigBytes];
-  std::memcpy(cfg, sb, kSuperConfigBytes);
-  std::memcpy(cfg, &kSuperMagic, sizeof(kSuperMagic));
-  const std::uint64_t ccsum = csum_bytes(cfg, kSuperConfigBytes);
-  auto* shadow = reinterpret_cast<SuperShadow*>(pool.data() + super_shadow_off());
-  pmem::nv_memcpy(shadow->bytes, cfg, kSuperConfigBytes);
-  pmem::nv_store(shadow->len, std::uint64_t{kSuperConfigBytes});
-  pmem::nv_store(shadow->csum, ccsum);
-  pmem::persist(shadow, sizeof(SuperShadow));
-  pmem::nv_store_persist(shadow->magic, kShadowMagic);
-  pmem::nv_store(sb->config_csum, ccsum);
-  pmem::persist(sb, sizeof(SuperBlock));
-  // Magic last: a half-created file is never mistaken for a valid heap.
-  pmem::nv_store_persist(sb->magic, kSuperMagic);
-
-  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts));
+  std::unique_ptr<Heap> h(new Heap(path, opts));
+  h->nshards_ = nshards;
+  h->per_shard_subs_ = per_shard;
+  h->shards_.resize(nshards);
+  // Sweep members of a previous create that crashed before its head landed
+  // (no head file -> the set never committed; its members are garbage).
+  for (unsigned i = 1; i < kMaxShards; ++i) {
+    pmem::Pool::unlink(shard_file_path(path, i));
+  }
+  // Members first, head last: the head's magic is the shard set's commit
+  // point.  A crash anywhere in this loop leaves no openable heap.
+  for (unsigned i = 1; i < nshards; ++i) {
+    const ShardLink link{set_id, epoch, i, nshards};
+    h->shards_[i] =
+        PoolShard::create(shard_file_path(path, i), per_capacity, opts,
+                          per_shard, link, shard_home_node(i), &h->metrics_);
+    POSEIDON_CRASH_POINT("shard.after_member_create");
+  }
+  const ShardLink head{set_id, epoch, 0, nshards};
+  h->shards_[0] = PoolShard::create(path, per_capacity, opts, per_shard,
+                                    head, shard_home_node(0), &h->metrics_);
+  registry::add(h.get());
+  return h;
 }
 
 std::unique_ptr<Heap> Heap::open(const std::string& path,
                                  const Options& opts) {
-  validate_options(opts);
-  pmem::Pool pool = pmem::Pool::open(path);
-  const bool sb_repaired = validate_superblock(pool);
-  return std::unique_ptr<Heap>(new Heap(std::move(pool), opts, sb_repaired));
+  const ShardLink head = PoolShard::peek(path);
+  if (head.index != 0) {
+    throw Error(ErrorCode::kShardMismatch,
+                path + ": member " + std::to_string(head.index) +
+                    " of a shard set; open the head file instead");
+  }
+  if (head.count == 0 || head.count > kMaxShards) {
+    throw Error(ErrorCode::kCorruptSuperblock,
+                path + ": shard count " + std::to_string(head.count) +
+                    " out of bounds");
+  }
+  std::unique_ptr<Heap> h(new Heap(path, opts));
+  h->nshards_ = head.count;
+  h->shards_.resize(head.count);
+  std::vector<std::exception_ptr> errs(head.count);
+  auto open_one = [&](unsigned i) {
+    try {
+      const ShardLink expect{head.set_id, head.epoch, i, head.count};
+      h->shards_[i] =
+          PoolShard::open(shard_file_path(path, i), opts, &expect,
+                          shard_home_node(i), &h->metrics_);
+    } catch (...) {
+      errs[i] = std::current_exception();
+    }
+  };
+  if (head.count == 1) {
+    open_one(0);
+  } else {
+    // Shard-parallel recovery: one worker per member, pinned to the
+    // member's NUMA node so log replay and first-touch happen node-local.
+    std::vector<std::thread> workers;
+    workers.reserve(head.count);
+    for (unsigned i = 0; i < head.count; ++i) {
+      workers.emplace_back([&, i] {
+        pin_thread_to_node(shard_home_node(i));
+        open_one(i);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  // The head must open — it holds the root object and the set's identity.
+  if (errs[0] != nullptr) std::rethrow_exception(errs[0]);
+  for (unsigned i = 1; i < head.count; ++i) {
+    if (errs[i] == nullptr) continue;
+    try {
+      std::rethrow_exception(errs[i]);
+    } catch (const Error& e) {
+      // A member that positively belongs to a DIFFERENT set (or build) is
+      // a configuration error: refuse the whole open rather than serving
+      // around it.  Damage — missing file, bad magic, failed checksums,
+      // truncation, I/O — quarantines just that slot; the rest serve.
+      if (e.poseidon_code() == ErrorCode::kShardMismatch ||
+          e.poseidon_code() == ErrorCode::kWrongVersion) {
+        throw;
+      }
+      h->shards_[i] = nullptr;
+      h->metrics_.corruption_detected.inc();
+    }
+    // Anything that is not a typed Error (crash-point exceptions, logic
+    // errors) propagates out of the catch above by rethrow.
+  }
+  // Members must agree with the head on geometry, or global sub-heap
+  // indexing (and capacity accounting) would be ambiguous.
+  for (unsigned i = 1; i < head.count; ++i) {
+    if (h->shards_[i] != nullptr &&
+        (h->shards_[i]->nsubheaps() != h->shards_[0]->nsubheaps() ||
+         h->shards_[i]->user_capacity() != h->shards_[0]->user_capacity())) {
+      throw Error(ErrorCode::kShardMismatch,
+                  shard_file_path(path, i) +
+                      ": geometry disagrees with the head shard");
+    }
+  }
+  h->per_shard_subs_ = h->shards_[0]->nsubheaps();
+  for (const auto& s : h->shards_) {
+    if (s == nullptr) continue;
+    const auto& pm = s->flight_postmortem();
+    h->postmortem_.insert(h->postmortem_.end(), pm.begin(), pm.end());
+  }
+  std::sort(h->postmortem_.begin(), h->postmortem_.end(),
+            [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
+              return a.tsc < b.tsc;
+            });
+  registry::add(h.get());
+  return h;
 }
 
 std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
@@ -121,216 +177,44 @@ std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
   return create(path, capacity, opts);
 }
 
-Heap::Heap(pmem::Pool pool, const Options& opts, bool sb_repaired)
-    : pool_(std::move(pool)), opts_(opts) {
-  sb_ = reinterpret_cast<SuperBlock*>(pool_.data());
-  subs_.reserve(sb_->nsubheaps);
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    subs_.push_back(std::make_unique<SubRuntime>());
-  }
-  // Flight rings come up before recovery: the post-mortem must be captured
-  // before anything touches the pool, and recovery itself records events.
-  init_flight();
-  // Checksum validation (and, if needed, scavenge/quarantine) runs before
-  // undo replay: recovery must not chew on metadata that corruption has
-  // turned into garbage.
-  validate_on_open(sb_repaired);
-  recover();
-  flight(obs::FlightOp::kOpen, 0, 0, sb_->nsubheaps);
-  if (opts_.thread_cache && sb_->cache_slots != 0) {
-    caches_.reserve(sb_->cache_slots);
-    for (unsigned i = 0; i < sb_->cache_slots; ++i) {
-      caches_.push_back(std::make_unique<ThreadCache>(cache_slot(i)));
-    }
-  }
-  // Protection engages after recovery so replay does not need a window
-  // before the domain exists; recovery itself is single-threaded.
-  prot_ = std::make_unique<mpk::ProtectionDomain>(pool_.data(), sb_->meta_size,
-                                                  opts_.protect);
-  registry::add(this);
-}
-
 Heap::~Heap() {
-  // Cached blocks are deliberately NOT flushed: closing without a flush is
-  // indistinguishable from a crash, and the next open's recovery drains the
-  // cache logs through the validated free path.  This keeps destruction
-  // trivially crash-equivalent (and exercises that path constantly).
-  seal_all();
+  // Unregister before the shards seal and unmap, so no conversion can
+  // route into a heap that is mid-teardown.
   registry::remove(this);
-  prot_.reset();  // restore plain read-write before unmapping
 }
 
-CacheLogSlot* Heap::cache_slot(unsigned idx) const noexcept {
-  return reinterpret_cast<CacheLogSlot*>(
-      base() + sb_->cache_log_off + idx * sb_->cache_log_stride);
-}
-
-obs::FlightEvent* Heap::pm_flight_slots(unsigned idx) const noexcept {
-  return reinterpret_cast<obs::FlightEvent*>(
-      base() + sb_->flight_off + idx * sb_->flight_stride);
-}
-
-void Heap::init_flight() {
-#if POSEIDON_OBS_ENABLED
-  // Post-mortem first: whatever a previous session's persistent rings left
-  // behind, captured before recovery or new traffic can overwrite it.
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    const obs::FlightRing prev(pm_flight_slots(i), obs::kFlightRingCap,
-                               /*persistent=*/false, i);
-    const auto evs = prev.snapshot();
-    postmortem_.insert(postmortem_.end(), evs.begin(), evs.end());
-  }
-  if (opts_.flight == obs::FlightMode::kOff) return;
-  const bool persistent = opts_.flight == obs::FlightMode::kPersistent;
-  if (!persistent) {
-    // Value-initialized: a volatile ring must start with all seqs zero.
-    flight_mem_ = std::make_unique<obs::FlightEvent[]>(
-        std::size_t{sb_->nsubheaps} * obs::kFlightRingCap);
-  }
-  rings_.reserve(sb_->nsubheaps);
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    obs::FlightEvent* slots =
-        persistent ? pm_flight_slots(i)
-                   : flight_mem_.get() + std::size_t{i} * obs::kFlightRingCap;
-    // A persistent ring re-attaches: its head continues after the largest
-    // surviving seq, so history is contiguous across sessions.
-    rings_.push_back(std::make_unique<obs::FlightRing>(
-        slots, obs::kFlightRingCap, persistent, i));
-  }
-#endif
-}
-
-obs::FlightMode Heap::flight_mode() const noexcept {
-  return rings_.empty() ? obs::FlightMode::kOff : opts_.flight;
-}
-
-std::vector<obs::FlightEvent> Heap::flight_events() const {
-  std::vector<obs::FlightEvent> all;
-  for (const auto& r : rings_) {
-    const auto evs = r->snapshot();
-    all.insert(all.end(), evs.begin(), evs.end());
-  }
-  std::sort(all.begin(), all.end(),
-            [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
-              return a.tsc < b.tsc;
-            });
-  return all;
-}
-
-ThreadCache& Heap::cache_for_thread() const noexcept {
-  return *caches_[thread_ordinal() % caches_.size()];
-}
-
-SubheapMeta* Heap::meta_of(unsigned idx) const noexcept {
-  return reinterpret_cast<SubheapMeta*>(
-      base() + sb_->subheap_meta_off + idx * sb_->subheap_meta_stride);
-}
-
-Subheap Heap::subheap(unsigned idx) const noexcept {
-  return Subheap(meta_of(idx), base(), const_cast<pmem::Pool*>(&pool_),
-                 opts_.use_undo_log, opts_.eager_coalesce,
-                 const_cast<obs::Metrics*>(&metrics_));
-}
-
-unsigned Heap::pick_subheap() const noexcept {
-  switch (opts_.policy) {
-    case SubheapPolicy::kPerCpu:
-      return current_cpu() % sb_->nsubheaps;
-    case SubheapPolicy::kPerThread:
-      return thread_ordinal() % sb_->nsubheaps;
-    case SubheapPolicy::kFixed0:
+unsigned Heap::home_shard() const noexcept {
+  switch (opts_.shard_policy) {
+    case ShardPolicy::kPerNode:
+      return numa_node_of_cpu(current_cpu()) % nshards_;
+    case ShardPolicy::kPerThread:
+      return thread_ordinal() % nshards_;
+    case ShardPolicy::kFixed0:
       return 0;
   }
   return 0;
 }
 
-bool Heap::ensure_subheap(unsigned idx) {
-  {
-    const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
-    if (st == kSubheapReady) return true;
-    // Quarantined / repairing sub-heaps take no new allocations; only an
-    // absent one may be formatted.
-    if (st != kSubheapAbsent) return false;
+PoolShard* Heap::shard_by_id(std::uint64_t heap_id) const noexcept {
+  // <= kMaxShards entries: a linear id scan beats any index and stays
+  // wait-free on the free/raw hot paths.
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->heap_id() == heap_id) return s.get();
   }
-  std::lock_guard<std::mutex> lk(admin_mu_);
-  {
-    const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
-    if (st == kSubheapReady) return true;
-    if (st != kSubheapAbsent) return false;
-  }
-  mpk::WriteWindow w(prot_.get());
-  const Geometry geo{sb_->file_size,
-                     sb_->meta_size,
-                     sb_->subheap_meta_off,
-                     sb_->subheap_meta_stride,
-                     sb_->hash_region_off,
-                     sb_->hash_region_stride,
-                     sb_->user_region_off,
-                     sb_->user_size,
-                     sb_->level0_slots,
-                     static_cast<std::uint32_t>(sb_->levels_max),
-                     sb_->cache_log_off,
-                     sb_->cache_log_stride,
-                     sb_->flight_off,
-                     sb_->flight_stride};
-  // Formatting is made atomic by the state flag: a crash mid-format leaves
-  // state=absent and the next use re-formats from scratch.
-  const unsigned cpu = current_cpu();
-  Subheap::format(meta_of(idx), base(), geo, idx, cpu);
-  // Paper §4.1: the sub-heap lives on the allocating CPU's NUMA node so
-  // accesses stay local and every memory controller is used.  Best-effort
-  // placement hint; a no-op on single-node machines.
-  (void)numa_bind_region(base() + sb_->user_region_off + idx * sb_->user_size,
-                         sb_->user_size, numa_node_of_cpu(cpu));
-  pmem::nv_store_release_persist(sb_->subheap_state[idx], kSubheapReady);
-  return true;
+  return nullptr;
 }
 
 NvPtr Heap::alloc(std::uint64_t size) {
   metrics_.alloc_calls.inc();
   obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.alloc_cycles
                                                  : nullptr);
-  if (!caches_.empty() && size != 0 && size <= sb_->user_size) {
-    const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
-    if (ThreadCache::cacheable(cls)) {
-      ThreadCache& tc = cache_for_thread();
-      {
-        Guard<Spinlock> g(tc.mu());
-        const NvPtr p = tc.pop_locked(cls);
-        // Hit path stays bare beyond the two counters: no flight event, no
-        // size-class sample — it is the operation the overhead budget is
-        // measured against.
-        if (!p.is_null()) {
-          metrics_.cache_hits.inc();
-          return p;
-        }
-      }
-      metrics_.cache_misses.inc();
-      const NvPtr p = cache_refill(tc, cls);
-      if (!p.is_null()) {
-        metrics_.alloc_size_class.add(cls);
-        return p;
-      }
-      // Refill could not pop a single block (class dry everywhere the
-      // batch looked, or the log is full): the slow path below still gets
-      // to defragment and fall back across sub-heaps.
-    }
-  }
-  const unsigned start = pick_subheap();
-  const unsigned attempts = opts_.allow_fallback ? sb_->nsubheaps : 1;
+  const unsigned start = home_shard();
+  const unsigned attempts = opts_.allow_fallback ? nshards_ : 1;
   for (unsigned a = 0; a < attempts; ++a) {
-    const unsigned idx = (start + a) % sb_->nsubheaps;
-    if (!ensure_subheap(idx)) continue;  // quarantined: serve from the rest
-    mpk::WriteWindow w(prot_.get());
-    Guard<Spinlock> g(subs_[idx]->lock);
-    Subheap sh = subheap(idx);
-    if (const auto off = sh.alloc(size)) {
-      const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
-      metrics_.alloc_size_class.add(cls);
-      flight(obs::FlightOp::kAlloc, idx, static_cast<std::uint16_t>(cls),
-             *off);
-      return NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx), *off);
-    }
+    PoolShard* s = shards_[(start + a) % nshards_].get();
+    if (s == nullptr) continue;  // quarantined member: serve from the rest
+    const NvPtr p = s->alloc(size);
+    if (!p.is_null()) return p;
   }
   metrics_.alloc_fails.inc();
   return NvPtr::null();
@@ -340,349 +224,138 @@ NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
   metrics_.tx_alloc_calls.inc();
   obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.tx_alloc_cycles
                                                  : nullptr);
-  TxState& tx = tl_tx;
-  if (tx.active && tx.owner != this) {
-    if (tx.heap_id != sb_->heap_id) {
-      // One open transaction per thread; refuse a second heap's tx.
-      return NvPtr::null();
-    }
-    // Same persistent heap id but a different Heap instance: the pinning
-    // object is gone (e.g. a simulated crash destroyed it).  The stale
-    // transaction's micro log was (or will be) replayed by recovery, so
-    // the thread may simply start fresh.
-    tx = TxState{};
+  // A pinned transaction must keep routing to its shard: the micro log
+  // recording its allocation history lives there.
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->tx_active_here()) return s->tx_alloc(size, is_end);
   }
-  if (!tx.active) {
-    // Pin a sub-heap for this transaction: its micro log records the
-    // allocation history until commit.  Prefer an uncontended one.
-    const unsigned start = pick_subheap();
-    for (unsigned a = 0; a < sb_->nsubheaps; ++a) {
-      const unsigned idx = (start + a) % sb_->nsubheaps;
-      if (!ensure_subheap(idx)) continue;  // never pin a quarantined sub-heap
-      if (subs_[idx]->tx_mu.try_lock()) {
-        tx = TxState{sb_->heap_id, this, idx, true};
-        break;
-      }
-    }
-    if (!tx.active) {
-      // Every healthy sub-heap is pinned by another thread: block on the
-      // first healthy one (a quarantined sub-heap must never be pinned).
-      for (unsigned a = 0; a < sb_->nsubheaps; ++a) {
-        const unsigned idx = (start + a) % sb_->nsubheaps;
-        if (!ensure_subheap(idx)) continue;
-        subs_[idx]->tx_mu.lock();
-        tx = TxState{sb_->heap_id, this, idx, true};
-        break;
-      }
-    }
-    if (!tx.active) return NvPtr::null();  // the whole heap is quarantined
+  const unsigned start = home_shard();
+  for (unsigned a = 0; a < nshards_; ++a) {
+    PoolShard* s = shards_[(start + a) % nshards_].get();
+    if (s == nullptr) continue;
+    const NvPtr p = s->tx_alloc(size, is_end);
+    // The attempt either produced a block, or pinned the shard (committed
+    // single-op transactions unpin again) — both end the search.  Only a
+    // shard that could not pin at all (fully quarantined, or the thread
+    // has an open transaction on another heap) lets the next one try.
+    if (!p.is_null() || s->tx_active_here()) return p;
   }
-
-  NvPtr result = NvPtr::null();
-  try {
-    {
-      mpk::WriteWindow w(prot_.get());
-      Guard<Spinlock> g(subs_[tx.sub]->lock);
-      Subheap sh = subheap(tx.sub);
-      const TxHook hook{true, sb_->heap_id,
-                        static_cast<std::uint16_t>(tx.sub)};
-      if (const auto off = sh.alloc(size, hook)) {
-        result = NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(tx.sub),
-                             *off);
-        const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
-        metrics_.alloc_size_class.add(cls);
-        flight(obs::FlightOp::kTxAlloc, tx.sub,
-               static_cast<std::uint16_t>(cls), *off);
-      }
-    }
-    if (is_end) {
-      POSEIDON_CRASH_POINT("tx.before_commit_truncate");
-      {
-        mpk::WriteWindow w(prot_.get());
-        micro_truncate(meta_of(tx.sub)->micro);
-      }
-      POSEIDON_CRASH_POINT("tx.after_commit_truncate");
-      metrics_.tx_commits.inc();
-      flight(obs::FlightOp::kTxCommit, tx.sub, 0, 0);
-    }
-  } catch (...) {
-    // A simulated crash (or any other exception) must not leave the
-    // transaction pin behind: the micro log stays non-empty, so recovery
-    // reclaims the allocations, exactly as after a real crash.
-    subs_[tx.sub]->tx_mu.unlock();
-    tx = TxState{};
-    throw;
-  }
-  if (is_end) {
-    subs_[tx.sub]->tx_mu.unlock();
-    tx = TxState{};
-  }
-  return result;
+  return NvPtr::null();
 }
 
 void Heap::tx_commit() {
-  TxState& tx = tl_tx;
-  if (!tx.active || tx.owner != this) return;
-  {
-    mpk::WriteWindow w(prot_.get());
-    micro_truncate(meta_of(tx.sub)->micro);
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->tx_active_here()) {
+      s->tx_commit();
+      return;
+    }
   }
-  metrics_.tx_commits.inc();
-  flight(obs::FlightOp::kTxCommit, tx.sub, 0, 0);
-  subs_[tx.sub]->tx_mu.unlock();
-  tx = TxState{};
 }
 
 void Heap::tx_leak_open_transaction_for_test() {
-  TxState& tx = tl_tx;
-  if (!tx.active || tx.owner != this) return;
-  subs_[tx.sub]->tx_mu.unlock();
-  tx = TxState{};
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->tx_active_here()) {
+      s->tx_leak_open_transaction_for_test();
+      return;
+    }
+  }
 }
 
 FreeResult Heap::free(NvPtr ptr) {
   metrics_.free_calls.inc();
   obs::CycleTimer lat(obs::latency_sample_tick() ? &metrics_.free_cycles
                                                  : nullptr);
-  if (ptr.is_null() || ptr.heap_id != sb_->heap_id) {
-    metrics_.free_rejects.inc();
-    return FreeResult::kInvalidPointer;
+  FreeResult r = FreeResult::kInvalidPointer;
+  if (!ptr.is_null()) {
+    if (PoolShard* s = shard_by_id(ptr.heap_id)) r = s->free(ptr);
   }
-  const unsigned idx = ptr.subheap();
-  if (idx >= sb_->nsubheaps) {
-    metrics_.free_rejects.inc();
-    return FreeResult::kInvalidPointer;
-  }
-  const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
-  if (st == kSubheapQuarantined || st == kSubheapRepairing) {
-    // Degraded mode: the block's metadata is untrusted, so the free is
-    // refused (typed, not silently dropped).  The data stays readable.
-    metrics_.free_rejects.inc();
-    return FreeResult::kQuarantined;
-  }
-  if (st != kSubheapReady) {
-    metrics_.free_rejects.inc();
-    return FreeResult::kInvalidPointer;
-  }
-  if (!caches_.empty()) {
-    if (const auto r = cache_free(ptr, idx)) {
-      if (*r != FreeResult::kOk) metrics_.free_rejects.inc();
-      return *r;
-    }
-  }
-  mpk::WriteWindow w(prot_.get());
-  Guard<Spinlock> g(subs_[idx]->lock);
-  Subheap sh = subheap(idx);
-  const FreeResult r = sh.free_block(ptr.offset());
-  if (r == FreeResult::kOk) {
-    flight(obs::FlightOp::kFree, idx, 0, ptr.offset());
-  } else {
-    metrics_.free_rejects.inc();
-  }
+  if (r != FreeResult::kOk) metrics_.free_rejects.inc();
   return r;
 }
 
-NvPtr Heap::cache_refill(ThreadCache& tc, unsigned cls) {
-  // Lock order: cache before sub-heap (the only place both are held).
-  Guard<Spinlock> g(tc.mu());
-  const unsigned room = tc.room_locked(cls);
-  if (room == 0) return NvPtr::null();
-  const unsigned want = std::min(room, ThreadCache::kRefillBatch);
-  const unsigned idx = pick_subheap();
-  // Quarantined home sub-heap: skip the batch; the slow path falls back.
-  if (!ensure_subheap(idx)) return NvPtr::null();
-  std::uint64_t offs[ThreadCache::kRefillBatch];
-  Subheap::RefillResult r;
-  {
-    mpk::WriteWindow w(prot_.get());
-    Guard<Spinlock> sg(subs_[idx]->lock);
-    Subheap sh = subheap(idx);
-    r = sh.alloc_batch(cls, want, offs, [&](std::uint64_t off) {
-      tc.refill_append_locked(
-          NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx), off));
-    });
-  }
-  if (r.rolled_back || r.n == 0) {
-    // The pops never committed (or nothing was popped): erase whatever
-    // entries were staged so recovery has nothing stale to chew on.
-    tc.refill_abort_locked();
-    return NvPtr::null();
-  }
-  tc.refill_publish_locked(cls);
-  // Hand the caller one of the batch; the alloc path already counted this
-  // call as a miss, so no hit is recorded for it.
-  return tc.pop_locked(cls);
-}
-
-std::optional<FreeResult> Heap::cache_free(NvPtr ptr, unsigned idx) {
-  // Validate first (read-only, under the sub-heap lock but without a write
-  // window or undo log) so the cache preserves the paper's invalid- and
-  // double-free detection.  A block cached by ANOTHER thread's magazine
-  // still reads as allocated here; that cross-thread double free is only
-  // caught when the other cache flushes — the metadata never corrupts.
-  unsigned cls = 0;
-  {
-    Guard<Spinlock> g(subs_[idx]->lock);
-    const auto c = subheap(idx).classify(ptr.offset());
-    if (c.result != FreeResult::kOk) return c.result;
-    cls = c.size_class;
-  }
-  if (!ThreadCache::cacheable(cls)) return std::nullopt;
-  ThreadCache& tc = cache_for_thread();
-  bool flush = false;
-  {
-    Guard<Spinlock> g(tc.mu());
-    switch (tc.push_locked(ptr, cls)) {
-      case ThreadCache::PushResult::kDoubleFree:
-        return FreeResult::kDoubleFree;
-      case ThreadCache::PushResult::kFull:
-        return std::nullopt;  // log exhausted: slow validated free
-      case ThreadCache::PushResult::kCached:
-        break;
-    }
-    flush = tc.over_watermark_locked(cls);
-  }
-  if (flush) cache_flush(tc, cls);
-  return FreeResult::kOk;
-}
-
-void Heap::cache_flush(ThreadCache& tc, unsigned cls) {
-  NvPtr ptrs[ThreadCache::kMagazineCap];
-  std::uint32_t lis[ThreadCache::kMagazineCap];
-  unsigned n = 0;
-  {
-    Guard<Spinlock> g(tc.mu());
-    n = tc.flush_take_locked(cls, ThreadCache::kMagazineCap / 2, ptrs, lis);
-  }
-  if (n == 0) return;
-  // Group by owning sub-heap so each gets one batched (single-commit) free.
-  bool done[ThreadCache::kMagazineCap] = {};
-  for (unsigned i = 0; i < n; ++i) {
-    if (done[i]) continue;
-    const unsigned idx = ptrs[i].subheap();
-    std::uint64_t offs[ThreadCache::kMagazineCap];
-    unsigned cnt = 0;
-    for (unsigned j = i; j < n; ++j) {
-      if (!done[j] && ptrs[j].subheap() == idx) {
-        offs[cnt++] = ptrs[j].offset();
-        done[j] = true;
-      }
-    }
-    mpk::WriteWindow w(prot_.get());
-    Guard<Spinlock> sg(subs_[idx]->lock);
-    (void)subheap(idx).free_batch(offs, cnt);
-    flight(obs::FlightOp::kCacheFlush, idx, static_cast<std::uint16_t>(cls),
-           cnt);
-  }
-  metrics_.cache_flushes.inc();
-  Guard<Spinlock> g(tc.mu());
-  tc.flush_erase_locked(lis, n);
-}
-
 void* Heap::raw(NvPtr ptr) const noexcept {
-  if (ptr.is_null() || ptr.heap_id != sb_->heap_id) return nullptr;
-  const unsigned idx = ptr.subheap();
-  if (idx >= sb_->nsubheaps || ptr.offset() >= sb_->user_size) return nullptr;
-  return base() + sb_->user_region_off + idx * sb_->user_size + ptr.offset();
+  if (ptr.is_null()) return nullptr;
+  const PoolShard* s = shard_by_id(ptr.heap_id);
+  return s != nullptr ? s->raw(ptr) : nullptr;
 }
 
 NvPtr Heap::from_raw(const void* p) const noexcept {
-  if (!contains(p)) return NvPtr::null();
-  const auto rel = static_cast<std::uint64_t>(
-      static_cast<const std::byte*>(p) - (base() + sb_->user_region_off));
-  const unsigned idx = static_cast<unsigned>(rel / sb_->user_size);
-  return NvPtr::make(sb_->heap_id, static_cast<std::uint16_t>(idx),
-                     rel % sb_->user_size);
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->contains(p)) return s->from_raw(p);
+  }
+  return NvPtr::null();
 }
 
 bool Heap::contains(const void* p) const noexcept {
-  const auto* b = static_cast<const std::byte*>(p);
-  // Bound by the end of the user data, not file_size: the file tail is
-  // padded for huge-page alignment, and an address in that padding would
-  // otherwise let from_raw fabricate an NvPtr with an out-of-range
-  // sub-heap index.
-  return b >= base() + sb_->user_region_off &&
-         b < base() + sb_->user_region_off + sb_->nsubheaps * sb_->user_size;
+  for (const auto& s : shards_) {
+    if (s != nullptr && s->contains(p)) return true;
+  }
+  return false;
 }
 
-NvPtr Heap::root() const noexcept {
-  std::lock_guard<std::mutex> lk(admin_mu_);
-  return sb_->root;
+NvPtr Heap::root() const noexcept { return shards_[0]->root(); }
+
+void Heap::set_root(NvPtr ptr) { shards_[0]->set_root(ptr); }
+
+std::uint64_t Heap::user_capacity() const noexcept {
+  // Serving capacity: a quarantined member's region is unavailable.
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    if (s != nullptr) total += s->user_capacity();
+  }
+  return total;
 }
 
-void Heap::set_root(NvPtr ptr) {
-  std::lock_guard<std::mutex> lk(admin_mu_);
-  mpk::WriteWindow w(prot_.get());
-  // The 16-byte root cannot be stored atomically; undo-log it so a crash
-  // mid-update preserves the old root (paper §2.2 requires the root be
-  // always recoverable).
-  UndoLogger undo(sb_->undo, base(), opts_.use_undo_log, &metrics_);
-  undo.save_obj(sb_->root);
-  POSEIDON_CRASH_POINT("root.after_log");
-  pmem::nv_store(sb_->root, ptr);
-  pmem::persist(&sb_->root, sizeof(NvPtr));
-  POSEIDON_CRASH_POINT("root.before_commit");
-  undo.commit();
-}
-
-mpk::ProtectMode Heap::protect_mode() const noexcept {
-  return prot_ != nullptr ? prot_->mode() : mpk::ProtectMode::kNone;
+std::uint64_t Heap::file_allocated_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    if (s != nullptr) total += s->file_allocated_bytes();
+  }
+  return total;
 }
 
 HeapStats Heap::stats() const {
   HeapStats s;
-  s.nsubheaps = sb_->nsubheaps;
-  s.user_capacity = user_capacity();
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    const auto st = pmem::nv_load_acquire(sb_->subheap_state[i]);
-    if (st == kSubheapQuarantined || st == kSubheapRepairing) {
-      ++s.subheaps_quarantined;
+  s.nshards = nshards_;
+  for (const auto& sh : shards_) {
+    if (sh == nullptr) {
+      // The member never opened: its sub-heaps are all effectively
+      // quarantined and its capacity is not serving.
+      s.nsubheaps += per_shard_subs_;
+      s.subheaps_quarantined += per_shard_subs_;
+      ++s.shards_quarantined;
       continue;
     }
-    if (st != kSubheapReady) continue;
-    Guard<Spinlock> g(subs_[i]->lock);
-    const SubheapMeta* m = meta_of(i);
-    s.live_blocks += m->live_blocks;
-    s.free_blocks += m->free_blocks;
-    s.allocated_bytes += m->allocated_bytes;
-    s.splits += m->stat_splits;
-    s.merges += m->stat_merges;
-    s.window_merges += m->stat_window_merges;
-    s.hash_extensions += m->stat_extensions;
-    s.hash_shrinks += m->stat_shrinks;
-    ++s.subheaps_materialized;
+    const HeapStats t = sh->stats();
+    s.live_blocks += t.live_blocks;
+    s.free_blocks += t.free_blocks;
+    s.allocated_bytes += t.allocated_bytes;
+    s.user_capacity += t.user_capacity;
+    s.nsubheaps += t.nsubheaps;
+    s.subheaps_materialized += t.subheaps_materialized;
+    s.splits += t.splits;
+    s.merges += t.merges;
+    s.window_merges += t.window_merges;
+    s.hash_extensions += t.hash_extensions;
+    s.hash_shrinks += t.hash_shrinks;
+    s.cache_cached_blocks += t.cache_cached_blocks;
+    s.subheaps_quarantined += t.subheaps_quarantined;
   }
   // The PR-1 manual hit/miss/flush counters moved into the metrics
   // registry; HeapStats keeps its ABI and reads them back from there.
   s.cache_hits = metrics_.cache_hits.read();
   s.cache_misses = metrics_.cache_misses.read();
   s.cache_flushes = metrics_.cache_flushes.read();
-  for (const auto& c : caches_) {
-    Guard<Spinlock> g(c->mu());
-    const ThreadCache::Stats cs = c->stats_locked();
-    s.cache_cached_blocks += cs.cached_blocks;
-    // Cached blocks read as allocated in the sub-heap counters but are
-    // really available inventory; report them as free.
-    s.live_blocks -= cs.cached_blocks;
-    s.free_blocks += cs.cached_blocks;
-    s.allocated_bytes -= cs.cached_bytes;
-  }
   return s;
 }
 
-std::pair<void*, std::size_t> Heap::metadata_region() const noexcept {
-  return {base(), sb_->meta_size};
-}
-
 bool Heap::check_invariants(std::string* why) const {
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (!subheap_ready(i)) continue;
-    Guard<Spinlock> g(subs_[i]->lock);
-    Subheap sh = subheap(i);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    if (shards_[i] == nullptr) continue;
     std::string reason;
-    if (!sh.check_invariants(&reason)) {
+    if (!shards_[i]->check_invariants(&reason)) {
       if (why != nullptr) {
-        *why = "subheap " + std::to_string(i) + ": " + reason;
+        *why = "shard " + std::to_string(i) + ": " + reason;
       }
       return false;
     }
@@ -690,52 +363,69 @@ bool Heap::check_invariants(std::string* why) const {
   return true;
 }
 
-void Heap::recover() {
-  // Paper §5.8.  Runs before the protection domain exists (plain RW
-  // mapping) and before the heap is registered, so it is single-threaded.
-  UndoLogger::replay(sb_->undo, base());
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (!subheap_ready(i)) continue;
-    subheap(i).recover_undo();
-    flight(obs::FlightOp::kRecover, i, 0, 0);
-  }
-  // Micro logs: a non-empty log is an uncommitted transaction; free every
-  // address it allocated.  The validated free path makes replay idempotent
-  // (already-freed entries are rejected as double frees).
-  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-    if (!subheap_ready(i)) continue;
-    MicroLog& micro = meta_of(i)->micro;
-    const std::uint64_t n = micro_count(micro);
-    for (std::uint64_t k = 0; k < n; ++k) {
-      const NvPtr e = micro.entries[k];
-      if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
-      if (!subheap_ready(e.subheap())) continue;
-      Subheap sh = subheap(e.subheap());
-      (void)sh.free_block(e.offset());
-      POSEIDON_CRASH_POINT("recover.after_micro_free");
+FsckReport Heap::fsck() {
+  metrics_.fsck_runs.inc();
+  std::vector<FsckReport> reps(nshards_);
+  if (nshards_ == 1) {
+    reps[0] = shards_[0]->fsck();
+  } else {
+    // Same shape as the parallel open: one node-pinned worker per shard.
+    std::vector<std::thread> workers;
+    workers.reserve(nshards_);
+    for (unsigned i = 0; i < nshards_; ++i) {
+      if (shards_[i] == nullptr) continue;
+      workers.emplace_back([&, i] {
+        pin_thread_to_node(shard_home_node(i));
+        reps[i] = shards_[i]->fsck();
+      });
     }
-    if (n != 0) micro_truncate(micro);
+    for (auto& w : workers) w.join();
   }
-  // Cache logs: every logged block was parked in a volatile magazine that
-  // died with the crash.  Hand each back through the validated free path
-  // (idempotent: already-free entries are rejected) and clear the slot.
-  for (unsigned s = 0; s < sb_->cache_slots; ++s) {
-    CacheLogSlot* slot = cache_slot(s);
-    bool any = false;
-    for (std::size_t k = 0; k < kCacheLogCap; ++k) {
-      const NvPtr e = slot->entries[k];
-      if (e.is_null()) continue;
-      any = true;
-      if (e.heap_id != sb_->heap_id || e.subheap() >= sb_->nsubheaps) continue;
-      if (!subheap_ready(e.subheap())) continue;
-      (void)subheap(e.subheap()).free_block(e.offset());
-      POSEIDON_CRASH_POINT("recover.after_cache_free");
+  FsckReport rep;
+  for (unsigned i = 0; i < nshards_; ++i) {
+    if (shards_[i] == nullptr) {
+      // Quarantined member: nothing to check, everything stays down.
+      rep.checked += per_shard_subs_;
+      rep.quarantined += per_shard_subs_;
+      continue;
     }
-    if (any) {
-      pmem::nv_memset(slot->entries, 0, sizeof(slot->entries));
-      pmem::persist(slot->entries, sizeof(slot->entries));
-    }
+    rep.checked += reps[i].checked;
+    rep.clean += reps[i].clean;
+    rep.repaired += reps[i].repaired;
+    rep.quarantined += reps[i].quarantined;
+    rep.records_dropped += reps[i].records_dropped;
+    rep.records_synthesized += reps[i].records_synthesized;
   }
+  return rep;
+}
+
+SubheapHealth Heap::subheap_health(unsigned idx) const noexcept {
+  const unsigned s = per_shard_subs_ != 0 ? idx / per_shard_subs_ : nshards_;
+  if (s >= nshards_) return SubheapHealth::kAbsent;
+  if (shards_[s] == nullptr) return SubheapHealth::kQuarantined;
+  return shards_[s]->subheap_health(idx % per_shard_subs_);
+}
+
+unsigned Heap::shard_node(unsigned i) const noexcept {
+  return shard_home_node(i);
+}
+
+std::string Heap::shard_path(unsigned i) const {
+  return shard_file_path(head_path_, i);
+}
+
+std::vector<obs::FlightEvent> Heap::flight_events() const {
+  std::vector<obs::FlightEvent> all;
+  for (const auto& s : shards_) {
+    if (s == nullptr) continue;
+    const auto evs = s->flight_events();
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
+              return a.tsc < b.tsc;
+            });
+  return all;
 }
 
 }  // namespace poseidon::core

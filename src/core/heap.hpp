@@ -1,128 +1,50 @@
 // Poseidon heap: the public C++ API.
 //
-// A heap is one pool file containing a superblock, per-CPU sub-heaps and
-// their user regions (paper Fig. 4).  The metadata prefix of the file is
-// guarded by an MPK protection domain; every allocator operation opens a
-// per-thread write window around its critical section (paper §4.3).
+// Since layout v5 a heap is a *shard set*: one PoolShard (pool file) per
+// NUMA node, assembled behind this thin routing front-end.  The head file
+// lives at `path` and holds the root object; members live at
+// `path + ".shardN"`.  Every NvPtr carries its owning shard's heap id, so
+// a free or a pointer conversion routes by an id match — never a search —
+// and cross-shard frees cost one extra predictable branch.
 //
-// Thread safety: all public methods are thread-safe.  Sub-heaps are chosen
-// per CPU (or per thread, see Options::policy); cross-thread frees lock the
-// owning sub-heap (paper §5.7).  A thread may have at most one open
-// transactional allocation (tx_alloc) at a time.
+// The shard header in every member's superblock (set id, epoch, index,
+// count) makes assembly refuse mismatched or partially-created sets;
+// a member that is missing or corrupt beyond repair is quarantined as a
+// whole while the remaining shards keep serving.
+//
+// Thread safety: all public methods are thread-safe.  A thread's home
+// shard follows Options::shard_policy (its NUMA node by default); within
+// a shard, sub-heaps are chosen per CPU or per thread (Options::policy).
+// A thread may have at most one open transactional allocation (tx_alloc)
+// at a time, pinned to one sub-heap of one shard.
 #pragma once
 
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/spinlock.hpp"
-#include "core/layout.hpp"
-#include "core/nvmptr.hpp"
-#include "core/subheap.hpp"
-#include "mpk/mpk.hpp"
-#include "obs/flight_recorder.hpp"
-#include "obs/metrics.hpp"
-#include "pmem/persist.hpp"
-#include "pmem/pool.hpp"
+#include "core/pool_shard.hpp"
 
 namespace poseidon::core {
 
-class ThreadCache;
-
-enum class SubheapPolicy {
-  kPerCpu,    // paper's design: sub-heap of the current CPU
-  kPerThread, // round-robin by thread ordinal (emulates manycore on small boxes)
-  kFixed0,    // single sub-heap (ablation)
-};
-
-struct Options {
-  // 0 = one sub-heap per online CPU (capped at kMaxSubheaps).
-  unsigned nsubheaps = 0;
-  mpk::ProtectMode protect = mpk::ProtectMode::kAuto;
-  SubheapPolicy policy = SubheapPolicy::kPerCpu;
-  // Ablation only: disable undo logging ("unsafe mode").
-  bool use_undo_log = true;
-  // First hash level size; multiple of 256 (page-aligned levels).
-  std::uint64_t level0_slots = 1024;
-  // Singleton allocations may fall back to other sub-heaps when the local
-  // one is exhausted.  Transactional allocations never fall back (their
-  // micro log lives in the pinned sub-heap).
-  bool allow_fallback = true;
-  // Ablation: merge buddy pairs at free time (classic eager buddy) instead
-  // of the paper's lazy defragmentation (§5.4).  Eager keeps large blocks
-  // available without defrag pauses but pays merge work on every free.
-  bool eager_coalesce = false;
-  // Crash-safe per-thread front-end cache (core/thread_cache.hpp): the
-  // common alloc/free pair skips the sub-heap lock, the wrpkru window and
-  // the undo log.  Off by default — the cache defers cross-thread
-  // double-free detection to flush time and relaxes the delayed-reuse
-  // discipline (§5.5) for cached blocks, so callers opt in.
-  bool thread_cache = false;
-  // Flight recorder placement (obs/flight_recorder.hpp).  kVolatile rings
-  // live in DRAM; kPersistent places them in the pool's carved flight
-  // region so the last pre-crash events survive into the next open (the
-  // post-mortem).  Ignored when obs is compiled out.
-  obs::FlightMode flight = obs::FlightMode::kVolatile;
-};
-
-struct HeapStats {
-  std::uint64_t live_blocks = 0;
-  std::uint64_t free_blocks = 0;
-  std::uint64_t allocated_bytes = 0;
-  std::uint64_t user_capacity = 0;
-  unsigned nsubheaps = 0;
-  unsigned subheaps_materialized = 0;
-  // Mechanism counters (since heap creation):
-  std::uint64_t splits = 0;          // buddy splits
-  std::uint64_t merges = 0;          // defragmentation merges
-  std::uint64_t window_merges = 0;   // hash-pressure merges (§5.4 case 2)
-  std::uint64_t hash_extensions = 0; // multi-level table growth
-  std::uint64_t hash_shrinks = 0;    // levels hole-punched back (§5.6)
-  // Thread-cache counters (zero unless Options::thread_cache).  Blocks
-  // parked in magazines are excluded from live_blocks/allocated_bytes and
-  // counted as free: they are available for allocation.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_flushes = 0;
-  std::uint64_t cache_cached_blocks = 0;
-  // Sub-heaps currently quarantined or mid-repair (degraded service).
-  unsigned subheaps_quarantined = 0;
-};
-
-// Per-sub-heap health as seen through the persisted state word.
-enum class SubheapHealth {
-  kAbsent,       // never formatted
-  kReady,        // serving
-  kRepairing,    // scavenge rebuild in flight (treated as quarantined)
-  kQuarantined,  // unrecoverable: reads only, no alloc, frees rejected
-};
-
-// Result of a verification/repair pass (Heap::fsck or open-time
-// validation).  records_synthesized counts minimum-granularity allocated
-// records scavenge fabricated to cover unaccounted gaps — bounded leak,
-// never unsafe reuse.
-struct FsckReport {
-  unsigned checked = 0;
-  unsigned clean = 0;
-  unsigned repaired = 0;
-  unsigned quarantined = 0;
-  std::uint64_t records_dropped = 0;
-  std::uint64_t records_synthesized = 0;
-};
-
 class Heap {
  public:
-  // Create a new heap whose *user* capacity is at least `capacity` bytes
-  // (split evenly into power-of-two sub-heap regions; metadata is added on
-  // top and the file is sparse).  Fails if the file exists.
+  // Create a new heap whose *user* capacity is at least `capacity` bytes,
+  // split over the shard set (and within each shard into power-of-two
+  // sub-heap regions; metadata is added on top and the files are sparse).
+  // Fails if the head file exists.  Member files are written first and the
+  // head last, so a crash mid-create never leaves an openable head over a
+  // partial set — the next create sweeps the stale members.
   static std::unique_ptr<Heap> create(const std::string& path,
                                       std::uint64_t capacity,
                                       const Options& opts = {});
 
-  // Open an existing heap, running crash recovery (undo + micro log
-  // replay, paper §5.8) before any operation is admitted.
+  // Open an existing heap.  Every shard runs crash recovery (undo + micro
+  // log replay, paper §5.8) in parallel — one worker per shard, pinned to
+  // the shard's NUMA node — before any operation is admitted.  The head
+  // must open; a member whose shard header disagrees with the head throws
+  // Error(kShardMismatch), while a missing or unrepairable member is
+  // quarantined and the rest of the set serves.
   static std::unique_ptr<Heap> open(const std::string& path,
                                     const Options& opts = {});
 
@@ -134,14 +56,16 @@ class Heap {
   Heap(const Heap&) = delete;
   Heap& operator=(const Heap&) = delete;
 
-  // Singleton allocation (paper §5.2).  Null on exhaustion.  The returned
-  // block is 2^ceil(log2(size)) bytes, at least 32.
+  // Singleton allocation (paper §5.2).  Served from the caller's home
+  // shard; falls back across shards (then sub-heaps) when exhausted and
+  // Options::allow_fallback holds.  Null on exhaustion.
   NvPtr alloc(std::uint64_t size);
 
   // Transactional allocation (paper §5.3): the address is micro-logged so
   // an uncommitted transaction's allocations are freed by recovery;
   // `is_end` commits (truncates the micro log).  At most one open
-  // transaction per thread.
+  // transaction per thread; once pinned to a shard, every tx operation
+  // routes back there until commit.
   NvPtr tx_alloc(std::uint64_t size, bool is_end);
 
   // Commit the calling thread's open transaction without allocating:
@@ -156,7 +80,8 @@ class Heap {
   void tx_leak_open_transaction_for_test();
 
   // Validated deallocation (paper §5.5): invalid and double frees are
-  // detected via the memblock hash table and rejected.
+  // detected via the memblock hash table and rejected.  The pointer's
+  // shard is found by heap id, so cross-shard frees route correctly.
   FreeResult free(NvPtr ptr);
 
   // Pointer conversions (paper §4.6).  Null/invalid input yields nullptr /
@@ -164,141 +89,124 @@ class Heap {
   void* raw(NvPtr ptr) const noexcept;
   NvPtr from_raw(const void* p) const noexcept;
 
-  // Root object pointer at a well-known location (paper §2.2).
+  // Root object pointer at a well-known location (paper §2.2); lives in
+  // the head shard.
   NvPtr root() const noexcept;
   void set_root(NvPtr ptr);
 
-  std::uint64_t heap_id() const noexcept { return sb_->heap_id; }
-  unsigned nsubheaps() const noexcept { return sb_->nsubheaps; }
-  std::uint64_t user_capacity() const noexcept {
-    return sb_->user_size * sb_->nsubheaps;
+  // The head shard's id — the heap's public identity (what a set-of-one
+  // heap has always reported).  Members carry their own ids; see
+  // shard_heap_id().
+  std::uint64_t heap_id() const noexcept { return shards_[0]->heap_id(); }
+  // Total sub-heaps across the shard set.
+  unsigned nsubheaps() const noexcept { return nshards_ * per_shard_subs_; }
+  std::uint64_t user_capacity() const noexcept;
+  const std::string& path() const noexcept { return shards_[0]->path(); }
+  mpk::ProtectMode protect_mode() const noexcept {
+    return shards_[0]->protect_mode();
   }
-  const std::string& path() const noexcept { return pool_.path(); }
-  mpk::ProtectMode protect_mode() const noexcept;
 
   HeapStats stats() const;
 
-  // The MPK-protected metadata prefix (tests register SimDomains here).
-  std::pair<void*, std::size_t> metadata_region() const noexcept;
-  // True when p points into this heap's user data.
+  // The head shard's MPK-protected metadata prefix (tests register
+  // SimDomains here); per-shard regions via shard(i)->metadata_region().
+  std::pair<void*, std::size_t> metadata_region() const noexcept {
+    return shards_[0]->metadata_region();
+  }
+  // True when p points into any shard's user data.
   bool contains(const void* p) const noexcept;
 
-  // Deep consistency check across all sub-heaps (test support).
+  // Deep consistency check across all shards (test support).
   bool check_invariants(std::string* why = nullptr) const;
 
   // ---- fault domains (DESIGN.md "Failure model") ---------------------------
 
-  // Verify every materialized sub-heap and repair what fails: invariant
-  // violations trigger a scavenge rebuild; sub-heaps that cannot be
-  // rebuilt (or whose metadata pages fault) are quarantined.  Also retries
-  // previously quarantined sub-heaps — if their pages read again, a
-  // successful rebuild returns them to service.  Safe on a live heap
-  // (locks each sub-heap; concurrent ops see it briefly as repairing).
+  // Verify every materialized sub-heap of every shard and repair what
+  // fails, one node-pinned worker per shard in parallel; reports are
+  // merged.  Safe on a live heap (locks each sub-heap; concurrent ops see
+  // it briefly as repairing).
   FsckReport fsck();
 
+  // Health of a heap-global sub-heap index (shard-major order).  Every
+  // sub-heap of a quarantined shard slot reads kQuarantined.
   SubheapHealth subheap_health(unsigned idx) const noexcept;
 
   // Enumerate every tracked block: f(subheap, offset, size_class, status
-  // [BlockStatus]).  Diagnostic only; takes each sub-heap lock in turn.
+  // [BlockStatus]) with heap-global sub-heap indices.  Diagnostic only.
   template <typename F>
   void visit_blocks(F&& f) const {
-    for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
-      if (!subheap_ready(i)) continue;
-      Guard<Spinlock> g(subs_[i]->lock);
-      subheap(i).visit_blocks([&](std::uint64_t off, std::uint32_t cls,
-                                  std::uint32_t status) {
-        f(i, off, cls, status);
+    for (unsigned s = 0; s < nshards_; ++s) {
+      if (shards_[s] == nullptr) continue;
+      const unsigned base = s * per_shard_subs_;
+      shards_[s]->visit_blocks([&](unsigned i, std::uint64_t off,
+                                   std::uint32_t cls, std::uint32_t status) {
+        f(base + i, off, cls, status);
       });
     }
   }
 
-  // Bytes the filesystem actually backs (observes hole punching).
-  std::uint64_t file_allocated_bytes() const { return pool_.allocated_bytes(); }
+  // Bytes the filesystem actually backs across the set (observes hole
+  // punching).
+  std::uint64_t file_allocated_bytes() const;
+
+  // ---- shard topology ------------------------------------------------------
+
+  unsigned shard_count() const noexcept { return nshards_; }
+  // nullptr when the slot is quarantined (the member failed to open).
+  const PoolShard* shard(unsigned i) const noexcept {
+    return i < nshards_ ? shards_[i].get() : nullptr;
+  }
+  // 0 when the slot is quarantined.
+  std::uint64_t shard_heap_id(unsigned i) const noexcept {
+    return i < nshards_ && shards_[i] != nullptr ? shards_[i]->heap_id() : 0;
+  }
+  // {nullptr, 0} when the slot is quarantined.
+  std::pair<const void*, std::size_t> shard_user_range(unsigned i) const noexcept {
+    return i < nshards_ && shards_[i] != nullptr
+               ? shards_[i]->user_range()
+               : std::pair<const void*, std::size_t>{nullptr, 0};
+  }
+  // NUMA node the shard's memory prefers (shard index modulo node count).
+  unsigned shard_node(unsigned i) const noexcept;
+  // Backing file of slot i (valid even when the slot is quarantined).
+  std::string shard_path(unsigned i) const;
 
   // ---- observability (src/obs; see DESIGN.md "Observability") --------------
 
-  // The heap's metrics registry (sharded counters + histograms).
+  // The heap-wide metrics registry (shared by every shard).
   const obs::Metrics& metrics() const noexcept { return metrics_; }
 
   // Resolved flight-recorder mode (kOff when obs is compiled out).
-  obs::FlightMode flight_mode() const noexcept;
+  obs::FlightMode flight_mode() const noexcept {
+    return shards_[0]->flight_mode();
+  }
 
-  // Events currently in the rings, merged across sub-heaps in tsc order.
+  // Events currently in the rings, merged across shards in tsc order.
   std::vector<obs::FlightEvent> flight_events() const;
 
-  // Events that survived in the persistent flight region from the previous
-  // session, captured at open() before recovery ran — what the allocator
-  // was doing right before the last crash/close.  Empty on a fresh heap.
+  // Events that survived in the persistent flight regions from the
+  // previous session, captured at open() before recovery ran.  Empty on a
+  // fresh heap.
   const std::vector<obs::FlightEvent>& flight_postmortem() const noexcept {
     return postmortem_;
   }
 
  private:
-  struct SubRuntime {
-    Spinlock lock;
-    std::mutex tx_mu;  // held for the duration of an open transaction
-  };
+  Heap(std::string head_path, const Options& opts);
 
-  Heap(pmem::Pool pool, const Options& opts, bool sb_repaired = false);
+  unsigned home_shard() const noexcept;
+  PoolShard* shard_by_id(std::uint64_t heap_id) const noexcept;
 
-  std::byte* base() const noexcept { return pool_.data(); }
-  SubheapMeta* meta_of(unsigned idx) const noexcept;
-  Subheap subheap(unsigned idx) const noexcept;
-  unsigned pick_subheap() const noexcept;
-  // False when the sub-heap cannot serve (quarantined/repairing); formats
-  // it first when absent.
-  bool ensure_subheap(unsigned idx);
-  void recover();
-
-  // Fault-domain plumbing (core/fsck.cpp).  validate_superblock runs
-  // before the Heap exists (it may restore the config prefix from the
-  // shadow page); returns true when a repair was applied.
-  static bool validate_superblock(pmem::Pool& pool);
-  void validate_on_open(bool sb_repaired);
-  bool probe_subheap_readable(unsigned idx) const noexcept;
-  bool subheap_sane(unsigned idx) const noexcept;
-  bool scavenge_subheap(unsigned idx, FsckReport* rep);
-  void quarantine_subheap(unsigned idx);
-  void seal_all() noexcept;
-
-  // Lock-free readers (alloc/free fast paths, stats, visit_blocks) observe
-  // a sub-heap's readiness via acquire, pairing with the release store
-  // that publishes a finished format in ensure_subheap.
-  bool subheap_ready(unsigned idx) const noexcept {
-    return pmem::nv_load_acquire(sb_->subheap_state[idx]) == kSubheapReady;
-  }
-
-  // Flight-recorder plumbing.
-  obs::FlightEvent* pm_flight_slots(unsigned idx) const noexcept;
-  void init_flight();
-  void flight(obs::FlightOp op, unsigned sub, std::uint16_t cls,
-              std::uint64_t arg) noexcept {
-    if (!rings_.empty()) rings_[sub]->record(op, cls, arg);
-  }
-
-  // Thread-cache plumbing (no-ops unless Options::thread_cache).
-  CacheLogSlot* cache_slot(unsigned idx) const noexcept;
-  ThreadCache& cache_for_thread() const noexcept;
-  NvPtr cache_refill(ThreadCache& tc, unsigned cls);
-  // nullopt: not handled, take the slow path (big block or full log).
-  std::optional<FreeResult> cache_free(NvPtr ptr, unsigned idx);
-  void cache_flush(ThreadCache& tc, unsigned cls);
-
-  pmem::Pool pool_;
+  std::string head_path_;
   Options opts_;
-  SuperBlock* sb_ = nullptr;
-  std::unique_ptr<mpk::ProtectionDomain> prot_;
-  std::vector<std::unique_ptr<SubRuntime>> subs_;
-  // Constructed eagerly (one per persistent cache-log slot) so lookup by
-  // thread ordinal never races a lazy publication.
-  std::vector<std::unique_ptr<ThreadCache>> caches_;
-  mutable std::mutex admin_mu_;  // sub-heap creation + root updates
-
-  // Observability state.  rings_ is empty when the flight recorder is off
-  // (or obs is compiled out); flight_mem_ backs volatile rings.
+  unsigned nshards_ = 1;
+  unsigned per_shard_subs_ = 0;
+  // The single metrics registry, shared by every shard; declared before
+  // shards_ so it outlives every PoolShard that holds a pointer to it.
   obs::Metrics metrics_;
-  std::vector<std::unique_ptr<obs::FlightRing>> rings_;
-  std::unique_ptr<obs::FlightEvent[]> flight_mem_;
+  // Slot i is nullptr when that member failed to open (quarantined shard).
+  // Slot 0 (the head) is never null on a live Heap.
+  std::vector<std::unique_ptr<PoolShard>> shards_;
   std::vector<obs::FlightEvent> postmortem_;
 };
 

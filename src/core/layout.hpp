@@ -36,7 +36,11 @@ inline constexpr std::uint64_t kShadowMagic = 0x504f534549534841ull;  // "POSEIS
 // v3: flight-recorder ring region carved between cache logs and user data.
 // v4: fault-domain hardening — superblock config checksum + shadow page,
 //     seal-state checksums over sub-heap metadata, quarantine states.
-inline constexpr std::uint32_t kVersion = 4;
+// v5: NUMA-node pool shards — every file carries a shard header (set id,
+//     epoch, index, count) so a shard set refuses to assemble from
+//     mismatched or partially-created members.  A single-shard heap is a
+//     set of one; the per-file layout is otherwise unchanged from v4.
+inline constexpr std::uint32_t kVersion = 5;
 
 inline constexpr std::uint64_t kPageSize = 4096;
 // File sizes are rounded up to this so DAX/THP-backed mappings can use
@@ -50,6 +54,11 @@ inline constexpr unsigned kMaxClasses = 48;
 inline constexpr unsigned kMaxSubheaps = 64;
 inline constexpr unsigned kMaxHashLevels = 24;
 inline constexpr unsigned kProbeWindow = 16;
+
+// Pool shards: one backing file per NUMA node (paper §4.1 manycore story).
+// The cap bounds the shard header fields and the routing tables; 16 covers
+// every multi-socket box the reproduction targets.
+inline constexpr unsigned kMaxShards = 16;
 
 // ---- undo log (physical, checksummed entries) ------------------------------
 //
@@ -202,6 +211,15 @@ struct SuperBlock {
   std::uint64_t cache_slots;
   std::uint64_t flight_off;        // per-sub-heap flight rings (outside meta_size)
   std::uint64_t flight_stride;
+  // Shard header (v5).  All members of a shard set share shard_set_id,
+  // shard_epoch and shard_count; shard_index is this file's position.
+  // Open refuses to assemble a set whose members disagree on any of these
+  // — a member from an older create (stale epoch) or a different set can
+  // never be mixed in silently.
+  std::uint64_t shard_set_id;      // random, nonzero, same across members
+  std::uint64_t shard_epoch;       // random per create, same across members
+  std::uint32_t shard_index;       // 0 = head (holds the root object)
+  std::uint32_t shard_count;       // members in the set (1..kMaxShards)
   // Everything above is immutable after create; config_csum covers it
   // (including magic) and a shadow copy lives in the page after the
   // superblock, so a scribbled field is repaired rather than trusted.

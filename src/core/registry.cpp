@@ -1,6 +1,8 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -10,39 +12,98 @@
 namespace poseidon::core::registry {
 
 namespace {
-std::mutex g_mu;
-std::vector<Heap*> g_heaps;
+
+struct IdEntry {
+  std::uint64_t id;
+  Heap* heap;
+};
+
+struct Interval {
+  const std::byte* lo;
+  const std::byte* hi;  // exclusive
+  Heap* heap;
+};
+
+// Immutable once published; readers hold it alive via shared_ptr, so a
+// heap closed mid-lookup cannot pull the tables out from under them (the
+// lookup may return a Heap* the caller is about to lose anyway — that race
+// is the caller's, exactly as with the old mutex).
+struct Snapshot {
+  std::vector<IdEntry> ids;        // sorted by id
+  std::vector<Interval> intervals; // sorted by lo, disjoint
+};
+
+std::mutex g_mu;                  // writers only
+std::vector<Heap*> g_heaps;       // writer-side source of truth
+std::atomic<std::shared_ptr<const Snapshot>> g_snap;
+
+std::shared_ptr<const Snapshot> build_locked() {
+  auto snap = std::make_shared<Snapshot>();
+  for (Heap* h : g_heaps) {
+    for (unsigned i = 0; i < h->shard_count(); ++i) {
+      const std::uint64_t id = h->shard_heap_id(i);
+      if (id == 0) continue;  // quarantined member slot
+      snap->ids.push_back(IdEntry{id, h});
+      const auto [lo, len] = h->shard_user_range(i);
+      if (lo != nullptr && len != 0) {
+        const auto* b = static_cast<const std::byte*>(lo);
+        snap->intervals.push_back(Interval{b, b + len, h});
+      }
+    }
+  }
+  std::sort(snap->ids.begin(), snap->ids.end(),
+            [](const IdEntry& a, const IdEntry& b) { return a.id < b.id; });
+  std::sort(snap->intervals.begin(), snap->intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  return snap;
+}
+
 }  // namespace
 
 void add(Heap* heap) {
   std::lock_guard<std::mutex> lk(g_mu);
   for (const Heap* h : g_heaps) {
-    if (h->heap_id() == heap->heap_id()) {
-      throw std::logic_error("heap id already registered");
+    for (unsigned i = 0; i < h->shard_count(); ++i) {
+      const std::uint64_t id = h->shard_heap_id(i);
+      if (id == 0) continue;
+      for (unsigned j = 0; j < heap->shard_count(); ++j) {
+        if (heap->shard_heap_id(j) == id) {
+          throw std::logic_error("heap id already registered");
+        }
+      }
     }
   }
   g_heaps.push_back(heap);
+  g_snap.store(build_locked(), std::memory_order_release);
 }
 
 void remove(Heap* heap) noexcept {
   std::lock_guard<std::mutex> lk(g_mu);
-  std::erase(g_heaps, heap);
+  if (std::erase(g_heaps, heap) != 0) {
+    g_snap.store(build_locked(), std::memory_order_release);
+  }
 }
 
 Heap* by_id(std::uint64_t heap_id) noexcept {
-  std::lock_guard<std::mutex> lk(g_mu);
-  for (Heap* h : g_heaps) {
-    if (h->heap_id() == heap_id) return h;
-  }
-  return nullptr;
+  const auto snap = g_snap.load(std::memory_order_acquire);
+  if (snap == nullptr) return nullptr;
+  const auto it = std::lower_bound(
+      snap->ids.begin(), snap->ids.end(), heap_id,
+      [](const IdEntry& e, std::uint64_t id) { return e.id < id; });
+  return it != snap->ids.end() && it->id == heap_id ? it->heap : nullptr;
 }
 
 Heap* by_address(const void* p) noexcept {
-  std::lock_guard<std::mutex> lk(g_mu);
-  for (Heap* h : g_heaps) {
-    if (h->contains(p)) return h;
-  }
-  return nullptr;
+  const auto snap = g_snap.load(std::memory_order_acquire);
+  if (snap == nullptr) return nullptr;
+  const auto* b = static_cast<const std::byte*>(p);
+  // First interval with lo > p; its predecessor is the only candidate.
+  auto it = std::upper_bound(
+      snap->intervals.begin(), snap->intervals.end(), b,
+      [](const std::byte* v, const Interval& iv) { return v < iv.lo; });
+  if (it == snap->intervals.begin()) return nullptr;
+  --it;
+  return b < it->hi ? it->heap : nullptr;
 }
 
 }  // namespace poseidon::core::registry

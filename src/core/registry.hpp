@@ -1,8 +1,15 @@
 // Process-wide registry of open heaps.
 //
-// Persistent pointers embed an 8-byte heap id; converting one to a raw
-// pointer (and back) requires finding the mapped base of the owning heap,
-// which this registry provides (paper §4.6's pointer-conversion APIs).
+// Persistent pointers embed an 8-byte heap id — since v5, the id of the
+// owning *shard* — and converting one to a raw pointer (and back) requires
+// finding the heap that owns it (paper §4.6's pointer-conversion APIs).
+//
+// Hot-path conversions are wait-free: lookups read an immutable snapshot
+// (a sorted id table plus a sorted address-interval table over every
+// shard's user region) published through an atomic shared_ptr, RCU-style.
+// Writers (Heap open/close) rebuild the snapshot under a mutex; readers
+// never block, never lock, and never observe a heap mid-teardown — remove
+// publishes the shrunken snapshot before the Heap's shards unmap.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +20,15 @@ class Heap;
 
 namespace registry {
 
-// Registers an open heap.  Throws std::logic_error if a heap with the same
-// id is already registered (e.g. the same pool opened twice).
+// Registers an open heap (every shard's id and address range).  Throws
+// std::logic_error if any shard id is already registered (e.g. the same
+// pool opened twice).
 void add(Heap* heap);
 void remove(Heap* heap) noexcept;
 
-// nullptr when not found.
+// Heap owning the shard with this id; nullptr when not found.
 Heap* by_id(std::uint64_t heap_id) noexcept;
-// Heap whose user region contains `p`; nullptr when none.
+// Heap whose user data contains `p`; nullptr when none.
 Heap* by_address(const void* p) noexcept;
 
 }  // namespace registry

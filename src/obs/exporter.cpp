@@ -69,9 +69,23 @@ std::string Exporter::json() const {
   out += "{\"heap\":{";
   fmt(out, "\"id\":%" PRIu64 ",\"nsubheaps\":%u,\"user_capacity\":%" PRIu64,
       heap_.heap_id(), heap_.nsubheaps(), heap_.user_capacity());
-  fmt(out, ",\"protect\":\"%s\",\"obs_compiled\":%s}",
-      mpk::mode_name(heap_.protect_mode()),
+  fmt(out, ",\"nshards\":%u,\"protect\":\"%s\",\"obs_compiled\":%s",
+      heap_.shard_count(), mpk::mode_name(heap_.protect_mode()),
       POSEIDON_OBS_ENABLED ? "true" : "false");
+  out += ",\"shards\":[";
+  for (unsigned s = 0; s < heap_.shard_count(); ++s) {
+    const core::PoolShard* sh = heap_.shard(s);
+    if (s != 0) out += ",";
+    if (sh == nullptr) {
+      fmt(out, "{\"index\":%u,\"quarantined\":true}", s);
+    } else {
+      fmt(out,
+          "{\"index\":%u,\"quarantined\":false,\"id\":%" PRIu64
+          ",\"node\":%u,\"nsubheaps\":%u}",
+          s, sh->heap_id(), heap_.shard_node(s), sh->nsubheaps());
+    }
+  }
+  out += "]}";
 
   out += ",\"stats\":{";
   fmt(out,
@@ -136,10 +150,10 @@ std::string Exporter::text() const {
   std::string out;
   out.reserve(4096);
 
-  fmt(out, "poseidon heap %" PRIu64 ": %u sub-heaps, %" PRIu64
+  fmt(out, "poseidon heap %" PRIu64 ": %u shard(s), %u sub-heaps, %" PRIu64
       " B user capacity, protect=%s, obs=%s\n",
-      heap_.heap_id(), heap_.nsubheaps(), heap_.user_capacity(),
-      mpk::mode_name(heap_.protect_mode()),
+      heap_.heap_id(), heap_.shard_count(), heap_.nsubheaps(),
+      heap_.user_capacity(), mpk::mode_name(heap_.protect_mode()),
       POSEIDON_OBS_ENABLED ? "on" : "compiled-out");
   fmt(out, "occupancy: %" PRIu64 " live / %" PRIu64 " free blocks, %" PRIu64
       " B allocated\n",

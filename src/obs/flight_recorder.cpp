@@ -30,6 +30,7 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kCorruption: return "corruption";
     case FlightOp::kScavenge: return "scavenge";
     case FlightOp::kQuarantine: return "quarantine";
+    case FlightOp::kNumaBindFail: return "numa-bind-fail";
   }
   return "?";
 }

@@ -53,6 +53,7 @@ enum class FlightOp : std::uint16_t {
   kCorruption = 10, // validation detected damaged metadata; arg = detail
   kScavenge = 11,   // scavenge rebuilt this sub-heap; arg = records kept
   kQuarantine = 12, // sub-heap entered quarantine
+  kNumaBindFail = 13, // first refused mbind on this shard; arg = node
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -203,6 +203,7 @@ struct Metrics {
   Counter subheaps_quarantined;  // transitions into the quarantined state
   Counter punch_hole_skips;      // fallocate degradations (EOPNOTSUPP/ENOSPC)
   Counter fsck_runs;             // explicit Heap::fsck() passes
+  Counter numa_bind_fails;       // mbind refused a sub-heap placement hint
 
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
@@ -236,6 +237,7 @@ struct Metrics {
     f("subheaps_quarantined", subheaps_quarantined);
     f("punch_hole_skips", punch_hole_skips);
     f("fsck_runs", fsck_runs);
+    f("numa_bind_fails", numa_bind_fails);
   }
 
   template <typename F>

@@ -70,6 +70,7 @@ TEST(ApiEdges, FallbackRespectsTxPinButNotSingleton) {
   TempHeapPath path("fallback_tx");
   core::Options o = small_opts(2);
   o.policy = core::SubheapPolicy::kFixed0;
+  o.nshards = 1;  // white-box: both sub-heaps must share one pool shard
   auto h = Heap::create(path.str(), 2 << 20, o);
   const std::uint64_t per = h->user_capacity() / 2;
   NvPtr whole = h->alloc(per);

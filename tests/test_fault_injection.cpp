@@ -126,6 +126,7 @@ TEST_F(FaultInjection, PoisonedMetadataQuarantinesOnlyThatSubheap) {
   TempHeapPath path("fi_poison");
   core::Options opts = small_opts(2);
   opts.policy = core::SubheapPolicy::kFixed0;
+  opts.nshards = 1;  // white-box: both sub-heaps must share one pool shard
   std::vector<NvPtr> ptrs;
   {
     auto h = Heap::create(path.str(), 1 << 20, opts);

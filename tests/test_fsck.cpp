@@ -254,6 +254,7 @@ TEST(Fsck, UnrecognizableSubheapIsQuarantinedAndFsckRevivesIt) {
   TempHeapPath path("fsck_revive");
   core::Options opts = small_opts(2);
   opts.policy = core::SubheapPolicy::kFixed0;
+  opts.nshards = 1;  // white-box: both sub-heaps must share one pool shard
   std::vector<NvPtr> ptrs;
   {
     auto h = Heap::create(path.str(), 1 << 20, opts);
@@ -334,6 +335,36 @@ TEST(Fsck, CApiSurfacesTypedErrorCodes) {
   EXPECT_EQ(poseidon_error_code(), POSEIDON_ERR_INVALID_ARGUMENT);
 }
 
+TEST(Fsck, MemberSuperblockRepairsFromShadowDuringParallelOpen) {
+  // A torn PRIMARY superblock in a shard member (shadow intact) is damage
+  // the open-time repair path fixes in place — the member must come back
+  // in service, not quarantined, and the corruption must be counted.
+  TempHeapPath path("fsck_member_shadow");
+  core::Options opts = test::small_opts(4);
+  opts.nshards = 2;
+  opts.shard_policy = core::ShardPolicy::kPerThread;
+  opts.policy = core::SubheapPolicy::kPerThread;
+  {
+    auto h = core::Heap::create(path.str(), 2 << 20, opts);
+    ASSERT_EQ(h->shard_count(), 2u);
+  }
+  // Destroy the member's superblock magic; its shadow page still holds the
+  // full config prefix.
+  const std::uint64_t garbage = 0;
+  write_at(path.str() + ".shard1", offsetof(core::SuperBlock, magic),
+           &garbage, sizeof(garbage));
+
+  auto h = core::Heap::open(path.str(), opts);
+  ASSERT_EQ(h->shard_count(), 2u);
+  EXPECT_NE(h->shard(1), nullptr) << "repaired member must serve";
+  EXPECT_EQ(h->stats().shards_quarantined, 0u);
+  EXPECT_GE(h->metrics().corruption_detected.read(), 1u);
+  const auto rep = h->fsck();
+  EXPECT_EQ(rep.quarantined, 0u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
 TEST(Fsck, CApiFsckAndQuarantineStats) {
   TempHeapPath path("fsck_capi");
   heap_t* h = poseidon_init(path.c_str(), 1 << 20);
@@ -348,6 +379,8 @@ TEST(Fsck, CApiFsckAndQuarantineStats) {
   poseidon_stats_t st;
   poseidon_get_stats(h, &st);
   EXPECT_EQ(st.subheaps_quarantined, 0u);
+  EXPECT_GE(st.nshards, 1u);
+  EXPECT_EQ(st.shards_quarantined, 0u);
   poseidon_finish(h);
   EXPECT_EQ(poseidon_fsck(nullptr, &rep), POSEIDON_ERR_INVALID_ARGUMENT);
 }

@@ -19,11 +19,17 @@ namespace {
 using test::small_opts;
 using test::TempHeapPath;
 
-// Reference model: offset -> (size requested, fill byte).
+// Reference model: NvPtr -> (size requested, fill byte).  The key is the
+// full 16-byte persistent pointer — since v5 a heap is a shard set, so
+// `packed` alone is only unique within one shard.
 struct ModelEntry {
   std::uint64_t size;
   unsigned char fill;
 };
+
+using ModelKey = std::pair<std::uint64_t, std::uint64_t>;  // {heap_id, packed}
+
+ModelKey key_of(NvPtr p) { return {p.heap_id, p.packed}; }
 
 class RandomOpsSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -35,7 +41,7 @@ TEST_P(RandomOpsSweep, ModelEquivalence) {
   auto h = Heap::create(path.str(), 4 << 20, o);
 
   Xoshiro256 rng(seed);
-  std::map<std::uint64_t, ModelEntry> model;  // keyed by packed NvPtr
+  std::map<ModelKey, ModelEntry> model;
   std::vector<NvPtr> live;
 
   for (int step = 0; step < 4000; ++step) {
@@ -48,32 +54,38 @@ TEST_P(RandomOpsSweep, ModelEquivalence) {
       if (p.is_null()) continue;  // exhaustion is legal
       const auto fill = static_cast<unsigned char>(rng.next());
       std::memset(h->raw(p), fill, size);
-      ASSERT_TRUE(model.emplace(p.packed, ModelEntry{size, fill}).second)
+      ASSERT_TRUE(model.emplace(key_of(p), ModelEntry{size, fill}).second)
           << "allocator returned a live block";
       live.push_back(p);
     } else if (op < 9) {
       const std::size_t k = rng.next_below(live.size());
       NvPtr p = live[k];
       // Contents must be exactly what the model wrote (no overlap ever).
-      const ModelEntry& e = model.at(p.packed);
+      const ModelEntry& e = model.at(key_of(p));
       const auto* bytes = static_cast<const unsigned char*>(h->raw(p));
       for (std::uint64_t i = 0; i < e.size; i += 97) {
         ASSERT_EQ(bytes[i], e.fill) << "user data corrupted";
       }
       ASSERT_EQ(h->free(p), FreeResult::kOk);
-      model.erase(p.packed);
+      model.erase(key_of(p));
       live[k] = live.back();
       live.pop_back();
     } else {
-      // Adversarial frees: must all be rejected without damage.
-      NvPtr bogus = NvPtr::make(h->heap_id(), 0, rng.next_below(1 << 20));
+      // Adversarial frees: must all be rejected without damage.  The bogus
+      // pointer targets a random shard of the set so cross-shard routing
+      // gets the same validation coverage as the head.
+      const std::uint64_t sid =
+          h->shard_heap_id(static_cast<unsigned>(
+              rng.next_below(h->shard_count())));
+      NvPtr bogus = NvPtr::make(sid != 0 ? sid : h->heap_id(), 0,
+                                rng.next_below(1 << 20));
       const FreeResult r = h->free(bogus);
-      if (model.count(bogus.packed) == 0) {
+      if (model.count(key_of(bogus)) == 0) {
         ASSERT_NE(r, FreeResult::kOk) << "accepted a bogus free";
       } else {
         // Randomly hit a live block: legal free; sync the model.
         ASSERT_EQ(r, FreeResult::kOk);
-        model.erase(bogus.packed);
+        model.erase(key_of(bogus));
         std::erase_if(live, [&](NvPtr q) { return q == bogus; });
       }
     }
@@ -87,8 +99,8 @@ TEST_P(RandomOpsSweep, ModelEquivalence) {
   EXPECT_TRUE(h->check_invariants(&why)) << why;
 
   // Drain and verify the heap returns to a fully merged state.
-  for (const auto& [packed, entry] : model) {
-    ASSERT_EQ(h->free(NvPtr{h->heap_id(), packed}), FreeResult::kOk);
+  for (const auto& [key, entry] : model) {
+    ASSERT_EQ(h->free(NvPtr{key.first, key.second}), FreeResult::kOk);
   }
   EXPECT_EQ(h->stats().live_blocks, 0u);
   NvPtr whole = h->alloc(h->user_capacity() / h->nsubheaps());
@@ -103,7 +115,7 @@ TEST(PropertyReopen, StateSurvivesManyReopenCycles) {
   Options o = small_opts(2);
   o.policy = SubheapPolicy::kPerThread;
   Xoshiro256 rng(4242);
-  std::map<std::uint64_t, ModelEntry> model;
+  std::map<ModelKey, ModelEntry> model;
   {
     auto h = Heap::create(path.str(), 4 << 20, o);
     (void)h;
@@ -112,10 +124,10 @@ TEST(PropertyReopen, StateSurvivesManyReopenCycles) {
     auto h = Heap::open(path.str(), o);
     ASSERT_EQ(h->stats().live_blocks, model.size()) << "cycle " << cycle;
     // Verify all survivors, free half, allocate some more.
-    std::vector<std::uint64_t> keys;
-    for (const auto& [packed, e] : model) keys.push_back(packed);
+    std::vector<ModelKey> keys;
+    for (const auto& [key, e] : model) keys.push_back(key);
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      const NvPtr p{h->heap_id(), keys[i]};
+      const NvPtr p{keys[i].first, keys[i].second};
       const ModelEntry& e = model.at(keys[i]);
       const auto* bytes = static_cast<const unsigned char*>(h->raw(p));
       ASSERT_EQ(bytes[0], e.fill);
@@ -131,7 +143,7 @@ TEST(PropertyReopen, StateSurvivesManyReopenCycles) {
       if (p.is_null()) break;
       const auto fill = static_cast<unsigned char>(rng.next());
       std::memset(h->raw(p), fill, size);
-      model.emplace(p.packed, ModelEntry{size, fill});
+      model.emplace(key_of(p), ModelEntry{size, fill});
     }
     ASSERT_TRUE(h->check_invariants());
   }
@@ -146,8 +158,11 @@ TEST(Concurrency, CrossThreadFreesKeepInvariants) {
   auto h = Heap::create(path.str(), 8 << 20, o);
 
   constexpr int kPairs = 2, kOpsPerThread = 20000;
-  std::vector<std::atomic<std::uint64_t>> ring(256);
-  for (auto& r : ring) r.store(0);
+  // The handed-off NvPtr is 16 bytes (since v5 its heap id names a shard,
+  // so packed alone no longer identifies a block) — hand off a heap node
+  // holding the full pointer instead of packing it into one atomic word.
+  std::vector<std::atomic<NvPtr*>> ring(256);
+  for (auto& r : ring) r.store(nullptr);
   std::atomic<std::uint64_t> alloc_count{0}, free_count{0}, reject{0};
 
   std::vector<std::thread> threads;
@@ -158,39 +173,38 @@ TEST(Concurrency, CrossThreadFreesKeepInvariants) {
         NvPtr p = h->alloc(32 + rng.next_below(400));
         if (p.is_null()) continue;
         alloc_count.fetch_add(1);
-        // packed+1: the block at sub-heap 0 / offset 0 has packed == 0,
-        // which must not masquerade as the empty-slot sentinel.
-        const std::uint64_t prev =
-            ring[rng.next_below(ring.size())].exchange(p.packed + 1);
-        if (prev != 0) {
-          if (h->free(NvPtr{h->heap_id(), prev - 1}) == FreeResult::kOk) {
+        NvPtr* prev =
+            ring[rng.next_below(ring.size())].exchange(new NvPtr(p));
+        if (prev != nullptr) {
+          if (h->free(*prev) == FreeResult::kOk) {
             free_count.fetch_add(1);
           } else {
             reject.fetch_add(1);
           }
+          delete prev;
         }
       }
     });
     threads.emplace_back([&, pair] {  // consumer
       Xoshiro256 rng(200 + pair);
       for (int i = 0; i < kOpsPerThread; ++i) {
-        const std::uint64_t got =
-            ring[rng.next_below(ring.size())].exchange(0);
-        if (got == 0) continue;
-        if (h->free(NvPtr{h->heap_id(), got - 1}) == FreeResult::kOk) {
+        NvPtr* got = ring[rng.next_below(ring.size())].exchange(nullptr);
+        if (got == nullptr) continue;
+        if (h->free(*got) == FreeResult::kOk) {
           free_count.fetch_add(1);
         } else {
           reject.fetch_add(1);
         }
+        delete got;
       }
     });
   }
   for (auto& t : threads) t.join();
   for (auto& r : ring) {
-    const std::uint64_t got = r.load();
-    if (got != 0 &&
-        h->free(NvPtr{h->heap_id(), got - 1}) == FreeResult::kOk) {
-      free_count.fetch_add(1);
+    NvPtr* got = r.load();
+    if (got != nullptr) {
+      if (h->free(*got) == FreeResult::kOk) free_count.fetch_add(1);
+      delete got;
     }
   }
   EXPECT_EQ(reject.load(), 0u) << "every handed-off pointer is valid exactly once";

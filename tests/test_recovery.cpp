@@ -14,7 +14,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/heap.hpp"
@@ -212,6 +214,70 @@ TEST(Recovery, WorksUnderRealProtectionMode) {
   EXPECT_FALSE(p.is_null());
   EXPECT_EQ(h->free(p), FreeResult::kOk);
 }
+
+// Multi-shard crash matrix: a two-shard set killed at swept crash points
+// while both shards carry singleton churn, uncommitted transactions and
+// cross-shard frees; reopening runs one recovery worker per shard.
+class ShardForkCrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardForkCrashSweep, TwoShardHeapRecoversAfterKill) {
+  const int nth = GetParam();
+  TempHeapPath path("shard_forkcrash");
+  Options o = small_opts(4);
+  o.nshards = 2;
+  o.shard_policy = ShardPolicy::kPerThread;
+  o.policy = SubheapPolicy::kPerThread;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    ASSERT_EQ(h->shard_count(), 2u);
+    for (int i = 0; i < 20; ++i) (void)h->alloc(256);
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), o);
+    pmem::crash_arm("", static_cast<std::uint64_t>(nth),
+                    pmem::CrashAction::kExit);
+    // Two workers land on different shards (per-thread routing) and free
+    // each other's blocks through a handoff slot, so the kill can strike
+    // mid-allocation, mid-transaction or mid-cross-shard-free.
+    std::atomic<NvPtr*> handoff{nullptr};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 2; ++t) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 40; ++i) {
+          NvPtr p = h->alloc(64u << (i % 4));
+          if (!p.is_null()) {
+            NvPtr* prev = handoff.exchange(new NvPtr(p));
+            if (prev != nullptr) {
+              h->free(*prev);
+              delete prev;
+            }
+          }
+          (void)h->tx_alloc(128, i % 2 == 0);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  auto h = Heap::open(path.str(), o);
+  EXPECT_EQ(h->shard_count(), 2u);
+  EXPECT_EQ(h->stats().shards_quarantined, 0u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << "nth=" << nth << ": " << why;
+  EXPECT_GE(h->stats().live_blocks, 20u);  // prepopulated state intact
+  NvPtr p = h->alloc(64);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShardForkCrashSweep,
+                         ::testing::Values(1, 3, 6, 10, 15, 21, 28));
 
 TEST(Recovery, RootUpdateIsFailureAtomic) {
   TempHeapPath path("root_atomic");

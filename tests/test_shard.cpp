@@ -1,0 +1,406 @@
+// Shard-set tests (layout v5): a heap is one PoolShard per NUMA node
+// behind a routing front-end.  Covers multi-shard create/open, NvPtr
+// routing and cross-shard frees, the head-last create commit point under
+// crash, parallel per-shard recovery, quarantine isolation of a corrupt
+// member, shard-header mismatch refusals, the fake-NUMA topology parser,
+// and the RCU registry under concurrent open/close.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/topology.hpp"
+#include "core/heap.hpp"
+#include "core/registry.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/pool.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon::core {
+namespace {
+
+using test::small_opts;
+using test::TempHeapPath;
+
+// Two shards regardless of the box's real topology; per-thread routing so
+// consecutive test threads land on different shards deterministically.
+Options two_shard_opts(unsigned nsubheaps_total = 4) {
+  Options o = small_opts(nsubheaps_total);
+  o.nshards = 2;
+  o.shard_policy = ShardPolicy::kPerThread;
+  o.policy = SubheapPolicy::kPerThread;
+  return o;
+}
+
+// Allocate until the set has produced a block from every shard (a fresh
+// thread per attempt advances the thread ordinal, which kPerThread routing
+// maps round-robin over the shards).
+std::vector<NvPtr> alloc_on_each_shard(Heap& h, std::uint64_t size) {
+  std::set<std::uint64_t> ids;
+  std::vector<NvPtr> out;
+  for (int attempt = 0; attempt < 32 && ids.size() < h.shard_count();
+       ++attempt) {
+    NvPtr p;
+    std::thread([&] { p = h.alloc(size); }).join();
+    if (p.is_null()) break;
+    if (ids.insert(p.heap_id).second) out.push_back(p);
+  }
+  return out;
+}
+
+void clobber_file_prefix(const std::string& path, std::size_t len) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0) << path;
+  const std::vector<unsigned char> junk(len, 0xff);
+  ASSERT_EQ(::pwrite(fd, junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+  ::close(fd);
+}
+
+void copy_file_over(const std::string& src, const std::string& dst) {
+  const int in = ::open(src.c_str(), O_RDONLY);
+  ASSERT_GE(in, 0) << src;
+  const int out = ::open(dst.c_str(), O_RDWR | O_TRUNC);
+  ASSERT_GE(out, 0) << dst;
+  std::vector<char> buf(1 << 20);
+  for (;;) {
+    const ssize_t n = ::read(in, buf.data(), buf.size());
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    ASSERT_EQ(::write(out, buf.data(), static_cast<std::size_t>(n)), n);
+  }
+  ::close(in);
+  ::close(out);
+}
+
+TEST(FakeNuma, EnvParserAcceptsOnlySaneTopologies) {
+  EXPECT_EQ(parse_fake_numa(nullptr), 0u);
+  EXPECT_EQ(parse_fake_numa(""), 0u);
+  EXPECT_EQ(parse_fake_numa("abc"), 0u);
+  EXPECT_EQ(parse_fake_numa("2x"), 0u);
+  EXPECT_EQ(parse_fake_numa("-2"), 0u);
+  EXPECT_EQ(parse_fake_numa("0"), 0u);   // no-op topology
+  EXPECT_EQ(parse_fake_numa("1"), 0u);   // no-op topology
+  EXPECT_EQ(parse_fake_numa("2"), 2u);
+  EXPECT_EQ(parse_fake_numa("16"), 16u);
+  EXPECT_EQ(parse_fake_numa("64"), 64u);
+  EXPECT_EQ(parse_fake_numa("65"), 0u);  // absurd
+}
+
+TEST(ShardSet, CreateProducesMemberFilesAndRoutesAllocations) {
+  TempHeapPath path("shard_create");
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  ASSERT_EQ(h->shard_count(), 2u);
+  EXPECT_EQ(h->nsubheaps(), 4u);
+  EXPECT_TRUE(pmem::Pool::exists(path.str()));
+  EXPECT_TRUE(pmem::Pool::exists(path.str() + ".shard1"));
+
+  // Every shard has its own nonzero id; the head's id is the heap's.
+  const std::uint64_t id0 = h->shard_heap_id(0);
+  const std::uint64_t id1 = h->shard_heap_id(1);
+  EXPECT_NE(id0, 0u);
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id0, id1);
+  EXPECT_EQ(h->heap_id(), id0);
+
+  const auto st = h->stats();
+  EXPECT_EQ(st.nshards, 2u);
+  EXPECT_EQ(st.shards_quarantined, 0u);
+
+  // Per-thread routing reaches both shards.
+  const std::vector<NvPtr> ps = alloc_on_each_shard(*h, 256);
+  ASSERT_EQ(ps.size(), 2u);
+  for (const NvPtr& p : ps) {
+    EXPECT_TRUE(p.heap_id == id0 || p.heap_id == id1);
+    // Conversions round-trip through the owning shard.
+    void* r = h->raw(p);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(h->contains(r));
+    EXPECT_EQ(h->from_raw(r), p);
+    // ... and through the process-wide registry (C-API path).
+    EXPECT_EQ(registry::by_id(p.heap_id), h.get());
+    EXPECT_EQ(registry::by_address(r), h.get());
+  }
+  // Cross-shard frees: the calling thread's home shard is irrelevant.
+  for (const NvPtr& p : ps) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  for (const NvPtr& p : ps) EXPECT_NE(h->free(p), FreeResult::kOk);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(ShardSet, ExplicitSubheapTotalGovernsShardCount) {
+  // An explicit total that 2 divides: split 2x2.
+  {
+    TempHeapPath path("shard_split");
+    auto h = Heap::create(path.str(), 2 << 20, two_shard_opts(4));
+    EXPECT_EQ(h->shard_count(), 2u);
+    EXPECT_EQ(h->nsubheaps(), 4u);
+  }
+  // An explicit total 2 does not divide: the set shrinks (3 = 3x1 shard)
+  // so nsubheaps() stays exactly what the caller asked for.
+  {
+    TempHeapPath path("shard_shrink");
+    auto h = Heap::create(path.str(), 2 << 20, two_shard_opts(3));
+    EXPECT_EQ(h->shard_count(), 1u);
+    EXPECT_EQ(h->nsubheaps(), 3u);
+  }
+}
+
+TEST(ShardSet, FixedShard0PolicyPinsEveryAllocation) {
+  TempHeapPath path("shard_fixed0");
+  Options o = two_shard_opts();
+  o.shard_policy = ShardPolicy::kFixed0;
+  auto h = Heap::create(path.str(), 4 << 20, o);
+  ASSERT_EQ(h->shard_count(), 2u);
+  for (int i = 0; i < 16; ++i) {
+    NvPtr p;
+    std::thread([&] { p = h->alloc(128); }).join();
+    ASSERT_FALSE(p.is_null());
+    EXPECT_EQ(p.heap_id, h->shard_heap_id(0));
+    EXPECT_EQ(h->free(p), FreeResult::kOk);
+  }
+}
+
+TEST(ShardSet, TxStaysPinnedToOneShardUntilCommit) {
+  TempHeapPath path("shard_txpin");
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  const NvPtr t1 = h->tx_alloc(128, false);
+  ASSERT_FALSE(t1.is_null());
+  const NvPtr t2 = h->tx_alloc(128, false);
+  ASSERT_FALSE(t2.is_null());
+  // The micro log recording the transaction lives in one shard; every tx
+  // operation must route back there regardless of the home-shard policy.
+  EXPECT_EQ(t1.heap_id, t2.heap_id);
+  h->tx_commit();
+  EXPECT_EQ(h->free(t1), FreeResult::kOk);
+  EXPECT_EQ(h->free(t2), FreeResult::kOk);
+}
+
+TEST(ShardSet, StatsAndCapacityAggregateAcrossShards) {
+  TempHeapPath path("shard_stats");
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  ASSERT_EQ(h->shard_count(), 2u);
+  ASSERT_NE(h->shard(0), nullptr);
+  ASSERT_NE(h->shard(1), nullptr);
+  EXPECT_EQ(h->user_capacity(),
+            h->shard(0)->user_capacity() + h->shard(1)->user_capacity());
+  const std::vector<NvPtr> ps = alloc_on_each_shard(*h, 512);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(h->stats().live_blocks, 2u);
+  for (const NvPtr& p : ps) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  EXPECT_EQ(h->stats().live_blocks, 0u);
+}
+
+TEST(ShardSet, CrashMidCreateNeverLeavesAnOpenableHead) {
+  TempHeapPath path("shard_crash_create");
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Dies right after the member file lands, before the head exists.
+    pmem::crash_arm("shard.after_member_create", 1,
+                    pmem::CrashAction::kExit);
+    auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+    _exit(0);  // unreachable
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  // The head is the commit point of the set — without it nothing opens.
+  EXPECT_FALSE(pmem::Pool::exists(path.str()));
+  EXPECT_THROW(Heap::open(path.str(), two_shard_opts()), Error);
+
+  // Recreating sweeps the stale member and produces a working set.
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  ASSERT_EQ(h->shard_count(), 2u);
+  const std::vector<NvPtr> ps = alloc_on_each_shard(*h, 256);
+  ASSERT_EQ(ps.size(), 2u);
+  for (const NvPtr& p : ps) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(ShardSet, KilledProcessRecoversEveryShardOnReopen) {
+  TempHeapPath path("shard_kill_recover");
+  const Options o = two_shard_opts();
+  std::uint64_t committed = 0;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    const std::vector<NvPtr> ps = alloc_on_each_shard(*h, 512);
+    ASSERT_EQ(ps.size(), 2u);  // one committed block per shard
+    committed = h->stats().live_blocks;
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), o);
+    // Leave an uncommitted transaction in BOTH shards, then die: each
+    // shard's micro log has pending work, so reopening must replay both.
+    std::atomic<int> pinned{0};
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 2; ++i) {
+      ts.emplace_back([&] {
+        if (!h->tx_alloc(256, false).is_null()) {
+          pinned.fetch_add(1);
+        }
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+      });
+    }
+    while (pinned.load() < 2) std::this_thread::yield();
+    _exit(0);  // threads still hold their open transactions
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+
+  // Parallel per-shard recovery frees the uncommitted allocations in both
+  // shards and keeps the committed ones.
+  auto h = Heap::open(path.str(), o);
+  EXPECT_EQ(h->stats().live_blocks, committed);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(ShardSet, CorruptMemberIsQuarantinedWithoutPoisoningSiblings) {
+  TempHeapPath path("shard_quarantine");
+  const Options o = two_shard_opts();
+  std::vector<NvPtr> ps;
+  std::uint64_t head_id = 0;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    ps = alloc_on_each_shard(*h, 256);
+    ASSERT_EQ(ps.size(), 2u);
+    head_id = h->shard_heap_id(0);
+  }
+  // Destroy the member's superblock AND its shadow page: damage beyond
+  // repair quarantines the slot, it must not refuse the whole set.
+  clobber_file_prefix(path.str() + ".shard1", 64 << 10);
+
+  auto h = Heap::open(path.str(), o);
+  ASSERT_EQ(h->shard_count(), 2u);
+  EXPECT_NE(h->shard(0), nullptr);
+  EXPECT_EQ(h->shard(1), nullptr);
+  EXPECT_EQ(h->shard_heap_id(0), head_id);
+  EXPECT_EQ(h->shard_heap_id(1), 0u);
+  const auto st = h->stats();
+  EXPECT_EQ(st.nshards, 2u);
+  EXPECT_EQ(st.shards_quarantined, 1u);
+  EXPECT_GE(st.subheaps_quarantined, 1u);
+  EXPECT_GE(h->metrics().corruption_detected.read(), 1u);
+  // Every sub-heap of the dead slot reads quarantined through the
+  // heap-global index.
+  const unsigned per = h->nsubheaps() / h->shard_count();
+  for (unsigned i = 0; i < per; ++i) {
+    EXPECT_EQ(h->subheap_health(per + i), SubheapHealth::kQuarantined);
+  }
+
+  // Degraded service: pointers into the dead shard are refused (their id
+  // no longer resolves), the healthy shard keeps allocating and freeing.
+  for (const NvPtr& p : ps) {
+    if (p.heap_id == head_id) {
+      EXPECT_EQ(h->free(p), FreeResult::kOk);
+    } else {
+      EXPECT_EQ(h->free(p), FreeResult::kInvalidPointer);
+    }
+  }
+  const NvPtr fresh = h->alloc(128);
+  ASSERT_FALSE(fresh.is_null());
+  EXPECT_EQ(fresh.heap_id, head_id);
+  EXPECT_EQ(h->free(fresh), FreeResult::kOk);
+  // fsck counts the dead slot's sub-heaps as quarantined (checked covers
+  // them plus whatever the healthy shard materialized).
+  const auto rep = h->fsck();
+  EXPECT_GE(rep.checked, per);
+  EXPECT_GE(rep.quarantined, per);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(ShardSet, MemberFromAnotherSetRefusesTheWholeOpen) {
+  TempHeapPath path_a("shard_mix_a");
+  TempHeapPath path_b("shard_mix_b");
+  const Options o = two_shard_opts();
+  { auto h = Heap::create(path_a.str(), 4 << 20, o); }
+  { auto h = Heap::create(path_b.str(), 4 << 20, o); }
+  // Splice B's member into A's set: structurally a perfect pool, but its
+  // shard header names a different set — a configuration error, not
+  // damage, so the open must refuse rather than quarantine.
+  copy_file_over(path_b.str() + ".shard1", path_a.str() + ".shard1");
+  try {
+    auto h = Heap::open(path_a.str(), o);
+    FAIL() << "mixed shard set must not open";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kShardMismatch);
+  }
+}
+
+TEST(ShardSet, OpeningAMemberFileDirectlyIsRefused) {
+  TempHeapPath path("shard_open_member");
+  const Options o = two_shard_opts();
+  { auto h = Heap::create(path.str(), 4 << 20, o); }
+  try {
+    auto h = Heap::open(path.str() + ".shard1", o);
+    FAIL() << "member files are not heads";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kShardMismatch);
+  }
+  // The head still opens fine afterwards.
+  auto h = Heap::open(path.str(), o);
+  EXPECT_EQ(h->shard_count(), 2u);
+}
+
+TEST(Registry, ConversionsStayValidUnderConcurrentOpenClose) {
+  // Writers churn whole heaps open/closed while readers hammer the
+  // wait-free conversion paths; the RCU snapshot must never hand out a
+  // heap mid-teardown or crash on a stale interval.
+  constexpr int kWriters = 3, kCycles = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hits{0};
+
+  std::thread reader([&] {
+    int local = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Misses must stay misses: the stack and a bogus id belong to no heap.
+      if (registry::by_address(&local) != nullptr) hits.fetch_add(1);
+      if (registry::by_id(0xdeadbeefdeadbeefULL) != nullptr) hits.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      TempHeapPath path("reg_stress_" + std::to_string(w));
+      for (int c = 0; c < kCycles; ++c) {
+        Options o = small_opts(1);
+        o.nshards = 1;
+        auto h = Heap::create(path.str(), 1 << 20, o);
+        const NvPtr p = h->alloc(64);
+        if (p.is_null()) { failures.fetch_add(1); break; }
+        void* r = h->raw(p);
+        if (registry::by_id(p.heap_id) != h.get()) failures.fetch_add(1);
+        if (registry::by_address(r) != h.get()) failures.fetch_add(1);
+        h.reset();  // unregisters, then unmaps
+        pmem::Pool::unlink(path.str());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(hits.load(), 0u);
+}
+
+}  // namespace
+}  // namespace poseidon::core

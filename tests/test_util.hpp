@@ -21,9 +21,9 @@ class TempHeapPath {
             std::to_string(::getpid()) + "_" +
             std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
             ".heap";
-    pmem::Pool::unlink(path_);
+    unlink_all();
   }
-  ~TempHeapPath() { pmem::Pool::unlink(path_); }
+  ~TempHeapPath() { unlink_all(); }
   TempHeapPath(const TempHeapPath&) = delete;
   TempHeapPath& operator=(const TempHeapPath&) = delete;
 
@@ -31,6 +31,15 @@ class TempHeapPath {
   const char* c_str() const noexcept { return path_.c_str(); }
 
  private:
+  // The head file plus every possible shard-member file (path + ".shardN"):
+  // a multi-shard heap leaves members next to the head.
+  void unlink_all() const noexcept {
+    pmem::Pool::unlink(path_);
+    for (unsigned i = 1; i < core::kMaxShards; ++i) {
+      pmem::Pool::unlink(path_ + ".shard" + std::to_string(i));
+    }
+  }
+
   std::string path_;
 };
 
