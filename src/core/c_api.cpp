@@ -1,5 +1,6 @@
 #include "core/c_api.h"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -110,26 +111,37 @@ void poseidon_set_root(heap_t *heap, nvmptr_t ptr) {
 
 void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out) {
   if (out == nullptr) return;
-  std::memset(out, 0, sizeof(*out));
-  if (heap == nullptr) return;
-  const auto s = heap->impl->stats();
-  out->live_blocks = s.live_blocks;
-  out->free_blocks = s.free_blocks;
-  out->allocated_bytes = s.allocated_bytes;
-  out->user_capacity = s.user_capacity;
-  out->nsubheaps = s.nsubheaps;
-  out->subheaps_materialized = s.subheaps_materialized;
-  out->splits = s.splits;
-  out->merges = s.merges;
-  out->hash_extensions = s.hash_extensions;
-  out->hash_shrinks = s.hash_shrinks;
-  out->cache_hits = s.cache_hits;
-  out->cache_misses = s.cache_misses;
-  out->cache_flushes = s.cache_flushes;
-  out->cache_cached_blocks = s.cache_cached_blocks;
-  out->subheaps_quarantined = s.subheaps_quarantined;
-  out->nshards = s.nshards;
-  out->shards_quarantined = s.shards_quarantined;
+  (void)poseidon_get_stats_sized(heap, out, sizeof(*out));
+}
+
+size_t poseidon_get_stats_sized(heap_t *heap, void *out, size_t out_size) {
+  if (out == nullptr || out_size == 0) return 0;
+  // Fill a full current-ABI struct locally, then copy only the prefix the
+  // caller's (possibly older, shorter) struct has room for.
+  poseidon_stats_t full;
+  std::memset(&full, 0, sizeof(full));
+  if (heap != nullptr) {
+    const auto s = heap->impl->stats();
+    full.live_blocks = s.live_blocks;
+    full.free_blocks = s.free_blocks;
+    full.allocated_bytes = s.allocated_bytes;
+    full.user_capacity = s.user_capacity;
+    full.nsubheaps = s.nsubheaps;
+    full.subheaps_materialized = s.subheaps_materialized;
+    full.splits = s.splits;
+    full.merges = s.merges;
+    full.hash_extensions = s.hash_extensions;
+    full.hash_shrinks = s.hash_shrinks;
+    full.cache_hits = s.cache_hits;
+    full.cache_misses = s.cache_misses;
+    full.cache_flushes = s.cache_flushes;
+    full.cache_cached_blocks = s.cache_cached_blocks;
+    full.subheaps_quarantined = s.subheaps_quarantined;
+    full.nshards = s.nshards;
+    full.shards_quarantined = s.shards_quarantined;
+  }
+  std::memcpy(out, &full, std::min(out_size, sizeof(full)));
+  return sizeof(full);
 }
 
 int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out) {

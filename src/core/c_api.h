@@ -84,7 +84,15 @@ nvmptr_t poseidon_get_nvmptr(void *p);
 nvmptr_t poseidon_get_root(heap_t *heap);
 void poseidon_set_root(heap_t *heap, nvmptr_t ptr);
 
-/* Heap statistics (occupancy + mechanism counters). */
+/* Heap statistics (occupancy + mechanism counters).
+ *
+ * ABI note: this struct only ever grows at the tail (POSEIDON_C_API_VERSION
+ * is bumped each time).  poseidon_get_stats() fills the full struct of the
+ * header the *library* was built against, so callers must be compiled
+ * against the same header — the normal case here, since the libraries are
+ * static.  A caller that may be linked against a newer library build must
+ * use poseidon_get_stats_sized() instead, which never writes past the size
+ * the caller passes. */
 typedef struct poseidon_stats {
   uint64_t live_blocks;
   uint64_t free_blocks;
@@ -108,8 +116,21 @@ typedef struct poseidon_stats {
   uint32_t shards_quarantined;
 } poseidon_stats_t;
 
-/* Zero-fills *out when heap is NULL; no-op when out is NULL. */
+/* Version of the stats ABI: bumped whenever poseidon_stats_t grows.
+ * v1: through cache_cached_blocks; v2: + subheaps_quarantined;
+ * v3: + nshards, shards_quarantined. */
+#define POSEIDON_C_API_VERSION 3
+
+/* Zero-fills *out when heap is NULL; no-op when out is NULL.  Writes
+ * sizeof(poseidon_stats_t) bytes — see the ABI note above. */
 void poseidon_get_stats(heap_t *heap, poseidon_stats_t *out);
+
+/* Size-negotiated variant: fills at most out_size bytes of *out (a
+ * possibly older, shorter poseidon_stats_t) and never writes past them;
+ * fields the caller's struct lacks are simply dropped.  Returns the
+ * library's full sizeof(poseidon_stats_t) so callers can detect
+ * truncation; 0 when out is NULL or out_size is 0. */
+size_t poseidon_get_stats_sized(heap_t *heap, void *out, size_t out_size);
 
 /* Observability exporters (snprintf contract): write up to buf_len bytes
  * of NUL-terminated output into buf and return the number of bytes the

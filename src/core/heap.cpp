@@ -1,7 +1,9 @@
 #include "core/heap.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <stdexcept>
+#include <system_error>
 #include <thread>
 
 #include "common/error.hpp"
@@ -56,6 +58,16 @@ std::unique_ptr<Heap> Heap::create(const std::string& path,
       std::max<std::uint64_t>(capacity / nshards, 1);
   const std::uint64_t set_id = random_nonzero_u64();
   const std::uint64_t epoch = random_nonzero_u64();
+
+  // Fail before the stale-member sweep: a head file at `path` means a
+  // committed shard set lives here, and unlinking its members would leave
+  // the surviving head permanently unopenable (kShardMismatch).  The head
+  // Pool::create's O_EXCL would also refuse, but only after the members
+  // were already destroyed.
+  if (pmem::Pool::exists(path)) {
+    throw std::system_error(EEXIST, std::generic_category(),
+                            "create heap " + path + ": head file exists");
+  }
 
   std::unique_ptr<Heap> h(new Heap(path, opts));
   h->nshards_ = nshards;
@@ -234,10 +246,13 @@ NvPtr Heap::tx_alloc(std::uint64_t size, bool is_end) {
     PoolShard* s = shards_[(start + a) % nshards_].get();
     if (s == nullptr) continue;
     const NvPtr p = s->tx_alloc(size, is_end);
-    // The attempt either produced a block, or pinned the shard (committed
-    // single-op transactions unpin again) — both end the search.  Only a
-    // shard that could not pin at all (fully quarantined, or the thread
-    // has an open transaction on another heap) lets the next one try.
+    // A produced block ends the search, as does a still-pinned shard
+    // (multi-op attempt: later ops and the commit must land there even
+    // if this shard is exhausted).  An exhausted single-op attempt
+    // unpins without committing anything, and a shard that could not
+    // pin at all (fully quarantined, or the thread has an open
+    // transaction on another heap) never held the pin — both let the
+    // next shard try.
     if (!p.is_null() || s->tx_active_here()) return p;
   }
   return NvPtr::null();

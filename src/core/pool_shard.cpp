@@ -464,6 +464,10 @@ NvPtr PoolShard::tx_alloc(std::uint64_t size, bool is_end) {
     // so the thread may simply start fresh.
     tx = TxState{};
   }
+  // A transaction pinned before this call may already hold logged
+  // allocations, so its commit must run even if this final alloc fails;
+  // a transaction both opened and ended here logged nothing on failure.
+  const bool was_pinned = tx.active;
   if (!tx.active) {
     // Pin a sub-heap for this transaction: its micro log records the
     // allocation history until commit.  Prefer an uncontended one.
@@ -507,7 +511,11 @@ NvPtr PoolShard::tx_alloc(std::uint64_t size, bool is_end) {
                static_cast<std::uint16_t>(cls), *off);
       }
     }
-    if (is_end) {
+    if (is_end && (was_pinned || !result.is_null())) {
+      // An empty single-op transaction (fresh pin, alloc failed) wrote
+      // nothing to the micro log: no truncate, and counting it as a
+      // commit would inflate tx_commits once per shard the front-end's
+      // exhaustion fallback walks.
       POSEIDON_CRASH_POINT("tx.before_commit_truncate");
       {
         mpk::WriteWindow w(prot_.get());

@@ -3,6 +3,7 @@
 // mode interplay with the public API.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -160,6 +161,39 @@ TEST(ApiEdges, CApiStats) {
   poseidon_free(heap, b);
   poseidon_get_stats(heap, &st);
   EXPECT_EQ(st.live_blocks, 0u);
+  poseidon_finish(heap);
+}
+
+TEST(ApiEdges, CApiStatsSizedNeverWritesPastCallerStruct) {
+  TempHeapPath path("capi_stats_sized");
+  heap_t* heap = poseidon_init(path.c_str(), 1 << 20);
+  ASSERT_NE(heap, nullptr);
+  nvmptr_t a = poseidon_alloc(heap, 64);
+  ASSERT_FALSE(nvmptr_is_null(a));
+
+  // A caller compiled against an older header passes a shorter struct:
+  // only its prefix may be written, bytes past it must stay untouched.
+  const size_t old_size = offsetof(poseidon_stats_t, subheaps_quarantined);
+  struct {
+    poseidon_stats_t st;
+    unsigned char guard[32];
+  } buf;
+  std::memset(&buf, 0xab, sizeof(buf));
+  EXPECT_EQ(poseidon_get_stats_sized(heap, &buf.st, old_size),
+            sizeof(poseidon_stats_t));
+  EXPECT_EQ(buf.st.live_blocks, 1u);
+  const auto* raw = reinterpret_cast<const unsigned char*>(&buf);
+  for (size_t i = old_size; i < sizeof(buf); ++i) {
+    ASSERT_EQ(raw[i], 0xab) << "byte " << i << " written past out_size";
+  }
+  // The full size gets the tail fields; degenerate inputs return 0.
+  std::memset(&buf, 0xab, sizeof(buf));
+  EXPECT_EQ(poseidon_get_stats_sized(heap, &buf.st, sizeof(buf.st)),
+            sizeof(poseidon_stats_t));
+  EXPECT_GE(buf.st.nshards, 1u);
+  EXPECT_EQ(poseidon_get_stats_sized(heap, nullptr, sizeof(buf.st)), 0u);
+  EXPECT_EQ(poseidon_get_stats_sized(heap, &buf.st, 0), 0u);
+  poseidon_free(heap, a);
   poseidon_finish(heap);
 }
 

@@ -201,6 +201,47 @@ TEST(ShardSet, StatsAndCapacityAggregateAcrossShards) {
   EXPECT_EQ(h->stats().live_blocks, 0u);
 }
 
+TEST(ShardSet, CreateOverExistingSetFailsWithoutTouchingMembers) {
+  TempHeapPath path("shard_create_over");
+  const Options o = two_shard_opts();
+  std::vector<NvPtr> ps;
+  {
+    auto h = Heap::create(path.str(), 4 << 20, o);
+    ps = alloc_on_each_shard(*h, 256);
+    ASSERT_EQ(ps.size(), 2u);
+  }
+  // The documented contract: create() on an existing head fails — and it
+  // must fail BEFORE the stale-member sweep, or the sweep would destroy
+  // the members and leave the surviving head permanently unopenable.
+  EXPECT_THROW(Heap::create(path.str(), 4 << 20, o), std::system_error);
+  EXPECT_TRUE(pmem::Pool::exists(path.str() + ".shard1"));
+
+  // The set survives intact: both shards open and the old data frees.
+  auto h = Heap::open(path.str(), o);
+  ASSERT_EQ(h->shard_count(), 2u);
+  EXPECT_NE(h->shard(0), nullptr);
+  EXPECT_NE(h->shard(1), nullptr);
+  EXPECT_EQ(h->stats().shards_quarantined, 0u);
+  for (const NvPtr& p : ps) EXPECT_EQ(h->free(p), FreeResult::kOk);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(ShardSet, ExhaustedSingleOpTxAttemptCommitsNothing) {
+  TempHeapPath path("shard_tx_empty");
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  const std::uint64_t before = h->metrics().tx_commits.read();
+  // An impossible size walks the exhaustion fallback across every shard;
+  // none of the failed single-op attempts may count as a commit.
+  EXPECT_TRUE(h->tx_alloc(1ull << 40, true).is_null());
+  EXPECT_EQ(h->metrics().tx_commits.read(), before);
+  // A successful single-op transaction still commits exactly once.
+  const NvPtr p = h->tx_alloc(128, true);
+  ASSERT_FALSE(p.is_null());
+  EXPECT_EQ(h->metrics().tx_commits.read(), before + 1);
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+}
+
 TEST(ShardSet, CrashMidCreateNeverLeavesAnOpenableHead) {
   TempHeapPath path("shard_crash_create");
   const pid_t pid = fork();
