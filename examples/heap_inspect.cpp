@@ -1,14 +1,20 @@
 // heap_inspect — offline Poseidon heap checker ("fsck for Poseidon").
 //
-// Opens a heap file read-only-in-spirit (no allocations are performed),
-// prints the superblock geometry, per-sub-heap occupancy, log state, hash
-// level usage and mechanism counters, runs the full structural invariant
-// check, and reports pending recovery work (non-empty undo/micro logs).
+// Opens the heap genuinely read-only (PROT_READ, no OFD lock, no recovery,
+// no owner stamp): inspection never mutates the file and coexists with a
+// live writer — what prints is the heap exactly as the last writer left
+// it, which for a crashed heap is the pre-recovery state (pending logs and
+// all).  Prints the superblock geometry, owner record, per-sub-heap
+// occupancy, hash level usage and mechanism counters, and runs the
+// structural invariant check (informational in read-only mode: pending
+// recovery work legitimately looks inconsistent).
 //
-// With --fsck it additionally runs the scavenge repair pass (Heap::fsck):
-// corrupted sub-heaps are rebuilt from their surviving block records and
-// quarantined ones retried, then the report is printed.  Exit status is 0
-// when the heap ends healthy (including "repaired"), 1 otherwise.
+// With --fsck it instead opens read-write (running recovery, taking
+// ownership — fails with heap-busy while a writer is live) and runs the
+// scavenge repair pass (Heap::fsck): corrupted sub-heaps are rebuilt from
+// their surviving block records and quarantined ones retried, then the
+// report is printed.  Exit status is 0 when the heap ends healthy
+// (including "repaired"), 1 otherwise.
 //
 // With --topology it prints the NUMA node → shard → sub-heap mapping with
 // per-shard occupancy and quarantine state instead (add --json for a
@@ -22,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "core/heap.hpp"
 #include "obs/exporter.hpp"
 #include "pmem/pool.hpp"
@@ -73,13 +80,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // NOTE: opening runs recovery, exactly like an application restart —
-  // an inspector sees the heap as the next user of the pool would.
+  // Read-only by default: no lock, no recovery, no mutation — safe beside
+  // a live writer.  --fsck needs to repair, so only then open read-write
+  // (which runs recovery first, exactly like an application restart).
   core::Options opts;
   opts.protect = mpk::ProtectMode::kNone;
+  opts.read_only = !run_fsck;
   std::unique_ptr<Heap> heap;
   try {
     heap = Heap::open(path, opts);
+  } catch (const Error& e) {
+    if (e.poseidon_code() == ErrorCode::kHeapBusy) {
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "another process owns this heap; inspect it without "
+                   "--fsck (read-only), or stop the owner first\n",
+                   path, e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", path, e.what());
     return 1;
@@ -168,6 +188,17 @@ int main(int argc, char** argv) {
   print_size("file bytes actually backed", heap->file_allocated_bytes());
   std::printf("%-28s %s\n", "root object",
               heap->root().is_null() ? "(unset)" : "set");
+  // Owner record (layout v6).  In read-only mode a stamped owner is most
+  // often a live writer; after a crash it is the incarnation that died.
+  const core::OwnerRecord owner = heap->shard(0)->owner();
+  if (owner.pid == 0) {
+    std::printf("%-28s none (clean close)\n", "owner");
+  } else {
+    std::printf("%-28s pid %" PRIu64 " (boot %016" PRIx64 ", heartbeat %"
+                PRIu64 ")%s\n",
+                "owner", owner.pid, owner.boot_id, owner.heartbeat,
+                run_fsck ? " [this process]" : "");
+  }
 
   const auto s = heap->stats();
   std::printf("\n== occupancy\n");
@@ -223,14 +254,31 @@ int main(int argc, char** argv) {
   std::printf("\n== consistency\n");
   const unsigned quarantined = heap->stats().subheaps_quarantined;
   std::string why;
-  if (!heap->check_invariants(&why)) {
+  const bool invariants_ok = heap->check_invariants(&why);
+  if (!run_fsck) {
+    // Read-only: the pre-recovery state of a live or crashed heap is
+    // allowed to look inconsistent (pending logs, mid-operation metadata);
+    // report, but only a failed open is a failed inspection.
+    if (!invariants_ok) {
+      std::printf("invariants do not hold pre-recovery: %s\n"
+                  "(expected on a live or crashed heap; a read-write open "
+                  "runs recovery)\n",
+                  why.c_str());
+    } else if (quarantined > 0) {
+      std::printf("structural invariants hold, but %u sub-heap(s) are "
+                  "quarantined (try --fsck)\n", quarantined);
+    } else {
+      std::printf("all structural invariants hold\n");
+    }
+    return 0;
+  }
+  if (!invariants_ok) {
     std::printf("INVARIANT VIOLATION: %s\n", why.c_str());
     return 1;
   }
   if (quarantined > 0) {
     std::printf("structural invariants hold, but %u sub-heap(s) remain "
-                "quarantined%s\n",
-                quarantined, run_fsck ? "" : " (try --fsck)");
+                "quarantined\n", quarantined);
     return 1;
   }
   std::printf("all structural invariants hold\n");

@@ -28,6 +28,7 @@ enum class ErrorCode : int {
   kQuarantined = 8,       // operation refused: sub-heap is quarantined
   kInternal = 9,          // invariant violation inside the allocator
   kShardMismatch = 10,    // shard set member disagrees on set id/epoch/count
+  kHeapBusy = 11,         // another live process (or this one) owns the heap
 };
 
 inline const char* to_string(ErrorCode c) noexcept {
@@ -43,6 +44,7 @@ inline const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::kQuarantined: return "quarantined";
     case ErrorCode::kInternal: return "internal-error";
     case ErrorCode::kShardMismatch: return "shard-mismatch";
+    case ErrorCode::kHeapBusy: return "heap-busy";
   }
   return "?";
 }

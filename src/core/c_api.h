@@ -49,6 +49,8 @@ const char *poseidon_last_error(void);
 #define POSEIDON_ERR_QUARANTINED 8
 #define POSEIDON_ERR_INTERNAL 9
 #define POSEIDON_ERR_SHARD_MISMATCH 10
+/* Another live process (or this one) holds the heap's exclusive lock. */
+#define POSEIDON_ERR_HEAP_BUSY 11
 
 /* Code classifying the calling thread's most recent poseidon_init failure
  * (POSEIDON_ERR_*), or POSEIDON_OK when its last poseidon_init succeeded.

@@ -30,6 +30,7 @@
 #include "common/error.hpp"
 #include "core/pool_shard.hpp"
 #include "core/micro_log.hpp"
+#include "core/ownership.hpp"
 #include "pmem/fault_inject.hpp"
 #include "pmem/persist.hpp"
 
@@ -81,6 +82,14 @@ bool PoolShard::validate_superblock(pmem::Pool& pool) {
       SuperBlock embedded{};
       std::memcpy(&embedded, shadow->bytes, kSuperConfigBytes);
       shadow_ok = embedded.magic == kSuperMagic && embedded.version == kVersion;
+    }
+    if (shadow_ok && pool.read_only()) {
+      // The mapping is PROT_READ, so the in-place restore is impossible.
+      // Repairing belongs to a writable open anyway (with its corruption
+      // accounting); the inspector reports rather than heals.
+      throw Error(ErrorCode::kCorruptSuperblock,
+                  pool.path() + ": superblock checksum mismatch (shadow copy "
+                                "is intact; a read-write open will repair)");
     }
     if (shadow_ok) {
       pmem::nv_memcpy(sb, shadow->bytes, kSuperConfigBytes);
@@ -419,13 +428,24 @@ void PoolShard::seal_all() noexcept {
   }
   pmem::nv_store_persist(sb_->mutable_csum, super_mutable_csum(*sb_));
   pmem::nv_store_release_persist(sb_->seal_state, std::uint64_t{kSealSealed});
+  // Owner record cleared LAST, strictly after the seal flip: a crash
+  // between the two leaves a sealed heap with a stamped owner, and the
+  // next open counts a (harmless, truthful) takeover — whereas clearing
+  // first could mark a heap ownerless while its logs still need replay.
+  clear_owner(sb_);
 }
 
 FsckReport PoolShard::fsck() {
+  if (pool_.read_only()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                pool_.path() + ": heap is open read-only (fsck repairs)");
+  }
   // The heap-wide fsck_runs metric is counted once by the front-end.
   FsckReport rep;
   std::lock_guard<std::mutex> lk(admin_mu_);
   mpk::WriteWindow w(prot_.get());
+  // A long-lived owner leaves a liveness trail for inspectors.
+  refresh_heartbeat(sb_);
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     const std::uint64_t st = pmem::nv_load_acquire(sb_->subheap_state[i]);
     if (st == kSubheapAbsent) continue;

@@ -34,6 +34,9 @@ Heap::Heap(std::string head_path, const Options& opts)
 std::unique_ptr<Heap> Heap::create(const std::string& path,
                                    std::uint64_t capacity,
                                    const Options& opts) {
+  if (opts.read_only) {
+    throw std::invalid_argument("cannot create a heap read-only");
+  }
   if (opts.nsubheaps > kMaxSubheaps) {
     throw std::invalid_argument("too many sub-heaps");
   }
@@ -111,12 +114,42 @@ std::unique_ptr<Heap> Heap::open(const std::string& path,
   h->nshards_ = head.count;
   h->shards_.resize(head.count);
   std::vector<std::exception_ptr> errs(head.count);
+  // Ownership phase, before any recovery work: take every member's OFD
+  // lock sequentially in canonical order — members 1..N-1 first, the head
+  // (the set's commit point) last.  Every opener follows the same order
+  // and fails fast on conflict, so two racing opens can never each end up
+  // holding part of one set: whoever loses releases everything it took,
+  // in reverse, and surfaces kHeapBusy.  Read-only opens take no locks
+  // and sail through.  A member whose file is merely damaged or missing
+  // (non-busy Error) is recorded for the quarantine path below.
+  std::vector<pmem::Pool> pools(head.count);
+  auto acquire = [&](unsigned i) {
+    try {
+      pools[i] = pmem::Pool::open(shard_file_path(path, i), opts.read_only);
+    } catch (const Error& e) {
+      // kHeapBusy on ANY member refuses the whole open: a set with a live
+      // owner on one member must not be half-claimed.  The head must open
+      // regardless of why it failed.
+      if (i == 0 || e.poseidon_code() == ErrorCode::kHeapBusy) throw;
+      errs[i] = std::current_exception();
+    }
+  };
+  try {
+    for (unsigned i = 1; i < head.count; ++i) acquire(i);
+    acquire(0);
+  } catch (...) {
+    // Release in reverse acquisition order: head (if reached), then
+    // members descending.  close() is a no-op on a never-opened slot.
+    pools[0].close();
+    for (unsigned j = head.count; j-- > 1;) pools[j].close();
+    throw;
+  }
   auto open_one = [&](unsigned i) {
+    if (errs[i] != nullptr) return;  // pool never opened; quarantined below
     try {
       const ShardLink expect{head.set_id, head.epoch, i, head.count};
-      h->shards_[i] =
-          PoolShard::open(shard_file_path(path, i), opts, &expect,
-                          shard_home_node(i), &h->metrics_);
+      h->shards_[i] = PoolShard::open(std::move(pools[i]), opts, &expect,
+                                      shard_home_node(i), &h->metrics_);
     } catch (...) {
       errs[i] = std::current_exception();
     }
@@ -178,7 +211,9 @@ std::unique_ptr<Heap> Heap::open(const std::string& path,
             [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
               return a.tsc < b.tsc;
             });
-  registry::add(h.get());
+  // Read-only heaps stay out of the registry: they own nothing, and a
+  // writer (possibly in this same process) may hold the same heap ids.
+  if (!opts.read_only) registry::add(h.get());
   return h;
 }
 
@@ -191,8 +226,14 @@ std::unique_ptr<Heap> Heap::open_or_create(const std::string& path,
 
 Heap::~Heap() {
   // Unregister before the shards seal and unmap, so no conversion can
-  // route into a heap that is mid-teardown.
+  // route into a heap that is mid-teardown.  (Pointer-keyed and a no-op
+  // for read-only heaps, which were never added.)
   registry::remove(this);
+  // Tear down in reverse lock-acquisition order — head first, then members
+  // descending — mirroring open's canonical acquire order, so a concurrent
+  // opener racing this close sees the commit point free before any member.
+  if (!shards_.empty()) shards_[0].reset();
+  for (unsigned i = nshards_; i-- > 1;) shards_[i].reset();
 }
 
 unsigned Heap::home_shard() const noexcept {
@@ -379,6 +420,12 @@ bool Heap::check_invariants(std::string* why) const {
 }
 
 FsckReport Heap::fsck() {
+  if (shards_[0]->read_only()) {
+    // Gate before the shard workers fan out: a throw from inside a worker
+    // thread would escape std::thread and terminate the process.
+    throw Error(ErrorCode::kInvalidArgument,
+                path() + ": heap is open read-only (fsck repairs)");
+  }
   metrics_.fsck_runs.inc();
   std::vector<FsckReport> reps(nshards_);
   if (nshards_ == 1) {

@@ -40,7 +40,13 @@ inline constexpr std::uint64_t kShadowMagic = 0x504f534549534841ull;  // "POSEIS
 //     epoch, index, count) so a shard set refuses to assemble from
 //     mismatched or partially-created members.  A single-shard heap is a
 //     set of one; the per-file layout is otherwise unchanged from v4.
-inline constexpr std::uint32_t kVersion = 5;
+// v6: process ownership — a checksummed owner record (pid, boot id,
+//     start time, heartbeat) between mutable_csum and the super undo log.
+//     The OFD lock is the authority on liveness; the record exists so an
+//     opener that finds the lock free can tell "clean close" (record
+//     cleared) from "previous owner died" (record present, pid dead or
+//     boot id changed) and count the takeover.
+inline constexpr std::uint32_t kVersion = 6;
 
 inline constexpr std::uint64_t kPageSize = 4096;
 // File sizes are rounded up to this so DAX/THP-backed mappings can use
@@ -189,6 +195,28 @@ struct SubheapMeta {
   MicroLog micro;
 };
 
+// ---- owner record (v6) ------------------------------------------------------
+//
+// Identifies the process that last held the heap's OFD lock.  (pid,
+// boot_id, start_time) together name one process incarnation: pid alone is
+// reusable, pid+start_time disambiguates reuse within a boot, and boot_id
+// catches the record surviving a reboot (where every pid is meaningless).
+// heartbeat is a coarse wall-clock stamp refreshed on fsck — diagnostic
+// only, never consulted for liveness.
+
+struct OwnerRecord {
+  std::uint64_t pid;         // 0 = no owner
+  std::uint64_t boot_id;     // FNV of /proc/sys/kernel/random/boot_id
+  std::uint64_t start_time;  // /proc/<pid>/stat field 22 (clock ticks)
+  std::uint64_t heartbeat;   // seconds since epoch at stamp / last fsck
+  std::uint64_t csum;        // over the four fields above
+};
+
+inline std::uint64_t owner_csum(const OwnerRecord& o) noexcept {
+  return hash_bytes(reinterpret_cast<const char*>(&o),
+                    offsetof(OwnerRecord, csum));
+}
+
 // ---- superblock -------------------------------------------------------------
 
 struct SuperBlock {
@@ -234,6 +262,13 @@ struct SuperBlock {
   // falls back to plain log-replay recovery, exactly as pre-v4.
   std::uint64_t seal_state;
   std::uint64_t mutable_csum;
+  // Owner record (v6).  pid == 0 means no owner (clean close, or never
+  // opened).  Stamped after recovery at open, cleared after the seal flip
+  // at clean close — so a crash anywhere in between leaves it set and the
+  // next opener performs a takeover.  Covered by its own csum (not
+  // mutable_csum: it changes while the seal is down) so a torn stamp is
+  // detectable rather than trusted.
+  OwnerRecord owner;
   UndoLogT<kSuperUndoCap> undo;
 };
 

@@ -1,0 +1,114 @@
+#include "core/ownership.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "common/hash.hpp"
+#include "pmem/persist.hpp"
+#include "pmem/retry.hpp"
+
+namespace poseidon::core {
+
+namespace {
+
+// Coarse wall-clock seconds for the heartbeat; diagnostic only.
+std::uint64_t now_seconds() noexcept {
+  return static_cast<std::uint64_t>(::time(nullptr));
+}
+
+std::uint64_t read_boot_id_hash() noexcept {
+  const int fd = pmem::retry_eintr(
+      [] { return ::open("/proc/sys/kernel/random/boot_id", O_RDONLY); });
+  if (fd < 0) return 0x626f6f74ull;  // "boot": containers may hide /proc
+  char buf[64];
+  ssize_t n = pmem::retry_eintr([&] { return ::read(fd, buf, sizeof buf); });
+  ::close(fd);
+  if (n <= 0) return 0x626f6f74ull;
+  // Strip the trailing newline so the hash matches across readers.
+  while (n > 0 && (buf[n - 1] == '\n' || buf[n - 1] == '\0')) --n;
+  const std::uint64_t h = hash_bytes(buf, static_cast<std::uint64_t>(n));
+  return h != 0 ? h : 0x626f6f74ull;
+}
+
+}  // namespace
+
+std::uint64_t boot_id_hash() noexcept {
+  static const std::uint64_t h = read_boot_id_hash();
+  return h;
+}
+
+std::uint64_t proc_start_time(pid_t pid) noexcept {
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%ld/stat", static_cast<long>(pid));
+  const int fd = pmem::retry_eintr([&] { return ::open(path, O_RDONLY); });
+  if (fd < 0) return 0;
+  // One read suffices: start time is field 22 and the line is < 1 KiB for
+  // any comm short of the 16-byte kernel cap.
+  char buf[1024];
+  const ssize_t n =
+      pmem::retry_eintr([&] { return ::read(fd, buf, sizeof buf - 1); });
+  ::close(fd);
+  if (n <= 0) return 0;
+  buf[n] = '\0';
+  // comm (field 2) may contain spaces and parentheses; fields resume after
+  // the LAST ')'.  state is field 3, so start time is 19 fields later.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0;
+  ++p;
+  for (int field = 3; field < 22; ++field) {
+    p = std::strchr(p + 1, ' ');
+    if (p == nullptr) return 0;
+  }
+  return std::strtoull(p + 1, nullptr, 10);
+}
+
+bool process_alive(pid_t pid) noexcept {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+OwnerStaleness classify_owner(const OwnerRecord& rec) noexcept {
+  if (rec.csum != owner_csum(rec)) return OwnerStaleness::kTorn;
+  if (rec.boot_id != boot_id_hash()) return OwnerStaleness::kRebooted;
+  const auto pid = static_cast<pid_t>(rec.pid);
+  if (!process_alive(pid)) return OwnerStaleness::kPidDead;
+  const std::uint64_t start = proc_start_time(pid);
+  if (start != rec.start_time) return OwnerStaleness::kPidReused;
+  return OwnerStaleness::kOwnerAlive;
+}
+
+void stamp_owner(SuperBlock* sb) noexcept {
+  OwnerRecord rec{};
+  rec.pid = static_cast<std::uint64_t>(::getpid());
+  rec.boot_id = boot_id_hash();
+  rec.start_time = proc_start_time(::getpid());
+  rec.heartbeat = now_seconds();
+  rec.csum = owner_csum(rec);
+  pmem::nv_memcpy(&sb->owner, &rec, sizeof rec);
+  pmem::persist(&sb->owner, sizeof sb->owner);
+}
+
+void clear_owner(SuperBlock* sb) noexcept {
+  OwnerRecord rec{};  // pid 0 = no owner; csum of zeros left implicit
+  rec.csum = owner_csum(rec);
+  pmem::nv_memcpy(&sb->owner, &rec, sizeof rec);
+  pmem::persist(&sb->owner, sizeof sb->owner);
+}
+
+void refresh_heartbeat(SuperBlock* sb) noexcept {
+  if (sb->owner.pid == 0) return;
+  OwnerRecord rec = sb->owner;
+  rec.heartbeat = now_seconds();
+  rec.csum = owner_csum(rec);
+  pmem::nv_memcpy(&sb->owner, &rec, sizeof rec);
+  pmem::persist(&sb->owner, sizeof sb->owner);
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,58 @@
+// Process identity for the superblock owner record (layout v6).
+//
+// The OFD lock answers "is someone alive holding this heap"; these helpers
+// answer the follow-up an opener asks when the lock was free but the owner
+// record is still stamped: which process wrote it, and is that incarnation
+// — pid + start time within this boot — definitely gone?  All reads come
+// from /proc; anything unreadable degrades to "treat as stale", which is
+// safe because the caller already holds the lock.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+
+#include "core/layout.hpp"
+
+namespace poseidon::core {
+
+// Staleness classification for a superseded owner record; recorded as the
+// arg of the kOwnerTakeover flight event so a postmortem can tell a
+// crashed process from a reboot from pid reuse.
+enum class OwnerStaleness : std::uint64_t {
+  kPidDead = 0,      // same boot, pid no longer exists
+  kRebooted = 1,     // boot id changed; pids are meaningless
+  kPidReused = 2,    // pid exists but with a different start time
+  kTorn = 3,         // record checksum bad (crash mid-stamp)
+  kOwnerAlive = 4,   // record names a live process — yet the lock was free.
+                     // Anomalous (closed pool without clean close?); the
+                     // lock is held, so takeover proceeds anyway.
+};
+
+// FNV hash of this boot's /proc/sys/kernel/random/boot_id (cached after the
+// first call).  Falls back to a nonzero constant when /proc is unreadable —
+// both sides of a comparison degrade together, so takeover still works.
+std::uint64_t boot_id_hash() noexcept;
+
+// Process start time (clock ticks since boot, /proc/<pid>/stat field 22);
+// 0 when the pid is gone or the file is unparsable.
+std::uint64_t proc_start_time(pid_t pid) noexcept;
+
+// Existence check via kill(pid, 0); EPERM still means alive.
+bool process_alive(pid_t pid) noexcept;
+
+// Classifies a stamped (pid != 0) owner record found with the lock free.
+OwnerStaleness classify_owner(const OwnerRecord& rec) noexcept;
+
+// Stamps the calling process into sb.owner and persists it.
+void stamp_owner(SuperBlock* sb) noexcept;
+
+// Clears sb.owner (pid = 0) and persists it; the clean-close marker.
+void clear_owner(SuperBlock* sb) noexcept;
+
+// Re-stamps the heartbeat of an owner record this process holds (no-op
+// when unowned); called from fsck so a long-lived owner leaves a liveness
+// trail for inspectors.
+void refresh_heartbeat(SuperBlock* sb) noexcept;
+
+}  // namespace poseidon::core

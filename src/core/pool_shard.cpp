@@ -17,10 +17,12 @@
 #include "common/numa.hpp"
 #include "common/topology.hpp"
 #include "core/micro_log.hpp"
+#include "core/ownership.hpp"
 #include "core/thread_cache.hpp"
 #include "pmem/crashpoint.hpp"
 #include "pmem/fault_inject.hpp"
 #include "pmem/persist.hpp"
+#include "pmem/retry.hpp"
 
 namespace poseidon::core {
 
@@ -128,7 +130,15 @@ std::unique_ptr<PoolShard> PoolShard::open(const std::string& path,
                                            const ShardLink* expect,
                                            unsigned node,
                                            obs::Metrics* metrics) {
-  pmem::Pool pool = pmem::Pool::open(path);
+  return open(pmem::Pool::open(path, opts.read_only), opts, expect, node,
+              metrics);
+}
+
+std::unique_ptr<PoolShard> PoolShard::open(pmem::Pool pool,
+                                           const Options& opts,
+                                           const ShardLink* expect,
+                                           unsigned node,
+                                           obs::Metrics* metrics) {
   const bool sb_repaired = validate_superblock(pool);
   const auto* sb = reinterpret_cast<const SuperBlock*>(pool.data());
   if (expect != nullptr) {
@@ -137,7 +147,7 @@ std::unique_ptr<PoolShard> PoolShard::open(const std::string& path,
         sb->shard_index != expect->index ||
         sb->shard_count != expect->count) {
       throw Error(ErrorCode::kShardMismatch,
-                  path + ": shard header (set " +
+                  pool.path() + ": shard header (set " +
                       std::to_string(sb->shard_set_id) + " epoch " +
                       std::to_string(sb->shard_epoch) + " " +
                       std::to_string(sb->shard_index) + "/" +
@@ -183,15 +193,9 @@ ShardLink PoolShard::peek(const std::string& path) {
                 path + ": too small to be a Poseidon heap");
   }
   std::vector<unsigned char> buf(need);
-  std::uint64_t got = 0;
-  while (got < need) {
-    const ssize_t n = ::pread(fd, buf.data() + got, need - got,
-                              static_cast<off_t>(got));
-    if (n <= 0) {
-      ::close(fd);
-      throw Error(ErrorCode::kIo, "read superblock of " + path);
-    }
-    got += static_cast<std::uint64_t>(n);
+  if (!pmem::pread_full(fd, buf.data(), need, 0)) {
+    ::close(fd);
+    throw Error(ErrorCode::kIo, "read superblock of " + path);
   }
   ::close(fd);
   const auto* sb = reinterpret_cast<const SuperBlock*>(buf.data());
@@ -230,6 +234,10 @@ PoolShard::PoolShard(pmem::Pool pool, const Options& opts, unsigned node,
                      obs::Metrics* metrics, bool sb_repaired)
     : pool_(std::move(pool)), opts_(opts), node_(node), metrics_(metrics) {
   sb_ = reinterpret_cast<SuperBlock*>(pool_.data());
+  // Inspector mode records nothing (the mapping is PROT_READ and volatile
+  // rings would only see the inspector's own non-events), but the
+  // persistent post-mortem capture below is pure reads and is kept.
+  if (pool_.read_only()) opts_.flight = obs::FlightMode::kOff;
   subs_.reserve(sb_->nsubheaps);
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     subs_.push_back(std::make_unique<SubRuntime>());
@@ -237,6 +245,20 @@ PoolShard::PoolShard(pmem::Pool pool, const Options& opts, unsigned node,
   // Flight rings come up before recovery: the post-mortem must be captured
   // before anything touches the pool, and recovery itself records events.
   init_flight();
+  if (pool_.read_only()) {
+    // No repair, no recovery, no caches, no owner stamp, no protection
+    // domain (a null domain makes every WriteWindow a no-op): the file is
+    // shown exactly as the last writer left it.
+    return;
+  }
+  // Owner takeover (v6): we hold the OFD lock, so any stamped owner record
+  // is a previous incarnation that never reached its clean close — count
+  // it and record how it died before recovery overwrites the evidence.
+  if (sb_->owner.pid != 0) {
+    metrics_->owner_takeovers.inc();
+    flight(obs::FlightOp::kOwnerTakeover, 0, 0,
+           static_cast<std::uint64_t>(classify_owner(sb_->owner)));
+  }
   // Checksum validation (and, if needed, scavenge/quarantine) runs before
   // undo replay: recovery must not chew on metadata that corruption has
   // turned into garbage.
@@ -249,6 +271,9 @@ PoolShard::PoolShard(pmem::Pool pool, const Options& opts, unsigned node,
       caches_.push_back(std::make_unique<ThreadCache>(cache_slot(i)));
     }
   }
+  // Stamped only after recovery succeeded: an open that throws mid-way
+  // leaves the previous record (and its takeover evidence) in place.
+  stamp_owner(sb_);
   // Protection engages after recovery so replay does not need a window
   // before the domain exists; recovery itself is single-threaded.
   prot_ = std::make_unique<mpk::ProtectionDomain>(pool_.data(), sb_->meta_size,
@@ -260,7 +285,7 @@ PoolShard::~PoolShard() {
   // indistinguishable from a crash, and the next open's recovery drains the
   // cache logs through the validated free path.  This keeps destruction
   // trivially crash-equivalent (and exercises that path constantly).
-  seal_all();
+  if (!pool_.read_only()) seal_all();
   prot_.reset();  // restore plain read-write before unmapping
 }
 
@@ -355,8 +380,8 @@ bool PoolShard::ensure_subheap(unsigned idx) {
     const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
     if (st == kSubheapReady) return true;
     // Quarantined / repairing sub-heaps take no new allocations; only an
-    // absent one may be formatted.
-    if (st != kSubheapAbsent) return false;
+    // absent one may be formatted — and never through a read-only mapping.
+    if (st != kSubheapAbsent || pool_.read_only()) return false;
   }
   std::lock_guard<std::mutex> lk(admin_mu_);
   {
@@ -400,6 +425,7 @@ bool PoolShard::ensure_subheap(unsigned idx) {
 }
 
 NvPtr PoolShard::alloc(std::uint64_t size) {
+  if (pool_.read_only()) return NvPtr::null();
   if (!caches_.empty() && size != 0 && size <= sb_->user_size) {
     const unsigned cls = std::max(kMinBlockShift, log2_ceil(size));
     if (ThreadCache::cacheable(cls)) {
@@ -450,6 +476,7 @@ bool PoolShard::tx_active_here() const noexcept {
 }
 
 NvPtr PoolShard::tx_alloc(std::uint64_t size, bool is_end) {
+  if (pool_.read_only()) return NvPtr::null();
   TxState& tx = tl_tx;
   if (tx.active && tx.owner != this) {
     if (tx.heap_id != sb_->heap_id) {
@@ -561,7 +588,7 @@ void PoolShard::tx_leak_open_transaction_for_test() {
 }
 
 FreeResult PoolShard::free(NvPtr ptr) {
-  if (ptr.is_null() || ptr.heap_id != sb_->heap_id) {
+  if (pool_.read_only() || ptr.is_null() || ptr.heap_id != sb_->heap_id) {
     return FreeResult::kInvalidPointer;
   }
   const unsigned idx = ptr.subheap();
@@ -726,6 +753,10 @@ NvPtr PoolShard::root() const noexcept {
 }
 
 void PoolShard::set_root(NvPtr ptr) {
+  if (pool_.read_only()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                pool_.path() + ": heap is open read-only");
+  }
   std::lock_guard<std::mutex> lk(admin_mu_);
   mpk::WriteWindow w(prot_.get());
   // The 16-byte root cannot be stored atomically; undo-log it so a crash

@@ -83,6 +83,12 @@ struct Options {
   // region so the last pre-crash events survive into the next open (the
   // post-mortem).  Ignored when obs is compiled out.
   obs::FlightMode flight = obs::FlightMode::kVolatile;
+  // Inspector mode: map PROT_READ, take no OFD lock, skip recovery/repair/
+  // seal/owner stamping entirely — the file is never mutated, so a
+  // read-only open coexists with a live writer (and with a crashed heap,
+  // whose pre-recovery state it shows verbatim).  Mutating operations
+  // (alloc/free/tx/set_root/fsck) fail with typed results.
+  bool read_only = false;
 };
 
 struct HeapStats {
@@ -173,6 +179,16 @@ class PoolShard {
                                          unsigned node,
                                          obs::Metrics* metrics);
 
+  // As above, but over a pool the caller already opened (and, for writable
+  // pools, already locked).  The front-end uses this to acquire every
+  // member's OFD lock in canonical order BEFORE the parallel open phase,
+  // so a shard set's ownership is all-or-nothing.
+  static std::unique_ptr<PoolShard> open(pmem::Pool pool,
+                                         const Options& opts,
+                                         const ShardLink* expect,
+                                         unsigned node,
+                                         obs::Metrics* metrics);
+
   // Read a member's shard header without mutating the file (unlike open,
   // a damaged config prefix is decoded from the shadow page rather than
   // repaired in place, so corruption accounting stays with open).
@@ -215,6 +231,9 @@ class PoolShard {
     return sb_->user_size * sb_->nsubheaps;
   }
   const std::string& path() const noexcept { return pool_.path(); }
+  bool read_only() const noexcept { return pool_.read_only(); }
+  // The stamped owner record (diagnostic; meaningful when pid != 0).
+  OwnerRecord owner() const noexcept { return sb_->owner; }
   mpk::ProtectMode protect_mode() const noexcept;
 
   ShardLink link() const noexcept {

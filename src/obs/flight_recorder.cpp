@@ -31,6 +31,7 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kScavenge: return "scavenge";
     case FlightOp::kQuarantine: return "quarantine";
     case FlightOp::kNumaBindFail: return "numa-bind-fail";
+    case FlightOp::kOwnerTakeover: return "owner-takeover";
   }
   return "?";
 }

@@ -54,6 +54,7 @@ enum class FlightOp : std::uint16_t {
   kScavenge = 11,   // scavenge rebuilt this sub-heap; arg = records kept
   kQuarantine = 12, // sub-heap entered quarantine
   kNumaBindFail = 13, // first refused mbind on this shard; arg = node
+  kOwnerTakeover = 14, // stale owner superseded; arg = OwnerStaleness class
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -204,6 +204,7 @@ struct Metrics {
   Counter punch_hole_skips;      // fallocate degradations (EOPNOTSUPP/ENOSPC)
   Counter fsck_runs;             // explicit Heap::fsck() passes
   Counter numa_bind_fails;       // mbind refused a sub-heap placement hint
+  Counter owner_takeovers;       // stale owner records superseded at open
 
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
@@ -238,6 +239,7 @@ struct Metrics {
     f("punch_hole_skips", punch_hole_skips);
     f("fsck_runs", fsck_runs);
     f("numa_bind_fails", numa_bind_fails);
+    f("owner_takeovers", owner_takeovers);
   }
 
   template <typename F>

@@ -5,6 +5,16 @@
 // pages directly.  Provides fallocate-based hole punching, which Poseidon
 // uses to return unused metadata (hash-table levels) to the filesystem
 // (paper §5.6).
+//
+// Ownership (DESIGN.md "Process model & ownership"): a writable pool holds
+// an exclusive OFD lock (fcntl F_OFD_SETLK) on its backing file for its
+// whole lifetime.  OFD locks belong to the open file description, conflict
+// across processes AND across descriptions within one process, and vanish
+// automatically when the owning process dies — so "lock free but owner
+// record present" is an unambiguous stale-owner signature.  A conflicting
+// open fails with Error(kHeapBusy).  Read-only pools take no lock and map
+// PROT_READ, so inspectors coexist with a live writer and can never mutate
+// the file.
 #pragma once
 
 #include <cstddef>
@@ -15,12 +25,15 @@ namespace poseidon::pmem {
 
 class Pool {
  public:
-  // Creates a new pool file of `size` bytes (sparse) and maps it.
-  // Fails if the file already exists.
+  // Creates a new pool file of `size` bytes (sparse), locks it exclusively
+  // and maps it read-write.  Fails if the file already exists.
   static Pool create(const std::string& path, std::size_t size);
 
-  // Opens and maps an existing pool file (whole file).
-  static Pool open(const std::string& path);
+  // Opens and maps an existing pool file (whole file).  A writable open
+  // takes the exclusive OFD lock first and throws Error(kHeapBusy) when
+  // another live pool — in any process, including this one — already holds
+  // it.  A read-only open takes no lock and maps PROT_READ.
+  static Pool open(const std::string& path, bool read_only = false);
 
   Pool() noexcept = default;
   ~Pool();
@@ -34,6 +47,7 @@ class Pool {
   std::size_t size() const noexcept { return size_; }
   const std::string& path() const noexcept { return path_; }
   bool valid() const noexcept { return base_ != nullptr; }
+  bool read_only() const noexcept { return read_only_; }
 
   // Deallocate [offset, offset+len) from the backing file, keeping the
   // mapping intact; the pages read back as zero and are re-allocated by the
@@ -47,7 +61,12 @@ class Pool {
   // Bytes actually allocated by the filesystem (st_blocks).
   std::size_t allocated_bytes() const;
 
-  // Unmap and close without deleting the file.
+  // msync the mapped range [offset, offset+len) to the backing file
+  // (EINTR-retried).  The allocator's own persistence uses clwb, so this is
+  // for callers that need a file-level durability point (tools).
+  void sync_range(std::size_t offset, std::size_t len);
+
+  // Unmap, drop the OFD lock and close without deleting the file.
   void close() noexcept;
 
   // Delete a pool file (helper for tests/benches).
@@ -55,13 +74,20 @@ class Pool {
   static bool exists(const std::string& path) noexcept;
 
  private:
-  Pool(std::string path, int fd, std::byte* base, std::size_t size) noexcept
-      : path_(std::move(path)), fd_(fd), base_(base), size_(size) {}
+  Pool(std::string path, int fd, std::byte* base, std::size_t size,
+       bool read_only, bool in_proc_registered) noexcept
+      : path_(std::move(path)), fd_(fd), base_(base), size_(size),
+        read_only_(read_only), in_proc_registered_(in_proc_registered) {}
 
   std::string path_;
   int fd_ = -1;
   std::byte* base_ = nullptr;
   std::size_t size_ = 0;
+  bool read_only_ = false;
+  // This pool's (dev, ino) is in the process-wide writable-pool table; the
+  // table catches a same-process double open one layer before the OFD lock
+  // would, with a message naming the real mistake.
+  bool in_proc_registered_ = false;
 };
 
 }  // namespace poseidon::pmem

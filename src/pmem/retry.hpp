@@ -1,0 +1,64 @@
+// EINTR-retry for interruptible pool syscalls.
+//
+// Poseidon processes get killed — the kill-torture harness does it on
+// purpose — and a signal that lands while open/ftruncate/fallocate/pread
+// is blocked surfaces as a spurious EINTR failure unless every call site
+// retries.  Pool::punch_hole grew the first hand-rolled loop; this header
+// is the one shared treatment so no site regresses back to a bare call.
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <sys/types.h>
+#include <utility>
+
+namespace poseidon::pmem {
+
+// Re-issues f() while it fails with EINTR.  f must return -1 with errno
+// set on failure (the syscall convention); any other result is final.
+template <typename F>
+inline auto retry_eintr(F&& f) noexcept(noexcept(f())) {
+  decltype(f()) rc;
+  do {
+    rc = f();
+  } while (rc == -1 && errno == EINTR);
+  return rc;
+}
+
+// Full-buffer pread: loops over short reads and EINTR.  Returns true when
+// exactly `len` bytes landed; false on EOF or error (errno holds why, 0 on
+// plain EOF).
+inline bool pread_full(int fd, void* buf, std::size_t len,
+                       off_t offset) noexcept {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = retry_eintr(
+        [&] { return ::pread(fd, p + got, len - got, offset + static_cast<off_t>(got)); });
+    if (n == 0) {
+      errno = 0;  // EOF before len: not a syscall failure
+      return false;
+    }
+    if (n < 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Full-buffer pwrite, same contract as pread_full.
+inline bool pwrite_full(int fd, const void* buf, std::size_t len,
+                        off_t offset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t n = retry_eintr(
+        [&] { return ::pwrite(fd, p + put, len - put, offset + static_cast<off_t>(put)); });
+    if (n <= 0) return false;
+    put += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace poseidon::pmem

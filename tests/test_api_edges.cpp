@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/c_api.h"
 #include "core/heap.hpp"
 #include "tests/test_util.hpp"
@@ -127,6 +128,32 @@ TEST(ApiEdges, CApiNvmptrOfInteriorAndForeign) {
   EXPECT_EQ(poseidon_get_rawptr(garbage), nullptr);
   EXPECT_EQ(poseidon_free(heap, p), 0);
   poseidon_finish(heap);
+}
+
+TEST(ApiEdges, SameProcessDoubleOpenReturnsHeapBusy) {
+  // Historically a second open of the same pool in one process produced two
+  // live mappings fighting over the same metadata (UB); it is now a typed
+  // kHeapBusy at every API level.
+  TempHeapPath path("double_open");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  try {
+    auto h2 = Heap::open(path.str(), small_opts());
+    FAIL() << "second in-process open must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kHeapBusy) << e.what();
+  }
+  // C API surface: NULL handle, typed code, actionable message.
+  EXPECT_EQ(poseidon_init(path.c_str(), 1 << 20), nullptr);
+  EXPECT_EQ(poseidon_error_code(), POSEIDON_ERR_HEAP_BUSY);
+  ASSERT_NE(poseidon_last_error(), nullptr);
+  // The surviving handle is untouched by the bounced opens.
+  NvPtr p = h->alloc(64);
+  ASSERT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), FreeResult::kOk);
+  // Close-then-reopen works: the close released lock and registration.
+  h.reset();
+  auto h3 = Heap::open(path.str(), small_opts());
+  EXPECT_TRUE(h3->check_invariants());
 }
 
 TEST(ApiEdges, StatsCountersAfterReopenAreRecomputed) {

@@ -1,0 +1,267 @@
+// Exclusive heap ownership: OFD locks + the superblock owner record.
+//
+// A writable open locks every shard member (members first, head last) and
+// stamps (pid, boot id, start time) into the superblock; a clean close
+// clears the stamp strictly after the seal flip.  A second writer — another
+// process or this one — bounces with kHeapBusy; a reader coexists; a dead
+// owner (lock free, stamp present) is superseded at the next writable open.
+// Child processes report through exit codes: gtest assertions do not cross
+// fork().
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/heap.hpp"
+#include "core/ownership.hpp"
+#include "obs/flight_recorder.hpp"
+#include "pmem/pool.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon {
+namespace {
+
+using core::Heap;
+using core::NvPtr;
+using test::small_opts;
+using test::TempHeapPath;
+
+// Two explicit shards regardless of the box's topology (POSEIDON_FAKE_NUMA
+// is cached at first use, so tests pin the count through Options instead).
+core::Options two_shard_opts() {
+  core::Options o = small_opts(4);
+  o.nshards = 2;
+  o.shard_policy = core::ShardPolicy::kPerThread;
+  o.policy = core::SubheapPolicy::kPerThread;
+  return o;
+}
+
+int reap(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+  return status;
+}
+
+bool wait_byte(int fd) {
+  char c = 0;
+  ssize_t n;
+  while ((n = ::read(fd, &c, 1)) < 0 && errno == EINTR) {}
+  return n == 1;
+}
+
+TEST(Ownership, SecondProcessOpenRejectedReaderCoexists) {
+  TempHeapPath path("own_busy");
+  auto h = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  const pid_t me = ::getpid();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Writable open against a live owner must bounce with the typed code.
+    try {
+      auto h2 = Heap::open(path.str(), two_shard_opts());
+      ::_exit(10);  // a second writer got in — exclusion is broken
+    } catch (const Error& e) {
+      if (e.poseidon_code() != ErrorCode::kHeapBusy) ::_exit(11);
+    } catch (...) {
+      ::_exit(12);
+    }
+    // A read-only open must coexist and see the live writer's stamp.
+    try {
+      core::Options ro = two_shard_opts();
+      ro.read_only = true;
+      auto r = Heap::open(path.str(), ro);
+      if (r->shard(0)->owner().pid != static_cast<std::uint64_t>(me)) {
+        ::_exit(13);
+      }
+      if (!r->alloc(64).is_null()) ::_exit(14);  // reader must not mutate
+    } catch (...) {
+      ::_exit(15);
+    }
+    ::_exit(0);
+  }
+  const int status = reap(pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child exit code disagrees";
+  // The bounced opener must not have disturbed us.
+  NvPtr p = h->alloc(128);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(h->free(p), core::FreeResult::kOk);
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(Ownership, StaleOwnerTakeoverAfterSigkill) {
+  TempHeapPath path("own_takeover");
+  Heap::create(path.str(), 4 << 20, two_shard_opts());  // clean close
+
+  int pfd[2];
+  ASSERT_EQ(::pipe(pfd), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pfd[0]);
+    try {
+      auto h = Heap::open(path.str(), two_shard_opts());
+      (void)h->alloc(256);
+      const char c = 'O';
+      (void)!::write(pfd[1], &c, 1);
+      for (;;) ::pause();  // hold the locks until SIGKILL
+    } catch (...) {
+      ::_exit(20);
+    }
+  }
+  ::close(pfd[1]);
+  ASSERT_TRUE(wait_byte(pfd[0])) << "child never opened the heap";
+  ::close(pfd[0]);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  (void)reap(pid);
+
+  // The kill released the locks but left the stamp: visible read-only.
+  {
+    core::Options ro = two_shard_opts();
+    ro.read_only = true;
+    auto r = Heap::open(path.str(), ro);
+    EXPECT_EQ(r->shard(0)->owner().pid, static_cast<std::uint64_t>(pid));
+    EXPECT_EQ(r->metrics().owner_takeovers.read(), 0u)
+        << "read-only opens never take over";
+  }
+  // The next writable open supersedes the dead owner on every shard.
+  auto h = Heap::open(path.str(), two_shard_opts());
+  EXPECT_EQ(h->metrics().owner_takeovers.read(), 2u);
+  EXPECT_EQ(h->shard(0)->owner().pid,
+            static_cast<std::uint64_t>(::getpid()));
+  bool flight_seen = false;
+  for (const auto& e : h->flight_events()) {
+    flight_seen =
+        flight_seen ||
+        e.op == static_cast<std::uint8_t>(obs::FlightOp::kOwnerTakeover);
+  }
+  EXPECT_TRUE(flight_seen) << "takeover must leave a flight event";
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(Ownership, CleanCloseClearsOwnerAndCountsNoTakeover) {
+  TempHeapPath path("own_clean");
+  Heap::create(path.str(), 4 << 20, two_shard_opts());
+  {
+    core::Options ro = two_shard_opts();
+    ro.read_only = true;
+    auto r = Heap::open(path.str(), ro);
+    EXPECT_EQ(r->shard(0)->owner().pid, 0u) << "clean close left a stamp";
+  }
+  auto h = Heap::open(path.str(), two_shard_opts());
+  EXPECT_EQ(h->metrics().owner_takeovers.read(), 0u);
+}
+
+TEST(Ownership, HalfLockedShardSetNeverSplitsOwnership) {
+  TempHeapPath path("own_split");
+  Heap::create(path.str(), 4 << 20, two_shard_opts());
+  const std::string member = path.str() + ".shard1";
+
+  // A foreign process pins ONE member.  Assembly locks members before the
+  // head, so the whole open must bounce — never "head owned here, member
+  // owned there".
+  int pfd[2];
+  ASSERT_EQ(::pipe(pfd), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pfd[0]);
+    try {
+      pmem::Pool pool = pmem::Pool::open(member);
+      const char c = 'L';
+      (void)!::write(pfd[1], &c, 1);
+      for (;;) ::pause();
+    } catch (...) {
+      ::_exit(30);
+    }
+  }
+  ::close(pfd[1]);
+  ASSERT_TRUE(wait_byte(pfd[0])) << "child never locked the member";
+  ::close(pfd[0]);
+
+  try {
+    auto h = Heap::open(path.str(), two_shard_opts());
+    FAIL() << "open must refuse a half-locked shard set";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kHeapBusy) << e.what();
+  }
+  // The failed attempt must have released everything it took: once the
+  // member holder dies, the set opens whole, with no takeover (the failed
+  // attempt never got far enough to stamp anything).
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  (void)reap(pid);
+  auto h = Heap::open(path.str(), two_shard_opts());
+  EXPECT_EQ(h->metrics().owner_takeovers.read(), 0u);
+  NvPtr p = h->alloc(64);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_TRUE(h->check_invariants());
+}
+
+TEST(Ownership, ReadOnlyOpenCoexistsInProcessAndRejectsMutation) {
+  TempHeapPath path("own_ro");
+  auto w = Heap::create(path.str(), 4 << 20, two_shard_opts());
+  NvPtr keep = w->alloc(512);
+  ASSERT_FALSE(keep.is_null());
+  std::memset(w->raw(keep), 0x5a, 512);
+  w->set_root(keep);
+
+  core::Options ro = two_shard_opts();
+  ro.read_only = true;
+  auto r = Heap::open(path.str(), ro);  // same process, writer live
+  EXPECT_EQ(r->shard(0)->owner().pid, static_cast<std::uint64_t>(::getpid()));
+  EXPECT_EQ(r->root(), keep);
+  EXPECT_EQ(static_cast<const unsigned char*>(r->raw(r->root()))[0], 0x5a);
+  // Every mutating entry point is gated.
+  EXPECT_TRUE(r->alloc(64).is_null());
+  EXPECT_TRUE(r->tx_alloc(64, true).is_null());
+  EXPECT_EQ(r->free(keep), core::FreeResult::kInvalidPointer);
+  EXPECT_THROW(r->set_root(NvPtr::null()), Error);
+  EXPECT_THROW((void)r->fsck(), Error);
+  // The writer is unaffected by the reader's lifetime.
+  r.reset();
+  NvPtr p = w->alloc(64);
+  EXPECT_FALSE(p.is_null());
+  EXPECT_EQ(w->free(p), core::FreeResult::kOk);
+  EXPECT_TRUE(w->check_invariants());
+}
+
+TEST(Ownership, CreateReadOnlyIsInvalid) {
+  TempHeapPath path("own_create_ro");
+  core::Options o = two_shard_opts();
+  o.read_only = true;
+  EXPECT_THROW(Heap::create(path.str(), 4 << 20, o), std::invalid_argument);
+}
+
+TEST(Ownership, RecordPrimitives) {
+  // The incarnation triple behind stale-owner classification.
+  EXPECT_NE(core::boot_id_hash(), 0u);
+  EXPECT_EQ(core::boot_id_hash(), core::boot_id_hash()) << "must be cached";
+  EXPECT_NE(core::proc_start_time(::getpid()), 0u);
+  EXPECT_TRUE(core::process_alive(::getpid()));
+
+  core::OwnerRecord r{};
+  r.pid = static_cast<std::uint64_t>(::getpid());
+  r.boot_id = core::boot_id_hash();
+  r.start_time = core::proc_start_time(::getpid());
+  r.heartbeat = 1;
+  r.csum = core::owner_csum(r);
+  EXPECT_EQ(core::classify_owner(r), core::OwnerStaleness::kOwnerAlive);
+  core::OwnerRecord torn = r;
+  torn.csum ^= 1;
+  EXPECT_EQ(core::classify_owner(torn), core::OwnerStaleness::kTorn);
+  core::OwnerRecord rebooted = r;
+  rebooted.boot_id ^= 1;
+  rebooted.csum = core::owner_csum(rebooted);
+  EXPECT_EQ(core::classify_owner(rebooted), core::OwnerStaleness::kRebooted);
+  core::OwnerRecord reused = r;
+  reused.start_time ^= 1;
+  reused.csum = core::owner_csum(reused);
+  EXPECT_EQ(core::classify_owner(reused), core::OwnerStaleness::kPidReused);
+}
+
+}  // namespace
+}  // namespace poseidon

@@ -1,0 +1,674 @@
+// torture — randomized kill-torture harness for the ownership and
+// crash-recovery story.
+//
+// Protocol per round:
+//   1. fork a worker child that opens the shard set read-write (taking the
+//      OFD locks and stamping the owner record), handshakes one byte over a
+//      pipe, then hammers a mixed workload from several threads: publishes
+//      (tx_alloc -> persist payload -> persist slot -> tx_commit),
+//      unpublishes (persist CLEARED slot, then free — never the other way
+//      round), and cached singleton scratch churn.
+//   2. while the child lives, prove exclusion: a second read-write open
+//      must fail with kHeapBusy; a read-only open must succeed and show
+//      the child as owner.
+//   3. SIGKILL the child at a seeded random point (some rounds race the
+//      open itself), reap it, and reopen read-write: the stale owner must
+//      be superseded (owner_takeovers == shard count when the child had
+//      fully opened), recovery must replay the logs, and the persisted
+//      slot table must agree with the surviving blocks:
+//        valid slot + live block      -> payload must match its tag stream
+//        valid slot + no live block   -> aborted publish; slot dropped
+//        live block no slot points at -> leak, reclaimed via validated free
+//   4. strict fsck (nothing repaired / quarantined / dropped when no
+//      faults are armed) and the invariant check must pass; the heap then
+//      closes cleanly so the next round starts from a clean owner record.
+//
+// The seed is printed up front; `--rounds N --seed S` reproduces a run
+// exactly.  POSEIDON_FUZZ_MULT multiplies the round count (nightly CI).
+// `--fault op:period:errno[,...]` arms syscall fault injection inside the
+// worker child only (same clause format as the POSEIDON_FAULT variable);
+// the model diff stays strict but fsck strictness is relaxed, since
+// injected faults legitimately quarantine sub-heaps.
+//
+//   $ POSEIDON_FAKE_NUMA=2 ./torture --rounds 25 --seed 42
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "core/heap.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "pmem/fault_inject.hpp"
+#include "pmem/persist.hpp"
+#include "pmem/pool.hpp"
+
+using namespace poseidon;
+using core::Heap;
+using core::NvPtr;
+
+namespace {
+
+// ---- persisted expectation model -------------------------------------------
+//
+// The heap's root object is a slot table.  Every committed publication is
+// recorded in a slot *before* its tx_commit, and every deallocation clears
+// the slot *before* the free — so after any SIGKILL the table is a
+// conservative model of what must have survived: a checksummed slot whose
+// block is live must carry exactly its tag-derived payload.
+
+struct SlotRec {
+  NvPtr ptr;           // null = empty
+  std::uint64_t tag;   // names the payload stream; 0 = empty
+  std::uint64_t csum;  // over (ptr, tag); guards torn slot writes
+};
+static_assert(sizeof(SlotRec) == 32);
+
+struct SlotTable {
+  std::uint64_t magic;
+  std::uint64_t nslots;
+  std::uint64_t seed;
+  std::uint64_t round;
+};
+
+constexpr std::uint64_t kMagic = 0x746f727475726531ull;  // "torture1"
+
+SlotRec* slots_of(SlotTable* t) { return reinterpret_cast<SlotRec*>(t + 1); }
+
+std::uint64_t slot_csum(const SlotRec& s) {
+  return hash_bytes(reinterpret_cast<const char*>(&s), offsetof(SlotRec, csum));
+}
+
+// ---- deterministic payload streams -----------------------------------------
+
+std::uint64_t splitmix(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t size_for_tag(std::uint64_t tag) {
+  std::uint64_t x = tag ^ 0x706f736569646f6eull;  // "poseidon"
+  return 32 + splitmix(x) % 2017;                 // 32 .. 2048 bytes
+}
+
+void fill_payload(void* dst, std::uint64_t size, std::uint64_t tag) {
+  auto* b = static_cast<unsigned char*>(dst);
+  std::uint64_t x = tag;
+  std::uint64_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint64_t w = splitmix(x);
+    std::memcpy(b + i, &w, 8);
+  }
+  if (i < size) {
+    const std::uint64_t w = splitmix(x);
+    std::memcpy(b + i, &w, size - i);
+  }
+}
+
+bool payload_matches(const void* src, std::uint64_t size, std::uint64_t tag) {
+  const auto* b = static_cast<const unsigned char*>(src);
+  std::uint64_t x = tag;
+  std::uint64_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint64_t w = splitmix(x);
+    if (std::memcmp(b + i, &w, 8) != 0) return false;
+  }
+  if (i < size) {
+    const std::uint64_t w = splitmix(x);
+    if (std::memcmp(b + i, &w, size - i) != 0) return false;
+  }
+  return true;
+}
+
+// ---- configuration ---------------------------------------------------------
+
+struct Cfg {
+  std::string path;
+  std::uint64_t rounds = 25;
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  unsigned shards = 2;
+  unsigned threads = 4;
+  std::uint64_t slots_per_thread = 48;
+  std::uint64_t capacity = 32ull << 20;
+  std::string fault;  // POSEIDON_FAULT clause syntax; armed in the child only
+  bool keep = false;
+
+  std::uint64_t nslots() const { return threads * slots_per_thread; }
+};
+
+core::Options base_opts(const Cfg& cfg) {
+  core::Options o;
+  o.nshards = cfg.shards;
+  o.nsubheaps = 2 * cfg.shards;
+  o.protect = mpk::ProtectMode::kNone;
+  // Round-robin policies give every worker thread a stable shard/sub-heap
+  // home regardless of the box's real topology.
+  o.shard_policy = core::ShardPolicy::kPerThread;
+  o.policy = core::SubheapPolicy::kPerThread;
+  o.flight = obs::FlightMode::kPersistent;
+  return o;
+}
+
+// ---- worker child ----------------------------------------------------------
+
+// Same clause format as POSEIDON_FAULT, parsed here because the env var is
+// read once per process and the parent (which must stay fault-free) has
+// already consumed that read before the fork.
+void arm_child_faults(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t end = spec.find(',', pos);
+    const std::string clause =
+        spec.substr(pos, end == std::string::npos ? end : end - pos);
+    pos = end == std::string::npos ? spec.size() : end + 1;
+    const std::size_t c1 = clause.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : clause.find(':', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    const std::string op = clause.substr(0, c1);
+    const long period = std::atol(clause.c_str() + c1 + 1);
+    const long err = std::atol(clause.c_str() + c2 + 1);
+    if (period <= 0 || err <= 0) continue;
+    pmem::fault::SysOp sys;
+    if (op == "open") sys = pmem::fault::SysOp::kOpen;
+    else if (op == "mmap") sys = pmem::fault::SysOp::kMmap;
+    else if (op == "ftruncate") sys = pmem::fault::SysOp::kFtruncate;
+    else if (op == "fstat") sys = pmem::fault::SysOp::kFstat;
+    else if (op == "fallocate") sys = pmem::fault::SysOp::kFallocate;
+    else continue;
+    pmem::fault::arm_every(sys, static_cast<std::uint64_t>(period),
+                           static_cast<int>(err));
+  }
+}
+
+// One worker thread: random publish/unpublish over its own slot range plus
+// cached scratch churn.  Runs until the parent's SIGKILL lands.
+[[noreturn]] void worker(Heap* heap, SlotRec* slots, std::uint64_t begin,
+                         std::uint64_t end, std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (;;) {
+    try {
+      const std::uint64_t r = splitmix(x);
+      SlotRec& s = slots[begin + r % (end - begin)];
+      if (s.tag == 0) {
+        // Publish: allocate inside a transaction, persist the payload and
+        // the slot record, and only then commit — a kill anywhere before
+        // the commit leaves the block in the micro log for recovery to
+        // reclaim, and the checker drops the slot as an aborted publish.
+        const std::uint64_t tag = splitmix(x) | 1;
+        const std::uint64_t size = size_for_tag(tag);
+        const NvPtr p = heap->tx_alloc(size, false);
+        if (p.is_null()) {  // exhausted; close the (possibly open) tx
+          heap->tx_commit();
+          continue;
+        }
+        fill_payload(heap->raw(p), size, tag);
+        pmem::persist(heap->raw(p), size);
+        s.ptr = p;
+        s.tag = tag;
+        s.csum = slot_csum(s);
+        pmem::persist(&s, sizeof s);
+        heap->tx_commit();
+      } else {
+        // Unpublish: the slot is cleared and persisted BEFORE the free, so
+        // a kill in between leaves an unreferenced live block — a leak the
+        // checker reclaims — never a slot pointing at freed (reusable)
+        // memory, which would be an ABA false diff.
+        const NvPtr p = s.ptr;
+        std::memset(&s, 0, sizeof s);
+        pmem::persist(&s, sizeof s);
+        (void)heap->free(p);
+      }
+      if (r % 4 == 0) {
+        // Scratch churn through the thread cache; a kill between the pair
+        // leaks the block (reclaimed and reported by the checker).
+        const NvPtr q = heap->alloc(16 + splitmix(x) % 1024);
+        if (!q.is_null()) {
+          *static_cast<unsigned char*>(heap->raw(q)) = 0x5a;
+          (void)heap->free(q);
+        }
+      }
+    } catch (const std::exception&) {
+      // Only reachable with --fault armed; keep hammering.
+    }
+  }
+}
+
+[[noreturn]] void child_main(const Cfg& cfg, std::uint64_t seed, int hs_fd) {
+  if (!cfg.fault.empty()) arm_child_faults(cfg.fault);
+  core::Options o = base_opts(cfg);
+  o.thread_cache = true;  // cache logs must survive the kill too
+  std::unique_ptr<Heap> heap;
+  try {
+    heap = Heap::open(cfg.path, o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "child: open failed: %s\n", e.what());
+    ::_exit(2);
+  }
+  auto* table = static_cast<SlotTable*>(heap->raw(heap->root()));
+  if (table == nullptr || table->magic != kMagic ||
+      table->nslots != cfg.nslots()) {
+    std::fprintf(stderr, "child: slot table missing or malformed\n");
+    ::_exit(3);
+  }
+  // Handshake AFTER the open: the parent uses this byte as proof that every
+  // shard is locked and stamped with our pid.
+  const char ok = 'O';
+  (void)!::write(hs_fd, &ok, 1);
+
+  SlotRec* slots = slots_of(table);
+  const std::uint64_t per = cfg.slots_per_thread;
+  std::vector<std::thread> ws;
+  ws.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    std::uint64_t s = seed ^ (0x9e37ull * (t + 1));
+    ws.emplace_back(worker, heap.get(), slots, t * per, (t + 1) * per, s);
+  }
+  for (auto& w : ws) w.join();  // workers never return; SIGKILL ends us
+  ::_exit(0);
+}
+
+// ---- parent-side checks ----------------------------------------------------
+
+struct RoundStats {
+  std::uint64_t survivors = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t leaks = 0;
+  std::uint64_t torn = 0;
+  std::uint64_t diffs = 0;
+  std::uint64_t takeovers = 0;
+};
+
+bool fail(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "FAIL: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+  return false;
+}
+
+// While the child lives: a second writer must bounce with kHeapBusy and a
+// reader must coexist, seeing the child's owner stamp.
+bool verify_exclusion(const Cfg& cfg, pid_t child) {
+  try {
+    core::Options o = base_opts(cfg);
+    auto h = Heap::open(cfg.path, o);
+    return fail("concurrent read-write open SUCCEEDED against a live owner");
+  } catch (const Error& e) {
+    if (e.poseidon_code() != ErrorCode::kHeapBusy) {
+      return fail("concurrent open: expected heap-busy, got: %s", e.what());
+    }
+  } catch (const std::exception& e) {
+    return fail("concurrent open: expected heap-busy, got: %s", e.what());
+  }
+  try {
+    core::Options o = base_opts(cfg);
+    o.read_only = true;
+    auto h = Heap::open(cfg.path, o);
+    const core::OwnerRecord owner = h->shard(0)->owner();
+    if (owner.pid != static_cast<std::uint64_t>(child)) {
+      return fail("read-only open beside live writer: owner pid %" PRIu64
+                  ", expected child %d",
+                  owner.pid, static_cast<int>(child));
+    }
+  } catch (const std::exception& e) {
+    return fail("read-only open beside live writer failed: %s", e.what());
+  }
+  return true;
+}
+
+// Reopen after the kill and diff the slot table against the surviving
+// blocks; reclaim leaks; strict fsck; clean close.
+bool check_round(const Cfg& cfg, pid_t child, bool handshook,
+                 std::uint64_t round, RoundStats* st) {
+  // Media-level evidence first: before recovery runs, the dead child's
+  // stamp must still be on the superblock (read-only opens don't mutate).
+  if (handshook) {
+    core::Options ro = base_opts(cfg);
+    ro.read_only = true;
+    auto h = Heap::open(cfg.path, ro);
+    const core::OwnerRecord owner = h->shard(0)->owner();
+    if (owner.pid != static_cast<std::uint64_t>(child)) {
+      return fail("round %" PRIu64 ": dead child's owner stamp missing "
+                  "(pid %" PRIu64 ")",
+                  round, owner.pid);
+    }
+  }
+
+  core::Options o = base_opts(cfg);
+  std::unique_ptr<Heap> heap;
+  try {
+    heap = Heap::open(cfg.path, o);
+  } catch (const std::exception& e) {
+    return fail("round %" PRIu64 ": reopen after kill failed: %s", round,
+                e.what());
+  }
+
+  st->takeovers = heap->metrics().owner_takeovers.read();
+#if POSEIDON_OBS_ENABLED
+  if (handshook) {
+    if (st->takeovers != cfg.shards) {
+      return fail("round %" PRIu64 ": expected %u owner takeovers, got %" PRIu64,
+                  round, cfg.shards, st->takeovers);
+    }
+    bool flight_seen = false;
+    for (const auto& e : heap->flight_events()) {
+      flight_seen = flight_seen ||
+                    e.op == static_cast<std::uint8_t>(
+                                obs::FlightOp::kOwnerTakeover);
+    }
+    if (!flight_seen) {
+      return fail("round %" PRIu64 ": no owner-takeover flight event", round);
+    }
+  }
+#endif
+  const core::OwnerRecord owner = heap->shard(0)->owner();
+  if (owner.pid != static_cast<std::uint64_t>(::getpid())) {
+    return fail("round %" PRIu64 ": reopened heap not stamped with our pid",
+                round);
+  }
+
+  // Liveness map: every allocated block in the set, keyed by NvPtr words.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> live;
+  for (unsigned s = 0; s < heap->shard_count(); ++s) {
+    const core::PoolShard* sh = heap->shard(s);
+    if (sh == nullptr) {
+      return fail("round %" PRIu64 ": shard %u quarantined at reopen", round, s);
+    }
+    const std::uint64_t id = sh->heap_id();
+    sh->visit_blocks([&](unsigned local, std::uint64_t off, std::uint32_t cls,
+                         std::uint32_t status) {
+      if (status != core::kBlockAllocated) return;
+      const NvPtr p = NvPtr::make(id, static_cast<std::uint16_t>(local), off);
+      live.emplace(std::make_pair(p.heap_id, p.packed), cls);
+    });
+  }
+
+  const NvPtr root = heap->root();
+  auto* table = static_cast<SlotTable*>(heap->raw(root));
+  if (table == nullptr || table->magic != kMagic ||
+      table->nslots != cfg.nslots()) {
+    return fail("round %" PRIu64 ": slot table lost (root %s)", round,
+                root.is_null() ? "null" : "set");
+  }
+  live.erase(std::make_pair(root.heap_id, root.packed));  // the table itself
+
+  // Slot sweep.  The checker runs before any new traffic, so "valid slot,
+  // no live block" can only mean a publish whose tx never committed.
+  SlotRec* slots = slots_of(table);
+  for (std::uint64_t i = 0; i < table->nslots; ++i) {
+    SlotRec& s = slots[i];
+    if (s.tag == 0 && s.ptr.is_null() && s.csum == 0) continue;  // empty
+    const bool valid =
+        s.tag != 0 && !s.ptr.is_null() && s.csum == slot_csum(s);
+    if (!valid) {
+      ++st->torn;  // torn slot write; its block (if any) shows up as a leak
+      std::memset(&s, 0, sizeof s);
+      pmem::persist(&s, sizeof s);
+      continue;
+    }
+    const auto it = live.find(std::make_pair(s.ptr.heap_id, s.ptr.packed));
+    if (it == live.end()) {
+      ++st->aborted;  // publish died before tx_commit; recovery freed it
+      std::memset(&s, 0, sizeof s);
+      pmem::persist(&s, sizeof s);
+      continue;
+    }
+    const std::uint64_t size = size_for_tag(s.tag);
+    const void* raw = heap->raw(s.ptr);
+    if (raw == nullptr || !payload_matches(raw, size, s.tag)) {
+      ++st->diffs;
+      std::fprintf(stderr,
+                   "DIFF round %" PRIu64 " slot %" PRIu64 ": committed block "
+                   "{%016" PRIx64 ",%016" PRIx64 "} tag %016" PRIx64
+                   " size %" PRIu64 " lost its payload\n",
+                   round, i, s.ptr.heap_id, s.ptr.packed, s.tag, size);
+    } else {
+      ++st->survivors;  // keeps riding into the next round
+    }
+    live.erase(it);
+  }
+
+  // Everything still in the map is unreferenced: scratch blocks or
+  // cleared-but-unfreed slots the kill orphaned.  Reclaim through the
+  // validated free path — a rejection would mean the metadata lies.
+  for (const auto& [key, cls] : live) {
+    (void)cls;
+    const NvPtr p{key.first, key.second};
+    const core::FreeResult fr = heap->free(p);
+    if (fr != core::FreeResult::kOk) {
+      ++st->diffs;
+      std::fprintf(stderr,
+                   "DIFF round %" PRIu64 ": leak {%016" PRIx64 ",%016" PRIx64
+                   "} rejected by validated free (%d)\n",
+                   round, p.heap_id, p.packed, static_cast<int>(fr));
+    } else {
+      ++st->leaks;
+    }
+  }
+  if (st->diffs != 0) {
+    return fail("round %" PRIu64 ": %" PRIu64 " model diff(s)", round,
+                st->diffs);
+  }
+
+  const core::FsckReport rep = heap->fsck();
+  if (cfg.fault.empty() &&
+      (rep.repaired != 0 || rep.quarantined != 0 || rep.records_dropped != 0 ||
+       rep.records_synthesized != 0)) {
+    return fail("round %" PRIu64 ": fsck not clean without faults armed "
+                "(repaired=%u quarantined=%u dropped=%" PRIu64
+                " synthesized=%" PRIu64 ")",
+                round, rep.repaired, rep.quarantined, rep.records_dropped,
+                rep.records_synthesized);
+  }
+  std::string why;
+  if (!heap->check_invariants(&why)) {
+    return fail("round %" PRIu64 ": invariants: %s", round, why.c_str());
+  }
+
+  table->round = round;
+  pmem::persist(table, sizeof *table);
+  return true;  // ~Heap seals and clears the owner record
+}
+
+bool run_round(const Cfg& cfg, std::uint64_t round, std::mt19937_64& rng,
+               RoundStats* st) {
+  const std::uint64_t child_seed = rng();
+  const bool race_open = rng() % 5 == 0;  // kill racing the open itself
+  const unsigned delay_us =
+      static_cast<unsigned>(rng() % (race_open ? 15000 : 40000));
+
+  int hs[2];
+  if (::pipe(hs) != 0) return fail("pipe: %s", std::strerror(errno));
+  const pid_t pid = ::fork();
+  if (pid < 0) return fail("fork: %s", std::strerror(errno));
+  if (pid == 0) {
+    ::close(hs[0]);
+    child_main(cfg, child_seed, hs[1]);  // never returns
+  }
+  ::close(hs[1]);
+
+  bool handshook = false;
+  bool ok = true;
+  if (!race_open) {
+    struct pollfd p {hs[0], POLLIN, 0};
+    int rc;
+    while ((rc = ::poll(&p, 1, 30000)) < 0 && errno == EINTR) {}
+    char c = 0;
+    handshook = rc > 0 && ::read(hs[0], &c, 1) == 1 && c == 'O';
+    if (!handshook) {
+      ok = fail("round %" PRIu64 ": worker child never opened the heap",
+                round);
+    } else {
+      ok = verify_exclusion(cfg, pid);
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  (void)::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+  if (!race_open && ok && !(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+    // With faults armed the child may have died on its own; that is fine —
+    // it still leaves a stamped owner and half-done work behind.
+    if (cfg.fault.empty()) {
+      ok = fail("round %" PRIu64 ": child exited on its own (status 0x%x)",
+                round, status);
+    }
+  }
+  if (race_open && !handshook) {
+    // Learn (after the fact) whether the open won the race.
+    (void)::fcntl(hs[0], F_SETFL, O_NONBLOCK);
+    char c = 0;
+    handshook = ::read(hs[0], &c, 1) == 1 && c == 'O';
+  }
+  ::close(hs[0]);
+  if (!ok) return false;
+
+  if (!check_round(cfg, pid, handshook, round, st)) return false;
+  std::printf("round %3" PRIu64 ": kill@%5uus%s  survivors=%-4" PRIu64
+              " aborted=%-3" PRIu64 " leaks=%-3" PRIu64 " torn=%-2" PRIu64
+              " takeovers=%" PRIu64 "\n",
+              round, delay_us, race_open ? " (racing open)" : "              ",
+              st->survivors, st->aborted, st->leaks, st->torn, st->takeovers);
+  return true;
+}
+
+// ---- setup / teardown ------------------------------------------------------
+
+void unlink_heap(const Cfg& cfg) {
+  (void)::unlink(cfg.path.c_str());
+  for (unsigned i = 1; i < 16; ++i) {
+    (void)::unlink((cfg.path + ".shard" + std::to_string(i)).c_str());
+  }
+}
+
+bool setup_heap(const Cfg& cfg) {
+  unlink_heap(cfg);
+  core::Options o = base_opts(cfg);
+  std::unique_ptr<Heap> heap;
+  try {
+    heap = Heap::create(cfg.path, cfg.capacity, o);
+  } catch (const std::exception& e) {
+    return fail("create %s: %s", cfg.path.c_str(), e.what());
+  }
+  const std::uint64_t bytes =
+      sizeof(SlotTable) + cfg.nslots() * sizeof(SlotRec);
+  const NvPtr p = heap->alloc(bytes);
+  if (p.is_null()) return fail("slot table allocation failed");
+  auto* table = static_cast<SlotTable*>(heap->raw(p));
+  std::memset(table, 0, bytes);
+  table->magic = kMagic;
+  table->nslots = cfg.nslots();
+  table->seed = cfg.seed;
+  pmem::persist(table, bytes);
+  heap->set_root(p);
+  return true;  // clean close: owner record cleared
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cfg cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v;
+    if (a == "--rounds" && (v = next())) cfg.rounds = std::strtoull(v, nullptr, 0);
+    else if (a == "--seed" && (v = next())) {
+      cfg.seed = std::strtoull(v, nullptr, 0);
+      cfg.seed_given = true;
+    }
+    else if (a == "--shards" && (v = next())) cfg.shards = static_cast<unsigned>(std::atoi(v));
+    else if (a == "--threads" && (v = next())) cfg.threads = static_cast<unsigned>(std::atoi(v));
+    else if (a == "--slots" && (v = next())) cfg.slots_per_thread = std::strtoull(v, nullptr, 0);
+    else if (a == "--capacity" && (v = next())) cfg.capacity = std::strtoull(v, nullptr, 0);
+    else if (a == "--fault" && (v = next())) cfg.fault = v;
+    else if (a == "--path" && (v = next())) cfg.path = v;
+    else if (a == "--keep") cfg.keep = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds N] [--seed S] [--shards N] "
+                   "[--threads N] [--slots N] [--capacity BYTES] "
+                   "[--fault op:period:errno[,...]] [--path FILE] [--keep]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.shards == 0 || cfg.threads == 0 || cfg.slots_per_thread == 0 ||
+      cfg.rounds == 0) {
+    std::fprintf(stderr, "rounds/shards/threads/slots must be nonzero\n");
+    return 2;
+  }
+  if (!cfg.seed_given) {
+    cfg.seed = (static_cast<std::uint64_t>(std::random_device{}()) << 32) ^
+               std::random_device{}();
+  }
+  if (cfg.path.empty()) {
+    cfg.path = "/dev/shm/poseidon_torture." +
+               std::to_string(::getpid()) + ".heap";
+  }
+  if (const char* mult = std::getenv("POSEIDON_FUZZ_MULT")) {
+    const long m = std::atol(mult);
+    if (m > 1) cfg.rounds *= static_cast<std::uint64_t>(m);
+  }
+
+  std::printf("torture: seed=%" PRIu64 " rounds=%" PRIu64
+              " shards=%u threads=%u slots=%" PRIu64 " path=%s%s%s\n",
+              cfg.seed, cfg.rounds, cfg.shards, cfg.threads, cfg.nslots(),
+              cfg.path.c_str(), cfg.fault.empty() ? "" : " fault=",
+              cfg.fault.c_str());
+
+  if (!setup_heap(cfg)) return 1;
+
+  std::mt19937_64 rng(cfg.seed);
+  RoundStats total;
+  for (std::uint64_t r = 1; r <= cfg.rounds; ++r) {
+    RoundStats st;
+    if (!run_round(cfg, r, rng, &st)) {
+      std::fprintf(stderr,
+                   "REPRODUCE: POSEIDON_FAKE_NUMA=%u %s --rounds %" PRIu64
+                   " --seed %" PRIu64 "\n",
+                   cfg.shards, argv[0], cfg.rounds, cfg.seed);
+      if (cfg.keep) {
+        std::fprintf(stderr, "heap kept at %s\n", cfg.path.c_str());
+      }
+      return 1;
+    }
+    total.survivors = st.survivors;  // point-in-time, not cumulative
+    total.aborted += st.aborted;
+    total.leaks += st.leaks;
+    total.torn += st.torn;
+  }
+  if (!cfg.keep) unlink_heap(cfg);
+  std::printf("PASS: %" PRIu64 " rounds (surviving=%" PRIu64 " aborted=%"
+              PRIu64 " leaks=%" PRIu64 " torn=%" PRIu64 "), seed=%" PRIu64 "\n",
+              cfg.rounds, total.survivors, total.aborted, total.leaks,
+              total.torn, cfg.seed);
+  return 0;
+}
