@@ -20,7 +20,8 @@ namespace {
 constexpr unsigned kPoolDepth = 100;  // the paper's 100-alloc/100-free pair
 
 double run_one(iface::AllocatorKind kind, std::uint64_t size,
-               unsigned nthreads, bool thread_cache, int flight = 1) {
+               unsigned nthreads, bool thread_cache, int flight = 1,
+               int persist_domain = -1) {
   iface::AllocatorConfig cfg;
   // Working set: up to kPoolDepth live objects per thread, doubled for
   // fragmentation slack, floor 64 MB.
@@ -29,6 +30,7 @@ double run_one(iface::AllocatorKind kind, std::uint64_t size,
   cfg.nlanes = nthreads;  // per-CPU sub-heaps on the paper's box
   cfg.thread_cache = thread_cache;
   cfg.flight = flight;
+  cfg.persist_domain = persist_domain;
   auto alloc = iface::make_allocator(kind, cfg);
 
   const RunResult r = run_timed(
@@ -84,6 +86,15 @@ int main() {
       const double mops = run_one(iface::AllocatorKind::kPoseidon, size, t,
                                   true, bench_flight_mode());
       print_point("fig6/" + size_label(size), "poseidon+fr", t, mops);
+    }
+    // eADR series: same configuration as poseidon+tc but with the
+    // persistence domain forced to eADR, eliding every clwb loop (the
+    // fence stays).  Compare with poseidon+tc to read off the write-back
+    // cost — largest at small sizes, where barriers dominate.
+    for (const unsigned t : default_thread_sweep()) {
+      const double mops = run_one(iface::AllocatorKind::kPoseidon, size, t,
+                                  true, 1, /*persist_domain=*/1);
+      print_point("fig6/" + size_label(size), "poseidon+eadr", t, mops);
     }
     for (const auto kind : all_allocators()) {
       for (const unsigned t : default_thread_sweep()) {

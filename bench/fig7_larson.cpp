@@ -13,12 +13,14 @@ using namespace poseidon::workloads;
 namespace {
 
 double run_larson_once(iface::AllocatorKind kind, unsigned t,
-                       bool thread_cache, unsigned nshards = 1) {
+                       bool thread_cache, unsigned nshards = 1,
+                       int persist_domain = -1) {
   iface::AllocatorConfig cfg;
   cfg.capacity = 256ull << 20;
   cfg.nlanes = t;
   cfg.nshards = nshards;
   cfg.thread_cache = thread_cache;
+  cfg.persist_domain = persist_domain;
   auto alloc = iface::make_allocator(kind, cfg);
   LarsonConfig lc;
   lc.nthreads = t;
@@ -34,6 +36,14 @@ int main() {
   for (const unsigned t : default_thread_sweep()) {
     print_point("fig7/larson", "poseidon+tc", t,
                 run_larson_once(iface::AllocatorKind::kPoseidon, t, true));
+  }
+  // eADR ablation: thread-cached configuration with the persistence domain
+  // forced to eADR — clwb loops elided, fences kept.  The delta against
+  // poseidon+tc is the write-back cost under a server-style mix.
+  for (const unsigned t : default_thread_sweep()) {
+    print_point("fig7/larson", "poseidon+eadr", t,
+                run_larson_once(iface::AllocatorKind::kPoseidon, t, true,
+                                /*nshards=*/1, /*persist_domain=*/1));
   }
   // NUMA-shard ablation: two pool shards with per-thread routing, so the
   // series measures routing + cross-shard frees even on single-node boxes

@@ -37,6 +37,11 @@ class PoseidonAdapter final : public PAllocator {
     opts.flight = cfg.flight == 0   ? obs::FlightMode::kOff
                   : cfg.flight == 2 ? obs::FlightMode::kPersistent
                                     : obs::FlightMode::kVolatile;
+    opts.persist_domain =
+        cfg.persist_domain == 0 ? pmem::PersistDomainMode::kCacheLineFlush
+        : cfg.persist_domain == 1 ? pmem::PersistDomainMode::kEadr
+        : cfg.persist_domain == 2 ? pmem::PersistDomainMode::kNone
+                                  : pmem::PersistDomainMode::kDetect;
     heap_ = core::Heap::create(path, cfg.capacity, opts);
     path_ = path;
   }

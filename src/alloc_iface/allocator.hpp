@@ -52,6 +52,11 @@ struct AllocatorConfig {
   // (0 = off, 1 = DRAM ring, 2 = persistent ring in the pool).  An int so
   // this facade header stays independent of the obs headers.
   int flight = 1;
+  // Poseidon only: persistence-domain mode, mirroring
+  // pmem::PersistDomainMode (-1 = detect, 0 = cacheline flush, 1 = eADR,
+  // 2 = none).  An int for the same header-independence reason.  Benches
+  // run an eADR series to measure the elided write-back loops.
+  int persist_domain = -1;
 };
 
 // Factory: creates the heap file and wraps it.  The file is unlinked when

@@ -139,6 +139,7 @@ size_t poseidon_get_stats_sized(heap_t *heap, void *out, size_t out_size) {
     full.subheaps_quarantined = s.subheaps_quarantined;
     full.nshards = s.nshards;
     full.shards_quarantined = s.shards_quarantined;
+    full.persist_domain = s.persist_domain;
   }
   std::memcpy(out, &full, std::min(out_size, sizeof(full)));
   return sizeof(full);

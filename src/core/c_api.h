@@ -29,7 +29,13 @@ static inline nvmptr_t nvmptr_null(void) {
 static inline bool nvmptr_is_null(nvmptr_t p) { return p.heap_id == 0; }
 
 /* Initialize (open or create) a Poseidon heap with a given size and path.
- * Returns NULL on failure; poseidon_last_error() then describes why. */
+ * Returns NULL on failure; poseidon_last_error() then describes why.
+ *
+ * The persistence domain (how much of the durability barrier the platform
+ * needs: "cacheline" write-back + fence, "eadr" fence only, or "none") is
+ * auto-detected at init; the POSEIDON_PERSIST_DOMAIN environment variable
+ * ("cacheline" | "eadr" | "none") overrides detection.  The active domain
+ * is reported in poseidon_stats_t.persist_domain. */
 heap_t *poseidon_init(const char *heap_path, size_t heap_size);
 
 /* Message describing the calling thread's most recent poseidon_init
@@ -116,12 +122,16 @@ typedef struct poseidon_stats {
   /* NUMA shard set: member pool files, and members out of service. */
   uint32_t nshards;
   uint32_t shards_quarantined;
+  /* Active persistence domain: 0 = cacheline flush (ADR), 1 = eADR
+   * (fence only), 2 = none (no durability boundary). */
+  uint32_t persist_domain;
+  uint32_t reserved0; /* keeps the tail 8-byte aligned for future growth */
 } poseidon_stats_t;
 
 /* Version of the stats ABI: bumped whenever poseidon_stats_t grows.
  * v1: through cache_cached_blocks; v2: + subheaps_quarantined;
- * v3: + nshards, shards_quarantined. */
-#define POSEIDON_C_API_VERSION 3
+ * v3: + nshards, shards_quarantined; v4: + persist_domain, reserved0. */
+#define POSEIDON_C_API_VERSION 4
 
 /* Zero-fills *out when heap is NULL; no-op when out is NULL.  Writes
  * sizeof(poseidon_stats_t) bytes — see the ABI note above. */

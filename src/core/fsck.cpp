@@ -306,9 +306,15 @@ bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
   pmem::nv_store(m->live_blocks, live);
   pmem::nv_store(m->free_blocks, free_blocks);
   pmem::nv_store(m->allocated_bytes, bytes);
-  pmem::persist(m, sizeof(SubheapMeta));
-  pmem::persist(base() + m->hash_off,
-                level_offset(sb_->level0_slots, m->levels_active));
+  {
+    // Meta and the rebuilt hash levels need no ordering between them (the
+    // kSubheapRepairing state word gates the whole rebuild); one fence.
+    pmem::FlushBatch batch;
+    batch.add(m, sizeof(SubheapMeta));
+    batch.add(base() + m->hash_off,
+              level_offset(sb_->level0_slots, m->levels_active));
+    batch.commit();
+  }
 
   // Only a rebuild that passes the full invariant check goes back into
   // service; anything less becomes a quarantine at the caller.
@@ -416,6 +422,11 @@ void PoolShard::seal_all() noexcept {
   // undo-replay recovery proceeds exactly as it would unsealed.
   mpk::WriteWindow w(prot_.get());
   pmem::fault::FaultGuard guard;
+  // The per-sub-heap checksum pairs are independent of each other — only
+  // the seal flip below needs them all durable first — so batch the
+  // write-backs and fence once instead of per sub-heap.  (The early return
+  // on a poisoned sub-heap is safe: the batch destructor commits.)
+  pmem::FlushBatch batch;
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     if (pmem::nv_load_acquire(sb_->subheap_state[i]) != kSubheapReady) {
       continue;
@@ -424,8 +435,9 @@ void PoolShard::seal_all() noexcept {
     if (!probe_subheap_readable(i)) return;  // poisoned: leave seal dirty
     pmem::nv_store(m->seal_csum_meta, subheap_meta_csum(*m));
     pmem::nv_store(m->seal_csum_hash, active_hash_csum(base(), *m));
-    pmem::persist(&m->seal_csum_meta, 2 * sizeof(std::uint64_t));
+    batch.add(&m->seal_csum_meta, 2 * sizeof(std::uint64_t));
   }
+  batch.commit();
   pmem::nv_store_persist(sb_->mutable_csum, super_mutable_csum(*sb_));
   pmem::nv_store_release_persist(sb_->seal_state, std::uint64_t{kSealSealed});
   // Owner record cleared LAST, strictly after the seal flip: a crash

@@ -37,6 +37,9 @@ std::unique_ptr<Heap> Heap::create(const std::string& path,
   if (opts.read_only) {
     throw std::invalid_argument("cannot create a heap read-only");
   }
+  // Resolve the persistence domain before the first metadata store of
+  // format; every barrier below runs under the resolved domain.
+  pmem::apply_persist_domain(opts.persist_domain);
   if (opts.nsubheaps > kMaxSubheaps) {
     throw std::invalid_argument("too many sub-heaps");
   }
@@ -110,6 +113,8 @@ std::unique_ptr<Heap> Heap::open(const std::string& path,
                 path + ": shard count " + std::to_string(head.count) +
                     " out of bounds");
   }
+  // Before recovery: replay barriers run under the resolved domain too.
+  pmem::apply_persist_domain(opts.persist_domain);
   std::unique_ptr<Heap> h(new Heap(path, opts));
   h->nshards_ = head.count;
   h->shards_.resize(head.count);
@@ -402,6 +407,7 @@ HeapStats Heap::stats() const {
   s.cache_hits = metrics_.cache_hits.read();
   s.cache_misses = metrics_.cache_misses.read();
   s.cache_flushes = metrics_.cache_flushes.read();
+  s.persist_domain = static_cast<std::uint8_t>(pmem::persist_domain());
   return s;
 }
 

@@ -11,10 +11,23 @@ bool micro_append(MicroLog& log, const NvPtr& ptr,
   obs::CycleTimer lat(metrics != nullptr && obs::latency_sample_tick()
                           ? &metrics->log_write_cycles
                           : nullptr);
-  // Entry must be durable before the count that makes it visible.
+  // Entry must be durable before the count that makes it visible.  When
+  // the entry shares the count's cache line (the first few appends,
+  // depending on the log's alignment), one persist of that line commits
+  // both atomically: x86 TSO orders the two stores within the line, and a
+  // line is written back whole, so a surviving count implies a surviving
+  // entry.  Otherwise the entry needs its own barrier before the count.
   pmem::nv_store(log.entries[n], ptr);
-  pmem::persist(&log.entries[n], sizeof(NvPtr));
-  pmem::nv_store_persist(log.count, n + 1);
+  const auto count_line = cache_line_of(&log.count);
+  if (cache_line_of(&log.entries[n]) == count_line &&
+      cache_line_of(reinterpret_cast<const char*>(&log.entries[n] + 1) - 1) ==
+          count_line) {
+    pmem::nv_store(log.count, n + 1);
+    pmem::persist(&log.count, sizeof(log.count));
+  } else {
+    pmem::persist(&log.entries[n], sizeof(NvPtr));
+    pmem::nv_store_persist(log.count, n + 1);
+  }
   if (metrics != nullptr) metrics->micro_appends.inc();
   return true;
 }

@@ -265,6 +265,8 @@ PoolShard::PoolShard(pmem::Pool pool, const Options& opts, unsigned node,
   validate_on_open(sb_repaired);
   recover();
   flight(obs::FlightOp::kOpen, 0, 0, sb_->nsubheaps);
+  flight(obs::FlightOp::kPersistDomain, 0, 0,
+         static_cast<std::uint64_t>(pmem::persist_domain()));
   if (opts_.thread_cache && sb_->cache_slots != 0) {
     caches_.reserve(sb_->cache_slots);
     for (unsigned i = 0; i < sb_->cache_slots; ++i) {
@@ -862,6 +864,9 @@ void PoolShard::recover() {
   // Cache logs: every logged block was parked in a volatile magazine that
   // died with the crash.  Hand each back through the validated free path
   // (idempotent: already-free entries are rejected) and clear the slot.
+  // Slot clears are idempotent (a re-replayed entry bounces off the
+  // validated free path), so one fence covers every cleared slot.
+  pmem::FlushBatch batch;
   for (unsigned s = 0; s < sb_->cache_slots; ++s) {
     CacheLogSlot* slot = cache_slot(s);
     bool any = false;
@@ -876,9 +881,10 @@ void PoolShard::recover() {
     }
     if (any) {
       pmem::nv_memset(slot->entries, 0, sizeof(slot->entries));
-      pmem::persist(slot->entries, sizeof(slot->entries));
+      batch.add(slot->entries, sizeof(slot->entries));
     }
   }
+  batch.commit();
 }
 
 }  // namespace poseidon::core

@@ -89,6 +89,12 @@ struct Options {
   // whose pre-recovery state it shows verbatim).  Mutating operations
   // (alloc/free/tx/set_root/fsck) fail with typed results.
   bool read_only = false;
+  // Persistence-domain selection (pmem/persist.hpp): kDetect probes the
+  // platform; kEadr elides write-back loops (caches are in the domain);
+  // kNone elides fences too (DRAM rig).  Resolved at create/open; the
+  // POSEIDON_PERSIST_DOMAIN env var overrides any explicit mode.  The
+  // resolved domain is process-global, like the simulator flag.
+  pmem::PersistDomainMode persist_domain = pmem::PersistDomainMode::kDetect;
 };
 
 struct HeapStats {
@@ -118,6 +124,8 @@ struct HeapStats {
   // in subheaps_quarantined too).
   unsigned nshards = 1;
   unsigned shards_quarantined = 0;
+  // Active persistence domain (a pmem::PersistDomain value).
+  std::uint8_t persist_domain = 0;
 };
 
 // Per-sub-heap health as seen through the persisted state word.

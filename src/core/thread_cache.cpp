@@ -84,10 +84,17 @@ void ThreadCache::refill_publish_locked(unsigned cls) {
 }
 
 void ThreadCache::refill_abort_locked() noexcept {
+  // Erases are idempotent under recovery (a replayed entry goes through the
+  // validated free path and bounces as a double free), so they need no
+  // ordering among themselves: batch the write-backs, fence once.
+  pmem::FlushBatch batch;
   for (const Item& it : staged_) {
-    log_erase(it.li);
+    NvPtr& e = slot_->entries[it.li];
+    pmem::nv_store(e.heap_id, std::uint64_t{0});
+    batch.add(&e.heap_id, sizeof(std::uint64_t));
     free_li_.push_back(it.li);
   }
+  batch.commit();
   staged_.clear();
 }
 
@@ -109,10 +116,16 @@ unsigned ThreadCache::flush_take_locked(unsigned cls, unsigned max_n,
 
 void ThreadCache::flush_erase_locked(const std::uint32_t* li,
                                      unsigned n) noexcept {
+  // Same idempotency argument as refill_abort_locked: one fence for the
+  // whole take, and consecutive log indices coalesce into shared lines.
+  pmem::FlushBatch batch;
   for (unsigned i = 0; i < n; ++i) {
-    log_erase(li[i]);
+    NvPtr& e = slot_->entries[li[i]];
+    pmem::nv_store(e.heap_id, std::uint64_t{0});
+    batch.add(&e.heap_id, sizeof(std::uint64_t));
     free_li_.push_back(li[i]);
   }
+  batch.commit();
 }
 
 ThreadCache::Stats ThreadCache::stats_locked() const noexcept {

@@ -83,10 +83,13 @@ void UndoLogger::commit() noexcept {
   // list doubles as the dirty set: write everything back with one fence,
   // then truncate.  (In-place mutations need no eager persist — if an
   // evicted line reaches media early, its undo entry is already durable.)
+  // Mutated ranges cluster (a split touches adjacent records), so the
+  // batch coalesces them into a few line ranges before the single fence.
+  pmem::FlushBatch batch;
   for (std::size_t i = 0; i < used_; ++i) {
-    pmem::flush(heap_base_ + entries_[i].meta_off, entries_[i].len);
+    batch.add(heap_base_ + entries_[i].meta_off, entries_[i].len);
   }
-  pmem::fence();
+  batch.commit();
   pmem::nv_store_persist(*gen_, *gen_ + 1);
   if (metrics_ != nullptr) {
     metrics_->undo_saves.inc(used_);
@@ -97,11 +100,16 @@ void UndoLogger::commit() noexcept {
 
 void UndoLogger::rollback() noexcept {
   if (!enabled_) return;
+  // Restores need no ordering between them — if the crash hits before the
+  // final fence the still-valid log replays the same restores again — so
+  // coalesce the write-backs and fence once.
+  pmem::FlushBatch batch;
   for (std::size_t i = used_; i-- > 0;) {
     const UndoEntry& e = entries_[i];
     pmem::nv_memcpy(heap_base_ + e.meta_off, e.data, e.len);
-    pmem::persist(heap_base_ + e.meta_off, e.len);
+    batch.add(heap_base_ + e.meta_off, e.len);
   }
+  batch.commit();
   commit();
 }
 
@@ -116,11 +124,13 @@ void UndoLogger::replay(std::uint64_t* gen, UndoEntry* entries,
          entries[n].csum == checksum(entries[n])) {
     ++n;
   }
+  pmem::FlushBatch batch;
   for (std::size_t i = n; i-- > 0;) {
     const UndoEntry& e = entries[i];
     pmem::nv_memcpy(heap_base + e.meta_off, e.data, e.len);
-    pmem::persist(heap_base + e.meta_off, e.len);
+    batch.add(heap_base + e.meta_off, e.len);
   }
+  batch.commit();  // all restores durable before the generation bump
   if (n > 0) pmem::nv_store_persist(*gen, g + 1);
 }
 

@@ -8,6 +8,7 @@
 #include "mpk/mpk.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "pmem/persist.hpp"
 
 namespace poseidon::obs {
 
@@ -72,6 +73,9 @@ std::string Exporter::json() const {
   fmt(out, ",\"nshards\":%u,\"protect\":\"%s\",\"obs_compiled\":%s",
       heap_.shard_count(), mpk::mode_name(heap_.protect_mode()),
       POSEIDON_OBS_ENABLED ? "true" : "false");
+  fmt(out, ",\"persist_domain\":\"%s\",\"flush_insn\":\"%s\"",
+      pmem::persist_domain_name(pmem::persist_domain()),
+      pmem::flush_insn_name());
   out += ",\"shards\":[";
   for (unsigned s = 0; s < heap_.shard_count(); ++s) {
     const core::PoolShard* sh = heap_.shard(s);
@@ -151,10 +155,12 @@ std::string Exporter::text() const {
   out.reserve(4096);
 
   fmt(out, "poseidon heap %" PRIu64 ": %u shard(s), %u sub-heaps, %" PRIu64
-      " B user capacity, protect=%s, obs=%s\n",
+      " B user capacity, protect=%s, obs=%s, domain=%s (%s)\n",
       heap_.heap_id(), heap_.shard_count(), heap_.nsubheaps(),
       heap_.user_capacity(), mpk::mode_name(heap_.protect_mode()),
-      POSEIDON_OBS_ENABLED ? "on" : "compiled-out");
+      POSEIDON_OBS_ENABLED ? "on" : "compiled-out",
+      pmem::persist_domain_name(pmem::persist_domain()),
+      pmem::flush_insn_name());
   fmt(out, "occupancy: %" PRIu64 " live / %" PRIu64 " free blocks, %" PRIu64
       " B allocated\n",
       st.live_blocks, st.free_blocks, st.allocated_bytes);

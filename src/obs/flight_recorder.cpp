@@ -32,6 +32,7 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kQuarantine: return "quarantine";
     case FlightOp::kNumaBindFail: return "numa-bind-fail";
     case FlightOp::kOwnerTakeover: return "owner-takeover";
+    case FlightOp::kPersistDomain: return "persist-domain";
   }
   return "?";
 }

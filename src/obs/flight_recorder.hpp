@@ -55,6 +55,7 @@ enum class FlightOp : std::uint16_t {
   kQuarantine = 12, // sub-heap entered quarantine
   kNumaBindFail = 13, // first refused mbind on this shard; arg = node
   kOwnerTakeover = 14, // stale owner superseded; arg = OwnerStaleness class
+  kPersistDomain = 15, // domain active at open; arg = pmem::PersistDomain
 };
 
 const char* op_name(FlightOp op) noexcept;

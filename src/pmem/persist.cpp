@@ -1,7 +1,12 @@
 #include "pmem/persist.hpp"
 
 #include <cpuid.h>
+#include <dirent.h>
 #include <immintrin.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace poseidon::pmem {
 
@@ -20,7 +25,121 @@ FlushInsn detect_flush_insn() noexcept {
 
 const FlushInsn g_flush_insn = detect_flush_insn();
 
+// One pass over the NVDIMM bus: any region/namespace whose
+// persistence_domain includes the CPU caches makes the platform eADR.
+// Missing directory (no NVDIMMs, containers) or unreadable attributes fall
+// back to the conservative cache-line-flush answer.
+PersistDomain probe_platform_domain() noexcept {
+  DIR* dir = ::opendir("/sys/bus/nd/devices");
+  if (dir == nullptr) return PersistDomain::kCacheLineFlush;
+  PersistDomain d = PersistDomain::kCacheLineFlush;
+  while (const dirent* ent = ::readdir(dir)) {
+    if (ent->d_name[0] == '.') continue;
+    char path[512];
+    std::snprintf(path, sizeof(path),
+                  "/sys/bus/nd/devices/%s/persistence_domain", ent->d_name);
+    std::FILE* f = std::fopen(path, "re");
+    if (f == nullptr) continue;
+    char buf[64];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    if (std::strstr(buf, "cpu_cache") != nullptr) {
+      d = PersistDomain::kEadr;
+      break;
+    }
+  }
+  ::closedir(dir);
+  return d;
+}
+
+// Zero-initialization of g_persist_domain (kCacheLineFlush) covers any
+// cross-TU static initializer that persists before this runs.
+std::uint8_t initial_domain() noexcept {
+  PersistDomain d = PersistDomain::kCacheLineFlush;
+  if (const char* env = std::getenv("POSEIDON_PERSIST_DOMAIN")) {
+    (void)parse_persist_domain(env, &d);
+  }
+  return static_cast<std::uint8_t>(d);
+}
+
 }  // namespace
+
+std::atomic<std::uint8_t> g_persist_domain{initial_domain()};
+
+const bool g_flush_needs_fence = g_flush_insn != FlushInsn::kClflush;
+
+void set_persist_domain(PersistDomain d) noexcept {
+  g_persist_domain.store(static_cast<std::uint8_t>(d),
+                         std::memory_order_relaxed);
+}
+
+PersistDomain detect_persist_domain() noexcept {
+  static const PersistDomain cached = probe_platform_domain();
+  return cached;
+}
+
+PersistDomain apply_persist_domain(PersistDomainMode mode) noexcept {
+  PersistDomain d;
+  const char* env = std::getenv("POSEIDON_PERSIST_DOMAIN");
+  if (env != nullptr && parse_persist_domain(env, &d)) {
+    set_persist_domain(d);
+    return d;
+  }
+  switch (mode) {
+    case PersistDomainMode::kCacheLineFlush:
+      d = PersistDomain::kCacheLineFlush;
+      break;
+    case PersistDomainMode::kEadr:
+      d = PersistDomain::kEadr;
+      break;
+    case PersistDomainMode::kNone:
+      d = PersistDomain::kNone;
+      break;
+    case PersistDomainMode::kDetect:
+    default:
+      d = detect_persist_domain();
+      break;
+  }
+  set_persist_domain(d);
+  return d;
+}
+
+const char* persist_domain_name(PersistDomain d) noexcept {
+  switch (d) {
+    case PersistDomain::kCacheLineFlush: return "cacheline";
+    case PersistDomain::kEadr: return "eadr";
+    case PersistDomain::kNone: return "none";
+  }
+  return "?";
+}
+
+bool parse_persist_domain(const char* s, PersistDomain* out) noexcept {
+  if (s == nullptr || out == nullptr) return false;
+  if (std::strcmp(s, "cacheline") == 0 || std::strcmp(s, "clwb") == 0 ||
+      std::strcmp(s, "adr") == 0 || std::strcmp(s, "flush") == 0) {
+    *out = PersistDomain::kCacheLineFlush;
+    return true;
+  }
+  if (std::strcmp(s, "eadr") == 0) {
+    *out = PersistDomain::kEadr;
+    return true;
+  }
+  if (std::strcmp(s, "none") == 0 || std::strcmp(s, "off") == 0) {
+    *out = PersistDomain::kNone;
+    return true;
+  }
+  return false;
+}
+
+const char* flush_insn_name() noexcept {
+  switch (g_flush_insn) {
+    case FlushInsn::kClwb: return "clwb";
+    case FlushInsn::kClflushOpt: return "clflushopt";
+    case FlushInsn::kClflush: return "clflush";
+  }
+  return "?";
+}
 
 void flush_lines(const void* addr, std::size_t len) noexcept {
   if (len == 0) return;
@@ -45,7 +164,5 @@ void flush_lines(const void* addr, std::size_t len) noexcept {
       break;
   }
 }
-
-void fence() noexcept { _mm_sfence(); }
 
 }  // namespace poseidon::pmem

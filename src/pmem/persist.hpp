@@ -5,8 +5,21 @@
 // below instead of raw stores.  In normal operation they compile down to a
 // plain store; when a pmem::SimDomain is active (crash-consistency tests),
 // every store additionally marks the covering cache lines dirty in the
-// simulator and every persist commits them, letting tests model the loss of
-// unflushed lines at a crash.
+// simulator, every flush marks them flushed-pending, and every fence
+// commits the pending lines — letting tests model the loss of unflushed
+// (and flushed-but-unfenced) lines at a crash.
+//
+// The *persistence domain* decides how much of the barrier the platform
+// actually needs.  On ADR hardware the caches sit outside the persistence
+// domain, so a durable store costs a write-back plus a fence.  On eADR
+// platforms the CPU caches are flushed on power failure, so a store is
+// durable the moment it is globally visible and the write-back loop is
+// wasted work — only the ordering fence remains.  On the DRAM-backed rigs
+// the tests and benchmarks run on there is no power-failure durability at
+// all (the file survives process death byte-for-byte), so both halves can
+// be elided.  The domain is selected at runtime (Options::persist_domain,
+// the POSEIDON_PERSIST_DOMAIN environment override, or /sys detection) and
+// checked with one relaxed load on the fast path, mirroring g_sim_active.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +31,74 @@
 
 namespace poseidon::pmem {
 
+// ---- persistence domains ---------------------------------------------------
+
+// Where the persistence boundary sits on this platform.
+enum class PersistDomain : std::uint8_t {
+  kCacheLineFlush = 0,  // ADR: write back every line, then fence
+  kEadr = 1,            // caches inside the domain: ordering fence only
+  kNone = 2,            // no durability boundary (DRAM rig): elide everything
+};
+
+// How a heap selects the domain (Options::persist_domain).  Resolution
+// order: POSEIDON_PERSIST_DOMAIN env override > explicit mode > platform
+// detection (kDetect).  The resolved domain is process-global.
+enum class PersistDomainMode : std::uint8_t {
+  kDetect = 0,
+  kCacheLineFlush = 1,
+  kEadr = 2,
+  kNone = 3,
+};
+
+// The active domain; one relaxed load on every barrier fast path.
+extern std::atomic<std::uint8_t> g_persist_domain;
+
+inline PersistDomain persist_domain() noexcept {
+  return static_cast<PersistDomain>(
+      g_persist_domain.load(std::memory_order_relaxed));
+}
+
+void set_persist_domain(PersistDomain d) noexcept;
+
+// Resolve env override > `mode` > platform probe, make it current, and
+// return it.  Called by Heap::create/open; kDetect re-resolves every time
+// so an explicit override never outlives the heap that asked for it.
+PersistDomain apply_persist_domain(PersistDomainMode mode) noexcept;
+
+// Platform probe only (result cached): a /sys/bus/nd device advertising a
+// CPU-cache persistence domain means eADR; everything else (including no
+// NVDIMMs at all) is the conservative cache-line-flush default.
+PersistDomain detect_persist_domain() noexcept;
+
+const char* persist_domain_name(PersistDomain d) noexcept;
+// Accepts "cacheline"/"clwb"/"adr"/"flush", "eadr", "none"/"off".
+bool parse_persist_domain(const char* s, PersistDomain* out) noexcept;
+
+// Runtime-selected write-back instruction, for diagnostics/exporters.
+const char* flush_insn_name() noexcept;
+
+// False when the fallback is legacy clflush: CLFLUSH executions are
+// ordered with respect to each other and to writes (Intel SDM vol. 2A,
+// CLFLUSH), so the trailing SFENCE of a persist barrier buys nothing
+// there.  CLWB/CLFLUSHOPT are weakly ordered and need the fence.
+extern const bool g_flush_needs_fence;
+
+// Scoped override of the process-global domain (tests and benches).
+class ScopedPersistDomain {
+ public:
+  explicit ScopedPersistDomain(PersistDomain d) noexcept
+      : prev_(persist_domain()) {
+    set_persist_domain(d);
+  }
+  ~ScopedPersistDomain() { set_persist_domain(prev_); }
+
+  ScopedPersistDomain(const ScopedPersistDomain&) = delete;
+  ScopedPersistDomain& operator=(const ScopedPersistDomain&) = delete;
+
+ private:
+  PersistDomain prev_;
+};
+
 // ---- simulator hooks (defined in sim_domain.cpp) --------------------------
 
 // True when a SimDomain is registered; kept in a single atomic flag so the
@@ -25,7 +106,8 @@ namespace poseidon::pmem {
 extern std::atomic<bool> g_sim_active;
 
 void sim_note_store(const void* addr, std::size_t len) noexcept;
-void sim_note_persist(const void* addr, std::size_t len) noexcept;
+void sim_note_flush(const void* addr, std::size_t len) noexcept;
+void sim_note_fence() noexcept;
 
 inline bool sim_active() noexcept {
   return g_sim_active.load(std::memory_order_relaxed);
@@ -34,26 +116,129 @@ inline bool sim_active() noexcept {
 // ---- flush primitives ------------------------------------------------------
 
 // Write back every cache line covering [addr, addr+len) without fencing.
+// Domain-blind: callers below decide whether the platform needs it.
 void flush_lines(const void* addr, std::size_t len) noexcept;
 
-// Store fence ordering prior write-backs.
-void fence() noexcept;
+// Raw store fence, regardless of domain.
+inline void sfence() noexcept { asm volatile("sfence" ::: "memory"); }
 
-// flush_lines + fence: the paper's "persistent barrier".
+// Store fence ordering prior write-backs (elided under kNone).
+inline void fence() noexcept {
+  if (POSEIDON_LIKELY(persist_domain() != PersistDomain::kNone)) sfence();
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_fence();
+}
+
+// flush_lines + fence: the paper's "persistent barrier".  Under eADR the
+// write-back loop is elided (stores are durable at visibility; the fence
+// still orders them); under kNone the whole barrier disappears.
 inline void persist(const void* addr, std::size_t len) noexcept {
-  flush_lines(addr, len);
-  fence();
-  if (POSEIDON_UNLIKELY(sim_active())) sim_note_persist(addr, len);
+  if (POSEIDON_UNLIKELY(len == 0)) return;  // nothing to persist: no fence
+  switch (persist_domain()) {
+    case PersistDomain::kCacheLineFlush:
+      flush_lines(addr, len);
+      if (g_flush_needs_fence) sfence();
+      break;
+    case PersistDomain::kEadr:
+      sfence();
+      break;
+    case PersistDomain::kNone:
+      break;
+  }
+  if (POSEIDON_UNLIKELY(sim_active())) {
+    sim_note_flush(addr, len);
+    sim_note_fence();
+  }
 }
 
-// Flush without the trailing fence (callers batch several flushes and fence
-// once).  The simulator treats it as persisted: clwb-initiated write-backs
-// are not reordered with respect to each other by a later sfence, and we
-// only model line-granularity loss, not store reordering inside a line.
+// Flush without the trailing fence (callers batch several flushes and
+// fence once).  The simulator marks the lines flushed-pending: they become
+// durable only at the next fence(), so a crash in between can still lose
+// them — a clwb only *initiates* the write-back; the fence is what
+// guarantees completion.
 inline void flush(const void* addr, std::size_t len) noexcept {
-  flush_lines(addr, len);
-  if (POSEIDON_UNLIKELY(sim_active())) sim_note_persist(addr, len);
+  if (len == 0) return;
+  if (POSEIDON_LIKELY(persist_domain() == PersistDomain::kCacheLineFlush)) {
+    flush_lines(addr, len);
+  }
+  if (POSEIDON_UNLIKELY(sim_active())) sim_note_flush(addr, len);
 }
+
+// ---- batched range flushing ------------------------------------------------
+
+// Accumulates the line-aligned ranges of a multi-range metadata write and
+// retires them with coalesced flushes and ONE fence at commit().  Replaces
+// the per-range persist() loops of the cold writers (undo commit/replay,
+// scavenge, seal, cache-log recovery): adjacent and overlapping ranges
+// merge, so k touching records cost one flush loop instead of k fences.
+//
+// Only safe where the caller needs no ordering BETWEEN the added ranges —
+// everything added becomes durable together at commit().  Ordered chains
+// (micro-log entry before count, shadow body before magic) must keep their
+// individual persists.
+class FlushBatch {
+ public:
+  FlushBatch() = default;
+  ~FlushBatch() { commit(); }
+
+  FlushBatch(const FlushBatch&) = delete;
+  FlushBatch& operator=(const FlushBatch&) = delete;
+
+  void add(const void* addr, std::size_t len) noexcept {
+    if (len == 0) return;
+    any_ = true;
+    if (persist_domain() != PersistDomain::kCacheLineFlush &&
+        POSEIDON_LIKELY(!sim_active())) {
+      return;  // flushes elided; commit() still fences once
+    }
+    const std::uintptr_t lo = cache_line_of(addr);
+    const std::uintptr_t hi =
+        (reinterpret_cast<std::uintptr_t>(addr) + len + kCacheLineSize - 1) &
+        ~static_cast<std::uintptr_t>(kCacheLineSize - 1);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Merge touching/overlapping ranges ([lo,hi) exclusive, so adjacency
+      // is lo == ranges_[i].hi).  A bridged pair of older ranges may end
+      // up overlapping each other afterwards — a wasted duplicate flush at
+      // worst, never a missed one.
+      if (lo <= ranges_[i].hi && hi >= ranges_[i].lo) {
+        if (lo < ranges_[i].lo) ranges_[i].lo = lo;
+        if (hi > ranges_[i].hi) ranges_[i].hi = hi;
+        return;
+      }
+    }
+    if (n_ == kMaxRanges) drain();  // flush early; the fence stays deferred
+    ranges_[n_].lo = lo;
+    ranges_[n_].hi = hi;
+    ++n_;
+  }
+
+  // Flush every accumulated range, then fence once.  Idempotent.
+  void commit() noexcept {
+    drain();
+    if (any_) {
+      fence();
+      any_ = false;
+    }
+  }
+
+ private:
+  struct Range {
+    std::uintptr_t lo;
+    std::uintptr_t hi;  // exclusive
+  };
+  static constexpr std::size_t kMaxRanges = 8;
+
+  void drain() noexcept {
+    for (std::size_t i = 0; i < n_; ++i) {
+      flush(reinterpret_cast<const void*>(ranges_[i].lo),
+            ranges_[i].hi - ranges_[i].lo);
+    }
+    n_ = 0;
+  }
+
+  Range ranges_[kMaxRanges];
+  std::size_t n_ = 0;
+  bool any_ = false;
+};
 
 // ---- instrumented store helpers -------------------------------------------
 

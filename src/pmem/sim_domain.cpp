@@ -6,7 +6,6 @@
 
 #include "common/compiler.hpp"
 #include "common/rng.hpp"
-#include "pmem/persist.hpp"
 
 namespace poseidon::pmem {
 
@@ -20,15 +19,24 @@ void sim_note_store(const void* addr, std::size_t len) noexcept {
   if (g_domain != nullptr) g_domain->note_store(addr, len);
 }
 
-void sim_note_persist(const void* addr, std::size_t len) noexcept {
-  if (g_domain != nullptr) g_domain->note_persist(addr, len);
+void sim_note_flush(const void* addr, std::size_t len) noexcept {
+  if (g_domain != nullptr) g_domain->note_flush(addr, len);
+}
+
+void sim_note_fence() noexcept {
+  if (g_domain != nullptr) g_domain->note_fence();
 }
 
 SimDomain::SimDomain(void* base, std::size_t size)
+    : SimDomain(base, size, persist_domain()) {}
+
+SimDomain::SimDomain(void* base, std::size_t size, PersistDomain modeled)
     : base_(static_cast<std::byte*>(base)),
       size_(size),
+      modeled_(modeled),
       shadow_(size),
-      dirty_((size + kCacheLineSize - 1) / kCacheLineSize, false) {
+      dirty_((size + kCacheLineSize - 1) / kCacheLineSize, false),
+      pending_(dirty_.size(), false) {
   if (g_domain != nullptr) {
     throw std::logic_error("SimDomain: another domain is already active");
   }
@@ -57,45 +65,92 @@ std::pair<std::size_t, std::size_t> SimDomain::line_range(
   return {first, end};
 }
 
+void SimDomain::commit_line(std::size_t i) noexcept {
+  std::memcpy(shadow_.data() + i * kCacheLineSize,
+              base_ + i * kCacheLineSize, kCacheLineSize);
+}
+
 void SimDomain::note_store(const void* addr, std::size_t len) noexcept {
   if (!covers(addr) || len == 0) return;
   const auto [first, end] = line_range(addr, len);
-  for (std::size_t i = first; i < end; ++i) dirty_[i] = true;
+  for (std::size_t i = first; i < end; ++i) {
+    dirty_[i] = true;
+    // A store after an unfenced flush re-dirties the line: the in-flight
+    // write-back (if any) carried the older contents, so only a fresh
+    // flush+fence makes the line durable again (line-granularity model).
+    pending_[i] = false;
+  }
 }
 
-void SimDomain::note_persist(const void* addr, std::size_t len) noexcept {
+void SimDomain::note_flush(const void* addr, std::size_t len) noexcept {
   if (!covers(addr) || len == 0) return;
   const auto [first, end] = line_range(addr, len);
   for (std::size_t i = first; i < end; ++i) {
-    if (!dirty_[i]) continue;
-    std::memcpy(shadow_.data() + i * kCacheLineSize,
-                base_ + i * kCacheLineSize, kCacheLineSize);
-    dirty_[i] = false;
+    if (dirty_[i]) pending_[i] = true;
+  }
+  if (pending_lo_ == pending_hi_) {
+    pending_lo_ = first;
+    pending_hi_ = end;
+  } else {
+    if (first < pending_lo_) pending_lo_ = first;
+    if (end > pending_hi_) pending_hi_ = end;
   }
 }
 
-void SimDomain::crash(std::uint64_t seed, double survive_prob) {
-  Xoshiro256 rng(seed);
-  for (std::size_t i = 0; i < dirty_.size(); ++i) {
-    if (!dirty_[i]) continue;
-    if (rng.next_double() < survive_prob) {
-      // Line was evicted before the failure: its contents are durable.
-      std::memcpy(shadow_.data() + i * kCacheLineSize,
-                  base_ + i * kCacheLineSize, kCacheLineSize);
-    }
+void SimDomain::note_fence() noexcept {
+  for (std::size_t i = pending_lo_; i < pending_hi_; ++i) {
+    if (!pending_[i]) continue;
+    commit_line(i);
     dirty_[i] = false;
+    pending_[i] = false;
   }
+  pending_lo_ = pending_hi_ = 0;
+}
+
+void SimDomain::crash(std::uint64_t seed, double survive_prob) {
+  if (modeled_ != PersistDomain::kCacheLineFlush) {
+    // eADR: a globally visible store is inside the persistence domain, so
+    // every dirty line survives.  kNone models the DRAM rig, where the
+    // file-backed mapping survives process death byte-for-byte — same
+    // outcome.
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+      if (!dirty_[i]) continue;
+      commit_line(i);
+      dirty_[i] = false;
+      pending_[i] = false;
+    }
+  } else {
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < dirty_.size(); ++i) {
+      if (!dirty_[i]) continue;
+      // Flushed-but-unfenced (pending) lines coin-flip like any other
+      // dirty line: the write-back was initiated but only a fence
+      // guarantees it completed before the failure.
+      if (rng.next_double() < survive_prob) commit_line(i);
+      dirty_[i] = false;
+      pending_[i] = false;
+    }
+  }
+  pending_lo_ = pending_hi_ = 0;
   std::memcpy(base_, shadow_.data(), size_);
 }
 
 void SimDomain::checkpoint() {
   std::memcpy(shadow_.data(), base_, size_);
   std::fill(dirty_.begin(), dirty_.end(), false);
+  std::fill(pending_.begin(), pending_.end(), false);
+  pending_lo_ = pending_hi_ = 0;
 }
 
 std::size_t SimDomain::dirty_line_count() const noexcept {
   std::size_t n = 0;
   for (const bool d : dirty_) n += d ? 1 : 0;
+  return n;
+}
+
+std::size_t SimDomain::flushed_pending_line_count() const noexcept {
+  std::size_t n = 0;
+  for (const bool p : pending_) n += p ? 1 : 0;
   return n;
 }
 

@@ -1,17 +1,33 @@
 // Crash-consistency simulator.
 //
 // x86 NVMM gives no durability guarantee for a store until the covering
-// cache line has been written back (clwb/clflushopt) and fenced — and,
-// conversely, an *unflushed* line may still reach NVMM at any time via
-// cache eviction.  SimDomain models exactly that:
+// cache line has been written back (clwb/clflushopt) AND a subsequent
+// fence has retired — and, conversely, an *unflushed* line may still reach
+// NVMM at any time via cache eviction.  SimDomain models exactly that:
 //
 //   * a shadow copy of the covered range holds the "persistent image";
 //   * nv_store marks the covering lines dirty (in cache, not yet durable);
-//   * persist commits lines from the real mapping into the shadow;
+//   * flush marks dirty lines flushed-pending: the write-back has been
+//     initiated but only the fence guarantees completion, so a crash in
+//     between treats them like any other dirty line (a coin flip);
+//   * fence commits every pending line from the real mapping into the
+//     shadow (persist = flush + fence commits in one step);
 //   * crash(survive_prob) flips a coin per dirty line — with probability
 //     survive_prob the line is treated as having been evicted (committed),
 //     otherwise its unflushed contents are lost — then restores the real
 //     mapping from the shadow image.
+//
+// The simulator is domain-aware: a SimDomain models the persistence domain
+// active at its construction (or an explicit one, for simulator unit
+// tests).  Under kEadr a store is durable the moment it is globally
+// visible, and under kNone the file-backed mapping survives process death
+// byte-for-byte, so in both cases crash() commits every dirty line instead
+// of coin-flipping — recovery tests exercise the same protocol with the
+// line-loss model each domain actually has.
+//
+// Granularity caveat: loss is modeled per line, not per store.  A line
+// re-stored after an unfenced flush simply returns to plain-dirty (the
+// in-flight write-back of its older contents is not replayed).
 //
 // Tests register a domain over a heap's metadata region, run operations
 // that abort at an injected crash point, call crash(), re-open the heap and
@@ -22,13 +38,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "pmem/persist.hpp"
+
 namespace poseidon::pmem {
 
 class SimDomain {
  public:
   // Registers the domain globally (at most one may be active per process)
   // and snapshots [base, base+size) as the initial persistent image.
+  // Models the process-global persist_domain() active at construction.
   SimDomain(void* base, std::size_t size);
+  // As above with an explicit modeled domain (simulator unit tests pin
+  // kCacheLineFlush so their loss assertions hold in every process mode).
+  SimDomain(void* base, std::size_t size, PersistDomain modeled);
   ~SimDomain();
 
   SimDomain(const SimDomain&) = delete;
@@ -37,29 +59,41 @@ class SimDomain {
   // Simulate a power failure: decide the fate of each dirty line, then
   // overwrite the real mapping with the resulting persistent image.
   // survive_prob = 1.0 keeps every unflushed line (pure store-visibility
-  // crash); 0.0 drops them all (worst case).
+  // crash); 0.0 drops them all (worst case).  Under a modeled kEadr/kNone
+  // domain every dirty line survives regardless of survive_prob.
   void crash(std::uint64_t seed, double survive_prob);
 
   // Mark all lines clean without restoring (used after verified commits).
   void checkpoint();
 
   std::size_t dirty_line_count() const noexcept;
+  // Lines flushed (write-back initiated) but not yet fenced.
+  std::size_t flushed_pending_line_count() const noexcept;
   std::size_t size() const noexcept { return size_; }
+  PersistDomain modeled_domain() const noexcept { return modeled_; }
 
   // Internal: called from the persist.hpp hooks.
   void note_store(const void* addr, std::size_t len) noexcept;
-  void note_persist(const void* addr, std::size_t len) noexcept;
+  void note_flush(const void* addr, std::size_t len) noexcept;
+  void note_fence() noexcept;
 
  private:
   bool covers(const void* addr) const noexcept;
   // First/last line index covering [addr, addr+len).
   std::pair<std::size_t, std::size_t> line_range(const void* addr,
                                                  std::size_t len) const noexcept;
+  void commit_line(std::size_t i) noexcept;
 
   std::byte* base_;
   std::size_t size_;
+  PersistDomain modeled_;
   std::vector<std::byte> shadow_;
-  std::vector<bool> dirty_;  // one flag per cache line
+  std::vector<bool> dirty_;    // one flag per cache line
+  std::vector<bool> pending_;  // flushed but not yet fenced
+  // Window of line indices that may be pending, so note_fence scans a few
+  // lines instead of the whole (potentially multi-MB) region.
+  std::size_t pending_lo_ = 0;
+  std::size_t pending_hi_ = 0;  // exclusive; lo == hi means none
 };
 
 }  // namespace poseidon::pmem

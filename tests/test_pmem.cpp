@@ -2,7 +2,9 @@
 // punching, the persistence simulator, and crash-point injection.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/compiler.hpp"
 #include "pmem/crashpoint.hpp"
@@ -107,7 +109,9 @@ TEST(Persist, FlushPrimitivesDoNotCrash) {
 TEST(SimDomain, StoreWithoutPersistIsLostOnCrash) {
   alignas(4096) static char region[8192];
   std::memset(region, 0, sizeof(region));
-  SimDomain sim(region, sizeof(region));
+  // Loss-model tests pin kCacheLineFlush: under a modeled eADR/none domain
+  // every dirty line survives and there would be nothing to assert.
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
   nv_store(*reinterpret_cast<std::uint64_t*>(region), std::uint64_t{42});
   EXPECT_EQ(sim.dirty_line_count(), 1u);
   sim.crash(/*seed=*/1, /*survive_prob=*/0.0);
@@ -138,7 +142,7 @@ TEST(SimDomain, SurviveProbOneKeepsUnflushedLines) {
 TEST(SimDomain, PartialSurvivalIsPerLine) {
   alignas(4096) static char region[4096];
   std::memset(region, 0, sizeof(region));
-  SimDomain sim(region, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
   for (int line = 0; line < 32; ++line) {
     nv_store(*reinterpret_cast<std::uint64_t*>(region + line * 64),
              std::uint64_t{1});
@@ -184,6 +188,215 @@ TEST(SimDomain, InactiveAfterDestruction) {
     EXPECT_TRUE(sim_active());
   }
   EXPECT_FALSE(sim_active());
+}
+
+// Regression (the flush/fence fidelity bug): a clwb only *initiates* the
+// write-back; durability needs the fence.  The old simulator committed the
+// line at flush time, so protocols missing a fence looked crash-safe.
+TEST(SimDomain, FlushedButUnfencedLineCanBeLost) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{42});
+  flush(&word, sizeof(word));  // no fence
+  EXPECT_EQ(sim.dirty_line_count(), 1u);
+  EXPECT_EQ(sim.flushed_pending_line_count(), 1u);
+  sim.crash(/*seed=*/1, /*survive_prob=*/0.0);
+  EXPECT_EQ(word, 0u) << "flushed-but-unfenced line must be losable";
+}
+
+TEST(SimDomain, FenceCommitsFlushedLines) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{42});
+  flush(&word, sizeof(word));
+  fence();
+  EXPECT_EQ(sim.dirty_line_count(), 0u);
+  EXPECT_EQ(sim.flushed_pending_line_count(), 0u);
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 42u);
+}
+
+// Regression (the len == 0 satellite): an empty persist used to execute a
+// bare sfence, silently committing unrelated flushed-pending lines.
+TEST(SimDomain, EmptyPersistDoesNotFence) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{7});
+  flush(&word, sizeof(word));
+  persist(region + 512, 0);  // empty: must NOT act as a fence
+  EXPECT_EQ(sim.flushed_pending_line_count(), 1u);
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 0u);
+}
+
+TEST(SimDomain, StoreAfterFlushInvalidatesPending) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{1});
+  flush(&word, sizeof(word));
+  nv_store(word, std::uint64_t{2});  // re-dirty before the fence
+  EXPECT_EQ(sim.flushed_pending_line_count(), 0u);
+  fence();  // nothing pending: commits nothing
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 0u) << "in-flight write-back of stale contents is not replayed";
+}
+
+TEST(SimDomain, EadrModelKeepsAllStores) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kEadr);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{11});  // no flush, no fence
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 11u) << "eADR: globally visible means durable";
+}
+
+TEST(SimDomain, NoneModelKeepsAllStores) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kNone);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  nv_store(word, std::uint64_t{13});
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 13u) << "no durability boundary: the mapping survives";
+}
+
+TEST(PersistDomainApi, ParseRoundTrip) {
+  PersistDomain d;
+  EXPECT_TRUE(parse_persist_domain("cacheline", &d));
+  EXPECT_EQ(d, PersistDomain::kCacheLineFlush);
+  EXPECT_TRUE(parse_persist_domain("clwb", &d));
+  EXPECT_EQ(d, PersistDomain::kCacheLineFlush);
+  EXPECT_TRUE(parse_persist_domain("eadr", &d));
+  EXPECT_EQ(d, PersistDomain::kEadr);
+  EXPECT_TRUE(parse_persist_domain("none", &d));
+  EXPECT_EQ(d, PersistDomain::kNone);
+  EXPECT_FALSE(parse_persist_domain("garbage", &d));
+  EXPECT_FALSE(parse_persist_domain(nullptr, &d));
+  for (const PersistDomain x :
+       {PersistDomain::kCacheLineFlush, PersistDomain::kEadr,
+        PersistDomain::kNone}) {
+    ASSERT_TRUE(parse_persist_domain(persist_domain_name(x), &d));
+    EXPECT_EQ(d, x);
+  }
+}
+
+TEST(PersistDomainApi, ScopedOverrideRestores) {
+  const PersistDomain before = persist_domain();
+  {
+    ScopedPersistDomain scope(PersistDomain::kEadr);
+    EXPECT_EQ(persist_domain(), PersistDomain::kEadr);
+    {
+      ScopedPersistDomain inner(PersistDomain::kNone);
+      EXPECT_EQ(persist_domain(), PersistDomain::kNone);
+    }
+    EXPECT_EQ(persist_domain(), PersistDomain::kEadr);
+  }
+  EXPECT_EQ(persist_domain(), before);
+}
+
+TEST(PersistDomainApi, BarriersExecuteInEveryDomain) {
+  alignas(kCacheLineSize) char buf[256];
+  std::memset(buf, 1, sizeof(buf));
+  for (const PersistDomain d :
+       {PersistDomain::kCacheLineFlush, PersistDomain::kEadr,
+        PersistDomain::kNone}) {
+    ScopedPersistDomain scope(d);
+    persist(buf, sizeof(buf));
+    flush(buf, 64);
+    fence();
+    persist(buf, 0);
+    FlushBatch batch;
+    batch.add(buf, 64);
+    batch.add(buf + 128, 64);
+    batch.commit();
+  }
+}
+
+TEST(PersistDomainApi, EnvOverrideWinsOverExplicitMode) {
+  const PersistDomain before = persist_domain();
+  const char* prior = std::getenv("POSEIDON_PERSIST_DOMAIN");
+  const std::string saved = prior != nullptr ? prior : "";
+  ::setenv("POSEIDON_PERSIST_DOMAIN", "none", 1);
+  EXPECT_EQ(apply_persist_domain(PersistDomainMode::kEadr),
+            PersistDomain::kNone);
+  EXPECT_EQ(persist_domain(), PersistDomain::kNone);
+  ::unsetenv("POSEIDON_PERSIST_DOMAIN");
+  EXPECT_EQ(apply_persist_domain(PersistDomainMode::kEadr),
+            PersistDomain::kEadr);
+  // An unparseable override falls through to the explicit mode.
+  ::setenv("POSEIDON_PERSIST_DOMAIN", "bogus", 1);
+  EXPECT_EQ(apply_persist_domain(PersistDomainMode::kCacheLineFlush),
+            PersistDomain::kCacheLineFlush);
+  if (prior != nullptr) {
+    ::setenv("POSEIDON_PERSIST_DOMAIN", saved.c_str(), 1);
+  } else {
+    ::unsetenv("POSEIDON_PERSIST_DOMAIN");
+  }
+  set_persist_domain(before);
+}
+
+TEST(FlushBatch, CoalescesAndFencesOnce) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  FlushBatch batch;
+  for (int line = 0; line < 4; ++line) {
+    auto& w = *reinterpret_cast<std::uint64_t*>(region + line * 64);
+    nv_store(w, std::uint64_t{1});
+    batch.add(&w, sizeof(w));
+  }
+  // Nothing fenced yet: every line is dirty, flushes pending at most.
+  EXPECT_EQ(sim.dirty_line_count(), 4u);
+  batch.commit();
+  EXPECT_EQ(sim.dirty_line_count(), 0u);
+  EXPECT_EQ(sim.flushed_pending_line_count(), 0u);
+  sim.crash(1, 0.0);
+  for (int line = 0; line < 4; ++line) {
+    EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(region + line * 64), 1u);
+  }
+}
+
+TEST(FlushBatch, SpillsWhenFullWithoutLosingRanges) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  FlushBatch batch;
+  // 16 disjoint (every-other) lines exceed the range capacity; early
+  // drains must flush, not drop, the spilled ranges.
+  for (int line = 0; line < 32; line += 2) {
+    auto& w = *reinterpret_cast<std::uint64_t*>(region + line * 64);
+    nv_store(w, std::uint64_t{1});
+    batch.add(&w, sizeof(w));
+  }
+  batch.commit();
+  sim.crash(1, 0.0);
+  for (int line = 0; line < 32; line += 2) {
+    EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(region + line * 64), 1u)
+        << "line " << line;
+  }
+}
+
+TEST(FlushBatch, DestructorCommits) {
+  alignas(4096) static char region[4096];
+  std::memset(region, 0, sizeof(region));
+  SimDomain sim(region, sizeof(region), PersistDomain::kCacheLineFlush);
+  auto& word = *reinterpret_cast<std::uint64_t*>(region);
+  {
+    FlushBatch batch;
+    nv_store(word, std::uint64_t{5});
+    batch.add(&word, sizeof(word));
+  }
+  sim.crash(1, 0.0);
+  EXPECT_EQ(word, 5u);
 }
 
 TEST(CrashPoint, DisarmedIsFree) {

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -278,6 +279,108 @@ TEST_P(ShardForkCrashSweep, TwoShardHeapRecoversAfterKill) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ShardForkCrashSweep,
                          ::testing::Values(1, 3, 6, 10, 15, 21, 28));
+
+// Matrix: the identical crash/recover cycle in all three persistence
+// domains.  At survive_prob = 1.0 every domain keeps every dirty line, so
+// the recovered heaps must agree exactly; at 0.0 the cacheline domain
+// loses its unflushed lines while eADR/none (whose SimDomain commits all
+// dirty lines at crash) lose nothing — each must still recover to a
+// consistent, serving heap.
+class DomainMatrix : public ::testing::TestWithParam<double> {};
+
+TEST_P(DomainMatrix, RecoversConsistentlyInEveryDomain) {
+  const double survive_prob = GetParam();
+  // The env override would beat the per-iteration explicit modes (that is
+  // its job); clear it for the matrix and restore afterwards.
+  const char* prior_env = std::getenv("POSEIDON_PERSIST_DOMAIN");
+  const std::string saved_env = prior_env != nullptr ? prior_env : "";
+  ::unsetenv("POSEIDON_PERSIST_DOMAIN");
+  const pmem::PersistDomain prior_domain = pmem::persist_domain();
+
+  struct DomainCase {
+    pmem::PersistDomainMode mode;
+    pmem::PersistDomain domain;
+  };
+  const DomainCase cases[] = {
+      {pmem::PersistDomainMode::kCacheLineFlush,
+       pmem::PersistDomain::kCacheLineFlush},
+      {pmem::PersistDomainMode::kEadr, pmem::PersistDomain::kEadr},
+      {pmem::PersistDomainMode::kNone, pmem::PersistDomain::kNone},
+  };
+
+  struct Outcome {
+    std::uint64_t live = 0;
+    std::uint64_t free_blocks = 0;
+    std::uint64_t bytes = 0;
+    NvPtr root;
+  };
+  std::vector<Outcome> outcomes;
+
+  for (const DomainCase& dc : cases) {
+    TempHeapPath path("domain_matrix");
+    Options o = small_opts(2);
+    o.policy = SubheapPolicy::kPerThread;
+    o.persist_domain = dc.mode;
+
+    std::uint64_t live_committed = 0;
+    {
+      auto h = Heap::create(path.str(), 2 << 20, o);
+      EXPECT_EQ(pmem::persist_domain(), dc.domain);
+      std::vector<NvPtr> keep;
+      for (int i = 0; i < 40; ++i) keep.push_back(h->alloc(128));
+      for (int i = 0; i < 40; i += 2) h->free(keep[i]);
+      live_committed = h->stats().live_blocks;
+    }
+    {
+      auto h = Heap::open(path.str(), o);
+      auto [meta, len] = h->metadata_region();
+      pmem::SimDomain sim(meta, len);  // models the active domain
+      EXPECT_EQ(sim.modeled_domain(), dc.domain);
+      sim.checkpoint();
+      pmem::crash_arm("", 10, pmem::CrashAction::kThrow);
+      try {
+        churn(*h);
+      } catch (const pmem::CrashException&) {
+      }
+      pmem::crash_disarm();
+      sim.crash(0xD0AA117 + static_cast<std::uint64_t>(survive_prob * 97),
+                survive_prob);
+    }
+    auto h = Heap::open(path.str(), o);
+    std::string why;
+    EXPECT_TRUE(h->check_invariants(&why))
+        << pmem::persist_domain_name(dc.domain) << ": " << why;
+    const HeapStats st = h->stats();
+    EXPECT_EQ(st.persist_domain, static_cast<std::uint8_t>(dc.domain));
+    NvPtr p = h->alloc(512);
+    EXPECT_FALSE(p.is_null());
+    EXPECT_EQ(h->free(p), FreeResult::kOk);
+    EXPECT_GE(st.live_blocks, live_committed > 0 ? 1u : 0u);
+    outcomes.push_back(
+        {st.live_blocks, st.free_blocks, st.allocated_bytes, h->root()});
+  }
+
+  if (survive_prob == 1.0) {
+    // All-survive is the same crash in every domain: the same deterministic
+    // operations must recover to the same heap.
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes[i].live, outcomes[0].live) << "case " << i;
+      EXPECT_EQ(outcomes[i].free_blocks, outcomes[0].free_blocks)
+          << "case " << i;
+      EXPECT_EQ(outcomes[i].bytes, outcomes[0].bytes) << "case " << i;
+      EXPECT_EQ(outcomes[i].root, outcomes[0].root) << "case " << i;
+    }
+  }
+
+  if (prior_env != nullptr) {
+    ::setenv("POSEIDON_PERSIST_DOMAIN", saved_env.c_str(), 1);
+  } else {
+    ::unsetenv("POSEIDON_PERSIST_DOMAIN");
+  }
+  pmem::set_persist_domain(prior_domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DomainMatrix, ::testing::Values(0.0, 1.0));
 
 TEST(Recovery, RootUpdateIsFailureAtomic) {
   TempHeapPath path("root_atomic");

@@ -130,14 +130,17 @@ TEST_F(ArenaFixture, DisabledLoggerDoesNothing) {
 
 TEST_F(ArenaFixture, SimulatedCrashMidOperation) {
   // With the simulator active, even *unflushed* undo entries must never
-  // lead to wrong recovery: the protocol persists each entry before the
-  // first mutation of its range.
+  // lead to wrong recovery: the protocol fences each saved entry (seal)
+  // before the first mutation of its range.  Pinned to kCacheLineFlush so
+  // the loss model holds whatever domain the process runs under.
   arena->words[0] = 100;
-  pmem::SimDomain sim(arena, sizeof(Arena));
+  pmem::SimDomain sim(arena, sizeof(Arena),
+                      pmem::PersistDomain::kCacheLineFlush);
   sim.checkpoint();
   {
     auto undo = logger();
     undo.save_obj(arena->words[0]);
+    undo.seal();  // the entry's flush is only durable after this fence
     arena->words[0] = 200;  // plain store: dirty, not persisted
   }
   sim.crash(7, /*survive_prob=*/0.0);  // drop all unflushed lines
@@ -148,7 +151,8 @@ TEST_F(ArenaFixture, SimulatedCrashMidOperation) {
 
 TEST_F(ArenaFixture, SimulatedCrashAfterPersistedMutation) {
   arena->words[0] = 100;
-  pmem::SimDomain sim(arena, sizeof(Arena));
+  pmem::SimDomain sim(arena, sizeof(Arena),
+                      pmem::PersistDomain::kCacheLineFlush);
   sim.checkpoint();
   {
     auto undo = logger();
@@ -196,7 +200,8 @@ TEST(MicroLog, EntryDurableBeforeCount) {
   // (entry is persisted before the count).
   alignas(4096) static MicroLog log;
   std::memset(&log, 0, sizeof(log));
-  pmem::SimDomain sim(&log, sizeof(log));
+  pmem::SimDomain sim(&log, sizeof(log),
+                      pmem::PersistDomain::kCacheLineFlush);
   micro_append(log, NvPtr::make(9, 1, 128));
   sim.crash(3, 0.0);
   if (log.count == 1) {
