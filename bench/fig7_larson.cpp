@@ -3,6 +3,13 @@
 // (paper §7.3).  Expected shape: Poseidon leads by up to ~4x; PMDK's
 // action log and Makalu's reclaim list throttle both baselines as thread
 // counts rise.
+//
+// `--svc` runs only the multi-process comparison: the in-process
+// thread-cached series against the allocation service (forked server, all
+// traffic through the shm command rings; see EXPERIMENTS.md for the
+// crossover discussion).
+#include <cstring>
+
 #include "bench/bench_common.hpp"
 #include "workloads/larson.hpp"
 
@@ -14,13 +21,14 @@ namespace {
 
 double run_larson_once(iface::AllocatorKind kind, unsigned t,
                        bool thread_cache, unsigned nshards = 1,
-                       int persist_domain = -1) {
+                       int persist_domain = -1, bool svc = false) {
   iface::AllocatorConfig cfg;
   cfg.capacity = 256ull << 20;
   cfg.nlanes = t;
   cfg.nshards = nshards;
   cfg.thread_cache = thread_cache;
   cfg.persist_domain = persist_domain;
+  cfg.svc = svc;
   auto alloc = iface::make_allocator(kind, cfg);
   LarsonConfig lc;
   lc.nthreads = t;
@@ -28,10 +36,33 @@ double run_larson_once(iface::AllocatorKind kind, unsigned t,
   return run_larson(*alloc, lc).ops_per_sec();
 }
 
+// The `poseidon+svc` series: one ring round-trip per magazine refill /
+// free-batch instead of one lock acquisition per op — the client-side L1
+// amortizes the IPC, the server-side L2 batches the undo commits.
+void run_svc_sweep() {
+  for (const unsigned t : default_thread_sweep()) {
+    print_point("fig7/larson", "poseidon+svc", t,
+                run_larson_once(iface::AllocatorKind::kPoseidon, t, true,
+                                /*nshards=*/1, /*persist_domain=*/-1,
+                                /*svc=*/true));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool svc_only = argc > 1 && std::strcmp(argv[1], "--svc") == 0;
   print_header("fig7-larson", "ops/s, cross-thread alloc/free");
+  if (svc_only) {
+    // Focused multi-process run: service vs the in-process configuration
+    // it must stay within 2x of at 8+ threads (EXPERIMENTS.md).
+    for (const unsigned t : default_thread_sweep()) {
+      print_point("fig7/larson", "poseidon+tc", t,
+                  run_larson_once(iface::AllocatorKind::kPoseidon, t, true));
+    }
+    run_svc_sweep();
+    return 0;
+  }
   // Thread-cache ablation series first; the plain runs below bypass it.
   for (const unsigned t : default_thread_sweep()) {
     print_point("fig7/larson", "poseidon+tc", t,
@@ -53,6 +84,9 @@ int main() {
                 run_larson_once(iface::AllocatorKind::kPoseidon, t, false,
                                 /*nshards=*/2));
   }
+  // Multi-process deployment shape: same workload, every operation through
+  // the allocation service's shm rings.
+  run_svc_sweep();
   for (const auto kind : all_allocators()) {
     for (const unsigned t : default_thread_sweep()) {
       print_point("fig7/larson", iface::kind_name(kind), t,

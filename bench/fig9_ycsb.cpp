@@ -39,5 +39,22 @@ int main() {
       print_point("fig9/workload-b", iface::kind_name(kind), t, rb.a_mops);
     }
   }
+  // Multi-process deployment shape: the tree's nodes and values allocated
+  // through the allocation service (forked server, shm command rings),
+  // reads and tree traversal staying local through the data windows.
+  for (const unsigned t : default_thread_sweep()) {
+    iface::AllocatorConfig cfg;
+    cfg.capacity = nkeys * 512 + (128ull << 20);
+    cfg.nlanes = t;
+    cfg.svc = true;
+    auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+    YcsbConfig yc;
+    yc.nkeys = nkeys;
+    yc.nthreads = t;
+    yc.seconds = bench_seconds();
+    const YcsbResult r = run_ycsb(*alloc, yc);
+    print_point("fig9/load", "poseidon+svc", t, r.load_mops);
+    print_point("fig9/workload-a", "poseidon+svc", t, r.a_mops);
+  }
   return 0;
 }

@@ -20,10 +20,19 @@
 // per-shard occupancy and quarantine state instead (add --json for a
 // machine-readable dump), then exits 0 when every shard is in service.
 //
+// With --svc it inspects the allocation-service segment beside the heap
+// instead (attached read-only, safe beside the live server): server state
+// and heartbeat age, per-shard submission-ring depth and doorbells, and
+// the session table with client pids, progress counters and completion
+// backlogs.  Exit 0 while the server is serving, 1 otherwise.
+//
 //   $ ./heap_inspect /dev/shm/persistent_kv.heap
 //   $ ./heap_inspect --json /dev/shm/persistent_kv.heap   # obs JSON only
 //   $ ./heap_inspect --fsck /dev/shm/persistent_kv.heap   # check AND repair
 //   $ ./heap_inspect --topology [--json] /dev/shm/persistent_kv.heap
+//   $ ./heap_inspect --svc [--json] /dev/shm/persistent_kv.heap
+#include <signal.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +41,8 @@
 #include "core/heap.hpp"
 #include "obs/exporter.hpp"
 #include "pmem/pool.hpp"
+#include "pmem/shm.hpp"
+#include "svc/ring.hpp"
 
 using namespace poseidon;
 using core::Heap;
@@ -48,12 +59,149 @@ void print_size(const char* label, std::uint64_t bytes) {
   }
 }
 
+const char* sess_state_name(std::uint32_t s) {
+  switch (s) {
+    case svc::kSessFree: return "free";
+    case svc::kSessClaiming: return "claiming";
+    case svc::kSessActive: return "active";
+    case svc::kSessClosed: return "closed";
+    case svc::kSessZombie: return "zombie";
+    default: return "?";
+  }
+}
+
+// Allocation-service segment inspection: read-only attach, no locks, no
+// doorbells rung — every number is a relaxed load the live server and its
+// clients also publish for exactly this purpose.
+int inspect_svc(const char* heap_path, bool json) {
+  const std::string seg_path = svc::svc_path(heap_path);
+  pmem::ShmSegment seg;
+  try {
+    seg = pmem::ShmSegment::attach(seg_path, /*read_only=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", seg_path.c_str(), e.what());
+    return 1;
+  }
+  std::byte* base = seg.data();
+  const svc::SvcHeader* h = svc::header_of(base);
+  if (h->magic != svc::kSvcMagic || h->version != svc::kSvcVersion) {
+    std::fprintf(stderr, "%s: not an allocation-service segment\n",
+                 seg_path.c_str());
+    return 1;
+  }
+  const auto state =
+      static_cast<svc::SvcState>(h->state.load(std::memory_order_acquire));
+  const std::uint64_t now = svc::monotonic_ns();
+  const std::uint64_t hb = h->heartbeat_ns.load(std::memory_order_relaxed);
+  const std::uint64_t hb_age_ms = now > hb ? (now - hb) / 1000000 : 0;
+  // kill(pid, 0) probes liveness without signalling — the same check
+  // clients use before declaring the server unavailable.
+  const bool pid_alive =
+      h->server_pid != 0 &&
+      ::kill(static_cast<pid_t>(h->server_pid), 0) == 0;
+
+  if (json) {
+    std::printf("{\"segment\":\"%s\",\"state\":\"%s\",\"server_pid\":%" PRIu64
+                ",\"server_alive\":%s,\"heartbeat_age_ms\":%" PRIu64
+                ",\"epoch\":%" PRIu64 ",\"nshards\":%u,\"shards\":[",
+                seg_path.c_str(), svc::state_name(state), h->server_pid,
+                pid_alive ? "true" : "false", hb_age_ms,
+                h->epoch.load(std::memory_order_relaxed), h->nshards);
+  } else {
+    std::printf("== allocation service: %s\n", seg_path.c_str());
+    std::printf("%-28s %s\n", "state", svc::state_name(state));
+    std::printf("%-28s %" PRIu64 " (%s)\n", "server pid", h->server_pid,
+                pid_alive ? "alive" : "GONE");
+    std::printf("%-28s %" PRIu64 " ms\n", "heartbeat age", hb_age_ms);
+    std::printf("%-28s %" PRIu64 "\n", "epoch",
+                h->epoch.load(std::memory_order_relaxed));
+    std::printf("\n== submission rings (%u shard%s, %u slots each)\n",
+                h->nshards, h->nshards == 1 ? "" : "s", h->sub_ring_slots);
+  }
+  const svc::ShardEntry* entries = svc::shard_entries_of(base);
+  for (unsigned s = 0; s < h->nshards; ++s) {
+    const svc::SubRingHdr* ring = svc::sub_ring_of(base, s);
+    const std::uint64_t enq = ring->enq_hint.load(std::memory_order_relaxed);
+    const std::uint64_t deq = ring->deq_pos.load(std::memory_order_relaxed);
+    const std::uint64_t depth = svc::sub_depth(ring);
+    const double occ = 100.0 * static_cast<double>(depth) /
+                       static_cast<double>(h->sub_ring_slots);
+    if (json) {
+      std::printf("%s{\"shard\":%u,\"heap_id\":%" PRIu64 ",\"depth\":%" PRIu64
+                  ",\"occupancy_pct\":%.1f,\"enq\":%" PRIu64 ",\"deq\":%"
+                  PRIu64 ",\"consumer_sleeping\":%u}",
+                  s == 0 ? "" : ",", s, entries[s].heap_id, depth, occ, enq,
+                  deq,
+                  ring->consumer_sleeping.load(std::memory_order_relaxed));
+    } else {
+      std::printf("shard %-3u id=%016" PRIx64 " depth=%-4" PRIu64
+                  " (%.1f%%) enq=%-8" PRIu64 " deq=%-8" PRIu64 " %s\n",
+                  s, entries[s].heap_id, depth, occ, enq, deq,
+                  ring->consumer_sleeping.load(std::memory_order_relaxed)
+                      ? "consumer-sleeping"
+                      : "consumer-spinning");
+    }
+  }
+  if (json) {
+    std::printf("],\"sessions\":[");
+  } else {
+    std::printf("\n== sessions (%u slots)\n", h->nsessions);
+  }
+  const svc::SessionSlot* sessions = svc::sessions_of(base);
+  unsigned active = 0;
+  bool first = true;
+  for (unsigned i = 0; i < h->nsessions; ++i) {
+    const svc::SessionSlot& ss = sessions[i];
+    const std::uint32_t st = ss.state.load(std::memory_order_acquire);
+    if (st == svc::kSessFree) continue;
+    if (st == svc::kSessActive) ++active;
+    const std::uint64_t cpl_backlog = svc::cpl_depth(&ss);
+    const std::uint64_t shb = ss.heartbeat.load(std::memory_order_relaxed);
+    const std::uint64_t shb_age_ms = now > shb ? (now - shb) / 1000000 : 0;
+    const bool client_alive =
+        ss.pid != 0 && ::kill(static_cast<pid_t>(ss.pid), 0) == 0;
+    if (json) {
+      std::printf("%s{\"session\":%u,\"state\":\"%s\",\"gen\":%u,\"pid\":%"
+                  PRIu64 ",\"pid_alive\":%s,\"shard\":%u,\"ops\":%" PRIu64
+                  ",\"phase\":%" PRIu64 ",\"cpl_backlog\":%" PRIu64
+                  ",\"heartbeat_age_ms\":%" PRIu64 "}",
+                  first ? "" : ",", i, sess_state_name(st), ss.gen, ss.pid,
+                  client_alive ? "true" : "false", ss.preferred_shard,
+                  ss.ops.load(std::memory_order_relaxed),
+                  ss.phase.load(std::memory_order_relaxed), cpl_backlog,
+                  shb_age_ms);
+    } else {
+      std::printf("session %-3u %-9s gen=%-4u pid=%-7" PRIu64
+                  "%-6s shard=%-3u ops=%-8" PRIu64 " phase=%-3" PRIu64
+                  " cpl-backlog=%-3" PRIu64 " hb-age=%" PRIu64 "ms\n",
+                  i, sess_state_name(st), ss.gen, ss.pid,
+                  client_alive ? "" : " (gone)", ss.preferred_shard,
+                  ss.ops.load(std::memory_order_relaxed),
+                  ss.phase.load(std::memory_order_relaxed), cpl_backlog,
+                  shb_age_ms);
+    }
+    first = false;
+  }
+  const bool healthy = state == svc::SvcState::kServing && pid_alive;
+  if (json) {
+    std::printf("],\"sessions_active\":%u,\"healthy\":%s}\n", active,
+                healthy ? "true" : "false");
+  } else {
+    std::printf("\n%u active session(s); service %s\n", active,
+                healthy ? "healthy"
+                        : state == svc::SvcState::kDraining ? "DRAINING"
+                                                            : "DOWN");
+  }
+  return healthy ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json_only = false;
   bool run_fsck = false;
   bool topology = false;
+  bool svc_mode = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -62,6 +210,8 @@ int main(int argc, char** argv) {
       run_fsck = true;
     } else if (std::strcmp(argv[i], "--topology") == 0) {
       topology = true;
+    } else if (std::strcmp(argv[i], "--svc") == 0) {
+      svc_mode = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -71,10 +221,12 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: %s [--json] [--fsck] [--topology] <heap-file>\n",
+                 "usage: %s [--json] [--fsck] [--topology] [--svc] "
+                 "<heap-file>\n",
                  argv[0]);
     return 2;
   }
+  if (svc_mode) return inspect_svc(path, json_only);
   if (!pmem::Pool::exists(path)) {
     std::fprintf(stderr, "%s: no such file\n", path);
     return 1;

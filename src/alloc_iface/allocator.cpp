@@ -1,12 +1,21 @@
 #include "alloc_iface/allocator.hpp"
 
-#include <atomic>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <atomic>
+#include <mutex>
 
 #include "baselines/makalu_like/makalu_heap.hpp"
 #include "baselines/pmdk_like/pmdk_heap.hpp"
+#include "common/error.hpp"
+#include "common/topology.hpp"
 #include "core/heap.hpp"
 #include "pmem/pool.hpp"
+#include "pmem/shm.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
 
 namespace poseidon::iface {
 
@@ -20,29 +29,41 @@ std::string default_path(const char* tag) {
          ".heap";
 }
 
+core::Options options_from(const AllocatorConfig& cfg) {
+  core::Options opts;
+  opts.nsubheaps = cfg.nlanes;
+  opts.nshards = cfg.nshards;
+  // Benchmark boxes are often single-node: route threads round-robin over
+  // the shards so a multi-shard series measures routing, not topology.
+  if (cfg.nshards > 1) opts.shard_policy = core::ShardPolicy::kPerThread;
+  // PerThread spreads N benchmark threads over N sub-heaps even on boxes
+  // with fewer CPUs than threads (see DESIGN.md); on a real manycore the
+  // two policies coincide.
+  opts.policy = core::SubheapPolicy::kPerThread;
+  opts.thread_cache = cfg.thread_cache;
+  opts.flight = cfg.flight == 0   ? obs::FlightMode::kOff
+                : cfg.flight == 2 ? obs::FlightMode::kPersistent
+                                  : obs::FlightMode::kVolatile;
+  opts.persist_domain =
+      cfg.persist_domain == 0 ? pmem::PersistDomainMode::kCacheLineFlush
+      : cfg.persist_domain == 1 ? pmem::PersistDomainMode::kEadr
+      : cfg.persist_domain == 2 ? pmem::PersistDomainMode::kNone
+                                : pmem::PersistDomainMode::kDetect;
+  return opts;
+}
+
+void unlink_heap_files(const std::string& path, unsigned nshards) {
+  pmem::Pool::unlink(path);
+  for (unsigned i = 1; i < nshards; ++i) {
+    pmem::Pool::unlink(path + ".shard" + std::to_string(i));
+  }
+  pmem::ShmSegment::unlink(svc::svc_path(path));
+}
+
 class PoseidonAdapter final : public PAllocator {
  public:
   PoseidonAdapter(const std::string& path, const AllocatorConfig& cfg) {
-    core::Options opts;
-    opts.nsubheaps = cfg.nlanes;
-    opts.nshards = cfg.nshards;
-    // Benchmark boxes are often single-node: route threads round-robin over
-    // the shards so a multi-shard series measures routing, not topology.
-    if (cfg.nshards > 1) opts.shard_policy = core::ShardPolicy::kPerThread;
-    // PerThread spreads N benchmark threads over N sub-heaps even on boxes
-    // with fewer CPUs than threads (see DESIGN.md); on a real manycore the
-    // two policies coincide.
-    opts.policy = core::SubheapPolicy::kPerThread;
-    opts.thread_cache = cfg.thread_cache;
-    opts.flight = cfg.flight == 0   ? obs::FlightMode::kOff
-                  : cfg.flight == 2 ? obs::FlightMode::kPersistent
-                                    : obs::FlightMode::kVolatile;
-    opts.persist_domain =
-        cfg.persist_domain == 0 ? pmem::PersistDomainMode::kCacheLineFlush
-        : cfg.persist_domain == 1 ? pmem::PersistDomainMode::kEadr
-        : cfg.persist_domain == 2 ? pmem::PersistDomainMode::kNone
-                                  : pmem::PersistDomainMode::kDetect;
-    heap_ = core::Heap::create(path, cfg.capacity, opts);
+    heap_ = core::Heap::create(path, cfg.capacity, options_from(cfg));
     path_ = path;
   }
   ~PoseidonAdapter() override {
@@ -116,6 +137,190 @@ class MakaluAdapter final : public PAllocator {
   std::string path_;
 };
 
+// ---- service mode (src/svc) ------------------------------------------------
+
+// SIGTERM latch for the forked server child.
+volatile sig_atomic_t g_svc_term = 0;
+void svc_term_handler(int) { g_svc_term = 1; }
+
+// Forked server child body: owns the heap, serves until SIGTERM, never
+// returns.  Runs before the parent spawns bench threads, so the child is
+// a clean single-threaded fork.
+[[noreturn]] void run_server_child(const std::string& path,
+                                   const AllocatorConfig& cfg) {
+  struct sigaction sa {};
+  sa.sa_handler = svc_term_handler;
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  try {
+    svc::ServerOptions so;
+    so.heap_opts = options_from(cfg);
+    so.create_capacity = cfg.capacity;
+    auto server = svc::SvcServer::start(path, so);
+    while (g_svc_term == 0) {
+      ::usleep(10'000);
+    }
+    server->stop();
+  } catch (...) {
+    ::_exit(2);
+  }
+  ::_exit(0);
+}
+
+// Multi-process transport: every bench thread gets its own session (the
+// client-side L1 magazines live per session), while one control session
+// owns the data windows so raw pointers mean the same thing on every
+// thread of this process.
+class PoseidonSvcAdapter final : public PAllocator {
+ public:
+  // own_server: fork a server over a fresh heap (bench mode).  Otherwise
+  // attach to whatever server is already publishing a segment.
+  PoseidonSvcAdapter(const std::string& path, const AllocatorConfig& cfg,
+                     bool own_server)
+      : path_(path), own_server_(own_server) {
+    if (own_server) {
+      server_pid_ = ::fork();
+      if (server_pid_ == 0) run_server_child(path, cfg);
+      if (server_pid_ < 0) {
+        throw Error(ErrorCode::kInternal, "fork allocation server");
+      }
+    }
+    // The server publishes kServing only after full initialization; poll
+    // through the not-yet-there window.
+    const int tries = own_server ? 2000 : 1;
+    for (int i = 0;; ++i) {
+      try {
+        control_ = svc::SvcClient::connect(path_);
+        break;
+      } catch (const Error& e) {
+        if (i + 1 >= tries ||
+            e.poseidon_code() != ErrorCode::kSvcUnavailable) {
+          if (own_server_) reap_server();
+          throw;
+        }
+        ::usleep(5'000);
+      }
+    }
+  }
+
+  ~PoseidonSvcAdapter() override {
+    clients_.clear();  // each dtor flushes magazines through the ring
+    control_.reset();
+    if (own_server_) {
+      reap_server();
+      unlink_heap_files(path_, core::kMaxShards);
+    }
+  }
+
+  void* alloc(std::size_t size) override {
+    if (degraded()) return nullptr;
+    ErrorCode err = ErrorCode::kOk;
+    const core::NvPtr p = client().alloc_one(size, &err);
+    if (err == ErrorCode::kSvcUnavailable) degraded_.store(true);
+    return control_->raw(p);
+  }
+
+  bool free(void* p) override {
+    if (degraded()) return false;
+    const core::NvPtr ptr = control_->from_raw(p);
+    if (ptr.is_null()) return false;
+    return client().free_one(ptr) == ErrorCode::kOk;
+  }
+
+  void set_root(void* p) override {
+    if (!degraded()) (void)control_->set_root(control_->from_raw(p));
+  }
+
+  void* root() const override {
+    core::NvPtr r;
+    if (control_->get_root(&r) != ErrorCode::kOk) return nullptr;
+    return control_->raw(r);
+  }
+
+  const char* name() const noexcept override { return "poseidon+svc"; }
+
+ private:
+  // Per-thread sessions, created on first use.  Ops clients skip the data
+  // windows (the control session's mappings serve conversions process-wide).
+  svc::SvcClient& client() {
+    const unsigned slot = thread_ordinal() % kSlots;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (clients_.size() <= slot) clients_.resize(kSlots);
+      if (clients_[slot] == nullptr) {
+        svc::ClientOptions co;
+        co.map_data = false;
+        clients_[slot] = svc::SvcClient::connect(path_, co);
+      }
+      return *clients_[slot];
+    }
+  }
+
+  // Failover leg: once the server is provably dead, mutating calls refuse
+  // (callers can reopen read-only via attach_allocator).
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  void reap_server() noexcept {
+    if (server_pid_ > 0) {
+      (void)::kill(server_pid_, SIGTERM);
+      int st = 0;
+      (void)::waitpid(server_pid_, &st, 0);
+      server_pid_ = -1;
+    }
+  }
+
+  static constexpr unsigned kSlots = 256;
+  std::string path_;
+  bool own_server_ = false;
+  pid_t server_pid_ = -1;
+  std::unique_ptr<svc::SvcClient> control_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<svc::SvcClient>> clients_;
+  mutable std::atomic<bool> degraded_{false};
+};
+
+// In-process attach (the OFD lock was free): the normal Heap, opened not
+// created, never unlinked.
+class PoseidonOpenAdapter final : public PAllocator {
+ public:
+  PoseidonOpenAdapter(const std::string& path, const AllocatorConfig& cfg)
+      : heap_(core::Heap::open(path, options_from(cfg))) {}
+
+  void* alloc(std::size_t size) override {
+    return heap_->raw(heap_->alloc(size));
+  }
+  bool free(void* p) override {
+    return heap_->free(heap_->from_raw(p)) == core::FreeResult::kOk;
+  }
+  void set_root(void* p) override { heap_->set_root(heap_->from_raw(p)); }
+  void* root() const override { return heap_->raw(heap_->root()); }
+  const char* name() const noexcept override { return "poseidon"; }
+
+ private:
+  std::unique_ptr<core::Heap> heap_;
+};
+
+// Terminal degraded mode: data stays readable, mutations refuse.
+class PoseidonReadOnlyAdapter final : public PAllocator {
+ public:
+  explicit PoseidonReadOnlyAdapter(const std::string& path,
+                                   const AllocatorConfig& cfg) {
+    core::Options opts = options_from(cfg);
+    opts.read_only = true;
+    heap_ = core::Heap::open(path, opts);
+  }
+
+  void* alloc(std::size_t) override { return nullptr; }
+  bool free(void*) override { return false; }
+  void set_root(void*) override {}
+  void* root() const override { return heap_->raw(heap_->root()); }
+  const char* name() const noexcept override { return "poseidon+ro"; }
+
+ private:
+  std::unique_ptr<core::Heap> heap_;
+};
+
 }  // namespace
 
 const char* kind_name(AllocatorKind k) noexcept {
@@ -131,9 +336,13 @@ std::unique_ptr<PAllocator> make_allocator(AllocatorKind kind,
                                            const AllocatorConfig& cfg) {
   std::string path =
       cfg.path.empty() ? default_path(kind_name(kind)) : cfg.path;
-  if (cfg.fresh) pmem::Pool::unlink(path);
+  if (cfg.fresh) unlink_heap_files(path, core::kMaxShards);
   switch (kind) {
     case AllocatorKind::kPoseidon:
+      if (cfg.svc) {
+        return std::make_unique<PoseidonSvcAdapter>(path, cfg,
+                                                    /*own_server=*/true);
+      }
       return std::make_unique<PoseidonAdapter>(path, cfg);
     case AllocatorKind::kPmdkLike:
       return std::make_unique<PmdkAdapter>(path, cfg);
@@ -141,6 +350,29 @@ std::unique_ptr<PAllocator> make_allocator(AllocatorKind kind,
       return std::make_unique<MakaluAdapter>(path, cfg);
   }
   return nullptr;
+}
+
+std::unique_ptr<PAllocator> attach_allocator(const std::string& path,
+                                             const AllocatorConfig& cfg) {
+  // 1. In-process: take the heap if no one owns it.
+  try {
+    return std::make_unique<PoseidonOpenAdapter>(path, cfg);
+  } catch (const Error& e) {
+    if (e.poseidon_code() != ErrorCode::kHeapBusy) throw;
+  }
+  // 2. Service: the owner is (or recently was) a server.
+  try {
+    return std::make_unique<PoseidonSvcAdapter>(path, cfg,
+                                                /*own_server=*/false);
+  } catch (const Error& e) {
+    if (e.poseidon_code() != ErrorCode::kSvcUnavailable &&
+        e.poseidon_code() != ErrorCode::kSvcRetry) {
+      throw;
+    }
+  }
+  // 3. Read-only: a non-server process owns the heap, or the server died
+  // without a successor.  Data stays inspectable either way.
+  return std::make_unique<PoseidonReadOnlyAdapter>(path, cfg);
 }
 
 }  // namespace poseidon::iface

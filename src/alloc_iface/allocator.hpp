@@ -57,11 +57,30 @@ struct AllocatorConfig {
   // 2 = none).  An int for the same header-independence reason.  Benches
   // run an eADR series to measure the elided write-back loops.
   int persist_domain = -1;
+  // Poseidon only: service mode (src/svc) — the adapter forks a server
+  // process that owns the heap, and every operation goes through the
+  // shared-memory command rings, one client session per bench thread.
+  // This is the `poseidon+svc` series: the multi-process deployment shape
+  // measured against the in-process paths.
+  bool svc = false;
 };
 
 // Factory: creates the heap file and wraps it.  The file is unlinked when
 // the allocator is destroyed (benchmarks never reuse it).
 std::unique_ptr<PAllocator> make_allocator(AllocatorKind kind,
                                            const AllocatorConfig& cfg);
+
+// Attach to an EXISTING Poseidon heap, degrading gracefully with the
+// multi-process story (DESIGN.md "Allocation service"):
+//   1. in-process — Heap::open succeeds (the OFD lock was free);
+//   2. service    — open threw kHeapBusy and a server is publishing a
+//      segment beside the heap: operations go through the rings;
+//   3. read-only  — no live owner path at all (service gone or draining):
+//      alloc/free refuse, root and raw data stay readable.
+// The returned adapter's name() reports which mode it landed in
+// ("poseidon", "poseidon+svc", "poseidon+ro").  The heap file is NOT
+// unlinked on destruction (the caller does not own it).
+std::unique_ptr<PAllocator> attach_allocator(const std::string& path,
+                                             const AllocatorConfig& cfg = {});
 
 }  // namespace poseidon::iface

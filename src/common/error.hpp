@@ -29,6 +29,8 @@ enum class ErrorCode : int {
   kInternal = 9,          // invariant violation inside the allocator
   kShardMismatch = 10,    // shard set member disagrees on set id/epoch/count
   kHeapBusy = 11,         // another live process (or this one) owns the heap
+  kSvcRetry = 12,         // allocation service is draining; retry later
+  kSvcUnavailable = 13,   // allocation service is gone (server dead/stale)
 };
 
 inline const char* to_string(ErrorCode c) noexcept {
@@ -45,6 +47,8 @@ inline const char* to_string(ErrorCode c) noexcept {
     case ErrorCode::kInternal: return "internal-error";
     case ErrorCode::kShardMismatch: return "shard-mismatch";
     case ErrorCode::kHeapBusy: return "heap-busy";
+    case ErrorCode::kSvcRetry: return "svc-retry";
+    case ErrorCode::kSvcUnavailable: return "svc-unavailable";
   }
   return "?";
 }

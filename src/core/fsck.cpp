@@ -447,6 +447,13 @@ void PoolShard::seal_all() noexcept {
   clear_owner(sb_);
 }
 
+void PoolShard::refresh_owner_heartbeat() {
+  if (pool_.read_only()) return;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  mpk::WriteWindow w(prot_.get());
+  refresh_heartbeat(sb_);
+}
+
 FsckReport PoolShard::fsck() {
   if (pool_.read_only()) {
     throw Error(ErrorCode::kInvalidArgument,

@@ -334,6 +334,40 @@ FreeResult Heap::free(NvPtr ptr) {
   return r;
 }
 
+unsigned Heap::alloc_batch(const std::uint64_t* sizes, unsigned n,
+                           NvPtr* out) {
+  unsigned got = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = alloc(sizes[i]);
+    if (!out[i].is_null()) ++got;
+  }
+  return got;
+}
+
+unsigned Heap::tx_alloc_batch(const std::uint64_t* sizes, unsigned n,
+                              NvPtr* out) {
+  unsigned got = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = tx_alloc(sizes[i], /*is_end=*/false);
+    if (!out[i].is_null()) ++got;
+  }
+  // Commit even when some ops failed: the survivors are the batch.
+  tx_commit();
+  return got;
+}
+
+void Heap::free_batch(const NvPtr* ptrs, unsigned n, FreeResult* out) {
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = free(ptrs[i]);
+  }
+}
+
+void Heap::refresh_owner_heartbeat() {
+  for (const auto& s : shards_) {
+    if (s != nullptr) s->refresh_owner_heartbeat();
+  }
+}
+
 void* Heap::raw(NvPtr ptr) const noexcept {
   if (ptr.is_null()) return nullptr;
   const PoolShard* s = shard_by_id(ptr.heap_id);

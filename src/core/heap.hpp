@@ -84,6 +84,30 @@ class Heap {
   // shard is found by heap id, so cross-shard frees route correctly.
   FreeResult free(NvPtr ptr);
 
+  // ---- batch entry points (allocation-service back-end, src/svc) -----------
+  //
+  // One ring request carries up to a handful of ops; these run them under
+  // one home-shard decision and, with Options::thread_cache on (how the
+  // service opens the heap), one magazine refill amortizes its batched
+  // undo commit across the whole request — the SpeedMalloc L2 serving the
+  // client-side L1.  A failed op yields a null slot / its own FreeResult;
+  // the batch never aborts as a whole.
+
+  // Fills out[0..n) (null on exhaustion); returns how many are non-null.
+  unsigned alloc_batch(const std::uint64_t* sizes, unsigned n, NvPtr* out);
+
+  // As alloc_batch but inside one transaction, committed before returning:
+  // a crash mid-batch frees every member at recovery, so a client that
+  // dies before consuming the completion never half-owns a batch.
+  unsigned tx_alloc_batch(const std::uint64_t* sizes, unsigned n, NvPtr* out);
+
+  // Per-pointer validated frees; out[i] is ptrs[i]'s own verdict.
+  void free_batch(const NvPtr* ptrs, unsigned n, FreeResult* out);
+
+  // Re-stamp every writable shard's owner heartbeat (service housekeeping;
+  // also what fsck does as a side effect).
+  void refresh_owner_heartbeat();
+
   // Pointer conversions (paper §4.6).  Null/invalid input yields nullptr /
   // NvPtr::null().
   void* raw(NvPtr ptr) const noexcept;
@@ -175,6 +199,16 @@ class Heap {
 
   // The heap-wide metrics registry (shared by every shard).
   const obs::Metrics& metrics() const noexcept { return metrics_; }
+  // Mutable registry for subsystems layered on top of the heap (the
+  // allocation service counts its ring traffic here so one exporter sees
+  // everything).
+  obs::Metrics& metrics_mut() noexcept { return metrics_; }
+
+  // Record a heap-scoped flight event (lands in the head shard's sub-heap
+  // 0 ring); the service's session lifecycle uses the kSvc* ops.
+  void note_flight(obs::FlightOp op, std::uint64_t arg) noexcept {
+    shards_[0]->note_flight(op, arg);
+  }
 
   // Resolved flight-recorder mode (kOff when obs is compiled out).
   obs::FlightMode flight_mode() const noexcept {

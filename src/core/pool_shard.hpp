@@ -290,7 +290,20 @@ class PoolShard {
   // Bytes the filesystem actually backs (observes hole punching).
   std::uint64_t file_allocated_bytes() const { return pool_.allocated_bytes(); }
 
+  // Re-stamp this shard's owner heartbeat (no-op when unowned or
+  // read-only).  The allocation service's housekeeping calls this so the
+  // persistent owner record stays fresh while the server mainly touches
+  // the heap through its service threads.
+  void refresh_owner_heartbeat();
+
   // ---- observability -------------------------------------------------------
+
+  // Record a heap-scoped flight event from outside the shard (the
+  // allocation service's session/state transitions land in sub-heap 0's
+  // ring).  No-op when the recorder is off.
+  void note_flight(obs::FlightOp op, std::uint64_t arg) noexcept {
+    flight(op, 0, 0, arg);
+  }
 
   obs::FlightMode flight_mode() const noexcept;
   std::vector<obs::FlightEvent> flight_events() const;

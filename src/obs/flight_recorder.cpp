@@ -33,6 +33,9 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kNumaBindFail: return "numa-bind-fail";
     case FlightOp::kOwnerTakeover: return "owner-takeover";
     case FlightOp::kPersistDomain: return "persist-domain";
+    case FlightOp::kSvcSession: return "svc-session";
+    case FlightOp::kSvcReclaim: return "svc-reclaim";
+    case FlightOp::kSvcState: return "svc-state";
   }
   return "?";
 }

@@ -56,6 +56,9 @@ enum class FlightOp : std::uint16_t {
   kNumaBindFail = 13, // first refused mbind on this shard; arg = node
   kOwnerTakeover = 14, // stale owner superseded; arg = OwnerStaleness class
   kPersistDomain = 15, // domain active at open; arg = pmem::PersistDomain
+  kSvcSession = 16,    // service session opened; arg = session index
+  kSvcReclaim = 17,    // session reclaimed; arg = session index
+  kSvcState = 18,      // service state transition; arg = svc::SvcState
 };
 
 const char* op_name(FlightOp op) noexcept;

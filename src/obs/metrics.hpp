@@ -206,6 +206,16 @@ struct Metrics {
   Counter numa_bind_fails;       // mbind refused a sub-heap placement hint
   Counter owner_takeovers;       // stale owner records superseded at open
 
+  // Allocation-service counters (src/svc; zero unless a server runs on
+  // this heap).
+  Counter svc_requests;           // ring requests executed by service threads
+  Counter svc_ops;                // individual ops inside those requests
+  Counter svc_sessions_opened;    // client sessions admitted
+  Counter svc_sessions_reclaimed; // sessions reclaimed (clean or zombie)
+  Counter svc_claims_discarded;   // dead-claimant submission slots recycled
+  Counter svc_cpl_overflows;      // completion-ring-full: results freed back
+  Counter svc_wakeups;            // service-thread futex sleeps ended
+
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
   Histogram free_cycles;
@@ -213,10 +223,12 @@ struct Metrics {
   Histogram defrag_cycles;
   Histogram undo_commit_cycles;  // commit = truncation persist
   Histogram log_write_cycles;    // micro/cache log append persists
+  Histogram svc_req_cycles;      // ring request service time (dequeue→reply)
 
   // Shape histograms (linear buckets).
   Histogram probe_len;         // hash-table insert probe distance
   Histogram alloc_size_class;  // size class of every successful alloc
+  Histogram svc_ring_depth;    // submission depth observed per dequeue (log2)
 
   template <typename F>
   void visit_counters(F&& f) const {
@@ -240,6 +252,13 @@ struct Metrics {
     f("fsck_runs", fsck_runs);
     f("numa_bind_fails", numa_bind_fails);
     f("owner_takeovers", owner_takeovers);
+    f("svc_requests", svc_requests);
+    f("svc_ops", svc_ops);
+    f("svc_sessions_opened", svc_sessions_opened);
+    f("svc_sessions_reclaimed", svc_sessions_reclaimed);
+    f("svc_claims_discarded", svc_claims_discarded);
+    f("svc_cpl_overflows", svc_cpl_overflows);
+    f("svc_wakeups", svc_wakeups);
   }
 
   template <typename F>
@@ -250,8 +269,10 @@ struct Metrics {
     f("defrag_cycles", defrag_cycles);
     f("undo_commit_cycles", undo_commit_cycles);
     f("log_write_cycles", log_write_cycles);
+    f("svc_req_cycles", svc_req_cycles);
     f("probe_len", probe_len);
     f("alloc_size_class", alloc_size_class);
+    f("svc_ring_depth", svc_ring_depth);
   }
 };
 

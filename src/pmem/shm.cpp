@@ -1,0 +1,154 @@
+#include "pmem/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/error.hpp"
+#include "pmem/fault_inject.hpp"
+#include "pmem/retry.hpp"
+
+namespace poseidon::pmem {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what) {
+  throw Error(ErrorCode::kIo, what, errno);
+}
+
+// Same discipline as Pool's wrappers: consult the injector first, retry
+// while the failure (real or injected) is EINTR.
+template <typename F>
+int intercepted_retry_eintr(fault::SysOp op, F&& call) {
+  for (;;) {
+    int rc = -1;
+    if (const int e = fault::intercept(op)) {
+      errno = e;
+    } else {
+      rc = retry_eintr(call);
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+std::byte* map_fd(int fd, std::size_t size, bool read_only) {
+  void* p = MAP_FAILED;
+  const int prot = read_only ? PROT_READ : PROT_READ | PROT_WRITE;
+  if (const int e = fault::intercept(fault::SysOp::kMmap)) {
+    errno = e;
+  } else {
+    p = ::mmap(nullptr, size, prot, MAP_SHARED, fd, 0);
+  }
+  if (p == MAP_FAILED) throw_io("mmap shm segment");
+  return static_cast<std::byte*>(p);
+}
+
+}  // namespace
+
+ShmSegment ShmSegment::create(const std::string& path, std::size_t size) {
+  const int fd = intercepted_retry_eintr(fault::SysOp::kOpen, [&] {
+    return ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  });
+  if (fd < 0) throw_io("create shm segment " + path);
+  if (intercepted_retry_eintr(fault::SysOp::kFtruncate, [&] {
+        return ::ftruncate(fd, static_cast<off_t>(size));
+      }) != 0) {
+    const int e = errno;
+    (void)::close(fd);
+    (void)::unlink(path.c_str());
+    errno = e;
+    throw_io("size shm segment " + path);
+  }
+  std::byte* base;
+  try {
+    base = map_fd(fd, size, /*read_only=*/false);
+  } catch (...) {
+    (void)::close(fd);
+    (void)::unlink(path.c_str());
+    throw;
+  }
+  (void)::close(fd);  // the mapping keeps the segment alive
+  return ShmSegment(path, base, size, /*read_only=*/false);
+}
+
+ShmSegment ShmSegment::attach(const std::string& path, bool read_only) {
+  const int fd = intercepted_retry_eintr(fault::SysOp::kOpen, [&] {
+    return ::open(path.c_str(), (read_only ? O_RDONLY : O_RDWR) | O_CLOEXEC);
+  });
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      throw Error(ErrorCode::kSvcUnavailable,
+                  path + ": no service segment (server not running?)");
+    }
+    throw_io("open shm segment " + path);
+  }
+  struct stat st {};
+  if (intercepted_retry_eintr(fault::SysOp::kFstat,
+                              [&] { return ::fstat(fd, &st); }) != 0) {
+    const int e = errno;
+    (void)::close(fd);
+    errno = e;
+    throw_io("stat shm segment " + path);
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+    (void)::close(fd);
+    throw Error(ErrorCode::kSvcUnavailable,
+                path + ": service segment is not a regular non-empty file");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  std::byte* base;
+  try {
+    base = map_fd(fd, size, read_only);
+  } catch (...) {
+    (void)::close(fd);
+    throw;
+  }
+  (void)::close(fd);
+  return ShmSegment(path, base, size, read_only);
+}
+
+ShmSegment::~ShmSegment() { close(); }
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : path_(std::move(other.path_)), base_(other.base_), size_(other.size_),
+      read_only_(other.read_only_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    base_ = other.base_;
+    size_ = other.size_;
+    read_only_ = other.read_only_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void ShmSegment::close() noexcept {
+  if (base_ != nullptr) {
+    (void)::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void ShmSegment::unlink(const std::string& path) noexcept {
+  (void)::unlink(path.c_str());
+}
+
+bool ShmSegment::exists(const std::string& path) noexcept {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace poseidon::pmem

@@ -1,0 +1,69 @@
+// Volatile shared-memory segment: the DRAM control plane of the
+// allocation service (src/svc).
+//
+// Unlike Pool, a segment carries no persistence contract — it is scratch
+// coordination state (command rings, session table) recreated by every
+// server incarnation.  It is still a file-backed MAP_SHARED mapping so
+// unrelated processes can attach by path, and its lifecycle syscalls run
+// behind the same fault-injection hooks as the pool's (POSEIDON_FAULT
+// open/mmap/ftruncate/fstat clauses apply), so the service's degraded
+// paths are testable with the existing machinery.
+//
+// Lifecycle discipline: the server unlinks any stale segment and creates a
+// fresh one (O_EXCL) before publishing it as serving; clients only ever
+// attach.  No locks — liveness is the service's own problem (heartbeat +
+// pid checks in the segment header), because an OFD lock would make
+// read-only inspectors indistinguishable from dead servers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace poseidon::pmem {
+
+class ShmSegment {
+ public:
+  // Creates a `size`-byte zero-filled segment, failing if the file exists
+  // (callers unlink stale segments first, so two servers never share one).
+  static ShmSegment create(const std::string& path, std::size_t size);
+
+  // Maps an existing segment whole; read_only attaches PROT_READ (the
+  // inspector path).  Throws Error{kIo} on any syscall failure and
+  // Error{kSvcUnavailable} when the file does not exist.
+  static ShmSegment attach(const std::string& path, bool read_only = false);
+
+  ShmSegment() noexcept = default;
+  ~ShmSegment();
+
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  std::byte* data() const noexcept { return base_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+  bool valid() const noexcept { return base_ != nullptr; }
+  bool read_only() const noexcept { return read_only_; }
+
+  // Unmap and close without deleting the file (a dead server's segment
+  // stays inspectable until the next incarnation sweeps it).
+  void close() noexcept;
+
+  static void unlink(const std::string& path) noexcept;
+  static bool exists(const std::string& path) noexcept;
+
+ private:
+  ShmSegment(std::string path, std::byte* base, std::size_t size,
+             bool read_only) noexcept
+      : path_(std::move(path)), base_(base), size_(size),
+        read_only_(read_only) {}
+
+  std::string path_;
+  std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool read_only_ = false;
+};
+
+}  // namespace poseidon::pmem

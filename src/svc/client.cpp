@@ -1,0 +1,576 @@
+#include "svc/client.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/bitops.hpp"
+#include "common/compiler.hpp"
+#include "core/ownership.hpp"
+#include "svc/ring.hpp"
+
+namespace poseidon::svc {
+
+namespace {
+
+// Shard member path convention, mirrored from the front-end (heap.cpp).
+std::string member_path(const std::string& head, unsigned i) {
+  return i == 0 ? head : head + ".shard" + std::to_string(i);
+}
+
+unsigned size_class_of(std::uint64_t size) noexcept {
+  return size <= 32 ? 5u : static_cast<unsigned>(log2_floor(size - 1)) + 1u;
+}
+
+}  // namespace
+
+std::unique_ptr<SvcClient> SvcClient::connect(const std::string& heap_path,
+                                              const ClientOptions& opts) {
+  pmem::ShmSegment seg =
+      pmem::ShmSegment::attach(svc_path(heap_path), /*read_only=*/false);
+  const SvcHeader* h = header_of(seg.data());
+  if (seg.size() < sizeof(SvcHeader) || h->magic != kSvcMagic ||
+      h->version != kSvcVersion || h->segment_bytes > seg.size()) {
+    throw Error(ErrorCode::kSvcUnavailable,
+                heap_path + ": malformed service segment");
+  }
+
+  std::unique_ptr<SvcClient> c(new SvcClient(std::move(seg), opts));
+
+  // Admission gate: wait out a starting server briefly; refuse the rest.
+  const std::uint64_t deadline = monotonic_ns() + opts.submit_timeout_ns;
+  for (;;) {
+    const ErrorCode st = c->server_state();
+    if (st == ErrorCode::kOk) break;
+    if (st == ErrorCode::kSvcUnavailable) {
+      throw Error(ErrorCode::kSvcUnavailable,
+                  heap_path + ": allocation service is gone");
+    }
+    if (monotonic_ns() > deadline) {
+      throw Error(ErrorCode::kSvcRetry,
+                  heap_path + ": allocation service is not serving");
+    }
+    std::this_thread::yield();
+  }
+
+  if (c->admission(heap_path) != ErrorCode::kOk) {
+    throw Error(ErrorCode::kInternal, heap_path + ": session table is full");
+  }
+  if (opts.map_data) c->map_windows(heap_path);
+  return c;
+}
+
+SvcClient::SvcClient(pmem::ShmSegment seg, ClientOptions opts)
+    : seg_(std::move(seg)), opts_(opts) {
+  // Spinning for a completion only helps when the service thread can make
+  // progress on another CPU; on a single-CPU box it burns exactly the
+  // timeslice the server needs, so sleep immediately instead.
+  effective_spins_ =
+      std::thread::hardware_concurrency() > 1 ? opts_.wait_spins : 0;
+}
+
+unsigned SvcClient::pipeline_depth() const noexcept {
+  return std::min(std::max(opts_.refill_batches, 1u), kCplRingSlots / 2);
+}
+
+SvcClient::~SvcClient() {
+  (void)flush_caches();
+  // Clean disconnect: the server reclaims the session through the same
+  // grace machinery as a crash, so nothing here may race its reclaimer.
+  sess().state.store(kSessClosed, std::memory_order_release);
+  for (Window& w : windows_) {
+    if (w.base != nullptr) (void)::munmap(w.base, w.len);
+  }
+}
+
+SessionSlot& SvcClient::sess() const noexcept {
+  return sessions_of(const_cast<SvcClient*>(this)->seg_.data())[session_];
+}
+
+ErrorCode SvcClient::admission(const std::string&) {
+  std::byte* base = seg_.data();
+  SessionSlot* sessions = sessions_of(base);
+  const SvcHeader* h = header_of(base);
+  for (unsigned i = 0; i < h->nsessions; ++i) {
+    std::uint32_t expect = kSessFree;
+    if (!sessions[i].state.compare_exchange_strong(
+            expect, kSessClaiming, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      continue;
+    }
+    SessionSlot& s = sessions[i];
+    // Heartbeat first: a crash after the CAS but before the identity is
+    // written leaves a claiming slot the server times out on.
+    s.heartbeat.store(monotonic_ns(), std::memory_order_release);
+    s.pid = static_cast<std::uint64_t>(::getpid());
+    s.start_time = core::proc_start_time(::getpid());
+    s.ops.store(0, std::memory_order_relaxed);
+    s.phase.store(0, std::memory_order_relaxed);
+    session_ = i;
+    // Home ring: sessions spread round-robin over the serving shards.
+    std::vector<unsigned> serving;
+    const ShardEntry* entries = shard_entries_of(base);
+    for (unsigned j = 0; j < h->nshards; ++j) {
+      if (entries[j].heap_id != 0) serving.push_back(j);
+    }
+    shard_ = serving.empty() ? 0 : serving[i % serving.size()];
+    s.preferred_shard = shard_;
+    cpl_ring_init(&s, cpl_ring_of(base, i));
+    s.state.store(kSessActive, std::memory_order_release);
+    return ErrorCode::kOk;
+  }
+  return ErrorCode::kInternal;
+}
+
+void SvcClient::map_windows(const std::string& heap_path) {
+  std::byte* base = seg_.data();
+  const SvcHeader* h = header_of(base);
+  const ShardEntry* entries = shard_entries_of(base);
+  for (unsigned i = 0; i < h->nshards; ++i) {
+    const ShardEntry& e = entries[i];
+    if (e.heap_id == 0) continue;  // quarantined slot: no data to map
+    const std::string path = member_path(heap_path, i);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd < 0) {
+      throw Error(ErrorCode::kIo, "open data window " + path, errno);
+    }
+    void* p = ::mmap(nullptr, e.file_size, PROT_READ, MAP_SHARED, fd, 0);
+    const int mmap_errno = errno;
+    (void)::close(fd);
+    if (p == MAP_FAILED) {
+      throw Error(ErrorCode::kIo, "map data window " + path, mmap_errno);
+    }
+    // Only the user region becomes writable; the metadata prefix stays
+    // PROT_READ in every client (the cross-process face of the MPK rule).
+    auto* wbase = static_cast<std::byte*>(p);
+    if (::mprotect(wbase + e.user_region_off,
+                   static_cast<std::size_t>(e.nsubheaps) * e.user_size,
+                   PROT_READ | PROT_WRITE) != 0) {
+      const int mp_errno = errno;
+      (void)::munmap(p, e.file_size);
+      throw Error(ErrorCode::kIo, "unprotect user region " + path, mp_errno);
+    }
+    windows_.push_back(Window{e.heap_id, wbase,
+                              static_cast<std::size_t>(e.file_size),
+                              e.user_region_off, e.user_size, e.nsubheaps});
+  }
+}
+
+// ---- liveness --------------------------------------------------------------
+
+ErrorCode SvcClient::server_state() const noexcept {
+  const SvcHeader* h = header_of(const_cast<SvcClient*>(this)->seg_.data());
+  switch (static_cast<SvcState>(h->state.load(std::memory_order_acquire))) {
+    case SvcState::kServing: {
+      const std::uint64_t hb = h->heartbeat_ns.load(std::memory_order_acquire);
+      const std::uint64_t now = monotonic_ns();
+      if (now > hb && now - hb > opts_.server_stale_ns) {
+        // Heartbeat aged out: only a provably dead server pid demotes the
+        // verdict to unavailable (a wedged box is not a dead server).
+        const auto pid = static_cast<pid_t>(h->server_pid);
+        if (!core::process_alive(pid) ||
+            core::proc_start_time(pid) != h->server_start_time) {
+          return ErrorCode::kSvcUnavailable;
+        }
+      }
+      return ErrorCode::kOk;
+    }
+    case SvcState::kStarting:
+    case SvcState::kDraining:
+      return ErrorCode::kSvcRetry;
+    case SvcState::kDead:
+    default:
+      return ErrorCode::kSvcUnavailable;
+  }
+}
+
+// ---- submission / completion -----------------------------------------------
+
+ErrorCode SvcClient::submit(SvcOp op, const std::uint64_t* payload,
+                            unsigned nops, std::uint32_t req_id) {
+  std::byte* base = seg_.data();
+  SubRingHdr* ring = sub_ring_of(base, shard_);
+  const std::uint64_t deadline = monotonic_ns() + opts_.submit_timeout_ns;
+  for (;;) {
+    const ErrorCode st = server_state();
+    if (st != ErrorCode::kOk) return st;
+    ReqSlot* slot = sub_claim(ring, session_);
+    if (slot != nullptr) {
+      slot->req_id = req_id;
+      slot->op = static_cast<std::uint16_t>(op);
+      slot->nops = static_cast<std::uint16_t>(nops);
+      if (payload != nullptr) {
+        std::memcpy(slot->payload, payload, sizeof(slot->payload));
+      } else {
+        std::memset(slot->payload, 0, sizeof(slot->payload));
+      }
+      sub_publish(ring, slot, session_);
+      SessionSlot& s = sess();
+      s.heartbeat.store(monotonic_ns(), std::memory_order_release);
+      s.ops.fetch_add(1, std::memory_order_relaxed);
+      last_submitted_id_ = req_id;
+      ++outstanding_;
+      return ErrorCode::kOk;
+    }
+    if (monotonic_ns() > deadline) return ErrorCode::kSvcRetry;  // ring full
+    std::this_thread::yield();
+  }
+}
+
+ErrorCode SvcClient::wait_completion(std::uint32_t req_id, CplMsg* out) {
+  std::byte* base = seg_.data();
+  SessionSlot& s = sess();
+  CplSlot* ring = cpl_ring_of(base, session_);
+  unsigned spins = 0;
+  for (;;) {
+    CplMsg msg;
+    while (cpl_dequeue(&s, ring, &msg)) {
+      if (outstanding_ > 0) --outstanding_;
+      if (msg.req_id == req_id) {
+        *out = msg;
+        return ErrorCode::kOk;
+      }
+      // Earlier completion nobody blocks on (prefetched refills,
+      // fire-and-forget free batches, abandoned waits).  FIFO order means
+      // a wait can only ever skip over ids submitted *before* its own.
+      absorb_completion(msg);
+    }
+    if (++spins < effective_spins_) {
+      cpu_relax();
+      continue;
+    }
+    spins = 0;
+    const std::uint32_t bell = s.doorbell.load(std::memory_order_acquire);
+    if (cpl_depth(&s) == 0) {
+      futex_wait(&s.doorbell, bell, 50'000'000);  // 50 ms liveness tick
+    }
+    // A draining server still completes published requests, so only a
+    // dead one aborts the wait.
+    if (server_state() == ErrorCode::kSvcUnavailable) {
+      return ErrorCode::kSvcUnavailable;
+    }
+  }
+}
+
+ErrorCode SvcClient::drain_outstanding() {
+  if (outstanding_ == 0) return ErrorCode::kOk;
+  // The uncollected completions are always a suffix of the submission
+  // order ending at last_submitted_id_; waiting for it drains the rest.
+  CplMsg msg;
+  const ErrorCode rc = wait_completion(last_submitted_id_, &msg);
+  if (rc == ErrorCode::kOk) absorb_completion(msg);  // may be a refill's
+  return rc;
+}
+
+void SvcClient::absorb_completion(const CplMsg& msg) {
+  if (msg.status != SvcStatus::kOkAlloc) return;
+  for (auto it = inflight_allocs_.begin(); it != inflight_allocs_.end();
+       ++it) {
+    if (it->first != msg.req_id) continue;
+    const unsigned cls = it->second;
+    inflight_allocs_.erase(it);
+    std::vector<std::uint32_t>& ids = refill_ids_[cls];
+    const auto pos = std::find(ids.begin(), ids.end(), msg.req_id);
+    if (pos != ids.end()) ids.erase(pos);
+    for (unsigned i = 0; i < msg.nops && i < kMaxOpsPerReq; ++i) {
+      const core::NvPtr p{msg.results[2 * i], msg.results[2 * i + 1]};
+      if (!p.is_null()) magazine_[cls].push_back(p);
+    }
+    return;
+  }
+  // Not a registered refill: an abandoned synchronous wait (dead server);
+  // session teardown owns whatever these handles were.
+}
+
+ErrorCode SvcClient::ensure_cpl_space(unsigned count) {
+  std::byte* base = seg_.data();
+  SessionSlot& s = sess();
+  CplSlot* ring = cpl_ring_of(base, session_);
+  CplMsg msg;
+  while (outstanding_ + count > kCplRingSlots) {
+    if (cpl_dequeue(&s, ring, &msg)) {
+      if (outstanding_ > 0) --outstanding_;
+      absorb_completion(msg);
+      continue;
+    }
+    const std::uint32_t bell = s.doorbell.load(std::memory_order_acquire);
+    if (cpl_depth(&s) == 0) {
+      futex_wait(&s.doorbell, bell, 50'000'000);  // 50 ms liveness tick
+    }
+    if (server_state() == ErrorCode::kSvcUnavailable) {
+      return ErrorCode::kSvcUnavailable;
+    }
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::roundtrip(SvcOp op, const std::uint64_t* payload,
+                               unsigned nops, CplMsg* out) {
+  if (nops > kMaxOpsPerReq) return ErrorCode::kInvalidArgument;
+  const ErrorCode sp = ensure_cpl_space(1);
+  if (sp != ErrorCode::kOk) return sp;
+  const std::uint32_t req_id = next_req_id_++;
+  const ErrorCode sub = submit(op, payload, nops, req_id);
+  if (sub != ErrorCode::kOk) return sub;
+  const ErrorCode cpl = wait_completion(req_id, out);
+  if (cpl != ErrorCode::kOk) return cpl;
+  return out->status == SvcStatus::kBadRequest ? ErrorCode::kInvalidArgument
+                                               : ErrorCode::kOk;
+}
+
+// ---- batched operations ----------------------------------------------------
+
+ErrorCode SvcClient::alloc(const std::uint64_t* sizes, unsigned n,
+                           core::NvPtr* out) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+  for (unsigned i = 0; i < n && i < kMaxOpsPerReq; ++i) payload[i] = sizes[i];
+  CplMsg msg;
+  const ErrorCode rc = roundtrip(SvcOp::kAlloc, payload, n, &msg);
+  if (rc != ErrorCode::kOk) return rc;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = core::NvPtr{msg.results[2 * i], msg.results[2 * i + 1]};
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::tx_alloc(const std::uint64_t* sizes, unsigned n,
+                              core::NvPtr* out) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+  for (unsigned i = 0; i < n && i < kMaxOpsPerReq; ++i) payload[i] = sizes[i];
+  CplMsg msg;
+  const ErrorCode rc = roundtrip(SvcOp::kTxAlloc, payload, n, &msg);
+  if (rc != ErrorCode::kOk) return rc;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = core::NvPtr{msg.results[2 * i], msg.results[2 * i + 1]};
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::free_blocks(const core::NvPtr* ptrs, unsigned n,
+                                 core::FreeResult* out) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+  for (unsigned i = 0; i < n && i < kMaxOpsPerReq; ++i) {
+    payload[2 * i] = ptrs[i].heap_id;
+    payload[2 * i + 1] = ptrs[i].packed;
+  }
+  CplMsg msg;
+  const ErrorCode rc = roundtrip(SvcOp::kFree, payload, n, &msg);
+  if (rc != ErrorCode::kOk) return rc;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = static_cast<core::FreeResult>(msg.results[i]);
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::get_root(core::NvPtr* out) {
+  CplMsg msg;
+  const ErrorCode rc = roundtrip(SvcOp::kGetRoot, nullptr, 0, &msg);
+  if (rc != ErrorCode::kOk) return rc;
+  *out = core::NvPtr{msg.results[0], msg.results[1]};
+  return ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::set_root(core::NvPtr root) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {root.heap_id, root.packed};
+  CplMsg msg;
+  return roundtrip(SvcOp::kSetRoot, payload, 0, &msg);
+}
+
+ErrorCode SvcClient::ping() {
+  CplMsg msg;
+  return roundtrip(SvcOp::kPing, nullptr, 0, &msg);
+}
+
+// ---- cached single ops -----------------------------------------------------
+
+void SvcClient::prefetch(unsigned cls, std::uint64_t size) {
+  // Caps: per class so one hot class cannot monopolize the pipeline, and
+  // global so prefetches plus a free flush can never approach the
+  // completion ring's capacity.
+  std::vector<std::uint32_t>& ids = refill_ids_[cls];
+  while (magazine_[cls].size() + kMaxOpsPerReq * ids.size() <
+             std::size_t{pipeline_depth()} * kMaxOpsPerReq &&
+         ids.size() < 8 && inflight_allocs_.size() < 16) {
+    if (ensure_cpl_space(1) != ErrorCode::kOk) return;
+    std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+    for (unsigned i = 0; i < kMaxOpsPerReq; ++i) payload[i] = size;
+    const std::uint32_t id = next_req_id_++;
+    if (submit(SvcOp::kAlloc, payload, kMaxOpsPerReq, id) !=
+        ErrorCode::kOk) {
+      return;  // degraded service: the miss path reports it
+    }
+    ids.push_back(id);
+    inflight_allocs_.emplace_back(id, cls);
+  }
+}
+
+core::NvPtr SvcClient::alloc_one(std::uint64_t size, ErrorCode* err) {
+  if (err != nullptr) *err = ErrorCode::kOk;
+  const unsigned cls = size_class_of(size) & 63;
+  std::vector<core::NvPtr>& mag = magazine_[cls];
+  // A miss collects the in-flight prefetches first: by the time the
+  // magazine runs dry their completions are usually already queued, so
+  // this rarely sleeps.
+  while (mag.empty() && !refill_ids_[cls].empty()) {
+    const std::uint32_t id = refill_ids_[cls].front();
+    CplMsg msg;
+    const ErrorCode w = wait_completion(id, &msg);
+    if (w != ErrorCode::kOk) {
+      if (err != nullptr) *err = w;
+      return core::NvPtr::null();
+    }
+    absorb_completion(msg);  // erases id from refill_ids_[cls]
+  }
+  if (mag.empty()) {
+    // Cold start (or prefetch could not keep up): a synchronous pipelined
+    // refill — submit every batch before collecting the first completion,
+    // so the whole refill pays one round-trip of latency.  The home ring
+    // is FIFO per session, so collecting in submission order never races
+    // a completion past its wait.
+    const unsigned batches = pipeline_depth();
+    std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+    for (unsigned i = 0; i < kMaxOpsPerReq; ++i) payload[i] = size;
+    std::uint32_t ids[kCplRingSlots / 2];
+    unsigned submitted = 0;
+    ErrorCode rc = ensure_cpl_space(batches);
+    if (rc != ErrorCode::kOk) {
+      if (err != nullptr) *err = rc;
+      return core::NvPtr::null();
+    }
+    for (unsigned b = 0; b < batches; ++b) {
+      ids[b] = next_req_id_++;
+      rc = submit(SvcOp::kAlloc, payload, kMaxOpsPerReq, ids[b]);
+      if (rc != ErrorCode::kOk) break;
+      ++submitted;
+    }
+    for (unsigned b = 0; b < submitted; ++b) {
+      CplMsg msg;
+      const ErrorCode w = wait_completion(ids[b], &msg);
+      if (w != ErrorCode::kOk) {
+        // Completions we abandon here stay in the ring; the session-death
+        // reclaimer (or the next successful wait's stale-drop) owns them.
+        rc = w;
+        break;
+      }
+      if (msg.status != SvcStatus::kOkAlloc) continue;
+      for (unsigned i = 0; i < msg.nops && i < kMaxOpsPerReq; ++i) {
+        const core::NvPtr p{msg.results[2 * i], msg.results[2 * i + 1]};
+        if (!p.is_null()) mag.push_back(p);
+      }
+    }
+    if (mag.empty()) {
+      if (err != nullptr) *err = rc;  // kOk + null = heap exhausted
+      return core::NvPtr::null();
+    }
+  }
+  const core::NvPtr p = mag.back();
+  mag.pop_back();
+  prefetch(cls, size);
+  return p;
+}
+
+ErrorCode SvcClient::free_one(core::NvPtr ptr) {
+  if (ptr.is_null()) return ErrorCode::kOk;
+  pending_free_.push_back(ptr);
+  if (pending_free_.size() <
+      std::size_t{pipeline_depth()} * kMaxOpsPerReq) {
+    return ErrorCode::kOk;
+  }
+  return flush_pending(/*sync=*/false);
+}
+
+ErrorCode SvcClient::flush_pending(bool sync) {
+  while (!pending_free_.empty()) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(pending_free_.size(), kMaxOpsPerReq));
+    std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+    const std::size_t off = pending_free_.size() - n;
+    for (unsigned i = 0; i < n; ++i) {
+      payload[2 * i] = pending_free_[off + i].heap_id;
+      payload[2 * i + 1] = pending_free_[off + i].packed;
+    }
+    // Fire-and-forget: nobody reads a free batch's results, so the only
+    // wait the free path ever takes is for completion-ring space.
+    const ErrorCode sp = ensure_cpl_space(1);
+    if (sp != ErrorCode::kOk) return sp;
+    const ErrorCode rc =
+        submit(SvcOp::kFree, payload, n, next_req_id_++);
+    if (rc != ErrorCode::kOk) return rc;
+    // Submitted means the server will execute it; dropping the entries
+    // now keeps a later retry from double-freeing them.
+    pending_free_.resize(off);
+  }
+  return sync ? drain_outstanding() : ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::flush_caches() {
+  // Land the in-flight prefetches first — their blocks must be in the
+  // magazines before the sweep below, or they would survive the flush.
+  const ErrorCode dr = drain_outstanding();
+  if (dr != ErrorCode::kOk) return dr;
+  for (unsigned cls = 0; cls < 64; ++cls) {
+    for (const core::NvPtr& p : magazine_[cls]) pending_free_.push_back(p);
+    magazine_[cls].clear();
+  }
+  // Synchronous: when this returns kOk the server has executed every
+  // request this session ever submitted (exact-zero leak checks rely on
+  // it).
+  return flush_pending(/*sync=*/true);
+}
+
+// ---- data windows ----------------------------------------------------------
+
+void* SvcClient::raw(core::NvPtr ptr) const noexcept {
+  if (ptr.is_null()) return nullptr;
+  for (const Window& w : windows_) {
+    if (w.heap_id != ptr.heap_id) continue;
+    const unsigned sub = ptr.subheap();
+    const std::uint64_t off = ptr.offset();
+    if (sub >= w.nsubheaps || off >= w.user_size) return nullptr;
+    return w.base + w.user_off + sub * w.user_size + off;
+  }
+  return nullptr;
+}
+
+core::NvPtr SvcClient::from_raw(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const Window& w : windows_) {
+    const std::byte* lo = w.base + w.user_off;
+    const std::byte* hi = lo + static_cast<std::uint64_t>(w.nsubheaps) *
+                                   w.user_size;
+    if (b < lo || b >= hi) continue;
+    const std::uint64_t rel = static_cast<std::uint64_t>(b - lo);
+    return core::NvPtr::make(w.heap_id,
+                             static_cast<std::uint16_t>(rel / w.user_size),
+                             rel % w.user_size);
+  }
+  return core::NvPtr::null();
+}
+
+// ---- torture hooks ---------------------------------------------------------
+
+unsigned SvcClient::hold_claims_for_test(unsigned n) {
+  SubRingHdr* ring = sub_ring_of(seg_.data(), shard_);
+  unsigned held = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (sub_claim(ring, session_) == nullptr) break;
+    ++held;
+  }
+  return held;
+}
+
+ErrorCode SvcClient::submit_alloc_no_wait_for_test(std::uint64_t size) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {size};
+  return submit(SvcOp::kAlloc, payload, 1, next_req_id_++);
+}
+
+void SvcClient::set_phase(std::uint64_t v) noexcept {
+  sess().phase.store(v, std::memory_order_release);
+}
+
+}  // namespace poseidon::svc

@@ -1,0 +1,194 @@
+// Client side of the allocation service: session admission, request
+// submission, completion waits, degraded-mode detection, and the data
+// windows that let a client read and write *user* memory directly while
+// the server keeps the heap's metadata to itself.
+//
+// A client process never opens the heap through Pool/Heap (the server
+// holds the OFD locks).  Instead it maps each shard file PROT_READ up to
+// the end of the user region and flips only the user region itself
+// read-write — so client code can build its persistent structures in
+// place, while every byte of allocator metadata stays unwritable from the
+// client, mirroring the MPK story inside the server.  NvPtr conversion
+// needs just the three geometry numbers the server publishes per shard
+// (user_region_off, user_size, nsubheaps).
+//
+// Degraded modes a caller sees as typed results:
+//   * server draining      -> ErrorCode::kSvcRetry (submission refused)
+//   * server dead/stale    -> ErrorCode::kSvcUnavailable (heartbeat aged
+//     out AND the server pid is gone — pid reuse guarded by start_time);
+//     the alloc_iface adapter then fails over to a read_only Heap open.
+//
+// Threading: one SvcClient is one session driven by one thread — use one
+// per thread (the alloc_iface adapter does exactly that).  Within a
+// session the magazine refill and free-stash flush paths pipeline up to
+// refill_batches requests before collecting completions; the home ring is
+// consumed in FIFO order by a single service thread, so completions for a
+// session always arrive in submission order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/nvmptr.hpp"
+#include "core/subheap.hpp"
+#include "pmem/shm.hpp"
+#include "svc/svc_layout.hpp"
+
+namespace poseidon::svc {
+
+struct CplMsg;  // ring.hpp
+
+struct ClientOptions {
+  // Heartbeat age beyond which a non-responding server is presumed dead
+  // (combined with a pid liveness check before declaring kSvcUnavailable).
+  std::uint64_t server_stale_ns = 3'000'000'000;
+  // How long submission retries a full ring / starting server before
+  // giving up with kSvcRetry.
+  std::uint64_t submit_timeout_ns = 2'000'000'000;
+  // Spins before a completion wait futex-sleeps.  On a single-CPU box the
+  // effective value is 0: spinning there steals the only core the server
+  // needs to produce the completion being waited for.
+  unsigned wait_spins = 4096;
+  // Pipelined batches per magazine refill / free-stash flush: this many
+  // kMaxOpsPerReq-sized requests are submitted back-to-back before the
+  // first completion is collected, amortizing one ring round-trip (and on
+  // contended boxes one pair of context switches) over
+  // refill_batches * kMaxOpsPerReq blocks.  Clamped to kCplRingSlots / 2
+  // so a session can never overflow its own completion ring.
+  unsigned refill_batches = 6;
+  // Map the shard user regions writable (the normal mode).  Off for
+  // control-plane-only probes.
+  bool map_data = true;
+};
+
+class SvcClient {
+ public:
+  // Attaches to the segment beside `heap_path` and claims a session.
+  // Throws Error{kSvcUnavailable} (no segment / dead server),
+  // Error{kSvcRetry} (draining), or Error{kInternal} (session table full).
+  static std::unique_ptr<SvcClient> connect(const std::string& heap_path,
+                                            const ClientOptions& opts = {});
+
+  ~SvcClient();
+  SvcClient(const SvcClient&) = delete;
+  SvcClient& operator=(const SvcClient&) = delete;
+
+  // ---- batched operations (one ring round-trip each) -----------------------
+
+  // n <= kMaxOpsPerReq for every batch call.
+  ErrorCode alloc(const std::uint64_t* sizes, unsigned n, core::NvPtr* out);
+  ErrorCode tx_alloc(const std::uint64_t* sizes, unsigned n, core::NvPtr* out);
+  ErrorCode free_blocks(const core::NvPtr* ptrs, unsigned n,
+                        core::FreeResult* out);
+  ErrorCode get_root(core::NvPtr* out);
+  ErrorCode set_root(core::NvPtr root);
+  ErrorCode ping();
+
+  // ---- cached single ops (the client-side L1 over the ring's L2) -----------
+
+  // Magazine-cached allocation: pops the size-class magazine and refills
+  // it with one batched ring request on miss.  Null on exhaustion or
+  // degraded service (err carries the reason; kOk + null = exhausted).
+  core::NvPtr alloc_one(std::uint64_t size, ErrorCode* err = nullptr);
+  // Stashes the pointer; at the watermark the stash is submitted as
+  // fire-and-forget batches (free results are not reported back), so the
+  // caller never blocks on the free path.
+  ErrorCode free_one(core::NvPtr ptr);
+  // Pushes out pending frees and returns unused magazine blocks, then
+  // blocks until the server has executed everything this session sent.
+  ErrorCode flush_caches();
+
+  // ---- data windows --------------------------------------------------------
+
+  // NvPtr -> pointer inside this process's data windows; nullptr for
+  // null/unknown pointers or when map_data was off.
+  void* raw(core::NvPtr ptr) const noexcept;
+  core::NvPtr from_raw(const void* p) const noexcept;
+
+  // ---- liveness / identity -------------------------------------------------
+
+  // kOk while serving; kSvcRetry when draining; kSvcUnavailable when the
+  // heartbeat aged out and the server pid is gone.
+  ErrorCode server_state() const noexcept;
+  unsigned session() const noexcept { return session_; }
+  unsigned shard() const noexcept { return shard_; }
+
+  // ---- torture hooks -------------------------------------------------------
+
+  // Claims up to n submission slots and never publishes them — simulates
+  // death mid-submit when the caller is then SIGKILLed.  Returns how many
+  // were claimed.  The session is wedged afterwards; only for tests.
+  unsigned hold_claims_for_test(unsigned n);
+  // Submits one alloc without consuming its completion — makes in-flight
+  // handles for the reclaimer to find.  Only for tests.
+  ErrorCode submit_alloc_no_wait_for_test(std::uint64_t size);
+  // Client-defined progress marker visible to other processes.
+  void set_phase(std::uint64_t v) noexcept;
+
+ private:
+  SvcClient(pmem::ShmSegment seg, ClientOptions opts);
+
+  struct Window {
+    std::uint64_t heap_id = 0;
+    std::byte* base = nullptr;  // mapping base (file offset 0)
+    std::size_t len = 0;
+    std::uint64_t user_off = 0;
+    std::uint64_t user_size = 0;
+    std::uint32_t nsubheaps = 0;
+  };
+
+  SessionSlot& sess() const noexcept;
+  ErrorCode admission(const std::string& heap_path);
+  void map_windows(const std::string& heap_path);
+  ErrorCode roundtrip(SvcOp op, const std::uint64_t* payload, unsigned nops,
+                      CplMsg* out);
+  ErrorCode submit(SvcOp op, const std::uint64_t* payload, unsigned nops,
+                   std::uint32_t req_id);
+  ErrorCode wait_completion(std::uint32_t req_id, CplMsg* out);
+  // Flushes the whole pending-free stash as fire-and-forget batches; with
+  // sync, blocks until the server has executed every outstanding request.
+  ErrorCode flush_pending(bool sync);
+  // Blocks until every outstanding completion has been collected.  FIFO
+  // completion order makes waiting on the last submitted id sufficient.
+  ErrorCode drain_outstanding();
+  // Books a dequeued completion nobody is synchronously waiting for: a
+  // prefetched refill's blocks go into its magazine, everything else
+  // (fire-and-forget frees, abandoned waits) is dropped.
+  void absorb_completion(const CplMsg& msg);
+  // Keeps enough single-batch refill requests in flight that the next
+  // magazine miss usually finds its completions already queued.
+  void prefetch(unsigned cls, std::uint64_t size);
+  // Collects completions until `count` more can be enqueued without the
+  // server ever seeing a full completion ring.
+  ErrorCode ensure_cpl_space(unsigned count);
+  unsigned pipeline_depth() const noexcept;
+
+  pmem::ShmSegment seg_;
+  ClientOptions opts_;
+  unsigned effective_spins_ = 0;  // wait_spins, or 0 on a single-CPU box
+  unsigned session_ = 0;
+  unsigned shard_ = 0;  // home submission ring
+  std::uint32_t next_req_id_ = 1;
+  std::uint32_t last_submitted_id_ = 0;
+  // Successful submissions whose completions have not been dequeued yet.
+  // Kept exact so ensure_cpl_space() can guarantee the server never finds
+  // the completion ring full (a dropped alloc completion would otherwise
+  // wedge the wait for it).
+  unsigned outstanding_ = 0;
+  std::vector<Window> windows_;
+
+  // L1 magazines: per size class blocks prefetched from the service, plus
+  // a pending-free stash flushed a batch at a time.
+  std::vector<core::NvPtr> magazine_[64];
+  std::vector<core::NvPtr> pending_free_;
+  // In-flight async refill requests: ids per class (collected in FIFO
+  // order on a miss) and the id -> class map that lets any dequeue path
+  // route prefetched blocks to the right magazine.
+  std::vector<std::uint32_t> refill_ids_[64];
+  std::vector<std::pair<std::uint32_t, unsigned>> inflight_allocs_;
+};
+
+}  // namespace poseidon::svc

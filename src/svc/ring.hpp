@@ -1,0 +1,263 @@
+// Ring algorithms for the allocation service, shared by server, client,
+// inspector, and tests (header-only; everything operates on the raw
+// svc_layout structs inside the shm segment).
+//
+// Submission ring (per shard, MPSC, crash-tolerant): producers claim the
+// slot for position p by CAS on the slot word free(p) -> claimed(p,session)
+// and publish with a release store of ready(p,session).  The consumer
+// drains strictly in position order; a position can only be skipped by a
+// producer when it is already claimed, so a free(p) under the consumer's
+// cursor means "nothing published at or beyond p".  When the consumer
+// meets a claimed-but-unpublished slot it cannot tell a preempted producer
+// from a SIGKILLed one by the word alone — the *server* resolves that with
+// the session table (pid + start_time) and calls sub_discard() for dead
+// claimants; the request was never published, so it never executed, so
+// discarding is safe.
+//
+// Completion ring (per session, producers = server service threads):
+// classic bounded ticket queue (Vyukov).  Server threads only die with the
+// whole server, which clients detect via header heartbeat + pid liveness
+// rather than per-slot state, so no crash-tolerant claim is needed here.
+//
+// Doorbells are 32-bit futex words (FUTEX_WAIT/WAKE without PRIVATE —
+// they cross processes).  Waiters advertise themselves in a *_sleeping
+// word so the fast path costs producers one relaxed load, no syscall.
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "svc/svc_layout.hpp"
+
+namespace poseidon::svc {
+
+// ---- futex -----------------------------------------------------------------
+
+inline long futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expect,
+                       std::uint64_t timeout_ns) noexcept {
+  timespec ts{static_cast<time_t>(timeout_ns / 1000000000ull),
+              static_cast<long>(timeout_ns % 1000000000ull)};
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                   FUTEX_WAIT, expect, &ts, nullptr, 0);
+}
+
+inline void futex_wake(std::atomic<std::uint32_t>* word, int n) noexcept {
+  (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                  FUTEX_WAKE, n, nullptr, nullptr, 0);
+}
+
+// ---- submission ring -------------------------------------------------------
+
+inline void sub_ring_init(SubRingHdr* hdr) noexcept {
+  hdr->enq_hint.store(0, std::memory_order_relaxed);
+  hdr->deq_pos.store(0, std::memory_order_relaxed);
+  hdr->doorbell.store(0, std::memory_order_relaxed);
+  hdr->consumer_sleeping.store(0, std::memory_order_relaxed);
+  ReqSlot* slots = sub_slots_of(hdr);
+  for (unsigned i = 0; i < kSubRingSlots; ++i) {
+    slots[i].word.store(svc_word(i, 0, kTagFree), std::memory_order_relaxed);
+  }
+}
+
+// Claims one slot for `session`; returns nullptr when the ring is full (or
+// wedged behind an abandoned previous-generation claim the server has not
+// recycled yet) — the caller backs off and retries.  On success the slot is
+// claimed(pos, session): fill req_id/op/nops/payload, then sub_publish().
+inline ReqSlot* sub_claim(SubRingHdr* hdr, std::uint32_t session) noexcept {
+  ReqSlot* slots = sub_slots_of(hdr);
+  std::uint64_t pos = hdr->enq_hint.load(std::memory_order_relaxed);
+  for (unsigned attempts = 0; attempts < kSubRingSlots; ++attempts, ++pos) {
+    ReqSlot* slot = &slots[pos & (kSubRingSlots - 1)];
+    std::uint64_t w = slot->word.load(std::memory_order_acquire);
+    if (word_pos(w) < pos) return nullptr;  // previous lap not consumed: full
+    if (w != svc_word(pos, 0, kTagFree)) continue;  // this position is taken
+    if (slot->word.compare_exchange_strong(
+            w, svc_word(pos, session, kTagClaimed), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      // Advance the hint monotonically; losing this race is harmless.
+      std::uint64_t hint = hdr->enq_hint.load(std::memory_order_relaxed);
+      while (hint < pos + 1 &&
+             !hdr->enq_hint.compare_exchange_weak(hint, pos + 1,
+                                                  std::memory_order_relaxed)) {
+      }
+      return slot;
+    }
+    // CAS lost: someone else owns this position now; probe the next one.
+  }
+  return nullptr;
+}
+
+inline std::uint64_t slot_pos(const SubRingHdr* hdr,
+                              const ReqSlot* slot) noexcept {
+  return word_pos(slot->word.load(std::memory_order_relaxed));
+}
+
+// Publishes a previously claimed slot and rings the consumer doorbell.
+inline void sub_publish(SubRingHdr* hdr, ReqSlot* slot,
+                        std::uint32_t session) noexcept {
+  const std::uint64_t pos = slot_pos(hdr, slot);
+  slot->word.store(svc_word(pos, session, kTagReady),
+                   std::memory_order_release);
+  hdr->doorbell.fetch_add(1, std::memory_order_release);
+  if (hdr->consumer_sleeping.load(std::memory_order_acquire) != 0) {
+    futex_wake(&hdr->doorbell, 1);
+  }
+}
+
+enum class SubPoll {
+  kEmpty,      // nothing published at the cursor
+  kGot,        // request copied out; slot recycled; cursor advanced
+  kClaimWait,  // cursor blocked on a claimed-but-unpublished slot
+};
+
+struct SubReq {
+  std::uint32_t session;
+  std::uint32_t req_id;
+  SvcOp op;
+  std::uint16_t nops;
+  std::uint64_t payload[2 * kMaxOpsPerReq];
+};
+
+// Single-consumer poll at deq_pos.  kClaimWait reports the claiming
+// session; the server spins briefly, and if the claimant is dead calls
+// sub_discard() to recycle the wedge.
+inline SubPoll sub_poll(SubRingHdr* hdr, SubReq* out,
+                        std::uint32_t* claimant) noexcept {
+  const std::uint64_t pos = hdr->deq_pos.load(std::memory_order_relaxed);
+  ReqSlot* slot = &sub_slots_of(hdr)[pos & (kSubRingSlots - 1)];
+  const std::uint64_t w = slot->word.load(std::memory_order_acquire);
+  if (word_pos(w) != pos) return SubPoll::kEmpty;  // free for an earlier lap
+  switch (word_tag(w)) {
+    case kTagReady: {
+      out->session = word_session(w);
+      out->req_id = slot->req_id;
+      out->op = static_cast<SvcOp>(slot->op);
+      out->nops = slot->nops;
+      std::memcpy(out->payload, slot->payload, sizeof(out->payload));
+      slot->word.store(svc_word(pos + kSubRingSlots, 0, kTagFree),
+                       std::memory_order_release);
+      hdr->deq_pos.store(pos + 1, std::memory_order_release);
+      return SubPoll::kGot;
+    }
+    case kTagClaimed:
+      *claimant = word_session(w);
+      return SubPoll::kClaimWait;
+    default:
+      return SubPoll::kEmpty;
+  }
+}
+
+// Session id of the next published-but-unconsumed request, or -1 when the
+// cursor slot is not ready.  Lets the consumer coalesce completion wakeups:
+// while the next request is from the same session, that session's client is
+// guaranteed another completion momentarily, so the doorbell can wait.
+inline int sub_peek_next_session(SubRingHdr* hdr) noexcept {
+  const std::uint64_t pos = hdr->deq_pos.load(std::memory_order_relaxed);
+  const ReqSlot* slot = &sub_slots_of(hdr)[pos & (kSubRingSlots - 1)];
+  const std::uint64_t w = slot->word.load(std::memory_order_acquire);
+  if (word_pos(w) != pos || word_tag(w) != kTagReady) return -1;
+  return static_cast<int>(word_session(w));
+}
+
+// Recycles the claimed slot at the cursor without executing it; only legal
+// once the server proved the claiming session's process is dead (it can
+// never publish again) or during drain teardown.
+inline void sub_discard(SubRingHdr* hdr) noexcept {
+  const std::uint64_t pos = hdr->deq_pos.load(std::memory_order_relaxed);
+  ReqSlot* slot = &sub_slots_of(hdr)[pos & (kSubRingSlots - 1)];
+  slot->word.store(svc_word(pos + kSubRingSlots, 0, kTagFree),
+                   std::memory_order_release);
+  hdr->deq_pos.store(pos + 1, std::memory_order_release);
+}
+
+// Published-but-unconsumed depth (approximate: concurrent claims in
+// flight are not counted).  Used by metrics and heap_inspect.
+inline std::uint64_t sub_depth(const SubRingHdr* hdr) noexcept {
+  const std::uint64_t enq = hdr->enq_hint.load(std::memory_order_relaxed);
+  const std::uint64_t deq = hdr->deq_pos.load(std::memory_order_relaxed);
+  return enq > deq ? enq - deq : 0;
+}
+
+// ---- completion ring -------------------------------------------------------
+
+inline void cpl_ring_init(SessionSlot* sess, CplSlot* ring) noexcept {
+  sess->cpl_enq.store(0, std::memory_order_relaxed);
+  sess->cpl_deq.store(0, std::memory_order_relaxed);
+  for (unsigned i = 0; i < kCplRingSlots; ++i) {
+    ring[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+struct CplMsg {
+  std::uint32_t req_id;
+  SvcStatus status;
+  std::uint16_t nops;
+  std::uint64_t results[2 * kMaxOpsPerReq];
+};
+
+// Multi-producer enqueue (server threads); false when the ring is full —
+// the server then owns cleanup of the message's handles (the client never
+// saw them).  Rings the session doorbell on success; pass wake=false to
+// defer the futex wake when another completion for the same session is
+// imminent (the doorbell word still advances, so a client mid-handshake
+// never sleeps through it).
+inline bool cpl_enqueue(SessionSlot* sess, CplSlot* ring,
+                        const CplMsg& msg, bool wake = true) noexcept {
+  std::uint64_t pos = sess->cpl_enq.load(std::memory_order_relaxed);
+  for (;;) {
+    CplSlot* slot = &ring[pos & (kCplRingSlots - 1)];
+    const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::int64_t>(seq) -
+                     static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (sess->cpl_enq.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+        slot->req_id = msg.req_id;
+        slot->status = static_cast<std::uint16_t>(msg.status);
+        slot->nops = msg.nops;
+        std::memcpy(slot->results, msg.results, sizeof(slot->results));
+        slot->seq.store(pos + 1, std::memory_order_release);
+        sess->doorbell.fetch_add(1, std::memory_order_release);
+        if (wake) futex_wake(&sess->doorbell, 1);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = sess->cpl_enq.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+// Single-consumer dequeue (the owning client, or the server reclaiming a
+// dead session's unread completions).
+inline bool cpl_dequeue(SessionSlot* sess, CplSlot* ring,
+                        CplMsg* out) noexcept {
+  const std::uint64_t pos = sess->cpl_deq.load(std::memory_order_relaxed);
+  CplSlot* slot = &ring[pos & (kCplRingSlots - 1)];
+  const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+  if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0) {
+    return false;  // empty
+  }
+  out->req_id = slot->req_id;
+  out->status = static_cast<SvcStatus>(slot->status);
+  out->nops = slot->nops;
+  std::memcpy(out->results, slot->results, sizeof(out->results));
+  slot->seq.store(pos + kCplRingSlots, std::memory_order_release);
+  sess->cpl_deq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+inline std::uint64_t cpl_depth(const SessionSlot* sess) noexcept {
+  const std::uint64_t enq = sess->cpl_enq.load(std::memory_order_relaxed);
+  const std::uint64_t deq = sess->cpl_deq.load(std::memory_order_relaxed);
+  return enq > deq ? enq - deq : 0;
+}
+
+}  // namespace poseidon::svc

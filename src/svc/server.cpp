@@ -1,0 +1,498 @@
+#include "svc/server.hpp"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/ownership.hpp"
+#include "obs/metrics.hpp"
+#include "svc/ring.hpp"
+
+namespace poseidon::svc {
+
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  (void)::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+const char* state_name(SvcState s) noexcept {
+  switch (s) {
+    case SvcState::kStarting: return "starting";
+    case SvcState::kServing: return "serving";
+    case SvcState::kDraining: return "draining";
+    case SvcState::kDead: return "dead";
+  }
+  return "?";
+}
+
+std::unique_ptr<SvcServer> SvcServer::start(const std::string& heap_path,
+                                            const ServerOptions& opts) {
+  ServerOptions o = opts;
+  // The service threads are the only allocator threads in this process;
+  // their magazines are the batching layer the rings were built for.
+  o.heap_opts.thread_cache = true;
+  o.heap_opts.read_only = false;
+
+  std::unique_ptr<core::Heap> heap =
+      o.create_capacity != 0
+          ? core::Heap::open_or_create(heap_path, o.create_capacity,
+                                       o.heap_opts)
+          : core::Heap::open(heap_path, o.heap_opts);
+
+  // Holding the heap's OFD locks proves any prior server is gone, so its
+  // stale segment (fresh or crashed) can be swept unconditionally.
+  const std::string seg_path = svc_path(heap_path);
+  pmem::ShmSegment::unlink(seg_path);
+  const SvcGeometry geo = compute_svc_geometry(heap->shard_count());
+  pmem::ShmSegment seg = pmem::ShmSegment::create(seg_path, geo.segment_bytes);
+
+  return std::unique_ptr<SvcServer>(
+      new SvcServer(std::move(heap), std::move(seg), std::move(o)));
+}
+
+SvcServer::SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
+                     ServerOptions opts)
+    : heap_(std::move(heap)), seg_(std::move(seg)), opts_(std::move(opts)) {
+  nshards_ = heap_->shard_count();
+  std::byte* base = seg_.data();
+
+  SvcHeader* h = header_of(base);
+  const SvcGeometry geo = compute_svc_geometry(nshards_);
+  h->magic = kSvcMagic;
+  h->version = kSvcVersion;
+  h->state.store(static_cast<std::uint32_t>(SvcState::kStarting),
+                 std::memory_order_relaxed);
+  h->server_pid = static_cast<std::uint64_t>(::getpid());
+  h->server_start_time = core::proc_start_time(::getpid());
+  h->server_boot_id = core::boot_id_hash();
+  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  h->epoch.store(1, std::memory_order_relaxed);
+  h->nshards = nshards_;
+  h->nsessions = kMaxSessions;
+  h->sub_ring_slots = kSubRingSlots;
+  h->cpl_ring_slots = kCplRingSlots;
+  h->shard_entries_off = geo.shard_entries_off;
+  h->sub_rings_off = geo.sub_rings_off;
+  h->sub_ring_bytes = geo.sub_ring_bytes;
+  h->sessions_off = geo.sessions_off;
+  h->cpl_rings_off = geo.cpl_rings_off;
+  h->cpl_ring_bytes = geo.cpl_ring_bytes;
+  h->segment_bytes = geo.segment_bytes;
+
+  ShardEntry* entries = shard_entries_of(base);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    ShardEntry& e = entries[i];
+    const core::PoolShard* s = heap_->shard(i);
+    if (s == nullptr) {  // quarantined member: no ring traffic routes here
+      e = ShardEntry{};
+      continue;
+    }
+    const auto [ulo, ulen] = s->user_range();
+    e.heap_id = s->heap_id();
+    e.user_region_off = static_cast<std::uint64_t>(
+        static_cast<const std::byte*>(ulo) -
+        static_cast<const std::byte*>(
+            const_cast<core::PoolShard*>(s)->metadata_region().first));
+    e.nsubheaps = s->nsubheaps();
+    e.user_size = ulen / e.nsubheaps;
+    e.reserved = 0;
+    // The minimal mapping a client data window needs.
+    e.file_size = e.user_region_off + ulen;
+  }
+
+  for (unsigned i = 0; i < nshards_; ++i) sub_ring_init(sub_ring_of(base, i));
+  SessionSlot* sess = sessions_of(base);
+  for (unsigned i = 0; i < kMaxSessions; ++i) {
+    std::memset(static_cast<void*>(&sess[i]), 0, sizeof(SessionSlot));
+    cpl_ring_init(&sess[i], cpl_ring_of(base, i));
+  }
+
+  epochs_.reserve(nshards_);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    epochs_.push_back(std::make_unique<ThreadEpoch>());
+  }
+  book_.resize(kMaxSessions);
+  for (auto& b : book_) b.enq_snap.assign(nshards_, 0);
+
+  threads_.reserve(nshards_);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    threads_.emplace_back([this, i] { service_loop(i); });
+  }
+  housekeeper_ = std::thread([this] { housekeep_loop(); });
+
+  h->state.store(static_cast<std::uint32_t>(SvcState::kServing),
+                 std::memory_order_release);
+  heap_->note_flight(obs::FlightOp::kSvcState,
+                     static_cast<std::uint64_t>(SvcState::kServing));
+}
+
+SvcServer::~SvcServer() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+SvcState SvcServer::state() const noexcept {
+  return static_cast<SvcState>(
+      header_of(const_cast<SvcServer*>(this)->seg_.data())
+          ->state.load(std::memory_order_acquire));
+}
+
+void SvcServer::drain() noexcept {
+  SvcHeader* h = header_of(seg_.data());
+  std::uint32_t cur = h->state.load(std::memory_order_acquire);
+  if (cur == static_cast<std::uint32_t>(SvcState::kServing)) {
+    h->state.store(static_cast<std::uint32_t>(SvcState::kDraining),
+                   std::memory_order_release);
+    heap_->note_flight(obs::FlightOp::kSvcState,
+                       static_cast<std::uint64_t>(SvcState::kDraining));
+  }
+}
+
+void SvcServer::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  drain();
+  // Wake every sleeper so the loops observe stop_ promptly.
+  std::byte* base = seg_.data();
+  for (unsigned i = 0; i < nshards_; ++i) {
+    SubRingHdr* r = sub_ring_of(base, i);
+    r->doorbell.fetch_add(1, std::memory_order_release);
+    futex_wake(&r->doorbell, 1);
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (housekeeper_.joinable()) housekeeper_.join();
+  SvcHeader* h = header_of(base);
+  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  h->state.store(static_cast<std::uint32_t>(SvcState::kDead),
+                 std::memory_order_release);
+  heap_->note_flight(obs::FlightOp::kSvcState,
+                     static_cast<std::uint64_t>(SvcState::kDead));
+  // Wake any client blocked on a completion that will never come; they
+  // read the state word and fail over.
+  SessionSlot* sess = sessions_of(base);
+  for (unsigned i = 0; i < kMaxSessions; ++i) {
+    sess[i].doorbell.fetch_add(1, std::memory_order_release);
+    futex_wake(&sess[i].doorbell, 1);
+  }
+}
+
+// ---- service threads -------------------------------------------------------
+
+void SvcServer::service_loop(unsigned shard) {
+  std::byte* base = seg_.data();
+  SvcHeader* h = header_of(base);
+  SubRingHdr* ring = sub_ring_of(base, shard);
+  obs::Metrics& m = heap_->metrics_mut();
+  // On a single-CPU box an idle-spinning service thread competes with the
+  // very client that is about to submit; sleep almost immediately there
+  // (the doorbell handshake below makes the early sleep lossless).
+  const unsigned idle_spins =
+      std::thread::hardware_concurrency() > 1 ? opts_.idle_spins : 16;
+  unsigned idle = 0;
+  unsigned claim_spins = 0;
+
+  while (true) {
+    epochs_[shard]->v.store(h->epoch.load(std::memory_order_acquire),
+                            std::memory_order_release);
+    SubReq req;
+    std::uint32_t claimant = 0;
+    switch (sub_poll(ring, &req, &claimant)) {
+      case SubPoll::kGot: {
+        idle = 0;
+        claim_spins = 0;
+        m.svc_ring_depth.record(sub_depth(ring));
+        const std::uint64_t t0 = obs::rdtsc();
+        execute(shard, req);
+        m.svc_req_cycles.record(obs::rdtsc() - t0);
+        m.svc_requests.inc();
+        m.svc_ops.inc(req.nops);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      case SubPoll::kClaimWait: {
+        // A claimed-but-unpublished slot: the claimant is either a few
+        // stores from publishing or dead.  Spin briefly, then consult the
+        // session table.
+        if (++claim_spins < 256) {
+          cpu_relax();
+          continue;
+        }
+        claim_spins = 0;
+        SessionSlot& s = sessions_of(base)[claimant];
+        const auto pid = static_cast<pid_t>(s.pid);
+        const bool live = s.state.load(std::memory_order_acquire) != 0 &&
+                          pid != 0 && core::process_alive(pid) &&
+                          core::proc_start_time(pid) == s.start_time;
+        if (!live) {
+          // A SIGKILLed claimant can never publish; recycling the wedge
+          // is safe because the request was never visible, hence never
+          // executed.
+          sub_discard(ring);
+          m.svc_claims_discarded.inc();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      case SubPoll::kEmpty:
+        break;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Rings stay empty once the state is kDraining/kDead (clients stop
+      // submitting), so an empty poll here is the drained condition.
+      break;
+    }
+    if (++idle < idle_spins) {
+      cpu_relax();
+      continue;
+    }
+    // Sleep: publish quiescence first so an idle shard never delays a
+    // zombie grace period, and re-check the ring after raising the
+    // sleeper flag (the standard lost-wakeup handshake).
+    epochs_[shard]->v.store(UINT64_MAX, std::memory_order_release);
+    ring->consumer_sleeping.store(1, std::memory_order_release);
+    const std::uint32_t bell = ring->doorbell.load(std::memory_order_acquire);
+    if (sub_depth(ring) == 0 && !stop_.load(std::memory_order_acquire)) {
+      futex_wait(&ring->doorbell, bell, 10'000'000);  // 10 ms heartbeat tick
+      m.svc_wakeups.inc();
+    }
+    ring->consumer_sleeping.store(0, std::memory_order_release);
+    idle = 0;
+  }
+  epochs_[shard]->v.store(UINT64_MAX, std::memory_order_release);
+}
+
+void SvcServer::execute(unsigned shard, const SubReq& req) {
+  std::byte* base = seg_.data();
+  obs::Metrics& m = heap_->metrics_mut();
+  SessionSlot& sess = sessions_of(base)[req.session];
+
+  // A request from a session that is no longer active is from a reclaimed
+  // (or mid-reclaim) client: executing it could hand results to the slot's
+  // next occupant, so it is dropped whole.
+  if (sess.state.load(std::memory_order_acquire) != kSessActive) return;
+
+  CplMsg cpl{};
+  cpl.req_id = req.req_id;
+  cpl.status = SvcStatus::kOk;
+  cpl.nops = req.nops;
+
+  const unsigned n = std::min<unsigned>(req.nops, kMaxOpsPerReq);
+  core::NvPtr ptrs[kMaxOpsPerReq];
+  bool results_are_allocs = false;
+
+  switch (req.op) {
+    case SvcOp::kAlloc:
+    case SvcOp::kTxAlloc: {
+      if (n == 0 || n != req.nops) {
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+        break;
+      }
+      if (req.op == SvcOp::kAlloc) {
+        heap_->alloc_batch(req.payload, n, ptrs);
+      } else {
+        heap_->tx_alloc_batch(req.payload, n, ptrs);
+      }
+      for (unsigned i = 0; i < n; ++i) {
+        cpl.results[2 * i] = ptrs[i].heap_id;
+        cpl.results[2 * i + 1] = ptrs[i].packed;
+      }
+      cpl.status = SvcStatus::kOkAlloc;
+      results_are_allocs = true;
+      break;
+    }
+    case SvcOp::kFree: {
+      if (n == 0 || n != req.nops) {
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+        break;
+      }
+      core::FreeResult res[kMaxOpsPerReq];
+      for (unsigned i = 0; i < n; ++i) {
+        ptrs[i] = core::NvPtr{req.payload[2 * i], req.payload[2 * i + 1]};
+      }
+      heap_->free_batch(ptrs, n, res);
+      for (unsigned i = 0; i < n; ++i) {
+        cpl.results[i] = static_cast<std::uint64_t>(res[i]);
+      }
+      break;
+    }
+    case SvcOp::kGetRoot: {
+      const core::NvPtr r = heap_->root();
+      cpl.results[0] = r.heap_id;
+      cpl.results[1] = r.packed;
+      cpl.nops = 1;
+      break;
+    }
+    case SvcOp::kSetRoot:
+      heap_->set_root(core::NvPtr{req.payload[0], req.payload[1]});
+      cpl.nops = 0;
+      break;
+    case SvcOp::kPing:
+      std::memcpy(cpl.results, req.payload, sizeof(cpl.results));
+      break;
+    default:
+      cpl.status = SvcStatus::kBadRequest;
+      cpl.nops = 0;
+      break;
+  }
+
+  // Wake coalescing: while the next published request is from the same
+  // session (a pipelined refill or free wave), that client gets another
+  // completion within this loop iteration — deliver the whole wave with
+  // one futex wake instead of one per batch.
+  const bool wake =
+      sub_peek_next_session(sub_ring_of(base, shard)) !=
+      static_cast<int>(req.session);
+  if (!cpl_enqueue(&sess, cpl_ring_of(base, req.session), cpl, wake)) {
+    // Completion ring full: the client can never learn these handles, so
+    // returning them to the heap right now is leak-free and safe.
+    if (results_are_allocs) {
+      for (unsigned i = 0; i < n; ++i) {
+        if (!ptrs[i].is_null()) (void)heap_->free(ptrs[i]);
+      }
+    }
+    m.svc_cpl_overflows.inc();
+  }
+}
+
+// ---- housekeeping ----------------------------------------------------------
+
+std::uint64_t SvcServer::min_thread_epoch() const noexcept {
+  std::uint64_t e = UINT64_MAX;
+  for (const auto& t : epochs_) {
+    e = std::min(e, t->v.load(std::memory_order_acquire));
+  }
+  return e;
+}
+
+void SvcServer::mark_zombie(unsigned sess_idx, std::uint32_t state_now) {
+  std::byte* base = seg_.data();
+  SessionSlot& s = sessions_of(base)[sess_idx];
+  s.retire_epoch = header_of(base)->epoch.load(std::memory_order_acquire);
+  for (unsigned i = 0; i < nshards_; ++i) {
+    book_[sess_idx].enq_snap[i] =
+        sub_ring_of(base, i)->enq_hint.load(std::memory_order_acquire);
+  }
+  (void)state_now;
+  s.state.store(kSessZombie, std::memory_order_release);
+}
+
+bool SvcServer::grace_elapsed(unsigned sess_idx) const noexcept {
+  std::byte* base = const_cast<SvcServer*>(this)->seg_.data();
+  const SessionSlot& s = sessions_of(base)[sess_idx];
+  // Every service thread must have passed the retire epoch (no request
+  // that predates the zombie marking can still be mid-execution)...
+  if (min_thread_epoch() <= s.retire_epoch) return false;
+  // ...and every ring's dequeue cursor must have passed its snapshot (no
+  // request the dead client published remains unconsumed).
+  for (unsigned i = 0; i < nshards_; ++i) {
+    const SubRingHdr* r = sub_ring_of(base, i);
+    if (r->deq_pos.load(std::memory_order_acquire) <
+        book_[sess_idx].enq_snap[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SvcServer::reclaim_session(unsigned sess_idx) {
+  std::byte* base = seg_.data();
+  SessionSlot& s = sessions_of(base)[sess_idx];
+  // Alloc results the client never dequeued go back to the heap; consumed
+  // handles stay out (the client's persistent structures may hold them).
+  CplMsg msg;
+  while (cpl_dequeue(&s, cpl_ring_of(base, sess_idx), &msg)) {
+    if (msg.status != SvcStatus::kOkAlloc) continue;
+    for (unsigned i = 0; i + 1 < 2u * msg.nops; i += 2) {
+      const core::NvPtr p{msg.results[i], msg.results[i + 1]};
+      if (!p.is_null()) (void)heap_->free(p);
+    }
+  }
+  cpl_ring_init(&s, cpl_ring_of(base, sess_idx));
+  s.pid = 0;
+  s.start_time = 0;
+  s.gen += 1;
+  s.retire_epoch = 0;
+  s.state.store(kSessFree, std::memory_order_release);
+  heap_->metrics_mut().svc_sessions_reclaimed.inc();
+  sessions_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+  heap_->note_flight(obs::FlightOp::kSvcReclaim, sess_idx);
+}
+
+void SvcServer::housekeep_loop() {
+  std::byte* base = seg_.data();
+  SvcHeader* h = header_of(base);
+  obs::Metrics& m = heap_->metrics_mut();
+  std::uint64_t last_owner_beat = 0;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t now = monotonic_ns();
+    h->heartbeat_ns.store(now, std::memory_order_release);
+    h->epoch.fetch_add(1, std::memory_order_acq_rel);
+    // The persistent owner record's trail, reused from PR 5; once a
+    // second is plenty for inspectors.
+    if (now - last_owner_beat > 1'000'000'000ull) {
+      heap_->refresh_owner_heartbeat();
+      last_owner_beat = now;
+    }
+
+    SessionSlot* sess = sessions_of(base);
+    for (unsigned i = 0; i < kMaxSessions; ++i) {
+      SessionSlot& s = sess[i];
+      const std::uint32_t st = s.state.load(std::memory_order_acquire);
+      switch (st) {
+        case kSessActive: {
+          if (book_[i].seen_gen != s.gen) {
+            book_[i].seen_gen = s.gen;
+            m.svc_sessions_opened.inc();
+            heap_->note_flight(obs::FlightOp::kSvcSession, i);
+          }
+          const auto pid = static_cast<pid_t>(s.pid);
+          if (!core::process_alive(pid) ||
+              core::proc_start_time(pid) != s.start_time) {
+            mark_zombie(i, st);
+          }
+          break;
+        }
+        case kSessClosed:
+          // Clean disconnect: same grace machinery, for uniformity (a
+          // request of theirs may still be in flight).
+          mark_zombie(i, st);
+          break;
+        case kSessClaiming: {
+          // Admission crash: never active, never submitted.  Reclaim once
+          // the claim heartbeat goes stale or the pid is provably dead.
+          const std::uint64_t hb = s.heartbeat.load(std::memory_order_acquire);
+          const auto pid = static_cast<pid_t>(s.pid);
+          const bool pid_dead =
+              pid != 0 && (!core::process_alive(pid) ||
+                           core::proc_start_time(pid) != s.start_time);
+          if (pid_dead || now - hb > opts_.claim_stale_ns) {
+            reclaim_session(i);
+          }
+          break;
+        }
+        case kSessZombie:
+          if (grace_elapsed(i)) reclaim_session(i);
+          break;
+        default:
+          break;
+      }
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.housekeep_ms));
+  }
+}
+
+}  // namespace poseidon::svc

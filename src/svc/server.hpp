@@ -1,0 +1,141 @@
+// The allocation-service server: owns the heap (OFD lock and all), hosts
+// one service thread per pool shard plus a housekeeping thread, and
+// serves ring requests from other processes (svc_layout.hpp for the wire
+// format, ring.hpp for the algorithms).
+//
+// Thread roles:
+//   * service thread (one per shard) — drains that shard's submission
+//     ring and executes requests through the Heap batch entry points.
+//     The heap is opened with thread_cache forced on, so each service
+//     thread's magazines are the L2 that batches undo commits under the
+//     clients' L1 magazines (SpeedMalloc's split).  Each loop iteration
+//     publishes the thread's view of the global epoch; while
+//     futex-sleeping it publishes "quiescent" so idle shards never stall
+//     reclamation.
+//   * housekeeping — advances the epoch, stamps the segment heartbeat
+//     (clients' liveness signal), re-stamps the heap's persistent owner
+//     heartbeat, and runs the session reclaimer.
+//
+// Session reclamation (client death mid-batch):
+//   1. detect: pid dead or start_time mismatch (core/ownership helpers) —
+//      the session becomes a zombie at retire_epoch = current epoch, and
+//      the submission rings' enqueue positions are snapshotted.
+//   2. grace: wait until every service thread's epoch passes retire_epoch
+//      (no thread can still be executing a request that predates the
+//      zombie marking) and every ring's dequeue cursor passes its
+//      snapshot (every request the dead client published has been
+//      executed or discarded; service threads discard requests whose
+//      session is not active).
+//   3. reclaim: drain the zombie's completion ring and free every alloc
+//      result still in it — the client provably never dequeued those
+//      handles, so freeing them is the no-leak guarantee.  Handles the
+//      client *did* consume stay allocated (its persistent structures may
+//      reference them); that is a bounded leak recovered by fsck-level
+//      tools, never an unsafe reuse.  Finally the slot's generation bumps
+//      and the session returns to the free pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "pmem/shm.hpp"
+#include "svc/svc_layout.hpp"
+
+namespace poseidon::svc {
+
+struct ServerOptions {
+  // Heap open options; thread_cache is forced on and read_only off.
+  core::Options heap_opts{};
+  // When nonzero, open_or_create with this capacity (tools/tests).
+  std::uint64_t create_capacity = 0;
+  // Housekeeping cadence (heartbeat, epoch advance, reclamation scan).
+  std::uint64_t housekeep_ms = 20;
+  // A kSessClaiming slot with a heartbeat older than this is an admission
+  // crash and reclaimed without grace (it never submitted anything).
+  std::uint64_t claim_stale_ns = 2'000'000'000;
+  // Service threads spin this many polls before futex-sleeping.
+  unsigned idle_spins = 4096;
+};
+
+class SvcServer {
+ public:
+  // Opens the heap exclusively (throws Error{kHeapBusy} through from
+  // Heap::open if another owner is live) and publishes a fresh segment at
+  // svc_path(heap_path), replacing any stale one.
+  static std::unique_ptr<SvcServer> start(const std::string& heap_path,
+                                          const ServerOptions& opts = {});
+
+  ~SvcServer();
+  SvcServer(const SvcServer&) = delete;
+  SvcServer& operator=(const SvcServer&) = delete;
+
+  // Stop accepting new submissions (clients get kSvcRetry); already
+  // published requests are still served.
+  void drain() noexcept;
+
+  // Drain, serve out the rings, join every thread, mark the segment
+  // kDead.  The segment file is left on disk for inspection; the next
+  // server incarnation sweeps it.  Idempotent.
+  void stop();
+
+  core::Heap& heap() noexcept { return *heap_; }
+  const std::string& segment_path() const noexcept { return seg_.path(); }
+  SvcState state() const noexcept;
+
+  // Test/diagnostic peeks.
+  std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sessions_reclaimed() const noexcept {
+    return sessions_reclaimed_.load(std::memory_order_relaxed);
+  }
+  std::byte* segment_base() noexcept { return seg_.data(); }
+
+ private:
+  SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
+            ServerOptions opts);
+
+  void service_loop(unsigned shard);
+  void housekeep_loop();
+  // Executes one request and enqueues its completion; frees alloc results
+  // when the completion ring is full or the session is no longer active.
+  void execute(unsigned shard, const struct SubReq& req);
+  void mark_zombie(unsigned sess, std::uint32_t state_now);
+  bool grace_elapsed(unsigned sess) const noexcept;
+  void reclaim_session(unsigned sess);
+  std::uint64_t min_thread_epoch() const noexcept;
+
+  std::unique_ptr<core::Heap> heap_;
+  pmem::ShmSegment seg_;
+  ServerOptions opts_;
+  unsigned nshards_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> sessions_reclaimed_{0};
+
+  // Per-service-thread published epoch; UINT64_MAX = quiescent (sleeping
+  // or exited), which never holds up a grace period.
+  struct alignas(64) ThreadEpoch {
+    std::atomic<std::uint64_t> v{UINT64_MAX};
+  };
+  std::vector<std::unique_ptr<ThreadEpoch>> epochs_;
+
+  // Reclaimer bookkeeping (server-local; the segment only carries what
+  // clients and inspectors need).
+  struct SessionBook {
+    std::uint32_t seen_gen = UINT32_MAX;  // last gen counted as "opened"
+    std::vector<std::uint64_t> enq_snap;  // per-shard enqueue snapshot
+  };
+  std::vector<SessionBook> book_;
+
+  std::vector<std::thread> threads_;
+  std::thread housekeeper_;
+};
+
+}  // namespace poseidon::svc

@@ -1,0 +1,270 @@
+// Shared-memory layout of the allocation service ("Poseidon as a server").
+//
+//   segment:  [ SvcHeader | ShardEntry x kMaxShards | SubRing x nshards |
+//               SessionSlot x kMaxSessions | CplRing x kMaxSessions ]
+//
+// The segment is volatile DRAM state recreated by every server
+// incarnation (pmem/shm.hpp); only the *heap* is persistent.  Client
+// processes submit alloc/free/tx batches through per-shard MPSC
+// submission rings and collect results from per-session completion rings;
+// the server's per-shard service threads — which own the sub-heap locks
+// outright, the SpeedMalloc "allocation core" — execute them.
+//
+// Crash tolerance is the design center.  A client can be SIGKILLed at any
+// instruction, so the submission ring cannot use a shared-ticket queue (a
+// ticket taken by a dead producer would wedge the consumer forever).
+// Instead every slot carries one atomic word encoding
+//
+//     word = position << 8 | session << 2 | tag      (svc_word)
+//
+// and a producer claims the slot for `position` by CAS from
+// tag=kTagFree to kTagClaimed *with its session id in the same word* —
+// there is never an anonymous claim.  If the claimant dies before
+// publishing (kTagReady), the service thread sees a claimed slot whose
+// session is dead and recycles it; a live-but-preempted claimant is
+// waited for (its publish is a handful of stores away).  Completion rings
+// only ever have server-side producers, so they use a plain ticket
+// (Vyukov) scheme — if the server dies, clients detect it globally via
+// heartbeat + pid liveness, not per-slot.
+//
+// All slots are one cache line wide or a multiple (128 B: sequence word +
+// payload), and every cross-process doorbell is a 32-bit futex word.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/compiler.hpp"
+#include "core/layout.hpp"
+#include "core/nvmptr.hpp"
+
+namespace poseidon::svc {
+
+inline constexpr std::uint64_t kSvcMagic = 0x504f534549535643ull;  // "POSEISVC"
+inline constexpr std::uint32_t kSvcVersion = 1;
+
+// Session slots; 64 keeps the session id in 6 bits of the slot word.
+inline constexpr unsigned kMaxSessions = 64;
+// Ops per request/completion slot: 6 sizes, 6 NvPtrs or 6 result words
+// all fit the 96-byte payload.
+inline constexpr unsigned kMaxOpsPerReq = 6;
+// Submission slots per shard ring (power of two).
+inline constexpr unsigned kSubRingSlots = 256;
+// Completion slots per session ring (power of two).  Clients are
+// synchronous (one outstanding request per session) so this is slack for
+// torture's deliberately-unconsumed bursts, not a throughput knob.
+inline constexpr unsigned kCplRingSlots = 32;
+
+// ---- slot word (submission ring) -------------------------------------------
+
+enum SlotTag : std::uint64_t {
+  kTagFree = 0,     // free for the position encoded in the word
+  kTagClaimed = 1,  // claimed by `session`, payload being written
+  kTagReady = 2,    // published; consumable
+};
+
+inline constexpr std::uint64_t svc_word(std::uint64_t pos, std::uint32_t session,
+                                        std::uint64_t tag) noexcept {
+  return (pos << 8) | (std::uint64_t{session} << 2) | tag;
+}
+inline constexpr std::uint64_t word_pos(std::uint64_t w) noexcept {
+  return w >> 8;
+}
+inline constexpr std::uint32_t word_session(std::uint64_t w) noexcept {
+  return static_cast<std::uint32_t>((w >> 2) & 0x3f);
+}
+inline constexpr std::uint64_t word_tag(std::uint64_t w) noexcept {
+  return w & 0x3;
+}
+
+// ---- operations ------------------------------------------------------------
+
+enum class SvcOp : std::uint16_t {
+  kNone = 0,
+  kAlloc = 1,    // payload: nops sizes        -> results: nops NvPtrs (2 words)
+  kTxAlloc = 2,  // as kAlloc, inside one transaction committed server-side
+  kFree = 3,     // payload: nops NvPtrs       -> results: nops FreeResult codes
+  kGetRoot = 4,  //                            -> results[0..1] = root NvPtr
+  kSetRoot = 5,  // payload[0..1] = root NvPtr
+  kPing = 6,     // liveness probe; echoes
+};
+
+enum class SvcStatus : std::uint16_t {
+  kOk = 0,
+  kBadRequest = 1,  // malformed op/nops (client bug); nothing executed
+  kOkAlloc = 2,     // success AND results are NvPtr pairs — the reclaimer
+                    // frees these when the client dies before dequeuing
+};
+
+struct alignas(2 * kCacheLineSize) ReqSlot {
+  std::atomic<std::uint64_t> word;  // svc_word; the publication point
+  std::uint32_t req_id;             // client cookie, echoed in the completion
+  std::uint16_t op;                 // SvcOp
+  std::uint16_t nops;
+  std::uint64_t payload[2 * kMaxOpsPerReq];
+};
+static_assert(sizeof(ReqSlot) == 128);
+
+struct alignas(2 * kCacheLineSize) CplSlot {
+  std::atomic<std::uint64_t> seq;  // Vyukov: pos+1 = ready, pos+cap = free
+  std::uint32_t req_id;
+  std::uint16_t status;  // SvcStatus
+  std::uint16_t nops;
+  std::uint64_t results[2 * kMaxOpsPerReq];
+};
+static_assert(sizeof(CplSlot) == 128);
+
+// ---- ring headers ----------------------------------------------------------
+
+// Per-shard submission ring header.  enq_hint is advisory (producers probe
+// forward from it); deq_pos is the service thread's authoritative cursor,
+// stored relaxed so inspectors can report depth.  doorbell counts
+// publications mod 2^32 and doubles as the consumer's futex word.
+struct alignas(2 * kCacheLineSize) SubRingHdr {
+  std::atomic<std::uint64_t> enq_hint;
+  std::atomic<std::uint64_t> deq_pos;
+  std::atomic<std::uint32_t> doorbell;
+  std::atomic<std::uint32_t> consumer_sleeping;
+};
+static_assert(sizeof(SubRingHdr) == 128);
+
+// ---- sessions --------------------------------------------------------------
+
+enum SessionState : std::uint32_t {
+  kSessFree = 0,
+  kSessClaiming = 1,  // client CAS-won the slot, identity being written
+  kSessActive = 2,
+  kSessClosed = 3,    // clean disconnect; server reclaims without grace hurry
+  kSessZombie = 4,    // owner pid is dead; awaiting epoch grace
+};
+
+struct alignas(2 * kCacheLineSize) SessionSlot {
+  std::atomic<std::uint32_t> state;  // SessionState
+  std::uint32_t gen;                 // bumped by the server at each reclaim
+  std::uint64_t pid;
+  std::uint64_t start_time;          // /proc/<pid>/stat field 22 (pid reuse guard)
+  std::atomic<std::uint64_t> heartbeat;   // client ns timestamp, per submit
+  std::atomic<std::uint64_t> ops;         // client progress counter (diagnostic)
+  std::atomic<std::uint64_t> phase;       // client-defined marker (torture)
+  std::uint32_t preferred_shard;
+  std::atomic<std::uint32_t> doorbell;    // completion futex word
+  std::atomic<std::uint64_t> cpl_enq;     // server-side ticket (Vyukov)
+  std::atomic<std::uint64_t> cpl_deq;     // client cursor (inspectability)
+  std::uint64_t retire_epoch;             // server-side: zombie grace marker
+  std::uint64_t reserved[3];
+};
+static_assert(sizeof(SessionSlot) == 128);
+
+// ---- header ----------------------------------------------------------------
+
+enum class SvcState : std::uint32_t {
+  kStarting = 0,
+  kServing = 1,
+  kDraining = 2,  // submissions rejected client-side with kSvcRetry
+  kDead = 3,      // server closed; clients fail over to read_only
+};
+
+const char* state_name(SvcState s) noexcept;
+
+// Per-shard geometry a client needs to map the heap's user regions and
+// convert NvPtrs without any core machinery: raw(p) =
+//   shard_base + user_region_off + p.subheap() * user_size + p.offset().
+struct ShardEntry {
+  std::uint64_t heap_id;  // 0 = quarantined slot (no ring, no mapping)
+  std::uint64_t user_region_off;
+  std::uint64_t user_size;  // per sub-heap
+  std::uint32_t nsubheaps;
+  std::uint32_t reserved;
+  std::uint64_t file_size;
+};
+
+struct SvcHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::atomic<std::uint32_t> state;  // SvcState
+  std::uint64_t server_pid;
+  std::uint64_t server_start_time;   // pid-reuse guard, like OwnerRecord
+  std::uint64_t server_boot_id;
+  std::atomic<std::uint64_t> heartbeat_ns;  // CLOCK_MONOTONIC, housekeeping
+  std::atomic<std::uint64_t> epoch;         // global reclamation epoch
+  std::uint32_t nshards;
+  std::uint32_t nsessions;
+  std::uint32_t sub_ring_slots;
+  std::uint32_t cpl_ring_slots;
+  // Segment geometry (byte offsets from the segment base).
+  std::uint64_t shard_entries_off;
+  std::uint64_t sub_rings_off;   // nshards rings of sub_ring_bytes each
+  std::uint64_t sub_ring_bytes;
+  std::uint64_t sessions_off;
+  std::uint64_t cpl_rings_off;   // nsessions rings of cpl_ring_bytes each
+  std::uint64_t cpl_ring_bytes;
+  std::uint64_t segment_bytes;
+};
+
+// ---- geometry --------------------------------------------------------------
+
+struct SvcGeometry {
+  std::uint64_t shard_entries_off;
+  std::uint64_t sub_rings_off;
+  std::uint64_t sub_ring_bytes;
+  std::uint64_t sessions_off;
+  std::uint64_t cpl_rings_off;
+  std::uint64_t cpl_ring_bytes;
+  std::uint64_t segment_bytes;
+};
+
+constexpr SvcGeometry compute_svc_geometry(unsigned nshards) noexcept {
+  SvcGeometry g{};
+  const std::uint64_t page = core::kPageSize;
+  g.shard_entries_off = align_up(sizeof(SvcHeader), std::uint64_t{128});
+  g.sub_ring_bytes = sizeof(SubRingHdr) + kSubRingSlots * sizeof(ReqSlot);
+  g.sub_rings_off = align_up(
+      g.shard_entries_off + core::kMaxShards * sizeof(ShardEntry), page);
+  g.sessions_off = align_up(g.sub_rings_off + nshards * g.sub_ring_bytes, page);
+  g.cpl_ring_bytes = kCplRingSlots * sizeof(CplSlot);
+  g.cpl_rings_off =
+      align_up(g.sessions_off + kMaxSessions * sizeof(SessionSlot), page);
+  g.segment_bytes = align_up(g.cpl_rings_off + kMaxSessions * g.cpl_ring_bytes,
+                             page);
+  return g;
+}
+
+// ---- views -----------------------------------------------------------------
+
+inline SvcHeader* header_of(std::byte* base) noexcept {
+  return reinterpret_cast<SvcHeader*>(base);
+}
+inline ShardEntry* shard_entries_of(std::byte* base) noexcept {
+  return reinterpret_cast<ShardEntry*>(base +
+                                       header_of(base)->shard_entries_off);
+}
+inline SubRingHdr* sub_ring_of(std::byte* base, unsigned shard) noexcept {
+  SvcHeader* h = header_of(base);
+  return reinterpret_cast<SubRingHdr*>(base + h->sub_rings_off +
+                                       shard * h->sub_ring_bytes);
+}
+inline ReqSlot* sub_slots_of(SubRingHdr* hdr) noexcept {
+  return reinterpret_cast<ReqSlot*>(hdr + 1);
+}
+inline SessionSlot* sessions_of(std::byte* base) noexcept {
+  return reinterpret_cast<SessionSlot*>(base + header_of(base)->sessions_off);
+}
+inline CplSlot* cpl_ring_of(std::byte* base, unsigned session) noexcept {
+  SvcHeader* h = header_of(base);
+  return reinterpret_cast<CplSlot*>(base + h->cpl_rings_off +
+                                    session * h->cpl_ring_bytes);
+}
+
+// Service segment path convention: beside the heap's head file.
+inline std::string svc_path(const std::string& heap_path) {
+  return heap_path + ".svc";
+}
+
+// Monotonic nanoseconds (CLOCK_MONOTONIC): the timebase of every svc
+// heartbeat, comparable across the processes of one boot.
+std::uint64_t monotonic_ns() noexcept;
+
+}  // namespace poseidon::svc

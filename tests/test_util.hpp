@@ -38,6 +38,7 @@ class TempHeapPath {
     for (unsigned i = 1; i < core::kMaxShards; ++i) {
       pmem::Pool::unlink(path_ + ".shard" + std::to_string(i));
     }
+    pmem::Pool::unlink(path_ + ".svc");  // allocation-service segment
   }
 
   std::string path_;

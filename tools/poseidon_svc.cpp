@@ -1,0 +1,139 @@
+// poseidon_svc — the allocation-service server ("Poseidon as a server").
+//
+// Opens (or creates, with --capacity) the heap exclusively, publishes the
+// shared-memory command segment beside it, and serves ring requests from
+// client processes until SIGTERM/SIGINT — which drains (clients get typed
+// kSvcRetry), serves out the rings, and marks the segment dead so clients
+// fail over to read-only.  While serving it prints a status line every few
+// seconds: requests served, sessions reclaimed, per-shard ring depth.
+//
+//   $ ./poseidon_svc --create --capacity $((64<<20)) /dev/shm/app.heap
+//   $ ./poseidon_svc /dev/shm/app.heap          # heap must already exist
+//
+// Inspect a live server from another terminal:
+//   $ ./heap_inspect --svc /dev/shm/app.heap
+#include <signal.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "mpk/mpk.hpp"
+#include "svc/ring.hpp"
+#include "svc/server.hpp"
+
+using namespace poseidon;
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void on_term(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--create] [--capacity BYTES] [--shards N] "
+               "[--subheaps N] [--quiet] <heap-file>\n"
+               "  --create     create the heap if the file does not exist\n"
+               "  --capacity   user capacity for --create (default 64 MiB)\n"
+               "  --shards     NUMA shard count (0 = one per node)\n"
+               "  --subheaps   sub-heaps per shard (0 = auto)\n"
+               "  --quiet      no periodic status line\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool create = false;
+  bool quiet = false;
+  std::uint64_t capacity = 64ull << 20;
+  unsigned shards = 0, subheaps = 0;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v;
+    if (a == "--create") create = true;
+    else if (a == "--quiet") quiet = true;
+    else if (a == "--capacity" && (v = next())) capacity = std::strtoull(v, nullptr, 0);
+    else if (a == "--shards" && (v = next())) shards = static_cast<unsigned>(std::atoi(v));
+    else if (a == "--subheaps" && (v = next())) subheaps = static_cast<unsigned>(std::atoi(v));
+    else if (path == nullptr && a.size() && a[0] != '-') path = argv[i];
+    else { usage(argv[0]); return 2; }
+  }
+  if (path == nullptr) { usage(argv[0]); return 2; }
+
+  svc::ServerOptions opts;
+  opts.heap_opts.nshards = shards;
+  opts.heap_opts.nsubheaps = subheaps;
+  opts.heap_opts.protect = mpk::ProtectMode::kAuto;
+  if (create) opts.create_capacity = capacity;
+
+  std::unique_ptr<svc::SvcServer> server;
+  try {
+    server = svc::SvcServer::start(path, opts);
+  } catch (const Error& e) {
+    if (e.poseidon_code() == ErrorCode::kHeapBusy) {
+      std::fprintf(stderr,
+                   "%s: %s\n"
+                   "another process owns this heap — stop it first, or run "
+                   "clients against the server that owns it\n",
+                   path, e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return 1;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_term;
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  (void)::sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("poseidon_svc: serving %s (segment %s, pid %d)\n", path,
+              server->segment_path().c_str(), static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  unsigned tick = 0;
+  while (!g_stop) {
+    ::usleep(200 * 1000);
+    if (quiet || ++tick % 25 != 0) continue;  // every ~5s
+    // Ring depths straight from the segment, exactly what an inspector
+    // attached read-only would report.
+    std::byte* base = server->segment_base();
+    const svc::SvcHeader* h = svc::header_of(base);
+    std::uint64_t depth = 0;
+    for (unsigned s = 0; s < h->nshards; ++s) {
+      depth += svc::sub_depth(svc::sub_ring_of(base, s));
+    }
+    unsigned active = 0;
+    const svc::SessionSlot* sess = svc::sessions_of(base);
+    for (unsigned i = 0; i < h->nsessions; ++i) {
+      if (sess[i].state.load(std::memory_order_relaxed) == svc::kSessActive) {
+        ++active;
+      }
+    }
+    std::printf("poseidon_svc: state=%s sessions=%u served=%" PRIu64
+                " reclaimed=%" PRIu64 " ring-depth=%" PRIu64 "\n",
+                svc::state_name(server->state()), active,
+                server->requests_served(), server->sessions_reclaimed(),
+                depth);
+    std::fflush(stdout);
+  }
+
+  std::printf("poseidon_svc: draining (served %" PRIu64 ")\n",
+              server->requests_served());
+  std::fflush(stdout);
+  server->stop();  // drain, serve out, join, mark kDead
+  std::printf("poseidon_svc: stopped\n");
+  return 0;
+}

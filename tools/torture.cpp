@@ -60,6 +60,9 @@
 #include "pmem/fault_inject.hpp"
 #include "pmem/persist.hpp"
 #include "pmem/pool.hpp"
+#include "svc/client.hpp"
+#include "svc/ring.hpp"
+#include "svc/server.hpp"
 
 using namespace poseidon;
 using core::Heap;
@@ -154,6 +157,7 @@ struct Cfg {
   std::uint64_t capacity = 32ull << 20;
   std::string fault;  // POSEIDON_FAULT clause syntax; armed in the child only
   bool keep = false;
+  bool svc = false;   // allocation-service torture instead of owner torture
 
   std::uint64_t nslots() const { return threads * slots_per_thread; }
 };
@@ -564,6 +568,235 @@ void unlink_heap(const Cfg& cfg) {
   for (unsigned i = 1; i < 16; ++i) {
     (void)::unlink((cfg.path + ".shard" + std::to_string(i)).c_str());
   }
+  (void)::unlink(svc::svc_path(cfg.path).c_str());
+}
+
+// ---- allocation-service torture (--svc) ------------------------------------
+//
+// Protocol per round: fork a victim client that runs strictly synchronous
+// batch traffic (every batch allocated, payload-verified, freed before the
+// next — so the victim never *owns* a consumed handle), then deliberately
+// wedges the service: it submits allocations whose completions it never
+// dequeues (in-flight handles), claims submission slots it never publishes
+// (dead-producer wedge), advertises phase 2, and spins.  The parent
+// SIGKILLs it there and asserts the server-side story end to end:
+//
+//   * the epoch reclaimer frees the session (sessions_reclaimed ticks) —
+//     discarding the wedged claims and freeing every in-flight handle the
+//     victim provably never saw;
+//   * the server keeps serving: a surviving client's ping and a payload-
+//     verified alloc/free round-trip succeed after every kill;
+//   * nothing leaks: when the dust settles the heap's live_blocks is
+//     exactly zero (magazine-parked blocks are excluded by stats()), and
+//     the structural invariants hold.
+
+constexpr unsigned kSvcInflight = 8;  // unconsumed completions per victim
+constexpr unsigned kSvcHeldClaims = 3;
+
+[[noreturn]] void svc_victim_main(const Cfg& cfg, std::uint64_t seed) {
+  std::unique_ptr<svc::SvcClient> c;
+  try {
+    c = svc::SvcClient::connect(cfg.path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "victim: connect failed: %s\n", e.what());
+    ::_exit(2);
+  }
+  std::uint64_t x = seed;
+  std::uint64_t sizes[4];
+  NvPtr ptrs[4];
+  core::FreeResult fr[4];
+  for (unsigned it = 0; it < 40; ++it) {
+    for (auto& sz : sizes) sz = 32 + splitmix(x) % 1024;
+    if (c->alloc(sizes, 4, ptrs) != ErrorCode::kOk) ::_exit(3);
+    for (unsigned i = 0; i < 4; ++i) {
+      if (ptrs[i].is_null()) ::_exit(4);  // 32 MiB can't be exhausted here
+      fill_payload(c->raw(ptrs[i]), sizes[i], seed ^ (it * 4 + i + 1));
+      if (!payload_matches(c->raw(ptrs[i]), sizes[i], seed ^ (it * 4 + i + 1))) {
+        ::_exit(5);
+      }
+    }
+    if (c->free_blocks(ptrs, 4, fr) != ErrorCode::kOk) ::_exit(6);
+    for (unsigned i = 0; i < 4; ++i) {
+      if (fr[i] != core::FreeResult::kOk) ::_exit(7);
+    }
+  }
+  c->set_phase(1);
+  // In-flight handles: allocations whose completions are never dequeued.
+  // The reclaimer must free every one of them.
+  for (unsigned i = 0; i < kSvcInflight; ++i) {
+    if (c->submit_alloc_no_wait_for_test(64 + 32 * i) != ErrorCode::kOk) {
+      ::_exit(8);
+    }
+  }
+  // Die mid-submit: claimed-but-never-published slots wedge the ring until
+  // the server proves us dead and discards them.
+  if (c->hold_claims_for_test(kSvcHeldClaims) != kSvcHeldClaims) ::_exit(9);
+  c->set_phase(2);
+  for (;;) ::pause();  // SIGKILL lands here
+}
+
+bool svc_probe_roundtrip(svc::SvcClient* probe, std::uint64_t tag) {
+  if (probe->ping() != ErrorCode::kOk) return fail("survivor ping failed");
+  std::uint64_t sizes[2] = {96, 512};
+  NvPtr ptrs[2];
+  if (probe->alloc(sizes, 2, ptrs) != ErrorCode::kOk) {
+    return fail("survivor alloc failed");
+  }
+  for (unsigned i = 0; i < 2; ++i) {
+    if (ptrs[i].is_null()) return fail("survivor alloc exhausted");
+    fill_payload(probe->raw(ptrs[i]), sizes[i], tag + i);
+    if (!payload_matches(probe->raw(ptrs[i]), sizes[i], tag + i)) {
+      return fail("survivor payload mismatch");
+    }
+  }
+  core::FreeResult fr[2];
+  if (probe->free_blocks(ptrs, 2, fr) != ErrorCode::kOk ||
+      fr[0] != core::FreeResult::kOk || fr[1] != core::FreeResult::kOk) {
+    return fail("survivor free failed");
+  }
+  return true;
+}
+
+bool svc_wait_until(const char* what, std::uint64_t round, unsigned timeout_ms,
+                    bool (*pred)(void*), void* arg) {
+  for (unsigned waited = 0; waited < timeout_ms; ++waited) {
+    if (pred(arg)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return fail("round %" PRIu64 ": timed out waiting for %s", round, what);
+}
+
+int run_svc(const Cfg& cfg) {
+  unlink_heap(cfg);
+  svc::ServerOptions so;
+  so.heap_opts = base_opts(cfg);
+  so.create_capacity = cfg.capacity;
+  std::unique_ptr<svc::SvcServer> server;
+  try {
+    server = svc::SvcServer::start(cfg.path, so);
+  } catch (const std::exception& e) {
+    fail("svc server start: %s", e.what());
+    return 1;
+  }
+  // The survivor: its traffic after every kill is the "server keeps
+  // serving other clients" proof.
+  std::unique_ptr<svc::SvcClient> probe;
+  try {
+    probe = svc::SvcClient::connect(cfg.path);
+  } catch (const std::exception& e) {
+    fail("svc probe connect: %s", e.what());
+    return 1;
+  }
+
+  std::mt19937_64 rng(cfg.seed);
+  for (std::uint64_t round = 1; round <= cfg.rounds; ++round) {
+    const std::uint64_t reclaimed_before = server->sessions_reclaimed();
+    const std::uint64_t victim_seed = rng();
+    const pid_t pid = ::fork();
+    if (pid < 0) { fail("fork: %s", std::strerror(errno)); return 1; }
+    if (pid == 0) svc_victim_main(cfg, victim_seed);  // never returns
+
+    // Wait for the victim to advertise phase 2 through its session slot:
+    // all synchronous traffic done, in-flight handles and wedged claims in
+    // place — the kill window the round is about.
+    std::byte* base = server->segment_base();
+    const svc::SvcHeader* h = svc::header_of(base);
+    svc::SessionSlot* sessions = svc::sessions_of(base);
+    struct Phase2 {
+      svc::SessionSlot* sessions;
+      unsigned n;
+      std::uint64_t pid;
+    } p2{sessions, h->nsessions, static_cast<std::uint64_t>(pid)};
+    const bool phased = svc_wait_until(
+        "victim phase 2", round, 30000,
+        [](void* a) {
+          auto* p = static_cast<Phase2*>(a);
+          for (unsigned i = 0; i < p->n; ++i) {
+            if (p->sessions[i].state.load(std::memory_order_acquire) ==
+                    svc::kSessActive &&
+                p->sessions[i].pid == p->pid &&
+                p->sessions[i].phase.load(std::memory_order_acquire) == 2) {
+              return true;
+            }
+          }
+          return false;
+        },
+        &p2);
+    if (!phased) {
+      int st = 0;
+      (void)::waitpid(pid, &st, WNOHANG);
+      (void)::kill(pid, SIGKILL);
+      (void)::waitpid(pid, &st, 0);
+      return 1;
+    }
+
+    (void)::kill(pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+      fail("round %" PRIu64 ": victim exited on its own (status 0x%x)", round,
+           status);
+      return 1;
+    }
+
+    // The reclaimer must notice the death, wait out the epoch grace, and
+    // free the session — wedged claims discarded, in-flight handles freed.
+    struct Reclaim {
+      svc::SvcServer* server;
+      std::uint64_t before;
+    } rc{server.get(), reclaimed_before};
+    if (!svc_wait_until("session reclaim", round, 30000,
+                        [](void* a) {
+                          auto* r = static_cast<Reclaim*>(a);
+                          return r->server->sessions_reclaimed() > r->before;
+                        },
+                        &rc)) {
+      return 1;
+    }
+
+    if (!svc_probe_roundtrip(probe.get(), victim_seed)) return 1;
+
+    std::printf("round %3" PRIu64 ": victim pid %-6d reclaimed "
+                "(in-flight=%u held-claims=%u served=%" PRIu64 ")\n",
+                round, static_cast<int>(pid), kSvcInflight, kSvcHeldClaims,
+                server->requests_served());
+  }
+
+#if POSEIDON_OBS_ENABLED
+  // The wedge was real: the server must have discarded the dead victims'
+  // claimed-but-unpublished slots, every round.
+  const std::uint64_t discarded =
+      server->heap().metrics().svc_claims_discarded.read();
+  if (discarded < cfg.rounds * kSvcHeldClaims) {
+    fail("expected >= %" PRIu64 " discarded claims, saw %" PRIu64,
+         cfg.rounds * kSvcHeldClaims, discarded);
+    return 1;
+  }
+#endif
+
+  // Nothing leaked: victims owned no consumed handles at kill time, their
+  // in-flight handles were freed by the reclaimer, and the survivor freed
+  // everything it allocated — the heap must be empty again (stats()
+  // already excludes magazine-parked blocks).
+  probe.reset();  // clean disconnect
+  const core::HeapStats st = server->heap().stats();
+  if (st.live_blocks != 0) {
+    fail("%" PRIu64 " block(s) leaked through the service", st.live_blocks);
+    return 1;
+  }
+  std::string why;
+  if (!server->heap().check_invariants(&why)) {
+    fail("invariants after svc torture: %s", why.c_str());
+    return 1;
+  }
+  const std::uint64_t served = server->requests_served();
+  const std::uint64_t reclaimed = server->sessions_reclaimed();
+  server->stop();
+  if (!cfg.keep) unlink_heap(cfg);
+  std::printf("PASS: %" PRIu64 " svc rounds (served=%" PRIu64 " reclaimed=%"
+              PRIu64 "), seed=%" PRIu64 "\n",
+              cfg.rounds, served, reclaimed, cfg.seed);
+  return 0;
 }
 
 bool setup_heap(const Cfg& cfg) {
@@ -611,11 +844,13 @@ int main(int argc, char** argv) {
     else if (a == "--fault" && (v = next())) cfg.fault = v;
     else if (a == "--path" && (v = next())) cfg.path = v;
     else if (a == "--keep") cfg.keep = true;
+    else if (a == "--svc") cfg.svc = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--seed S] [--shards N] "
                    "[--threads N] [--slots N] [--capacity BYTES] "
-                   "[--fault op:period:errno[,...]] [--path FILE] [--keep]\n",
+                   "[--fault op:period:errno[,...]] [--path FILE] [--keep] "
+                   "[--svc]\n",
                    argv[0]);
       return 2;
     }
@@ -638,11 +873,13 @@ int main(int argc, char** argv) {
     if (m > 1) cfg.rounds *= static_cast<std::uint64_t>(m);
   }
 
-  std::printf("torture: seed=%" PRIu64 " rounds=%" PRIu64
+  std::printf("torture%s: seed=%" PRIu64 " rounds=%" PRIu64
               " shards=%u threads=%u slots=%" PRIu64 " path=%s%s%s\n",
-              cfg.seed, cfg.rounds, cfg.shards, cfg.threads, cfg.nslots(),
-              cfg.path.c_str(), cfg.fault.empty() ? "" : " fault=",
-              cfg.fault.c_str());
+              cfg.svc ? " (svc)" : "", cfg.seed, cfg.rounds, cfg.shards,
+              cfg.threads, cfg.nslots(), cfg.path.c_str(),
+              cfg.fault.empty() ? "" : " fault=", cfg.fault.c_str());
+
+  if (cfg.svc) return run_svc(cfg);
 
   if (!setup_heap(cfg)) return 1;
 
