@@ -101,15 +101,17 @@ int inspect_svc(const char* heap_path, bool json) {
       ::kill(static_cast<pid_t>(h->server_pid), 0) == 0;
 
   if (json) {
-    std::printf("{\"segment\":\"%s\",\"state\":\"%s\",\"server_pid\":%" PRIu64
+    std::printf("{\"segment\":\"%s\",\"state\":\"%s\",\"generation\":%" PRIu64
+                ",\"server_pid\":%" PRIu64
                 ",\"server_alive\":%s,\"heartbeat_age_ms\":%" PRIu64
                 ",\"epoch\":%" PRIu64 ",\"nshards\":%u,\"shards\":[",
-                seg_path.c_str(), svc::state_name(state), h->server_pid,
-                pid_alive ? "true" : "false", hb_age_ms,
+                seg_path.c_str(), svc::state_name(state), h->generation,
+                h->server_pid, pid_alive ? "true" : "false", hb_age_ms,
                 h->epoch.load(std::memory_order_relaxed), h->nshards);
   } else {
     std::printf("== allocation service: %s\n", seg_path.c_str());
     std::printf("%-28s %s\n", "state", svc::state_name(state));
+    std::printf("%-28s %" PRIu64 "\n", "generation", h->generation);
     std::printf("%-28s %" PRIu64 " (%s)\n", "server pid", h->server_pid,
                 pid_alive ? "alive" : "GONE");
     std::printf("%-28s %" PRIu64 " ms\n", "heartbeat age", hb_age_ms);

@@ -176,7 +176,7 @@ class PoseidonSvcAdapter final : public PAllocator {
   // attach to whatever server is already publishing a segment.
   PoseidonSvcAdapter(const std::string& path, const AllocatorConfig& cfg,
                      bool own_server)
-      : path_(path), own_server_(own_server) {
+      : path_(path), cfg_(cfg), own_server_(own_server) {
     if (own_server) {
       server_pid_ = ::fork();
       if (server_pid_ == 0) run_server_child(path, cfg);
@@ -189,7 +189,7 @@ class PoseidonSvcAdapter final : public PAllocator {
     const int tries = own_server ? 2000 : 1;
     for (int i = 0;; ++i) {
       try {
-        control_ = svc::SvcClient::connect(path_);
+        control_ = svc::SvcClient::connect(path_, client_options(true));
         break;
       } catch (const Error& e) {
         if (i + 1 >= tries ||
@@ -215,8 +215,13 @@ class PoseidonSvcAdapter final : public PAllocator {
     if (degraded()) return nullptr;
     ErrorCode err = ErrorCode::kOk;
     const core::NvPtr p = client().alloc_one(size, &err);
-    if (err == ErrorCode::kSvcUnavailable) degraded_.store(true);
-    return control_->raw(p);
+    if (err != ErrorCode::kOk) {
+      // The client already rode out failovers; kSvcUnavailable here means
+      // the reconnect budget is spent and this adapter goes read-only.
+      if (err == ErrorCode::kSvcUnavailable) degraded_.store(true);
+      return nullptr;
+    }
+    return control_->raw(p);  // kOk + null handle (exhausted) -> nullptr
   }
 
   bool free(void* p) override {
@@ -247,12 +252,36 @@ class PoseidonSvcAdapter final : public PAllocator {
       std::lock_guard<std::mutex> lk(mu_);
       if (clients_.size() <= slot) clients_.resize(kSlots);
       if (clients_[slot] == nullptr) {
-        svc::ClientOptions co;
-        co.map_data = false;
-        clients_[slot] = svc::SvcClient::connect(path_, co);
+        clients_[slot] = svc::SvcClient::connect(path_, client_options(false));
       }
       return *clients_[slot];
     }
+  }
+
+  svc::ClientOptions client_options(bool is_control) {
+    svc::ClientOptions co;
+    co.map_data = is_control;  // one set of windows per process
+    // Clients of an owned server can nominate a replacement themselves;
+    // attached clients just wait for whoever owns election elsewhere.
+    if (own_server_) co.elect = [this] { elect_server(); };
+    return co;
+  }
+
+  // Election hook: fork a replacement server once ours is provably gone.
+  // Serialized so a thundering herd of reconnecting sessions forks one
+  // child, not one each; racing another process is fine too — the loser's
+  // child fails Heap::open with kHeapBusy and exits.
+  void elect_server() {
+    std::lock_guard<std::mutex> lk(elect_mu_);
+    if (server_pid_ > 0) {
+      int st = 0;
+      const pid_t r = ::waitpid(server_pid_, &st, WNOHANG);
+      if (r == 0) return;  // still running: not ours to replace
+      server_pid_ = -1;
+    }
+    const pid_t pid = ::fork();
+    if (pid == 0) run_server_child(path_, cfg_);
+    if (pid > 0) server_pid_ = pid;
   }
 
   // Failover leg: once the server is provably dead, mutating calls refuse
@@ -272,8 +301,10 @@ class PoseidonSvcAdapter final : public PAllocator {
 
   static constexpr unsigned kSlots = 256;
   std::string path_;
+  AllocatorConfig cfg_;
   bool own_server_ = false;
   pid_t server_pid_ = -1;
+  std::mutex elect_mu_;
   std::unique_ptr<svc::SvcClient> control_;
   std::mutex mu_;
   std::vector<std::unique_ptr<svc::SvcClient>> clients_;

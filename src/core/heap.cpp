@@ -362,6 +362,45 @@ void Heap::free_batch(const NvPtr* ptrs, unsigned n, FreeResult* out) {
   }
 }
 
+unsigned Heap::tx_alloc_batch_tagged(const std::uint64_t* sizes, unsigned n,
+                                     NvPtr* out, std::uint64_t tag) {
+  unsigned got = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = tx_alloc(sizes[i], /*is_end=*/false);
+    if (!out[i].is_null()) ++got;
+  }
+  // Stamp before the commit: rollback (crash pre-commit) frees the blocks
+  // and overwrites the tags; commit leaves them tagged for reconcile.
+  for (unsigned i = 0; i < n; ++i) {
+    if (out[i].is_null()) continue;
+    if (PoolShard* s = shard_by_id(out[i].heap_id)) {
+      s->stamp_owner_tag(out[i], tag);
+    }
+  }
+  tx_commit();
+  return got;
+}
+
+FreeResult Heap::free_if_owner(NvPtr ptr, std::uint32_t nonce32) {
+  metrics_.free_calls.inc();
+  FreeResult r = FreeResult::kInvalidPointer;
+  if (!ptr.is_null()) {
+    if (PoolShard* s = shard_by_id(ptr.heap_id)) {
+      r = s->free_if_owner(ptr, nonce32);
+    }
+  }
+  if (r != FreeResult::kOk) metrics_.free_rejects.inc();
+  return r;
+}
+
+unsigned Heap::reclaim_tagged(const std::uint64_t* tags, unsigned n) {
+  unsigned freed = 0;
+  for (const auto& s : shards_) {
+    if (s != nullptr) freed += s->reclaim_tagged(tags, n);
+  }
+  return freed;
+}
+
 void Heap::refresh_owner_heartbeat() {
   for (const auto& s : shards_) {
     if (s != nullptr) s->refresh_owner_heartbeat();

@@ -104,6 +104,18 @@ class Heap {
   // Per-pointer validated frees; out[i] is ptrs[i]'s own verdict.
   void free_batch(const NvPtr* ptrs, unsigned n, FreeResult* out);
 
+  // As tx_alloc_batch, but every produced block is stamped with `tag`
+  // (session nonce + request id) *before* the commit.  A crash before the
+  // commit rolls every member back; a crash after it leaves committed,
+  // tagged blocks that reclaim_tagged() finds — so a lost completion
+  // never leaks and never double-allocates (DESIGN.md failover).
+  unsigned tx_alloc_batch_tagged(const std::uint64_t* sizes, unsigned n,
+                                 NvPtr* out, std::uint64_t tag);
+  // Validated free gated on the block still carrying nonce32's owner tag.
+  FreeResult free_if_owner(NvPtr ptr, std::uint32_t nonce32);
+  // Sweep all shards freeing blocks stamped with any of tags[0..n).
+  unsigned reclaim_tagged(const std::uint64_t* tags, unsigned n);
+
   // Re-stamp every writable shard's owner heartbeat (service housekeeping;
   // also what fsck does as a side effect).
   void refresh_owner_heartbeat();

@@ -621,6 +621,77 @@ FreeResult PoolShard::free(NvPtr ptr) {
   return r;
 }
 
+void PoolShard::stamp_owner_tag(NvPtr ptr, std::uint64_t tag) {
+  if (pool_.read_only() || ptr.is_null() || ptr.heap_id != sb_->heap_id) return;
+  const unsigned idx = ptr.subheap();
+  if (idx >= sb_->nsubheaps || !subheap_ready(idx)) return;
+  mpk::WriteWindow w(prot_.get());
+  Guard<Spinlock> g(subs_[idx]->lock);
+  Subheap sh = subheap(idx);
+  MemblockRec* rec = sh.table().find(ptr.offset());
+  if (rec != nullptr && rec->status == kBlockAllocated) {
+    pmem::nv_store(rec->next_free, tag);
+  }
+}
+
+FreeResult PoolShard::free_if_owner(NvPtr ptr, std::uint32_t nonce32) {
+  if (pool_.read_only() || ptr.is_null() || ptr.heap_id != sb_->heap_id) {
+    return FreeResult::kInvalidPointer;
+  }
+  const unsigned idx = ptr.subheap();
+  if (idx >= sb_->nsubheaps) return FreeResult::kInvalidPointer;
+  const auto st = pmem::nv_load_acquire(sb_->subheap_state[idx]);
+  if (st == kSubheapQuarantined || st == kSubheapRepairing) {
+    return FreeResult::kQuarantined;
+  }
+  if (st != kSubheapReady) return FreeResult::kInvalidPointer;
+  // No thread-cache leg: the tag check and the free must be one step under
+  // the sub-heap lock, or a re-allocation could slip between them.
+  mpk::WriteWindow w(prot_.get());
+  Guard<Spinlock> g(subs_[idx]->lock);
+  Subheap sh = subheap(idx);
+  const MemblockRec* rec = sh.table().find(ptr.offset());
+  if (rec == nullptr) return FreeResult::kInvalidFree;
+  if (rec->status != kBlockAllocated) return FreeResult::kDoubleFree;
+  if (static_cast<std::uint32_t>(rec->next_free >> 32) != nonce32) {
+    return FreeResult::kInvalidFree;  // freed and re-issued since: not ours
+  }
+  const FreeResult r = sh.free_block(ptr.offset());
+  if (r == FreeResult::kOk) {
+    flight(obs::FlightOp::kFree, idx, 0, ptr.offset());
+  }
+  return r;
+}
+
+unsigned PoolShard::reclaim_tagged(const std::uint64_t* tags, unsigned n) {
+  if (pool_.read_only() || n == 0) return 0;
+  unsigned freed = 0;
+  for (unsigned idx = 0; idx < sb_->nsubheaps; ++idx) {
+    if (!subheap_ready(idx)) continue;
+    std::vector<std::uint64_t> offs;
+    mpk::WriteWindow w(prot_.get());
+    Guard<Spinlock> g(subs_[idx]->lock);
+    Subheap sh = subheap(idx);
+    sh.visit_records([&](const MemblockRec& rec) {
+      if (rec.status != kBlockAllocated) return;
+      for (unsigned t = 0; t < n; ++t) {
+        if (rec.next_free == tags[t]) {
+          offs.push_back(rec.key - 1);
+          break;
+        }
+      }
+    });
+    // Free after the walk: free_block rewrites the table being iterated.
+    for (const std::uint64_t off : offs) {
+      if (sh.free_block(off) == FreeResult::kOk) {
+        flight(obs::FlightOp::kFree, idx, 0, off);
+        ++freed;
+      }
+    }
+  }
+  return freed;
+}
+
 NvPtr PoolShard::cache_refill(ThreadCache& tc, unsigned cls) {
   // Lock order: cache before sub-heap (the only place both are held).
   Guard<Spinlock> g(tc.mu());

@@ -225,6 +225,24 @@ class PoolShard {
   // detected via the memblock hash table and rejected.
   FreeResult free(NvPtr ptr);
 
+  // ---- owner tags (allocation-service reconcile, DESIGN.md failover) -------
+  //
+  // An allocated record's free-list link words are dead state; the service
+  // parks a session-identity tag there so a new server incarnation can
+  // prove which blocks a lost-completion request produced.  Any free or
+  // rollback overwrites the links, clearing the tag for free.
+
+  // Stamp `tag` into ptr's record (no-op unless allocated and owned here).
+  void stamp_owner_tag(NvPtr ptr, std::uint64_t tag);
+  // Validated free that additionally requires the record's tag to carry
+  // `nonce32` in its high word: a replayed free can never hit a block the
+  // server already freed and handed to someone else (ABA-safe).  Returns
+  // kInvalidFree on a tag mismatch.
+  FreeResult free_if_owner(NvPtr ptr, std::uint32_t nonce32);
+  // Free every allocated block whose tag equals one of tags[0..n); returns
+  // how many were freed.  Idempotent: a second sweep finds nothing.
+  unsigned reclaim_tagged(const std::uint64_t* tags, unsigned n);
+
   // Pointer conversions (paper §4.6) for pointers this shard owns.
   void* raw(NvPtr ptr) const noexcept;
   NvPtr from_raw(const void* p) const noexcept;

@@ -138,6 +138,24 @@ class Subheap {
     }
   }
 
+  // Visit every live record in full.  The allocation service's reconcile
+  // sweep needs the link words (owner tags live in next_free of allocated
+  // records); same locking rules as visit_blocks.
+  template <typename F>
+  void visit_records(F&& f) const {
+    const auto* storage =
+        reinterpret_cast<const MemblockRec*>(heap_base_ + meta_->hash_off);
+    std::uint64_t base = 0;
+    for (unsigned lvl = 0; lvl < meta_->levels_active; ++lvl) {
+      const std::uint64_t slots = level_slots(meta_->level0_slots, lvl);
+      for (std::uint64_t i = 0; i < slots; ++i) {
+        const MemblockRec& rec = storage[base + i];
+        if (rec.key != 0) f(rec);
+      }
+      base += slots;
+    }
+  }
+
  private:
   UndoLogger make_undo() noexcept;
 

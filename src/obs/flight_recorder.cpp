@@ -36,6 +36,8 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kSvcSession: return "svc-session";
     case FlightOp::kSvcReclaim: return "svc-reclaim";
     case FlightOp::kSvcState: return "svc-state";
+    case FlightOp::kSvcFailover: return "svc-failover";
+    case FlightOp::kSvcReconcile: return "svc-reconcile";
   }
   return "?";
 }

@@ -59,6 +59,8 @@ enum class FlightOp : std::uint16_t {
   kSvcSession = 16,    // service session opened; arg = session index
   kSvcReclaim = 17,    // session reclaimed; arg = session index
   kSvcState = 18,      // service state transition; arg = svc::SvcState
+  kSvcFailover = 19,   // server start replacing a crashed one; arg = old gen
+  kSvcReconcile = 20,  // reconcile op executed; arg = blocks freed/replayed
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -215,6 +215,10 @@ struct Metrics {
   Counter svc_claims_discarded;   // dead-claimant submission slots recycled
   Counter svc_cpl_overflows;      // completion-ring-full: results freed back
   Counter svc_wakeups;            // service-thread futex sleeps ended
+  Counter svc_failovers;          // server starts that replaced a crashed one
+  Counter svc_reconnects;         // session admissions that were reconnects
+  Counter svc_reconcile_dropped;  // orphaned tagged blocks freed (lost allocs)
+  Counter svc_reconcile_replayed; // lost-completion frees replayed if-owner
 
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
@@ -259,6 +263,10 @@ struct Metrics {
     f("svc_claims_discarded", svc_claims_discarded);
     f("svc_cpl_overflows", svc_cpl_overflows);
     f("svc_wakeups", svc_wakeups);
+    f("svc_failovers", svc_failovers);
+    f("svc_reconnects", svc_reconnects);
+    f("svc_reconcile_dropped", svc_reconcile_dropped);
+    f("svc_reconcile_replayed", svc_reconcile_replayed);
   }
 
   template <typename F>

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -27,6 +28,28 @@ unsigned size_class_of(std::uint64_t size) noexcept {
   return size <= 32 ? 5u : static_cast<unsigned>(log2_floor(size - 1)) + 1u;
 }
 
+// Session nonce: unique enough that no two sessions alive in one heap's
+// lifetime collide (pid, boot-relative times and a process-local counter
+// mixed through splitmix64).  The top bit is forced on so a tag's high
+// word can never equal zero and never equal a free-list link's
+// offset-plus-one encoding.
+// Failovers one public operation will ride out before giving up: each
+// retry already burns a full reconnect budget, so this bounds pathological
+// crash loops, not ordinary ones.
+constexpr unsigned kFailoverRetries = 8;
+
+std::uint32_t make_nonce() noexcept {
+  static std::atomic<std::uint64_t> seq{0};
+  std::uint64_t x = static_cast<std::uint64_t>(::getpid());
+  x ^= core::proc_start_time(::getpid()) << 17;
+  x ^= monotonic_ns();
+  x += seq.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return 0x8000'0000u | static_cast<std::uint32_t>(x);
+}
+
 }  // namespace
 
 std::unique_ptr<SvcClient> SvcClient::connect(const std::string& heap_path,
@@ -41,6 +64,7 @@ std::unique_ptr<SvcClient> SvcClient::connect(const std::string& heap_path,
   }
 
   std::unique_ptr<SvcClient> c(new SvcClient(std::move(seg), opts));
+  c->heap_path_ = heap_path;
 
   // Admission gate: wait out a starting server briefly; refuse the rest.
   const std::uint64_t deadline = monotonic_ns() + opts.submit_timeout_ns;
@@ -72,6 +96,17 @@ SvcClient::SvcClient(pmem::ShmSegment seg, ClientOptions opts)
   // timeslice the server needs, so sleep immediately instead.
   effective_spins_ =
       std::thread::hardware_concurrency() > 1 ? opts_.wait_spins : 0;
+  generation_ = header_of(seg_.data())->generation;
+  nonce32_ = make_nonce();
+}
+
+std::uint64_t SvcClient::now_ns() const noexcept {
+  return opts_.now != nullptr ? opts_.now() : monotonic_ns();
+}
+
+bool SvcClient::failover_armed() const noexcept {
+  return opts_.auto_failover && !in_reconnect_ &&
+         opts_.reconnect_attempts > 0;
 }
 
 unsigned SvcClient::pipeline_depth() const noexcept {
@@ -109,6 +144,8 @@ ErrorCode SvcClient::admission(const std::string&) {
     s.heartbeat.store(monotonic_ns(), std::memory_order_release);
     s.pid = static_cast<std::uint64_t>(::getpid());
     s.start_time = core::proc_start_time(::getpid());
+    s.nonce = nonce32_;
+    s.reconnected.store(reconnected_once_ ? 1 : 0, std::memory_order_relaxed);
     s.ops.store(0, std::memory_order_relaxed);
     s.phase.store(0, std::memory_order_relaxed);
     session_ = i;
@@ -168,7 +205,7 @@ ErrorCode SvcClient::server_state() const noexcept {
   switch (static_cast<SvcState>(h->state.load(std::memory_order_acquire))) {
     case SvcState::kServing: {
       const std::uint64_t hb = h->heartbeat_ns.load(std::memory_order_acquire);
-      const std::uint64_t now = monotonic_ns();
+      const std::uint64_t now = now_ns();
       if (now > hb && now - hb > opts_.server_stale_ns) {
         // Heartbeat aged out: only a provably dead server pid demotes the
         // verdict to unavailable (a wedged box is not a dead server).
@@ -187,6 +224,145 @@ ErrorCode SvcClient::server_state() const noexcept {
     default:
       return ErrorCode::kSvcUnavailable;
   }
+}
+
+// ---- failover --------------------------------------------------------------
+
+ErrorCode SvcClient::reconnect() {
+  if (in_reconnect_) return ErrorCode::kSvcUnavailable;
+  in_reconnect_ = true;
+  ErrorCode rc = ErrorCode::kSvcUnavailable;
+  // A successor can die *during* reconcile; every step below is idempotent
+  // and re-entrant, so just run the whole protocol against the next one.
+  for (unsigned round = 0; round < 3; ++round) {
+    rc = reconnect_impl();
+    if (rc != ErrorCode::kSvcUnavailable) break;
+  }
+  in_reconnect_ = false;
+  return rc;
+}
+
+ErrorCode SvcClient::reconnect_impl() {
+  // 1. Drain the orphaned completion ring.  Safe without a server: a
+  // replacement always publishes a *new* segment file, so this mapping is
+  // private by the time anyone else could touch it, and a dead server
+  // enqueues nothing — a plain single-consumer drain.  Completions found
+  // here resolve their requests' fates the normal way.
+  {
+    SessionSlot& s = sess();
+    CplSlot* ring = cpl_ring_of(seg_.data(), session_);
+    CplMsg msg;
+    while (cpl_dequeue(&s, ring, &msg)) {
+      note_completed(msg);
+      absorb_completion(msg);
+    }
+    // This slot is never used again; close it so a sweep of the old
+    // segment reads it as a clean disconnect.
+    s.state.store(kSessClosed, std::memory_order_release);
+  }
+  outstanding_ = 0;
+
+  // 2. Classify what is still unacknowledged: allocs whose completions
+  // never arrived become reclaim-by-tag orphans, frees become if-owner
+  // replays.  In-flight refills died with the ring (blocks that *did*
+  // arrive were routed to magazines in step 1).
+  for (const std::uint32_t id : alloc_reqs_) {
+    lost_tags_.push_back(make_tag(nonce32_, id));
+  }
+  alloc_reqs_.clear();
+  for (auto& [id, ptrs] : free_reqs_) {
+    (void)id;
+    replay_frees_.insert(replay_frees_.end(), ptrs.begin(), ptrs.end());
+  }
+  free_reqs_.clear();
+  inflight_allocs_.clear();
+  for (auto& ids : refill_ids_) ids.clear();
+
+  // 3. Reattach with capped exponential backoff plus jitter.  Only a
+  // serving segment at a *different* generation counts: the dead
+  // incarnation's own file must never be mistaken for a successor.
+  const std::uint64_t old_gen = generation_;
+  std::uint64_t backoff =
+      std::max<std::uint64_t>(opts_.reconnect_backoff_ns, 100'000);
+  const std::uint64_t backoff_cap =
+      std::max<std::uint64_t>(opts_.reconnect_backoff_max_ns, backoff);
+  bool attached = false;
+  for (unsigned attempt = 0; attempt < opts_.reconnect_attempts; ++attempt) {
+    try {
+      pmem::ShmSegment seg =
+          pmem::ShmSegment::attach(svc_path(heap_path_), /*read_only=*/false);
+      const SvcHeader* h = header_of(seg.data());
+      if (seg.size() >= sizeof(SvcHeader) && h->magic == kSvcMagic &&
+          h->version == kSvcVersion && h->segment_bytes <= seg.size() &&
+          h->generation != old_gen &&
+          static_cast<SvcState>(h->state.load(std::memory_order_acquire)) ==
+              SvcState::kServing) {
+        seg_ = std::move(seg);
+        attached = true;
+        break;
+      }
+    } catch (...) {
+      // No successor segment yet.
+    }
+    // Nobody may be running for the job: nominate one.  Concurrent
+    // elections are safe — the heap's OFD owner lock arbitrates and
+    // losers fail Heap::open with kHeapBusy.
+    if (opts_.elect && attempt % 4 == 0) {
+      try {
+        opts_.elect();
+      } catch (...) {
+      }
+    }
+    const std::uint64_t half = backoff / 2;
+    const std::uint64_t jitter =
+        half == 0 ? 0
+                  : (monotonic_ns() ^ (std::uint64_t{nonce32_} << 13)) % half;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(half + jitter));
+    backoff = std::min(backoff * 2, backoff_cap);
+  }
+  if (!attached) return ErrorCode::kSvcUnavailable;
+
+  // 4. Re-admit on the successor under the *same* nonce: tags stamped via
+  // the previous incarnation stay reclaimable by this session alone.
+  generation_ = header_of(seg_.data())->generation;
+  reconnected_once_ = true;
+  const ErrorCode adm = admission(heap_path_);
+  if (adm != ErrorCode::kOk) return adm;
+
+  // 5. Reconcile before anything else flows: while the backlog is
+  // non-empty a retried batch could double-count.
+  return reconcile();
+}
+
+ErrorCode SvcClient::reconcile() {
+  // Orphan reclaim first, replays second.  The sets are disjoint — a lost
+  // alloc's handle never reached the caller, so no free can name it.
+  while (!lost_tags_.empty()) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(lost_tags_.size(), kMaxOpsPerReq));
+    const std::size_t off = lost_tags_.size() - n;
+    std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+    for (unsigned i = 0; i < n; ++i) payload[i] = lost_tags_[off + i];
+    CplMsg msg;
+    const ErrorCode rc = roundtrip(SvcOp::kReclaimOrphans, payload, n, &msg);
+    if (rc != ErrorCode::kOk) return rc;  // backlog kept for the next round
+    lost_tags_.resize(off);
+  }
+  while (!replay_frees_.empty()) {
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(replay_frees_.size(), kMaxOpsPerReq));
+    const std::size_t off = replay_frees_.size() - n;
+    std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+    for (unsigned i = 0; i < n; ++i) {
+      payload[2 * i] = replay_frees_[off + i].heap_id;
+      payload[2 * i + 1] = replay_frees_[off + i].packed;
+    }
+    CplMsg msg;
+    const ErrorCode rc = roundtrip(SvcOp::kFreeIfOwner, payload, n, &msg);
+    if (rc != ErrorCode::kOk) return rc;
+    replay_frees_.resize(off);
+  }
+  return ErrorCode::kOk;
 }
 
 // ---- submission / completion -----------------------------------------------
@@ -215,10 +391,43 @@ ErrorCode SvcClient::submit(SvcOp op, const std::uint64_t* payload,
       s.ops.fetch_add(1, std::memory_order_relaxed);
       last_submitted_id_ = req_id;
       ++outstanding_;
+      // Register the request so a failover knows its fate is unknown:
+      // allocs become reclaim-by-tag candidates, frees become replays.
+      if (op == SvcOp::kAlloc || op == SvcOp::kTxAlloc) {
+        alloc_reqs_.push_back(req_id);
+      } else if (op == SvcOp::kFree || op == SvcOp::kFreeIfOwner) {
+        std::vector<core::NvPtr> ptrs;
+        ptrs.reserve(nops);
+        for (unsigned i = 0; i < nops; ++i) {
+          ptrs.push_back(core::NvPtr{payload[2 * i], payload[2 * i + 1]});
+        }
+        free_reqs_.emplace_back(req_id, std::move(ptrs));
+      }
       return ErrorCode::kOk;
     }
-    if (monotonic_ns() > deadline) return ErrorCode::kSvcRetry;  // ring full
+    if (monotonic_ns() > deadline) {
+      // Deadline with the ring still full: re-check liveness before
+      // answering.  A server that died right after the loop's last check
+      // must surface as kSvcUnavailable (triggering failover), not as a
+      // retryable full ring the caller would spin on forever.
+      const ErrorCode verdict = server_state();
+      return verdict == ErrorCode::kOk ? ErrorCode::kSvcRetry : verdict;
+    }
     std::this_thread::yield();
+  }
+}
+
+void SvcClient::note_completed(const CplMsg& msg) {
+  const auto a = std::find(alloc_reqs_.begin(), alloc_reqs_.end(), msg.req_id);
+  if (a != alloc_reqs_.end()) {
+    alloc_reqs_.erase(a);
+    return;
+  }
+  for (auto it = free_reqs_.begin(); it != free_reqs_.end(); ++it) {
+    if (it->first == msg.req_id) {
+      free_reqs_.erase(it);
+      return;
+    }
   }
 }
 
@@ -231,6 +440,7 @@ ErrorCode SvcClient::wait_completion(std::uint32_t req_id, CplMsg* out) {
     CplMsg msg;
     while (cpl_dequeue(&s, ring, &msg)) {
       if (outstanding_ > 0) --outstanding_;
+      note_completed(msg);
       if (msg.req_id == req_id) {
         *out = msg;
         return ErrorCode::kOk;
@@ -283,8 +493,14 @@ void SvcClient::absorb_completion(const CplMsg& msg) {
     }
     return;
   }
-  // Not a registered refill: an abandoned synchronous wait (dead server);
-  // session teardown owns whatever these handles were.
+  // Not a registered refill: a synchronous alloc whose waiter gave up
+  // (typically a failover mid-wait).  The caller never saw these handles,
+  // so stash them for the free path instead of leaking them until session
+  // death.
+  for (unsigned i = 0; i < msg.nops && i < kMaxOpsPerReq; ++i) {
+    const core::NvPtr p{msg.results[2 * i], msg.results[2 * i + 1]};
+    if (!p.is_null()) pending_free_.push_back(p);
+  }
 }
 
 ErrorCode SvcClient::ensure_cpl_space(unsigned count) {
@@ -295,6 +511,7 @@ ErrorCode SvcClient::ensure_cpl_space(unsigned count) {
   while (outstanding_ + count > kCplRingSlots) {
     if (cpl_dequeue(&s, ring, &msg)) {
       if (outstanding_ > 0) --outstanding_;
+      note_completed(msg);
       absorb_completion(msg);
       continue;
     }
@@ -309,18 +526,51 @@ ErrorCode SvcClient::ensure_cpl_space(unsigned count) {
   return ErrorCode::kOk;
 }
 
-ErrorCode SvcClient::roundtrip(SvcOp op, const std::uint64_t* payload,
-                               unsigned nops, CplMsg* out) {
-  if (nops > kMaxOpsPerReq) return ErrorCode::kInvalidArgument;
+ErrorCode SvcClient::roundtrip_once(SvcOp op, const std::uint64_t* payload,
+                                    unsigned nops, CplMsg* out,
+                                    bool* submitted) {
+  *submitted = false;
   const ErrorCode sp = ensure_cpl_space(1);
   if (sp != ErrorCode::kOk) return sp;
   const std::uint32_t req_id = next_req_id_++;
   const ErrorCode sub = submit(op, payload, nops, req_id);
   if (sub != ErrorCode::kOk) return sub;
+  *submitted = true;
   const ErrorCode cpl = wait_completion(req_id, out);
   if (cpl != ErrorCode::kOk) return cpl;
   return out->status == SvcStatus::kBadRequest ? ErrorCode::kInvalidArgument
                                                : ErrorCode::kOk;
+}
+
+ErrorCode SvcClient::roundtrip(SvcOp op, const std::uint64_t* payload,
+                               unsigned nops, CplMsg* out) {
+  if (nops > kMaxOpsPerReq) return ErrorCode::kInvalidArgument;
+  for (unsigned attempt = 0;; ++attempt) {
+    bool submitted = false;
+    const ErrorCode rc = roundtrip_once(op, payload, nops, out, &submitted);
+    if (rc != ErrorCode::kSvcUnavailable || !failover_armed() ||
+        attempt >= kFailoverRetries) {
+      return rc;
+    }
+    const ErrorCode rr = reconnect();
+    if (rr != ErrorCode::kOk) return rr;
+    if (submitted && (op == SvcOp::kFree || op == SvcOp::kFreeIfOwner)) {
+      // The reconcile just replayed this batch with an if-owner guard:
+      // whether the old server executed it or the replay did, each pointer
+      // is free exactly once by now.  Synthesize success — per-pointer
+      // verdicts are unknowable across a failover and documented as such.
+      out->req_id = 0;
+      out->status = SvcStatus::kOk;
+      out->nops = static_cast<std::uint16_t>(nops);
+      for (unsigned i = 0; i < kMaxOpsPerReq; ++i) {
+        out->results[i] =
+            static_cast<std::uint64_t>(core::FreeResult::kOk);
+      }
+      return ErrorCode::kOk;
+    }
+    // Everything else resubmits safely: a lost alloc's blocks were just
+    // reclaimed by tag, and root/ping ops are idempotent.
+  }
 }
 
 // ---- batched operations ----------------------------------------------------
@@ -410,6 +660,25 @@ void SvcClient::prefetch(unsigned cls, std::uint64_t size) {
 }
 
 core::NvPtr SvcClient::alloc_one(std::uint64_t size, ErrorCode* err) {
+  ErrorCode e = ErrorCode::kOk;
+  core::NvPtr p = alloc_one_inner(size, &e);
+  for (unsigned attempt = 0;
+       p.is_null() && e == ErrorCode::kSvcUnavailable && failover_armed() &&
+       attempt < kFailoverRetries;
+       ++attempt) {
+    const ErrorCode rr = reconnect();
+    if (rr != ErrorCode::kOk) {
+      e = rr;
+      break;
+    }
+    e = ErrorCode::kOk;
+    p = alloc_one_inner(size, &e);
+  }
+  if (err != nullptr) *err = e;
+  return p;
+}
+
+core::NvPtr SvcClient::alloc_one_inner(std::uint64_t size, ErrorCode* err) {
   if (err != nullptr) *err = ErrorCode::kOk;
   const unsigned cls = size_class_of(size) & 63;
   std::vector<core::NvPtr>& mag = magazine_[cls];
@@ -446,22 +715,23 @@ core::NvPtr SvcClient::alloc_one(std::uint64_t size, ErrorCode* err) {
       ids[b] = next_req_id_++;
       rc = submit(SvcOp::kAlloc, payload, kMaxOpsPerReq, ids[b]);
       if (rc != ErrorCode::kOk) break;
+      // Registered like a prefetch so every arrival — even one collected
+      // by an unrelated wait after this path abandons it — lands in the
+      // magazine rather than leaking.
+      refill_ids_[cls].push_back(ids[b]);
+      inflight_allocs_.emplace_back(ids[b], cls);
       ++submitted;
     }
     for (unsigned b = 0; b < submitted; ++b) {
       CplMsg msg;
       const ErrorCode w = wait_completion(ids[b], &msg);
       if (w != ErrorCode::kOk) {
-        // Completions we abandon here stay in the ring; the session-death
-        // reclaimer (or the next successful wait's stale-drop) owns them.
+        // Waits abandoned here leave their requests registered; a
+        // failover converts them into reclaim-by-tag orphans.
         rc = w;
         break;
       }
-      if (msg.status != SvcStatus::kOkAlloc) continue;
-      for (unsigned i = 0; i < msg.nops && i < kMaxOpsPerReq; ++i) {
-        const core::NvPtr p{msg.results[2 * i], msg.results[2 * i + 1]};
-        if (!p.is_null()) mag.push_back(p);
-      }
+      absorb_completion(msg);  // routes blocks to mag, deregisters the id
     }
     if (mag.empty()) {
       if (err != nullptr) *err = rc;  // kOk + null = heap exhausted
@@ -485,6 +755,18 @@ ErrorCode SvcClient::free_one(core::NvPtr ptr) {
 }
 
 ErrorCode SvcClient::flush_pending(bool sync) {
+  ErrorCode rc = flush_pending_inner(sync);
+  for (unsigned attempt = 0; rc == ErrorCode::kSvcUnavailable &&
+                             failover_armed() && attempt < kFailoverRetries;
+       ++attempt) {
+    const ErrorCode rr = reconnect();
+    if (rr != ErrorCode::kOk) return rr;
+    rc = flush_pending_inner(sync);
+  }
+  return rc;
+}
+
+ErrorCode SvcClient::flush_pending_inner(bool sync) {
   while (!pending_free_.empty()) {
     const unsigned n = static_cast<unsigned>(
         std::min<std::size_t>(pending_free_.size(), kMaxOpsPerReq));
@@ -501,8 +783,9 @@ ErrorCode SvcClient::flush_pending(bool sync) {
     const ErrorCode rc =
         submit(SvcOp::kFree, payload, n, next_req_id_++);
     if (rc != ErrorCode::kOk) return rc;
-    // Submitted means the server will execute it; dropping the entries
-    // now keeps a later retry from double-freeing them.
+    // Submitted batches move from the stash to the free_reqs_ registry
+    // (inside submit): never double-freed by a retry here, still replayed
+    // if-owner should the server die before acknowledging them.
     pending_free_.resize(off);
   }
   return sync ? drain_outstanding() : ErrorCode::kOk;
@@ -511,7 +794,14 @@ ErrorCode SvcClient::flush_pending(bool sync) {
 ErrorCode SvcClient::flush_caches() {
   // Land the in-flight prefetches first — their blocks must be in the
   // magazines before the sweep below, or they would survive the flush.
-  const ErrorCode dr = drain_outstanding();
+  ErrorCode dr = drain_outstanding();
+  for (unsigned attempt = 0; dr == ErrorCode::kSvcUnavailable &&
+                             failover_armed() && attempt < kFailoverRetries;
+       ++attempt) {
+    const ErrorCode rr = reconnect();
+    if (rr != ErrorCode::kOk) return rr;
+    dr = drain_outstanding();  // nothing outstanding after a reconnect
+  }
   if (dr != ErrorCode::kOk) return dr;
   for (unsigned cls = 0; cls < 64; ++cls) {
     for (const core::NvPtr& p : magazine_[cls]) pending_free_.push_back(p);

@@ -27,8 +27,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -62,6 +64,29 @@ struct ClientOptions {
   // Map the shard user regions writable (the normal mode).  Off for
   // control-plane-only probes.
   bool map_data = true;
+
+  // ---- failover (DESIGN.md, "Failover and self-healing") -------------------
+
+  // When the server dies mid-operation, run the reconnect protocol
+  // (reattach at the next generation, reconcile in-flight requests) and
+  // retry instead of surfacing kSvcUnavailable.  Off restores the fail-
+  // fast behavior the read-only degradation ladder expects.
+  bool auto_failover = true;
+  // Reattach attempts before a reconnect gives up; each failed attempt
+  // waits out one backoff step below.
+  unsigned reconnect_attempts = 30;
+  // Capped exponential backoff between reattach attempts, with jitter so
+  // losing clients do not stampede the new server's admission CASes.
+  std::uint64_t reconnect_backoff_ns = 2'000'000;        // first wait
+  std::uint64_t reconnect_backoff_max_ns = 200'000'000;  // cap
+  // Election hook: called every few failed reattach attempts so somebody
+  // can become (or fork) the replacement server.  May be invoked by many
+  // clients at once — the heap's OFD owner lock arbitrates, losers just
+  // fail Heap::open with kHeapBusy.  Exceptions are swallowed.
+  std::function<void()> elect;
+  // Injectable clock for liveness classification (tests); null uses
+  // monotonic_ns().
+  std::uint64_t (*now)() = nullptr;
 };
 
 class SvcClient {
@@ -115,6 +140,21 @@ class SvcClient {
   ErrorCode server_state() const noexcept;
   unsigned session() const noexcept { return session_; }
   unsigned shard() const noexcept { return shard_; }
+  // Segment generation this client is attached to; bumps on failover.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  // ---- failover ------------------------------------------------------------
+
+  // Runs the full reconnect protocol now: drain the orphaned completion
+  // ring, classify in-flight requests, reattach to a successor segment
+  // (calling opts.elect as needed) with backoff, re-admit under the same
+  // session nonce, and reconcile — orphaned tagged allocations are freed
+  // through kReclaimOrphans, unacknowledged frees replayed through
+  // kFreeIfOwner, both idempotent so a failover *during* reconcile just
+  // runs it again.  Returns kOk once reconciled on a serving successor;
+  // kSvcUnavailable when the reattach budget is exhausted.  The automatic
+  // paths call this; it is public for adapters and drills.
+  ErrorCode reconnect();
 
   // ---- torture hooks -------------------------------------------------------
 
@@ -143,14 +183,30 @@ class SvcClient {
   SessionSlot& sess() const noexcept;
   ErrorCode admission(const std::string& heap_path);
   void map_windows(const std::string& heap_path);
+  std::uint64_t now_ns() const noexcept;
+  bool failover_armed() const noexcept;
+  // One reconnect round: drain, classify, reattach, re-admit, reconcile.
+  ErrorCode reconnect_impl();
+  // Replays the reconcile backlog (lost_tags_ / replay_frees_) through the
+  // current server; entries leave the backlog only on kOk completions.
+  ErrorCode reconcile();
+  // roundtrip() minus the failover retry loop; *submitted reports whether
+  // the request made it into the ring (decides replay semantics).
+  ErrorCode roundtrip_once(SvcOp op, const std::uint64_t* payload,
+                           unsigned nops, CplMsg* out, bool* submitted);
   ErrorCode roundtrip(SvcOp op, const std::uint64_t* payload, unsigned nops,
                       CplMsg* out);
   ErrorCode submit(SvcOp op, const std::uint64_t* payload, unsigned nops,
                    std::uint32_t req_id);
+  // Strikes a dequeued completion's req_id off the in-flight registries.
+  void note_completed(const CplMsg& msg);
   ErrorCode wait_completion(std::uint32_t req_id, CplMsg* out);
   // Flushes the whole pending-free stash as fire-and-forget batches; with
   // sync, blocks until the server has executed every outstanding request.
+  // The outer function retries through reconnect(); _inner is one attempt.
   ErrorCode flush_pending(bool sync);
+  ErrorCode flush_pending_inner(bool sync);
+  core::NvPtr alloc_one_inner(std::uint64_t size, ErrorCode* err);
   // Blocks until every outstanding completion has been collected.  FIFO
   // completion order makes waiting on the last submitted id sufficient.
   ErrorCode drain_outstanding();
@@ -171,6 +227,14 @@ class SvcClient {
   unsigned effective_spins_ = 0;  // wait_spins, or 0 on a single-CPU box
   unsigned session_ = 0;
   unsigned shard_ = 0;  // home submission ring
+  std::string heap_path_;         // reattach key: svc_path(heap_path_)
+  std::uint64_t generation_ = 0;  // segment generation currently attached
+  // Session nonce (top bit set, never zero): stamped into every alloc this
+  // session makes (tag = nonce << 32 | req_id) and stable across
+  // reconnects, so reconcile frees only blocks provably this session's.
+  std::uint32_t nonce32_ = 0;
+  bool reconnected_once_ = false;  // admission publishes it for accounting
+  bool in_reconnect_ = false;      // reconcile round-trips must not recurse
   std::uint32_t next_req_id_ = 1;
   std::uint32_t last_submitted_id_ = 0;
   // Successful submissions whose completions have not been dequeued yet.
@@ -189,6 +253,17 @@ class SvcClient {
   // route prefetched blocks to the right magazine.
   std::vector<std::uint32_t> refill_ids_[64];
   std::vector<std::pair<std::uint32_t, unsigned>> inflight_allocs_;
+
+  // Failover bookkeeping.  Every successful submit registers its request
+  // here (allocs by id, frees by id + pointer list) and every dequeued
+  // completion strikes it off — so at the instant a server dies, these
+  // hold exactly the requests with unknown fates.  reconnect() converts
+  // them into the reconcile backlog below; entries leave the backlog only
+  // when the successor acknowledges them, surviving repeated failovers.
+  std::vector<std::uint32_t> alloc_reqs_;
+  std::vector<std::pair<std::uint32_t, std::vector<core::NvPtr>>> free_reqs_;
+  std::vector<std::uint64_t> lost_tags_;      // kReclaimOrphans backlog
+  std::vector<core::NvPtr> replay_frees_;     // kFreeIfOwner backlog
 };
 
 }  // namespace poseidon::svc

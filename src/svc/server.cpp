@@ -47,17 +47,77 @@ std::unique_ptr<SvcServer> SvcServer::start(const std::string& heap_path,
   // Holding the heap's OFD locks proves any prior server is gone, so its
   // stale segment (fresh or crashed) can be swept unconditionally.
   const std::string seg_path = svc_path(heap_path);
+  std::uint64_t generation = 1;
+  bool failover = false;
+  if (pmem::ShmSegment::exists(seg_path)) {
+    try {
+      pmem::ShmSegment old =
+          pmem::ShmSegment::attach(seg_path, /*read_only=*/false);
+      std::byte* ob = old.data();
+      SvcHeader* oh = header_of(ob);
+      if (old.size() >= sizeof(SvcHeader) && oh->magic == kSvcMagic &&
+          oh->version == kSvcVersion && oh->segment_bytes <= old.size()) {
+        generation = oh->generation + 1;
+        // A predecessor that never reached kDead crashed in office.
+        failover = static_cast<SvcState>(oh->state.load(
+                       std::memory_order_acquire)) != SvcState::kDead;
+        // Free the never-dequeued alloc results of sessions whose owners
+        // are gone too — nobody is left to learn those handles.  Sessions
+        // whose client is still alive keep their rings: that client drains
+        // them itself when it reconnects to the new generation.
+        SessionSlot* osess = sessions_of(ob);
+        for (unsigned i = 0; i < oh->nsessions && i < kMaxSessions; ++i) {
+          SessionSlot& s = osess[i];
+          const std::uint32_t st = s.state.load(std::memory_order_acquire);
+          if (st == kSessFree) continue;
+          const auto pid = static_cast<pid_t>(s.pid);
+          const bool live = st != kSessClosed && pid != 0 &&
+                            core::process_alive(pid) &&
+                            core::proc_start_time(pid) == s.start_time;
+          if (live) continue;
+          CplMsg msg;
+          while (cpl_dequeue(&s, cpl_ring_of(ob, i), &msg)) {
+            if (msg.status != SvcStatus::kOkAlloc) continue;
+            for (unsigned k = 0; k + 1 < 2u * msg.nops; k += 2) {
+              const core::NvPtr p{msg.results[k], msg.results[k + 1]};
+              if (!p.is_null()) (void)heap->free(p);
+            }
+          }
+        }
+        // Retire the old incarnation in place: stale client mappings read
+        // kDead instantly instead of waiting out the heartbeat, and every
+        // woken sleeper re-reads the state word.
+        oh->state.store(static_cast<std::uint32_t>(SvcState::kDead),
+                        std::memory_order_release);
+        for (unsigned i = 0; i < oh->nshards && i < core::kMaxShards; ++i) {
+          SubRingHdr* r = sub_ring_of(ob, i);
+          r->doorbell.fetch_add(1, std::memory_order_release);
+          futex_wake(&r->doorbell, 64);
+        }
+        for (unsigned i = 0; i < oh->nsessions && i < kMaxSessions; ++i) {
+          osess[i].doorbell.fetch_add(1, std::memory_order_release);
+          futex_wake(&osess[i].doorbell, 64);
+        }
+      }
+    } catch (...) {
+      // Unreadable stale segment: rebuild from scratch at generation 1.
+    }
+  }
   pmem::ShmSegment::unlink(seg_path);
   const SvcGeometry geo = compute_svc_geometry(heap->shard_count());
   pmem::ShmSegment seg = pmem::ShmSegment::create(seg_path, geo.segment_bytes);
 
-  return std::unique_ptr<SvcServer>(
-      new SvcServer(std::move(heap), std::move(seg), std::move(o)));
+  return std::unique_ptr<SvcServer>(new SvcServer(
+      std::move(heap), std::move(seg), std::move(o), generation, failover));
 }
 
 SvcServer::SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
-                     ServerOptions opts)
-    : heap_(std::move(heap)), seg_(std::move(seg)), opts_(std::move(opts)) {
+                     ServerOptions opts, std::uint64_t generation,
+                     bool failover)
+    : heap_(std::move(heap)),
+      seg_(std::move(seg)),
+      opts_(std::move(opts)),
+      generation_(generation) {
   nshards_ = heap_->shard_count();
   std::byte* base = seg_.data();
 
@@ -70,7 +130,10 @@ SvcServer::SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
   h->server_pid = static_cast<std::uint64_t>(::getpid());
   h->server_start_time = core::proc_start_time(::getpid());
   h->server_boot_id = core::boot_id_hash();
-  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  h->generation = generation_;
+  // Release like every other publishing stamp: a client that acquires the
+  // heartbeat must see the identity fields written above.
+  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_release);
   h->epoch.store(1, std::memory_order_relaxed);
   h->nshards = nshards_;
   h->nsessions = kMaxSessions;
@@ -129,6 +192,10 @@ SvcServer::SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
                  std::memory_order_release);
   heap_->note_flight(obs::FlightOp::kSvcState,
                      static_cast<std::uint64_t>(SvcState::kServing));
+  if (failover) {
+    heap_->metrics_mut().svc_failovers.inc();
+    heap_->note_flight(obs::FlightOp::kSvcFailover, generation_ - 1);
+  }
 }
 
 SvcServer::~SvcServer() {
@@ -170,7 +237,7 @@ void SvcServer::stop() {
   }
   if (housekeeper_.joinable()) housekeeper_.join();
   SvcHeader* h = header_of(base);
-  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  h->heartbeat_ns.store(monotonic_ns(), std::memory_order_release);
   h->state.store(static_cast<std::uint32_t>(SvcState::kDead),
                  std::memory_order_release);
   heap_->note_flight(obs::FlightOp::kSvcState,
@@ -297,7 +364,16 @@ void SvcServer::execute(unsigned shard, const SubReq& req) {
         cpl.nops = 0;
         break;
       }
-      if (req.op == SvcOp::kAlloc) {
+      // Every alloc for a nonce-carrying session runs as a tagged
+      // transaction: a server SIGKILL before the commit rolls the blocks
+      // back at the next heap open; after it, they sit committed and
+      // tagged for the client's reconcile sweep.  Cache-served pops would
+      // leak on either side of a lost completion.
+      const auto nonce32 = static_cast<std::uint32_t>(sess.nonce);
+      if (nonce32 != 0) {
+        heap_->tx_alloc_batch_tagged(req.payload, n, ptrs,
+                                     make_tag(nonce32, req.req_id));
+      } else if (req.op == SvcOp::kAlloc) {
         heap_->alloc_batch(req.payload, n, ptrs);
       } else {
         heap_->tx_alloc_batch(req.payload, n, ptrs);
@@ -340,6 +416,58 @@ void SvcServer::execute(unsigned shard, const SubReq& req) {
     case SvcOp::kPing:
       std::memcpy(cpl.results, req.payload, sizeof(cpl.results));
       break;
+    case SvcOp::kFreeIfOwner: {
+      // Replay of a lost-completion free: only blocks still stamped with
+      // this session's nonce are freed, so a block the dead server already
+      // freed (and a successor re-issued) is skipped, never double-freed.
+      if (n == 0 || n != req.nops) {
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+        break;
+      }
+      const auto nonce32 = static_cast<std::uint32_t>(sess.nonce);
+      unsigned replayed = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        const core::NvPtr p{req.payload[2 * i], req.payload[2 * i + 1]};
+        const bool freed =
+            nonce32 != 0 &&
+            heap_->free_if_owner(p, nonce32) == core::FreeResult::kOk;
+        cpl.results[i] = freed ? 1 : 0;
+        replayed += freed ? 1u : 0u;
+      }
+      if (replayed != 0) {
+        m.svc_reconcile_replayed.inc(replayed);
+        heap_->note_flight(obs::FlightOp::kSvcReconcile, replayed);
+      }
+      break;
+    }
+    case SvcOp::kReclaimOrphans: {
+      // Sweep for blocks tagged by this session's lost alloc requests.
+      // Only tags carrying the session's own nonce are honored.
+      if (n == 0 || n != req.nops) {
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+        break;
+      }
+      const auto nonce32 = static_cast<std::uint32_t>(sess.nonce);
+      std::uint64_t tags[kMaxOpsPerReq];
+      unsigned ntags = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        if (nonce32 != 0 &&
+            static_cast<std::uint32_t>(req.payload[i] >> 32) == nonce32) {
+          tags[ntags++] = req.payload[i];
+        }
+      }
+      const unsigned freed =
+          ntags != 0 ? heap_->reclaim_tagged(tags, ntags) : 0;
+      cpl.results[0] = freed;
+      cpl.nops = 1;
+      if (freed != 0) {
+        m.svc_reconcile_dropped.inc(freed);
+        heap_->note_flight(obs::FlightOp::kSvcReconcile, freed);
+      }
+      break;
+    }
     default:
       cpl.status = SvcStatus::kBadRequest;
       cpl.nops = 0;
@@ -423,6 +551,8 @@ void SvcServer::reclaim_session(unsigned sess_idx) {
   s.start_time = 0;
   s.gen += 1;
   s.retire_epoch = 0;
+  s.nonce = 0;
+  s.reconnected.store(0, std::memory_order_relaxed);
   s.state.store(kSessFree, std::memory_order_release);
   heap_->metrics_mut().svc_sessions_reclaimed.inc();
   sessions_reclaimed_.fetch_add(1, std::memory_order_relaxed);
@@ -455,6 +585,9 @@ void SvcServer::housekeep_loop() {
           if (book_[i].seen_gen != s.gen) {
             book_[i].seen_gen = s.gen;
             m.svc_sessions_opened.inc();
+            if (s.reconnected.load(std::memory_order_acquire) != 0) {
+              m.svc_reconnects.inc();
+            }
             heap_->note_flight(obs::FlightOp::kSvcSession, i);
           }
           const auto pid = static_cast<pid_t>(s.pid);

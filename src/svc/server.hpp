@@ -66,7 +66,11 @@ class SvcServer {
  public:
   // Opens the heap exclusively (throws Error{kHeapBusy} through from
   // Heap::open if another owner is live) and publishes a fresh segment at
-  // svc_path(heap_path), replacing any stale one.
+  // svc_path(heap_path), replacing any stale one.  A stale segment is
+  // first retired in place: its generation is read (the new segment
+  // publishes generation+1), dead sessions' never-dequeued alloc results
+  // are freed back to the heap, and its header flips kDead with every
+  // doorbell woken so clients still mapping it fail over immediately.
   static std::unique_ptr<SvcServer> start(const std::string& heap_path,
                                           const ServerOptions& opts = {});
 
@@ -95,10 +99,11 @@ class SvcServer {
     return sessions_reclaimed_.load(std::memory_order_relaxed);
   }
   std::byte* segment_base() noexcept { return seg_.data(); }
+  std::uint64_t generation() const noexcept { return generation_; }
 
  private:
   SvcServer(std::unique_ptr<core::Heap> heap, pmem::ShmSegment seg,
-            ServerOptions opts);
+            ServerOptions opts, std::uint64_t generation, bool failover);
 
   void service_loop(unsigned shard);
   void housekeep_loop();
@@ -114,6 +119,7 @@ class SvcServer {
   pmem::ShmSegment seg_;
   ServerOptions opts_;
   unsigned nshards_ = 0;
+  std::uint64_t generation_ = 1;
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};

@@ -44,7 +44,8 @@
 namespace poseidon::svc {
 
 inline constexpr std::uint64_t kSvcMagic = 0x504f534549535643ull;  // "POSEISVC"
-inline constexpr std::uint32_t kSvcVersion = 1;
+// v2: SvcHeader::generation + session nonces (failover / reconnect).
+inline constexpr std::uint32_t kSvcVersion = 2;
 
 // Session slots; 64 keeps the session id in 6 bits of the slot word.
 inline constexpr unsigned kMaxSessions = 64;
@@ -90,6 +91,15 @@ enum class SvcOp : std::uint16_t {
   kGetRoot = 4,  //                            -> results[0..1] = root NvPtr
   kSetRoot = 5,  // payload[0..1] = root NvPtr
   kPing = 6,     // liveness probe; echoes
+  // Reconcile ops — both idempotent, so a reconnect interrupted by yet
+  // another failover can simply resend them.
+  kFreeIfOwner = 7,     // payload: nops NvPtrs -> results: 1 freed / 0 skipped;
+                        // frees only blocks still carrying this session's
+                        // owner tag (replayed lost-completion frees can never
+                        // hit a block the server already freed and re-issued)
+  kReclaimOrphans = 8,  // payload: nops owner tags -> results[0] = blocks
+                        // freed; sweeps the heap for blocks stamped with the
+                        // given tags (allocs whose completions were lost)
 };
 
 enum class SvcStatus : std::uint16_t {
@@ -154,7 +164,12 @@ struct alignas(2 * kCacheLineSize) SessionSlot {
   std::atomic<std::uint64_t> cpl_enq;     // server-side ticket (Vyukov)
   std::atomic<std::uint64_t> cpl_deq;     // client cursor (inspectability)
   std::uint64_t retire_epoch;             // server-side: zombie grace marker
-  std::uint64_t reserved[3];
+  // Client-stable reconnect identity: generated once at first connect
+  // (top bit set so owner tags never collide with free-list links), kept
+  // across failovers so the new server can match owner-tagged blocks.
+  std::uint64_t nonce;
+  std::atomic<std::uint64_t> reconnected;  // 1 = this admission is a reconnect
+  std::uint64_t reserved;
 };
 static_assert(sizeof(SessionSlot) == 128);
 
@@ -188,6 +203,11 @@ struct SvcHeader {
   std::uint64_t server_pid;
   std::uint64_t server_start_time;   // pid-reuse guard, like OwnerRecord
   std::uint64_t server_boot_id;
+  // Bumped on every server start (old segment's generation + 1, read
+  // before the rebuild unlinks it).  A client that reattaches after a
+  // failover accepts the new segment only when the generation moved, so a
+  // stale mapping can never be mistaken for a rebuilt one.
+  std::uint64_t generation;
   std::atomic<std::uint64_t> heartbeat_ns;  // CLOCK_MONOTONIC, housekeeping
   std::atomic<std::uint64_t> epoch;         // global reclamation epoch
   std::uint32_t nshards;
@@ -261,6 +281,16 @@ inline CplSlot* cpl_ring_of(std::byte* base, unsigned session) noexcept {
 // Service segment path convention: beside the heap's head file.
 inline std::string svc_path(const std::string& heap_path) {
   return heap_path + ".svc";
+}
+
+// Owner tag stamped into the (dead-while-allocated) free-list link word of
+// every block the server hands out: session nonce high, request id low.
+// The nonce's top bit is always set, so a tag can never collide with a
+// real link value (offset + 1, far below 2^62) and "has the top bit" is a
+// cheap is-tagged test.
+inline constexpr std::uint64_t make_tag(std::uint32_t nonce32,
+                                        std::uint32_t req_id) noexcept {
+  return (std::uint64_t{nonce32} << 32) | req_id;
 }
 
 // Monotonic nanoseconds (CLOCK_MONOTONIC): the timebase of every svc

@@ -360,7 +360,12 @@ TEST(SvcServerClient, DrainIsTypedRetry) {
 TEST(SvcServerClient, DeadServerIsUnavailableAndFailsOverReadOnly) {
   TempHeapPath path("svc_dead");
   auto server = svc::SvcServer::start(path.str(), two_shard_server());
-  auto client = svc::SvcClient::connect(path.str());
+  // This test exercises the fail-fast ladder (nobody will ever elect a
+  // successor here — the stopped server still owns the heap), so the
+  // automatic reconnect protocol must stay out of the way.
+  svc::ClientOptions co;
+  co.auto_failover = false;
+  auto client = svc::SvcClient::connect(path.str(), co);
 
   // Park a root so the read-only leg has something to show.
   std::uint64_t size = 256;
@@ -604,6 +609,190 @@ TEST(SvcLinearizability, TwoClientProcessesNoDoubleHandoutNoTornPayload) {
   EXPECT_EQ(server->heap().stats().live_blocks, 0u);
   std::string why;
   EXPECT_TRUE(server->heap().check_invariants(&why)) << why;
+}
+
+// ---- failover & self-healing -----------------------------------------------
+
+// Injectable clock for liveness classification (a capture-less lambda
+// converts to ClientOptions::now).
+std::uint64_t g_fake_now = 0;
+
+volatile sig_atomic_t g_server_term = 0;
+void server_term(int) { g_server_term = 1; }
+
+// Forked server child: owns the heap until SIGTERM, then stops cleanly.
+// Used both as the initial server and as election fodder.
+pid_t fork_server(const std::string& path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  g_server_term = 0;
+  struct sigaction sa {};
+  sa.sa_handler = server_term;
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  try {
+    auto server = svc::SvcServer::start(path, two_shard_server());
+    while (g_server_term == 0) ::usleep(2'000);
+    server->stop();
+  } catch (...) {
+    ::_exit(2);
+  }
+  ::_exit(0);
+}
+
+TEST(SvcFailover, ServerStateClassificationWithInjectedClock) {
+  TempHeapPath path("svc_state_cls");
+  auto server = svc::SvcServer::start(path.str(), two_shard_server());
+  svc::ClientOptions co;
+  co.auto_failover = false;
+  co.now = [] { return g_fake_now; };
+  g_fake_now = svc::monotonic_ns();
+  auto client = svc::SvcClient::connect(path.str(), co);
+  auto* h = svc::header_of(server->segment_base());
+
+  // Fresh heartbeat: serving.
+  EXPECT_EQ(client->server_state(), ErrorCode::kOk);
+
+  // Heartbeat aged far past the threshold but the server pid is alive: a
+  // wedged box is not a dead server.
+  g_fake_now = svc::monotonic_ns() + co.server_stale_ns + 60'000'000'000ull;
+  EXPECT_EQ(client->server_state(), ErrorCode::kOk);
+
+  // Same staleness with a provably dead pid: unavailable.
+  const pid_t dead = ::fork();
+  if (dead == 0) ::_exit(0);
+  ASSERT_GT(dead, 0);
+  (void)reap(dead);
+  const std::uint64_t real_pid = h->server_pid;
+  h->server_pid = static_cast<std::uint64_t>(dead);
+  EXPECT_EQ(client->server_state(), ErrorCode::kSvcUnavailable);
+  h->server_pid = real_pid;
+
+  // State machine verdicts trump heartbeat freshness.
+  g_fake_now = svc::monotonic_ns();
+  h->state.store(static_cast<std::uint32_t>(svc::SvcState::kDraining),
+                 std::memory_order_release);
+  EXPECT_EQ(client->server_state(), ErrorCode::kSvcRetry);
+  h->state.store(static_cast<std::uint32_t>(svc::SvcState::kDead),
+                 std::memory_order_release);
+  EXPECT_EQ(client->server_state(), ErrorCode::kSvcUnavailable);
+  h->state.store(static_cast<std::uint32_t>(svc::SvcState::kServing),
+                 std::memory_order_release);
+  EXPECT_EQ(client->server_state(), ErrorCode::kOk);
+}
+
+TEST(SvcFailover, GenerationBumpAndReconnectReconcilesLostHandles) {
+  TempHeapPath path("svc_regen");
+  auto s1 = svc::SvcServer::start(path.str(), two_shard_server());
+  EXPECT_EQ(s1->generation(), 1u);
+
+  svc::ClientOptions co;
+  co.reconnect_attempts = 400;
+  co.reconnect_backoff_ns = 500'000;
+  co.reconnect_backoff_max_ns = 5'000'000;
+  auto client = svc::SvcClient::connect(path.str(), co);
+  EXPECT_EQ(client->generation(), 1u);
+
+  // Handles whose completions this client never dequeues: the old server
+  // executes them, so the reconnect drain must route them into the free
+  // path instead of leaking them across generations.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(client->submit_alloc_no_wait_for_test(128), ErrorCode::kOk);
+  }
+
+  s1->stop();
+  s1.reset();  // releases the heap; a successor can now win the election
+  auto s2 = svc::SvcServer::start(path.str(), two_shard_server());
+  EXPECT_EQ(s2->generation(), 2u);
+
+  ASSERT_EQ(client->reconnect(), ErrorCode::kOk);
+  EXPECT_EQ(client->generation(), 2u);
+
+  // The re-admitted session serves normally on the successor.
+  std::uint64_t size = 256;
+  core::NvPtr p;
+  ASSERT_EQ(client->alloc(&size, 1, &p), ErrorCode::kOk);
+  ASSERT_FALSE(p.is_null());
+  core::FreeResult fr;
+  ASSERT_EQ(client->free_blocks(&p, 1, &fr), ErrorCode::kOk);
+  EXPECT_EQ(fr, core::FreeResult::kOk);
+  ASSERT_EQ(client->flush_caches(), ErrorCode::kOk);
+  EXPECT_EQ(s2->heap().stats().live_blocks, 0u);
+  std::string why;
+  EXPECT_TRUE(s2->heap().check_invariants(&why)) << why;
+}
+
+TEST(SvcFailover, KillServerMidBatchReconcilesExactly) {
+  TempHeapPath path("svc_kill");
+  const pid_t first = fork_server(path.str());
+  ASSERT_GT(first, 0);
+
+  svc::ClientOptions co;
+  co.server_stale_ns = 200'000'000;  // detect the kill fast
+  co.reconnect_attempts = 400;
+  co.reconnect_backoff_ns = 1'000'000;
+  co.reconnect_backoff_max_ns = 20'000'000;
+  std::vector<pid_t> elected;
+  co.elect = [&path, &elected] { elected.push_back(fork_server(path.str())); };
+
+  // The child publishes kServing only after full initialization.
+  std::unique_ptr<svc::SvcClient> client;
+  for (int i = 0;; ++i) {
+    try {
+      client = svc::SvcClient::connect(path.str(), co);
+      break;
+    } catch (const Error&) {
+      ASSERT_LT(i, 2000);
+      ::usleep(5'000);
+    }
+  }
+
+  // Warm traffic so magazines, prefetches and free stashes are all in
+  // flight when the server dies.
+  std::vector<core::NvPtr> held;
+  ErrorCode e = ErrorCode::kOk;
+  for (int i = 0; i < 40; ++i) {
+    const core::NvPtr p = client->alloc_one(512, &e);
+    ASSERT_EQ(e, ErrorCode::kOk);
+    ASSERT_FALSE(p.is_null());
+    held.push_back(p);
+  }
+
+  ::kill(first, SIGKILL);
+  (void)reap(first);
+
+  // Traffic must ride through the failover: detection, election of the
+  // successor, idempotent reconcile, then normal service.
+  for (int i = 0; i < 200; ++i) {
+    const core::NvPtr p = client->alloc_one(256, &e);
+    ASSERT_EQ(e, ErrorCode::kOk) << "op " << i;
+    ASSERT_FALSE(p.is_null()) << "op " << i;
+    if (i % 2 == 0) {
+      ASSERT_EQ(client->free_one(p), ErrorCode::kOk);
+    } else {
+      held.push_back(p);
+    }
+  }
+  EXPECT_GE(client->generation(), 2u);
+  ASSERT_FALSE(elected.empty());
+
+  for (const core::NvPtr p : held) {
+    ASSERT_EQ(client->free_one(p), ErrorCode::kOk);
+  }
+  ASSERT_EQ(client->flush_caches(), ErrorCode::kOk);
+  client.reset();
+
+  for (const pid_t pid : elected) {
+    (void)::kill(pid, SIGTERM);
+    const int st = reap(pid);
+    EXPECT_TRUE(WIFEXITED(st));
+  }
+
+  // Exact-zero audit: everything allocated across both generations was
+  // freed exactly once, and the metadata survived the crash.
+  auto heap = core::Heap::open(path.str(), two_shard_server().heap_opts);
+  EXPECT_EQ(heap->stats().live_blocks, 0u);
+  std::string why;
+  EXPECT_TRUE(heap->check_invariants(&why)) << why;
 }
 
 }  // namespace

@@ -157,7 +157,8 @@ struct Cfg {
   std::uint64_t capacity = 32ull << 20;
   std::string fault;  // POSEIDON_FAULT clause syntax; armed in the child only
   bool keep = false;
-  bool svc = false;   // allocation-service torture instead of owner torture
+  bool svc = false;         // allocation-service torture instead of owner torture
+  bool kill_server = false; // --svc variant: SIGKILL the *server* every round
 
   std::uint64_t nslots() const { return threads * slots_per_thread; }
 };
@@ -799,6 +800,413 @@ int run_svc(const Cfg& cfg) {
   return 0;
 }
 
+// ---- kill-the-server torture (--svc --kill-server) -------------------------
+//
+// Inverts run_svc: the *clients* are immortal and the *server* is the
+// victim.  N worker processes run publish/unpublish slot-table traffic
+// through SvcClient with auto-failover on; each round the parent SIGKILLs
+// whichever process currently serves the segment and measures MTTR as the
+// time until a fresh probe session round-trips a ping through the
+// successor.  Workers detect the death, re-elect (forking replacement
+// servers — the heap's OFD owner lock picks one winner), reconnect at the
+// new generation and reconcile their in-flight handles, so the final audit
+// can demand an EXACT match: since no client ever dies, every live block
+// must be the slot table or a published slot — zero leaks, zero
+// double-allocs (two slots naming one block), zero double-frees (a
+// re-freed block gets re-allocated under another slot and diffs there).
+
+volatile sig_atomic_t g_svc_term = 0;
+void svc_term_handler(int) { g_svc_term = 1; }
+
+// Fork a server candidate.  Loser children (another candidate won the
+// heap's owner lock first) exit 2; the winner serves until SIGTERM.
+pid_t fork_server_child(const Cfg& cfg) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  g_svc_term = 0;
+  struct sigaction sa {};
+  sa.sa_handler = svc_term_handler;
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  try {
+    svc::ServerOptions so;
+    so.heap_opts = base_opts(cfg);
+    so.create_capacity = cfg.capacity;
+    auto server = svc::SvcServer::start(cfg.path, so);
+    while (g_svc_term == 0) ::usleep(2000);
+    server->stop();
+  } catch (...) {
+    ::_exit(2);
+  }
+  ::_exit(0);
+}
+
+svc::ClientOptions kill_worker_opts(const Cfg& cfg) {
+  svc::ClientOptions co;
+  co.server_stale_ns = 150'000'000;       // call the kill fast
+  co.reconnect_attempts = 2000;           // rides out back-to-back kills
+  co.reconnect_backoff_ns = 1'000'000;
+  co.reconnect_backoff_max_ns = 30'000'000;
+  co.elect = [cfg] { (void)fork_server_child(cfg); };
+  return co;
+}
+
+[[noreturn]] void svc_kill_worker_main(const Cfg& cfg, unsigned rank,
+                                       std::uint64_t seed) {
+  // Election forks server candidates this worker never waits on; let the
+  // kernel reap them (the parent kills them through the segment's pid).
+  (void)::signal(SIGCHLD, SIG_IGN);
+  const std::string stop_path = cfg.path + ".stop";
+  std::unique_ptr<svc::SvcClient> c;
+  for (int i = 0;; ++i) {
+    try {
+      c = svc::SvcClient::connect(cfg.path, kill_worker_opts(cfg));
+      break;
+    } catch (const std::exception&) {
+      if (i > 5000) ::_exit(10);
+      ::usleep(2000);
+    }
+  }
+  NvPtr root;
+  if (c->get_root(&root) != ErrorCode::kOk || root.is_null()) ::_exit(11);
+  auto* table = static_cast<SlotTable*>(c->raw(root));
+  if (table == nullptr || table->magic != kMagic) ::_exit(12);
+  SlotRec* slots = slots_of(table);
+  const std::uint64_t begin = rank * cfg.slots_per_thread;
+  const std::uint64_t nmine = cfg.slots_per_thread;
+  std::uint64_t x = seed;
+  while (::access(stop_path.c_str(), F_OK) != 0) {
+    const std::uint64_t r = splitmix(x);
+    SlotRec& s = slots[begin + r % nmine];
+    ErrorCode e = ErrorCode::kOk;
+    if (s.tag == 0) {
+      // Publish: the handle is only recorded in the slot AFTER alloc_one
+      // returns it — reconcile-on-failover guarantees a handle the client
+      // never saw is reclaimed server-side, so alloc/slot stays exact.
+      const std::uint64_t tag = splitmix(x) | 1;
+      const std::uint64_t size = size_for_tag(tag);
+      const NvPtr p = c->alloc_one(size, &e);
+      if (e != ErrorCode::kOk) ::_exit(13);
+      if (p.is_null()) ::_exit(14);  // 32 MiB can't be exhausted here
+      fill_payload(c->raw(p), size, tag);
+      pmem::persist(c->raw(p), size);
+      s.ptr = p;
+      s.tag = tag;
+      s.csum = slot_csum(s);
+      pmem::persist(&s, sizeof s);
+    } else {
+      // Unpublish: slot cleared first, then the free; if the free's batch
+      // is cut down by a failover the client replays it idempotently.
+      if (size_for_tag(s.tag) >= 8 &&
+          !payload_matches(c->raw(s.ptr), 8, s.tag)) {
+        ::_exit(15);  // payload rotted while published
+      }
+      const NvPtr p = s.ptr;
+      std::memset(&s, 0, sizeof s);
+      pmem::persist(&s, sizeof s);
+      if (c->free_one(p) != ErrorCode::kOk) ::_exit(16);
+    }
+    if (r % 4 == 0) {
+      // Scratch churn through the magazines: exercises refill batches cut
+      // down mid-flight by the kill.
+      const NvPtr q = c->alloc_one(16 + splitmix(x) % 512, &e);
+      if (e != ErrorCode::kOk) ::_exit(17);
+      if (q.is_null()) ::_exit(18);
+      *static_cast<unsigned char*>(c->raw(q)) = 0x5a;
+      if (c->free_one(q) != ErrorCode::kOk) ::_exit(19);
+    }
+  }
+  if (c->flush_caches() != ErrorCode::kOk) ::_exit(20);
+  c.reset();  // clean session close
+  ::_exit(0);
+}
+
+// Read (victim pid, generation) from the public segment, waiting for a
+// serving incumbent.  Returns false on timeout.
+bool svc_incumbent(const Cfg& cfg, unsigned timeout_ms, pid_t* pid,
+                   std::uint64_t* gen) {
+  for (unsigned waited = 0; waited < timeout_ms; waited += 2) {
+    try {
+      pmem::ShmSegment seg =
+          pmem::ShmSegment::attach(svc::svc_path(cfg.path), true);
+      const svc::SvcHeader* h = svc::header_of(seg.data());
+      if (h->magic == svc::kSvcMagic &&
+          h->state.load(std::memory_order_acquire) ==
+              static_cast<std::uint32_t>(svc::SvcState::kServing)) {
+        *pid = static_cast<pid_t>(h->server_pid);
+        *gen = h->generation;
+        return true;
+      }
+    } catch (const std::exception&) {
+    }
+    ::usleep(2000);
+  }
+  return false;
+}
+
+int run_svc_kill(const Cfg& cfg) {
+  unlink_heap(cfg);
+  const std::string stop_path = cfg.path + ".stop";
+  (void)::unlink(stop_path.c_str());
+
+  const pid_t first_server = fork_server_child(cfg);
+  if (first_server < 0) {
+    fail("fork server: %s", std::strerror(errno));
+    return 1;
+  }
+  bool first_reaped = false;
+  auto reap_if_first = [&](pid_t pid) {
+    if (pid != first_server || first_reaped) return;
+    int st = 0;
+    while (::waitpid(first_server, &st, 0) < 0 && errno == EINTR) {}
+    first_reaped = true;
+  };
+
+  // Control session: build the slot table in heap user memory, publish it
+  // as the root, then disconnect before the shooting starts.
+  {
+    std::unique_ptr<svc::SvcClient> ctl;
+    for (int i = 0;; ++i) {
+      try {
+        ctl = svc::SvcClient::connect(cfg.path);
+        break;
+      } catch (const std::exception& e) {
+        if (i > 5000) {
+          fail("svc-kill control connect: %s", e.what());
+          (void)::kill(first_server, SIGKILL);
+          reap_if_first(first_server);
+          return 1;
+        }
+        ::usleep(2000);
+      }
+    }
+    const std::uint64_t bytes =
+        sizeof(SlotTable) + cfg.nslots() * sizeof(SlotRec);
+    NvPtr t;
+    if (ctl->alloc(&bytes, 1, &t) != ErrorCode::kOk || t.is_null()) {
+      fail("slot table allocation through the service failed");
+      return 1;
+    }
+    auto* table = static_cast<SlotTable*>(ctl->raw(t));
+    std::memset(table, 0, bytes);
+    table->magic = kMagic;
+    table->nslots = cfg.nslots();
+    table->seed = cfg.seed;
+    pmem::persist(table, bytes);
+    if (ctl->set_root(t) != ErrorCode::kOk) {
+      fail("set_root through the service failed");
+      return 1;
+    }
+  }
+
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<pid_t> workers;
+  for (unsigned w = 0; w < cfg.threads; ++w) {
+    const std::uint64_t seed = rng();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      fail("fork worker: %s", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) svc_kill_worker_main(cfg, w, seed);  // never returns
+    workers.push_back(pid);
+  }
+
+  double mttr_sum_ms = 0.0;
+  double mttr_max_ms = 0.0;
+  for (std::uint64_t round = 1; round <= cfg.rounds; ++round) {
+    // Let traffic flow so the kill lands mid-batch somewhere.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30 + rng() % 90));
+    pid_t victim = -1;
+    std::uint64_t gen = 0;
+    if (!svc_incumbent(cfg, 30000, &victim, &gen)) {
+      fail("round %" PRIu64 ": no serving incumbent to kill", round);
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)::kill(victim, SIGKILL);
+    reap_if_first(victim);  // workers' candidates are auto-reaped (SIG_IGN)
+
+    // MTTR: from the kill to the first fresh session whose ping round-trips
+    // through a *successor* generation.
+    bool recovered = false;
+    while (!recovered &&
+           std::chrono::steady_clock::now() - t0 < std::chrono::seconds(60)) {
+      pid_t cur = -1;
+      std::uint64_t cur_gen = 0;
+      if (svc_incumbent(cfg, 2, &cur, &cur_gen) && cur_gen > gen) {
+        try {
+          svc::ClientOptions pco;
+          pco.map_data = false;
+          pco.auto_failover = false;  // the probe measures, never heals
+          auto probe = svc::SvcClient::connect(cfg.path, pco);
+          recovered =
+              probe->generation() > gen && probe->ping() == ErrorCode::kOk;
+        } catch (const std::exception&) {
+        }
+      }
+      if (!recovered) ::usleep(2000);
+    }
+    if (!recovered) {
+      fail("round %" PRIu64 ": service never recovered from the kill", round);
+      (void)std::fopen(stop_path.c_str(), "w");
+      return 1;
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    mttr_sum_ms += ms;
+    if (ms > mttr_max_ms) mttr_max_ms = ms;
+    std::printf("round %3" PRIu64 ": killed server pid %-6d gen %" PRIu64
+                " -> recovered in %7.1f ms\n",
+                round, static_cast<int>(victim), gen, ms);
+  }
+
+  // Stop: workers flush their magazines and free-stashes through the ring
+  // and close their sessions cleanly.
+  {
+    std::FILE* f = std::fopen(stop_path.c_str(), "w");
+    if (f != nullptr) std::fclose(f);
+  }
+  bool ok = true;
+  for (const pid_t w : workers) {
+    int st = 0;
+    while (::waitpid(w, &st, 0) < 0 && errno == EINTR) {}
+    if (!(WIFEXITED(st) && WEXITSTATUS(st) == 0)) {
+      ok = fail("worker pid %d failed (status 0x%x)", static_cast<int>(w), st);
+    }
+  }
+
+  // Retire the final server cleanly so the heap's owner record is released,
+  // then take the heap in-process for the audit.
+  pid_t last = -1;
+  std::uint64_t last_gen = 0;
+  if (svc_incumbent(cfg, 10000, &last, &last_gen)) {
+    (void)::kill(last, SIGTERM);
+    reap_if_first(last);
+  }
+  std::unique_ptr<Heap> heap;
+  for (int i = 0; i < 5000 && heap == nullptr; ++i) {
+    try {
+      heap = Heap::open(cfg.path, base_opts(cfg));
+    } catch (const Error& e) {
+      if (e.poseidon_code() != ErrorCode::kHeapBusy) {
+        fail("audit open: %s", e.what());
+        return 1;
+      }
+      ::usleep(2000);
+    }
+  }
+  if (heap == nullptr) {
+    fail("heap still owned long after the final server was retired");
+    return 1;
+  }
+  (void)::unlink(stop_path.c_str());
+
+  // Exact audit: no client ever died, so the model tolerates NOTHING —
+  // live blocks must be precisely {slot table} + {published slots}.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> live;
+  for (unsigned s = 0; s < heap->shard_count(); ++s) {
+    const core::PoolShard* sh = heap->shard(s);
+    if (sh == nullptr) {
+      fail("shard %u quarantined at audit open", s);
+      return 1;
+    }
+    const std::uint64_t id = sh->heap_id();
+    sh->visit_blocks([&](unsigned local, std::uint64_t off, std::uint32_t cls,
+                         std::uint32_t status) {
+      if (status != core::kBlockAllocated) return;
+      const NvPtr p = NvPtr::make(id, static_cast<std::uint16_t>(local), off);
+      live.emplace(std::make_pair(p.heap_id, p.packed), cls);
+    });
+  }
+  const NvPtr root = heap->root();
+  auto* table = static_cast<SlotTable*>(heap->raw(root));
+  if (table == nullptr || table->magic != kMagic ||
+      table->nslots != cfg.nslots()) {
+    fail("slot table lost (root %s)", root.is_null() ? "null" : "set");
+    return 1;
+  }
+  if (live.erase(std::make_pair(root.heap_id, root.packed)) != 1) {
+    fail("slot table's own block missing from the live set");
+    return 1;
+  }
+  std::uint64_t published = 0;
+  std::uint64_t diffs = 0;
+  SlotRec* slots = slots_of(table);
+  for (std::uint64_t i = 0; i < table->nslots; ++i) {
+    const SlotRec& s = slots[i];
+    if (s.tag == 0 && s.ptr.is_null() && s.csum == 0) continue;  // empty
+    if (s.tag == 0 || s.ptr.is_null() || s.csum != slot_csum(s)) {
+      ++diffs;  // workers exit cleanly: a torn slot is impossible
+      std::fprintf(stderr, "DIFF slot %" PRIu64 ": torn record\n", i);
+      continue;
+    }
+    const auto it = live.find(std::make_pair(s.ptr.heap_id, s.ptr.packed));
+    if (it == live.end()) {
+      // Not live: either never allocated (lost alloc) or freed while still
+      // published (double-free downstream) — both model violations here.
+      ++diffs;
+      std::fprintf(stderr,
+                   "DIFF slot %" PRIu64 ": published block {%016" PRIx64
+                   ",%016" PRIx64 "} not live\n",
+                   i, s.ptr.heap_id, s.ptr.packed);
+      continue;
+    }
+    const std::uint64_t size = size_for_tag(s.tag);
+    if (!payload_matches(heap->raw(s.ptr), size, s.tag)) {
+      ++diffs;  // block reused under the slot: double-alloc or double-free
+      std::fprintf(stderr,
+                   "DIFF slot %" PRIu64 ": tag %016" PRIx64
+                   " payload corrupt\n",
+                   i, s.tag);
+      continue;
+    }
+    live.erase(it);
+    ++published;
+  }
+  for (const auto& [key, cls] : live) {
+    (void)cls;
+    ++diffs;  // a block no slot names: leaked through a failover
+    std::fprintf(stderr, "DIFF: leaked block {%016" PRIx64 ",%016" PRIx64 "}\n",
+                 key.first, key.second);
+  }
+  if (diffs != 0) ok = fail("%" PRIu64 " model diff(s) after kills", diffs);
+
+  const core::FsckReport rep = heap->fsck();
+  if (rep.repaired != 0 || rep.quarantined != 0 || rep.records_dropped != 0 ||
+      rep.records_synthesized != 0) {
+    ok = fail("fsck not clean (repaired=%u quarantined=%u dropped=%" PRIu64
+              " synthesized=%" PRIu64 ")",
+              rep.repaired, rep.quarantined, rep.records_dropped,
+              rep.records_synthesized);
+  }
+  std::string why;
+  if (!heap->check_invariants(&why)) {
+    ok = fail("invariants after kill-server torture: %s", why.c_str());
+  }
+#if POSEIDON_OBS_ENABLED
+  std::uint64_t failover_events = 0;
+  for (const auto& e : heap->flight_events()) {
+    if (e.op == static_cast<std::uint16_t>(obs::FlightOp::kSvcFailover)) {
+      ++failover_events;
+    }
+  }
+  // Informational: the flight ring wraps under heavy traffic, so old
+  // failover events may have been overwritten.
+  std::printf("flight: %" PRIu64 " svc-failover event(s) still in the ring\n",
+              failover_events);
+#endif
+  heap.reset();
+  if (!ok) return 1;
+  if (!cfg.keep) unlink_heap(cfg);
+  std::printf("PASS: %" PRIu64 " server kills (published=%" PRIu64
+              " mttr avg=%.1f ms max=%.1f ms), seed=%" PRIu64 "\n",
+              cfg.rounds, published, mttr_sum_ms / cfg.rounds, mttr_max_ms,
+              cfg.seed);
+  return 0;
+}
+
 bool setup_heap(const Cfg& cfg) {
   unlink_heap(cfg);
   core::Options o = base_opts(cfg);
@@ -845,15 +1253,20 @@ int main(int argc, char** argv) {
     else if (a == "--path" && (v = next())) cfg.path = v;
     else if (a == "--keep") cfg.keep = true;
     else if (a == "--svc") cfg.svc = true;
+    else if (a == "--kill-server") cfg.kill_server = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--seed S] [--shards N] "
                    "[--threads N] [--slots N] [--capacity BYTES] "
                    "[--fault op:period:errno[,...]] [--path FILE] [--keep] "
-                   "[--svc]\n",
+                   "[--svc [--kill-server]]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (cfg.kill_server && !cfg.svc) {
+    std::fprintf(stderr, "--kill-server requires --svc\n");
+    return 2;
   }
   if (cfg.shards == 0 || cfg.threads == 0 || cfg.slots_per_thread == 0 ||
       cfg.rounds == 0) {
@@ -875,11 +1288,13 @@ int main(int argc, char** argv) {
 
   std::printf("torture%s: seed=%" PRIu64 " rounds=%" PRIu64
               " shards=%u threads=%u slots=%" PRIu64 " path=%s%s%s\n",
-              cfg.svc ? " (svc)" : "", cfg.seed, cfg.rounds, cfg.shards,
-              cfg.threads, cfg.nslots(), cfg.path.c_str(),
-              cfg.fault.empty() ? "" : " fault=", cfg.fault.c_str());
+              cfg.svc ? (cfg.kill_server ? " (svc kill-server)" : " (svc)")
+                      : "",
+              cfg.seed, cfg.rounds, cfg.shards, cfg.threads, cfg.nslots(),
+              cfg.path.c_str(), cfg.fault.empty() ? "" : " fault=",
+              cfg.fault.c_str());
 
-  if (cfg.svc) return run_svc(cfg);
+  if (cfg.svc) return cfg.kill_server ? run_svc_kill(cfg) : run_svc(cfg);
 
   if (!setup_heap(cfg)) return 1;
 
