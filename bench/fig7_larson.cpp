@@ -8,9 +8,15 @@
 // thread-cached series against the allocation service (forked server, all
 // traffic through the shm command rings; see EXPERIMENTS.md for the
 // crossover discussion).
+#include <unistd.h>
+
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "bench/bench_common.hpp"
+#include "core/heap.hpp"
 #include "workloads/larson.hpp"
 
 using namespace poseidon;
@@ -45,6 +51,57 @@ void run_svc_sweep() {
                 run_larson_once(iface::AllocatorKind::kPoseidon, t, true,
                                 /*nshards=*/1, /*persist_domain=*/-1,
                                 /*svc=*/true));
+  }
+}
+
+// The `poseidon+snap` series: the thread-cached configuration with an
+// online snapshot cycle riding on the run — a full copy at 1/3 of the
+// measured window and an incremental refresh at 2/3.  The delta against
+// `poseidon+tc` is the cost of the global-cut quiesce plus the copy
+// competing for memory bandwidth; the incremental's page count (stderr
+// note) shows the O(dirty) bound at work.
+void run_snap_sweep() {
+  const std::string heap_path =
+      "/dev/shm/poseidon_fig7_snap_" + std::to_string(::getpid()) + ".heap";
+  const std::string dst = heap_path + ".bak";
+  for (const unsigned t : default_thread_sweep()) {
+    iface::AllocatorConfig cfg;
+    cfg.capacity = 256ull << 20;
+    cfg.nlanes = t;
+    cfg.thread_cache = true;
+    cfg.path = heap_path;
+    auto alloc = iface::make_allocator(iface::AllocatorKind::kPoseidon, cfg);
+    core::Heap* heap = alloc->poseidon_heap();
+
+    const auto third =
+        std::chrono::duration<double>(bench_seconds() / 3.0);
+    std::uint64_t full_pages = 0;
+    std::uint64_t incr_pages = 0;
+    std::thread snapper([&] {
+      std::this_thread::sleep_for(third);
+      full_pages = heap->snapshot(dst).pages_copied;
+      std::this_thread::sleep_for(third);
+      incr_pages =
+          heap->snapshot_incremental(dst, dst + "/MANIFEST").pages_copied;
+    });
+    LarsonConfig lc;
+    lc.nthreads = t;
+    lc.seconds = bench_seconds();
+    const double ops = run_larson(*alloc, lc).ops_per_sec();
+    snapper.join();
+    print_point("fig7/larson", "poseidon+snap", t, ops);
+    std::fprintf(stderr,
+                 "# fig7 snap t=%u full_pages=%llu incr_pages=%llu\n", t,
+                 static_cast<unsigned long long>(full_pages),
+                 static_cast<unsigned long long>(incr_pages));
+    // Drop the backup before the next point reuses the directory.
+    const std::string head = dst + heap_path.substr(heap_path.rfind('/'));
+    ::unlink((dst + "/MANIFEST").c_str());
+    ::unlink(head.c_str());
+    for (unsigned i = 1; i < 16; ++i) {
+      ::unlink((head + ".shard" + std::to_string(i)).c_str());
+    }
+    ::rmdir(dst.c_str());
   }
 }
 
@@ -84,6 +141,9 @@ int main(int argc, char** argv) {
                 run_larson_once(iface::AllocatorKind::kPoseidon, t, false,
                                 /*nshards=*/2));
   }
+  // Online-backup overhead: the same thread-cached mix with a full +
+  // incremental snapshot cycle taken mid-run.
+  run_snap_sweep();
   // Multi-process deployment shape: same workload, every operation through
   // the allocation service's shm rings.
   run_svc_sweep();

@@ -84,6 +84,7 @@ class PoseidonAdapter final : public PAllocator {
   void set_root(void* p) override { heap_->set_root(heap_->from_raw(p)); }
   void* root() const override { return heap_->raw(heap_->root()); }
   const char* name() const noexcept override { return "poseidon"; }
+  core::Heap* poseidon_heap() noexcept override { return heap_.get(); }
 
  private:
   std::unique_ptr<core::Heap> heap_;
@@ -327,6 +328,7 @@ class PoseidonOpenAdapter final : public PAllocator {
   void set_root(void* p) override { heap_->set_root(heap_->from_raw(p)); }
   void* root() const override { return heap_->raw(heap_->root()); }
   const char* name() const noexcept override { return "poseidon"; }
+  core::Heap* poseidon_heap() noexcept override { return heap_.get(); }
 
  private:
   std::unique_ptr<core::Heap> heap_;

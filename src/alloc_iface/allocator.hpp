@@ -10,6 +10,10 @@
 #include <memory>
 #include <string>
 
+namespace poseidon::core {
+class Heap;
+}
+
 namespace poseidon::iface {
 
 class PAllocator {
@@ -26,6 +30,11 @@ class PAllocator {
   virtual void* root() const = 0;
 
   virtual const char* name() const noexcept = 0;
+
+  // The underlying Poseidon heap, for callers needing administrative
+  // surfaces the facade does not model (the benches take snapshots
+  // mid-run).  Null for the baselines and for service/read-only modes.
+  virtual core::Heap* poseidon_heap() noexcept { return nullptr; }
 };
 
 enum class AllocatorKind { kPoseidon, kPmdkLike, kMakaluLike };

@@ -164,6 +164,45 @@ int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out) {
   }
 }
 
+static int run_snapshot(heap_t *heap, const char *dst_dir,
+                        poseidon_snapshot_report_t *out, bool incremental) {
+  if (out != nullptr) std::memset(out, 0, sizeof(*out));
+  if (heap == nullptr || dst_dir == nullptr) {
+    return POSEIDON_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    const std::string dst(dst_dir);
+    const auto rep = incremental
+                         ? heap->impl->snapshot_incremental(dst, dst + "/MANIFEST")
+                         : heap->impl->snapshot(dst);
+    if (out != nullptr) {
+      out->incremental = rep.incremental ? 1 : 0;
+      out->shards = rep.shards;
+      out->pages_copied = rep.pages_copied;
+      out->bytes_copied = rep.bytes_copied;
+    }
+    return POSEIDON_OK;
+  } catch (const poseidon::Error &e) {
+    return static_cast<int>(e.poseidon_code());
+  } catch (const std::exception &) {
+    return POSEIDON_ERR_INTERNAL;
+  }
+}
+
+int poseidon_snapshot(heap_t *heap, const char *dst_dir,
+                      poseidon_snapshot_report_t *out) {
+  return run_snapshot(heap, dst_dir, out, /*incremental=*/false);
+}
+
+int poseidon_snapshot_incremental(heap_t *heap, const char *dst_dir,
+                                  poseidon_snapshot_report_t *out) {
+  return run_snapshot(heap, dst_dir, out, /*incremental=*/true);
+}
+
+void poseidon_note_write(heap_t *heap, const void *p, size_t len) {
+  if (heap != nullptr && p != nullptr) heap->impl->note_write(p, len);
+}
+
 namespace {
 
 /* Shared snprintf contract: copy `s` into buf (truncating, always NUL-

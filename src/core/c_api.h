@@ -175,6 +175,33 @@ typedef struct poseidon_fsck_report {
  * heap or internal failure. */
 int poseidon_fsck(heap_t *heap, poseidon_fsck_report_t *out);
 
+/* Online snapshot: copy the live heap into dst_dir as an openable,
+ * cleanly-closed image plus a MANIFEST (one consistent cut; writers keep
+ * serving).  A crash mid-snapshot leaves a directory poseidon_open refuses
+ * with POSEIDON_ERR_NOT_A_POOL. */
+typedef struct poseidon_snapshot_report {
+  uint32_t incremental; /* 1 when taken by poseidon_snapshot_incremental */
+  uint32_t shards;      /* shard images written */
+  uint64_t pages_copied;
+  uint64_t bytes_copied;
+} poseidon_snapshot_report_t;
+
+/* Returns 0 on success (out may be NULL); POSEIDON_ERR_INVALID_ARGUMENT on
+ * a NULL heap/path or a read-only heap; POSEIDON_ERR_IO on copy failure. */
+int poseidon_snapshot(heap_t *heap, const char *dst_dir,
+                      poseidon_snapshot_report_t *out);
+
+/* Update the snapshot at dst_dir in place, copying only pages dirtied since
+ * its MANIFEST was written.  Fails with POSEIDON_ERR_INVALID_ARGUMENT when
+ * the live dirty tracker cannot prove that baseline (process restarted,
+ * snapshotted elsewhere since, ...) — take a full snapshot then. */
+int poseidon_snapshot_incremental(heap_t *heap, const char *dst_dir,
+                                  poseidon_snapshot_report_t *out);
+
+/* Mark [p, p+len) dirty for the incremental tracker — the escape hatch for
+ * user-data stores the application never pushes through a persist. */
+void poseidon_note_write(heap_t *heap, const void *p, size_t len);
+
 #ifdef __cplusplus
 }
 #endif

@@ -191,6 +191,13 @@ bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
     std::uint64_t off;
     std::uint32_t cls;
     std::uint32_t status;
+    // Surviving service owner tag (allocated records only; next_free is
+    // dead state for them).  Preserving it through the rebuild lets a
+    // later orphan sweep reclaim blocks whose client AND server died —
+    // without it, every scavenge would silently launder orphans into
+    // permanent leaks.  The tag's top bit is always set (svc make_tag), so
+    // stray zero/garbage link words rarely masquerade as tags.
+    std::uint64_t tag;
   };
   std::vector<Cand> cands;
   const auto* storage =
@@ -214,7 +221,11 @@ bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
         ++dropped;
         continue;
       }
-      cands.push_back(Cand{off, rec.size_class, rec.status});
+      const std::uint64_t tag =
+          rec.status == kBlockAllocated && (rec.next_free >> 63) != 0
+              ? rec.next_free
+              : 0;
+      cands.push_back(Cand{off, rec.size_class, rec.status, tag});
     }
     lvl_base += slots;
   }
@@ -235,7 +246,7 @@ bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
   auto fill_gap = [&](std::uint64_t until) {
     for (; covered < until; covered += std::uint64_t{1} << kMinBlockShift) {
       final_blocks.push_back(
-          Cand{covered, kMinBlockShift, kBlockAllocated});
+          Cand{covered, kMinBlockShift, kBlockAllocated, 0});
       ++synthesized;
     }
   };
@@ -285,7 +296,7 @@ bool PoolShard::scavenge_subheap(unsigned idx, FsckReport* rep) {
     pmem::nv_store(rec->prev_adj, prev != nullptr ? prev->key : 0);
     pmem::nv_store(rec->next_adj, std::uint64_t{0});
     pmem::nv_store(rec->prev_free, std::uint64_t{0});
-    pmem::nv_store(rec->next_free, std::uint64_t{0});
+    pmem::nv_store(rec->next_free, c.tag);
     if (prev != nullptr) pmem::nv_store(prev->next_adj, rec->key);
     prev = rec;
     if (c.status == kBlockFree) {

@@ -401,6 +401,15 @@ unsigned Heap::reclaim_tagged(const std::uint64_t* tags, unsigned n) {
   return freed;
 }
 
+unsigned Heap::reclaim_orphans(const std::uint64_t* pairs, unsigned npairs) {
+  unsigned freed = 0;
+  for (const auto& s : shards_) {
+    if (s != nullptr) freed += s->reclaim_orphans(pairs, npairs);
+  }
+  if (freed != 0) metrics_.svc_orphans_reclaimed.inc(freed);
+  return freed;
+}
+
 void Heap::refresh_owner_heartbeat() {
   for (const auto& s : shards_) {
     if (s != nullptr) s->refresh_owner_heartbeat();

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/pool_shard.hpp"
+#include "core/snapshot.hpp"
 
 namespace poseidon::core {
 
@@ -155,6 +157,37 @@ class Heap {
   // Deep consistency check across all shards (test support).
   bool check_invariants(std::string* why = nullptr) const;
 
+  // ---- online snapshots (core/snapshot.cpp) --------------------------------
+
+  // Copy the live heap into dst_dir as an openable, cleanly-closed image
+  // plus a MANIFEST describing it.  One consistent cut: every shard is
+  // quiesced (sub-heap locks + seal) before the first byte is copied;
+  // shards are then copied serially and resumed one by one, so writers on
+  // already-copied shards keep serving while later shards copy.  Open
+  // transactions are NOT waited for — the image carries their micro logs
+  // and recovery at snapshot-open frees the uncommitted allocations,
+  // exactly as a crash would.  The destination's head magic stays zeroed
+  // until the manifest is durable, so a half-written snapshot directory is
+  // refused at open (kNotAPool).
+  SnapshotReport snapshot(const std::string& dst_dir);
+
+  // Update the snapshot at dst_dir in place, copying only pages dirtied
+  // since `since_manifest` (normally dst_dir + "/MANIFEST") was written.
+  // Requires the live dirty tracker to still hold that manifest's exact
+  // epoch/generation baseline — a process restart, a snapshot to another
+  // directory, or an untracked pool all force a fresh full snapshot
+  // (Error kInvalidArgument explains which).
+  SnapshotReport snapshot_incremental(const std::string& dst_dir,
+                                      const std::string& since_manifest);
+
+  // Mark [p, p+len) dirty for the incremental tracker — the escape hatch
+  // for user-data writes that never reach a persistence barrier.
+  void note_write(const void* p, std::size_t len) noexcept;
+
+  // Sweep all shards freeing service-tagged blocks past their dead
+  // session's consumed watermark (pairs of nonce32, watermark).
+  unsigned reclaim_orphans(const std::uint64_t* pairs, unsigned npairs);
+
   // ---- fault domains (DESIGN.md "Failure model") ---------------------------
 
   // Verify every materialized sub-heap of every shard and repair what
@@ -254,6 +287,9 @@ class Heap {
   // Slot 0 (the head) is never null on a live Heap.
   std::vector<std::unique_ptr<PoolShard>> shards_;
   std::vector<obs::FlightEvent> postmortem_;
+  // Serializes snapshot/snapshot_incremental: one global cut at a time
+  // (also what lets the shards' snap_locked_ bookkeeping stay plain).
+  std::mutex snapshot_mu_;
 };
 
 }  // namespace poseidon::core

@@ -692,6 +692,45 @@ unsigned PoolShard::reclaim_tagged(const std::uint64_t* tags, unsigned n) {
   return freed;
 }
 
+unsigned PoolShard::reclaim_orphans(const std::uint64_t* pairs,
+                                    unsigned npairs) {
+  if (pool_.read_only() || npairs == 0) return 0;
+  unsigned freed = 0;
+  for (unsigned idx = 0; idx < sb_->nsubheaps; ++idx) {
+    if (!subheap_ready(idx)) continue;
+    std::vector<std::uint64_t> offs;
+    mpk::WriteWindow w(prot_.get());
+    Guard<Spinlock> g(subs_[idx]->lock);
+    Subheap sh = subheap(idx);
+    sh.visit_records([&](const MemblockRec& rec) {
+      if (rec.status != kBlockAllocated) return;
+      const std::uint64_t tag = rec.next_free;
+      if ((tag >> 63) == 0) return;  // no owner tag parked here
+      const auto nonce = static_cast<std::uint32_t>(tag >> 32);
+      const auto req = static_cast<std::uint32_t>(tag);
+      for (unsigned k = 0; k < npairs; ++k) {
+        // Sessions complete strictly in FIFO request order, so every req
+        // id at or below the watermark was consumed by the (now dead)
+        // client; ids past it can never have been handed out.
+        if (nonce == static_cast<std::uint32_t>(pairs[2 * k]) &&
+            req > static_cast<std::uint32_t>(pairs[2 * k + 1])) {
+          offs.push_back(rec.key - 1);
+          break;
+        }
+      }
+    });
+    // Free after the walk: free_block rewrites the table being iterated.
+    for (const std::uint64_t off : offs) {
+      if (sh.free_block(off) == FreeResult::kOk) {
+        flight(obs::FlightOp::kFree, idx, 0, off);
+        ++freed;
+      }
+    }
+  }
+  if (freed != 0) flight(obs::FlightOp::kOrphanReclaim, 0, 0, freed);
+  return freed;
+}
+
 NvPtr PoolShard::cache_refill(ThreadCache& tc, unsigned cls) {
   // Lock order: cache before sub-heap (the only place both are held).
   Guard<Spinlock> g(tc.mu());

@@ -308,6 +308,52 @@ class PoolShard {
   // Bytes the filesystem actually backs (observes hole punching).
   std::uint64_t file_allocated_bytes() const { return pool_.allocated_bytes(); }
 
+  // ---- online snapshots (core/snapshot.cpp) --------------------------------
+  //
+  // The front-end quiesces EVERY shard first (one consistent cut across
+  // the set), then copies shards serially, resuming each right after its
+  // own copy.  quiesce blocks sub-heap creation (admin_mu_), takes every
+  // ready sub-heap's lock, and writes a seal (checksums + seal_state)
+  // exactly as a clean close would — but WITHOUT clearing the owner, so
+  // the copied image looks cleanly closed while the source stays owned.
+  // resume drops the seal (while still locked, so the superblock page is
+  // dirty for the next incremental) and releases everything.
+
+  // Per-shard result of one snapshot copy.
+  struct SnapCopy {
+    std::uint64_t pages_copied = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t pm_epoch = 0;  // dirty tracker identity after harvest
+    std::uint64_t pm_gen = 0;    // dirty tracker generation after harvest
+    std::uint64_t file_size = 0;
+    std::uint64_t head_csum = 0;  // FNV over the image's first page
+  };
+
+  void snapshot_quiesce();
+  void snapshot_resume() noexcept;
+  // Current dirty-tracker identity/generation; false when the pool carries
+  // no tracker (read-only opens).  The front-end proves every shard's
+  // baseline BEFORE un-committing the destination of an incremental.
+  bool snapshot_baseline(std::uint64_t* epoch,
+                         std::uint64_t* gen) const noexcept;
+  // Full copy of the sealed, quiesced shard file to dst_file (FICLONE ->
+  // copy_file_range -> read/write ladder), owner record zeroed in the
+  // image.  Harvests the dirty tracker (new baseline).
+  SnapCopy snapshot_copy_full(const std::string& dst_file);
+  // Patch only the pages dirtied since the (want_epoch, want_gen) baseline
+  // into an existing image at dst_file.  Throws Error(kInvalidArgument)
+  // when the live tracker cannot prove that baseline.
+  SnapCopy snapshot_copy_incremental(const std::string& dst_file,
+                                     std::uint64_t want_epoch,
+                                     std::uint64_t want_gen);
+
+  // Free every allocated block carrying an owner tag whose high word
+  // matches pairs[2k] (a session nonce32) and whose low word (req id) is
+  // strictly greater than pairs[2k+1] (that session's consumed watermark).
+  // The fsck-scavenge tag preservation makes this reach blocks from
+  // sessions whose client AND server died together.  Returns blocks freed.
+  unsigned reclaim_orphans(const std::uint64_t* pairs, unsigned npairs);
+
   // Re-stamp this shard's owner heartbeat (no-op when unowned or
   // read-only).  The allocation service's housekeeping calls this so the
   // persistent owner record stays fresh while the server mainly touches
@@ -393,6 +439,9 @@ class PoolShard {
   // thread ordinal never races a lazy publication.
   std::vector<std::unique_ptr<ThreadCache>> caches_;
   mutable std::mutex admin_mu_;  // sub-heap creation + root updates
+  // Sub-heap indices locked by an in-flight snapshot_quiesce (guarded by
+  // the front-end's snapshot mutex: one snapshot at a time per heap).
+  std::vector<unsigned> snap_locked_;
 
   // Observability state.  metrics_ is the owning Heap's registry, shared
   // by every shard so heap-wide counters aggregate for free.  rings_ is

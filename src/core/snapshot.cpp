@@ -1,0 +1,633 @@
+// Online snapshots + incremental backup (DESIGN.md "Snapshots &
+// incremental backup").
+//
+// Protocol (one consistent cut across the shard set):
+//
+//   1. QUIESCE every shard — admin mutex, then every ready sub-heap's
+//      spinlock, then a clean-close-style seal (checksums + seal_state)
+//      WITHOUT clearing the owner.  tx mutexes are deliberately NOT taken:
+//      an open transaction's micro log rides into the image and recovery
+//      at snapshot-open frees its uncommitted allocations, exactly the
+//      crash semantics the logs exist for.
+//   2. COPY shards serially, resuming each right after its own copy, so
+//      writers on already-copied shards keep serving while later shards
+//      copy.  The ladder is FICLONE (reflink, instant on supporting
+//      filesystems) -> copy_file_range -> read()+write().  The image gets
+//      its owner record zeroed (it IS a clean close, for the copy) and the
+//      head member's magic zeroed until commit.
+//   3. COMMIT — manifest written tmp+rename, then the head magic restored.
+//      A crash anywhere before the restore leaves a directory that
+//      Heap::open refuses with kNotAPool.
+//
+// Incremental: every Pool feeds a pmem::PageMap through the persistence
+// barriers; harvest() under quiesce yields exactly the pages made durable
+// since the previous harvest.  A manifest's (pm_epoch, pm_gen) is the
+// proof handle — the live tracker must still hold both, or the window
+// between "then" and "now" is not the bitmap's accumulation window and a
+// full snapshot is demanded instead.
+
+#include <fcntl.h>
+#include <sys/ioctl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <linux/fs.h>  // FICLONE
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/heap.hpp"
+#include "core/snapshot.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/fault_inject.hpp"
+#include "pmem/page_map.hpp"
+#include "pmem/retry.hpp"
+
+namespace poseidon::core {
+
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what) {
+  throw Error(ErrorCode::kIo, what, errno);
+}
+
+std::string path_basename(const std::string& p) {
+  const auto pos = p.find_last_of('/');
+  return pos == std::string::npos ? p : p.substr(pos + 1);
+}
+
+// Same range as fsck.cpp's seal checksums: the active hash levels are
+// contiguous from hash_off.
+std::uint64_t active_hash_csum(const std::byte* heap_base,
+                               const SubheapMeta& m) noexcept {
+  return csum_bytes(heap_base + m.hash_off,
+                    level_offset(m.level0_slots, m.levels_active));
+}
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  explicit operator bool() const noexcept { return fd >= 0; }
+};
+
+void fsync_or_throw(int fd, const std::string& what) {
+  if (pmem::retry_eintr([&] { return ::fsync(fd); }) != 0) {
+    throw_io("fsync " + what);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  Fd d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY)};
+  if (!d) throw_io("open dir " + dir);
+  fsync_or_throw(d.fd, dir);
+}
+
+void pwrite_all(int fd, const void* buf, std::size_t len, off_t off,
+                const std::string& what) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("pwrite " + what);
+    }
+    p += n;
+    off += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void pread_all(int fd, void* buf, std::size_t len, off_t off,
+               const std::string& what) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("pread " + what);
+    }
+    if (n == 0) throw Error(ErrorCode::kTruncated, what + ": short read");
+    p += n;
+    off += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// FICLONE -> copy_file_range -> read/write.  Returns after the whole file
+// is copied; the caller fsyncs.
+void copy_shard_file(int src, int dst, std::uint64_t size,
+                     const std::string& what) {
+#ifdef FICLONE
+  if (::ioctl(dst, FICLONE, src) == 0) return;
+  // EOPNOTSUPP/EXDEV/EINVAL: no reflink here; fall through.
+#endif
+  std::uint64_t off = 0;
+  bool cfr_ok = true;
+  while (cfr_ok && off < size) {
+    off_t in = static_cast<off_t>(off);
+    off_t out = static_cast<off_t>(off);
+    const ssize_t n =
+        ::copy_file_range(src, &in, dst, &out, size - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      cfr_ok = false;  // EXDEV/EOPNOTSUPP/old kernel: buffer fallback
+      break;
+    }
+    if (n == 0) {
+      cfr_ok = false;
+      break;
+    }
+    off += static_cast<std::uint64_t>(n);
+  }
+  if (off >= size) return;
+  std::vector<char> buf(1u << 20);
+  while (off < size) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(buf.size(),
+                                                         size - off));
+    pread_all(src, buf.data(), want, static_cast<off_t>(off), what);
+    pwrite_all(dst, buf.data(), want, static_cast<off_t>(off), what);
+    off += want;
+  }
+}
+
+// The clean-close owner record (pid 0, checksummed) patched into images.
+void patch_owner_cleared(int dst, const std::string& what) {
+  OwnerRecord rec{};
+  rec.csum = owner_csum(rec);
+  pwrite_all(dst, &rec, sizeof rec,
+             static_cast<off_t>(offsetof(SuperBlock, owner)), what);
+}
+
+std::uint64_t head_page_csum(int fd, bool restore_magic,
+                             const std::string& what) {
+  alignas(8) char page[kPageSize];
+  pread_all(fd, page, sizeof page, 0, what);
+  if (restore_magic) {
+    // The image's magic is still zeroed at this point; the manifest
+    // describes the committed image, whose magic is kSuperMagic.
+    const std::uint64_t magic = kSuperMagic;
+    std::memcpy(page, &magic, sizeof magic);
+  }
+  return csum_bytes(page, sizeof page);
+}
+
+// The head image's commit gate is BOTH magics: the superblock's and the
+// shadow page's.  Zeroing only the superblock magic is not a refusal — the
+// open path would decode (and a writable open repair) the config prefix
+// from the intact shadow.  With both zeroed, open throws kNotAPool.
+void write_commit_gate(const std::string& file, bool committed) {
+  Fd fd{::open(file.c_str(), O_WRONLY)};
+  if (!fd) throw_io("open " + file);
+  const std::uint64_t magic = committed ? kSuperMagic : 0;
+  const std::uint64_t shadow = committed ? kShadowMagic : 0;
+  pwrite_all(fd.fd, &magic, sizeof magic, 0, file);
+  pwrite_all(fd.fd, &shadow, sizeof shadow,
+             static_cast<off_t>(super_shadow_off()), file);
+  fsync_or_throw(fd.fd, file);
+}
+
+void write_manifest(const std::string& dir, const SnapshotManifest& man) {
+  std::string text = "poseidon-snapshot v1\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "kind %s\n",
+                man.incremental ? "incremental" : "full");
+  text += line;
+  std::snprintf(line, sizeof line, "set_id %016" PRIx64 "\n", man.set_id);
+  text += line;
+  std::snprintf(line, sizeof line, "epoch %016" PRIx64 "\n", man.epoch);
+  text += line;
+  std::snprintf(line, sizeof line, "shard_count %u\n", man.shard_count);
+  text += line;
+  for (const ManifestShard& s : man.shards) {
+    std::snprintf(line, sizeof line,
+                  "shard %u file %s size %" PRIu64 " pm_epoch %016" PRIx64
+                  " pm_gen %" PRIu64 " pages %" PRIu64
+                  " head_csum %016" PRIx64 "\n",
+                  s.index, s.file.c_str(), s.size, s.pm_epoch, s.pm_gen,
+                  s.pages_copied, s.head_csum);
+    text += line;
+  }
+  const std::string tmp = dir + "/MANIFEST.tmp";
+  const std::string fin = dir + "/MANIFEST";
+  {
+    Fd fd{::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644)};
+    if (!fd) throw_io("create " + tmp);
+    pwrite_all(fd.fd, text.data(), text.size(), 0, tmp);
+    fsync_or_throw(fd.fd, tmp);
+  }
+  if (::rename(tmp.c_str(), fin.c_str()) != 0) {
+    throw_io("rename " + tmp);
+  }
+  fsync_dir(dir);
+}
+
+// Resumes every still-quiesced shard on unwind (reverse order).
+struct QuiesceGuard {
+  std::vector<PoolShard*> held;
+  ~QuiesceGuard() {
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+      if (*it != nullptr) (*it)->snapshot_resume();
+    }
+  }
+  void resume_one(PoolShard* s) noexcept {
+    for (auto& h : held) {
+      if (h == s) {
+        h->snapshot_resume();
+        h = nullptr;
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SnapshotManifest read_snapshot_manifest(const std::string& path) {
+  Fd fd{::open(path.c_str(), O_RDONLY)};
+  if (!fd) throw_io("open manifest " + path);
+  struct stat st{};
+  if (::fstat(fd.fd, &st) != 0) throw_io("fstat " + path);
+  if (st.st_size > 1 << 20) {
+    throw Error(ErrorCode::kInvalidArgument, path + ": not a manifest");
+  }
+  std::string text(static_cast<std::size_t>(st.st_size), '\0');
+  pread_all(fd.fd, text.data(), text.size(), 0, path);
+
+  SnapshotManifest man;
+  std::size_t pos = 0;
+  bool header_ok = false;
+  auto bad = [&](const std::string& why) -> Error {
+    return Error(ErrorCode::kInvalidArgument, path + ": " + why);
+  };
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!header_ok) {
+      if (line != "poseidon-snapshot v1") throw bad("not a snapshot manifest");
+      header_ok = true;
+      continue;
+    }
+    char kind[16] = {};
+    char file[128] = {};
+    ManifestShard s;
+    if (std::sscanf(line.c_str(), "kind %15s", kind) == 1) {
+      man.incremental = std::strcmp(kind, "incremental") == 0;
+    } else if (std::sscanf(line.c_str(), "set_id %" SCNx64, &man.set_id) ==
+               1) {
+    } else if (std::sscanf(line.c_str(), "epoch %" SCNx64, &man.epoch) == 1) {
+    } else if (std::sscanf(line.c_str(), "shard_count %u",
+                           &man.shard_count) == 1) {
+    } else if (std::sscanf(line.c_str(),
+                           "shard %u file %127s size %" SCNu64
+                           " pm_epoch %" SCNx64 " pm_gen %" SCNu64
+                           " pages %" SCNu64 " head_csum %" SCNx64,
+                           &s.index, file, &s.size, &s.pm_epoch, &s.pm_gen,
+                           &s.pages_copied, &s.head_csum) == 7) {
+      s.file = file;
+      man.shards.push_back(s);
+    } else {
+      throw bad("unparsable line: " + line);
+    }
+  }
+  if (!header_ok || man.set_id == 0 || man.shard_count == 0 ||
+      man.shards.empty()) {
+    throw bad("incomplete manifest");
+  }
+  return man;
+}
+
+// ---- per-shard quiesce / copy ----------------------------------------------
+
+void PoolShard::snapshot_quiesce() {
+  admin_mu_.lock();
+  snap_locked_.clear();
+  for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
+    if (!subheap_ready(i)) continue;
+    subs_[i]->lock.lock();
+    snap_locked_.push_back(i);
+  }
+  // Seal exactly as a clean close would (fsck.cpp seal_all), minus the
+  // owner clear: the copy gets a sealed, validating image while the live
+  // heap stays owned.  All of these stores pass through the persistence
+  // barriers, so their pages are dirty in the tracker BEFORE the harvest
+  // below — the image always carries current seal checksums.
+  mpk::WriteWindow w(prot_.get());
+  pmem::fault::FaultGuard guard;
+  pmem::FlushBatch batch;
+  bool all_readable = true;
+  for (const unsigned i : snap_locked_) {
+    SubheapMeta* m = meta_of(i);
+    if (!probe_subheap_readable(i)) {
+      all_readable = false;  // poisoned: ship an unsealed (crash-like) image
+      continue;
+    }
+    pmem::nv_store(m->seal_csum_meta, subheap_meta_csum(*m));
+    pmem::nv_store(m->seal_csum_hash, active_hash_csum(base(), *m));
+    batch.add(&m->seal_csum_meta, 2 * sizeof(std::uint64_t));
+  }
+  batch.commit();
+  if (all_readable) {
+    pmem::nv_store_persist(sb_->mutable_csum, super_mutable_csum(*sb_));
+    pmem::nv_store_release_persist(sb_->seal_state,
+                                   std::uint64_t{kSealSealed});
+  }
+}
+
+void PoolShard::snapshot_resume() noexcept {
+  {
+    // Drop the seal while still holding every lock: the store dirties the
+    // superblock page AFTER the harvest, so the next incremental recopies
+    // it — and the source is back to normal "live heap" state before any
+    // writer can observe it.
+    mpk::WriteWindow w(prot_.get());
+    if (sb_->seal_state == kSealSealed) {
+      pmem::nv_store_persist(sb_->seal_state, std::uint64_t{kSealDirty});
+    }
+  }
+  for (auto it = snap_locked_.rbegin(); it != snap_locked_.rend(); ++it) {
+    subs_[*it]->lock.unlock();
+  }
+  snap_locked_.clear();
+  admin_mu_.unlock();
+}
+
+bool PoolShard::snapshot_baseline(std::uint64_t* epoch,
+                                  std::uint64_t* gen) const noexcept {
+  const pmem::PageMap* pm = pool_.page_map();
+  if (pm == nullptr) return false;
+  *epoch = pm->epoch_id();
+  *gen = pm->generation();
+  return true;
+}
+
+PoolShard::SnapCopy PoolShard::snapshot_copy_full(const std::string& dst_file) {
+  POSEIDON_CRASH_POINT("snap.copy");
+  // Source opened by path: the page cache backing the MAP_SHARED mapping
+  // is what read() sees, so the quiesced bytes arrive without an msync.
+  Fd src{::open(pool_.path().c_str(), O_RDONLY)};
+  if (!src) throw_io("open " + pool_.path());
+  Fd dst{::open(dst_file.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644)};
+  if (!dst) throw_io("create " + dst_file);
+  copy_shard_file(src.fd, dst.fd, pool_.size(), dst_file);
+  patch_owner_cleared(dst.fd, dst_file);
+  const bool is_head = sb_->shard_index == 0;
+  if (is_head) {
+    // Commit gating: the head image stays magic-less (superblock AND
+    // shadow — see write_commit_gate) until the manifest is durable;
+    // Heap::snapshot restores both last.
+    const std::uint64_t zero = 0;
+    pwrite_all(dst.fd, &zero, sizeof zero, 0, dst_file);
+    pwrite_all(dst.fd, &zero, sizeof zero,
+               static_cast<off_t>(super_shadow_off()), dst_file);
+  }
+  fsync_or_throw(dst.fd, dst_file);
+
+  SnapCopy c;
+  c.file_size = pool_.size();
+  c.bytes_copied = pool_.size();
+  c.pages_copied = (pool_.size() + kPageSize - 1) / kPageSize;
+  c.head_csum = head_page_csum(dst.fd, is_head, dst_file);
+  // New incremental baseline: clear the bitmap under quiesce.  Everything
+  // written from here on (starting with resume's seal drop) accumulates
+  // for the next incremental.
+  if (pmem::PageMap* pm = pool_.page_map()) {
+    pm->harvest(nullptr);
+    c.pm_epoch = pm->epoch_id();
+    c.pm_gen = pm->generation();
+  }
+  return c;
+}
+
+PoolShard::SnapCopy PoolShard::snapshot_copy_incremental(
+    const std::string& dst_file, std::uint64_t want_epoch,
+    std::uint64_t want_gen) {
+  pmem::PageMap* pm = pool_.page_map();
+  if (pm == nullptr || pm->epoch_id() != want_epoch ||
+      pm->generation() != want_gen) {
+    throw Error(ErrorCode::kInvalidArgument,
+                pool_.path() +
+                    ": dirty tracker cannot prove the manifest baseline "
+                    "(restarted, untracked, or snapshotted elsewhere since); "
+                    "take a full snapshot");
+  }
+  POSEIDON_CRASH_POINT("snap.copy");
+  Fd src{::open(pool_.path().c_str(), O_RDONLY)};
+  if (!src) throw_io("open " + pool_.path());
+  Fd dst{::open(dst_file.c_str(), O_RDWR)};
+  if (!dst) {
+    throw Error(ErrorCode::kInvalidArgument,
+                dst_file + ": base snapshot image missing", errno);
+  }
+  struct stat st{};
+  if (::fstat(dst.fd, &st) != 0) throw_io("fstat " + dst_file);
+  if (static_cast<std::uint64_t>(st.st_size) != pool_.size()) {
+    throw Error(ErrorCode::kTruncated,
+                dst_file + ": base image size disagrees with the shard");
+  }
+
+  std::vector<std::uint32_t> pages;
+  pm->harvest(&pages);
+  const bool is_head = sb_->shard_index == 0;
+  alignas(8) char buf[kPageSize];
+  SnapCopy c;
+  c.file_size = pool_.size();
+  for (const std::uint32_t idx : pages) {
+    const off_t off = static_cast<off_t>(idx) * kPageSize;
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPageSize, pool_.size() - off));
+    pread_all(src.fd, buf, len, off, pool_.path());
+    if (idx == 0) {
+      // Page 0 carries the live owner record and the real magic; the image
+      // must show a clean close and stay uncommitted until the manifest
+      // lands (Heap::snapshot_incremental dropped the dst gate up front).
+      OwnerRecord rec{};
+      rec.csum = owner_csum(rec);
+      std::memcpy(buf + offsetof(SuperBlock, owner), &rec, sizeof rec);
+      if (is_head) std::memset(buf, 0, sizeof(std::uint64_t));
+    } else if (is_head && off == static_cast<off_t>(super_shadow_off())) {
+      // The shadow page rode into the dirty set: keep its magic down too,
+      // or the un-committed image would be repairable from the shadow.
+      std::memset(buf, 0, sizeof(std::uint64_t));
+    }
+    pwrite_all(dst.fd, buf, len, off, dst_file);
+    ++c.pages_copied;
+    c.bytes_copied += len;
+  }
+  fsync_or_throw(dst.fd, dst_file);
+  c.head_csum = head_page_csum(dst.fd, is_head, dst_file);
+  c.pm_epoch = pm->epoch_id();
+  c.pm_gen = pm->generation();
+  return c;
+}
+
+// ---- heap front-end ---------------------------------------------------------
+
+void Heap::note_write(const void* p, std::size_t len) noexcept {
+  pmem::pagemap_note(p, len);
+}
+
+SnapshotReport Heap::snapshot(const std::string& dst_dir) {
+  if (shards_[0]->read_only()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                path() + ": heap is open read-only (snapshot seals)");
+  }
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  metrics_.snapshot_runs.inc();
+  if (::mkdir(dst_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw_io("mkdir " + dst_dir);
+  }
+
+  SnapshotManifest man;
+  const ShardLink link = shards_[0]->link();
+  man.set_id = link.set_id;
+  man.epoch = link.epoch;
+  man.shard_count = nshards_;
+
+  SnapshotReport rep;
+  {
+    // Global cut: every shard quiesced before the first byte is copied.
+    QuiesceGuard guard;
+    for (unsigned i = 0; i < nshards_; ++i) {
+      if (shards_[i] == nullptr) continue;
+      shards_[i]->snapshot_quiesce();
+      guard.held.push_back(shards_[i].get());
+    }
+    POSEIDON_CRASH_POINT("snap.quiesce");
+    for (unsigned i = 0; i < nshards_; ++i) {
+      if (shards_[i] == nullptr) continue;  // quarantined: absent from image
+      const std::string file = path_basename(shard_path(i));
+      const PoolShard::SnapCopy c =
+          shards_[i]->snapshot_copy_full(dst_dir + "/" + file);
+      // Early release: this shard serves again while later shards copy.
+      guard.resume_one(shards_[i].get());
+      ManifestShard ms;
+      ms.index = i;
+      ms.file = file;
+      ms.size = c.file_size;
+      ms.pm_epoch = c.pm_epoch;
+      ms.pm_gen = c.pm_gen;
+      ms.pages_copied = c.pages_copied;
+      ms.head_csum = c.head_csum;
+      man.shards.push_back(ms);
+      rep.pages_copied += c.pages_copied;
+      rep.bytes_copied += c.bytes_copied;
+      ++rep.shards;
+      metrics_.snapshot_pages_copied.inc(c.pages_copied);
+      metrics_.snapshot_bytes_copied.inc(c.bytes_copied);
+      shards_[i]->note_flight(obs::FlightOp::kSnapshot, c.pages_copied);
+    }
+  }
+  POSEIDON_CRASH_POINT("snap.manifest");
+  write_manifest(dst_dir, man);
+  // Commit point: the head image becomes openable only now.
+  write_commit_gate(dst_dir + "/" + path_basename(shard_path(0)), true);
+  rep.manifest_path = dst_dir + "/MANIFEST";
+  return rep;
+}
+
+SnapshotReport Heap::snapshot_incremental(const std::string& dst_dir,
+                                          const std::string& since_manifest) {
+  if (shards_[0]->read_only()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                path() + ": heap is open read-only (snapshot seals)");
+  }
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  const SnapshotManifest base = read_snapshot_manifest(since_manifest);
+  const ShardLink link = shards_[0]->link();
+  if (base.set_id != link.set_id || base.epoch != link.epoch) {
+    throw Error(ErrorCode::kInvalidArgument,
+                since_manifest + ": manifest describes a different heap");
+  }
+  if (base.shard_count != nshards_) {
+    throw Error(ErrorCode::kShardMismatch,
+                since_manifest + ": manifest shard count disagrees");
+  }
+  // Prove every baseline BEFORE touching the destination: a doomed
+  // incremental must not un-commit a good base image.  snapshot_mu_ is
+  // held, so the generations cannot move under us (only snapshots harvest).
+  std::vector<const ManifestShard*> entry(nshards_, nullptr);
+  for (const ManifestShard& s : base.shards) {
+    if (s.index < nshards_) entry[s.index] = &s;
+  }
+  for (unsigned i = 0; i < nshards_; ++i) {
+    if (shards_[i] == nullptr) continue;
+    if (entry[i] == nullptr) {
+      throw Error(ErrorCode::kShardMismatch,
+                  since_manifest + ": shard " + std::to_string(i) +
+                      " missing from the base manifest");
+    }
+    std::uint64_t ep = 0, gen = 0;
+    if (!shards_[i]->snapshot_baseline(&ep, &gen) ||
+        ep != entry[i]->pm_epoch || gen != entry[i]->pm_gen) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  shard_path(i) +
+                      ": dirty tracker cannot prove the manifest baseline "
+                      "(restarted, untracked, or snapshotted elsewhere "
+                      "since); take a full snapshot");
+    }
+  }
+  metrics_.snapshot_runs.inc();
+
+  SnapshotManifest man;
+  man.incremental = true;
+  man.set_id = link.set_id;
+  man.epoch = link.epoch;
+  man.shard_count = nshards_;
+
+  // Un-commit the destination before the first patch: a crash mid-update
+  // must leave a refused directory, never a half-patched "valid" one.
+  write_commit_gate(dst_dir + "/" + entry[0]->file, false);
+
+  SnapshotReport rep;
+  rep.incremental = true;
+  {
+    QuiesceGuard guard;
+    for (unsigned i = 0; i < nshards_; ++i) {
+      if (shards_[i] == nullptr) continue;
+      shards_[i]->snapshot_quiesce();
+      guard.held.push_back(shards_[i].get());
+    }
+    POSEIDON_CRASH_POINT("snap.quiesce");
+    for (unsigned i = 0; i < nshards_; ++i) {
+      if (shards_[i] == nullptr) continue;
+      const PoolShard::SnapCopy c = shards_[i]->snapshot_copy_incremental(
+          dst_dir + "/" + entry[i]->file, entry[i]->pm_epoch,
+          entry[i]->pm_gen);
+      guard.resume_one(shards_[i].get());
+      ManifestShard ms = *entry[i];
+      ms.pm_epoch = c.pm_epoch;
+      ms.pm_gen = c.pm_gen;
+      ms.pages_copied = c.pages_copied;
+      ms.head_csum = c.head_csum;
+      man.shards.push_back(ms);
+      rep.pages_copied += c.pages_copied;
+      rep.bytes_copied += c.bytes_copied;
+      ++rep.shards;
+      metrics_.snapshot_pages_copied.inc(c.pages_copied);
+      metrics_.snapshot_bytes_copied.inc(c.bytes_copied);
+      shards_[i]->note_flight(obs::FlightOp::kSnapshot, c.pages_copied);
+    }
+  }
+  POSEIDON_CRASH_POINT("snap.manifest");
+  write_manifest(dst_dir, man);
+  write_commit_gate(dst_dir + "/" + entry[0]->file, true);
+  rep.manifest_path = dst_dir + "/MANIFEST";
+  return rep;
+}
+
+}  // namespace poseidon::core

@@ -1,0 +1,49 @@
+// Snapshot manifest + report types (DESIGN.md "Snapshots & incremental
+// backup").  core/snapshot.cpp writes and consumes these; the heap_inspect
+// tool parses manifests for --snapshots and --diff.
+//
+// The manifest is a small line-oriented text file (dst_dir/MANIFEST),
+// written tmp+rename after every shard image is durable.  Its per-shard
+// (pm_epoch, pm_gen) pair is the dirty-tracker baseline an incremental
+// snapshot must prove against the live heap: the tracker's bitmap has been
+// accumulating exactly since this manifest iff both still match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poseidon::core {
+
+// Aggregate result of Heap::snapshot / Heap::snapshot_incremental.
+struct SnapshotReport {
+  bool incremental = false;
+  unsigned shards = 0;
+  std::uint64_t pages_copied = 0;
+  std::uint64_t bytes_copied = 0;
+  std::string manifest_path;
+};
+
+struct ManifestShard {
+  std::uint32_t index = 0;
+  std::string file;             // basename within the snapshot directory
+  std::uint64_t size = 0;       // shard file size in bytes
+  std::uint64_t pm_epoch = 0;   // dirty-tracker identity at capture
+  std::uint64_t pm_gen = 0;     // dirty-tracker generation at capture
+  std::uint64_t pages_copied = 0;
+  std::uint64_t head_csum = 0;  // FNV over the image's first page
+};
+
+struct SnapshotManifest {
+  bool incremental = false;
+  std::uint64_t set_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t shard_count = 0;  // set size; quarantined members are absent
+  std::vector<ManifestShard> shards;
+};
+
+// Parse a manifest file.  Throws Error(kIo) when unreadable and
+// Error(kInvalidArgument) when malformed.
+SnapshotManifest read_snapshot_manifest(const std::string& path);
+
+}  // namespace poseidon::core

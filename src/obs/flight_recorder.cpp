@@ -38,6 +38,8 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kSvcState: return "svc-state";
     case FlightOp::kSvcFailover: return "svc-failover";
     case FlightOp::kSvcReconcile: return "svc-reconcile";
+    case FlightOp::kSnapshot: return "snapshot";
+    case FlightOp::kOrphanReclaim: return "orphan-reclaim";
   }
   return "?";
 }

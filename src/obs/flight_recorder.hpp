@@ -61,6 +61,8 @@ enum class FlightOp : std::uint16_t {
   kSvcState = 18,      // service state transition; arg = svc::SvcState
   kSvcFailover = 19,   // server start replacing a crashed one; arg = old gen
   kSvcReconcile = 20,  // reconcile op executed; arg = blocks freed/replayed
+  kSnapshot = 21,      // shard image captured; arg = pages copied
+  kOrphanReclaim = 22, // dead-session watermark sweep; arg = blocks freed
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -219,6 +219,13 @@ struct Metrics {
   Counter svc_reconnects;         // session admissions that were reconnects
   Counter svc_reconcile_dropped;  // orphaned tagged blocks freed (lost allocs)
   Counter svc_reconcile_replayed; // lost-completion frees replayed if-owner
+  Counter svc_orphans_reclaimed;  // tagged blocks freed past a dead session's
+                                  // consumed watermark (client+server death)
+
+  // Snapshot counters (core/snapshot.cpp).
+  Counter snapshot_runs;          // Heap::snapshot / snapshot_incremental
+  Counter snapshot_pages_copied;  // 4 KiB pages written into snapshot images
+  Counter snapshot_bytes_copied;  // bytes written into snapshot images
 
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
@@ -267,6 +274,10 @@ struct Metrics {
     f("svc_reconnects", svc_reconnects);
     f("svc_reconcile_dropped", svc_reconcile_dropped);
     f("svc_reconcile_replayed", svc_reconcile_replayed);
+    f("svc_orphans_reclaimed", svc_orphans_reclaimed);
+    f("snapshot_runs", snapshot_runs);
+    f("snapshot_pages_copied", snapshot_pages_copied);
+    f("snapshot_bytes_copied", snapshot_bytes_copied);
   }
 
   template <typename F>

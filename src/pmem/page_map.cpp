@@ -1,0 +1,115 @@
+#include "pmem/page_map.hpp"
+
+#include <mutex>
+#include <random>
+
+namespace poseidon::pmem {
+
+namespace {
+
+std::uint64_t random_epoch_id() {
+  static std::mutex mu;
+  static std::mt19937_64 rng{std::random_device{}()};
+  std::lock_guard<std::mutex> lk(mu);
+  std::uint64_t v = 0;
+  while (v == 0) v = rng();
+  return v;
+}
+
+}  // namespace
+
+PageMap::PageMap(const void* base, std::size_t len)
+    : lo_(reinterpret_cast<std::uintptr_t>(base)),
+      hi_(reinterpret_cast<std::uintptr_t>(base) + len),
+      npages_((len + kPageMapPageSize - 1) / kPageMapPageSize),
+      epoch_id_(random_epoch_id()) {
+  const std::size_t nwords = (npages_ + 63) / 64;
+  words_ = std::make_unique<std::atomic<std::uint64_t>[]>(nwords);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    words_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t PageMap::harvest(std::vector<std::uint32_t>* out) noexcept {
+  std::size_t count = 0;
+  const std::size_t nwords = (npages_ + 63) / 64;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t bits = words_[w].exchange(0, std::memory_order_relaxed);
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      ++count;
+      if (out != nullptr) {
+        out->push_back(static_cast<std::uint32_t>(w * 64 + b));
+      }
+    }
+  }
+  gen_.fetch_add(1, std::memory_order_relaxed);
+  return count;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+std::atomic<unsigned> g_pagemap_active{0};
+
+namespace {
+
+constexpr unsigned kMaxTracked = 32;
+
+struct TrackSlot {
+  std::atomic<std::uintptr_t> lo{0};
+  std::atomic<std::uintptr_t> hi{0};
+  std::atomic<PageMap*> pm{nullptr};
+};
+
+TrackSlot g_slots[kMaxTracked];
+std::mutex g_reg_mu;
+
+}  // namespace
+
+void pagemap_register(PageMap* pm, const void* base,
+                      std::size_t len) noexcept {
+  std::lock_guard<std::mutex> lk(g_reg_mu);
+  for (auto& s : g_slots) {
+    if (s.pm.load(std::memory_order_relaxed) != nullptr) continue;
+    s.pm.store(pm, std::memory_order_relaxed);
+    // Bounds published last (release): a lookup that sees them sees the
+    // tracker pointer too.
+    s.lo.store(reinterpret_cast<std::uintptr_t>(base),
+               std::memory_order_relaxed);
+    s.hi.store(reinterpret_cast<std::uintptr_t>(base) + len,
+               std::memory_order_release);
+    g_pagemap_active.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Table full: this pool goes untracked.  snapshot_incremental detects
+  // the missing tracker through the epoch handshake and demands a full.
+}
+
+void pagemap_unregister(PageMap* pm) noexcept {
+  std::lock_guard<std::mutex> lk(g_reg_mu);
+  for (auto& s : g_slots) {
+    if (s.pm.load(std::memory_order_relaxed) != pm) continue;
+    // Clear bounds first: lookups range-check before dereferencing, so a
+    // cleared slot can never route a note to a dying tracker.
+    s.hi.store(0, std::memory_order_release);
+    s.lo.store(0, std::memory_order_relaxed);
+    s.pm.store(nullptr, std::memory_order_release);
+    g_pagemap_active.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+}
+
+void pagemap_note_slow(const void* p, std::size_t len) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  for (auto& s : g_slots) {
+    const std::uintptr_t hi = s.hi.load(std::memory_order_acquire);
+    if (hi == 0 || a >= hi) continue;
+    if (a < s.lo.load(std::memory_order_relaxed)) continue;
+    PageMap* pm = s.pm.load(std::memory_order_relaxed);
+    if (pm != nullptr) pm->note(p, len);
+    return;
+  }
+}
+
+}  // namespace poseidon::pmem

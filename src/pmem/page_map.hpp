@@ -1,0 +1,116 @@
+// Page-granular dirty tracking for mapped pools (incremental snapshots).
+//
+// A PageMap covers one mapped range with a DRAM-resident atomic bitmap,
+// one bit per 4 KiB page, plus a harvest generation.  It is fed by the
+// persistence barriers (pmem/persist.hpp): every persist()/flush()/
+// FlushBatch range lands here through pagemap_note(), so any write the
+// allocator makes durable is tracked without new call sites — undo
+// commit/rollback/replay, micro_append, cache-log writes, fsck
+// seal/repair, and user-data persists all funnel through those barriers.
+// Pool::punch_hole notes the punched range explicitly (the pages read
+// back as zero afterwards: an incremental that missed them would revive
+// stale data in the backup).  Writes that bypass the barriers entirely
+// (flight-recorder rings, apps doing unflushed stores) are NOT tracked;
+// Heap::note_write is the documented escape hatch.
+//
+// The tracker is volatile by design: a fresh mapping starts all-clean
+// with a new random epoch id, and an incremental snapshot is only valid
+// against a base manifest carrying the SAME epoch id and generation —
+// the bitmap's accumulation window provably spans base..now.  Anything
+// else (process restart, an intervening snapshot to another directory)
+// must take a full snapshot first.
+//
+// Concurrency: note() is wait-free (test-first fetch_or).  harvest()
+// requires external quiesce of writers to the covered range (the
+// snapshot driver holds every sub-heap lock).  The process-global
+// registry makes pagemap_note callable from free functions that only
+// know an address: one relaxed load when no tracker is registered,
+// mirroring g_sim_active.  Slots clear their bounds before the PageMap
+// dies, and a note targeting a pool's range can only come from a thread
+// actively writing that pool — the same contract munmap itself imposes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/compiler.hpp"
+
+namespace poseidon::pmem {
+
+inline constexpr std::size_t kPageMapPageSize = 4096;
+
+class PageMap {
+ public:
+  // Covers [base, base + len); starts all-clean at generation 0 with a
+  // fresh random nonzero epoch id.
+  PageMap(const void* base, std::size_t len);
+
+  PageMap(const PageMap&) = delete;
+  PageMap& operator=(const PageMap&) = delete;
+
+  // Mark every page overlapping [p, p + len) dirty.  Wait-free.
+  void note(const void* p, std::size_t len) noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    if (a < lo_ || a >= hi_ || len == 0) return;
+    std::size_t first = (a - lo_) / kPageMapPageSize;
+    std::size_t last = (a - lo_ + len - 1) / kPageMapPageSize;
+    if (last >= npages_) last = npages_ - 1;
+    for (std::size_t i = first; i <= last; ++i) {
+      std::atomic<std::uint64_t>& w = words_[i / 64];
+      const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+      // Read-first: the common case (page already dirty) stays a shared
+      // cache-line load, no RFO storm on hot metadata pages.
+      if ((w.load(std::memory_order_relaxed) & bit) == 0) {
+        w.fetch_or(bit, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Collect the dirty page indices, clear the bitmap and bump the
+  // generation.  Caller must have quiesced writers to the covered range.
+  // Returns the number of dirty pages (appended to *out when non-null).
+  std::size_t harvest(std::vector<std::uint32_t>* out) noexcept;
+
+  std::uint64_t epoch_id() const noexcept { return epoch_id_; }
+  std::uint64_t generation() const noexcept {
+    return gen_.load(std::memory_order_relaxed);
+  }
+  std::size_t npages() const noexcept { return npages_; }
+
+ private:
+  const std::uintptr_t lo_;
+  const std::uintptr_t hi_;
+  std::size_t npages_;
+  std::uint64_t epoch_id_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+// ---- process-global registry ----------------------------------------------
+
+// Count of registered trackers; the barrier fast path is one relaxed load.
+extern std::atomic<unsigned> g_pagemap_active;
+
+// Register/unregister a tracker for its covered range.  Registration is
+// bounded (excess trackers are silently untracked — a diagnostic-quality
+// degradation, never a correctness one, because snapshot_incremental
+// refuses epochs it cannot prove).  unregister clears the slot bounds
+// before returning, after which the PageMap may be destroyed.
+void pagemap_register(PageMap* pm, const void* base, std::size_t len) noexcept;
+void pagemap_unregister(PageMap* pm) noexcept;
+
+void pagemap_note_slow(const void* p, std::size_t len) noexcept;
+
+// Route a written range to whichever registered tracker covers it.
+inline void pagemap_note(const void* p, std::size_t len) noexcept {
+  if (POSEIDON_LIKELY(
+          g_pagemap_active.load(std::memory_order_relaxed) == 0)) {
+    return;
+  }
+  pagemap_note_slow(p, len);
+}
+
+}  // namespace poseidon::pmem

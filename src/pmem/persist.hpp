@@ -28,6 +28,7 @@
 #include <atomic>
 
 #include "common/compiler.hpp"
+#include "pmem/page_map.hpp"
 
 namespace poseidon::pmem {
 
@@ -133,6 +134,11 @@ inline void fence() noexcept {
 // still orders them); under kNone the whole barrier disappears.
 inline void persist(const void* addr, std::size_t len) noexcept {
   if (POSEIDON_UNLIKELY(len == 0)) return;  // nothing to persist: no fence
+  // Dirty-page tracking taps the barrier, not the stores: every range a
+  // writer makes durable is exactly the set an incremental snapshot must
+  // recopy.  Noted before the domain switch so eADR/kNone elision (which
+  // skips the flush work, not the durability) never hides a write.
+  pagemap_note(addr, len);
   switch (persist_domain()) {
     case PersistDomain::kCacheLineFlush:
       flush_lines(addr, len);
@@ -157,6 +163,7 @@ inline void persist(const void* addr, std::size_t len) noexcept {
 // guarantees completion.
 inline void flush(const void* addr, std::size_t len) noexcept {
   if (len == 0) return;
+  pagemap_note(addr, len);
   if (POSEIDON_LIKELY(persist_domain() == PersistDomain::kCacheLineFlush)) {
     flush_lines(addr, len);
   }
@@ -186,6 +193,9 @@ class FlushBatch {
   void add(const void* addr, std::size_t len) noexcept {
     if (len == 0) return;
     any_ = true;
+    // Before the elision below: under eADR/kNone the ranges never reach
+    // flush(), so the dirty-page tracker must see them here.
+    pagemap_note(addr, len);
     if (persist_domain() != PersistDomain::kCacheLineFlush &&
         POSEIDON_LIKELY(!sim_active())) {
       return;  // flushes elided; commit() still fences once

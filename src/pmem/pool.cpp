@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "pmem/fault_inject.hpp"
+#include "pmem/page_map.hpp"
 #include "pmem/retry.hpp"
 
 namespace poseidon::pmem {
@@ -155,8 +156,10 @@ Pool Pool::create(const std::string& path, std::size_t size) {
     }
     register_in_proc(path, fst);
     registered = true;
-    return Pool(path, fd, map_fd(fd, size, /*read_only=*/false), size,
-                /*read_only=*/false, /*in_proc_registered=*/true);
+    Pool p(path, fd, map_fd(fd, size, /*read_only=*/false), size,
+           /*read_only=*/false, /*in_proc_registered=*/true);
+    p.attach_page_map();
+    return p;
   } catch (...) {
     const int saved = errno;
     if (registered) {
@@ -203,8 +206,10 @@ Pool Pool::open(const std::string& path, bool read_only) {
       registered = true;
       lock_exclusive(fd, path);
     }
-    return Pool(path, fd, map_fd(fd, size, read_only), size, read_only,
-                registered);
+    Pool p(path, fd, map_fd(fd, size, read_only), size, read_only,
+           registered);
+    if (!read_only) p.attach_page_map();
+    return p;
   } catch (...) {
     if (registered) unregister_in_proc(st);
     ::close(fd);
@@ -214,9 +219,15 @@ Pool Pool::open(const std::string& path, bool read_only) {
 
 Pool::~Pool() { close(); }
 
+void Pool::attach_page_map() {
+  page_map_ = std::make_unique<PageMap>(base_, size_);
+  pagemap_register(page_map_.get(), base_, size_);
+}
+
 Pool::Pool(Pool&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(std::exchange(other.fd_, -1)),
+      page_map_(std::move(other.page_map_)),
       base_(std::exchange(other.base_, nullptr)),
       size_(std::exchange(other.size_, 0)),
       read_only_(std::exchange(other.read_only_, false)),
@@ -227,6 +238,7 @@ Pool& Pool::operator=(Pool&& other) noexcept {
     close();
     path_ = std::move(other.path_);
     fd_ = std::exchange(other.fd_, -1);
+    page_map_ = std::move(other.page_map_);
     base_ = std::exchange(other.base_, nullptr);
     size_ = std::exchange(other.size_, 0);
     read_only_ = std::exchange(other.read_only_, false);
@@ -240,7 +252,12 @@ bool Pool::punch_hole(std::size_t offset, std::size_t len) {
     return ::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
                        static_cast<off_t>(offset), static_cast<off_t>(len));
   });
-  if (rc == 0) return true;
+  if (rc == 0) {
+    // The punched pages read back as zero: the next incremental snapshot
+    // must recopy them or it would revive the pre-punch bytes.
+    if (page_map_ != nullptr) page_map_->note(base_ + offset, len);
+    return true;
+  }
   if (errno == EOPNOTSUPP || errno == ENOSPC) {
     // The filesystem cannot punch (or cannot afford the metadata).
     // Leaving the bytes backed is only a space regression — a
@@ -267,6 +284,13 @@ void Pool::sync_range(std::size_t offset, std::size_t len) {
 }
 
 void Pool::close() noexcept {
+  if (page_map_ != nullptr) {
+    // Deregister before the tracker dies and before munmap: a note can
+    // only target this range from a thread still writing the pool, which
+    // close() already forbids.
+    pagemap_unregister(page_map_.get());
+    page_map_.reset();
+  }
   if (in_proc_registered_) {
     struct stat st{};
     if (fd_ >= 0 && ::fstat(fd_, &st) == 0) unregister_in_proc(st);

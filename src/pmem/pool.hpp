@@ -19,9 +19,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace poseidon::pmem {
+
+class PageMap;
 
 class Pool {
  public:
@@ -66,6 +69,12 @@ class Pool {
   // for callers that need a file-level durability point (tools).
   void sync_range(std::size_t offset, std::size_t len);
 
+  // Dirty-page tracker for this mapping (writable pools only; nullptr for
+  // read-only opens).  Registered with the process-global pagemap registry
+  // for the life of the mapping, so the persistence barriers route every
+  // durable write here without Pool in their signatures.
+  PageMap* page_map() const noexcept { return page_map_.get(); }
+
   // Unmap, drop the OFD lock and close without deleting the file.
   void close() noexcept;
 
@@ -74,6 +83,9 @@ class Pool {
   static bool exists(const std::string& path) noexcept;
 
  private:
+  // Builds the dirty tracker over the fresh mapping and registers it.
+  void attach_page_map();
+
   Pool(std::string path, int fd, std::byte* base, std::size_t size,
        bool read_only, bool in_proc_registered) noexcept
       : path_(std::move(path)), fd_(fd), base_(base), size_(size),
@@ -81,6 +93,9 @@ class Pool {
 
   std::string path_;
   int fd_ = -1;
+  // unique_ptr: the PageMap's address must survive Pool moves (the global
+  // registry holds a raw pointer to it until close()).
+  std::unique_ptr<PageMap> page_map_;
   std::byte* base_ = nullptr;
   std::size_t size_ = 0;
   bool read_only_ = false;

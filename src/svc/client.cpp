@@ -146,6 +146,10 @@ ErrorCode SvcClient::admission(const std::string&) {
     s.start_time = core::proc_start_time(::getpid());
     s.nonce = nonce32_;
     s.reconnected.store(reconnected_once_ ? 1 : 0, std::memory_order_relaxed);
+    // Republish the consumed-alloc watermark before going active: a
+    // successor sweeping this session after a crash must never reclaim
+    // blocks an earlier segment generation already delivered.
+    s.alloc_watermark.store(alloc_watermark_, std::memory_order_relaxed);
     s.ops.store(0, std::memory_order_relaxed);
     s.phase.store(0, std::memory_order_relaxed);
     session_ = i;
@@ -418,6 +422,15 @@ ErrorCode SvcClient::submit(SvcOp op, const std::uint64_t* payload,
 }
 
 void SvcClient::note_completed(const CplMsg& msg) {
+  // Every dequeue path funnels through here, so this is the single point
+  // where a delivered alloc moves the consumed watermark.  Completions are
+  // produced and consumed in submission order, so the consumed set is
+  // always the exact prefix [1, watermark] — what makes the dead-session
+  // orphan sweep (req_id > watermark) safe.
+  if (msg.status == SvcStatus::kOkAlloc && msg.req_id > alloc_watermark_) {
+    alloc_watermark_ = msg.req_id;
+    sess().alloc_watermark.store(alloc_watermark_, std::memory_order_release);
+  }
   const auto a = std::find(alloc_reqs_.begin(), alloc_reqs_.end(), msg.req_id);
   if (a != alloc_reqs_.end()) {
     alloc_reqs_.erase(a);
@@ -634,6 +647,22 @@ ErrorCode SvcClient::set_root(core::NvPtr root) {
 ErrorCode SvcClient::ping() {
   CplMsg msg;
   return roundtrip(SvcOp::kPing, nullptr, 0, &msg);
+}
+
+ErrorCode SvcClient::snapshot(const std::string& dst_dir, bool incremental,
+                              std::uint64_t* pages_out) {
+  std::uint64_t payload[2 * kMaxOpsPerReq] = {};
+  if (dst_dir.empty() || dst_dir.size() >= sizeof(payload)) {
+    return ErrorCode::kInvalidArgument;  // must fit NUL-terminated
+  }
+  std::memcpy(payload, dst_dir.data(), dst_dir.size());
+  CplMsg msg;
+  const ErrorCode rc =
+      roundtrip(SvcOp::kSnapshot, payload, incremental ? 1 : 0, &msg);
+  if (rc != ErrorCode::kOk) return rc;
+  if (msg.status != SvcStatus::kOk) return ErrorCode::kInvalidArgument;
+  if (pages_out != nullptr) *pages_out = msg.results[0];
+  return ErrorCode::kOk;
 }
 
 // ---- cached single ops -----------------------------------------------------

@@ -112,6 +112,14 @@ class SvcClient {
   ErrorCode set_root(core::NvPtr root);
   ErrorCode ping();
 
+  // Ask the server to snapshot its heap into dst_dir (one consistent cut
+  // while every session keeps submitting); incremental updates an existing
+  // snapshot against dst_dir/MANIFEST.  The path must fit a request
+  // payload (< 96 bytes).  kInvalidArgument reflects a server-side refusal
+  // (bad path, unprovable incremental baseline, ...).
+  ErrorCode snapshot(const std::string& dst_dir, bool incremental,
+                     std::uint64_t* pages_out = nullptr);
+
   // ---- cached single ops (the client-side L1 over the ring's L2) -----------
 
   // Magazine-cached allocation: pops the size-class magazine and refills
@@ -237,6 +245,11 @@ class SvcClient {
   bool in_reconnect_ = false;      // reconcile round-trips must not recurse
   std::uint32_t next_req_id_ = 1;
   std::uint32_t last_submitted_id_ = 0;
+  // Local mirror of SessionSlot::alloc_watermark (max consumed kOkAlloc
+  // req id); re-published into the slot at every (re)admission so a
+  // successor server never reclaims blocks an earlier generation already
+  // delivered.
+  std::uint64_t alloc_watermark_ = 0;
   // Successful submissions whose completions have not been dequeued yet.
   // Kept exact so ensure_cpl_space() can guarantee the server never finds
   // the completion ring full (a dropped alloc completion would otherwise

@@ -75,12 +75,34 @@ std::unique_ptr<SvcServer> SvcServer::start(const std::string& heap_path,
                             core::process_alive(pid) &&
                             core::proc_start_time(pid) == s.start_time;
           if (live) continue;
+          const auto nonce32 = static_cast<std::uint32_t>(s.nonce);
           CplMsg msg;
           while (cpl_dequeue(&s, cpl_ring_of(ob, i), &msg)) {
             if (msg.status != SvcStatus::kOkAlloc) continue;
             for (unsigned k = 0; k + 1 < 2u * msg.nops; k += 2) {
               const core::NvPtr p{msg.results[k], msg.results[k + 1]};
-              if (!p.is_null()) (void)heap->free(p);
+              if (p.is_null()) continue;
+              // free_if_owner, not free: a cached free would leave the
+              // stale-tagged media record for the sweep below to re-free.
+              if (nonce32 != 0) {
+                (void)heap->free_if_owner(p, nonce32);
+              } else {
+                (void)heap->free(p);
+              }
+            }
+          }
+          // Client AND server died together: allocs the dead server
+          // committed but never got into this ring are invisible to the
+          // drain above.  They still carry the session's owner tags with
+          // req ids past the consumed watermark — sweep them out (the
+          // drain's frees cleared those records, so no double free).
+          const std::uint64_t wm =
+              s.alloc_watermark.load(std::memory_order_acquire);
+          if (nonce32 != 0) {
+            const std::uint64_t pair[2] = {nonce32, wm};
+            const unsigned freed = heap->reclaim_orphans(pair, 1);
+            if (freed != 0) {
+              heap->note_flight(obs::FlightOp::kOrphanReclaim, freed);
             }
           }
         }
@@ -468,6 +490,35 @@ void SvcServer::execute(unsigned shard, const SubReq& req) {
       }
       break;
     }
+    case SvcOp::kSnapshot: {
+      // Control op: nops is the incremental flag (0 full / 1 incremental),
+      // the payload a NUL-terminated destination directory.  The heap's
+      // own snapshot mutex serializes concurrent requests; the quiesce
+      // briefly stalls the other service threads at their sub-heap locks,
+      // exactly like any client thread.
+      const char* path = reinterpret_cast<const char*>(req.payload);
+      const std::size_t len = ::strnlen(path, sizeof(req.payload));
+      if (req.nops > 1 || len == 0 || len >= sizeof(req.payload)) {
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+        break;
+      }
+      const std::string dst(path, len);
+      try {
+        const core::SnapshotReport r =
+            req.nops == 1
+                ? heap_->snapshot_incremental(dst, dst + "/MANIFEST")
+                : heap_->snapshot(dst);
+        cpl.results[0] = r.pages_copied;
+        cpl.nops = 1;
+      } catch (const Error&) {
+        // Unwritable path, unprovable incremental baseline, ...: the
+        // client sees a typed refusal, the heap is already resumed.
+        cpl.status = SvcStatus::kBadRequest;
+        cpl.nops = 0;
+      }
+      break;
+    }
     default:
       cpl.status = SvcStatus::kBadRequest;
       cpl.nops = 0;
@@ -538,12 +589,35 @@ void SvcServer::reclaim_session(unsigned sess_idx) {
   SessionSlot& s = sessions_of(base)[sess_idx];
   // Alloc results the client never dequeued go back to the heap; consumed
   // handles stay out (the client's persistent structures may hold them).
+  // Tagged blocks go through free_if_owner: a plain free would park the
+  // block in this thread's magazine while the media record keeps its stale
+  // owner tag (the cache log defers the update), and the orphan sweep
+  // below would then free the same record underneath the magazine.
+  const auto nonce32 = static_cast<std::uint32_t>(s.nonce);
   CplMsg msg;
   while (cpl_dequeue(&s, cpl_ring_of(base, sess_idx), &msg)) {
     if (msg.status != SvcStatus::kOkAlloc) continue;
     for (unsigned i = 0; i + 1 < 2u * msg.nops; i += 2) {
       const core::NvPtr p{msg.results[i], msg.results[i + 1]};
-      if (!p.is_null()) (void)heap_->free(p);
+      if (p.is_null()) continue;
+      if (nonce32 != 0) {
+        (void)heap_->free_if_owner(p, nonce32);
+      } else {
+        (void)heap_->free(p);
+      }
+    }
+  }
+  // Belt and braces past the ring drain: any still-tagged block of this
+  // session with a req id past the consumed watermark was provably never
+  // delivered (a predecessor's lost completion that survived failover).
+  {
+    if (nonce32 != 0) {
+      const std::uint64_t pair[2] = {
+          nonce32, s.alloc_watermark.load(std::memory_order_acquire)};
+      const unsigned freed = heap_->reclaim_orphans(pair, 1);
+      if (freed != 0) {
+        heap_->note_flight(obs::FlightOp::kOrphanReclaim, freed);
+      }
     }
   }
   cpl_ring_init(&s, cpl_ring_of(base, sess_idx));
@@ -553,6 +627,7 @@ void SvcServer::reclaim_session(unsigned sess_idx) {
   s.retire_epoch = 0;
   s.nonce = 0;
   s.reconnected.store(0, std::memory_order_relaxed);
+  s.alloc_watermark.store(0, std::memory_order_relaxed);
   s.state.store(kSessFree, std::memory_order_release);
   heap_->metrics_mut().svc_sessions_reclaimed.inc();
   sessions_reclaimed_.fetch_add(1, std::memory_order_relaxed);

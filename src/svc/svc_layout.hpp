@@ -45,7 +45,9 @@ namespace poseidon::svc {
 
 inline constexpr std::uint64_t kSvcMagic = 0x504f534549535643ull;  // "POSEISVC"
 // v2: SvcHeader::generation + session nonces (failover / reconnect).
-inline constexpr std::uint32_t kSvcVersion = 2;
+// v3: SessionSlot::alloc_watermark (orphan reclaim past dead sessions) +
+//     SvcOp::kSnapshot.
+inline constexpr std::uint32_t kSvcVersion = 3;
 
 // Session slots; 64 keeps the session id in 6 bits of the slot word.
 inline constexpr unsigned kMaxSessions = 64;
@@ -100,6 +102,11 @@ enum class SvcOp : std::uint16_t {
   kReclaimOrphans = 8,  // payload: nops owner tags -> results[0] = blocks
                         // freed; sweeps the heap for blocks stamped with the
                         // given tags (allocs whose completions were lost)
+  kSnapshot = 9,        // payload: dst directory path (NUL-padded, <=96 B);
+                        // nops = 1 for incremental (against dst/MANIFEST),
+                        // 0 for full -> results[0] = pages copied.  Runs on
+                        // the server's heap: one consistent cut while every
+                        // session keeps submitting
 };
 
 enum class SvcStatus : std::uint16_t {
@@ -169,7 +176,14 @@ struct alignas(2 * kCacheLineSize) SessionSlot {
   // across failovers so the new server can match owner-tagged blocks.
   std::uint64_t nonce;
   std::atomic<std::uint64_t> reconnected;  // 1 = this admission is a reconnect
-  std::uint64_t reserved;
+  // Highest kOkAlloc req_id this client has CONSUMED from its completion
+  // ring (monotone; maintained client-side at every alloc dequeue).
+  // Completions are produced and consumed strictly in req-id order, so if
+  // the session dies, every alloc with req_id <= watermark reached the
+  // client (its blocks are the dead app's data — a leak by design) and
+  // every tagged block with req_id > watermark was never received:
+  // reclaim_orphans(nonce, watermark) frees exactly those.
+  std::atomic<std::uint64_t> alloc_watermark;
 };
 static_assert(sizeof(SessionSlot) == 128);
 

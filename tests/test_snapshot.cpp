@@ -1,0 +1,396 @@
+// Online snapshots + incremental backup (core/snapshot.cpp) and the
+// dead-session orphan sweep (PoolShard::reclaim_orphans): commit gating
+// under crash injection at every snapshot crash point, consistency of a
+// snapshot taken under concurrent writers, the incremental dirty-page
+// baseline (O(dirty), not O(heap)), and fsck's scavenge preserving owner
+// tags so a rebuilt sub-heap still supports the watermark sweep.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/heap.hpp"
+#include "core/layout.hpp"
+#include "core/snapshot.hpp"
+#include "pmem/crashpoint.hpp"
+#include "svc/svc_layout.hpp"
+#include "tests/test_util.hpp"
+
+namespace poseidon {
+namespace {
+
+using core::Heap;
+using core::NvPtr;
+using test::small_opts;
+using test::TempHeapPath;
+
+// A snapshot directory beside the source heap, removed with the fixture.
+class TempSnapDir {
+ public:
+  explicit TempSnapDir(const std::string& heap_path)
+      : dir_(heap_path + ".snap"),
+        head_(heap_path.substr(heap_path.find_last_of('/') + 1)) {
+    remove_all();
+  }
+  ~TempSnapDir() { remove_all(); }
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::string manifest() const { return dir_ + "/MANIFEST"; }
+  // Path of the snapshot's head image — what Heap::open takes.
+  std::string head_image() const { return dir_ + "/" + head_; }
+
+  bool manifest_exists() const {
+    struct stat st{};
+    return ::stat(manifest().c_str(), &st) == 0;
+  }
+
+ private:
+  void remove_all() const noexcept {
+    ::unlink(manifest().c_str());
+    ::unlink((dir_ + "/MANIFEST.tmp").c_str());
+    ::unlink(head_image().c_str());
+    for (unsigned i = 1; i < core::kMaxShards; ++i) {
+      ::unlink((head_image() + ".shard" + std::to_string(i)).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+  std::string head_;
+};
+
+core::Options ro_opts() {
+  auto o = small_opts();
+  o.read_only = true;
+  return o;
+}
+
+// Opening the image of an uncommitted (crashed) snapshot must be refused
+// as kNotAPool — never repaired into service.  A crash before any image
+// byte landed leaves no file at all; both outcomes refuse service.
+void expect_refused(const TempSnapDir& snap) {
+  EXPECT_FALSE(snap.manifest_exists());
+  struct stat st{};
+  if (::stat(snap.head_image().c_str(), &st) != 0) return;  // nothing copied
+  try {
+    auto h = Heap::open(snap.head_image(), ro_opts());
+    FAIL() << "uncommitted snapshot image opened";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kNotAPool) << e.what();
+  }
+}
+
+// ---- full snapshot ----------------------------------------------------------
+
+TEST(Snapshot, FullSnapshotOpensReadOnlyAndPreservesState) {
+  TempHeapPath path("snap_full");
+  TempSnapDir snap(path.str());
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+
+  std::vector<NvPtr> keep;
+  for (unsigned i = 0; i < 16; ++i) {
+    const NvPtr p = h->tx_alloc(64, /*is_end=*/true);
+    ASSERT_FALSE(p.is_null());
+    std::memset(h->raw(p), 0x40 + static_cast<int>(i), 64);
+    h->note_write(h->raw(p), 64);
+    keep.push_back(p);
+  }
+  h->set_root(keep[0]);
+  const auto live_before = h->stats().live_blocks;
+
+  const auto rep = h->snapshot(snap.dir());
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_EQ(rep.shards, h->shard_count());
+  EXPECT_GT(rep.pages_copied, 0u);
+  EXPECT_EQ(rep.manifest_path, snap.manifest());
+  EXPECT_TRUE(snap.manifest_exists());
+
+  // The source keeps serving after the cut.
+  EXPECT_FALSE(h->alloc(64).is_null());
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+
+  // The image opens read-only even while the source is live in-process
+  // (read-only opens never register heap ids), and matches the cut's
+  // live-set.
+  auto img = Heap::open(snap.head_image(), ro_opts());
+  EXPECT_EQ(img->stats().live_blocks, live_before);
+  EXPECT_TRUE(img->check_invariants(&why)) << why;
+  const NvPtr root = img->root();
+  EXPECT_FALSE(root.is_null());
+  const auto* bytes = static_cast<const unsigned char*>(img->raw(root));
+  ASSERT_NE(bytes, nullptr);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(bytes[i], 0x40u);
+}
+
+TEST(Snapshot, ManifestDescribesEveryShard) {
+  TempHeapPath path("snap_manifest");
+  TempSnapDir snap(path.str());
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  ASSERT_FALSE(h->alloc(64).is_null());
+  (void)h->snapshot(snap.dir());
+
+  const auto man = core::read_snapshot_manifest(snap.manifest());
+  EXPECT_FALSE(man.incremental);
+  EXPECT_EQ(man.shard_count, h->shard_count());
+  ASSERT_EQ(man.shards.size(), h->shard_count());
+  for (const auto& sh : man.shards) {
+    EXPECT_GT(sh.size, 0u);
+    EXPECT_GT(sh.pages_copied, 0u);
+    EXPECT_NE(sh.head_csum, 0u);
+  }
+}
+
+// ---- crash injection at every snapshot crash point --------------------------
+
+TEST(Snapshot, CrashAtEachPointLeavesRefusedDirectoryAndLiveSource) {
+  TempHeapPath path("snap_crash");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+  for (unsigned i = 0; i < 8; ++i) ASSERT_FALSE(h->alloc(64).is_null());
+
+  for (const char* point : {"snap.quiesce", "snap.copy", "snap.manifest"}) {
+    TempSnapDir snap(path.str());
+    pmem::crash_arm(point, 1, pmem::CrashAction::kThrow);
+    bool crashed = false;
+    try {
+      (void)h->snapshot(snap.dir());
+    } catch (const pmem::CrashException&) {
+      crashed = true;
+    }
+    pmem::crash_disarm();
+    ASSERT_TRUE(crashed) << point << " never fired";
+    expect_refused(snap);
+
+    // The quiesce guard unwound: the source serves and stays consistent.
+    EXPECT_FALSE(h->alloc(64).is_null());
+    std::string why;
+    EXPECT_TRUE(h->check_invariants(&why)) << why;
+
+    // And a retry into the same directory commits.
+    const auto rep = h->snapshot(snap.dir());
+    EXPECT_GT(rep.pages_copied, 0u);
+    EXPECT_TRUE(snap.manifest_exists());
+  }
+}
+
+TEST(Snapshot, KilledChildMidCopyLeavesRefusedDirectory) {
+  TempHeapPath path("snap_kill");
+  TempSnapDir snap(path.str());
+  {  // seed the source, closed cleanly so the child owns it alone
+    auto h = Heap::create(path.str(), 1 << 20, small_opts());
+    for (unsigned i = 0; i < 8; ++i) ASSERT_FALSE(h->alloc(64).is_null());
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto h = Heap::open(path.str(), small_opts());
+    pmem::crash_arm("snap.copy", 1, pmem::CrashAction::kExit);
+    (void)h->snapshot(snap.dir());
+    _exit(7);  // the point never fired
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42);  // died at the crash point
+  expect_refused(snap);
+
+  // The source recovers normally after its holder died mid-snapshot.
+  auto h = Heap::open(path.str(), small_opts());
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+// ---- snapshot under concurrent writers --------------------------------------
+
+TEST(Snapshot, ConcurrentWritersYieldConsistentImage) {
+  TempHeapPath path("snap_conc");
+  TempSnapDir snap(path.str());
+  auto h = Heap::create(path.str(), 4 << 20, small_opts(2));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < 4; ++t) {
+    ts.emplace_back([&h, &stop] {
+      std::vector<NvPtr> mine;
+      std::uint64_t x = 0x9e3779b97f4a7c15ull;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (mine.size() < 32 && (x & 1) != 0) {
+          const NvPtr p = h->tx_alloc(32 + (x % 512), /*is_end=*/true);
+          if (!p.is_null()) mine.push_back(p);
+        } else if (!mine.empty()) {
+          h->free(mine.back());
+          mine.pop_back();
+        }
+      }
+      for (const NvPtr& p : mine) h->free(p);
+    });
+  }
+  // Let the churn build, cut mid-flight, then wind down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto rep = h->snapshot(snap.dir());
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : ts) t.join();
+  EXPECT_GT(rep.pages_copied, 0u);
+
+  // The image is some consistent cut: recovery (writable open) admits it,
+  // invariants hold, and fsck finds nothing to repair.  The source must
+  // close first — a writable open registers the image's heap ids, which
+  // are the same ids the live source holds.
+  h.reset();
+  auto img = Heap::open(snap.head_image(), small_opts(2));
+  std::string why;
+  EXPECT_TRUE(img->check_invariants(&why)) << why;
+  const auto fr = img->fsck();
+  EXPECT_EQ(fr.repaired, 0u);
+  EXPECT_EQ(fr.quarantined, 0u);
+  EXPECT_EQ(fr.records_dropped, 0u);
+  EXPECT_EQ(fr.records_synthesized, 0u);
+}
+
+// ---- incremental ------------------------------------------------------------
+
+TEST(Snapshot, IncrementalCopiesOnlyDirtyPages) {
+  TempHeapPath path("snap_incr");
+  TempSnapDir snap(path.str());
+  auto h = Heap::create(path.str(), 4 << 20, small_opts());
+
+  std::vector<NvPtr> ptrs;
+  for (unsigned i = 0; i < 64; ++i) {
+    const NvPtr p = h->alloc(core::kPageSize);
+    ASSERT_FALSE(p.is_null());
+    std::memset(h->raw(p), 0x11, core::kPageSize);
+    h->note_write(h->raw(p), core::kPageSize);
+    ptrs.push_back(p);
+  }
+  const auto full = h->snapshot(snap.dir());
+  ASSERT_GT(full.pages_copied, 64u);
+
+  // Touch exactly one user page; the delta must be O(pages dirtied), far
+  // below the full image (allocator metadata the cut re-dirties rides
+  // along, so "small", not "one").
+  std::memset(h->raw(ptrs[3]), 0x22, core::kPageSize);
+  h->note_write(h->raw(ptrs[3]), core::kPageSize);
+  const auto incr = h->snapshot_incremental(snap.dir(), snap.manifest());
+  EXPECT_TRUE(incr.incremental);
+  EXPECT_GT(incr.pages_copied, 0u);
+  EXPECT_LT(incr.pages_copied, full.pages_copied / 2);
+
+  // The refreshed image carries the new bytes and the updated manifest.
+  const auto man = core::read_snapshot_manifest(snap.manifest());
+  EXPECT_TRUE(man.incremental);
+  unsigned shard = 0;
+  for (unsigned i = 0; i < h->shard_count(); ++i) {
+    if (h->shard_heap_id(i) == ptrs[3].heap_id) shard = i;
+  }
+  auto img = Heap::open(snap.head_image(), ro_opts());
+  const auto* bytes = static_cast<const unsigned char*>(img->raw(
+      NvPtr{img->shard_heap_id(shard), ptrs[3].packed}));
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes[0], 0x22u);
+}
+
+TEST(Snapshot, IncrementalBaselineRefusedAfterRestart) {
+  TempHeapPath path("snap_base");
+  TempSnapDir snap(path.str());
+  {
+    auto h = Heap::create(path.str(), 1 << 20, small_opts());
+    ASSERT_FALSE(h->alloc(64).is_null());
+    (void)h->snapshot(snap.dir());
+  }
+  // A new process (here: a reopened heap) cannot prove the manifest's
+  // dirty-tracker baseline — the incremental must be refused, and a fresh
+  // full snapshot is the escape.
+  auto h = Heap::open(path.str(), small_opts());
+  try {
+    (void)h->snapshot_incremental(snap.dir(), snap.manifest());
+    FAIL() << "incremental accepted a stale baseline";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.poseidon_code(), ErrorCode::kInvalidArgument) << e.what();
+  }
+  const auto rep = h->snapshot(snap.dir());
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_TRUE(snap.manifest_exists());
+}
+
+// ---- orphan sweep + scavenge tag preservation (allocation service) ----------
+
+TEST(Snapshot, ReclaimOrphansHonorsWatermark) {
+  TempHeapPath path("snap_orphan");
+  auto h = Heap::create(path.str(), 1 << 20, small_opts());
+
+  // Four single-block "requests" of one dead session, req ids 1..4; the
+  // consumed watermark is 2, so reqs 3 and 4 are provably undelivered.
+  const std::uint32_t nonce = 0x80001234u;  // top bit: svc nonce contract
+  const std::uint64_t size = 64;
+  NvPtr out{};
+  for (std::uint32_t req = 1; req <= 4; ++req) {
+    ASSERT_EQ(h->tx_alloc_batch_tagged(&size, 1, &out,
+                                       svc::make_tag(nonce, req)),
+              1u);
+  }
+  const std::uint64_t pair[2] = {nonce, /*watermark=*/2};
+  EXPECT_EQ(h->reclaim_orphans(pair, 1), 2u);
+  EXPECT_EQ(h->metrics().svc_orphans_reclaimed.read(), 2u);
+  // Idempotent: the survivors are at-or-below the watermark.
+  EXPECT_EQ(h->reclaim_orphans(pair, 1), 0u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+TEST(Snapshot, ScavengePreservesOwnerTagsForOrphanSweep) {
+  TempHeapPath path("snap_scavenge");
+  const std::uint32_t nonce = 0x8000beefu;
+  const std::uint64_t size = 64;
+  core::SuperBlock sb{};
+  {
+    auto h = Heap::create(path.str(), 1 << 20, small_opts());
+    NvPtr out{};
+    for (std::uint32_t req = 1; req <= 4; ++req) {
+      ASSERT_EQ(h->tx_alloc_batch_tagged(&size, 1, &out,
+                                         svc::make_tag(nonce, req)),
+                1u);
+    }
+  }  // clean close seals the metadata checksums
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::pread(fd, &sb, sizeof(sb), 0),
+              static_cast<ssize_t>(sizeof(sb)));
+    ::close(fd);
+  }
+  {  // flip a counter byte: the open detects it and scavenge-rebuilds
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    const std::uint64_t off =
+        sb.subheap_meta_off + offsetof(core::SubheapMeta, live_blocks);
+    unsigned char b = 0;
+    ASSERT_EQ(::pread(fd, &b, 1, static_cast<off_t>(off)), 1);
+    b ^= 0xff;
+    ASSERT_EQ(::pwrite(fd, &b, 1, static_cast<off_t>(off)), 1);
+    ::close(fd);
+  }
+  auto h = Heap::open(path.str(), small_opts());
+  EXPECT_GE(h->metrics().corruption_detected.read(), 1u);
+  // The rebuilt records kept their owner tags: the sweep still finds
+  // exactly the past-watermark orphans.
+  const std::uint64_t pair[2] = {nonce, /*watermark=*/1};
+  EXPECT_EQ(h->reclaim_orphans(pair, 1), 3u);
+  std::string why;
+  EXPECT_TRUE(h->check_invariants(&why)) << why;
+}
+
+}  // namespace
+}  // namespace poseidon

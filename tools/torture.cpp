@@ -35,9 +35,11 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
@@ -55,8 +57,10 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "core/heap.hpp"
+#include "core/snapshot.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "pmem/crashpoint.hpp"
 #include "pmem/fault_inject.hpp"
 #include "pmem/persist.hpp"
 #include "pmem/pool.hpp"
@@ -159,9 +163,17 @@ struct Cfg {
   bool keep = false;
   bool svc = false;         // allocation-service torture instead of owner torture
   bool kill_server = false; // --svc variant: SIGKILL the *server* every round
+  bool snapshot = false;    // online-snapshot kill matrix (or svc backup leg)
 
   std::uint64_t nslots() const { return threads * slots_per_thread; }
 };
+
+std::string base_name(const std::string& p) {
+  const auto pos = p.find_last_of('/');
+  return pos == std::string::npos ? p : p.substr(pos + 1);
+}
+
+std::string snap_dir(const Cfg& cfg) { return cfg.path + ".snap"; }
 
 core::Options base_opts(const Cfg& cfg) {
   core::Options o;
@@ -208,12 +220,11 @@ void arm_child_faults(const std::string& spec) {
   }
 }
 
-// One worker thread: random publish/unpublish over its own slot range plus
-// cached scratch churn.  Runs until the parent's SIGKILL lands.
-[[noreturn]] void worker(Heap* heap, SlotRec* slots, std::uint64_t begin,
-                         std::uint64_t end, std::uint64_t seed) {
-  std::uint64_t x = seed;
-  for (;;) {
+// One iteration of the worker mix: random publish/unpublish over the
+// thread's slot range plus cached scratch churn.
+void worker_step(Heap* heap, SlotRec* slots, std::uint64_t begin,
+                 std::uint64_t end, std::uint64_t& x) {
+  {
     try {
       const std::uint64_t r = splitmix(x);
       SlotRec& s = slots[begin + r % (end - begin)];
@@ -227,7 +238,7 @@ void arm_child_faults(const std::string& spec) {
         const NvPtr p = heap->tx_alloc(size, false);
         if (p.is_null()) {  // exhausted; close the (possibly open) tx
           heap->tx_commit();
-          continue;
+          return;
         }
         fill_payload(heap->raw(p), size, tag);
         pmem::persist(heap->raw(p), size);
@@ -259,6 +270,13 @@ void arm_child_faults(const std::string& spec) {
       // Only reachable with --fault armed; keep hammering.
     }
   }
+}
+
+// One worker thread: runs the mix until the parent's SIGKILL lands.
+[[noreturn]] void worker(Heap* heap, SlotRec* slots, std::uint64_t begin,
+                         std::uint64_t end, std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (;;) worker_step(heap, slots, begin, end, x);
 }
 
 [[noreturn]] void child_main(const Cfg& cfg, std::uint64_t seed, int hs_fd) {
@@ -304,6 +322,8 @@ struct RoundStats {
   std::uint64_t torn = 0;
   std::uint64_t diffs = 0;
   std::uint64_t takeovers = 0;
+  std::uint64_t snap_pages = 0;      // incremental pages (committed rounds)
+  std::uint64_t snap_published = 0;  // payload-verified image slots
 };
 
 bool fail(const char* fmt, ...) {
@@ -564,12 +584,402 @@ bool run_round(const Cfg& cfg, std::uint64_t round, std::mt19937_64& rng,
 
 // ---- setup / teardown ------------------------------------------------------
 
+void unlink_snap_dir(const Cfg& cfg) {
+  const std::string dir = snap_dir(cfg);
+  const std::string base = base_name(cfg.path);
+  (void)::unlink((dir + "/MANIFEST").c_str());
+  (void)::unlink((dir + "/MANIFEST.tmp").c_str());
+  (void)::unlink((dir + "/" + base).c_str());
+  for (unsigned i = 1; i < 16; ++i) {
+    (void)::unlink((dir + "/" + base + ".shard" + std::to_string(i)).c_str());
+  }
+  (void)::rmdir(dir.c_str());
+}
+
 void unlink_heap(const Cfg& cfg) {
   (void)::unlink(cfg.path.c_str());
   for (unsigned i = 1; i < 16; ++i) {
     (void)::unlink((cfg.path + ".shard" + std::to_string(i)).c_str());
   }
   (void)::unlink(svc::svc_path(cfg.path).c_str());
+  unlink_snap_dir(cfg);
+}
+
+// ---- online-snapshot torture (--snapshot) ----------------------------------
+//
+// Round protocol: fork a child that churns the worker mix, then takes an
+// online snapshot of its own live heap (full, then — after more churn — an
+// incremental update of the same directory).  One round in four commits;
+// the other three arm a crash point inside the snapshot (during quiesce,
+// mid-copy with the head image already on disk, and after the copies but
+// before the manifest) so the child dies mid-backup.  The parent asserts
+// both sides of the story every round:
+//
+//   * the SOURCE recovers exactly like any other kill (check_round: owner
+//     takeover, log replay, slot model, strict fsck) — a died snapshot
+//     must leave no mark beyond a stale seal;
+//   * a COMMITTED image opens read-only, recovers under a writable open
+//     (its cache logs replay like a crash image's), matches the
+//     quiesce-point slot model with zero diffs, and passes strict fsck;
+//   * a HALF-WRITTEN image is refused: Heap::open of the uncommitted head
+//     fails (kNotAPool once the head file exists with its zeroed magic).
+//
+// The child pauses its worker threads around each snapshot call: slot and
+// payload stores are raw stores that do not pass through the allocator's
+// locks, so the application must stop its own writers for a payload-exact
+// cut (the allocator's metadata cut needs no such help — DESIGN.md).
+
+struct SnapGate {
+  std::atomic<bool> pause{false};
+  std::atomic<unsigned> paused{0};
+};
+
+void snap_worker(Heap* heap, SlotRec* slots, std::uint64_t begin,
+                 std::uint64_t end, std::uint64_t seed, SnapGate* gate) {
+  std::uint64_t x = seed;
+  for (;;) {
+    if (gate->pause.load(std::memory_order_acquire)) {
+      gate->paused.fetch_add(1, std::memory_order_acq_rel);
+      while (gate->pause.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      gate->paused.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    worker_step(heap, slots, begin, end, x);
+  }
+}
+
+// Stop every worker at its loop top: no open transaction, no half-written
+// slot, every publish persisted — the exact state the image must show.
+void snap_pause(SnapGate* gate, unsigned nthreads) {
+  gate->pause.store(true, std::memory_order_release);
+  while (gate->paused.load(std::memory_order_acquire) != nthreads) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void snap_resume(SnapGate* gate) {
+  gate->pause.store(false, std::memory_order_release);
+}
+
+[[noreturn]] void snap_child_main(const Cfg& cfg, std::uint64_t seed,
+                                  int hs_fd, const char* crash_point,
+                                  std::uint64_t crash_nth) {
+  core::Options o = base_opts(cfg);
+  o.thread_cache = true;  // the image must carry (and replay) cache logs
+  std::unique_ptr<Heap> heap;
+  try {
+    heap = Heap::open(cfg.path, o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snap child: open failed: %s\n", e.what());
+    ::_exit(2);
+  }
+  auto* table = static_cast<SlotTable*>(heap->raw(heap->root()));
+  if (table == nullptr || table->magic != kMagic ||
+      table->nslots != cfg.nslots()) {
+    std::fprintf(stderr, "snap child: slot table missing or malformed\n");
+    ::_exit(3);
+  }
+  const char ok = 'O';
+  (void)!::write(hs_fd, &ok, 1);
+
+  SnapGate gate;
+  SlotRec* slots = slots_of(table);
+  const std::uint64_t per = cfg.slots_per_thread;
+  std::vector<std::thread> ws;
+  ws.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    std::uint64_t s = seed ^ (0x9e37ull * (t + 1));
+    ws.emplace_back(snap_worker, heap.get(), slots, t * per, (t + 1) * per, s,
+                    &gate);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // build state
+
+  snap_pause(&gate, cfg.threads);
+  if (crash_point != nullptr) {
+    pmem::crash_arm(crash_point, crash_nth, pmem::CrashAction::kExit);
+    try {
+      (void)heap->snapshot(snap_dir(cfg));
+    } catch (const std::exception&) {
+    }
+    ::_exit(7);  // the armed point must have _exit(42)ed before here
+  }
+  try {
+    (void)heap->snapshot(snap_dir(cfg));
+    snap_resume(&gate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    snap_pause(&gate, cfg.threads);
+    (void)heap->snapshot_incremental(snap_dir(cfg),
+                                     snap_dir(cfg) + "/MANIFEST");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snap child: snapshot failed: %s\n", e.what());
+    ::_exit(8);
+  }
+  snap_resume(&gate);
+  const char done = 'S';
+  (void)!::write(hs_fd, &done, 1);
+  for (auto& w : ws) w.join();  // workers never return; SIGKILL ends us
+  ::_exit(0);
+}
+
+// A crash-armed round's directory must be refused wholesale.
+bool check_snapshot_refused(const Cfg& cfg, std::uint64_t round,
+                            const char* point) {
+  const std::string dir = snap_dir(cfg);
+  struct stat sb{};
+  if (::stat((dir + "/MANIFEST").c_str(), &sb) == 0) {
+    return fail("round %" PRIu64 ": manifest exists after a kill at %s",
+                round, point);
+  }
+  const std::string head = dir + "/" + base_name(cfg.path);
+  const bool head_exists = ::stat(head.c_str(), &sb) == 0;
+  try {
+    core::Options ro = base_opts(cfg);
+    ro.read_only = true;
+    auto h = Heap::open(head, ro);
+    return fail("round %" PRIu64 ": half-written snapshot (killed at %s) "
+                "opened successfully",
+                round, point);
+  } catch (const Error& e) {
+    // Before the head image exists any failure will do; once it is on disk
+    // its zeroed magic must make the refusal a crisp "not a pool".
+    if (head_exists && e.poseidon_code() != ErrorCode::kNotAPool) {
+      return fail("round %" PRIu64 ": expected not-a-pool for the "
+                  "uncommitted image, got: %s",
+                  round, e.what());
+    }
+  } catch (const std::exception& e) {
+    if (head_exists) {
+      return fail("round %" PRIu64 ": uncommitted image open threw a "
+                  "non-poseidon error: %s",
+                  round, e.what());
+    }
+  }
+  return true;
+}
+
+// A committed round's image: manifest sane and O(dirty), read-only open
+// works, and a writable open (recovery included) matches the paused-writer
+// slot model exactly — zero diffs — then passes strict fsck.
+bool check_snapshot_image(const Cfg& cfg, std::uint64_t round,
+                          RoundStats* st) {
+  const std::string dir = snap_dir(cfg);
+  core::SnapshotManifest man;
+  try {
+    man = core::read_snapshot_manifest(dir + "/MANIFEST");
+  } catch (const std::exception& e) {
+    return fail("round %" PRIu64 ": snapshot manifest: %s", round, e.what());
+  }
+  if (!man.incremental) {
+    return fail("round %" PRIu64 ": manifest should record the incremental "
+                "update, found a full snapshot",
+                round);
+  }
+  if (man.shard_count != cfg.shards || man.shards.size() != cfg.shards) {
+    return fail("round %" PRIu64 ": manifest shard count %u/%zu, want %u",
+                round, man.shard_count, man.shards.size(), cfg.shards);
+  }
+  std::uint64_t incr_pages = 0;
+  std::uint64_t full_pages = 0;
+  for (const auto& s : man.shards) {
+    incr_pages += s.pages_copied;
+    full_pages += s.size / core::kPageSize;
+  }
+  if (incr_pages == 0 || incr_pages >= full_pages) {
+    return fail("round %" PRIu64 ": incremental copied %" PRIu64 " of %"
+                PRIu64 " pages — dirty tracking is not O(dirty)",
+                round, incr_pages, full_pages);
+  }
+  st->snap_pages = incr_pages;
+
+  const std::string head = dir + "/" + base_name(cfg.path);
+  try {
+    core::Options ro = base_opts(cfg);
+    ro.read_only = true;
+    auto h = Heap::open(head, ro);
+    auto* table = static_cast<SlotTable*>(h->raw(h->root()));
+    if (table == nullptr || table->magic != kMagic ||
+        table->nslots != cfg.nslots()) {
+      return fail("round %" PRIu64 ": image slot table lost", round);
+    }
+    std::string why;
+    if (!h->check_invariants(&why)) {
+      return fail("round %" PRIu64 ": image invariants (read-only): %s",
+                  round, why.c_str());
+    }
+  } catch (const std::exception& e) {
+    return fail("round %" PRIu64 ": committed image read-only open: %s",
+                round, e.what());
+  }
+
+  // Writable open: replays the image's cache logs (parked blocks whose
+  // magazines died with the cut), then the model must hold exactly — the
+  // writers were paused, so there is no torn or aborted slot to excuse.
+  try {
+    core::Options o = base_opts(cfg);
+    auto h = Heap::open(head, o);
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> live;
+    for (unsigned s = 0; s < h->shard_count(); ++s) {
+      const core::PoolShard* sh = h->shard(s);
+      if (sh == nullptr) {
+        return fail("round %" PRIu64 ": image shard %u quarantined", round, s);
+      }
+      const std::uint64_t id = sh->heap_id();
+      sh->visit_blocks([&](unsigned local, std::uint64_t off,
+                           std::uint32_t cls, std::uint32_t status) {
+        if (status != core::kBlockAllocated) return;
+        const NvPtr p = NvPtr::make(id, static_cast<std::uint16_t>(local), off);
+        live.emplace(std::make_pair(p.heap_id, p.packed), cls);
+      });
+    }
+    const NvPtr root = h->root();
+    auto* table = static_cast<SlotTable*>(h->raw(root));
+    if (table == nullptr || table->magic != kMagic) {
+      return fail("round %" PRIu64 ": image slot table lost (writable)",
+                  round);
+    }
+    live.erase(std::make_pair(root.heap_id, root.packed));
+    SlotRec* slots = slots_of(table);
+    std::uint64_t diffs = 0;
+    std::uint64_t published = 0;
+    for (std::uint64_t i = 0; i < table->nslots; ++i) {
+      const SlotRec& s = slots[i];
+      if (s.tag == 0 && s.ptr.is_null() && s.csum == 0) continue;
+      if (s.tag == 0 || s.ptr.is_null() || s.csum != slot_csum(s)) {
+        ++diffs;  // torn slot in a paused-writer image: the cut is broken
+        std::fprintf(stderr, "DIFF round %" PRIu64 ": image slot %" PRIu64
+                     " torn\n", round, i);
+        continue;
+      }
+      ++published;
+      const auto it = live.find(std::make_pair(s.ptr.heap_id, s.ptr.packed));
+      const std::uint64_t size = size_for_tag(s.tag);
+      const void* raw = h->raw(s.ptr);
+      if (it == live.end() || raw == nullptr ||
+          !payload_matches(raw, size, s.tag)) {
+        ++diffs;
+        std::fprintf(stderr,
+                     "DIFF round %" PRIu64 ": image slot %" PRIu64
+                     " {%016" PRIx64 ",%016" PRIx64 "} tag %016" PRIx64
+                     " %s\n",
+                     round, i, s.ptr.heap_id, s.ptr.packed, s.tag,
+                     it == live.end() ? "has no live block" : "payload diff");
+        continue;
+      }
+      live.erase(it);
+    }
+    // Leftover live blocks are the child's scratch/parked remainders;
+    // reclaim through the validated free path like check_round does.
+    for (const auto& [key, cls] : live) {
+      (void)cls;
+      const NvPtr p{key.first, key.second};
+      if (h->free(p) != core::FreeResult::kOk) ++diffs;
+    }
+    if (diffs != 0) {
+      return fail("round %" PRIu64 ": %" PRIu64 " image model diff(s) "
+                  "(%" PRIu64 " published slots)",
+                  round, diffs, published);
+    }
+    const core::FsckReport rep = h->fsck();
+    if (rep.repaired != 0 || rep.quarantined != 0 ||
+        rep.records_dropped != 0 || rep.records_synthesized != 0) {
+      return fail("round %" PRIu64 ": image fsck not clean (repaired=%u "
+                  "quarantined=%u dropped=%" PRIu64 " synthesized=%" PRIu64
+                  ")",
+                  round, rep.repaired, rep.quarantined, rep.records_dropped,
+                  rep.records_synthesized);
+    }
+    std::string why;
+    if (!h->check_invariants(&why)) {
+      return fail("round %" PRIu64 ": image invariants: %s", round,
+                  why.c_str());
+    }
+    st->snap_published = published;
+  } catch (const std::exception& e) {
+    return fail("round %" PRIu64 ": committed image writable open: %s",
+                round, e.what());
+  }
+  return true;
+}
+
+bool run_snap_round(const Cfg& cfg, std::uint64_t round, std::mt19937_64& rng,
+                    RoundStats* st) {
+  unlink_snap_dir(cfg);
+  const std::uint64_t child_seed = rng();
+  // Kill matrix, cycling commit-first so short runs still audit an image.
+  static const char* const kPoints[4] = {nullptr, "snap.quiesce", "snap.copy",
+                                         "snap.manifest"};
+  const char* point = kPoints[(round - 1) % 4];
+  // "snap.copy" fires per shard; the second hit kills with the head image
+  // already on disk (zeroed magic) — the interesting half-written state.
+  const std::uint64_t nth =
+      point != nullptr && std::strcmp(point, "snap.copy") == 0 &&
+              cfg.shards > 1
+          ? 2
+          : 1;
+
+  int hs[2];
+  if (::pipe(hs) != 0) return fail("pipe: %s", std::strerror(errno));
+  const pid_t pid = ::fork();
+  if (pid < 0) return fail("fork: %s", std::strerror(errno));
+  if (pid == 0) {
+    ::close(hs[0]);
+    snap_child_main(cfg, child_seed, hs[1], point, nth);  // never returns
+  }
+  ::close(hs[1]);
+
+  auto wait_byte = [&](char want, int timeout_ms) {
+    struct pollfd p {hs[0], POLLIN, 0};
+    int rc;
+    while ((rc = ::poll(&p, 1, timeout_ms)) < 0 && errno == EINTR) {}
+    char c = 0;
+    return rc > 0 && ::read(hs[0], &c, 1) == 1 && c == want;
+  };
+
+  bool ok = true;
+  if (!wait_byte('O', 30000)) {
+    ok = fail("round %" PRIu64 ": snapshot child never opened the heap",
+              round);
+  } else {
+    ok = verify_exclusion(cfg, pid);
+  }
+
+  int status = 0;
+  if (ok && point != nullptr) {
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 42)) {
+      ok = fail("round %" PRIu64 ": child did not die at %s (status 0x%x)",
+                round, point, status);
+    } else {
+      ok = check_snapshot_refused(cfg, round, point);
+    }
+  } else if (ok) {
+    if (!wait_byte('S', 30000)) {
+      ok = fail("round %" PRIu64 ": snapshot child never committed", round);
+      (void)::kill(pid, SIGKILL);
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    } else {
+      ok = check_snapshot_image(cfg, round, st);
+      (void)::kill(pid, SIGKILL);
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    }
+  } else {
+    (void)::kill(pid, SIGKILL);
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+  }
+  ::close(hs[0]);
+  if (!ok) return false;
+
+  // Either way the child died owning the heap: the source must recover
+  // exactly like any other kill.
+  if (!check_round(cfg, pid, true, round, st)) return false;
+  std::printf("round %3" PRIu64 ": %-13s survivors=%-4" PRIu64
+              " aborted=%-3" PRIu64 " leaks=%-3" PRIu64 " torn=%-2" PRIu64
+              " snap_pages=%-5" PRIu64 " published=%" PRIu64 "\n",
+              round, point != nullptr ? point : "committed",
+              st->survivors, st->aborted, st->leaks, st->torn, st->snap_pages,
+              st->snap_published);
+  return true;
 }
 
 // ---- allocation-service torture (--svc) ------------------------------------
@@ -757,6 +1167,40 @@ int run_svc(const Cfg& cfg) {
 
     if (!svc_probe_roundtrip(probe.get(), victim_seed)) return 1;
 
+    if (cfg.snapshot) {
+      // Online backup through the control op: full the first round, the
+      // incremental path (proving the manifest baseline chain) after.
+      std::uint64_t pages = 0;
+      const ErrorCode rc =
+          probe->snapshot(snap_dir(cfg), /*incremental=*/round > 1, &pages);
+      if (rc != ErrorCode::kOk) {
+        fail("round %" PRIu64 ": svc snapshot failed (%d)", round,
+             static_cast<int>(rc));
+        return 1;
+      }
+      if (pages == 0) {
+        fail("round %" PRIu64 ": svc snapshot copied nothing", round);
+        return 1;
+      }
+      try {
+        // The server's heap is registered in this very process, so the
+        // audit stays read-only (a writable open would re-register the
+        // same heap ids).
+        core::Options ro = base_opts(cfg);
+        ro.read_only = true;
+        auto h = Heap::open(snap_dir(cfg) + "/" + base_name(cfg.path), ro);
+        std::string why;
+        if (!h->check_invariants(&why)) {
+          fail("round %" PRIu64 ": svc snapshot invariants: %s", round,
+               why.c_str());
+          return 1;
+        }
+      } catch (const std::exception& e) {
+        fail("round %" PRIu64 ": svc snapshot open: %s", round, e.what());
+        return 1;
+      }
+    }
+
     std::printf("round %3" PRIu64 ": victim pid %-6d reclaimed "
                 "(in-flight=%u held-claims=%u served=%" PRIu64 ")\n",
                 round, static_cast<int>(pid), kSvcInflight, kSvcHeldClaims,
@@ -782,7 +1226,10 @@ int run_svc(const Cfg& cfg) {
   probe.reset();  // clean disconnect
   const core::HeapStats st = server->heap().stats();
   if (st.live_blocks != 0) {
-    fail("%" PRIu64 " block(s) leaked through the service", st.live_blocks);
+    fail("%" PRIu64 " block(s) leaked through the service "
+         "(orphans_reclaimed=%" PRIu64 ")",
+         st.live_blocks,
+         server->heap().metrics().svc_orphans_reclaimed.read());
     return 1;
   }
   std::string why;
@@ -1254,18 +1701,27 @@ int main(int argc, char** argv) {
     else if (a == "--keep") cfg.keep = true;
     else if (a == "--svc") cfg.svc = true;
     else if (a == "--kill-server") cfg.kill_server = true;
+    else if (a == "--snapshot") cfg.snapshot = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--seed S] [--shards N] "
                    "[--threads N] [--slots N] [--capacity BYTES] "
                    "[--fault op:period:errno[,...]] [--path FILE] [--keep] "
-                   "[--svc [--kill-server]]\n",
+                   "[--snapshot] [--svc [--kill-server] [--snapshot]]\n",
                    argv[0]);
       return 2;
     }
   }
   if (cfg.kill_server && !cfg.svc) {
     std::fprintf(stderr, "--kill-server requires --svc\n");
+    return 2;
+  }
+  if (cfg.snapshot && cfg.kill_server) {
+    std::fprintf(stderr, "--snapshot is not supported with --kill-server\n");
+    return 2;
+  }
+  if (cfg.snapshot && !cfg.fault.empty()) {
+    std::fprintf(stderr, "--snapshot expects a fault-free run\n");
     return 2;
   }
   if (cfg.shards == 0 || cfg.threads == 0 || cfg.slots_per_thread == 0 ||
@@ -1286,10 +1742,11 @@ int main(int argc, char** argv) {
     if (m > 1) cfg.rounds *= static_cast<std::uint64_t>(m);
   }
 
-  std::printf("torture%s: seed=%" PRIu64 " rounds=%" PRIu64
+  std::printf("torture%s%s: seed=%" PRIu64 " rounds=%" PRIu64
               " shards=%u threads=%u slots=%" PRIu64 " path=%s%s%s\n",
               cfg.svc ? (cfg.kill_server ? " (svc kill-server)" : " (svc)")
                       : "",
+              cfg.snapshot ? " (snapshot)" : "",
               cfg.seed, cfg.rounds, cfg.shards, cfg.threads, cfg.nslots(),
               cfg.path.c_str(), cfg.fault.empty() ? "" : " fault=",
               cfg.fault.c_str());
@@ -1302,11 +1759,13 @@ int main(int argc, char** argv) {
   RoundStats total;
   for (std::uint64_t r = 1; r <= cfg.rounds; ++r) {
     RoundStats st;
-    if (!run_round(cfg, r, rng, &st)) {
+    if (!(cfg.snapshot ? run_snap_round(cfg, r, rng, &st)
+                       : run_round(cfg, r, rng, &st))) {
       std::fprintf(stderr,
                    "REPRODUCE: POSEIDON_FAKE_NUMA=%u %s --rounds %" PRIu64
-                   " --seed %" PRIu64 "\n",
-                   cfg.shards, argv[0], cfg.rounds, cfg.seed);
+                   " --seed %" PRIu64 "%s\n",
+                   cfg.shards, argv[0], cfg.rounds, cfg.seed,
+                   cfg.snapshot ? " --snapshot" : "");
       if (cfg.keep) {
         std::fprintf(stderr, "heap kept at %s\n", cfg.path.c_str());
       }
