@@ -41,6 +41,11 @@
 // cache logs / flight rings / user data, the last with a per-sub-heap
 // breakdown) — the ground truth an incremental snapshot's O(dirty) claim
 // is audited against.  Exit 0 when the images are identical.
+//
+// With --crashcheck-report it pretty-prints a crash-state replay file
+// (saved by `torture --crashcheck` when the explorer found a violation):
+// the op family, the crash instant, the lost cache lines with their heap
+// segments, and the reproduce command.
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -56,6 +61,7 @@
 #include "common/error.hpp"
 #include "core/heap.hpp"
 #include "core/snapshot.hpp"
+#include "crashcheck/replay.hpp"
 #include "obs/exporter.hpp"
 #include "pmem/pool.hpp"
 #include "pmem/shm.hpp"
@@ -274,6 +280,55 @@ int inspect_snapshots(const char* dir, bool json) {
   return all_present ? 0 : 1;
 }
 
+// --crashcheck-report: pretty-print a replay file saved by
+// `torture --crashcheck` when the explorer found a violated crash state —
+// what was lost, where in the heap it lived, and how to reproduce it.
+int crashcheck_report(const char* replay_path, bool json) {
+  crashcheck::ReplayFile rf;
+  std::string err;
+  if (!crashcheck::ReplayFile::load(replay_path, &rf, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  auto segment_for = [&rf](std::uint32_t line) -> const char* {
+    for (const auto& [l, name] : rf.segments) {
+      if (l == line) return name.c_str();
+    }
+    return "";
+  };
+  if (json) {
+    std::printf("{\"replay\":\"%s\",\"family\":\"%s\",\"variant\":%d,"
+                "\"seed\":%" PRIu64 ",\"sabotage\":%" PRIu64
+                ",\"label\":\"%s\",\"instant\":%zu,\"lost\":[",
+                replay_path, rf.family.c_str(), rf.variant, rf.seed,
+                rf.sabotage, rf.label.c_str(), rf.instant);
+    for (std::size_t i = 0; i < rf.lost.size(); ++i) {
+      std::printf("%s{\"line\":%u,\"segment\":\"%s\"}", i == 0 ? "" : ",",
+                  rf.lost[i], segment_for(rf.lost[i]));
+    }
+    std::printf("],\"why\":\"%s\"}\n", rf.why.c_str());
+  } else {
+    std::printf("== crashcheck replay: %s\n", replay_path);
+    std::printf("%-28s %s/%d\n", "op family", rf.family.c_str(), rf.variant);
+    std::printf("%-28s %" PRIu64 "\n", "seed", rf.seed);
+    if (rf.sabotage != 0) {
+      std::printf("%-28s persist #%" PRIu64 " elided\n", "sabotage",
+                  rf.sabotage);
+    }
+    std::printf("%-28s event %zu\n", "crash instant", rf.instant);
+    std::printf("%-28s %zu cache line(s)\n", "lost lines", rf.lost.size());
+    for (const std::uint32_t l : rf.lost) {
+      std::printf("  line %-8u offset 0x%-8x %s\n", l, l * 64u,
+                  segment_for(l));
+    }
+    if (!rf.why.empty()) std::printf("%-28s %s\n", "violation", rf.why.c_str());
+    std::printf("reproduce: torture --crashcheck --seed %" PRIu64
+                " --replay %s\n",
+                rf.seed, replay_path);
+  }
+  return 0;
+}
+
 // --diff: page-level comparison of two snapshots of the same shard set.
 int diff_snapshots(const char* man_a_path, const char* man_b_path, bool json) {
   core::SnapshotManifest a, b;
@@ -444,6 +499,7 @@ int main(int argc, char** argv) {
   bool svc_mode = false;
   bool snapshots_mode = false;
   bool diff_mode = false;
+  bool crashcheck_mode = false;
   const char* path = nullptr;
   const char* path2 = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -459,6 +515,8 @@ int main(int argc, char** argv) {
       snapshots_mode = true;
     } else if (std::strcmp(argv[i], "--diff") == 0) {
       diff_mode = true;
+    } else if (std::strcmp(argv[i], "--crashcheck-report") == 0) {
+      crashcheck_mode = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else if (path2 == nullptr && diff_mode) {
@@ -473,10 +531,12 @@ int main(int argc, char** argv) {
                  "usage: %s [--json] [--fsck] [--topology] [--svc] "
                  "<heap-file>\n"
                  "       %s [--json] --snapshots <snapshot-dir>\n"
-                 "       %s [--json] --diff <MANIFEST-a> <MANIFEST-b>\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s [--json] --diff <MANIFEST-a> <MANIFEST-b>\n"
+                 "       %s [--json] --crashcheck-report <replay-file>\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
+  if (crashcheck_mode) return crashcheck_report(path, json_only);
   if (diff_mode) return diff_snapshots(path, path2, json_only);
   if (snapshots_mode) return inspect_snapshots(path, json_only);
   if (svc_mode) return inspect_svc(path, json_only);

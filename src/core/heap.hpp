@@ -151,6 +151,11 @@ class Heap {
   std::pair<void*, std::size_t> metadata_region() const noexcept {
     return shards_[0]->metadata_region();
   }
+  // The head shard's full crash-recovery surface (metadata prefix + cache
+  // logs) for the crashcheck trace recorder; see PoolShard::crashsim_region.
+  std::pair<void*, std::size_t> crashsim_region() const noexcept {
+    return shards_[0]->crashsim_region();
+  }
   // True when p points into any shard's user data.
   bool contains(const void* p) const noexcept;
 

@@ -929,6 +929,10 @@ std::pair<void*, std::size_t> PoolShard::metadata_region() const noexcept {
   return {base(), sb_->meta_size};
 }
 
+std::pair<void*, std::size_t> PoolShard::crashsim_region() const noexcept {
+  return {base(), sb_->flight_off};
+}
+
 bool PoolShard::check_invariants(std::string* why) const {
   for (unsigned i = 0; i < sb_->nsubheaps; ++i) {
     if (!subheap_ready(i)) continue;

@@ -275,6 +275,12 @@ class PoolShard {
 
   // The MPK-protected metadata prefix (tests register SimDomains here).
   std::pair<void*, std::size_t> metadata_region() const noexcept;
+  // The full crash-recovery surface: the metadata prefix PLUS the
+  // per-thread cache logs that follow it — every byte recovery consumes at
+  // the next open.  The crashcheck engine records and materializes images
+  // over this range (flight rings and user data sit beyond it).  Starts at
+  // file offset 0, so an image can be pwrite()n back verbatim.
+  std::pair<void*, std::size_t> crashsim_region() const noexcept;
   // True when p points into this shard's user data.
   bool contains(const void* p) const noexcept;
   // [lo, lo+len) of the user data, for the registry's address index.

@@ -166,7 +166,11 @@ void Subheap::bump_counters(std::int64_t live_delta, std::int64_t free_delta,
                             std::int64_t bytes_delta, UndoLogger& undo) {
   // Statistics counters are *not* undo-logged: a crash may leave them
   // stale, and recovery recomputes them from the memblock records
-  // (recover_undo), so the hot path saves an entry and a write-back.
+  // (recover_undo), so the hot path saves an entry.  They are still
+  // flushed (clwb, no fence — the operation's own commit fence retires
+  // the line): an unflushed store could otherwise sit dirty in cache
+  // across arbitrarily many operations, turning "stale by one crash-cut
+  // op" into "stale by an unbounded tail".
   (void)undo;
   pmem::nv_store(meta_->live_blocks,
                  meta_->live_blocks + static_cast<std::uint64_t>(live_delta));
@@ -175,6 +179,7 @@ void Subheap::bump_counters(std::int64_t live_delta, std::int64_t free_delta,
   pmem::nv_store(
       meta_->allocated_bytes,
       meta_->allocated_bytes + static_cast<std::uint64_t>(bytes_delta));
+  pmem::flush(&meta_->live_blocks, 3 * sizeof(std::uint64_t));
 }
 
 MemblockRec* Subheap::insert_record(std::uint64_t off, UndoLogger& undo) {
@@ -199,6 +204,7 @@ MemblockRec* Subheap::insert_record(std::uint64_t off, UndoLogger& undo) {
     }
     merge_pair(low, cand, cand->size_class, undo);
     pmem::nv_store(meta_->stat_window_merges, meta_->stat_window_merges + 1);
+    pmem::flush(&meta_->stat_window_merges, sizeof(meta_->stat_window_merges));
     merged = true;
   });
   if (merged) {
@@ -207,6 +213,7 @@ MemblockRec* Subheap::insert_record(std::uint64_t off, UndoLogger& undo) {
   }
   if (table_.try_extend(undo)) {
     pmem::nv_store(meta_->stat_extensions, meta_->stat_extensions + 1);
+    pmem::flush(&meta_->stat_extensions, sizeof(meta_->stat_extensions));
     rec = table_.insert(off, undo);
   }
   return rec;
@@ -240,6 +247,7 @@ bool Subheap::split(MemblockRec* rec, std::uint64_t off, unsigned cls,
   // Fresh halves go to the head: they are cache-hot split remainders.
   push_free(brec, cls - 1, /*at_tail=*/false, undo);
   pmem::nv_store(meta_->stat_splits, meta_->stat_splits + 1);
+  pmem::flush(&meta_->stat_splits, sizeof(meta_->stat_splits));
   return true;
 }
 
@@ -263,6 +271,7 @@ void Subheap::merge_pair(MemblockRec* low, MemblockRec* high, unsigned cls,
   }
   push_free(low, cls + 1, /*at_tail=*/false, undo);
   pmem::nv_store(meta_->stat_merges, meta_->stat_merges + 1);
+  pmem::flush(&meta_->stat_merges, sizeof(meta_->stat_merges));
   // Unlike the unlogged end-of-op counter bumps, a merge can run inside an
   // operation that later rolls back (hash-pressure merges during a failed
   // split), so its counter change must revert with the records.
@@ -320,7 +329,10 @@ void Subheap::maybe_shrink_hash() {
     const auto range = table_.shrink_top_if_empty(undo);
     if (!range) break;
     undo.commit();
+    // Full persist: the shrink counter is bumped *after* undo.commit(),
+    // so no later fence in this operation is guaranteed to retire it.
     pmem::nv_store(meta_->stat_shrinks, meta_->stat_shrinks + 1);
+    pmem::persist(&meta_->stat_shrinks, sizeof(meta_->stat_shrinks));
     // Punching is outside the undo protocol on purpose: the deactivated
     // level held no records, so its content is all-zero either way.  A
     // skipped hole (filesystem can't punch) is likewise harmless: stale

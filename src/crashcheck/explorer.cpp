@@ -1,0 +1,176 @@
+#include "crashcheck/explorer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "crashcheck/replay.hpp"
+
+namespace poseidon::crashcheck {
+
+void ExploreStats::add(const ExploreStats& o) noexcept {
+  instants += o.instants;
+  candidates += o.candidates;
+  distinct += o.distinct;
+  violations += o.violations;
+  truncated += o.truncated;
+  if (o.max_at_risk > max_at_risk) max_at_risk = o.max_at_risk;
+}
+
+namespace {
+
+std::uint64_t label_salt(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Greedy delta-debugging: drop lines one at a time as long as the
+// verification still fails.  Quadratic in |lost|, which is small.
+std::vector<std::uint32_t> shrink_lost(
+    const LineModel& m, std::vector<std::uint32_t> lost, bool final_instant,
+    const Explorer::Verify& verify, std::string* why) {
+  std::vector<std::byte> img;
+  bool changed = true;
+  while (changed && lost.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+      std::vector<std::uint32_t> cand = lost;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      m.build_image(cand, &img);
+      const std::string w = verify(img, final_instant);
+      if (!w.empty()) {
+        lost = std::move(cand);
+        *why = w;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return lost;
+}
+
+}  // namespace
+
+ExploreStats Explorer::explore(const Trace& t, const Verify& verify,
+                               std::vector<Violation>* out) {
+  ExploreStats st;
+  LineModel m(t);
+
+  // Crash instants: the event cursor positions to advance the model to.
+  // A fence instant sits AFTER the fence (its pending lines just
+  // committed; what remains dirty is the exposure the fence did not
+  // close).  A crash-point instant sits at the point itself.  The final
+  // instant is the moment the operation returned.
+  std::map<std::size_t, bool> instants;  // upto -> is_final
+  for (std::size_t j = 0; j < t.events.size(); ++j) {
+    if (t.events[j].kind == EvKind::kFence) instants[j + 1] = false;
+    if (t.events[j].kind == EvKind::kCrashPoint) instants[j] = false;
+  }
+  if (cfg_.final_instant_strict) {
+    instants[t.events.size()] = true;
+  } else {
+    instants.emplace(t.events.size(), false);
+  }
+
+  std::vector<std::byte> img;
+  unsigned viols = 0;
+
+  for (const auto& [upto, is_final] : instants) {
+    m.advance(upto);
+    const auto& at_risk = m.at_risk_lines();
+    ++st.instants;
+    if (at_risk.size() > st.max_at_risk) st.max_at_risk = at_risk.size();
+
+    auto try_subset = [&](const std::vector<std::uint32_t>& lost) {
+      ++st.candidates;
+      const std::uint64_t h = m.image_hash(lost);
+      if (!seen_.insert(h).second) return;
+      if (st.distinct >= cfg_.budget) {
+        ++st.truncated;
+        seen_.erase(h);  // a later, roomier run may still verify it
+        return;
+      }
+      ++st.distinct;
+      m.build_image(lost, &img);
+      std::string why = verify(img, is_final);
+      if (why.empty()) return;
+      ++st.violations;
+      ++viols;
+      if (out != nullptr) {
+        Violation v;
+        v.label = t.label;
+        v.instant = upto;
+        v.final_instant = is_final;
+        v.lost = shrink_lost(m, lost, is_final, verify, &why);
+        v.why = why;
+        out->push_back(std::move(v));
+      }
+    };
+
+    const unsigned n = static_cast<unsigned>(at_risk.size());
+    if (n <= cfg_.exhaustive_max) {
+      for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+        std::vector<std::uint32_t> lost;
+        for (unsigned b = 0; b < n; ++b) {
+          if ((mask >> b) & 1) lost.push_back(at_risk[b]);
+        }
+        try_subset(lost);
+        if (viols >= cfg_.max_violations) break;
+      }
+    } else {
+      try_subset({});
+      try_subset(std::vector<std::uint32_t>(at_risk.begin(), at_risk.end()));
+      for (unsigned i = 0; i < n && viols < cfg_.max_violations; ++i) {
+        try_subset({at_risk[i]});
+      }
+      for (unsigned i = 0; i < n && viols < cfg_.max_violations; ++i) {
+        for (unsigned j = i + 1; j < n; ++j) {
+          if (at_risk[j] - at_risk[i] > cfg_.neighborhood) break;
+          try_subset({at_risk[i], at_risk[j]});
+        }
+      }
+      Xoshiro256 rng(cfg_.seed ^ label_salt(t.label) ^
+                     (upto * 0x9e3779b97f4a7c15ull));
+      for (unsigned r = 0; r < cfg_.random_tail && viols < cfg_.max_violations;
+           ++r) {
+        std::vector<std::uint32_t> lost;
+        for (unsigned i = 0; i < n; ++i) {
+          if (rng.next() & 1) lost.push_back(at_risk[i]);
+        }
+        try_subset(lost);
+      }
+    }
+    if (viols >= cfg_.max_violations) break;
+  }
+  return st;
+}
+
+std::string Explorer::replay(const Trace& t, std::size_t instant,
+                             std::vector<std::uint32_t> lost,
+                             const Verify& verify) {
+  if (instant > t.events.size()) {
+    return "replay instant " + std::to_string(instant) +
+           " beyond trace end (" + std::to_string(t.events.size()) +
+           " events) — the workload has drifted from the recording";
+  }
+  LineModel m(t);
+  m.advance(instant);
+  std::sort(lost.begin(), lost.end());
+  const auto& at_risk = m.at_risk_lines();
+  for (const std::uint32_t l : lost) {
+    if (!std::binary_search(at_risk.begin(), at_risk.end(), l)) {
+      return "lost line " + std::to_string(l) +
+             " is not at risk at instant " + std::to_string(instant) +
+             " — the workload has drifted from the recording";
+    }
+  }
+  std::vector<std::byte> img;
+  m.build_image(lost, &img);
+  return verify(img, instant == t.events.size());
+}
+
+}  // namespace poseidon::crashcheck

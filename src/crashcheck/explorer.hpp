@@ -1,0 +1,91 @@
+// Fence-level crash-state explorer.
+//
+// Crash instants are every fence, every named crash point, and the end of
+// the trace (the state of the world the moment the operation reported
+// completion).  At each instant the at-risk set is the lines a real power
+// failure could independently lose (dirty, or flushed-but-unfenced); the
+// explorer enumerates subsets of that set:
+//
+//   |at-risk| <= exhaustive_max   all 2^n subsets (systematic);
+//   otherwise                     nothing-lost, everything-lost, every
+//                                 single-line loss, every pair within
+//                                 `neighborhood` lines of each other
+//                                 (adjacent lines are usually the same
+//                                 structure), plus `random_tail` seeded
+//                                 coin-flip subsets.
+//
+// Identical persistent images are deduplicated by content hash across the
+// whole run — a subset whose surviving lines happen to equal their
+// committed contents collapses into the already-verified image — so
+// "distinct states" counts real images, not subsets.  Each new image goes
+// to the caller's verify callback (materialize + reopen + audit); a
+// failure is shrunk to a minimal lost-line set by greedy delta-debugging
+// and reported as a Violation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "crashcheck/trace.hpp"
+
+namespace poseidon::crashcheck {
+
+struct ExploreConfig {
+  unsigned exhaustive_max = 6;  // 2^n subsets up to here
+  unsigned neighborhood = 4;    // line distance for bounded-mode pairs
+  unsigned random_tail = 24;    // seeded random subsets per bounded instant
+  std::uint64_t seed = 1;
+  std::uint64_t budget = 50000;    // max verifications per explore() call
+  unsigned max_violations = 4;     // stop exploring a trace past this many
+  bool final_instant_strict = true;  // audit the end-of-trace instant too
+};
+
+struct ExploreStats {
+  std::uint64_t instants = 0;
+  std::uint64_t candidates = 0;  // subsets considered
+  std::uint64_t distinct = 0;    // new images (post-dedup) verified
+  std::uint64_t violations = 0;
+  std::uint64_t truncated = 0;   // candidates dropped by the budget
+  std::uint64_t max_at_risk = 0;
+
+  void add(const ExploreStats& o) noexcept;
+};
+
+struct Violation {
+  std::string label;   // trace label
+  std::size_t instant; // event index (crash happened just before it)
+  bool final_instant = false;
+  std::vector<std::uint32_t> lost;  // minimal lost-line set after shrink
+  std::string why;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreConfig cfg) : cfg_(cfg) {}
+
+  // Verify one materialized image.  `final_instant` selects the strict
+  // post-completion audit (everything the op promised durable must be
+  // durable).  Returns empty on pass, else a reason.
+  using Verify = std::function<std::string(const std::vector<std::byte>& img,
+                                           bool final_instant)>;
+
+  // Explore every instant of `t`; violations append to *out (if non-null).
+  ExploreStats explore(const Trace& t, const Verify& verify,
+                       std::vector<Violation>* out);
+
+  // Rebuild and verify one exact (instant, lost) state — replay mode.
+  // Returns the verify result (empty = pass).
+  std::string replay(const Trace& t, std::size_t instant,
+                     std::vector<std::uint32_t> lost, const Verify& verify);
+
+  std::uint64_t distinct_total() const noexcept { return seen_.size(); }
+
+ private:
+  ExploreConfig cfg_;
+  std::unordered_set<std::uint64_t> seen_;  // image hashes, run-wide
+};
+
+}  // namespace poseidon::crashcheck

@@ -1,0 +1,150 @@
+#include "crashcheck/lint.hpp"
+
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/compiler.hpp"
+#include "crashcheck/replay.hpp"
+
+namespace poseidon::crashcheck {
+
+const char* lint_kind_name(LintKind k) noexcept {
+  switch (k) {
+    case LintKind::kMissingFlush:
+      return "missing-flush";
+    case LintKind::kMissingFence:
+      return "missing-fence";
+    case LintKind::kRedundantFlush:
+      return "redundant-flush";
+    case LintKind::kUntrackedStore:
+      return "untracked-store";
+  }
+  return "?";
+}
+
+std::uint64_t LintReport::count(LintKind k) const noexcept {
+  std::uint64_t n = 0;
+  for (const LintFinding& f : findings) {
+    if (f.kind == k) n += f.count;
+  }
+  return n;
+}
+
+LintReport lint_trace(const Trace& t) {
+  enum class S : std::uint8_t { kClean, kDirty, kPending };
+  const std::size_t nlines = t.line_count();
+  std::vector<S> state(nlines, S::kClean);
+  std::vector<bool> ever_stored(nlines, false);
+  std::vector<void*> store_site(nlines, nullptr);
+  std::vector<void*> flush_site(nlines, nullptr);
+
+  std::map<std::pair<std::uint8_t, void*>, LintFinding> agg;
+  auto note = [&agg](LintKind k, void* site, std::uint32_t line) {
+    auto [it, fresh] = agg.try_emplace(
+        {static_cast<std::uint8_t>(k), site},
+        LintFinding{k, site, 0, line});
+    ++it->second.count;
+    if (fresh) it->second.first_line = line;
+  };
+
+  for (const Event& e : t.events) {
+    const auto first = static_cast<std::uint32_t>(e.off / kCacheLineSize);
+    const auto last =
+        e.len == 0 ? first
+                   : static_cast<std::uint32_t>((e.off + e.len - 1) /
+                                                kCacheLineSize);
+    switch (e.kind) {
+      case EvKind::kStore:
+        for (std::uint32_t l = first; l <= last; ++l) {
+          state[l] = S::kDirty;
+          ever_stored[l] = true;
+          store_site[l] = e.site;
+        }
+        break;
+      case EvKind::kFlush:
+        for (std::uint32_t l = first; l <= last; ++l) {
+          if (state[l] == S::kDirty) {
+            state[l] = S::kPending;
+            flush_site[l] = e.site;
+          } else {
+            // Pending (flushed twice, no intervening store) or clean
+            // (never stored, or already committed): a wasted write-back.
+            note(LintKind::kRedundantFlush, e.site, l);
+          }
+        }
+        break;
+      case EvKind::kFence:
+        for (std::size_t l = 0; l < nlines; ++l) {
+          if (state[l] == S::kPending) state[l] = S::kClean;
+        }
+        break;
+      case EvKind::kCrashPoint:
+        break;
+    }
+  }
+
+  LintReport out;
+  for (std::uint32_t l = 0; l < nlines; ++l) {
+    if (state[l] == S::kDirty) {
+      note(LintKind::kMissingFlush, store_site[l], l);
+    } else if (state[l] == S::kPending) {
+      note(LintKind::kMissingFence, flush_site[l], l);
+    }
+  }
+
+  if (t.end_img.size() == t.region_size) {
+    LineModel m(t);
+    m.advance(t.events.size());
+    const auto raw = m.untracked_lines();
+    if (!raw.empty()) {
+      LintFinding f{LintKind::kUntrackedStore, nullptr, raw.size(), raw[0]};
+      out.findings.push_back(f);
+    }
+  }
+
+  for (auto& [key, f] : agg) out.findings.push_back(f);
+  return out;
+}
+
+void lint_merge(LintReport* acc, const LintReport& in) {
+  for (const LintFinding& f : in.findings) {
+    bool merged = false;
+    for (LintFinding& a : acc->findings) {
+      if (a.kind == f.kind && a.site == f.site) {
+        a.count += f.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) acc->findings.push_back(f);
+  }
+}
+
+std::string describe_site(void* site) {
+  if (site == nullptr) return "(unknown)";
+  Dl_info info{};
+  char buf[256];
+  if (dladdr(site, &info) != 0) {
+    if (info.dli_sname != nullptr) {
+      std::snprintf(buf, sizeof buf, "%s+0x%zx", info.dli_sname,
+                    static_cast<std::size_t>(static_cast<char*>(site) -
+                                             static_cast<char*>(info.dli_saddr)));
+      return buf;
+    }
+    if (info.dli_fname != nullptr) {
+      const char* base = std::strrchr(info.dli_fname, '/');
+      std::snprintf(buf, sizeof buf, "%s+0x%zx",
+                    base != nullptr ? base + 1 : info.dli_fname,
+                    static_cast<std::size_t>(static_cast<char*>(site) -
+                                             static_cast<char*>(info.dli_fbase)));
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "%p", site);
+  return buf;
+}
+
+}  // namespace poseidon::crashcheck

@@ -1,0 +1,66 @@
+// Flush lint: a single pass over a Trace that mechanically checks the
+// flush/fence discipline the allocator promises (every metadata store is
+// flushed AND fenced before the operation returns), plus the perf
+// counterpart (no line is flushed twice without an intervening store).
+//
+// Findings, per severity:
+//   kMissingFlush   ERROR  line stored but never flushed by end of trace —
+//                          the store can be lost arbitrarily later.
+//   kMissingFence   ERROR  line flushed but no fence retired it by end of
+//                          trace — the write-back was only *initiated*.
+//   kRedundantFlush PERF   flush of a line that was not dirty (never
+//                          stored, already committed, or already pending
+//                          with no store in between) — wasted clwb.
+//   kUntrackedStore INFO   reconstructed contents differ from live memory
+//                          at end of trace: a raw store bypassed the nv_*
+//                          helpers, so neither SimDomain nor the explorer
+//                          models its loss.
+//
+// Findings aggregate per call site (the return address captured by the
+// sim hooks); `torture --crashcheck` symbolizes them best-effort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashcheck/trace.hpp"
+
+namespace poseidon::crashcheck {
+
+enum class LintKind : std::uint8_t {
+  kMissingFlush,
+  kMissingFence,
+  kRedundantFlush,
+  kUntrackedStore,
+};
+
+const char* lint_kind_name(LintKind k) noexcept;
+
+struct LintFinding {
+  LintKind kind;
+  void* site = nullptr;        // aggregation key (null for kUntrackedStore)
+  std::uint64_t count = 0;     // occurrences at this site
+  std::uint32_t first_line = 0;  // region line of the first occurrence
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  std::uint64_t count(LintKind k) const noexcept;
+  bool clean() const noexcept {  // no ordering errors (perf/info allowed)
+    return count(LintKind::kMissingFlush) == 0 &&
+           count(LintKind::kMissingFence) == 0;
+  }
+};
+
+LintReport lint_trace(const Trace& t);
+
+// Merge `in` into `acc`, combining findings with the same (kind, site).
+void lint_merge(LintReport* acc, const LintReport& in);
+
+// Best-effort call-site description: "symbol+0x12" via dladdr when the
+// symbol is exported, else "module+0xoffset" (feed to addr2line).
+std::string describe_site(void* site);
+
+}  // namespace poseidon::crashcheck

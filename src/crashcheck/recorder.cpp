@@ -1,0 +1,102 @@
+#include "crashcheck/recorder.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "pmem/crashpoint.hpp"
+
+namespace poseidon::crashcheck {
+
+Recorder::Recorder(void* base, std::size_t size)
+    : base_(static_cast<std::byte*>(base)), size_(size) {}
+
+Recorder::~Recorder() {
+  if (recording_) end();
+}
+
+void Recorder::begin(std::string label) {
+  if (recording_) throw std::logic_error("Recorder: already recording");
+  if (pmem::sim_observer() != nullptr) {
+    throw std::logic_error("Recorder: another observer is already active");
+  }
+  trace_ = Trace{};
+  trace_.label = std::move(label);
+  trace_.region_size = size_;
+  trace_.begin_img.assign(base_, base_ + size_);
+  recording_ = true;
+  // Route every crash-point hit through the slow path without ever
+  // triggering: nth = UINT64_MAX is unreachable.
+  was_armed_ = pmem::g_crash_armed.load(std::memory_order_acquire);
+  if (!was_armed_) {
+    pmem::crash_arm("", ~std::uint64_t{0}, pmem::CrashAction::kThrow);
+  }
+  pmem::sim_set_observer(this);
+}
+
+Trace Recorder::end() {
+  if (!recording_) throw std::logic_error("Recorder: not recording");
+  pmem::sim_set_observer(nullptr);
+  if (!was_armed_) pmem::crash_disarm();
+  recording_ = false;
+  trace_.end_img.assign(base_, base_ + size_);
+  return std::move(trace_);
+}
+
+bool Recorder::clip(const void* addr, std::size_t len, std::uint64_t* off,
+                    std::uint32_t* out_len) const noexcept {
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (len == 0 || p >= base_ + size_ || p + len <= base_) return false;
+  const std::byte* lo = p < base_ ? base_ : p;
+  const std::byte* hi = p + len > base_ + size_ ? base_ + size_ : p + len;
+  *off = static_cast<std::uint64_t>(lo - base_);
+  *out_len = static_cast<std::uint32_t>(hi - lo);
+  return true;
+}
+
+void Recorder::on_store(const void* addr, std::size_t len,
+                        void* site) noexcept {
+  std::uint64_t off;
+  std::uint32_t n;
+  if (!recording_ || !clip(addr, len, &off, &n)) return;
+  Event e{};
+  e.kind = EvKind::kStore;
+  e.off = off;
+  e.len = n;
+  e.site = site;
+  e.data_off = static_cast<std::uint32_t>(trace_.bytes.size());
+  // The store already hit the mapping: capture its bytes from the region.
+  trace_.bytes.insert(trace_.bytes.end(), base_ + off, base_ + off + n);
+  trace_.events.push_back(e);
+}
+
+void Recorder::on_flush(const void* addr, std::size_t len,
+                        void* site) noexcept {
+  std::uint64_t off;
+  std::uint32_t n;
+  if (!recording_ || !clip(addr, len, &off, &n)) return;
+  Event e{};
+  e.kind = EvKind::kFlush;
+  e.off = off;
+  e.len = n;
+  e.site = site;
+  trace_.events.push_back(e);
+}
+
+void Recorder::on_fence() noexcept {
+  if (!recording_) return;
+  Event e{};
+  e.kind = EvKind::kFence;
+  trace_.events.push_back(e);
+}
+
+void Recorder::on_crash_point(const char* name) noexcept {
+  if (!recording_) return;
+  Event e{};
+  e.kind = EvKind::kCrashPoint;
+  e.point = static_cast<std::uint32_t>(trace_.point_names.size());
+  trace_.point_names.emplace_back(name);
+  trace_.events.push_back(e);
+}
+
+}  // namespace poseidon::crashcheck

@@ -1,0 +1,56 @@
+// Trace recorder: a pmem::SimObserver that captures one operation's
+// persistence-event stream over a fixed region (normally the heap's
+// crashsim_region()).  Events outside the region are dropped — user-data
+// payload writes and flight-ring traffic are not part of the recovery
+// surface the explorer perturbs.
+//
+// Usage (single-threaded; at most one recorder may be active):
+//
+//   Recorder rec(base, size);
+//   rec.begin("alloc/192");
+//   ... run exactly one operation against the live heap ...
+//   Trace t = rec.end();
+//
+// begin() also arms a never-firing crash-point trigger so every
+// POSEIDON_CRASH_POINT hit is routed through the slow path and lands in
+// the trace as a named crash instant; end() disarms it.
+#pragma once
+
+#include <cstddef>
+
+#include "crashcheck/trace.hpp"
+#include "pmem/persist.hpp"
+
+namespace poseidon::crashcheck {
+
+class Recorder final : public pmem::SimObserver {
+ public:
+  Recorder(void* base, std::size_t size);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  void begin(std::string label);
+  Trace end();
+  bool recording() const noexcept { return recording_; }
+
+  // pmem::SimObserver
+  void on_store(const void* addr, std::size_t len, void* site) noexcept final;
+  void on_flush(const void* addr, std::size_t len, void* site) noexcept final;
+  void on_fence() noexcept final;
+  void on_crash_point(const char* name) noexcept final;
+
+ private:
+  // True when [addr, addr+len) intersects the region; clips to it.
+  bool clip(const void* addr, std::size_t len, std::uint64_t* off,
+            std::uint32_t* out_len) const noexcept;
+
+  std::byte* base_;
+  std::size_t size_;
+  bool recording_ = false;
+  bool was_armed_ = false;  // a real trigger was already armed at begin()
+  Trace trace_;
+};
+
+}  // namespace poseidon::crashcheck

@@ -1,0 +1,246 @@
+#include "crashcheck/replay.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/compiler.hpp"
+
+namespace poseidon::crashcheck {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+LineModel::LineModel(const Trace& t)
+    : t_(&t),
+      nlines_(t.line_count()),
+      committed_(t.begin_img),
+      current_(t.begin_img),
+      state_(nlines_, LState::kClean),
+      committed_line_hash_(nlines_, 0) {
+  if (t.begin_img.size() != t.region_size) {
+    throw std::logic_error("LineModel: trace has no begin image");
+  }
+  for (std::uint32_t l = 0; l < nlines_; ++l) {
+    committed_line_hash_[l] = line_hash(committed_.data(), l);
+    committed_hash_ ^= committed_line_hash_[l];
+  }
+}
+
+std::uint64_t LineModel::line_hash(const std::byte* buf,
+                                   std::uint32_t line) const {
+  const std::size_t off = std::size_t{line} * kCacheLineSize;
+  const std::size_t len = std::min(kCacheLineSize, t_->region_size - off);
+  // Mix the line index in so identical contents at different offsets do
+  // not cancel in the XOR aggregate.
+  return fnv1a(buf + off, len, kFnvOffset ^ (line * kFnvPrime));
+}
+
+void LineModel::commit_line(std::uint32_t line) {
+  const std::size_t off = std::size_t{line} * kCacheLineSize;
+  const std::size_t len = std::min(kCacheLineSize, t_->region_size - off);
+  committed_hash_ ^= committed_line_hash_[line];
+  std::memcpy(committed_.data() + off, current_.data() + off, len);
+  committed_line_hash_[line] = line_hash(committed_.data(), line);
+  committed_hash_ ^= committed_line_hash_[line];
+  state_[line] = LState::kClean;
+}
+
+void LineModel::refresh_at_risk() {
+  if (!at_risk_stale_) return;
+  at_risk_.clear();
+  for (std::uint32_t l = 0; l < nlines_; ++l) {
+    if (state_[l] != LState::kClean) at_risk_.push_back(l);
+  }
+  at_risk_stale_ = false;
+}
+
+void LineModel::advance(std::size_t upto) {
+  if (upto < cursor_) throw std::logic_error("LineModel: cannot rewind");
+  if (upto > t_->events.size()) upto = t_->events.size();
+  for (; cursor_ < upto; ++cursor_) {
+    const Event& e = t_->events[cursor_];
+    switch (e.kind) {
+      case EvKind::kStore: {
+        std::memcpy(current_.data() + e.off, t_->bytes.data() + e.data_off,
+                    e.len);
+        const auto first = static_cast<std::uint32_t>(e.off / kCacheLineSize);
+        const auto last = static_cast<std::uint32_t>(
+            (e.off + e.len - 1) / kCacheLineSize);
+        for (std::uint32_t l = first; l <= last; ++l) {
+          // A store after an unfenced flush re-dirties the line, exactly
+          // as in SimDomain::note_store.
+          if (state_[l] == LState::kClean) at_risk_stale_ = true;
+          state_[l] = LState::kDirty;
+        }
+        break;
+      }
+      case EvKind::kFlush: {
+        const auto first = static_cast<std::uint32_t>(e.off / kCacheLineSize);
+        const auto last = static_cast<std::uint32_t>(
+            (e.off + e.len - 1) / kCacheLineSize);
+        for (std::uint32_t l = first; l <= last; ++l) {
+          if (state_[l] == LState::kDirty) state_[l] = LState::kPending;
+        }
+        break;
+      }
+      case EvKind::kFence: {
+        refresh_at_risk();
+        bool removed = false;
+        for (const std::uint32_t l : at_risk_) {
+          if (state_[l] == LState::kPending) {
+            commit_line(l);
+            removed = true;
+          }
+        }
+        if (removed) at_risk_stale_ = true;
+        break;
+      }
+      case EvKind::kCrashPoint:
+        break;
+    }
+  }
+  refresh_at_risk();
+}
+
+void LineModel::build_image(const std::vector<std::uint32_t>& lost,
+                            std::vector<std::byte>* out) const {
+  *out = committed_;
+  std::size_t j = 0;
+  for (const std::uint32_t l : at_risk_) {
+    while (j < lost.size() && lost[j] < l) ++j;
+    if (j < lost.size() && lost[j] == l) continue;  // lost: stays committed
+    const std::size_t off = std::size_t{l} * kCacheLineSize;
+    const std::size_t len = std::min(kCacheLineSize, t_->region_size - off);
+    std::memcpy(out->data() + off, current_.data() + off, len);
+  }
+}
+
+std::uint64_t LineModel::image_hash(
+    const std::vector<std::uint32_t>& lost) const {
+  std::uint64_t h = committed_hash_;
+  std::size_t j = 0;
+  for (const std::uint32_t l : at_risk_) {
+    while (j < lost.size() && lost[j] < l) ++j;
+    if (j < lost.size() && lost[j] == l) continue;
+    // Surviving line: its current contents replace the committed ones.
+    // Identical contents XOR to zero — the image equals the lost case and
+    // dedups with it, which is exactly right.
+    h ^= committed_line_hash_[l] ^ line_hash(current_.data(), l);
+  }
+  return h;
+}
+
+std::vector<std::uint32_t> LineModel::untracked_lines() const {
+  std::vector<std::uint32_t> out;
+  if (t_->end_img.size() != t_->region_size) return out;
+  for (std::uint32_t l = 0; l < nlines_; ++l) {
+    const std::size_t off = std::size_t{l} * kCacheLineSize;
+    const std::size_t len = std::min(kCacheLineSize, t_->region_size - off);
+    if (std::memcmp(current_.data() + off, t_->end_img.data() + off, len) !=
+        0) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+// ---- replay file -----------------------------------------------------------
+
+bool ReplayFile::save(const std::string& path, std::string* err) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    if (err != nullptr) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  f << "poseidon-crashcheck-replay v1\n";
+  f << "family " << family << "\n";
+  f << "variant " << variant << "\n";
+  f << "seed " << seed << "\n";
+  if (sabotage != 0) f << "sabotage " << sabotage << "\n";
+  if (!label.empty()) f << "label " << label << "\n";
+  f << "instant " << instant << "\n";
+  f << "lost " << lost.size();
+  for (const auto l : lost) f << " " << l;
+  f << "\n";
+  for (const auto& [line, name] : segments) {
+    f << "segment " << line << " " << name << "\n";
+  }
+  if (!why.empty()) f << "why " << why << "\n";
+  f.flush();
+  if (!f) {
+    if (err != nullptr) *err = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool ReplayFile::load(const std::string& path, ReplayFile* out,
+                      std::string* err) {
+  std::ifstream f(path);
+  if (!f) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(f, line) ||
+      line.rfind("poseidon-crashcheck-replay", 0) != 0) {
+    if (err != nullptr) *err = path + ": not a crashcheck replay file";
+    return false;
+  }
+  *out = ReplayFile{};
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "family") {
+      is >> out->family;
+    } else if (key == "variant") {
+      is >> out->variant;
+    } else if (key == "seed") {
+      is >> out->seed;
+    } else if (key == "sabotage") {
+      is >> out->sabotage;
+    } else if (key == "label") {
+      is >> std::ws;
+      std::getline(is, out->label);
+    } else if (key == "instant") {
+      is >> out->instant;
+    } else if (key == "lost") {
+      std::size_t n = 0;
+      is >> n;
+      out->lost.resize(n);
+      for (std::size_t i = 0; i < n; ++i) is >> out->lost[i];
+    } else if (key == "segment") {
+      std::uint32_t l = 0;
+      std::string name;
+      is >> l >> std::ws;
+      std::getline(is, name);
+      out->segments.emplace_back(l, name);
+    } else if (key == "why") {
+      is >> std::ws;
+      std::getline(is, out->why);
+    }
+  }
+  std::sort(out->lost.begin(), out->lost.end());
+  return true;
+}
+
+}  // namespace poseidon::crashcheck

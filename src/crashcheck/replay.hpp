@@ -1,0 +1,108 @@
+// Offline replay of a Trace: the line-state machine the explorer and the
+// lint share, plus the on-disk replay file a shrunk violation is saved to.
+//
+// LineModel mirrors SimDomain line-for-line: committed_ holds the durable
+// image (starts as the begin-of-trace snapshot), current_ the
+// store-reconstructed live contents.  advance(k) applies events [cursor,
+// k); at any instant the reachable persistent images are exactly
+//
+//   committed_  ∪  { current_ lines for any subset of at_risk_lines() }
+//
+// — each at-risk (dirty or flushed-but-unfenced) line independently either
+// made it back to media before the crash or did not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crashcheck/trace.hpp"
+
+namespace poseidon::crashcheck {
+
+class LineModel {
+ public:
+  explicit LineModel(const Trace& t);
+
+  // Apply events [cursor(), upto); upto may not go backwards.
+  void advance(std::size_t upto);
+  std::size_t cursor() const noexcept { return cursor_; }
+
+  // Sorted line indices that are dirty or pending at the cursor — the
+  // lines a crash right now may lose.
+  const std::vector<std::uint32_t>& at_risk_lines() const noexcept {
+    return at_risk_;
+  }
+
+  // Persistent image when `lost` (a subset of at_risk_lines()) is lost and
+  // every other at-risk line survives.  `lost` must be sorted.
+  void build_image(const std::vector<std::uint32_t>& lost,
+                   std::vector<std::byte>* out) const;
+
+  // Content hash of the image build_image would produce, in O(|at-risk|):
+  // an XOR aggregate over per-line hashes, maintained incrementally as
+  // lines commit.  Collisions only waste a duplicate verification.
+  std::uint64_t image_hash(const std::vector<std::uint32_t>& lost) const;
+
+  // Lines whose reconstructed final contents differ from the real
+  // end-of-trace memory: writes that bypassed the nv_* helpers.  Only
+  // meaningful once advanced to the end of the trace.
+  std::vector<std::uint32_t> untracked_lines() const;
+
+ private:
+  enum class LState : std::uint8_t { kClean, kDirty, kPending };
+
+  std::uint64_t line_hash(const std::byte* buf, std::uint32_t line) const;
+  void commit_line(std::uint32_t line);
+
+  const Trace* t_;
+  std::size_t cursor_ = 0;
+  std::size_t nlines_;
+  std::vector<std::byte> committed_;
+  std::vector<std::byte> current_;
+  std::vector<LState> state_;
+  std::vector<std::uint32_t> at_risk_;  // kept sorted
+  bool at_risk_stale_ = false;
+  std::vector<std::uint64_t> committed_line_hash_;
+  std::uint64_t committed_hash_ = 0;
+
+  void refresh_at_risk();
+};
+
+// The deterministic repro a violation shrinks to.  Self-describing text
+// format (one `key value...` pair per line, "# " comments ignored):
+//
+//   poseidon-crashcheck-replay v1
+//   family  alloc
+//   variant 2
+//   seed    42
+//   label   alloc/2048
+//   instant 137
+//   lost    3 17 18 4099
+//   segment 17 subheap_meta[0]
+//   why     reopened image: prior slot 1 not allocated (dangling)
+//
+// `torture --crashcheck --replay <file>` re-runs the named family/variant
+// with the recorded seed, rebuilds the image at `instant` with exactly the
+// `lost` lines dropped, and re-verifies it.  `segment` lines are optional
+// human annotations (`heap_inspect --crashcheck-report` prints them).
+struct ReplayFile {
+  std::string family;
+  int variant = 0;
+  std::uint64_t seed = 0;
+  // Nonzero when the recording ran with the Nth persist() elided
+  // (--cc-sabotage): the replay must re-elide it or the lost lines will
+  // no longer be at risk.
+  std::uint64_t sabotage = 0;
+  std::string label;
+  std::size_t instant = 0;
+  std::vector<std::uint32_t> lost;
+  std::vector<std::pair<std::uint32_t, std::string>> segments;
+  std::string why;
+
+  bool save(const std::string& path, std::string* err = nullptr) const;
+  static bool load(const std::string& path, ReplayFile* out, std::string* err);
+};
+
+}  // namespace poseidon::crashcheck

@@ -1,0 +1,23 @@
+#include "crashcheck/trace.hpp"
+
+#include "common/compiler.hpp"
+
+namespace poseidon::crashcheck {
+
+std::size_t Trace::line_count() const noexcept {
+  return (region_size + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+std::size_t Trace::fence_count() const noexcept {
+  std::size_t n = 0;
+  for (const Event& e : events) n += e.kind == EvKind::kFence ? 1 : 0;
+  return n;
+}
+
+std::size_t Trace::crash_point_count() const noexcept {
+  std::size_t n = 0;
+  for (const Event& e : events) n += e.kind == EvKind::kCrashPoint ? 1 : 0;
+  return n;
+}
+
+}  // namespace poseidon::crashcheck

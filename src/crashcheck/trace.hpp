@@ -1,0 +1,63 @@
+// Crash-state exploration: trace model (DESIGN.md "Crash-state exploration").
+//
+// A Trace is the ordered (store, flush, fence, crash-point) stream of ONE
+// operation over ONE contiguous persistent region, captured through the
+// pmem::SimObserver tap.  Stores carry their bytes: the operation runs
+// exactly once against the live heap, and every reachable crash image is
+// reconstructed offline from the begin-of-trace snapshot plus the event
+// stream — nothing re-executes, which is what lets the explorer enumerate
+// thousands of images per run.
+//
+// The persistence semantics mirrored everywhere downstream are exactly
+// SimDomain's (pmem/sim_domain.hpp): a store dirties its cache lines, a
+// flush only marks dirty lines write-back-pending, and only a fence
+// commits pending lines to the durable image.  One deliberate difference:
+// SimDomain commits lines out of live memory (so raw, un-instrumented
+// stores leak into its images), while the trace replays only captured nv_*
+// contents.  The divergence is itself observable — LineModel::
+// untracked_lines() compares the reconstruction against the real
+// end-of-trace memory, and the lint reports any mismatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace poseidon::crashcheck {
+
+enum class EvKind : std::uint8_t {
+  kStore = 0,
+  kFlush = 1,
+  kFence = 2,
+  kCrashPoint = 3,
+};
+
+struct Event {
+  EvKind kind;
+  // Region-relative byte range (kStore/kFlush; clipped to the region).
+  std::uint64_t off = 0;
+  std::uint32_t len = 0;
+  // Captured store contents: [data_off, data_off+len) in Trace::bytes.
+  std::uint32_t data_off = 0;
+  // Instrumented call site (return address into the nv_* caller).
+  void* site = nullptr;
+  // Index into Trace::point_names (kCrashPoint only).
+  std::uint32_t point = 0;
+};
+
+struct Trace {
+  std::string label;          // operation family / variant, e.g. "alloc/192"
+  std::uint64_t region_size = 0;
+  std::vector<Event> events;
+  std::vector<std::byte> bytes;      // concatenated captured store contents
+  std::vector<std::byte> begin_img;  // region snapshot when recording began
+  std::vector<std::byte> end_img;    // live region bytes when it ended
+  std::vector<std::string> point_names;
+
+  std::size_t line_count() const noexcept;
+  std::size_t fence_count() const noexcept;
+  std::size_t crash_point_count() const noexcept;
+};
+
+}  // namespace poseidon::crashcheck

@@ -40,6 +40,7 @@ const char* op_name(FlightOp op) noexcept {
     case FlightOp::kSvcReconcile: return "svc-reconcile";
     case FlightOp::kSnapshot: return "snapshot";
     case FlightOp::kOrphanReclaim: return "orphan-reclaim";
+    case FlightOp::kCrashCheck: return "crashcheck";
   }
   return "?";
 }

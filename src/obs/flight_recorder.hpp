@@ -63,6 +63,7 @@ enum class FlightOp : std::uint16_t {
   kSvcReconcile = 20,  // reconcile op executed; arg = blocks freed/replayed
   kSnapshot = 21,      // shard image captured; arg = pages copied
   kOrphanReclaim = 22, // dead-session watermark sweep; arg = blocks freed
+  kCrashCheck = 23,    // crash-state exploration pass; arg = distinct states
 };
 
 const char* op_name(FlightOp op) noexcept;

@@ -227,6 +227,12 @@ struct Metrics {
   Counter snapshot_pages_copied;  // 4 KiB pages written into snapshot images
   Counter snapshot_bytes_copied;  // bytes written into snapshot images
 
+  // Crash-state exploration (src/crashcheck, driven by torture
+  // --crashcheck).  Bumped on the audited heap by the harness so a
+  // postmortem shows how much exploration the file has survived.
+  Counter crashcheck_states;      // distinct persistent images audited
+  Counter crashcheck_violations;  // recovery violations found (should stay 0)
+
   // Latency histograms (rdtsc cycles, log2 buckets).
   Histogram alloc_cycles;
   Histogram free_cycles;
@@ -278,6 +284,8 @@ struct Metrics {
     f("snapshot_runs", snapshot_runs);
     f("snapshot_pages_copied", snapshot_pages_copied);
     f("snapshot_bytes_copied", snapshot_bytes_copied);
+    f("crashcheck_states", crashcheck_states);
+    f("crashcheck_violations", crashcheck_violations);
   }
 
   template <typename F>

@@ -4,6 +4,8 @@
 
 #include <mutex>
 
+#include "pmem/persist.hpp"
+
 namespace poseidon::pmem {
 
 std::atomic<bool> g_crash_armed{false};
@@ -37,6 +39,12 @@ std::uint64_t crash_hits() noexcept {
 }
 
 void crash_point_slow(const char* name) {
+  // Trace recorders (src/crashcheck/) arm a never-firing trigger
+  // (nth = UINT64_MAX) purely to route every hit through here; forward the
+  // name so the explorer can treat named points as crash instants too.
+  if (SimObserver* obs = sim_observer(); obs != nullptr) {
+    obs->on_crash_point(name);
+  }
   CrashAction action;
   {
     std::lock_guard<std::mutex> lk(g_mutex);

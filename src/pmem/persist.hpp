@@ -102,8 +102,8 @@ class ScopedPersistDomain {
 
 // ---- simulator hooks (defined in sim_domain.cpp) --------------------------
 
-// True when a SimDomain is registered; kept in a single atomic flag so the
-// fast path costs one relaxed load.
+// True when a SimDomain or a SimObserver is registered; kept in a single
+// atomic flag so the fast path costs one relaxed load.
 extern std::atomic<bool> g_sim_active;
 
 void sim_note_store(const void* addr, std::size_t len) noexcept;
@@ -112,6 +112,56 @@ void sim_note_fence() noexcept;
 
 inline bool sim_active() noexcept {
   return g_sim_active.load(std::memory_order_relaxed);
+}
+
+// Passive tap on the same event stream a SimDomain consumes: every nv_*
+// store, flush and fence is forwarded in program order, together with the
+// address of the instrumented call site (the return address into the
+// caller of the nv_* helper — the helpers are inlined, so it points at the
+// allocator code that issued the barrier).  The crashcheck trace recorder
+// (src/crashcheck/) is the one consumer; unlike a SimDomain an observer
+// never mutates memory, so it composes with or without a domain.
+class SimObserver {
+ public:
+  virtual void on_store(const void* addr, std::size_t len,
+                        void* site) noexcept = 0;
+  virtual void on_flush(const void* addr, std::size_t len,
+                        void* site) noexcept = 0;
+  virtual void on_fence() noexcept = 0;
+  // Named crash points (pmem/crashpoint.hpp) hit while recording.
+  virtual void on_crash_point(const char* name) noexcept = 0;
+
+ protected:
+  ~SimObserver() = default;
+};
+
+// Register/unregister (nullptr) the process-global observer.  Like
+// SimDomain registration this is not thread-safe against concurrent nv_*
+// traffic from other threads — recorders run single-threaded workloads.
+void sim_set_observer(SimObserver* obs) noexcept;
+SimObserver* sim_observer() noexcept;
+
+// ---- persist sabotage (crashcheck's deliberately-broken build) -------------
+
+// Test hook modeling a forgotten persistence barrier: the `nth` (1-based)
+// persist() after arming is elided entirely — the store stays visible, no
+// line is flushed and no fence retires — exactly the bug class the
+// crashcheck explorer and flush lint exist to catch.  Only consulted when
+// the simulator is active, so production fast paths keep their single
+// relaxed load.
+extern std::atomic<bool> g_persist_sabotage_armed;
+
+void arm_persist_sabotage(std::uint64_t nth) noexcept;
+void disarm_persist_sabotage() noexcept;
+// Barriers seen since arming (counts past the elided one).
+std::uint64_t persist_sabotage_hits() noexcept;
+// Internal: counts one barrier; true when this is the one to elide.
+bool persist_sabotage_tick() noexcept;
+
+inline bool persist_sabotaged() noexcept {
+  return POSEIDON_UNLIKELY(
+             g_persist_sabotage_armed.load(std::memory_order_relaxed)) &&
+         persist_sabotage_tick();
 }
 
 // ---- flush primitives ------------------------------------------------------
@@ -134,6 +184,7 @@ inline void fence() noexcept {
 // still orders them); under kNone the whole barrier disappears.
 inline void persist(const void* addr, std::size_t len) noexcept {
   if (POSEIDON_UNLIKELY(len == 0)) return;  // nothing to persist: no fence
+  if (POSEIDON_UNLIKELY(sim_active()) && persist_sabotaged()) return;
   // Dirty-page tracking taps the barrier, not the stores: every range a
   // writer makes durable is exactly the set an incremental snapshot must
   // recopy.  Noted before the domain switch so eADR/kNone elision (which

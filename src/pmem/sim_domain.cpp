@@ -13,18 +13,68 @@ std::atomic<bool> g_sim_active{false};
 
 namespace {
 SimDomain* g_domain = nullptr;
+SimObserver* g_observer = nullptr;
+
+void refresh_sim_active() noexcept {
+  g_sim_active.store(g_domain != nullptr || g_observer != nullptr,
+                     std::memory_order_release);
+}
 }  // namespace
 
 void sim_note_store(const void* addr, std::size_t len) noexcept {
   if (g_domain != nullptr) g_domain->note_store(addr, len);
+  if (g_observer != nullptr) {
+    // The nv_* helpers are inlined, so our immediate caller IS the
+    // allocator code that issued the store — the lint's "call site".
+    g_observer->on_store(addr, len, __builtin_return_address(0));
+  }
 }
 
 void sim_note_flush(const void* addr, std::size_t len) noexcept {
   if (g_domain != nullptr) g_domain->note_flush(addr, len);
+  if (g_observer != nullptr) {
+    g_observer->on_flush(addr, len, __builtin_return_address(0));
+  }
 }
 
 void sim_note_fence() noexcept {
   if (g_domain != nullptr) g_domain->note_fence();
+  if (g_observer != nullptr) g_observer->on_fence();
+}
+
+void sim_set_observer(SimObserver* obs) noexcept {
+  g_observer = obs;
+  refresh_sim_active();
+}
+
+SimObserver* sim_observer() noexcept { return g_observer; }
+
+// ---- persist sabotage ------------------------------------------------------
+
+std::atomic<bool> g_persist_sabotage_armed{false};
+
+namespace {
+std::atomic<std::uint64_t> g_sabotage_nth{0};
+std::atomic<std::uint64_t> g_sabotage_hits{0};
+}  // namespace
+
+void arm_persist_sabotage(std::uint64_t nth) noexcept {
+  g_sabotage_nth.store(nth, std::memory_order_relaxed);
+  g_sabotage_hits.store(0, std::memory_order_relaxed);
+  g_persist_sabotage_armed.store(true, std::memory_order_release);
+}
+
+void disarm_persist_sabotage() noexcept {
+  g_persist_sabotage_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t persist_sabotage_hits() noexcept {
+  return g_sabotage_hits.load(std::memory_order_relaxed);
+}
+
+bool persist_sabotage_tick() noexcept {
+  const auto hit = g_sabotage_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return hit == g_sabotage_nth.load(std::memory_order_relaxed);
 }
 
 SimDomain::SimDomain(void* base, std::size_t size)
@@ -42,12 +92,12 @@ SimDomain::SimDomain(void* base, std::size_t size, PersistDomain modeled)
   }
   std::memcpy(shadow_.data(), base_, size_);
   g_domain = this;
-  g_sim_active.store(true, std::memory_order_release);
+  refresh_sim_active();
 }
 
 SimDomain::~SimDomain() {
-  g_sim_active.store(false, std::memory_order_release);
   g_domain = nullptr;
+  refresh_sim_active();
 }
 
 bool SimDomain::covers(const void* addr) const noexcept {
@@ -98,6 +148,7 @@ void SimDomain::note_flush(const void* addr, std::size_t len) noexcept {
 }
 
 void SimDomain::note_fence() noexcept {
+  last_fence_scan_ = pending_hi_ - pending_lo_;
   for (std::size_t i = pending_lo_; i < pending_hi_; ++i) {
     if (!pending_[i]) continue;
     commit_line(i);

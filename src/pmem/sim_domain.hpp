@@ -69,6 +69,12 @@ class SimDomain {
   std::size_t dirty_line_count() const noexcept;
   // Lines flushed (write-back initiated) but not yet fenced.
   std::size_t flushed_pending_line_count() const noexcept;
+  // Lines the most recent note_fence scanned — its actual cost.  Must stay
+  // proportional to the lines pending at that fence, not to the high-water
+  // window of earlier flushes (the window resets after every fence).
+  std::size_t last_fence_scan_lines() const noexcept {
+    return last_fence_scan_;
+  }
   std::size_t size() const noexcept { return size_; }
   PersistDomain modeled_domain() const noexcept { return modeled_; }
 
@@ -94,6 +100,7 @@ class SimDomain {
   // lines instead of the whole (potentially multi-MB) region.
   std::size_t pending_lo_ = 0;
   std::size_t pending_hi_ = 0;  // exclusive; lo == hi means none
+  std::size_t last_fence_scan_ = 0;
 };
 
 }  // namespace poseidon::pmem

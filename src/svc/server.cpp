@@ -105,6 +105,9 @@ std::unique_ptr<SvcServer> SvcServer::start(const std::string& heap_path,
               heap->note_flight(obs::FlightOp::kOrphanReclaim, freed);
             }
           }
+          // Same marker reclaim_session leaves on the live segment, so a
+          // post-mortem can tell "swept at startup" from "never swept".
+          heap->note_flight(obs::FlightOp::kSvcReclaim, i);
         }
         // Retire the old incarnation in place: stale client mappings read
         // kDead instantly instead of waiting out the heartbeat, and every

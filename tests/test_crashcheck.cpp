@@ -1,0 +1,382 @@
+// Unit tests for the crash-state exploration subsystem (src/crashcheck/):
+// trace capture through the SimObserver tap, the LineModel persistence
+// semantics, the flush lint's four finding kinds, the explorer's subset
+// enumeration + dedup + shrink, and the replay-file format.  Heap-level
+// end-to-end coverage lives in `torture --crashcheck` (crashcheck_smoke).
+//
+// Also hosts two simulator regression tests that ride with this subsystem:
+// SimDomain::note_fence cost stays proportional to the pending window, and
+// an armed crash-point nth-hit trigger fires exactly once under a thread
+// race.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/compiler.hpp"
+#include "crashcheck/explorer.hpp"
+#include "crashcheck/lint.hpp"
+#include "crashcheck/recorder.hpp"
+#include "crashcheck/replay.hpp"
+#include "crashcheck/trace.hpp"
+#include "pmem/crashpoint.hpp"
+#include "pmem/persist.hpp"
+#include "pmem/sim_domain.hpp"
+
+namespace poseidon {
+namespace {
+
+using crashcheck::EvKind;
+using crashcheck::Explorer;
+using crashcheck::ExploreConfig;
+using crashcheck::ExploreStats;
+using crashcheck::LineModel;
+using crashcheck::LintKind;
+using crashcheck::LintReport;
+using crashcheck::Recorder;
+using crashcheck::ReplayFile;
+using crashcheck::Trace;
+using crashcheck::Violation;
+
+// A small cache-line-aligned region the recorder watches.  Zeroed so the
+// begin image is known.
+class Region {
+ public:
+  explicit Region(std::size_t bytes = 4096)
+      : size_(bytes),
+        p_(static_cast<std::byte*>(std::aligned_alloc(kCacheLineSize,
+                                                      bytes))) {
+    std::memset(p_, 0, size_);
+  }
+  ~Region() { std::free(p_); }
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  std::byte* data() noexcept { return p_; }
+  std::size_t size() const noexcept { return size_; }
+  // The uint64 slot at the start of cache line `l`.
+  std::uint64_t& u64(std::size_t l) noexcept {
+    return *reinterpret_cast<std::uint64_t*>(p_ + l * kCacheLineSize);
+  }
+
+ private:
+  std::size_t size_;
+  std::byte* p_;
+};
+
+TEST(CrashcheckTrace, CapturesOrderedEventsAndBytes) {
+  Region r;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/capture");
+  pmem::nv_store(r.u64(0), std::uint64_t{0x1111});
+  pmem::flush(&r.u64(0), sizeof(std::uint64_t));
+  pmem::fence();
+  POSEIDON_CRASH_POINT("unit.capture_point");
+  pmem::nv_store(r.u64(1), std::uint64_t{0x2222});
+  const Trace t = rec.end();
+
+  ASSERT_EQ(t.events.size(), 5u);
+  EXPECT_EQ(t.events[0].kind, EvKind::kStore);
+  EXPECT_EQ(t.events[1].kind, EvKind::kFlush);
+  EXPECT_EQ(t.events[2].kind, EvKind::kFence);
+  EXPECT_EQ(t.events[3].kind, EvKind::kCrashPoint);
+  EXPECT_EQ(t.events[4].kind, EvKind::kStore);
+  EXPECT_EQ(t.fence_count(), 1u);
+  EXPECT_EQ(t.crash_point_count(), 1u);
+  EXPECT_EQ(t.line_count(), r.size() / kCacheLineSize);
+  ASSERT_EQ(t.point_names.size(), 1u);
+  EXPECT_EQ(t.point_names[t.events[3].point], "unit.capture_point");
+
+  // Store events carry the written bytes, begin/end images the region.
+  std::uint64_t captured = 0;
+  std::memcpy(&captured, t.bytes.data() + t.events[0].data_off,
+              sizeof captured);
+  EXPECT_EQ(captured, 0x1111u);
+  EXPECT_NE(t.events[0].site, nullptr);
+  ASSERT_EQ(t.begin_img.size(), r.size());
+  std::uint64_t begin0 = 0;
+  std::memcpy(&begin0, t.begin_img.data(), sizeof begin0);
+  EXPECT_EQ(begin0, 0u);
+  std::uint64_t end1 = 0;
+  std::memcpy(&end1, t.end_img.data() + kCacheLineSize, sizeof end1);
+  EXPECT_EQ(end1, 0x2222u);
+}
+
+TEST(CrashcheckTrace, RecorderIgnoresOutOfRegionTraffic) {
+  Region r;
+  std::uint64_t outside = 0;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/clip");
+  pmem::nv_store(outside, std::uint64_t{7});
+  pmem::persist(&outside, sizeof outside);
+  const Trace t = rec.end();
+  // The persist's fence is global (fences have no address), but the store
+  // and flush land outside the region and are dropped.
+  for (const auto& e : t.events) EXPECT_EQ(e.kind, EvKind::kFence);
+}
+
+TEST(CrashcheckLineModel, AtRiskAndImageConstruction) {
+  Region r;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/model");
+  pmem::nv_store(r.u64(0), std::uint64_t{0xAAAA});  // committed below
+  pmem::persist(&r.u64(0), sizeof(std::uint64_t));
+  pmem::nv_store(r.u64(1), std::uint64_t{0xBBBB});  // dirty at end
+  pmem::nv_store(r.u64(2), std::uint64_t{0xCCCC});  // pending at end
+  pmem::flush(&r.u64(2), sizeof(std::uint64_t));
+  const Trace t = rec.end();
+
+  LineModel m(t);
+  m.advance(t.events.size());
+  const std::vector<std::uint32_t> at_risk{1, 2};
+  EXPECT_EQ(m.at_risk_lines(), at_risk);
+
+  std::vector<std::byte> img;
+  m.build_image({}, &img);  // everything survives
+  std::uint64_t v = 0;
+  std::memcpy(&v, img.data() + kCacheLineSize, sizeof v);
+  EXPECT_EQ(v, 0xBBBBu);
+
+  m.build_image({1}, &img);  // line 1 lost: reverts to committed zero
+  std::memcpy(&v, img.data() + kCacheLineSize, sizeof v);
+  EXPECT_EQ(v, 0u);
+  std::memcpy(&v, img.data(), sizeof v);
+  EXPECT_EQ(v, 0xAAAAu);  // the fenced line is immune to loss
+
+  // The incremental hash matches distinct images / collapses equal ones.
+  EXPECT_NE(m.image_hash({}), m.image_hash({1}));
+  EXPECT_NE(m.image_hash({1}), m.image_hash({1, 2}));
+  EXPECT_THROW(m.advance(0), std::logic_error);  // no rewind
+}
+
+TEST(CrashcheckLint, FourFindingKinds) {
+  Region r;
+
+  {  // clean: store + flush + fence
+    Recorder rec(r.data(), r.size());
+    rec.begin("unit/clean");
+    pmem::nv_store(r.u64(0), std::uint64_t{1});
+    pmem::persist(&r.u64(0), sizeof(std::uint64_t));
+    const LintReport rep = crashcheck::lint_trace(rec.end());
+    EXPECT_TRUE(rep.clean());
+    EXPECT_EQ(rep.count(LintKind::kRedundantFlush), 0u);
+    EXPECT_EQ(rep.count(LintKind::kUntrackedStore), 0u);
+  }
+  {  // missing flush: stored, never flushed
+    Recorder rec(r.data(), r.size());
+    rec.begin("unit/missing-flush");
+    pmem::nv_store(r.u64(1), std::uint64_t{2});
+    const LintReport rep = crashcheck::lint_trace(rec.end());
+    EXPECT_EQ(rep.count(LintKind::kMissingFlush), 1u);
+    EXPECT_FALSE(rep.clean());
+  }
+  {  // missing fence: flushed, never fenced
+    Recorder rec(r.data(), r.size());
+    rec.begin("unit/missing-fence");
+    pmem::nv_store(r.u64(2), std::uint64_t{3});
+    pmem::flush(&r.u64(2), sizeof(std::uint64_t));
+    const LintReport rep = crashcheck::lint_trace(rec.end());
+    EXPECT_EQ(rep.count(LintKind::kMissingFence), 1u);
+    EXPECT_EQ(rep.count(LintKind::kMissingFlush), 0u);
+  }
+  {  // redundant flush: second flush with no store in between
+    Recorder rec(r.data(), r.size());
+    rec.begin("unit/redundant");
+    pmem::nv_store(r.u64(3), std::uint64_t{4});
+    pmem::persist(&r.u64(3), sizeof(std::uint64_t));
+    pmem::persist(&r.u64(3), sizeof(std::uint64_t));
+    const LintReport rep = crashcheck::lint_trace(rec.end());
+    EXPECT_TRUE(rep.clean());
+    EXPECT_GE(rep.count(LintKind::kRedundantFlush), 1u);
+  }
+  {  // untracked store: a raw write that bypassed the nv_* helpers
+    Recorder rec(r.data(), r.size());
+    rec.begin("unit/untracked");
+    pmem::nv_store(r.u64(4), std::uint64_t{5});
+    pmem::persist(&r.u64(4), sizeof(std::uint64_t));
+    r.u64(5) = 0xDEAD;  // invisible to the tap
+    const LintReport rep = crashcheck::lint_trace(rec.end());
+    EXPECT_GE(rep.count(LintKind::kUntrackedStore), 1u);
+    r.u64(5) = 0;
+  }
+}
+
+TEST(CrashcheckLint, MergeAggregatesBySite) {
+  Region r;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/merge");
+  pmem::nv_store(r.u64(0), std::uint64_t{1});
+  const Trace t = rec.end();
+
+  LintReport acc = crashcheck::lint_trace(t);
+  const LintReport again = crashcheck::lint_trace(t);
+  ASSERT_EQ(acc.findings.size(), 1u);
+  crashcheck::lint_merge(&acc, again);
+  EXPECT_EQ(acc.findings.size(), 1u);  // same (kind, site) combined
+  EXPECT_EQ(acc.count(LintKind::kMissingFlush), 2u);
+  EXPECT_FALSE(crashcheck::describe_site(acc.findings[0].site).empty());
+}
+
+TEST(CrashcheckExplorer, EnumeratesSubsetsAndDedups) {
+  Region r;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/enum");
+  pmem::nv_store(r.u64(0), std::uint64_t{0x11});
+  pmem::nv_store(r.u64(1), std::uint64_t{0x22});
+  const Trace t = rec.end();
+
+  ExploreConfig cfg;
+  cfg.exhaustive_max = 6;
+  Explorer ex(cfg);
+  std::vector<Violation> viols;
+  const ExploreStats st = ex.explore(
+      t, [](const std::vector<std::byte>&, bool) { return std::string(); },
+      &viols);
+  // No fence and no crash point: the only instant is the end of the trace;
+  // two at-risk lines with distinct contents give exactly 2^2 images.
+  EXPECT_EQ(st.instants, 1u);
+  EXPECT_EQ(st.distinct, 4u);
+  EXPECT_EQ(st.violations, 0u);
+  EXPECT_TRUE(viols.empty());
+
+  // The dedup hash set is run-wide: the same trace contributes nothing new.
+  const ExploreStats st2 = ex.explore(
+      t, [](const std::vector<std::byte>&, bool) { return std::string(); },
+      nullptr);
+  EXPECT_EQ(st2.distinct, 0u);
+  EXPECT_EQ(ex.distinct_total(), 4u);
+}
+
+// The unit-scale version of the sabotage self-test: a two-line publish
+// protocol (value, then flag) with the value's persist elided must be
+// caught by BOTH the explorer (a crash image with the flag set but the
+// value lost) and the lint (a missing-flush finding on the value line).
+TEST(CrashcheckExplorer, TornPublishCaughtByExplorerAndLint) {
+  Region r;
+  Recorder rec(r.data(), r.size());
+  rec.begin("unit/torn-publish");
+  pmem::nv_store(r.u64(0), std::uint64_t{0xFEED});  // value: persist elided
+  pmem::nv_store(r.u64(1), std::uint64_t{1});       // flag
+  pmem::persist(&r.u64(1), sizeof(std::uint64_t));
+  const Trace t = rec.end();
+
+  const LintReport rep = crashcheck::lint_trace(t);
+  EXPECT_EQ(rep.count(LintKind::kMissingFlush), 1u);
+
+  const auto verify = [](const std::vector<std::byte>& img,
+                         bool) -> std::string {
+    std::uint64_t value = 0, flag = 0;
+    std::memcpy(&value, img.data(), sizeof value);
+    std::memcpy(&flag, img.data() + kCacheLineSize, sizeof flag);
+    if (flag == 1 && value != 0xFEED) return "flag set but value lost";
+    return {};
+  };
+  ExploreConfig cfg;
+  Explorer ex(cfg);
+  std::vector<Violation> viols;
+  const ExploreStats st = ex.explore(t, verify, &viols);
+  ASSERT_GE(st.violations, 1u);
+  ASSERT_FALSE(viols.empty());
+  // Shrink isolates the value line as the minimal lost set.
+  EXPECT_EQ(viols[0].lost, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(viols[0].why, "flag set but value lost");
+
+  // Replay reproduces the exact state; a non-at-risk line is rejected.
+  EXPECT_EQ(ex.replay(t, viols[0].instant, viols[0].lost, verify),
+            "flag set but value lost");
+  EXPECT_NE(ex.replay(t, viols[0].instant, {5}, verify), std::string());
+}
+
+TEST(CrashcheckReplayFile, RoundTripsAllFields) {
+  ReplayFile rf;
+  rf.family = "alloc";
+  rf.variant = 2;
+  rf.seed = 42;
+  rf.sabotage = 7;
+  rf.label = "alloc/2";
+  rf.instant = 137;
+  rf.lost = {3, 17, 4099};
+  rf.segments = {{17, "subheap_meta[0]"}, {4099, "hash[1]"}};
+  rf.why = "reopened image: prior slot 1 not allocated";
+
+  const std::string path = "/dev/shm/poseidon_test_replay_" +
+                           std::to_string(::getpid()) + ".txt";
+  std::string err;
+  ASSERT_TRUE(rf.save(path, &err)) << err;
+  ReplayFile back;
+  ASSERT_TRUE(ReplayFile::load(path, &back, &err)) << err;
+  EXPECT_EQ(back.family, rf.family);
+  EXPECT_EQ(back.variant, rf.variant);
+  EXPECT_EQ(back.seed, rf.seed);
+  EXPECT_EQ(back.sabotage, rf.sabotage);
+  EXPECT_EQ(back.label, rf.label);
+  EXPECT_EQ(back.instant, rf.instant);
+  EXPECT_EQ(back.lost, rf.lost);
+  EXPECT_EQ(back.segments, rf.segments);
+  EXPECT_EQ(back.why, rf.why);
+  ::unlink(path.c_str());
+
+  ReplayFile bad;
+  EXPECT_FALSE(ReplayFile::load("/dev/null", &bad, &err));
+}
+
+// SimDomain::note_fence must scan O(lines pending at THIS fence), not
+// O(high-water window of earlier flushes): after a whole-region flush +
+// fence, a subsequent single-line persist's fence must scan ~one line.
+TEST(CrashcheckSim, FenceScanCostStaysProportionalToPending) {
+  constexpr std::size_t kBytes = 1u << 20;  // 16384 lines
+  void* mem = std::aligned_alloc(4096, kBytes);
+  ASSERT_NE(mem, nullptr);
+  std::memset(mem, 0, kBytes);
+  {
+    pmem::SimDomain d(mem, kBytes, pmem::PersistDomain::kCacheLineFlush);
+    pmem::nv_memset(mem, 1, kBytes);
+    pmem::flush(mem, kBytes);
+    pmem::fence();
+    const std::size_t whole = d.last_fence_scan_lines();
+    EXPECT_GE(whole, kBytes / kCacheLineSize);
+
+    pmem::nv_store(*static_cast<std::uint64_t*>(mem), std::uint64_t{9});
+    pmem::persist(mem, sizeof(std::uint64_t));
+    EXPECT_LE(d.last_fence_scan_lines(), 2u);
+
+    // An empty fence scans nothing at all.
+    pmem::fence();
+    EXPECT_EQ(d.last_fence_scan_lines(), 0u);
+  }
+  std::free(mem);
+}
+
+// An armed nth-hit crash trigger fires exactly once even when many threads
+// race through the same crash point.
+TEST(CrashcheckSim, CrashArmNthHitFiresExactlyOnce) {
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kHitsPerThread = 1000;
+  pmem::crash_arm("unit.race", kThreads * kHitsPerThread / 2,
+                  pmem::CrashAction::kThrow);
+  std::atomic<unsigned> fired{0};
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (unsigned i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&fired] {
+      for (unsigned k = 0; k < kHitsPerThread; ++k) {
+        try {
+          POSEIDON_CRASH_POINT("unit.race");
+        } catch (const pmem::CrashException&) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  pmem::crash_disarm();
+  EXPECT_EQ(fired.load(), 1u);
+  EXPECT_GE(pmem::crash_hits(), kThreads * kHitsPerThread / 2);
+}
+
+}  // namespace
+}  // namespace poseidon

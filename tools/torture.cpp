@@ -32,6 +32,7 @@
 //
 //   $ POSEIDON_FAKE_NUMA=2 ./torture --rounds 25 --seed 42
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
@@ -57,7 +58,12 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "core/heap.hpp"
+#include "core/layout.hpp"
 #include "core/snapshot.hpp"
+#include "crashcheck/explorer.hpp"
+#include "crashcheck/lint.hpp"
+#include "crashcheck/recorder.hpp"
+#include "crashcheck/replay.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "pmem/crashpoint.hpp"
@@ -163,7 +169,20 @@ struct Cfg {
   bool keep = false;
   bool svc = false;         // allocation-service torture instead of owner torture
   bool kill_server = false; // --svc variant: SIGKILL the *server* every round
+  bool kill_both = false;   // --svc variant: SIGKILL client AND server together
   bool snapshot = false;    // online-snapshot kill matrix (or svc backup leg)
+
+  // Crash-state exploration (--crashcheck, DESIGN.md "Crash-state
+  // exploration"): record one op per family, enumerate fence-level crash
+  // images, reopen + audit each one.
+  bool crashcheck = false;
+  unsigned cc_exhaustive = 6;      // 2^n subsets up to this many at-risk lines
+  unsigned cc_rand = 24;           // seeded random subsets per bounded instant
+  std::uint64_t cc_budget = 4000;  // distinct images verified, run-wide
+  bool cc_fork = false;            // audit each image in a forked child
+  std::int64_t cc_sabotage = 0;    // >0: elide that persist; -1: sweep
+  std::string cc_replay;           // --replay FILE: re-verify one saved state
+  std::string cc_out;              // where a violation's replay file goes
 
   std::uint64_t nslots() const { return threads * slots_per_thread; }
 };
@@ -1654,6 +1673,1149 @@ int run_svc_kill(const Cfg& cfg) {
   return 0;
 }
 
+// ---- crash-state exploration (--crashcheck) --------------------------------
+//
+// For each operation family the harness runs ONE live operation against a
+// single-shard heap while the crashcheck recorder captures its
+// persistence-event stream over the recovery surface (crashsim_region():
+// superblock + shadow + sub-heap metadata + hash tables + cache logs).
+// The explorer then enumerates fence-level crash images offline; every
+// distinct image is materialized into the heap file (with the owner
+// record aged so the reopen takes over instead of refusing kHeapBusy),
+// reopened through normal recovery, and audited against the slot-table
+// model:
+//
+//   * prior publications must survive every image, payloads intact;
+//   * the op's own effect may be absent at mid-op instants (rolled back)
+//     but MUST be present at the final instant — the op returned, so
+//     everything it promised durable must be durable;
+//   * leaked blocks are tolerated mid-op (bounded leak, same contract as
+//     the kill torture) but are violations at the final instant;
+//   * strict fsck and the structural invariants must hold everywhere.
+//
+// The flush lint runs over the same traces: a line still dirty (or
+// flushed-but-unfenced) when the op returns is a missing persist at its
+// last store (flush) site; a flush of a clean line is a wasted
+// write-back.  `--cc-sabotage N` elides the Nth persist() of the recorded
+// op (`sweep` tries them all) and demands that BOTH the explorer and the
+// lint catch the hole — the self-test that keeps the checker honest.
+// A violation shrinks to a minimal lost-line set and is saved as a replay
+// file; `--replay FILE` re-runs exactly that state.
+
+enum class CcOp {
+  kTxPublish,     // tx_alloc -> persist payload -> persist slot -> tx_commit
+  kTxBatch,       // tx_alloc_batch of 4, all published
+  kFreeSlot,      // persist cleared slot, then free
+  kCacheAlloc,    // magazine-hit publish (warmed cache)
+  kCacheRefill,   // magazine-miss publish (cold cache: refill batch)
+  kCacheFree,     // free into a magazine (cache log append)
+  kRoot,          // set_root to an already-published block
+  kSnapFull,      // online snapshot (neutral: must not perturb recovery)
+  kSnapIncr,      // incremental snapshot after a full one
+};
+
+struct CcFamily {
+  const char* name;
+  int variant;        // distinguishes size variants of one op
+  CcOp op;
+  std::uint64_t size; // payload size for the op's own block (0 = n/a)
+  bool cache;         // thread_cache on for this heap
+};
+
+constexpr CcFamily kCcFamilies[] = {
+    {"alloc", 0, CcOp::kTxPublish, 48, false},
+    {"alloc", 1, CcOp::kTxPublish, 512, false},
+    {"alloc", 2, CcOp::kTxPublish, 2000, false},
+    {"batch", 0, CcOp::kTxBatch, 96, false},
+    {"free", 0, CcOp::kFreeSlot, 512, false},
+    {"cache-alloc", 0, CcOp::kCacheAlloc, 64, true},
+    {"cache-refill", 0, CcOp::kCacheRefill, 64, true},
+    {"cache-free", 0, CcOp::kCacheFree, 64, true},
+    {"root", 0, CcOp::kRoot, 256, false},
+    {"snapshot", 0, CcOp::kSnapFull, 0, false},
+    {"snapshot-incr", 0, CcOp::kSnapIncr, 0, false},
+};
+
+constexpr std::uint64_t kCcCapacity = 4ull << 20;
+constexpr std::uint64_t kCcSlots = 16;   // in-heap slot table entries
+constexpr unsigned kCcPrior = 4;         // publications that predate the op
+
+struct CcSlot {
+  NvPtr ptr;
+  std::uint64_t tag = 0;
+  std::uint64_t size = 0;
+};
+
+// Everything one recorded family run needs to rebuild and audit images.
+struct CcRun {
+  const Cfg* cfg = nullptr;
+  CcFamily fam{};
+  std::string label;
+  std::string hpath;
+  std::string snapdir;
+  core::Options opts;
+  std::uint64_t region = 0;            // crashsim region size
+  std::vector<std::byte> file_bytes;   // whole post-op heap file
+  NvPtr table;                         // slot table block
+  std::vector<CcSlot> prior;           // must survive every image
+  std::vector<CcSlot> targets;         // the op's publications
+  CcSlot freed;                        // kFreeSlot / kCacheFree target
+  NvPtr root_old, root_new;            // kRoot
+  std::uint64_t sab_nth = 0;           // elided persist (0 = none)
+  crashcheck::Trace trace;
+};
+
+core::Options cc_opts(const CcFamily& fam) {
+  core::Options o;
+  o.nshards = 1;  // the recorder watches one contiguous region
+  o.nsubheaps = 2;
+  o.protect = mpk::ProtectMode::kNone;
+  o.shard_policy = core::ShardPolicy::kPerThread;
+  o.policy = core::SubheapPolicy::kPerThread;
+  // Volatile flight ring: its traffic is diagnostic, not part of the
+  // recovery contract the explorer perturbs.
+  o.flight = obs::FlightMode::kVolatile;
+  o.thread_cache = fam.cache;
+  return o;
+}
+
+void cc_unlink_paths(const std::string& hpath, const std::string& snapdir) {
+  (void)::unlink(hpath.c_str());
+  if (!snapdir.empty()) {
+    // One-level snapshot directory: shard images + MANIFEST.
+    if (DIR* d = ::opendir(snapdir.c_str())) {
+      while (struct dirent* e = ::readdir(d)) {
+        if (std::strcmp(e->d_name, ".") == 0 ||
+            std::strcmp(e->d_name, "..") == 0) {
+          continue;
+        }
+        (void)::unlink((snapdir + "/" + e->d_name).c_str());
+      }
+      ::closedir(d);
+    }
+    (void)::rmdir(snapdir.c_str());
+  }
+}
+
+void cc_unlink(const CcRun& run) { cc_unlink_paths(run.hpath, run.snapdir); }
+
+// Publish one slot through the transactional protocol.  Returns a null
+// ptr on exhaustion (treated as a harness bug at this capacity).
+CcSlot cc_publish(Heap* heap, SlotRec* slot, std::uint64_t tag,
+                  std::uint64_t size) {
+  CcSlot out;
+  const NvPtr p = heap->tx_alloc(size, false);
+  if (p.is_null()) {
+    heap->tx_commit();
+    return out;
+  }
+  fill_payload(heap->raw(p), size, tag);
+  pmem::persist(heap->raw(p), size);
+  slot->ptr = p;
+  slot->tag = tag;
+  slot->csum = slot_csum(*slot);
+  pmem::persist(slot, sizeof *slot);
+  heap->tx_commit();
+  out.ptr = p;
+  out.tag = tag;
+  out.size = size;
+  return out;
+}
+
+// Run setup + the recorded op for one family.  On success run->trace
+// holds the event stream and run->file_bytes the whole post-op file.
+bool cc_record(const Cfg& cfg, const CcFamily& fam, std::uint64_t sab_nth,
+               CcRun* run) {
+  run->cfg = &cfg;
+  run->fam = fam;
+  run->sab_nth = sab_nth;
+  run->label = std::string(fam.name) + "/" + std::to_string(fam.variant);
+  run->hpath = cfg.path + ".cc";
+  run->snapdir = (fam.op == CcOp::kSnapFull || fam.op == CcOp::kSnapIncr)
+                     ? cfg.path + ".ccsnap"
+                     : std::string();
+  run->opts = cc_opts(fam);
+  cc_unlink(*run);
+
+  std::unique_ptr<Heap> heap;
+  try {
+    heap = Heap::create(run->hpath, kCcCapacity, run->opts);
+  } catch (const std::exception& e) {
+    return fail("crashcheck %s: create: %s", run->label.c_str(), e.what());
+  }
+
+  // In-heap slot table (user region — outside the traced surface, so slot
+  // writes cost no events but keep the publish protocol faithful).
+  const std::uint64_t bytes = sizeof(SlotTable) + kCcSlots * sizeof(SlotRec);
+  const NvPtr t = heap->alloc(bytes);
+  if (t.is_null()) return fail("crashcheck %s: table alloc", run->label.c_str());
+  auto* table = static_cast<SlotTable*>(heap->raw(t));
+  std::memset(table, 0, bytes);
+  table->magic = kMagic;
+  table->nslots = kCcSlots;
+  table->seed = cfg.seed;
+  pmem::persist(table, bytes);
+  heap->set_root(t);
+  run->table = t;
+  SlotRec* slots = slots_of(table);
+
+  // Deterministic per-family stream so --replay can re-derive the exact
+  // same workload from (family, variant, seed).
+  std::uint64_t x = cfg.seed ^ hash_bytes(fam.name, std::strlen(fam.name)) ^
+                    static_cast<std::uint64_t>(fam.variant);
+  unsigned si = 0;
+  for (unsigned i = 0; i < kCcPrior; ++i) {
+    const std::uint64_t tag = splitmix(x) | 1;
+    const std::uint64_t size = 32 + splitmix(x) % 1500;
+    const CcSlot s = cc_publish(heap.get(), &slots[si++], tag, size);
+    if (s.ptr.is_null()) return fail("crashcheck %s: prior publish",
+                                     run->label.c_str());
+    run->prior.push_back(s);
+  }
+
+  // Family-specific setup (everything here predates the recording).
+  std::string since_manifest;
+  switch (fam.op) {
+    case CcOp::kFreeSlot:
+    case CcOp::kCacheFree: {
+      const std::uint64_t tag = splitmix(x) | 1;
+      run->freed = cc_publish(heap.get(), &slots[si], tag, fam.size);
+      if (run->freed.ptr.is_null()) {
+        return fail("crashcheck %s: target publish", run->label.c_str());
+      }
+      break;
+    }
+    case CcOp::kCacheAlloc: {
+      // Warm the magazine so the recorded alloc is a pure cache hit.
+      const NvPtr w = heap->alloc(fam.size);
+      if (w.is_null()) return fail("crashcheck %s: warm", run->label.c_str());
+      (void)heap->free(w);
+      break;
+    }
+    case CcOp::kSnapIncr: {
+      const core::SnapshotReport rep = heap->snapshot(run->snapdir);
+      since_manifest = rep.manifest_path;
+      // Dirty a page so the incremental has something to copy.
+      const std::uint64_t tag = splitmix(x) | 1;
+      const CcSlot s = cc_publish(heap.get(), &slots[si++], tag, 128);
+      if (s.ptr.is_null()) return fail("crashcheck %s: dirtier",
+                                       run->label.c_str());
+      run->prior.push_back(s);
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Record exactly one operation.
+  const auto [rbase, rsize] = heap->crashsim_region();
+  run->region = rsize;
+  crashcheck::Recorder rec(rbase, rsize);
+  rec.begin(run->label);
+  if (sab_nth != 0) pmem::arm_persist_sabotage(sab_nth);
+  bool op_ok = true;
+  std::string op_err;
+  try {
+    switch (fam.op) {
+      case CcOp::kTxPublish: {
+        const std::uint64_t tag = splitmix(x) | 1;
+        const CcSlot s = cc_publish(heap.get(), &slots[si], tag, fam.size);
+        op_ok = !s.ptr.is_null();
+        if (op_ok) run->targets.push_back(s);
+        break;
+      }
+      case CcOp::kTxBatch: {
+        std::uint64_t sizes[4];
+        NvPtr out[4];
+        std::uint64_t tags[4];
+        for (unsigned i = 0; i < 4; ++i) {
+          tags[i] = splitmix(x) | 1;
+          sizes[i] = fam.size + 32 * i;
+        }
+        const unsigned got = heap->tx_alloc_batch(sizes, 4, out);
+        op_ok = got == 4;
+        for (unsigned i = 0; op_ok && i < 4; ++i) {
+          fill_payload(heap->raw(out[i]), sizes[i], tags[i]);
+          pmem::persist(heap->raw(out[i]), sizes[i]);
+          SlotRec& s = slots[si + i];
+          s.ptr = out[i];
+          s.tag = tags[i];
+          s.csum = slot_csum(s);
+          pmem::persist(&s, sizeof s);
+          run->targets.push_back({out[i], tags[i], sizes[i]});
+        }
+        heap->tx_commit();
+        break;
+      }
+      case CcOp::kFreeSlot:
+      case CcOp::kCacheFree: {
+        SlotRec& s = slots[si];
+        std::memset(&s, 0, sizeof s);
+        pmem::persist(&s, sizeof s);
+        op_ok = heap->free(run->freed.ptr) == core::FreeResult::kOk;
+        break;
+      }
+      case CcOp::kCacheAlloc:
+      case CcOp::kCacheRefill: {
+        const std::uint64_t tag = splitmix(x) | 1;
+        const NvPtr p = heap->alloc(fam.size);
+        op_ok = !p.is_null();
+        if (op_ok) {
+          fill_payload(heap->raw(p), fam.size, tag);
+          pmem::persist(heap->raw(p), fam.size);
+          SlotRec& s = slots[si];
+          s.ptr = p;
+          s.tag = tag;
+          s.csum = slot_csum(s);
+          pmem::persist(&s, sizeof s);
+          run->targets.push_back({p, tag, fam.size});
+        }
+        break;
+      }
+      case CcOp::kRoot: {
+        run->root_old = run->table;
+        run->root_new = run->prior[0].ptr;
+        heap->set_root(run->root_new);
+        break;
+      }
+      case CcOp::kSnapFull: {
+        (void)heap->snapshot(run->snapdir);
+        break;
+      }
+      case CcOp::kSnapIncr: {
+        (void)heap->snapshot_incremental(run->snapdir, since_manifest);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    op_ok = false;
+    op_err = e.what();
+  }
+  if (sab_nth != 0) pmem::disarm_persist_sabotage();
+  run->trace = rec.end();
+  if (!op_ok) {
+    return fail("crashcheck %s: op failed%s%s", run->label.c_str(),
+                op_err.empty() ? "" : ": ", op_err.c_str());
+  }
+
+  // kRoot leaves the root pointing away from the table; put it back so
+  // the post-run heap file stays inspectable.  The recorded trace is
+  // already captured, so this mutation is invisible to the explorer.
+  if (fam.op == CcOp::kRoot) heap->set_root(run->table);
+  heap.reset();  // clean close
+
+  // Whole-file snapshot: images rewrite [0, region) from the trace and
+  // keep the tail (flight rings + user data) from the completed run —
+  // user payloads never change after the op, so the tail is
+  // instant-independent.
+  const int fd = ::open(run->hpath.c_str(), O_RDONLY);
+  if (fd < 0) return fail("crashcheck %s: reopen file", run->label.c_str());
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("crashcheck %s: fstat", run->label.c_str());
+  }
+  run->file_bytes.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < run->file_bytes.size()) {
+    const ssize_t n = ::pread(fd, run->file_bytes.data() + got,
+                              run->file_bytes.size() - got,
+                              static_cast<off_t>(got));
+    if (n <= 0) {
+      ::close(fd);
+      return fail("crashcheck %s: pread", run->label.c_str());
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (run->file_bytes.size() < run->region) {
+    return fail("crashcheck %s: file smaller than the traced region",
+                run->label.c_str());
+  }
+  return true;
+}
+
+// Materialize one crash image into the heap file and audit it through a
+// normal recovery open.  Returns empty on pass, else the violation.
+std::string cc_audit_image(const CcRun& run,
+                           const std::vector<std::byte>& img,
+                           bool final_instant) {
+  std::vector<std::byte> buf = run.file_bytes;
+  std::memcpy(buf.data(), img.data(), img.size());
+  // Age the owner record: the image carries our own live stamp, and a
+  // same-pid reopen must classify it as a stale incarnation (takeover),
+  // not as kHeapBusy.  The owner csum is self-contained, so this cannot
+  // mask real superblock damage.
+  auto* sb = reinterpret_cast<core::SuperBlock*>(buf.data());
+  if (sb->magic == core::kSuperMagic && sb->owner.pid != 0) {
+    sb->owner.start_time += 1;
+    sb->owner.csum = core::owner_csum(sb->owner);
+  }
+  {
+    const int fd = ::open(run.hpath.c_str(), O_WRONLY);
+    if (fd < 0) return "materialize: open failed";
+    std::size_t put = 0;
+    while (put < buf.size()) {
+      const ssize_t n = ::pwrite(fd, buf.data() + put, buf.size() - put,
+                                 static_cast<off_t>(put));
+      if (n <= 0) {
+        ::close(fd);
+        return "materialize: pwrite failed";
+      }
+      put += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+
+  std::unique_ptr<Heap> h;
+  try {
+    h = Heap::open(run.hpath, run.opts);
+  } catch (const std::exception& e) {
+    return std::string("recovery refused the image: ") + e.what();
+  }
+  std::string why;
+  if (!h->check_invariants(&why)) return "invariants after recovery: " + why;
+  const core::PoolShard* sh = h->shard(0);
+  if (sh == nullptr) return "recovery quarantined the shard";
+
+  std::map<std::uint64_t, std::uint32_t> live;  // packed -> class
+  sh->visit_blocks([&](unsigned local, std::uint64_t off, std::uint32_t cls,
+                       std::uint32_t status) {
+    if (status != core::kBlockAllocated) return;
+    live.emplace(NvPtr::make(sh->heap_id(), static_cast<std::uint16_t>(local),
+                             off).packed,
+                 cls);
+  });
+  if (live.erase(run.table.packed) != 1) return "slot table block lost";
+  for (std::size_t i = 0; i < run.prior.size(); ++i) {
+    const CcSlot& s = run.prior[i];
+    if (live.erase(s.ptr.packed) != 1) {
+      return "prior publication " + std::to_string(i) +
+             " not allocated after recovery";
+    }
+    if (!payload_matches(h->raw(s.ptr), s.size, s.tag)) {
+      return "prior publication " + std::to_string(i) + " payload corrupt";
+    }
+  }
+  switch (run.fam.op) {
+    case CcOp::kTxPublish:
+    case CcOp::kTxBatch:
+    case CcOp::kCacheAlloc:
+    case CcOp::kCacheRefill:
+      for (std::size_t i = 0; i < run.targets.size(); ++i) {
+        const CcSlot& tgt = run.targets[i];
+        const auto it = live.find(tgt.ptr.packed);
+        if (it != live.end()) {
+          if (!payload_matches(h->raw(tgt.ptr), tgt.size, tgt.tag)) {
+            return "published payload " + std::to_string(i) + " corrupt";
+          }
+          live.erase(it);
+        } else if (final_instant) {
+          return "committed publish " + std::to_string(i) +
+                 " lost (block not allocated after recovery)";
+        }
+      }
+      break;
+    case CcOp::kFreeSlot:
+    case CcOp::kCacheFree: {
+      const auto it = live.find(run.freed.ptr.packed);
+      if (it != live.end()) {
+        if (final_instant) {
+          return "completed free still allocated after recovery";
+        }
+        live.erase(it);  // mid-op: a bounded leak recovery may keep briefly
+      }
+      break;
+    }
+    case CcOp::kRoot: {
+      const NvPtr r = h->root();
+      const bool old_r = r.heap_id == run.root_old.heap_id &&
+                         r.packed == run.root_old.packed;
+      const bool new_r = r.heap_id == run.root_new.heap_id &&
+                         r.packed == run.root_new.packed;
+      if (!old_r && !new_r) return "root is neither the old nor the new value";
+      if (final_instant && !new_r) return "committed set_root lost";
+      break;
+    }
+    case CcOp::kSnapFull:
+    case CcOp::kSnapIncr:
+      break;
+  }
+  if (final_instant && !live.empty()) {
+    return std::to_string(live.size()) +
+           " block(s) leaked after a completed op";
+  }
+  const core::FsckReport rep = h->fsck();
+  if (rep.repaired != 0 || rep.quarantined != 0 || rep.records_dropped != 0 ||
+      rep.records_synthesized != 0) {
+    return "fsck not clean after recovery (repaired=" +
+           std::to_string(rep.repaired) + " quarantined=" +
+           std::to_string(rep.quarantined) + " dropped=" +
+           std::to_string(rep.records_dropped) + " synthesized=" +
+           std::to_string(rep.records_synthesized) + ")";
+  }
+  if (!h->check_invariants(&why)) return "invariants after fsck: " + why;
+  return {};
+}
+
+// Forked verification (--cc-fork): a recovery crash (not just a wrong
+// answer) is contained in the child and reported as a violation.
+std::string cc_audit(const CcRun& run, const std::vector<std::byte>& img,
+                     bool final_instant) {
+  if (!run.cfg->cc_fork) return cc_audit_image(run, img, final_instant);
+  int pfd[2];
+  if (::pipe(pfd) != 0) return "audit fork: pipe failed";
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
+    return "audit fork failed";
+  }
+  if (pid == 0) {
+    ::close(pfd[0]);
+    const std::string why = cc_audit_image(run, img, final_instant);
+    if (!why.empty()) {
+      (void)!::write(pfd[1], why.data(), why.size());
+    }
+    ::_exit(why.empty() ? 0 : 1);
+  }
+  ::close(pfd[1]);
+  std::string why;
+  char tmp[512];
+  ssize_t n;
+  while ((n = ::read(pfd[0], tmp, sizeof tmp)) > 0) {
+    why.append(tmp, static_cast<std::size_t>(n));
+  }
+  ::close(pfd[0]);
+  int st = 0;
+  while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {}
+  if (WIFSIGNALED(st)) {
+    return "recovery crashed with signal " + std::to_string(WTERMSIG(st));
+  }
+  if (WIFEXITED(st) && WEXITSTATUS(st) == 0) return {};
+  return why.empty() ? "audit child failed without a reason" : why;
+}
+
+// Human name for a lost line's home within the metadata region.
+std::string cc_segment_name(const CcRun& run, std::uint32_t line) {
+  const std::uint64_t off = std::uint64_t{line} * kCacheLineSize;
+  const auto* sb =
+      reinterpret_cast<const core::SuperBlock*>(run.file_bytes.data());
+  char buf[64];
+  if (off < sizeof(core::SuperBlock)) return "superblock";
+  if (off >= core::super_shadow_off() &&
+      off < core::super_shadow_off() + core::kPageSize) {
+    return "super-shadow";
+  }
+  if (off >= sb->subheap_meta_off && off < sb->hash_region_off) {
+    std::snprintf(buf, sizeof buf, "subheap_meta[%u]",
+                  static_cast<unsigned>((off - sb->subheap_meta_off) /
+                                        sb->subheap_meta_stride));
+    return buf;
+  }
+  if (off >= sb->hash_region_off && off < sb->cache_log_off) {
+    std::snprintf(buf, sizeof buf, "hash[%u]",
+                  static_cast<unsigned>((off - sb->hash_region_off) /
+                                        sb->hash_region_stride));
+    return buf;
+  }
+  if (off >= sb->cache_log_off && off < sb->flight_off) {
+    std::snprintf(buf, sizeof buf, "cache_log[%u]",
+                  static_cast<unsigned>((off - sb->cache_log_off) /
+                                        sb->cache_log_stride));
+    return buf;
+  }
+  return "(gap)";
+}
+
+std::string cc_replay_default(const Cfg& cfg) {
+  return cfg.cc_out.empty() ? cfg.path + ".replay" : cfg.cc_out;
+}
+
+void cc_report_violation(const Cfg& cfg, const CcRun& run,
+                         const crashcheck::Violation& v, bool save) {
+  std::fprintf(stderr,
+               "VIOLATION %s at instant %zu%s: %s\n  lost lines:",
+               v.label.c_str(), v.instant,
+               v.final_instant ? " (final)" : "", v.why.c_str());
+  for (const std::uint32_t l : v.lost) {
+    std::fprintf(stderr, " %u(%s)", l, cc_segment_name(run, l).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  if (!save) return;
+  crashcheck::ReplayFile rf;
+  rf.family = run.fam.name;
+  rf.variant = run.fam.variant;
+  rf.seed = cfg.seed;
+  rf.sabotage = run.sab_nth;
+  rf.label = v.label;
+  rf.instant = v.instant;
+  rf.lost = v.lost;
+  for (const std::uint32_t l : v.lost) {
+    rf.segments.emplace_back(l, cc_segment_name(run, l));
+  }
+  rf.why = v.why;
+  const std::string out = cc_replay_default(cfg);
+  std::string err;
+  if (rf.save(out, &err)) {
+    std::fprintf(stderr,
+                 "REPRODUCE: %s --crashcheck --seed %" PRIu64
+                 " --replay %s\n",
+                 "torture", cfg.seed, out.c_str());
+  } else {
+    std::fprintf(stderr, "replay save failed: %s\n", err.c_str());
+  }
+}
+
+crashcheck::ExploreConfig cc_explore_cfg(const Cfg& cfg) {
+  crashcheck::ExploreConfig ec;
+  ec.exhaustive_max = cfg.cc_exhaustive;
+  ec.random_tail = cfg.cc_rand;
+  ec.seed = cfg.seed;
+  ec.budget = cfg.cc_budget;
+  return ec;
+}
+
+// --replay FILE: re-run the named family with the recorded seed and
+// re-verify exactly the saved (instant, lost) state.
+int cc_run_replay(const Cfg& cfg) {
+  crashcheck::ReplayFile rf;
+  std::string err;
+  if (!crashcheck::ReplayFile::load(cfg.cc_replay, &rf, &err)) {
+    fail("replay load: %s", err.c_str());
+    return 2;
+  }
+  const CcFamily* fam = nullptr;
+  for (const CcFamily& f : kCcFamilies) {
+    if (rf.family == f.name && rf.variant == f.variant) fam = &f;
+  }
+  if (fam == nullptr) {
+    fail("replay names unknown family %s/%d", rf.family.c_str(), rf.variant);
+    return 2;
+  }
+  Cfg c2 = cfg;
+  c2.seed = rf.seed;
+  CcRun run;
+  if (!cc_record(c2, *fam, rf.sabotage, &run)) return 1;
+  crashcheck::Explorer ex(cc_explore_cfg(c2));
+  const std::string why = ex.replay(
+      run.trace, rf.instant, rf.lost,
+      [&](const std::vector<std::byte>& img, bool fin) {
+        return cc_audit(run, img, fin);
+      });
+  if (!cfg.keep) cc_unlink(run);
+  if (why.empty()) {
+    std::printf("replay %s instant %zu: PASS (image verifies clean)\n",
+                rf.label.c_str(), rf.instant);
+    return 0;
+  }
+  std::printf("replay %s instant %zu: VIOLATION reproduced: %s\n",
+              rf.label.c_str(), rf.instant, why.c_str());
+  return 1;
+}
+
+// --cc-sabotage: elide the Nth persist() of the alloc op (or sweep all of
+// them) and demand BOTH detectors catch the hole.
+int cc_run_sabotage(const Cfg& cfg) {
+  const CcFamily& fam = kCcFamilies[0];  // alloc/0: the canonical publish
+  std::uint64_t lo = 1, hi = 1;
+  if (cfg.cc_sabotage > 0) {
+    lo = hi = static_cast<std::uint64_t>(cfg.cc_sabotage);
+  } else {
+    // Sweep bound: one clean recording counts the op's persists (each
+    // persist contributes exactly one fence; explicit fences only add
+    // slack to the bound).
+    CcRun probe;
+    if (!cc_record(cfg, fam, 0, &probe)) return 1;
+    hi = probe.trace.fence_count();
+    cc_unlink(probe);
+    if (hi == 0) {
+      fail("sabotage sweep: the op recorded no fences");
+      return 1;
+    }
+  }
+  for (std::uint64_t nth = lo; nth <= hi; ++nth) {
+    CcRun run;
+    if (!cc_record(cfg, fam, nth, &run)) return 1;
+    const crashcheck::LintReport lint = crashcheck::lint_trace(run.trace);
+    const std::uint64_t missing =
+        lint.count(crashcheck::LintKind::kMissingFlush) +
+        lint.count(crashcheck::LintKind::kMissingFence);
+    crashcheck::Explorer ex(cc_explore_cfg(cfg));
+    std::vector<crashcheck::Violation> viols;
+    const crashcheck::ExploreStats st = ex.explore(
+        run.trace,
+        [&](const std::vector<std::byte>& img, bool fin) {
+          return cc_audit(run, img, fin);
+        },
+        &viols);
+    std::printf("sabotage nth=%" PRIu64 ": lint missing=%" PRIu64
+                " explorer violations=%" PRIu64 " (distinct=%" PRIu64 ")\n",
+                nth, missing, st.violations, st.distinct);
+    if (missing > 0 && !viols.empty()) {
+      cc_report_violation(cfg, run, viols[0], /*save=*/true);
+      std::printf("PASS: elided persist #%" PRIu64
+                  " caught by both the lint and the explorer\n", nth);
+      if (!cfg.keep) cc_unlink(run);
+      return 0;
+    }
+    if (!cfg.keep) cc_unlink(run);
+  }
+  fail("sabotage: no elided persist was caught by BOTH detectors");
+  return 1;
+}
+
+int run_crashcheck(const Cfg& cfg) {
+  if (!cfg.cc_replay.empty()) return cc_run_replay(cfg);
+  if (cfg.cc_sabotage != 0) return cc_run_sabotage(cfg);
+
+  crashcheck::Explorer ex(cc_explore_cfg(cfg));  // run-wide image dedup
+  crashcheck::ExploreStats total;
+  crashcheck::LintReport lint_all;
+  std::uint64_t viol_total = 0;
+  bool replay_saved = false;
+  std::string last_path, last_snapdir;
+
+  for (const CcFamily& fam : kCcFamilies) {
+    CcRun run;
+    if (!cc_record(cfg, fam, 0, &run)) return 1;
+    std::vector<crashcheck::Violation> viols;
+    const crashcheck::ExploreStats st = ex.explore(
+        run.trace,
+        [&](const std::vector<std::byte>& img, bool fin) {
+          return cc_audit(run, img, fin);
+        },
+        &viols);
+    total.add(st);
+    const crashcheck::LintReport lr = crashcheck::lint_trace(run.trace);
+    crashcheck::lint_merge(&lint_all, lr);
+    std::printf("crashcheck %-14s events=%-6zu fences=%-4zu instants=%-5" PRIu64
+                " at-risk<=%-3" PRIu64 " distinct=%-6" PRIu64 " viol=%" PRIu64
+                "%s\n",
+                run.label.c_str(), run.trace.events.size(),
+                run.trace.fence_count(), st.instants, st.max_at_risk,
+                st.distinct, st.violations, st.truncated != 0 ? " (budget)" : "");
+    for (const crashcheck::Violation& v : viols) {
+      cc_report_violation(cfg, run, v, /*save=*/!replay_saved);
+      replay_saved = true;
+    }
+    viol_total += st.violations;
+    last_path = run.hpath;
+    last_snapdir = run.snapdir;
+    const bool last =
+        &fam == &kCcFamilies[sizeof(kCcFamilies) / sizeof(kCcFamilies[0]) - 1];
+    if (!last && !cfg.keep) cc_unlink(run);
+  }
+
+  // Lint verdict over every recorded trace.
+  const std::uint64_t missing_flush =
+      lint_all.count(crashcheck::LintKind::kMissingFlush);
+  const std::uint64_t missing_fence =
+      lint_all.count(crashcheck::LintKind::kMissingFence);
+  for (const crashcheck::LintFinding& f : lint_all.findings) {
+    if (f.kind == crashcheck::LintKind::kUntrackedStore) continue;
+    std::printf("lint %-15s x%-5" PRIu64 " line %-6u at %s\n",
+                crashcheck::lint_kind_name(f.kind), f.count, f.first_line,
+                crashcheck::describe_site(f.site).c_str());
+  }
+  std::printf("crashcheck: %" PRIu64 " distinct persistent states, %" PRIu64
+              " violation(s); lint: missing-flush=%" PRIu64
+              " missing-fence=%" PRIu64 " redundant-flush=%" PRIu64
+              " untracked-lines=%" PRIu64 "\n",
+              ex.distinct_total(), viol_total, missing_flush, missing_fence,
+              lint_all.count(crashcheck::LintKind::kRedundantFlush),
+              lint_all.count(crashcheck::LintKind::kUntrackedStore));
+
+  // Stamp the surviving heap file so a postmortem shows how much
+  // exploration it lived through (flight event + counters).
+  if (!last_path.empty()) {
+    try {
+      core::Options o =
+          cc_opts(kCcFamilies[sizeof(kCcFamilies) / sizeof(kCcFamilies[0]) - 1]);
+      o.flight = obs::FlightMode::kPersistent;
+      auto h = Heap::open(last_path, o);
+      h->note_flight(obs::FlightOp::kCrashCheck, ex.distinct_total());
+#if POSEIDON_OBS_ENABLED
+      h->metrics_mut().crashcheck_states.inc(ex.distinct_total());
+      h->metrics_mut().crashcheck_violations.inc(viol_total);
+#endif
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "crashcheck stamp: %s\n", e.what());
+    }
+    if (!cfg.keep) cc_unlink_paths(last_path, last_snapdir);
+  }
+
+  const bool ok = viol_total == 0 && missing_flush == 0 && missing_fence == 0;
+  std::printf("%s: crashcheck seed=%" PRIu64 "\n", ok ? "PASS" : "FAIL",
+              cfg.seed);
+  return ok ? 0 : 1;
+}
+
+// ---- kill-both torture (--svc --kill-both) ---------------------------------
+//
+// The hardest reclaim story: a wedged victim client AND the serving server
+// die in the same window — server FIRST, so no live reclaimer ever
+// witnesses the client's death.  The next server's start-sweep must prove
+// the old sessions dead from the stale segment alone: drain the victim's
+// never-consumed completions (freeing those blocks if still owned) and
+// reclaim the orphaned allocations past the session's consumed watermark
+// (allocs the dead server committed but never published into the ring).
+// A probe round-trip proves the service recovered; parent-driven slot
+// traffic between kills keeps a persistent model alive so the final audit
+// can be EXACT: live blocks == {slot table} + {published slots}, zero
+// leaks, strict fsck.
+
+// Wait until the victim's session advertises phase 2 (in-flight handles
+// and wedged claims in place) through the public segment.
+bool kb_wait_phase2(const Cfg& cfg, pid_t pid, std::uint64_t round) {
+  for (unsigned waited = 0; waited < 30000; waited += 2) {
+    try {
+      pmem::ShmSegment seg =
+          pmem::ShmSegment::attach(svc::svc_path(cfg.path), true);
+      const svc::SvcHeader* h = svc::header_of(seg.data());
+      if (h->magic == svc::kSvcMagic) {
+        svc::SessionSlot* s = svc::sessions_of(seg.data());
+        for (unsigned i = 0; i < h->nsessions; ++i) {
+          if (s[i].state.load(std::memory_order_acquire) == svc::kSessActive &&
+              s[i].pid == static_cast<std::uint64_t>(pid) &&
+              s[i].phase.load(std::memory_order_acquire) == 2) {
+            return true;
+          }
+        }
+      }
+    } catch (const std::exception&) {
+    }
+    ::usleep(2000);
+  }
+  return fail("round %" PRIu64 ": timed out waiting for victim phase 2", round);
+}
+
+// True while any active session still belongs to `pid` — the start-sweep
+// must leave none.
+bool kb_session_lingers(const Cfg& cfg, pid_t pid) {
+  try {
+    pmem::ShmSegment seg =
+        pmem::ShmSegment::attach(svc::svc_path(cfg.path), true);
+    const svc::SvcHeader* h = svc::header_of(seg.data());
+    if (h->magic != svc::kSvcMagic) return false;
+    svc::SessionSlot* s = svc::sessions_of(seg.data());
+    for (unsigned i = 0; i < h->nsessions; ++i) {
+      if (s[i].state.load(std::memory_order_acquire) == svc::kSessActive &&
+          s[i].pid == static_cast<std::uint64_t>(pid)) {
+        return true;
+      }
+    }
+  } catch (const std::exception&) {
+  }
+  return false;
+}
+
+int run_svc_kill_both(const Cfg& cfg) {
+  unlink_heap(cfg);
+  auto reap = [](pid_t pid) {
+    int st = 0;
+    while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {}
+    return st;
+  };
+
+  pid_t server = fork_server_child(cfg);
+  if (server < 0) {
+    fail("fork server: %s", std::strerror(errno));
+    return 1;
+  }
+  pid_t cur = -1;
+  std::uint64_t gen = 0;
+  if (!svc_incumbent(cfg, 30000, &cur, &gen)) {
+    fail("first server never served");
+    (void)::kill(server, SIGKILL);
+    reap(server);
+    return 1;
+  }
+
+  // Control session: persistent slot table as the audit model.
+  {
+    std::unique_ptr<svc::SvcClient> ctl;
+    for (int i = 0;; ++i) {
+      try {
+        ctl = svc::SvcClient::connect(cfg.path);
+        break;
+      } catch (const std::exception& e) {
+        if (i > 5000) {
+          fail("kill-both control connect: %s", e.what());
+          (void)::kill(server, SIGKILL);
+          reap(server);
+          return 1;
+        }
+        ::usleep(2000);
+      }
+    }
+    const std::uint64_t bytes =
+        sizeof(SlotTable) + cfg.nslots() * sizeof(SlotRec);
+    NvPtr t;
+    if (ctl->alloc(&bytes, 1, &t) != ErrorCode::kOk || t.is_null()) {
+      fail("slot table allocation through the service failed");
+      return 1;
+    }
+    auto* table = static_cast<SlotTable*>(ctl->raw(t));
+    std::memset(table, 0, bytes);
+    table->magic = kMagic;
+    table->nslots = cfg.nslots();
+    table->seed = cfg.seed;
+    pmem::persist(table, bytes);
+    if (ctl->set_root(t) != ErrorCode::kOk) {
+      fail("set_root through the service failed");
+      return 1;
+    }
+  }
+
+  std::mt19937_64 rng(cfg.seed);
+  bool ok = true;
+  for (std::uint64_t round = 1; ok && round <= cfg.rounds; ++round) {
+    // Fork the victim: sync batches, then the wedge (in-flight handles +
+    // held claims), then phase 2 and pause().
+    const std::uint64_t vseed = rng();
+    const pid_t vic = ::fork();
+    if (vic < 0) {
+      fail("fork victim: %s", std::strerror(errno));
+      ok = false;
+      break;
+    }
+    if (vic == 0) svc_victim_main(cfg, vseed);  // never returns
+
+    if (!kb_wait_phase2(cfg, vic, round)) {
+      (void)::kill(vic, SIGKILL);
+      reap(vic);
+      ok = false;
+      break;
+    }
+
+    // Server first — the live reclaimer must never see the client die.
+    (void)::kill(server, SIGKILL);
+    reap(server);
+    (void)::kill(vic, SIGKILL);
+    const int vst = reap(vic);
+    if (!(WIFSIGNALED(vst) && WTERMSIG(vst) == SIGKILL)) {
+      fail("round %" PRIu64 ": victim exited on its own (status 0x%x)", round,
+           vst);
+      ok = false;
+      break;
+    }
+
+    // The successor's start-sweep must reclaim the dead pair's session.
+    server = fork_server_child(cfg);
+    if (server < 0) {
+      fail("fork successor: %s", std::strerror(errno));
+      ok = false;
+      break;
+    }
+    // The dead server's header still reads kServing until the successor
+    // takes over, so poll until the generation actually advances.
+    pid_t now = -1;
+    std::uint64_t now_gen = 0;
+    for (unsigned waited = 0; now_gen <= gen && waited < 30000; waited += 2) {
+      if (svc_incumbent(cfg, 2, &now, &now_gen) && now_gen > gen) break;
+      ::usleep(2000);
+    }
+    if (now_gen <= gen) {
+      fail("round %" PRIu64 ": successor never served (gen %" PRIu64 ")",
+           round, now_gen);
+      ok = false;
+      break;
+    }
+    gen = now_gen;
+    if (kb_session_lingers(cfg, vic)) {
+      fail("round %" PRIu64 ": dead victim's session survived the start-sweep",
+           round);
+      ok = false;
+      break;
+    }
+
+    // Fresh probe: the service works, and the slot-table traffic keeps the
+    // persistent model moving between kills.
+    std::unique_ptr<svc::SvcClient> probe;
+    try {
+      probe = svc::SvcClient::connect(cfg.path);
+    } catch (const std::exception& e) {
+      fail("round %" PRIu64 ": probe connect: %s", round, e.what());
+      ok = false;
+      break;
+    }
+    if (!svc_probe_roundtrip(probe.get(), vseed)) {
+      ok = false;
+      break;
+    }
+    NvPtr root;
+    if (probe->get_root(&root) != ErrorCode::kOk || root.is_null()) {
+      fail("round %" PRIu64 ": root lost", round);
+      ok = false;
+      break;
+    }
+    auto* table = static_cast<SlotTable*>(probe->raw(root));
+    if (table == nullptr || table->magic != kMagic) {
+      fail("round %" PRIu64 ": slot table lost", round);
+      ok = false;
+      break;
+    }
+    SlotRec* slots = slots_of(table);
+    std::uint64_t x = vseed ^ 0xb0a710adull;
+    for (unsigned step = 0; step < 3 && ok; ++step) {
+      SlotRec& s = slots[splitmix(x) % table->nslots];
+      if (s.tag == 0) {
+        const std::uint64_t tag = splitmix(x) | 1;
+        const std::uint64_t size = size_for_tag(tag);
+        ErrorCode e = ErrorCode::kOk;
+        const NvPtr p = probe->alloc_one(size, &e);
+        if (e != ErrorCode::kOk || p.is_null()) {
+          ok = fail("round %" PRIu64 ": control publish failed", round);
+          break;
+        }
+        fill_payload(probe->raw(p), size, tag);
+        pmem::persist(probe->raw(p), size);
+        s.ptr = p;
+        s.tag = tag;
+        s.csum = slot_csum(s);
+        pmem::persist(&s, sizeof s);
+      } else {
+        if (!payload_matches(probe->raw(s.ptr), 8, s.tag)) {
+          ok = fail("round %" PRIu64 ": published payload rotted", round);
+          break;
+        }
+        const NvPtr p = s.ptr;
+        std::memset(&s, 0, sizeof s);
+        pmem::persist(&s, sizeof s);
+        if (probe->free_one(p) != ErrorCode::kOk) {
+          ok = fail("round %" PRIu64 ": control unpublish failed", round);
+          break;
+        }
+      }
+    }
+    probe.reset();  // clean session close
+    std::printf("round %3" PRIu64 ": killed server+client (victim %-6d) -> "
+                "gen %" PRIu64 " swept and serving\n",
+                round, static_cast<int>(vic), gen);
+  }
+
+  // Retire the last server cleanly and audit in-process.
+  (void)::kill(server, SIGTERM);
+  reap(server);
+  std::unique_ptr<Heap> heap;
+  for (int i = 0; i < 5000 && heap == nullptr; ++i) {
+    try {
+      heap = Heap::open(cfg.path, base_opts(cfg));
+    } catch (const Error& e) {
+      if (e.poseidon_code() != ErrorCode::kHeapBusy) {
+        fail("audit open: %s", e.what());
+        return 1;
+      }
+      ::usleep(2000);
+    }
+  }
+  if (heap == nullptr) {
+    fail("heap still owned after the final server was retired");
+    return 1;
+  }
+
+  // Exact audit: dead victims owned nothing (their sync traffic freed
+  // everything, their wedge was reclaimed), so live blocks must be exactly
+  // the slot table plus the parent's published slots.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> live;
+  for (unsigned s = 0; s < heap->shard_count(); ++s) {
+    const core::PoolShard* sh = heap->shard(s);
+    if (sh == nullptr) {
+      fail("shard %u quarantined at audit open", s);
+      return 1;
+    }
+    const std::uint64_t id = sh->heap_id();
+    sh->visit_blocks([&](unsigned local, std::uint64_t off, std::uint32_t cls,
+                         std::uint32_t status) {
+      if (status != core::kBlockAllocated) return;
+      const NvPtr p = NvPtr::make(id, static_cast<std::uint16_t>(local), off);
+      live.emplace(std::make_pair(p.heap_id, p.packed), cls);
+    });
+  }
+  const NvPtr root = heap->root();
+  auto* table = static_cast<SlotTable*>(heap->raw(root));
+  if (table == nullptr || table->magic != kMagic) {
+    fail("slot table lost at final audit");
+    return 1;
+  }
+  if (live.erase(std::make_pair(root.heap_id, root.packed)) != 1) {
+    fail("slot table's own block missing from the live set");
+    return 1;
+  }
+  std::uint64_t published = 0;
+  std::uint64_t diffs = 0;
+  SlotRec* slots = slots_of(table);
+  for (std::uint64_t i = 0; i < table->nslots; ++i) {
+    const SlotRec& s = slots[i];
+    if (s.tag == 0 && s.ptr.is_null() && s.csum == 0) continue;
+    if (s.tag == 0 || s.ptr.is_null() || s.csum != slot_csum(s)) {
+      ++diffs;  // the parent publishes synchronously: tearing is impossible
+      std::fprintf(stderr, "DIFF slot %" PRIu64 ": torn record\n", i);
+      continue;
+    }
+    const auto it = live.find(std::make_pair(s.ptr.heap_id, s.ptr.packed));
+    if (it == live.end()) {
+      ++diffs;
+      std::fprintf(stderr, "DIFF slot %" PRIu64 ": published block not live\n",
+                   i);
+      continue;
+    }
+    if (!payload_matches(heap->raw(s.ptr), size_for_tag(s.tag), s.tag)) {
+      ++diffs;
+      std::fprintf(stderr, "DIFF slot %" PRIu64 ": payload corrupt\n", i);
+      continue;
+    }
+    live.erase(it);
+    ++published;
+  }
+  for (const auto& [key, cls] : live) {
+    (void)cls;
+    ++diffs;  // an unswept orphan from a dead pair
+    std::fprintf(stderr, "DIFF: leaked block {%016" PRIx64 ",%016" PRIx64
+                 "} — start-sweep missed it\n",
+                 key.first, key.second);
+  }
+  if (diffs != 0) ok = fail("%" PRIu64 " model diff(s) after kill-both", diffs);
+
+  const core::FsckReport rep = heap->fsck();
+  if (rep.repaired != 0 || rep.quarantined != 0 || rep.records_dropped != 0 ||
+      rep.records_synthesized != 0) {
+    ok = fail("fsck not clean (repaired=%u quarantined=%u dropped=%" PRIu64
+              " synthesized=%" PRIu64 ")",
+              rep.repaired, rep.quarantined, rep.records_dropped,
+              rep.records_synthesized);
+  }
+  std::string why;
+  if (!heap->check_invariants(&why)) {
+    ok = fail("invariants after kill-both torture: %s", why.c_str());
+  }
+#if POSEIDON_OBS_ENABLED
+  std::uint64_t sweeps = 0;
+  for (const auto& e : heap->flight_events()) {
+    if (e.op == static_cast<std::uint16_t>(obs::FlightOp::kSvcReclaim) ||
+        e.op == static_cast<std::uint16_t>(obs::FlightOp::kOrphanReclaim)) {
+      ++sweeps;
+    }
+  }
+  std::printf("flight: %" PRIu64 " reclaim event(s) still in the ring\n",
+              sweeps);
+  // Every round put one dead session in front of the successor's
+  // start-sweep; the persistent ring must still hold those markers.
+  if (ok && sweeps < cfg.rounds) {
+    ok = fail("expected >= %" PRIu64 " reclaim flight events, found %" PRIu64,
+              cfg.rounds, sweeps);
+  }
+#endif
+  heap.reset();
+  if (!ok) return 1;
+  if (!cfg.keep) unlink_heap(cfg);
+  std::printf("PASS: %" PRIu64 " kill-both rounds (published=%" PRIu64
+              "), seed=%" PRIu64 "\n",
+              cfg.rounds, published, cfg.seed);
+  return 0;
+}
+
 bool setup_heap(const Cfg& cfg) {
   unlink_heap(cfg);
   core::Options o = base_opts(cfg);
@@ -1701,19 +2863,48 @@ int main(int argc, char** argv) {
     else if (a == "--keep") cfg.keep = true;
     else if (a == "--svc") cfg.svc = true;
     else if (a == "--kill-server") cfg.kill_server = true;
+    else if (a == "--kill-both") cfg.kill_both = true;
     else if (a == "--snapshot") cfg.snapshot = true;
+    else if (a == "--crashcheck") cfg.crashcheck = true;
+    else if (a == "--cc-exhaustive" && (v = next())) {
+      cfg.cc_exhaustive = static_cast<unsigned>(std::atoi(v));
+    }
+    else if (a == "--cc-rand" && (v = next())) {
+      cfg.cc_rand = static_cast<unsigned>(std::atoi(v));
+    }
+    else if (a == "--cc-budget" && (v = next())) {
+      cfg.cc_budget = std::strtoull(v, nullptr, 0);
+    }
+    else if (a == "--cc-fork") cfg.cc_fork = true;
+    else if (a == "--cc-sabotage" && (v = next())) {
+      cfg.cc_sabotage = std::strcmp(v, "sweep") == 0 ? -1 : std::atoll(v);
+    }
+    else if (a == "--cc-out" && (v = next())) cfg.cc_out = v;
+    else if (a == "--replay" && (v = next())) cfg.cc_replay = v;
     else {
       std::fprintf(stderr,
                    "usage: %s [--rounds N] [--seed S] [--shards N] "
                    "[--threads N] [--slots N] [--capacity BYTES] "
                    "[--fault op:period:errno[,...]] [--path FILE] [--keep] "
-                   "[--snapshot] [--svc [--kill-server] [--snapshot]]\n",
+                   "[--snapshot] [--svc [--kill-server|--kill-both] "
+                   "[--snapshot]] [--crashcheck [--cc-exhaustive N] "
+                   "[--cc-rand N] [--cc-budget N] [--cc-fork] "
+                   "[--cc-sabotage N|sweep] [--cc-out FILE] "
+                   "[--replay FILE]]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (cfg.kill_server && !cfg.svc) {
-    std::fprintf(stderr, "--kill-server requires --svc\n");
+  if ((cfg.kill_server || cfg.kill_both) && !cfg.svc) {
+    std::fprintf(stderr, "--kill-server/--kill-both require --svc\n");
+    return 2;
+  }
+  if (cfg.kill_server && cfg.kill_both) {
+    std::fprintf(stderr, "--kill-server and --kill-both are exclusive\n");
+    return 2;
+  }
+  if (cfg.crashcheck && cfg.svc) {
+    std::fprintf(stderr, "--crashcheck and --svc are exclusive\n");
     return 2;
   }
   if (cfg.snapshot && cfg.kill_server) {
@@ -1742,16 +2933,24 @@ int main(int argc, char** argv) {
     if (m > 1) cfg.rounds *= static_cast<std::uint64_t>(m);
   }
 
-  std::printf("torture%s%s: seed=%" PRIu64 " rounds=%" PRIu64
+  std::printf("torture%s%s%s: seed=%" PRIu64 " rounds=%" PRIu64
               " shards=%u threads=%u slots=%" PRIu64 " path=%s%s%s\n",
-              cfg.svc ? (cfg.kill_server ? " (svc kill-server)" : " (svc)")
+              cfg.svc ? (cfg.kill_server
+                             ? " (svc kill-server)"
+                             : (cfg.kill_both ? " (svc kill-both)" : " (svc)"))
                       : "",
               cfg.snapshot ? " (snapshot)" : "",
+              cfg.crashcheck ? " (crashcheck)" : "",
               cfg.seed, cfg.rounds, cfg.shards, cfg.threads, cfg.nslots(),
               cfg.path.c_str(), cfg.fault.empty() ? "" : " fault=",
               cfg.fault.c_str());
 
-  if (cfg.svc) return cfg.kill_server ? run_svc_kill(cfg) : run_svc(cfg);
+  if (cfg.crashcheck) return run_crashcheck(cfg);
+  if (cfg.svc) {
+    if (cfg.kill_server) return run_svc_kill(cfg);
+    if (cfg.kill_both) return run_svc_kill_both(cfg);
+    return run_svc(cfg);
+  }
 
   if (!setup_heap(cfg)) return 1;
 
